@@ -1,0 +1,48 @@
+//! Criterion micro-benchmarks for the cardinality estimators: how long it
+//! takes each profile to estimate every connected subexpression of a JOB
+//! query (the hot loop of the optimizer).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qob_core::{BenchmarkContext, EstimatorKind};
+use qob_datagen::Scale;
+use qob_storage::IndexConfig;
+
+fn bench_estimators(c: &mut Criterion) {
+    let ctx = BenchmarkContext::new(Scale::tiny(), IndexConfig::PrimaryKeyOnly).unwrap();
+    let query = ctx.query("13d").expect("query 13d");
+    let subexpressions = query.connected_subexpressions();
+
+    let mut group = c.benchmark_group("estimate_all_subexpressions_13d");
+    group.sample_size(20);
+    for kind in EstimatorKind::paper_systems() {
+        let estimator = ctx.estimator(kind);
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, _| {
+            b.iter(|| {
+                let mut total = 0.0;
+                for &set in &subexpressions {
+                    total += estimator.estimate(&query, set);
+                }
+                std::hint::black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_analyze(c: &mut Criterion) {
+    let db = qob_datagen::generate_imdb(&Scale::tiny()).unwrap();
+    let mut group = c.benchmark_group("analyze_database");
+    group.sample_size(10);
+    group.bench_function("tiny_scale", |b| {
+        b.iter(|| {
+            std::hint::black_box(qob_stats::analyze_database(
+                &db,
+                &qob_stats::AnalyzeOptions::default(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimators, bench_analyze);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Criterion micro-benchmarks for the execution engine: the hash-join sizing
+//! ablation (accurate estimate vs 1-row estimate, with and without runtime
+//! rehashing) and index-nested-loop vs hash join.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qob_core::{BenchmarkContext, EstimatorKind};
+use qob_datagen::Scale;
+use qob_enumerate::PlannerConfig;
+use qob_exec::ExecutionOptions;
+use qob_plan::{JoinAlgorithm, PhysicalPlan, RelSet};
+use qob_storage::IndexConfig;
+
+fn bench_hash_sizing(c: &mut Criterion) {
+    let ctx = BenchmarkContext::new(Scale::tiny(), IndexConfig::PrimaryKeyOnly).unwrap();
+    let pg = ctx.estimator(EstimatorKind::Postgres);
+    let query = ctx.query("4a").expect("query 4a");
+    let plan = ctx.optimize(&query, pg.as_ref(), PlannerConfig::default()).unwrap().plan;
+
+    let mut group = c.benchmark_group("hash_join_sizing_4a");
+    group.sample_size(20);
+    let cases = [
+        ("accurate_estimate", true, false),
+        ("one_row_estimate_rehash", false, true),
+        ("one_row_estimate_fixed", false, false),
+    ];
+    for (label, accurate, rehash) in cases {
+        let options = ExecutionOptions { enable_rehash: rehash, ..Default::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &accurate, |b, &accurate| {
+            b.iter(|| {
+                let hint = |set: RelSet| {
+                    if accurate {
+                        pg.estimate(&query, set)
+                    } else {
+                        1.0
+                    }
+                };
+                std::hint::black_box(
+                    qob_exec::execute_plan(ctx.db(), &query, &plan, &hint, &options).unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_join_algorithms(c: &mut Criterion) {
+    let ctx = BenchmarkContext::new(Scale::tiny(), IndexConfig::PrimaryAndForeignKey).unwrap();
+    let pg = ctx.estimator(EstimatorKind::Postgres);
+    let query = ctx.query("2a").expect("query 2a");
+    let base = ctx.optimize(&query, pg.as_ref(), PlannerConfig::default()).unwrap().plan;
+
+    let mut group = c.benchmark_group("join_algorithms_2a");
+    group.sample_size(20);
+    for algorithm in [JoinAlgorithm::Hash, JoinAlgorithm::SortMerge] {
+        // Rewrite every join of the plan to the chosen algorithm (keeping INL
+        // restrictions satisfied by only converting hash/merge nodes).
+        fn rewrite(plan: &PhysicalPlan, to: JoinAlgorithm) -> PhysicalPlan {
+            match plan {
+                PhysicalPlan::Scan { rel } => PhysicalPlan::scan(*rel),
+                PhysicalPlan::Join { algorithm, left, right, keys } => {
+                    let new_alg = match algorithm {
+                        JoinAlgorithm::Hash | JoinAlgorithm::SortMerge => to,
+                        other => *other,
+                    };
+                    PhysicalPlan::join(new_alg, rewrite(left, to), rewrite(right, to), keys.clone())
+                }
+            }
+        }
+        let plan = rewrite(&base, algorithm);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algorithm.label()),
+            &plan,
+            |b, plan| {
+                b.iter(|| {
+                    let hint = |set: RelSet| pg.estimate(&query, set);
+                    std::hint::black_box(
+                        qob_exec::execute_plan(
+                            ctx.db(),
+                            &query,
+                            plan,
+                            &hint,
+                            &ExecutionOptions::default(),
+                        )
+                        .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hash_sizing, bench_join_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks for the plan enumerators: exhaustive DPccp vs
+//! the heuristics on small and large JOB queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qob_core::{BenchmarkContext, EstimatorKind};
+use qob_cost::SimpleCostModel;
+use qob_datagen::Scale;
+use qob_enumerate::{Planner, PlannerConfig, ShapeRestriction};
+use qob_storage::IndexConfig;
+use rand::SeedableRng;
+
+fn bench_enumeration(c: &mut Criterion) {
+    let ctx = BenchmarkContext::new(Scale::tiny(), IndexConfig::PrimaryAndForeignKey).unwrap();
+    let model = SimpleCostModel::new();
+    let pg = ctx.estimator(EstimatorKind::Postgres);
+
+    // 6a is a 5-relation query, 13d has 9 relations, 29a has 17.
+    for name in ["6a", "13d", "29a"] {
+        let query = ctx.query(name).expect("query");
+        let planner = Planner::new(ctx.db(), &query, &model, pg.as_ref(), PlannerConfig::default());
+        let mut group = c.benchmark_group(format!("enumerate_{name}"));
+        group.sample_size(10);
+        group.bench_function(BenchmarkId::from_parameter("dpccp"), |b| {
+            b.iter(|| std::hint::black_box(qob_enumerate::dpccp::optimize_bushy(&planner).unwrap()))
+        });
+        group.bench_function(BenchmarkId::from_parameter("left_deep"), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    qob_enumerate::restricted::optimize_restricted(
+                        &planner,
+                        ShapeRestriction::LeftDeep,
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+        group.bench_function(BenchmarkId::from_parameter("goo"), |b| {
+            b.iter(|| std::hint::black_box(qob_enumerate::goo::optimize_goo(&planner).unwrap()))
+        });
+        group.bench_function(BenchmarkId::from_parameter("quickpick_100"), |b| {
+            b.iter(|| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+                std::hint::black_box(
+                    qob_enumerate::quickpick::quickpick_best(&planner, 100, &mut rng).unwrap(),
+                )
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_enumeration);
+criterion_main!(benches);

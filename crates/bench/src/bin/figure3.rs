@@ -1,0 +1,25 @@
+//! Figure 3: quality of cardinality estimates for multi-join queries, per
+//! system, grouped by the number of joins.
+
+use qob_bench::{build_context, print_estimate_quality, query_limit_from_env};
+use qob_core::experiments::join_estimate_quality;
+use qob_storage::IndexConfig;
+
+fn main() {
+    let ctx = build_context(IndexConfig::PrimaryKeyOnly);
+    let max_joins = 6;
+    let results = join_estimate_quality(&ctx, query_limit_from_env(), max_joins);
+    println!("Figure 3: estimate / true cardinality by number of joins (values < 1 are underestimates)\n");
+    for quality in &results {
+        print_estimate_quality(quality, max_joins);
+    }
+    // The paper's headline percentages: estimates wrong by >= 10x.
+    println!("Fraction of estimates off by a factor of 10 or more:");
+    for quality in &results {
+        print!("{:<14}", quality.system);
+        for joins in 1..=3 {
+            print!("  {} joins: {:>5.1}%", joins, quality.fraction_off_by(joins, 10.0) * 100.0);
+        }
+        println!();
+    }
+}

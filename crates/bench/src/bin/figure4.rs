@@ -1,0 +1,36 @@
+//! Figure 4: PostgreSQL estimate errors for individual JOB queries vs the
+//! TPC-H-shaped queries.
+
+use qob_bench::{build_context, format_ratio, scale_from_env};
+use qob_core::experiments::tpch_contrast;
+use qob_storage::IndexConfig;
+
+fn print_series(label: &str, series: &[(String, Vec<Vec<f64>>)]) {
+    for (name, by_joins) in series {
+        println!("--- {label} {name} ---");
+        for (joins, ratios) in by_joins.iter().enumerate() {
+            if ratios.is_empty() {
+                continue;
+            }
+            let min = ratios.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = ratios.iter().copied().fold(0.0f64, f64::max);
+            let median = qob_cardest::percentile(ratios, 50.0).unwrap_or(1.0);
+            println!(
+                "  {joins} joins: n={:<4} min {:>14}  median {:>14}  max {:>14}",
+                ratios.len(),
+                format_ratio(min),
+                format_ratio(median),
+                format_ratio(max)
+            );
+        }
+    }
+}
+
+fn main() {
+    let ctx = build_context(IndexConfig::PrimaryKeyOnly);
+    let (job, tpch) = tpch_contrast(&ctx, &["6a", "16d", "17b", "25c"], scale_from_env(), 6);
+    println!("Figure 4: PostgreSQL cardinality estimates, JOB queries vs TPC-H queries\n");
+    print_series("JOB", &job);
+    print_series("TPC-H", &tpch);
+    println!("\n(TPC-H errors stay near 1x; JOB errors reach orders of magnitude)");
+}

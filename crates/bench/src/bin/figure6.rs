@@ -1,0 +1,30 @@
+//! Figure 6: slowdown of PostgreSQL-estimate plans under three engine
+//! configurations — (a) nested-loop joins allowed, (b) nested-loop joins
+//! disabled, (c) additionally with runtime hash-table resizing.
+
+use qob_bench::{build_context, print_slowdown_header, print_slowdown_row, query_limit_from_env};
+use qob_core::experiments::{risk_of_estimates, RiskOptions};
+use qob_core::EstimatorKind;
+use qob_storage::IndexConfig;
+
+fn main() {
+    let ctx = build_context(IndexConfig::PrimaryKeyOnly);
+    let limit = query_limit_from_env();
+    let configs = [
+        ("(a) default (NL joins allowed)", true, false),
+        ("(b) no nested-loop join", false, false),
+        ("(c) + rehashing", false, true),
+    ];
+    println!("Figure 6: slowdown using PostgreSQL estimates vs true cardinalities (PK indexes)\n");
+    print_slowdown_header();
+    for (label, allow_nl, rehash) in configs {
+        let options = RiskOptions {
+            allow_nested_loop: allow_nl,
+            enable_rehash: rehash,
+            query_limit: limit,
+            ..Default::default()
+        };
+        let results = risk_of_estimates(&ctx, &[EstimatorKind::Postgres], &options);
+        print_slowdown_row(label, &results[0].distribution);
+    }
+}

@@ -1,0 +1,20 @@
+//! Figure 7: slowdown of PostgreSQL-estimate plans under different physical
+//! designs (PK indexes only vs PK + FK indexes).
+
+use qob_bench::{build_context, print_slowdown_header, print_slowdown_row, query_limit_from_env};
+use qob_core::experiments::{risk_of_estimates, RiskOptions};
+use qob_core::EstimatorKind;
+use qob_storage::IndexConfig;
+
+fn main() {
+    let mut ctx = build_context(IndexConfig::PrimaryKeyOnly);
+    let options = RiskOptions { query_limit: query_limit_from_env(), ..Default::default() };
+    println!("Figure 7: slowdown using PostgreSQL estimates vs true cardinalities\n");
+    print_slowdown_header();
+    for config in [IndexConfig::PrimaryKeyOnly, IndexConfig::PrimaryAndForeignKey] {
+        ctx.set_index_config(config).expect("index rebuild");
+        let results = risk_of_estimates(&ctx, &[EstimatorKind::Postgres], &options);
+        print_slowdown_row(config.label(), &results[0].distribution);
+    }
+    println!("\n(more indexes widen the gap between estimate-based and optimal plans)");
+}

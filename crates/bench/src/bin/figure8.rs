@@ -1,0 +1,46 @@
+//! Figure 8: predicted cost vs measured runtime for the three cost models,
+//! with PostgreSQL estimates and with true cardinalities.
+
+use qob_bench::{build_context, query_limit_from_env};
+use qob_core::experiments::{cost_model_correlation, CostModelKind};
+use qob_storage::IndexConfig;
+use std::time::Duration;
+
+fn main() {
+    let ctx = build_context(IndexConfig::PrimaryAndForeignKey);
+    let panels = cost_model_correlation(&ctx, query_limit_from_env(), Duration::from_secs(30));
+    println!("Figure 8: cost model vs runtime (each panel lists cost/runtime pairs and the linear-fit error)\n");
+    for panel in &panels {
+        println!(
+            "--- {} / {} cardinalities ---",
+            panel.model.label(),
+            if panel.true_cardinalities { "true" } else { "PostgreSQL" }
+        );
+        println!(
+            "  {} queries, median fit error {:.0}%, geometric-mean runtime {:.3} ms",
+            panel.points.len(),
+            panel.median_fit_error * 100.0,
+            panel.geometric_mean_runtime * 1e3
+        );
+        for (cost, runtime) in panel.points.iter().take(10) {
+            println!("    cost {cost:>14.1}   runtime {:>10.3} ms", runtime * 1e3);
+        }
+        if panel.points.len() > 10 {
+            println!("    ... ({} more points)", panel.points.len() - 10);
+        }
+        println!();
+    }
+    let geo = |kind: CostModelKind| {
+        panels
+            .iter()
+            .find(|p| p.model == kind && p.true_cardinalities)
+            .map(|p| p.geometric_mean_runtime)
+            .unwrap_or(f64::NAN)
+    };
+    let standard = geo(CostModelKind::Standard);
+    println!(
+        "Section 5.4 (true cardinalities): tuned model {:.0}% faster, simple model {:.0}% faster than standard",
+        (1.0 - geo(CostModelKind::Tuned) / standard) * 100.0,
+        (1.0 - geo(CostModelKind::Simple) / standard) * 100.0
+    );
+}

@@ -1,0 +1,55 @@
+//! Figure 9: Quickpick cost distributions for five representative queries
+//! under the three physical designs, plus the Section 6.1 summary statistics.
+
+use qob_bench::build_context;
+use qob_core::experiments::{optimal_costs, plan_space_distributions};
+use qob_storage::IndexConfig;
+
+fn main() {
+    let queries = ["6a", "13a", "16d", "17b", "25c"];
+    let runs: usize = std::env::var("QOB_QUICKPICK_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+
+    let mut ctx = build_context(IndexConfig::PrimaryAndForeignKey);
+    let reference = optimal_costs(&ctx, &queries);
+    println!("Figure 9: cost of {runs} random plans relative to the optimal PK+FK plan\n");
+
+    let mut summary: Vec<(String, f64, f64)> = Vec::new();
+    for config in IndexConfig::all() {
+        ctx.set_index_config(config).expect("index rebuild");
+        let distributions = plan_space_distributions(&ctx, &queries, runs, 42, &reference);
+        println!("=== {} ===", config.label());
+        let mut within = Vec::new();
+        let mut widths = Vec::new();
+        for d in &distributions {
+            let sorted = {
+                let mut v = d.normalized_costs.clone();
+                v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                v
+            };
+            println!(
+                "  {}: best {:.2}x  median {:.1}x  95th {:.1}x  worst {:.1}x",
+                d.query,
+                sorted.first().unwrap(),
+                sorted[sorted.len() / 2],
+                sorted[sorted.len() * 95 / 100],
+                sorted.last().unwrap()
+            );
+            within.push(d.fraction_within(1.5));
+            widths.push(d.width());
+        }
+        let avg_within = within.iter().sum::<f64>() / within.len().max(1) as f64;
+        let avg_width = widths.iter().sum::<f64>() / widths.len().max(1) as f64;
+        summary.push((config.label().to_owned(), avg_within, avg_width));
+        println!();
+    }
+    println!("Section 6.1 summary (these five queries):");
+    for (label, within, width) in summary {
+        println!(
+            "  {label:<18} plans within 1.5x of optimum: {:>5.1}%   avg worst/best ratio: {width:.0}x",
+            within * 100.0
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! Table 1: q-errors for base table selections, per system.
+
+use qob_bench::{build_context, query_limit_from_env};
+use qob_core::experiments::base_table_quality;
+use qob_storage::IndexConfig;
+
+fn main() {
+    let ctx = build_context(IndexConfig::PrimaryKeyOnly);
+    let rows = base_table_quality(&ctx, query_limit_from_env());
+    println!("Table 1: Q-errors for base table selections");
+    println!("{:<14} {:>10} {:>10} {:>10} {:>12} {:>10}", "", "median", "90th", "95th", "max", "n");
+    for row in rows {
+        println!(
+            "{:<14} {:>10.2} {:>10.2} {:>10.2} {:>12.1} {:>10}",
+            row.system, row.summary.median, row.summary.p90, row.summary.p95, row.summary.max,
+            row.summary.count
+        );
+    }
+}

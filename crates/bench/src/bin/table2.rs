@@ -1,0 +1,36 @@
+//! Table 2: slowdown of restricted tree shapes (zig-zag, left-deep,
+//! right-deep) relative to the optimal bushy plan, under true cardinalities.
+
+use qob_bench::{build_context, query_limit_from_env};
+use qob_core::experiments::tree_shape_experiment;
+use qob_storage::IndexConfig;
+
+fn main() {
+    let mut ctx = build_context(IndexConfig::PrimaryKeyOnly);
+    let limit = query_limit_from_env();
+    println!("Table 2: cost of the optimal restricted-shape plan / optimal bushy plan (true cardinalities)\n");
+    println!("{:<14} {:>24} {:>24}", "", "PK indexes", "PK + FK indexes");
+    println!(
+        "{:<14} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "", "median", "95%", "max", "median", "95%", "max"
+    );
+    let mut rows: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    let mut labels = Vec::new();
+    for config in [IndexConfig::PrimaryKeyOnly, IndexConfig::PrimaryAndForeignKey] {
+        ctx.set_index_config(config).expect("index rebuild");
+        let results = tree_shape_experiment(&ctx, limit);
+        for (i, r) in results.iter().enumerate() {
+            if labels.len() < results.len() {
+                labels.push(r.shape.label().to_owned());
+            }
+            rows[i].extend([r.median(), r.p95(), r.max()]);
+        }
+    }
+    for (label, row) in labels.iter().zip(rows) {
+        print!("{label:<14}");
+        for v in row {
+            print!(" {v:>8.2}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,47 @@
+//! Table 3: exhaustive dynamic programming vs Quickpick-1000 vs Greedy
+//! Operator Ordering, planning with PostgreSQL estimates and with true
+//! cardinalities, costs re-evaluated under true cardinalities.
+
+use qob_bench::{build_context, query_limit_from_env};
+use qob_core::experiments::{enumeration_experiment, EnumerationAlgorithm};
+use qob_storage::IndexConfig;
+
+fn main() {
+    let mut ctx = build_context(IndexConfig::PrimaryKeyOnly);
+    let limit = query_limit_from_env();
+    println!("Table 3: plan cost normalised by the optimal plan of each index configuration\n");
+    for config in [IndexConfig::PrimaryKeyOnly, IndexConfig::PrimaryAndForeignKey] {
+        ctx.set_index_config(config).expect("index rebuild");
+        let results = enumeration_experiment(&ctx, limit, 1_000, 42);
+        println!("=== {} ===", config.label());
+        println!(
+            "{:<28} {:>30} {:>30}",
+            "", "PostgreSQL estimates", "true cardinalities"
+        );
+        println!(
+            "{:<28} {:>10} {:>9} {:>9} {:>10} {:>9} {:>9}",
+            "", "median", "95%", "max", "median", "95%", "max"
+        );
+        for algorithm in EnumerationAlgorithm::all() {
+            let est = results
+                .iter()
+                .find(|r| r.algorithm == algorithm && !r.true_cardinalities)
+                .expect("estimates row");
+            let truth = results
+                .iter()
+                .find(|r| r.algorithm == algorithm && r.true_cardinalities)
+                .expect("truth row");
+            println!(
+                "{:<28} {:>10.2} {:>9.1} {:>9.1} {:>10.2} {:>9.2} {:>9.2}",
+                algorithm.label(),
+                est.median(),
+                est.p95(),
+                est.max(),
+                truth.median(),
+                truth.p95(),
+                truth.max()
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,18 @@
+//! Section 4.1 table: slowdown distribution when plans are built from each
+//! system's estimates instead of the true cardinalities (PK indexes only).
+
+use qob_bench::{build_context, print_slowdown_header, print_slowdown_row, query_limit_from_env};
+use qob_core::experiments::{risk_of_estimates, RiskOptions};
+use qob_core::EstimatorKind;
+use qob_storage::IndexConfig;
+
+fn main() {
+    let ctx = build_context(IndexConfig::PrimaryKeyOnly);
+    let options = RiskOptions { query_limit: query_limit_from_env(), ..Default::default() };
+    let results = risk_of_estimates(&ctx, &EstimatorKind::paper_systems(), &options);
+    println!("Section 4.1: slowdown w.r.t. the true-cardinality plan (PK indexes, NL joins off, rehash on)\n");
+    print_slowdown_header();
+    for r in &results {
+        print_slowdown_row(&r.system, &r.distribution);
+    }
+}

@@ -1,0 +1,38 @@
+//! # qob-cardest
+//!
+//! Cardinality estimation for the JOB reproduction (Section 3 of the paper).
+//!
+//! The paper extracts cardinality estimates from five systems — PostgreSQL,
+//! three anonymous commercial systems ("DBMS A/B/C") and HyPer — and injects
+//! them into one execution engine.  The systems are characterised only by
+//! their estimation *behaviour*; this crate reproduces those behaviours as
+//! five estimator profiles over the statistics of [`qob_stats`]:
+//!
+//! | Estimator | Models | Behaviour |
+//! |---|---|---|
+//! | [`PostgresEstimator`] | PostgreSQL | per-attribute histograms + MCVs, independence, `1/max(dom)` join formula, magic constants for LIKE |
+//! | [`SamplingEstimator`] | HyPer | per-table 1000-row samples for base predicates, independence for joins |
+//! | [`DampedSamplingEstimator`] | "DBMS A" | samples + exponential-backoff damping when combining selectivities |
+//! | [`PessimisticEstimator`] | "DBMS B" | coarse statistics and an extra shrink per join — collapses to 1 row for deep joins |
+//! | [`MagicConstantEstimator`] | "DBMS C" | ignores statistics for most predicates, guessing fixed selectivities |
+//!
+//! [`TrueCardinalities`] holds exact cardinalities (computed by executing
+//! subexpressions) and [`InjectedCardinalities`] overlays any subset of them
+//! over another estimator — the reproduction of the paper's cardinality
+//! injection patch (Section 2.4).
+//!
+//! Estimation quality is measured with the q-error ([`qerror`]).
+
+pub mod estimators;
+pub mod model;
+pub mod qerror;
+pub mod selectivity;
+pub mod truth;
+
+pub use estimators::{
+    DampedSamplingEstimator, MagicConstantEstimator, PessimisticEstimator, PostgresEstimator,
+    SamplingEstimator,
+};
+pub use model::{CardinalityEstimator, EstimatorContext};
+pub use qerror::{percentile, q_error, signed_ratio, QErrorSummary};
+pub use truth::{InjectedCardinalities, TrueCardinalities};

@@ -1,0 +1,125 @@
+//! The q-error metric and its summaries (Section 3.1 of the paper).
+
+/// The q-error of an estimate: the factor by which it deviates from the true
+/// cardinality, `max(est/true, true/est)`.
+///
+/// Both quantities are clamped to at least 1 row first, following the paper's
+/// treatment (estimates below one row are rounded up to 1, and empty true
+/// results are treated as 1 so the ratio stays finite).
+pub fn q_error(estimate: f64, truth: f64) -> f64 {
+    let e = estimate.max(1.0);
+    let t = truth.max(1.0);
+    (e / t).max(t / e)
+}
+
+/// The signed ratio `estimate / truth` (clamped to ≥ 1 row each), used for
+/// the over/underestimation axis of Figure 3: values below 1 are
+/// underestimates, above 1 overestimates.
+pub fn signed_ratio(estimate: f64, truth: f64) -> f64 {
+    estimate.max(1.0) / truth.max(1.0)
+}
+
+/// The `p`-th percentile (0–100) of a sample, using linear interpolation
+/// between closest ranks.  Returns `None` for an empty sample.
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in percentile input"));
+    let p = p.clamp(0.0, 100.0) / 100.0;
+    let rank = p * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        Some(sorted[lo])
+    } else {
+        let frac = rank - lo as f64;
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// Summary of a q-error distribution in the shape of the paper's Table 1
+/// (median / 90th / 95th / max percentiles).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QErrorSummary {
+    /// 50th percentile.
+    pub median: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Number of samples.
+    pub count: usize,
+}
+
+impl QErrorSummary {
+    /// Summarises a set of q-errors.  Returns `None` for an empty input.
+    pub fn from_errors(errors: &[f64]) -> Option<Self> {
+        if errors.is_empty() {
+            return None;
+        }
+        Some(QErrorSummary {
+            median: percentile(errors, 50.0)?,
+            p90: percentile(errors, 90.0)?,
+            p95: percentile(errors, 95.0)?,
+            max: errors.iter().copied().fold(f64::MIN, f64::max),
+            count: errors.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_error_is_symmetric_and_at_least_one() {
+        assert_eq!(q_error(100.0, 100.0), 1.0);
+        assert_eq!(q_error(10.0, 100.0), 10.0);
+        assert_eq!(q_error(1000.0, 100.0), 10.0);
+        assert!(q_error(0.0, 5.0) >= 1.0, "zero estimate clamps to 1");
+        assert_eq!(q_error(0.5, 1.0), 1.0);
+        assert_eq!(q_error(1.0, 0.0), 1.0, "empty true result treated as 1");
+    }
+
+    #[test]
+    fn signed_ratio_direction() {
+        assert!(signed_ratio(10.0, 100.0) < 1.0, "underestimate");
+        assert!(signed_ratio(1000.0, 100.0) > 1.0, "overestimate");
+        assert_eq!(signed_ratio(100.0, 100.0), 1.0);
+        assert_eq!(signed_ratio(0.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let values = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&values, 0.0), Some(1.0));
+        assert_eq!(percentile(&values, 100.0), Some(5.0));
+        assert_eq!(percentile(&values, 50.0), Some(3.0));
+        assert_eq!(percentile(&values, 25.0), Some(2.0));
+        assert_eq!(percentile(&values, 10.0), Some(1.4));
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&[7.0], 95.0), Some(7.0));
+    }
+
+    #[test]
+    fn percentile_handles_unsorted_input() {
+        let values = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&values, 50.0), Some(3.0));
+    }
+
+    #[test]
+    fn summary_matches_percentiles() {
+        let errors: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = QErrorSummary::from_errors(&errors).unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.max, 100.0);
+        assert!((s.median - 50.5).abs() < 0.01);
+        assert!((s.p90 - 90.1).abs() < 0.01);
+        assert!((s.p95 - 95.05).abs() < 0.01);
+        assert!(QErrorSummary::from_errors(&[]).is_none());
+    }
+}

@@ -1,0 +1,314 @@
+//! The benchmark context: database, statistics, workload, estimators and
+//! ground truth.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use qob_cardest::{
+    CardinalityEstimator, DampedSamplingEstimator, EstimatorContext, MagicConstantEstimator,
+    PessimisticEstimator, PostgresEstimator, SamplingEstimator, TrueCardinalities,
+};
+use qob_cost::{CostContext, CostModel, SimpleCostModel};
+use qob_datagen::{generate_imdb, Scale};
+use qob_enumerate::{OptimizedPlan, Planner, PlannerConfig};
+use qob_exec::{ExecutionOptions, ExecutionResult, TrueCardinalityOptions};
+use qob_plan::{PhysicalPlan, QuerySpec, RelSet};
+use qob_stats::{analyze_database, AnalyzeOptions, DatabaseStats};
+use qob_storage::{Database, IndexConfig, StorageError};
+use qob_workload::job_queries;
+
+/// The estimator profiles available for injection, named after the systems
+/// of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EstimatorKind {
+    /// PostgreSQL-style histogram estimator.
+    Postgres,
+    /// PostgreSQL-style estimator with exact distinct counts (Figure 5).
+    PostgresTrueDistinct,
+    /// HyPer-style table-sample estimator.
+    HyPer,
+    /// "DBMS A": samples plus damping.
+    DbmsA,
+    /// "DBMS B": coarse statistics, strong underestimation with joins.
+    DbmsB,
+    /// "DBMS C": magic constants for base tables.
+    DbmsC,
+}
+
+impl EstimatorKind {
+    /// The five injected systems of the paper, in its reporting order.
+    pub fn paper_systems() -> [EstimatorKind; 5] {
+        [
+            EstimatorKind::Postgres,
+            EstimatorKind::DbmsA,
+            EstimatorKind::DbmsB,
+            EstimatorKind::DbmsC,
+            EstimatorKind::HyPer,
+        ]
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EstimatorKind::Postgres => "PostgreSQL",
+            EstimatorKind::PostgresTrueDistinct => "PostgreSQL (true distinct)",
+            EstimatorKind::HyPer => "HyPer",
+            EstimatorKind::DbmsA => "DBMS A",
+            EstimatorKind::DbmsB => "DBMS B",
+            EstimatorKind::DbmsC => "DBMS C",
+        }
+    }
+}
+
+/// Owns everything one experiment run needs: the generated database with its
+/// physical design, ANALYZE statistics, the JOB workload and a cache of true
+/// cardinalities per query.
+pub struct BenchmarkContext {
+    db: Database,
+    stats: DatabaseStats,
+    scale: Scale,
+    queries: Vec<QuerySpec>,
+    truth_cache: Mutex<HashMap<String, Arc<TrueCardinalities>>>,
+    truth_options: TrueCardinalityOptions,
+}
+
+impl BenchmarkContext {
+    /// Generates the IMDB-like database at `scale`, builds the indexes of
+    /// `index_config`, runs ANALYZE and instantiates the workload.
+    pub fn new(scale: Scale, index_config: IndexConfig) -> Result<Self, StorageError> {
+        let mut db = generate_imdb(&scale)?;
+        db.build_indexes(index_config)?;
+        let stats = analyze_database(&db, &AnalyzeOptions::default());
+        let queries = job_queries(&db);
+        Ok(BenchmarkContext {
+            db,
+            stats,
+            scale,
+            queries,
+            truth_cache: Mutex::new(HashMap::new()),
+            truth_options: TrueCardinalityOptions {
+                max_intermediate_slots: 50_000_000,
+                timeout: Some(std::time::Duration::from_secs(60)),
+            },
+        })
+    }
+
+    /// Rebuilds the indexes for a different physical design (statistics and
+    /// ground truth are unaffected by index changes).
+    pub fn set_index_config(&mut self, index_config: IndexConfig) -> Result<(), StorageError> {
+        self.db.build_indexes(index_config)
+    }
+
+    /// The catalog.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The ANALYZE statistics.
+    pub fn stats(&self) -> &DatabaseStats {
+        &self.stats
+    }
+
+    /// The scale the database was generated at.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// The 113-query workload.
+    pub fn queries(&self) -> &[QuerySpec] {
+        &self.queries
+    }
+
+    /// One query by name (e.g. `"6a"`).
+    pub fn query(&self, name: &str) -> Option<QuerySpec> {
+        self.queries.iter().find(|q| q.name == name).cloned()
+    }
+
+    /// A subset of the workload: all queries if `limit` is `None`, otherwise
+    /// every `ceil(113/limit)`-th query so families stay represented.
+    pub fn query_subset(&self, limit: Option<usize>) -> Vec<&QuerySpec> {
+        match limit {
+            None => self.queries.iter().collect(),
+            Some(n) if n == 0 || n >= self.queries.len() => self.queries.iter().collect(),
+            Some(n) => {
+                let step = self.queries.len().div_ceil(n);
+                self.queries.iter().step_by(step).collect()
+            }
+        }
+    }
+
+    /// Instantiates an estimator profile (borrowing the context's catalog and
+    /// statistics).
+    pub fn estimator(&self, kind: EstimatorKind) -> Box<dyn CardinalityEstimator + '_> {
+        let ctx = EstimatorContext::new(&self.db, &self.stats);
+        match kind {
+            EstimatorKind::Postgres => Box::new(PostgresEstimator::new(ctx)),
+            EstimatorKind::PostgresTrueDistinct => {
+                Box::new(PostgresEstimator::with_true_distinct_counts(ctx))
+            }
+            EstimatorKind::HyPer => Box::new(SamplingEstimator::new(ctx)),
+            EstimatorKind::DbmsA => Box::new(DampedSamplingEstimator::new(ctx)),
+            EstimatorKind::DbmsB => Box::new(PessimisticEstimator::new(ctx)),
+            EstimatorKind::DbmsC => Box::new(MagicConstantEstimator::new(ctx)),
+        }
+    }
+
+    /// The exact cardinalities of every connected subexpression of `query`
+    /// (computed once per query and cached).
+    pub fn true_cardinalities(&self, query: &QuerySpec) -> Arc<TrueCardinalities> {
+        if let Some(cached) = self.truth_cache.lock().get(&query.name) {
+            return Arc::clone(cached);
+        }
+        let computed = qob_exec::true_cardinalities(&self.db, query, &self.truth_options)
+            .unwrap_or_default();
+        let mut truth = TrueCardinalities::new();
+        for (set, card) in computed {
+            truth.insert(set, card as f64);
+        }
+        let truth = Arc::new(truth);
+        self.truth_cache.lock().insert(query.name.clone(), Arc::clone(&truth));
+        truth
+    }
+
+    /// Optimizes `query` with exhaustive bushy DP under the default
+    /// (main-memory `C_mm`) cost model, using `cards` as the cardinality
+    /// source.
+    pub fn optimize(
+        &self,
+        query: &QuerySpec,
+        cards: &dyn CardinalityEstimator,
+        config: PlannerConfig,
+    ) -> Result<OptimizedPlan, qob_enumerate::EnumerationError> {
+        let model = SimpleCostModel::new();
+        let planner = Planner::new(&self.db, query, &model, cards, config);
+        qob_enumerate::dpccp::optimize_bushy(&planner)
+    }
+
+    /// Optimizes `query` under an explicit cost model.
+    pub fn optimize_with_model(
+        &self,
+        query: &QuerySpec,
+        cards: &dyn CardinalityEstimator,
+        model: &dyn CostModel,
+        config: PlannerConfig,
+    ) -> Result<OptimizedPlan, qob_enumerate::EnumerationError> {
+        let planner = Planner::new(&self.db, query, model, cards, config);
+        qob_enumerate::dpccp::optimize_bushy(&planner)
+    }
+
+    /// Recomputes the cost of an existing plan under a cost model and a
+    /// (possibly different) cardinality source — the paper's Section 6
+    /// methodology of costing estimate-derived plans with true cardinalities.
+    pub fn plan_cost(
+        &self,
+        query: &QuerySpec,
+        plan: &PhysicalPlan,
+        model: &dyn CostModel,
+        cards: &dyn CardinalityEstimator,
+    ) -> f64 {
+        qob_cost::plan_cost(model, &CostContext::new(&self.db, query), plan, cards)
+    }
+
+    /// Executes a plan; hash-join sizing uses `sizing_cards` (the estimates
+    /// the "optimizer" believed), reproducing how PostgreSQL consumes its own
+    /// estimates at runtime.
+    pub fn execute(
+        &self,
+        query: &QuerySpec,
+        plan: &PhysicalPlan,
+        sizing_cards: &dyn CardinalityEstimator,
+        options: &ExecutionOptions,
+    ) -> Result<ExecutionResult, qob_exec::ExecutionError> {
+        let hint = |set: RelSet| sizing_cards.estimate(query, set);
+        qob_exec::execute_plan(&self.db, query, plan, &hint, options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> BenchmarkContext {
+        BenchmarkContext::new(Scale::tiny(), IndexConfig::PrimaryKeyOnly).unwrap()
+    }
+
+    #[test]
+    fn context_holds_workload_and_catalog() {
+        let ctx = ctx();
+        assert_eq!(ctx.queries().len(), qob_workload::JOB_QUERY_COUNT);
+        assert_eq!(ctx.db().table_count(), 21);
+        assert!(ctx.query("13d").is_some());
+        assert!(ctx.query("nope").is_none());
+        assert_eq!(ctx.scale(), Scale::tiny());
+        assert_eq!(ctx.stats().table_count(), 21);
+    }
+
+    #[test]
+    fn query_subset_sampling() {
+        let ctx = ctx();
+        assert_eq!(ctx.query_subset(None).len(), 113);
+        assert_eq!(ctx.query_subset(Some(0)).len(), 113);
+        assert_eq!(ctx.query_subset(Some(500)).len(), 113);
+        let ten = ctx.query_subset(Some(10));
+        assert!(ten.len() >= 10 && ten.len() <= 13, "got {}", ten.len());
+    }
+
+    #[test]
+    fn estimators_are_constructible_and_labelled() {
+        let ctx = ctx();
+        for kind in EstimatorKind::paper_systems() {
+            let est = ctx.estimator(kind);
+            assert_eq!(est.name(), kind.label());
+        }
+        assert_eq!(
+            ctx.estimator(EstimatorKind::PostgresTrueDistinct).name(),
+            "PostgreSQL (true distinct)"
+        );
+    }
+
+    #[test]
+    fn true_cardinalities_are_cached_and_plausible() {
+        let ctx = ctx();
+        let q = ctx.query("2a").unwrap();
+        let t1 = ctx.true_cardinalities(&q);
+        let t2 = ctx.true_cardinalities(&q);
+        assert!(Arc::ptr_eq(&t1, &t2), "second call hits the cache");
+        assert!(!t1.is_empty());
+        // Base relation cardinalities never exceed their table sizes.
+        for (rel, relation) in q.relations.iter().enumerate() {
+            let rows = ctx.db().table(relation.table).row_count() as f64;
+            if let Some(card) = t1.get(qob_plan::RelSet::single(rel)) {
+                assert!(card <= rows);
+            }
+        }
+    }
+
+    #[test]
+    fn optimize_and_execute_roundtrip() {
+        let ctx = ctx();
+        let q = ctx.query("3a").unwrap();
+        let est = ctx.estimator(EstimatorKind::Postgres);
+        let plan = ctx.optimize(&q, est.as_ref(), PlannerConfig::default()).unwrap();
+        assert!(plan.plan.validate(&q).is_ok());
+        let result = ctx
+            .execute(&q, &plan.plan, est.as_ref(), &ExecutionOptions::default())
+            .unwrap();
+        // The true final cardinality matches what execution produced.
+        let truth = ctx.true_cardinalities(&q);
+        if let Some(expected) = truth.get(q.all_rels()) {
+            assert_eq!(result.rows as f64, expected);
+        }
+    }
+
+    #[test]
+    fn index_config_can_be_switched() {
+        let mut ctx = ctx();
+        let before = ctx.db().index_count();
+        ctx.set_index_config(IndexConfig::PrimaryAndForeignKey).unwrap();
+        assert!(ctx.db().index_count() > before);
+        ctx.set_index_config(IndexConfig::NoIndexes).unwrap();
+        assert_eq!(ctx.db().index_count(), 0);
+    }
+}

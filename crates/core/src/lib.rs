@@ -1,0 +1,34 @@
+//! # qob-core
+//!
+//! The public facade of the reproduction of *"How Good Are Query Optimizers,
+//! Really?"* (Leis et al., VLDB 2015).
+//!
+//! The crate ties the substrates together behind two entry points:
+//!
+//! * [`BenchmarkContext`] — owns a synthetic IMDB-like database, its
+//!   statistics, the 113-query JOB workload, the estimator profiles and the
+//!   ground-truth cardinality cache, and exposes optimize/execute primitives.
+//! * [`experiments`] — one driver per table/figure of the paper, returning
+//!   plain data structures that the `qob-bench` binaries print.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use qob_core::{BenchmarkContext, EstimatorKind};
+//! use qob_datagen::Scale;
+//! use qob_storage::IndexConfig;
+//!
+//! let ctx = BenchmarkContext::new(Scale::tiny(), IndexConfig::PrimaryKeyOnly).unwrap();
+//! let query = ctx.query("13d").expect("JOB query 13d exists");
+//! let estimates = ctx.estimator(EstimatorKind::Postgres);
+//! let plan = ctx.optimize(&query, estimates.as_ref(), Default::default()).unwrap();
+//! let result = ctx.execute(&query, &plan.plan, estimates.as_ref(), &Default::default()).unwrap();
+//! println!("query 13d returned {} rows in {:?}", result.rows, result.elapsed);
+//! ```
+
+pub mod context;
+pub mod experiments;
+pub mod metrics;
+
+pub use context::{BenchmarkContext, EstimatorKind};
+pub use metrics::{geometric_mean, SlowdownBucket, SlowdownDistribution};

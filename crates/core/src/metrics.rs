@@ -1,0 +1,182 @@
+//! Experiment metrics: slowdown buckets and geometric means.
+
+/// The slowdown buckets the paper uses in Section 4.1 and Figures 6/7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SlowdownBucket {
+    /// Faster than the reference plan (slowdown < 0.9).
+    Faster,
+    /// Within ±10% of the reference ([0.9, 1.1)).
+    Equal,
+    /// Up to 2× slower ([1.1, 2)).
+    UpTo2,
+    /// 2–10× slower ([2, 10)).
+    UpTo10,
+    /// 10–100× slower ([10, 100)).
+    UpTo100,
+    /// More than 100× slower (including timeouts).
+    Over100,
+}
+
+impl SlowdownBucket {
+    /// Classifies a slowdown factor.
+    pub fn classify(slowdown: f64) -> SlowdownBucket {
+        if slowdown < 0.9 {
+            SlowdownBucket::Faster
+        } else if slowdown < 1.1 {
+            SlowdownBucket::Equal
+        } else if slowdown < 2.0 {
+            SlowdownBucket::UpTo2
+        } else if slowdown < 10.0 {
+            SlowdownBucket::UpTo10
+        } else if slowdown < 100.0 {
+            SlowdownBucket::UpTo100
+        } else {
+            SlowdownBucket::Over100
+        }
+    }
+
+    /// All buckets in reporting order.
+    pub fn all() -> [SlowdownBucket; 6] {
+        [
+            SlowdownBucket::Faster,
+            SlowdownBucket::Equal,
+            SlowdownBucket::UpTo2,
+            SlowdownBucket::UpTo10,
+            SlowdownBucket::UpTo100,
+            SlowdownBucket::Over100,
+        ]
+    }
+
+    /// The paper's column header for the bucket.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SlowdownBucket::Faster => "<0.9",
+            SlowdownBucket::Equal => "[0.9,1.1)",
+            SlowdownBucket::UpTo2 => "[1.1,2)",
+            SlowdownBucket::UpTo10 => "[2,10)",
+            SlowdownBucket::UpTo100 => "[10,100)",
+            SlowdownBucket::Over100 => ">100",
+        }
+    }
+}
+
+/// A distribution of slowdown factors over a workload.
+#[derive(Debug, Clone, Default)]
+pub struct SlowdownDistribution {
+    values: Vec<f64>,
+}
+
+impl SlowdownDistribution {
+    /// Creates an empty distribution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one query's slowdown factor.
+    pub fn push(&mut self, slowdown: f64) {
+        self.values.push(slowdown);
+    }
+
+    /// Number of recorded queries.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The raw slowdown factors.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The fraction of queries falling into `bucket`.
+    pub fn fraction(&self, bucket: SlowdownBucket) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let count = self.values.iter().filter(|v| SlowdownBucket::classify(**v) == bucket).count();
+        count as f64 / self.values.len() as f64
+    }
+
+    /// `(bucket, fraction)` pairs in reporting order.
+    pub fn histogram(&self) -> Vec<(SlowdownBucket, f64)> {
+        SlowdownBucket::all().into_iter().map(|b| (b, self.fraction(b))).collect()
+    }
+
+    /// Fraction of queries slower than `threshold`.
+    pub fn fraction_slower_than(&self, threshold: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().filter(|v| **v > threshold).count() as f64 / self.values.len() as f64
+    }
+
+    /// Geometric mean of the slowdowns.
+    pub fn geometric_mean(&self) -> f64 {
+        geometric_mean(&self.values)
+    }
+}
+
+/// Geometric mean of a set of positive values (1.0 for an empty set).
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_classification_boundaries() {
+        assert_eq!(SlowdownBucket::classify(0.5), SlowdownBucket::Faster);
+        assert_eq!(SlowdownBucket::classify(0.95), SlowdownBucket::Equal);
+        assert_eq!(SlowdownBucket::classify(1.0), SlowdownBucket::Equal);
+        assert_eq!(SlowdownBucket::classify(1.5), SlowdownBucket::UpTo2);
+        assert_eq!(SlowdownBucket::classify(2.0), SlowdownBucket::UpTo10);
+        assert_eq!(SlowdownBucket::classify(50.0), SlowdownBucket::UpTo100);
+        assert_eq!(SlowdownBucket::classify(1e6), SlowdownBucket::Over100);
+        assert_eq!(SlowdownBucket::all().len(), 6);
+        assert_eq!(SlowdownBucket::Over100.label(), ">100");
+    }
+
+    #[test]
+    fn distribution_fractions_sum_to_one() {
+        let mut d = SlowdownDistribution::new();
+        for v in [0.5, 1.0, 1.0, 1.5, 3.0, 20.0, 500.0, 1.05] {
+            d.push(v);
+        }
+        assert_eq!(d.len(), 8);
+        assert!(!d.is_empty());
+        let total: f64 = d.histogram().iter().map(|(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!((d.fraction(SlowdownBucket::Equal) - 3.0 / 8.0).abs() < 1e-9);
+        assert!((d.fraction_slower_than(2.0) - 3.0 / 8.0).abs() < 1e-9);
+        assert_eq!(d.values().len(), 8);
+    }
+
+    #[test]
+    fn empty_distribution() {
+        let d = SlowdownDistribution::new();
+        assert!(d.is_empty());
+        assert_eq!(d.fraction(SlowdownBucket::Equal), 0.0);
+        assert_eq!(d.fraction_slower_than(2.0), 0.0);
+        assert_eq!(d.geometric_mean(), 1.0);
+    }
+
+    #[test]
+    fn geometric_mean_properties() {
+        assert_eq!(geometric_mean(&[]), 1.0);
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert!((geometric_mean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-9);
+        // The geometric mean is dominated less by outliers than the arithmetic mean.
+        let values = [1.0, 1.0, 1.0, 1000.0];
+        assert!(geometric_mean(&values) < 10.0);
+    }
+}

@@ -1,0 +1,386 @@
+//! Dimension and entity table generators (everything that is not a bridge /
+//! fact table).
+
+use qob_storage::{ColumnMeta, DataType, Table, TableBuilder, Value};
+
+use super::vocab;
+use super::{CompanyProfile, MovieProfile, PersonProfile};
+use crate::rng::{chance, stream_rng, weighted_choice};
+use crate::scale::Scale;
+use rand::Rng;
+
+fn dim_table(name: &str, value_column: &str, values: &[&str]) -> Table {
+    let mut b = TableBuilder::new(
+        name,
+        vec![ColumnMeta::new("id", DataType::Int), ColumnMeta::new(value_column, DataType::Str)],
+    );
+    for (i, v) in values.iter().enumerate() {
+        b.push_row(vec![Value::Int(i as i64 + 1), Value::Str((*v).to_owned())])
+            .expect("dimension row");
+    }
+    b.finish()
+}
+
+/// `kind_type(id, kind)`.
+pub fn kind_type_table() -> Table {
+    let kinds: Vec<&str> = vocab::MOVIE_KINDS.iter().map(|(k, _)| *k).collect();
+    dim_table("kind_type", "kind", &kinds)
+}
+
+/// `info_type(id, info)`.
+pub fn info_type_table() -> Table {
+    dim_table("info_type", "info", vocab::INFO_TYPES)
+}
+
+/// `company_type(id, kind)`.
+pub fn company_type_table() -> Table {
+    dim_table("company_type", "kind", vocab::COMPANY_TYPES)
+}
+
+/// `role_type(id, role)`.
+pub fn role_type_table() -> Table {
+    dim_table("role_type", "role", vocab::ROLE_TYPES)
+}
+
+/// `link_type(id, link)`.
+pub fn link_type_table() -> Table {
+    dim_table("link_type", "link", vocab::LINK_TYPES)
+}
+
+/// `comp_cast_type(id, kind)`.
+pub fn comp_cast_type_table() -> Table {
+    dim_table("comp_cast_type", "kind", vocab::COMP_CAST_TYPES)
+}
+
+/// Returns the 1-based `info_type.id` for a given info name.
+pub fn info_type_id(info: &str) -> i64 {
+    vocab::INFO_TYPES
+        .iter()
+        .position(|i| *i == info)
+        .map(|p| p as i64 + 1)
+        .expect("known info type")
+}
+
+/// `title(id, title, kind_id, production_year, episode_of_id, season_nr, imdb_index)`.
+pub fn title_table(scale: &Scale, movies: &[MovieProfile]) -> Table {
+    let mut rng = stream_rng(scale.seed, "title");
+    let mut b = TableBuilder::new(
+        "title",
+        vec![
+            ColumnMeta::new("id", DataType::Int),
+            ColumnMeta::new("title", DataType::Str),
+            ColumnMeta::new("kind_id", DataType::Int),
+            ColumnMeta::new("production_year", DataType::Int),
+            ColumnMeta::new("episode_of_id", DataType::Int),
+            ColumnMeta::new("season_nr", DataType::Int),
+            ColumnMeta::new("imdb_index", DataType::Str),
+        ],
+    );
+    for (i, m) in movies.iter().enumerate() {
+        let id = i as i64 + 1;
+        let w1 = vocab::TITLE_WORDS[rng.gen_range(0..vocab::TITLE_WORDS.len())];
+        let w2 = vocab::TITLE_NOUNS[rng.gen_range(0..vocab::TITLE_NOUNS.len())];
+        // A fraction of popular movies are sequels whose titles carry a number.
+        let title = if m.popularity > 0.6 && chance(&mut rng, 0.25) {
+            format!("The {w1} {w2} {}", rng.gen_range(2..4))
+        } else if chance(&mut rng, 0.5) {
+            format!("The {w1} {w2}")
+        } else {
+            format!("{w1} {w2}")
+        };
+        let is_episode = vocab::MOVIE_KINDS[m.kind].0 == "episode";
+        let episode_of = if is_episode && i > 0 {
+            Value::Int(rng.gen_range(1..=i as i64))
+        } else {
+            Value::Null
+        };
+        let season = if is_episode { Value::Int(rng.gen_range(1..15)) } else { Value::Null };
+        let imdb_index = if chance(&mut rng, 0.04) {
+            Value::Str(["I", "II", "III", "IV"][rng.gen_range(0..4)].to_owned())
+        } else {
+            Value::Null
+        };
+        b.push_row(vec![
+            Value::Int(id),
+            Value::Str(title),
+            Value::Int(m.kind as i64 + 1),
+            m.year.map(Value::Int).unwrap_or(Value::Null),
+            episode_of,
+            season,
+            imdb_index,
+        ])
+        .expect("title row");
+    }
+    b.finish()
+}
+
+/// `name(id, name, gender, imdb_index, name_pcode_cf)`.
+pub fn name_table(scale: &Scale, people: &[PersonProfile]) -> Table {
+    let mut rng = stream_rng(scale.seed, "name");
+    let mut b = TableBuilder::new(
+        "name",
+        vec![
+            ColumnMeta::new("id", DataType::Int),
+            ColumnMeta::new("name", DataType::Str),
+            ColumnMeta::new("gender", DataType::Str),
+            ColumnMeta::new("imdb_index", DataType::Str),
+            ColumnMeta::new("name_pcode_cf", DataType::Str),
+        ],
+    );
+    for (i, p) in people.iter().enumerate() {
+        let first = vocab::FIRST_NAMES[rng.gen_range(0..vocab::FIRST_NAMES.len())];
+        let last = vocab::LAST_NAMES[rng.gen_range(0..vocab::LAST_NAMES.len())];
+        let name = format!("{last}, {first}");
+        let pcode = format!("{}{}", &last[..1], last.len() % 10);
+        b.push_row(vec![
+            Value::Int(i as i64 + 1),
+            Value::Str(name),
+            p.gender.map(|g| Value::Str(g.to_owned())).unwrap_or(Value::Null),
+            if chance(&mut rng, 0.06) {
+                Value::Str(["I", "II", "Jr."][rng.gen_range(0..3)].to_owned())
+            } else {
+                Value::Null
+            },
+            Value::Str(pcode),
+        ])
+        .expect("name row");
+    }
+    b.finish()
+}
+
+/// `char_name(id, name)`.
+pub fn char_name_table(scale: &Scale) -> Table {
+    let mut rng = stream_rng(scale.seed, "char_name");
+    let mut b = TableBuilder::new(
+        "char_name",
+        vec![ColumnMeta::new("id", DataType::Int), ColumnMeta::new("name", DataType::Str)],
+    );
+    for i in 0..scale.characters() {
+        let first = vocab::FIRST_NAMES[rng.gen_range(0..vocab::FIRST_NAMES.len())];
+        let role = ["Detective", "Doctor", "Captain", "Agent", "Professor", "Queen", "King", ""]
+            [rng.gen_range(0..8)];
+        let name = if role.is_empty() { first.to_owned() } else { format!("{role} {first}") };
+        b.push_row(vec![Value::Int(i as i64 + 1), Value::Str(name)]).expect("char_name row");
+    }
+    b.finish()
+}
+
+/// `company_name(id, name, country_code)`.
+pub fn company_name_table(scale: &Scale, companies: &[CompanyProfile]) -> Table {
+    let mut rng = stream_rng(scale.seed, "company_name");
+    let mut b = TableBuilder::new(
+        "company_name",
+        vec![
+            ColumnMeta::new("id", DataType::Int),
+            ColumnMeta::new("name", DataType::Str),
+            ColumnMeta::new("country_code", DataType::Str),
+        ],
+    );
+    let suffix_weights: Vec<u32> = vocab::COMPANY_SUFFIXES.iter().map(|(_, w)| *w).collect();
+    for (i, c) in companies.iter().enumerate() {
+        let core = vocab::COMPANY_CORES[rng.gen_range(0..vocab::COMPANY_CORES.len())];
+        let suffix = vocab::COMPANY_SUFFIXES[weighted_choice(&mut rng, &suffix_weights)].0;
+        let name = format!("{core} {suffix} #{}", i + 1);
+        // ~4% of companies have an unknown country.
+        let country = if chance(&mut rng, 0.04) {
+            Value::Null
+        } else {
+            Value::Str(vocab::REGIONS[c.region].0.to_owned())
+        };
+        b.push_row(vec![Value::Int(i as i64 + 1), Value::Str(name), country])
+            .expect("company_name row");
+    }
+    b.finish()
+}
+
+/// `keyword(id, keyword, phonetic_code)`.
+pub fn keyword_table(scale: &Scale) -> Table {
+    let mut rng = stream_rng(scale.seed, "keyword");
+    let mut b = TableBuilder::new(
+        "keyword",
+        vec![
+            ColumnMeta::new("id", DataType::Int),
+            ColumnMeta::new("keyword", DataType::Str),
+            ColumnMeta::new("phonetic_code", DataType::Str),
+        ],
+    );
+    let total = scale.keywords().max(vocab::SPECIAL_KEYWORDS.len());
+    for i in 0..total {
+        let kw = if i < vocab::SPECIAL_KEYWORDS.len() {
+            vocab::SPECIAL_KEYWORDS[i].0.to_owned()
+        } else {
+            let a = vocab::TITLE_WORDS[rng.gen_range(0..vocab::TITLE_WORDS.len())].to_lowercase();
+            let b = vocab::TITLE_NOUNS[rng.gen_range(0..vocab::TITLE_NOUNS.len())].to_lowercase();
+            format!("{a}-{b}")
+        };
+        let pcode = format!("{}{}", &kw[..1].to_uppercase(), kw.len() % 10);
+        b.push_row(vec![Value::Int(i as i64 + 1), Value::Str(kw), Value::Str(pcode)])
+            .expect("keyword row");
+    }
+    b.finish()
+}
+
+/// `aka_name(id, person_id, name)`.
+pub fn aka_name_table(scale: &Scale, people: &[PersonProfile]) -> Table {
+    let mut rng = stream_rng(scale.seed, "aka_name");
+    let mut b = TableBuilder::new(
+        "aka_name",
+        vec![
+            ColumnMeta::new("id", DataType::Int),
+            ColumnMeta::new("person_id", DataType::Int),
+            ColumnMeta::new("name", DataType::Str),
+        ],
+    );
+    let mut id = 1i64;
+    for (i, _p) in people.iter().enumerate() {
+        if chance(&mut rng, 0.2) {
+            let n = if chance(&mut rng, 0.85) { 1 } else { 2 };
+            for _ in 0..n {
+                let first = vocab::FIRST_NAMES[rng.gen_range(0..vocab::FIRST_NAMES.len())];
+                let last = vocab::LAST_NAMES[rng.gen_range(0..vocab::LAST_NAMES.len())];
+                b.push_row(vec![
+                    Value::Int(id),
+                    Value::Int(i as i64 + 1),
+                    Value::Str(format!("{first} {last}")),
+                ])
+                .expect("aka_name row");
+                id += 1;
+            }
+        }
+    }
+    b.finish()
+}
+
+/// `aka_title(id, movie_id, title, kind_id)`.
+pub fn aka_title_table(scale: &Scale, movies: &[MovieProfile]) -> Table {
+    let mut rng = stream_rng(scale.seed, "aka_title");
+    let mut b = TableBuilder::new(
+        "aka_title",
+        vec![
+            ColumnMeta::new("id", DataType::Int),
+            ColumnMeta::new("movie_id", DataType::Int),
+            ColumnMeta::new("title", DataType::Str),
+            ColumnMeta::new("kind_id", DataType::Int),
+        ],
+    );
+    let mut id = 1i64;
+    for (i, m) in movies.iter().enumerate() {
+        // International titles are more common for popular, non-US movies.
+        let p = 0.08 + 0.15 * m.popularity + if m.region != 0 { 0.1 } else { 0.0 };
+        if chance(&mut rng, p) {
+            let w1 = vocab::TITLE_WORDS[rng.gen_range(0..vocab::TITLE_WORDS.len())];
+            let w2 = vocab::TITLE_NOUNS[rng.gen_range(0..vocab::TITLE_NOUNS.len())];
+            b.push_row(vec![
+                Value::Int(id),
+                Value::Int(i as i64 + 1),
+                Value::Str(format!("{w1} {w2} (aka)")),
+                Value::Int(m.kind as i64 + 1),
+            ])
+            .expect("aka_title row");
+            id += 1;
+        }
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::imdb::Profiles;
+
+    #[test]
+    fn dimension_tables_have_expected_contents() {
+        assert_eq!(kind_type_table().row_count(), vocab::MOVIE_KINDS.len());
+        assert_eq!(info_type_table().row_count(), vocab::INFO_TYPES.len());
+        assert_eq!(company_type_table().row_count(), 4);
+        assert_eq!(role_type_table().row_count(), 12);
+        assert_eq!(link_type_table().row_count(), vocab::LINK_TYPES.len());
+        assert_eq!(comp_cast_type_table().row_count(), 4);
+        let it = info_type_table();
+        let rating_id = info_type_id("rating");
+        assert_eq!(it.value((rating_id - 1) as u32, qob_storage::ColumnId(1)), Value::Str("rating".into()));
+    }
+
+    #[test]
+    fn title_table_matches_profiles() {
+        let scale = Scale::tiny();
+        let profiles = Profiles::generate(&scale);
+        let t = title_table(&scale, &profiles.movies);
+        assert_eq!(t.row_count(), scale.movies);
+        let kind_col = t.column_id("kind_id").unwrap();
+        let year_col = t.column_id("production_year").unwrap();
+        for (i, m) in profiles.movies.iter().enumerate() {
+            assert_eq!(t.value(i as u32, kind_col), Value::Int(m.kind as i64 + 1));
+            match m.year {
+                Some(y) => assert_eq!(t.value(i as u32, year_col), Value::Int(y)),
+                None => assert_eq!(t.value(i as u32, year_col), Value::Null),
+            }
+        }
+    }
+
+    #[test]
+    fn company_names_carry_region_country_codes() {
+        let scale = Scale::tiny();
+        let profiles = Profiles::generate(&scale);
+        let t = company_name_table(&scale, &profiles.companies);
+        assert_eq!(t.row_count(), scale.companies());
+        let cc = t.column_id("country_code").unwrap();
+        let mut us = 0;
+        for r in t.row_ids() {
+            if t.value(r, cc) == Value::Str("[us]".into()) {
+                us += 1;
+            }
+        }
+        assert!(us > 0, "some companies must be US companies");
+    }
+
+    #[test]
+    fn keyword_table_contains_special_keywords() {
+        let t = keyword_table(&Scale::tiny());
+        let col = t.column_id("keyword").unwrap();
+        let all: Vec<String> = t
+            .row_ids()
+            .filter_map(|r| t.value(r, col).as_str().map(|s| s.to_owned()))
+            .collect();
+        assert!(all.iter().any(|k| k == "sequel"));
+        assert!(all.iter().any(|k| k == "murder"));
+        assert!(t.row_count() >= vocab::SPECIAL_KEYWORDS.len());
+    }
+
+    #[test]
+    fn aka_tables_reference_valid_parents() {
+        let scale = Scale::tiny();
+        let profiles = Profiles::generate(&scale);
+        let an = aka_name_table(&scale, &profiles.people);
+        let pid = an.column_id("person_id").unwrap();
+        for r in an.row_ids() {
+            let v = an.value(r, pid).as_int().unwrap();
+            assert!(v >= 1 && v <= profiles.people.len() as i64);
+        }
+        let at = aka_title_table(&scale, &profiles.movies);
+        let mid = at.column_id("movie_id").unwrap();
+        for r in at.row_ids() {
+            let v = at.value(r, mid).as_int().unwrap();
+            assert!(v >= 1 && v <= profiles.movies.len() as i64);
+        }
+    }
+
+    #[test]
+    fn name_table_gender_distribution() {
+        let scale = Scale::small();
+        let profiles = Profiles::generate(&scale);
+        let t = name_table(&scale, &profiles.people);
+        let g = t.column_id("gender").unwrap();
+        let mut m = 0;
+        let mut f = 0;
+        for r in t.row_ids() {
+            match t.value(r, g) {
+                Value::Str(s) if s == "m" => m += 1,
+                Value::Str(s) if s == "f" => f += 1,
+                _ => {}
+            }
+        }
+        assert!(m > f, "male-coded rows should dominate as in IMDB");
+        assert!(f > 0);
+    }
+}

@@ -1,0 +1,632 @@
+//! Bridge / fact table generators.
+//!
+//! These tables carry the skewed fan-outs and join-crossing correlations:
+//! the number of cast, info and keyword rows per movie follows the movie's
+//! latent popularity, companies are drawn from the movie's region, and
+//! keyword choice follows the movie's genre.
+
+use rand::Rng;
+
+use qob_storage::{ColumnMeta, DataType, Table, TableBuilder, Value};
+
+use super::core_tables::info_type_id;
+use super::vocab;
+use super::{MovieProfile, PersonProfile, Profiles};
+use crate::rng::{chance, skewed_count, stream_rng, weighted_choice, Zipf};
+use crate::scale::Scale;
+
+/// Groups item indices by region so fact generators can sample
+/// region-correlated foreign keys.
+fn by_region(regions: impl Iterator<Item = usize>) -> Vec<Vec<usize>> {
+    let mut groups = vec![Vec::new(); vocab::REGIONS.len()];
+    for (i, r) in regions.enumerate() {
+        groups[r].push(i);
+    }
+    groups
+}
+
+/// Samples an element of `group` (preferred) or `0..fallback_len` when the
+/// group is empty, with zipf skew so a few members dominate.
+fn sample_member(
+    rng: &mut impl Rng,
+    group: &[usize],
+    fallback_len: usize,
+    zipf: &Zipf,
+) -> usize {
+    if group.is_empty() {
+        return zipf.sample(rng).min(fallback_len.saturating_sub(1));
+    }
+    let rank = zipf.sample(rng) % group.len();
+    group[rank]
+}
+
+/// `movie_companies(id, movie_id, company_id, company_type_id, note)`.
+pub fn movie_companies_table(scale: &Scale, profiles: &Profiles) -> Table {
+    let mut rng = stream_rng(scale.seed, "movie_companies");
+    let mut b = TableBuilder::new(
+        "movie_companies",
+        vec![
+            ColumnMeta::new("id", DataType::Int),
+            ColumnMeta::new("movie_id", DataType::Int),
+            ColumnMeta::new("company_id", DataType::Int),
+            ColumnMeta::new("company_type_id", DataType::Int),
+            ColumnMeta::new("note", DataType::Str),
+        ],
+    );
+    let companies_by_region = by_region(profiles.companies.iter().map(|c| c.region));
+    let company_zipf = Zipf::new(profiles.companies.len().max(1), 1.05);
+    let note_weights: Vec<u32> = vocab::COMPANY_NOTES.iter().map(|(_, w)| *w).collect();
+    let mut id = 1i64;
+    for (mi, m) in profiles.movies.iter().enumerate() {
+        let count = 1 + skewed_count(&mut rng, scale.avg_companies_per_movie() - 1.0, 12);
+        for _ in 0..count {
+            // Join-crossing correlation: companies usually share the movie's region.
+            let company = if chance(&mut rng, 0.78) {
+                sample_member(
+                    &mut rng,
+                    &companies_by_region[m.region],
+                    profiles.companies.len(),
+                    &company_zipf,
+                )
+            } else {
+                company_zipf.sample(&mut rng)
+            };
+            let preferred = profiles.companies[company].preferred_type;
+            let ctype = if chance(&mut rng, 0.7) {
+                preferred
+            } else {
+                weighted_choice(&mut rng, &[30, 52, 6, 12])
+            };
+            let note = if chance(&mut rng, 0.38) {
+                Value::Str(vocab::COMPANY_NOTES[weighted_choice(&mut rng, &note_weights)].0.to_owned())
+            } else {
+                Value::Null
+            };
+            b.push_row(vec![
+                Value::Int(id),
+                Value::Int(mi as i64 + 1),
+                Value::Int(company as i64 + 1),
+                Value::Int(ctype as i64 + 1),
+                note,
+            ])
+            .expect("movie_companies row");
+            id += 1;
+        }
+    }
+    b.finish()
+}
+
+/// `movie_info(id, movie_id, info_type_id, info, note)`.
+pub fn movie_info_table(scale: &Scale, movies: &[MovieProfile]) -> Table {
+    let mut rng = stream_rng(scale.seed, "movie_info");
+    let mut b = TableBuilder::new(
+        "movie_info",
+        vec![
+            ColumnMeta::new("id", DataType::Int),
+            ColumnMeta::new("movie_id", DataType::Int),
+            ColumnMeta::new("info_type_id", DataType::Int),
+            ColumnMeta::new("info", DataType::Str),
+            ColumnMeta::new("note", DataType::Str),
+        ],
+    );
+    let genres_id = info_type_id("genres");
+    let languages_id = info_type_id("languages");
+    let countries_id = info_type_id("countries");
+    let runtimes_id = info_type_id("runtimes");
+    let release_id = info_type_id("release dates");
+    let budget_id = info_type_id("budget");
+    let genre_weights: Vec<u32> = vocab::GENRES.iter().map(|(_, w)| *w).collect();
+    let mut id = 1i64;
+    let mut push = |b: &mut TableBuilder, mid: usize, ti: i64, info: String, note: Value| {
+        b.push_row(vec![Value::Int(id), Value::Int(mid as i64 + 1), Value::Int(ti), Value::Str(info), note])
+            .expect("movie_info row");
+        id += 1;
+    };
+    for (mi, m) in movies.iter().enumerate() {
+        let region = vocab::REGIONS[m.region];
+        // Primary genre always present; a second genre sometimes.
+        push(&mut b, mi, genres_id, vocab::GENRES[m.genre].0.to_owned(), Value::Null);
+        if chance(&mut rng, 0.45) {
+            let second = weighted_choice(&mut rng, &genre_weights);
+            if second != m.genre {
+                push(&mut b, mi, genres_id, vocab::GENRES[second].0.to_owned(), Value::Null);
+            }
+        }
+        // Language and country follow the region (join-crossing correlation with
+        // company_name.country_code).
+        push(&mut b, mi, languages_id, region.1.to_owned(), Value::Null);
+        push(&mut b, mi, countries_id, region.2.to_owned(), Value::Null);
+        // Runtime.
+        let runtime = match vocab::MOVIE_KINDS[m.kind].0 {
+            "episode" => rng.gen_range(20..65),
+            "tv series" | "tv mini series" => rng.gen_range(30..70),
+            _ => rng.gen_range(70..185),
+        };
+        push(&mut b, mi, runtimes_id, runtime.to_string(), Value::Null);
+        // Release date present for most movies; more often for recent ones.
+        let recent = m.year.map(|y| y >= 1990).unwrap_or(false);
+        if chance(&mut rng, if recent { 0.92 } else { 0.72 }) {
+            if let Some(year) = m.year {
+                let month = rng.gen_range(1..13);
+                push(
+                    &mut b,
+                    mi,
+                    release_id,
+                    format!("{}:{:02} {}", region.2, month, year),
+                    Value::Null,
+                );
+            }
+        }
+        // Budget info correlates with popularity and US region.
+        let budget_p = 0.08 + 0.35 * m.popularity + if m.region == 0 { 0.15 } else { 0.0 };
+        if chance(&mut rng, budget_p) {
+            let millions = (1.0 + 200.0 * m.popularity * rng.gen::<f64>()) as i64;
+            push(&mut b, mi, budget_id, format!("${millions},000,000"), Value::Null);
+        }
+    }
+    b.finish()
+}
+
+/// `movie_info_idx(id, movie_id, info_type_id, info)`.
+pub fn movie_info_idx_table(scale: &Scale, movies: &[MovieProfile]) -> Table {
+    let mut rng = stream_rng(scale.seed, "movie_info_idx");
+    let mut b = TableBuilder::new(
+        "movie_info_idx",
+        vec![
+            ColumnMeta::new("id", DataType::Int),
+            ColumnMeta::new("movie_id", DataType::Int),
+            ColumnMeta::new("info_type_id", DataType::Int),
+            ColumnMeta::new("info", DataType::Str),
+        ],
+    );
+    let rating_id = info_type_id("rating");
+    let votes_id = info_type_id("votes");
+    let top250_id = info_type_id("top 250 rank");
+    let bottom10_id = info_type_id("bottom 10 rank");
+    let mut id = 1i64;
+    let mut push = |b: &mut TableBuilder, mid: usize, ti: i64, info: String| {
+        b.push_row(vec![Value::Int(id), Value::Int(mid as i64 + 1), Value::Int(ti), Value::Str(info)])
+            .expect("movie_info_idx row");
+        id += 1;
+    };
+    for (mi, m) in movies.iter().enumerate() {
+        if !m.has_rating {
+            continue;
+        }
+        push(&mut b, mi, rating_id, format!("{}.{}", m.rating_x10 / 10, m.rating_x10 % 10));
+        push(&mut b, mi, votes_id, m.votes.to_string());
+        if m.popularity > 0.8 && m.rating_x10 >= 75 && chance(&mut rng, 0.5) {
+            push(&mut b, mi, top250_id, rng.gen_range(1..251).to_string());
+        }
+        if m.rating_x10 <= 25 && chance(&mut rng, 0.25) {
+            push(&mut b, mi, bottom10_id, rng.gen_range(1..11).to_string());
+        }
+    }
+    b.finish()
+}
+
+/// `movie_keyword(id, movie_id, keyword_id)`.
+pub fn movie_keyword_table(scale: &Scale, movies: &[MovieProfile]) -> Table {
+    let mut rng = stream_rng(scale.seed, "movie_keyword");
+    let mut b = TableBuilder::new(
+        "movie_keyword",
+        vec![
+            ColumnMeta::new("id", DataType::Int),
+            ColumnMeta::new("movie_id", DataType::Int),
+            ColumnMeta::new("keyword_id", DataType::Int),
+        ],
+    );
+    let total_keywords = scale.keywords().max(vocab::SPECIAL_KEYWORDS.len());
+    let keyword_zipf = Zipf::new(total_keywords, 0.9);
+    let mut id = 1i64;
+    for (mi, m) in movies.iter().enumerate() {
+        let count = skewed_count(&mut rng, scale.avg_keywords_per_movie() * (0.5 + m.popularity), 40);
+        let mut used = std::collections::HashSet::new();
+        for _ in 0..count {
+            // Genre-affine special keywords are strongly preferred when they match.
+            let kw = if chance(&mut rng, 0.45) {
+                let (idx, affinity) = {
+                    let i = rng.gen_range(0..vocab::SPECIAL_KEYWORDS.len());
+                    (i, vocab::SPECIAL_KEYWORDS[i].1)
+                };
+                let matches_genre = affinity == usize::MAX || affinity == m.genre;
+                let is_sequel_like = vocab::SPECIAL_KEYWORDS[idx].0.contains("sequel")
+                    || vocab::SPECIAL_KEYWORDS[idx].0 == "second-part";
+                let keep = if is_sequel_like {
+                    m.popularity > 0.55 && chance(&mut rng, 0.8)
+                } else if matches_genre {
+                    chance(&mut rng, 0.85)
+                } else {
+                    chance(&mut rng, 0.1)
+                };
+                if keep {
+                    idx
+                } else {
+                    keyword_zipf.sample(&mut rng)
+                }
+            } else {
+                keyword_zipf.sample(&mut rng)
+            };
+            if used.insert(kw) {
+                b.push_row(vec![Value::Int(id), Value::Int(mi as i64 + 1), Value::Int(kw as i64 + 1)])
+                    .expect("movie_keyword row");
+                id += 1;
+            }
+        }
+    }
+    b.finish()
+}
+
+/// `cast_info(id, person_id, movie_id, person_role_id, note, nr_order, role_id)`.
+pub fn cast_info_table(scale: &Scale, profiles: &Profiles) -> Table {
+    let mut rng = stream_rng(scale.seed, "cast_info");
+    let mut b = TableBuilder::new(
+        "cast_info",
+        vec![
+            ColumnMeta::new("id", DataType::Int),
+            ColumnMeta::new("person_id", DataType::Int),
+            ColumnMeta::new("movie_id", DataType::Int),
+            ColumnMeta::new("person_role_id", DataType::Int),
+            ColumnMeta::new("note", DataType::Str),
+            ColumnMeta::new("nr_order", DataType::Int),
+            ColumnMeta::new("role_id", DataType::Int),
+        ],
+    );
+    let people_by_region = by_region(profiles.people.iter().map(|p| p.region));
+    let person_zipf = Zipf::new(profiles.people.len().max(1), 0.85);
+    let char_count = scale.characters().max(1);
+    let note_weights: Vec<u32> = vocab::CAST_NOTES.iter().map(|(_, w)| *w).collect();
+    let actor_role = vocab::ROLE_TYPES.iter().position(|r| *r == "actor").unwrap() as i64 + 1;
+    let actress_role = vocab::ROLE_TYPES.iter().position(|r| *r == "actress").unwrap() as i64 + 1;
+    let director_role = vocab::ROLE_TYPES.iter().position(|r| *r == "director").unwrap() as i64 + 1;
+    let writer_role = vocab::ROLE_TYPES.iter().position(|r| *r == "writer").unwrap() as i64 + 1;
+    let producer_role = vocab::ROLE_TYPES.iter().position(|r| *r == "producer").unwrap() as i64 + 1;
+    let mut id = 1i64;
+    for (mi, m) in profiles.movies.iter().enumerate() {
+        // Fan-out skew: popular movies have much larger casts.
+        let mean = scale.avg_cast_per_movie() * (0.35 + 1.9 * m.popularity);
+        let count = (1 + skewed_count(&mut rng, mean, 90)).min(90);
+        for pos in 0..count {
+            let person = if chance(&mut rng, 0.7) {
+                sample_member(&mut rng, &people_by_region[m.region], profiles.people.len(), &person_zipf)
+            } else {
+                person_zipf.sample(&mut rng)
+            };
+            // First few positions are crew (director/writer/producer), the rest cast.
+            let (role, is_acting) = if pos == 0 && chance(&mut rng, 0.9) {
+                (director_role, false)
+            } else if pos == 1 && chance(&mut rng, 0.7) {
+                (writer_role, false)
+            } else if pos == 2 && chance(&mut rng, 0.6) {
+                (producer_role, false)
+            } else if chance(&mut rng, 0.12) {
+                // Miscellaneous crew.
+                (rng.gen_range(5..=12) as i64, false)
+            } else {
+                let gender = profiles.people[person].gender;
+                if gender == Some("f") {
+                    (actress_role, true)
+                } else {
+                    (actor_role, true)
+                }
+            };
+            let person_role = if is_acting && chance(&mut rng, 0.72) {
+                Value::Int(rng.gen_range(1..=char_count as i64))
+            } else {
+                Value::Null
+            };
+            let note = if chance(&mut rng, 0.22) {
+                Value::Str(vocab::CAST_NOTES[weighted_choice(&mut rng, &note_weights)].0.to_owned())
+            } else {
+                Value::Null
+            };
+            let nr_order = if is_acting { Value::Int(pos as i64 + 1) } else { Value::Null };
+            b.push_row(vec![
+                Value::Int(id),
+                Value::Int(person as i64 + 1),
+                Value::Int(mi as i64 + 1),
+                person_role,
+                note,
+                nr_order,
+                Value::Int(role),
+            ])
+            .expect("cast_info row");
+            id += 1;
+        }
+    }
+    b.finish()
+}
+
+/// `person_info(id, person_id, info_type_id, info, note)`.
+pub fn person_info_table(scale: &Scale, people: &[PersonProfile]) -> Table {
+    let mut rng = stream_rng(scale.seed, "person_info");
+    let mut b = TableBuilder::new(
+        "person_info",
+        vec![
+            ColumnMeta::new("id", DataType::Int),
+            ColumnMeta::new("person_id", DataType::Int),
+            ColumnMeta::new("info_type_id", DataType::Int),
+            ColumnMeta::new("info", DataType::Str),
+            ColumnMeta::new("note", DataType::Str),
+        ],
+    );
+    let birth_id = info_type_id("birth date");
+    let height_id = info_type_id("height");
+    let bio_id = info_type_id("biography");
+    let spouse_id = info_type_id("spouse");
+    let mut id = 1i64;
+    let mut push = |b: &mut TableBuilder, pid: usize, ti: i64, info: String| {
+        b.push_row(vec![
+            Value::Int(id),
+            Value::Int(pid as i64 + 1),
+            Value::Int(ti),
+            Value::Str(info),
+            Value::Null,
+        ])
+        .expect("person_info row");
+        id += 1;
+    };
+    for (pi, p) in people.iter().enumerate() {
+        if chance(&mut rng, 0.65) {
+            let year = rng.gen_range(1920..2000);
+            push(&mut b, pi, birth_id, format!("{} {}", rng.gen_range(1..29), year));
+        }
+        if chance(&mut rng, 0.3) {
+            let cm = if p.gender == Some("f") { rng.gen_range(150..185) } else { rng.gen_range(160..200) };
+            push(&mut b, pi, height_id, format!("{cm} cm"));
+        }
+        if chance(&mut rng, 0.25) {
+            push(&mut b, pi, bio_id, format!("Biography of person {}", pi + 1));
+        }
+        if chance(&mut rng, 0.15) {
+            push(&mut b, pi, spouse_id, format!("Spouse {}", rng.gen_range(1..people.len().max(2))));
+        }
+    }
+    b.finish()
+}
+
+/// `complete_cast(id, movie_id, subject_id, status_id)`.
+pub fn complete_cast_table(scale: &Scale, movies: &[MovieProfile]) -> Table {
+    let mut rng = stream_rng(scale.seed, "complete_cast");
+    let mut b = TableBuilder::new(
+        "complete_cast",
+        vec![
+            ColumnMeta::new("id", DataType::Int),
+            ColumnMeta::new("movie_id", DataType::Int),
+            ColumnMeta::new("subject_id", DataType::Int),
+            ColumnMeta::new("status_id", DataType::Int),
+        ],
+    );
+    let cast_subject = 1i64; // "cast"
+    let crew_subject = 2i64; // "crew"
+    let complete_status = 3i64; // "complete"
+    let verified_status = 4i64; // "complete+verified"
+    let mut id = 1i64;
+    for (mi, m) in movies.iter().enumerate() {
+        // Completeness metadata is more common for popular movies.
+        if chance(&mut rng, 0.18 + 0.3 * m.popularity) {
+            let subject = if chance(&mut rng, 0.7) { cast_subject } else { crew_subject };
+            let status = if chance(&mut rng, 0.6) { complete_status } else { verified_status };
+            b.push_row(vec![Value::Int(id), Value::Int(mi as i64 + 1), Value::Int(subject), Value::Int(status)])
+                .expect("complete_cast row");
+            id += 1;
+        }
+    }
+    b.finish()
+}
+
+/// `movie_link(id, movie_id, linked_movie_id, link_type_id)`.
+pub fn movie_link_table(scale: &Scale, movies: &[MovieProfile]) -> Table {
+    let mut rng = stream_rng(scale.seed, "movie_link");
+    let mut b = TableBuilder::new(
+        "movie_link",
+        vec![
+            ColumnMeta::new("id", DataType::Int),
+            ColumnMeta::new("movie_id", DataType::Int),
+            ColumnMeta::new("linked_movie_id", DataType::Int),
+            ColumnMeta::new("link_type_id", DataType::Int),
+        ],
+    );
+    let n = movies.len();
+    if n < 2 {
+        return b.finish();
+    }
+    // Follow-style links dominate, matching the real link_type distribution.
+    let link_weights: Vec<u32> = vocab::LINK_TYPES
+        .iter()
+        .map(|l| match *l {
+            "follows" | "followed by" => 22,
+            "references" | "referenced in" => 12,
+            "remake of" | "remade as" => 6,
+            _ => 2,
+        })
+        .collect();
+    let mut id = 1i64;
+    for (mi, m) in movies.iter().enumerate() {
+        if chance(&mut rng, 0.05 + 0.22 * m.popularity) {
+            let links = if chance(&mut rng, 0.75) { 1 } else { 2 };
+            for _ in 0..links {
+                let mut other = rng.gen_range(0..n);
+                if other == mi {
+                    other = (other + 1) % n;
+                }
+                let lt = weighted_choice(&mut rng, &link_weights);
+                b.push_row(vec![
+                    Value::Int(id),
+                    Value::Int(mi as i64 + 1),
+                    Value::Int(other as i64 + 1),
+                    Value::Int(lt as i64 + 1),
+                ])
+                .expect("movie_link row");
+                id += 1;
+            }
+        }
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qob_storage::ColumnId;
+
+    fn profiles() -> (Scale, Profiles) {
+        let scale = Scale::tiny();
+        let p = Profiles::generate(&scale);
+        (scale, p)
+    }
+
+    fn fk_values(t: &Table, col: &str) -> Vec<i64> {
+        let c = t.column_id(col).unwrap();
+        t.row_ids().filter_map(|r| t.value(r, c).as_int()).collect()
+    }
+
+    #[test]
+    fn movie_companies_reference_valid_fks_and_have_fanout() {
+        let (scale, p) = profiles();
+        let t = movie_companies_table(&scale, &p);
+        assert!(t.row_count() >= scale.movies, "at least one company row per movie");
+        for v in fk_values(&t, "movie_id") {
+            assert!(v >= 1 && v <= scale.movies as i64);
+        }
+        for v in fk_values(&t, "company_id") {
+            assert!(v >= 1 && v <= p.companies.len() as i64);
+        }
+        for v in fk_values(&t, "company_type_id") {
+            assert!(v >= 1 && v <= 4);
+        }
+    }
+
+    #[test]
+    fn movie_info_contains_expected_info_types() {
+        let (scale, p) = profiles();
+        let t = movie_info_table(&scale, &p.movies);
+        let ti = t.column_id("info_type_id").unwrap();
+        let types: std::collections::HashSet<i64> =
+            t.row_ids().filter_map(|r| t.value(r, ti).as_int()).collect();
+        assert!(types.contains(&info_type_id("genres")));
+        assert!(types.contains(&info_type_id("languages")));
+        assert!(types.contains(&info_type_id("countries")));
+        assert!(types.contains(&info_type_id("runtimes")));
+        // Every movie gets at least genre+language+country+runtime rows.
+        assert!(t.row_count() >= scale.movies * 4);
+    }
+
+    #[test]
+    fn movie_info_idx_only_for_rated_movies() {
+        let (scale, p) = profiles();
+        let t = movie_info_idx_table(&scale, &p.movies);
+        let mid = t.column_id("movie_id").unwrap();
+        let rated: std::collections::HashSet<i64> = p
+            .movies
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.has_rating)
+            .map(|(i, _)| i as i64 + 1)
+            .collect();
+        for r in t.row_ids() {
+            let m = t.value(r, mid).as_int().unwrap();
+            assert!(rated.contains(&m), "movie {m} has info_idx rows but no rating flag");
+        }
+        assert!(t.row_count() >= rated.len() * 2, "rating + votes rows for each rated movie");
+    }
+
+    #[test]
+    fn cast_info_has_popularity_skewed_fanout() {
+        let (scale, p) = profiles();
+        let t = cast_info_table(&scale, &p);
+        let mid = t.column_id("movie_id").unwrap();
+        let mut per_movie = vec![0usize; scale.movies];
+        for r in t.row_ids() {
+            per_movie[(t.value(r, mid).as_int().unwrap() - 1) as usize] += 1;
+        }
+        // Average cast of popular movies exceeds that of unpopular movies.
+        let (mut pop_sum, mut pop_n, mut unpop_sum, mut unpop_n) = (0usize, 0usize, 0usize, 0usize);
+        for (i, m) in p.movies.iter().enumerate() {
+            if m.popularity > 0.5 {
+                pop_sum += per_movie[i];
+                pop_n += 1;
+            } else {
+                unpop_sum += per_movie[i];
+                unpop_n += 1;
+            }
+        }
+        let pop_avg = pop_sum as f64 / pop_n.max(1) as f64;
+        let unpop_avg = unpop_sum as f64 / unpop_n.max(1) as f64;
+        assert!(pop_avg > unpop_avg, "popular movies should have larger casts ({pop_avg:.1} vs {unpop_avg:.1})");
+        // role ids are valid.
+        for v in fk_values(&t, "role_id") {
+            assert!(v >= 1 && v <= vocab::ROLE_TYPES.len() as i64);
+        }
+    }
+
+    #[test]
+    fn actress_roles_go_to_female_coded_people() {
+        let (scale, p) = profiles();
+        let t = cast_info_table(&scale, &p);
+        let pid = t.column_id("person_id").unwrap();
+        let rid = t.column_id("role_id").unwrap();
+        let actress = vocab::ROLE_TYPES.iter().position(|r| *r == "actress").unwrap() as i64 + 1;
+        for r in t.row_ids() {
+            if t.value(r, rid).as_int() == Some(actress) {
+                let person = (t.value(r, pid).as_int().unwrap() - 1) as usize;
+                assert_eq!(p.people[person].gender, Some("f"));
+            }
+        }
+    }
+
+    #[test]
+    fn keyword_bridge_is_deduplicated_per_movie() {
+        let (scale, p) = profiles();
+        let t = movie_keyword_table(&scale, &p.movies);
+        let mid = t.column_id("movie_id").unwrap();
+        let kid = t.column_id("keyword_id").unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for r in t.row_ids() {
+            let pair = (t.value(r, mid).as_int().unwrap(), t.value(r, kid).as_int().unwrap());
+            assert!(seen.insert(pair), "duplicate (movie, keyword) pair {pair:?}");
+        }
+    }
+
+    #[test]
+    fn small_bridge_tables_reference_valid_movies() {
+        let (scale, p) = profiles();
+        for t in [
+            complete_cast_table(&scale, &p.movies),
+            movie_link_table(&scale, &p.movies),
+        ] {
+            for v in fk_values(&t, "movie_id") {
+                assert!(v >= 1 && v <= scale.movies as i64, "table {}", t.name());
+            }
+        }
+        let ml = movie_link_table(&scale, &p.movies);
+        let a = ml.column_id("movie_id").unwrap();
+        let b_ = ml.column_id("linked_movie_id").unwrap();
+        for r in ml.row_ids() {
+            assert_ne!(ml.value(r, a), ml.value(r, b_), "self links are not generated");
+        }
+    }
+
+    #[test]
+    fn person_info_rows_reference_valid_people() {
+        let (scale, p) = profiles();
+        let t = person_info_table(&scale, &p.people);
+        assert!(t.row_count() > 0);
+        for v in fk_values(&t, "person_id") {
+            assert!(v >= 1 && v <= p.people.len() as i64);
+        }
+        let _ = t.value(0, ColumnId(3));
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let (scale, p) = profiles();
+        let a = cast_info_table(&scale, &p);
+        let b = cast_info_table(&scale, &p);
+        assert_eq!(a.row_count(), b.row_count());
+        let col = a.column_id("person_id").unwrap();
+        for r in a.row_ids().take(50) {
+            assert_eq!(a.value(r, col), b.value(r, col));
+        }
+    }
+}

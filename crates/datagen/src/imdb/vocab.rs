@@ -1,0 +1,287 @@
+//! String vocabularies for the synthetic IMDB database.
+//!
+//! The constants below are chosen so that the JOB-style predicates of the
+//! workload crate (`country_code = '[us]'`, `info = 'rating'`,
+//! `keyword LIKE '%sequel%'`, ...) are meaningful on the generated data.
+
+/// `kind_type.kind` values (weights sum to 100).
+pub const MOVIE_KINDS: &[(&str, u32)] = &[
+    ("movie", 42),
+    ("tv series", 14),
+    ("tv movie", 10),
+    ("video movie", 12),
+    ("tv mini series", 4),
+    ("video game", 3),
+    ("episode", 15),
+];
+
+/// `company_type.kind` values.
+pub const COMPANY_TYPES: &[&str] = &[
+    "distributors",
+    "production companies",
+    "special effects companies",
+    "miscellaneous companies",
+];
+
+/// `role_type.role` values.
+pub const ROLE_TYPES: &[&str] = &[
+    "actor",
+    "actress",
+    "producer",
+    "writer",
+    "cinematographer",
+    "composer",
+    "costume designer",
+    "director",
+    "editor",
+    "guest",
+    "miscellaneous crew",
+    "production designer",
+];
+
+/// `link_type.link` values.
+pub const LINK_TYPES: &[&str] = &[
+    "follows",
+    "followed by",
+    "remake of",
+    "remade as",
+    "references",
+    "referenced in",
+    "spoofs",
+    "spoofed in",
+    "features",
+    "featured in",
+    "spin off from",
+    "spin off",
+    "version of",
+    "similar to",
+    "edited into",
+    "edited from",
+    "alternate language version of",
+    "unknown link",
+];
+
+/// `comp_cast_type.kind` values.
+pub const COMP_CAST_TYPES: &[&str] = &["cast", "crew", "complete", "complete+verified"];
+
+/// The `info_type.info` values used for `movie_info` / `movie_info_idx` /
+/// `person_info`.  The first block matches the types JOB queries filter on.
+pub const INFO_TYPES: &[&str] = &[
+    "rating",
+    "votes",
+    "release dates",
+    "genres",
+    "languages",
+    "countries",
+    "budget",
+    "runtimes",
+    "top 250 rank",
+    "bottom 10 rank",
+    "gross",
+    "opening weekend",
+    "production dates",
+    "color info",
+    "sound mix",
+    "certificates",
+    "tech info",
+    "taglines",
+    "plot",
+    "trivia",
+    "goofs",
+    "quotes",
+    "soundtrack",
+    "crazy credits",
+    "alternate versions",
+    "birth date",
+    "death date",
+    "birth notes",
+    "height",
+    "biography",
+    "spouse",
+    "where now",
+];
+
+/// Region profiles: `(country_code, language, country, weight)`.
+///
+/// The weight drives both how many companies belong to the region and how
+/// many movies are (predominantly) produced there — the join-crossing
+/// correlation between `company_name.country_code` and
+/// `movie_info.info` (language/country) that the paper highlights.
+pub const REGIONS: &[(&str, &str, &str, u32)] = &[
+    ("[us]", "English", "USA", 35),
+    ("[gb]", "English", "UK", 11),
+    ("[de]", "German", "Germany", 9),
+    ("[fr]", "French", "France", 8),
+    ("[it]", "Italian", "Italy", 5),
+    ("[jp]", "Japanese", "Japan", 6),
+    ("[in]", "Hindi", "India", 7),
+    ("[ca]", "English", "Canada", 5),
+    ("[se]", "Swedish", "Sweden", 3),
+    ("[ru]", "Russian", "Russia", 4),
+    ("[es]", "Spanish", "Spain", 4),
+    ("[au]", "English", "Australia", 3),
+];
+
+/// Genres with zipf-ish weights; correlated with keywords and ratings.
+pub const GENRES: &[(&str, u32)] = &[
+    ("Drama", 22),
+    ("Comedy", 16),
+    ("Documentary", 11),
+    ("Action", 8),
+    ("Thriller", 7),
+    ("Romance", 6),
+    ("Horror", 6),
+    ("Crime", 5),
+    ("Adventure", 4),
+    ("Sci-Fi", 3),
+    ("Fantasy", 3),
+    ("Mystery", 3),
+    ("Family", 2),
+    ("Animation", 2),
+    ("Biography", 1),
+    ("Western", 1),
+];
+
+/// Keywords that JOB-style predicates search for, plus their genre affinity
+/// (index into [`GENRES`], or `usize::MAX` for "any genre").
+pub const SPECIAL_KEYWORDS: &[(&str, usize)] = &[
+    ("sequel", usize::MAX),
+    ("character-name-in-title", usize::MAX),
+    ("based-on-novel", 0),
+    ("murder", 7),
+    ("blood", 6),
+    ("violence", 3),
+    ("gore", 6),
+    ("love", 5),
+    ("friendship", 1),
+    ("revenge", 4),
+    ("female-nudity", 0),
+    ("superhero", 3),
+    ("marvel-comics", 3),
+    ("based-on-comic", 3),
+    ("martial-arts", 3),
+    ("second-part", usize::MAX),
+    ("hero", 3),
+    ("magnet", 9),
+    ("fight", 3),
+    ("dark-hero", 3),
+];
+
+/// Company name suffixes (some of which the workload matches with LIKE).
+pub const COMPANY_SUFFIXES: &[(&str, u32)] = &[
+    ("Film Works", 12),
+    ("Pictures", 20),
+    ("Productions", 18),
+    ("Entertainment", 14),
+    ("Studios", 12),
+    ("Films", 14),
+    ("Media Group", 6),
+    ("Broadcasting", 4),
+];
+
+/// Company name cores.
+pub const COMPANY_CORES: &[&str] = &[
+    "Warner", "Universal", "Paramount", "Columbia", "Metro", "Castle", "Summit", "Gaumont",
+    "Nordisk", "Toho", "Yash", "Atlas", "Polygram", "Lionsgate", "Vertigo", "Zentropa",
+    "Canal", "Babelsberg", "Cinecitta", "Mosfilm", "Svensk", "Village", "Beacon", "Orion",
+];
+
+/// `movie_companies.note` values (non-null cases).
+pub const COMPANY_NOTES: &[(&str, u32)] = &[
+    ("(co-production)", 22),
+    ("(presents)", 28),
+    ("(in association with)", 20),
+    ("(as Metro-Goldwyn-Mayer Pictures)", 8),
+    ("(production)", 12),
+    ("(USA)", 10),
+];
+
+/// `cast_info.note` values (non-null cases).
+pub const CAST_NOTES: &[(&str, u32)] = &[
+    ("(voice)", 22),
+    ("(uncredited)", 20),
+    ("(archive footage)", 12),
+    ("(voice: English version)", 8),
+    ("(as himself)", 14),
+    ("(producer)", 12),
+    ("(executive producer)", 12),
+];
+
+/// First names used for people; several contain substrings JOB-style LIKE
+/// predicates look for (`%Tim%`, `%An%`, ...).
+pub const FIRST_NAMES: &[&str] = &[
+    "Tim", "Timothy", "Anna", "Anders", "Angela", "Bob", "Robert", "John", "Johanna", "Maria",
+    "Marion", "Pierre", "Hans", "Yuki", "Raj", "Ingrid", "Olga", "Carlos", "Luis", "Emma",
+    "Sven", "Kate", "Katherine", "Michael", "Michelle", "David", "Sophie", "Akira", "Priya",
+    "Walter", "Greta", "Nina", "Oscar", "Paula", "Quentin", "Rosa", "Stefan", "Tom", "Ursula",
+    "Viktor", "Wanda", "Xavier", "Yann", "Zelda",
+];
+
+/// Last names used for people.
+pub const LAST_NAMES: &[&str] = &[
+    "Smith", "Johnson", "Mueller", "Schmidt", "Dubois", "Rossi", "Tanaka", "Suzuki", "Kumar",
+    "Singh", "Andersson", "Ivanov", "Garcia", "Fernandez", "Brown", "Wilson", "Taylor",
+    "Lefebvre", "Moreau", "Weber", "Fischer", "Sato", "Yamamoto", "Patel", "Nilsson", "Petrov",
+    "Lopez", "Martinez", "Clark", "Lewis", "Walker", "Hall", "Young", "King", "Wright",
+];
+
+/// Title words used to assemble movie titles.
+pub const TITLE_WORDS: &[&str] = &[
+    "Shadow", "Night", "Return", "Last", "Dark", "Golden", "Lost", "Silent", "Broken", "Eternal",
+    "Hidden", "Crimson", "Winter", "Summer", "Iron", "Glass", "Paper", "Stone", "River", "Storm",
+    "Dream", "Empire", "Secret", "Forgotten", "Burning", "Frozen", "Distant", "Savage", "Gentle",
+    "Electric",
+];
+
+/// Second title words.
+pub const TITLE_NOUNS: &[&str] = &[
+    "City", "Heart", "Road", "Garden", "House", "Kingdom", "Island", "Forest", "Ocean", "Mountain",
+    "Letter", "Promise", "Journey", "Affair", "Crossing", "Harvest", "Symphony", "Mirror",
+    "Horizon", "Paradox",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_tables_have_positive_weights() {
+        assert!(MOVIE_KINDS.iter().all(|(_, w)| *w > 0));
+        assert!(REGIONS.iter().all(|(_, _, _, w)| *w > 0));
+        assert!(GENRES.iter().all(|(_, w)| *w > 0));
+        assert!(COMPANY_NOTES.iter().all(|(_, w)| *w > 0));
+        assert!(CAST_NOTES.iter().all(|(_, w)| *w > 0));
+        assert!(COMPANY_SUFFIXES.iter().all(|(_, w)| *w > 0));
+    }
+
+    #[test]
+    fn job_predicate_constants_are_present() {
+        assert!(INFO_TYPES.contains(&"rating"));
+        assert!(INFO_TYPES.contains(&"release dates"));
+        assert!(INFO_TYPES.contains(&"genres"));
+        assert!(COMPANY_TYPES.contains(&"production companies"));
+        assert!(MOVIE_KINDS.iter().any(|(k, _)| *k == "movie"));
+        assert!(REGIONS.iter().any(|(c, _, _, _)| *c == "[us]"));
+        assert!(SPECIAL_KEYWORDS.iter().any(|(k, _)| *k == "sequel"));
+        assert!(ROLE_TYPES.contains(&"actress"));
+        assert!(LINK_TYPES.contains(&"follows"));
+        assert!(COMP_CAST_TYPES.contains(&"complete+verified"));
+    }
+
+    #[test]
+    fn keyword_genre_affinities_are_in_range() {
+        for (_, g) in SPECIAL_KEYWORDS {
+            assert!(*g == usize::MAX || *g < GENRES.len());
+        }
+    }
+
+    #[test]
+    fn name_pools_are_non_trivial() {
+        assert!(FIRST_NAMES.len() >= 20);
+        assert!(LAST_NAMES.len() >= 20);
+        assert!(TITLE_WORDS.len() >= 20);
+        assert!(TITLE_NOUNS.len() >= 10);
+        assert!(COMPANY_CORES.len() >= 20);
+        assert!(INFO_TYPES.len() >= 30);
+    }
+}

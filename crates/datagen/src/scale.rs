@@ -1,0 +1,134 @@
+//! Scale factors for the synthetic databases.
+
+/// Controls the size of the generated databases.
+///
+/// `movies` is the number of rows in the `title` table; all other table
+/// sizes are derived from it with the approximate ratios of the real IMDB
+/// snapshot used in the paper (where `cast_info` is ~14x and `movie_info`
+/// ~6x the size of `title`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Number of movies (`title` rows).
+    pub movies: usize,
+    /// Random seed; different seeds produce statistically similar databases.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// A very small database for unit tests (hundreds of rows in total).
+    pub fn tiny() -> Self {
+        Scale { movies: 200, seed: 42 }
+    }
+
+    /// A small database suitable for integration tests and quick examples.
+    pub fn small() -> Self {
+        Scale { movies: 1_000, seed: 42 }
+    }
+
+    /// The default scale for regenerating the paper's figures and tables.
+    pub fn benchmark() -> Self {
+        Scale { movies: 8_000, seed: 42 }
+    }
+
+    /// A custom scale.
+    pub fn with_movies(movies: usize) -> Self {
+        Scale { movies, seed: 42 }
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of people (`name` rows).
+    pub fn people(&self) -> usize {
+        (self.movies * 2).max(20)
+    }
+
+    /// Number of companies (`company_name` rows).
+    pub fn companies(&self) -> usize {
+        (self.movies / 4).max(10)
+    }
+
+    /// Number of distinct keywords.
+    pub fn keywords(&self) -> usize {
+        (self.movies / 2).max(20)
+    }
+
+    /// Number of character names.
+    pub fn characters(&self) -> usize {
+        (self.movies * 2).max(20)
+    }
+
+    /// Average number of cast entries per movie (the realised counts are
+    /// zipf-distributed around this mean).
+    pub fn avg_cast_per_movie(&self) -> f64 {
+        12.0
+    }
+
+    /// Average number of `movie_info` rows per movie.
+    pub fn avg_info_per_movie(&self) -> f64 {
+        6.0
+    }
+
+    /// Average number of `movie_keyword` rows per movie.
+    pub fn avg_keywords_per_movie(&self) -> f64 {
+        4.0
+    }
+
+    /// Average number of `movie_companies` rows per movie.
+    pub fn avg_companies_per_movie(&self) -> f64 {
+        2.5
+    }
+
+    /// TPC-H-like scale derived from the movie count: number of orders.
+    pub fn tpch_orders(&self) -> usize {
+        (self.movies * 3).max(100)
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::small()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_by_size() {
+        assert!(Scale::tiny().movies < Scale::small().movies);
+        assert!(Scale::small().movies < Scale::benchmark().movies);
+    }
+
+    #[test]
+    fn derived_sizes_scale_with_movies() {
+        let s = Scale::with_movies(1000);
+        assert_eq!(s.people(), 2000);
+        assert_eq!(s.companies(), 250);
+        assert_eq!(s.keywords(), 500);
+        assert_eq!(s.characters(), 2000);
+        assert!(s.avg_cast_per_movie() > s.avg_companies_per_movie());
+        assert_eq!(s.tpch_orders(), 3000);
+    }
+
+    #[test]
+    fn derived_sizes_have_floors() {
+        let s = Scale::with_movies(1);
+        assert!(s.people() >= 20);
+        assert!(s.companies() >= 10);
+        assert!(s.keywords() >= 20);
+        assert!(s.tpch_orders() >= 100);
+    }
+
+    #[test]
+    fn seed_override() {
+        let s = Scale::small().with_seed(7);
+        assert_eq!(s.seed, 7);
+        assert_eq!(s.movies, Scale::small().movies);
+        assert_eq!(Scale::default(), Scale::small());
+    }
+}

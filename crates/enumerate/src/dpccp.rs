@@ -1,0 +1,309 @@
+//! Exhaustive bushy-tree dynamic programming via connected-subgraph /
+//! complement-pair (csg-cmp-pair) enumeration — DPccp (Moerkotte & Neumann),
+//! the algorithm class the paper relies on for exhaustive enumeration
+//! ("exhaustive dynamic programming", citations [29, 12]).
+
+use std::collections::HashMap;
+
+use qob_plan::{QuerySpec, RelSet};
+
+use crate::planner::{EnumerationError, OptimizedPlan, Planner, Sub};
+
+/// Enumerates every connected subgraph reachable by extending `s` with
+/// subsets of its neighbourhood, excluding `x` (the standard
+/// `EnumerateCsgRec`).
+fn enumerate_csg_rec(
+    query: &QuerySpec,
+    adjacency: &[RelSet],
+    s: RelSet,
+    x: RelSet,
+    emit: &mut impl FnMut(RelSet),
+) {
+    let n = query.neighbors(s, adjacency).minus(x);
+    if n.is_empty() {
+        return;
+    }
+    for s_prime in n.subsets() {
+        emit(s.union(s_prime));
+    }
+    for s_prime in n.subsets() {
+        enumerate_csg_rec(query, adjacency, s.union(s_prime), x.union(n), emit);
+    }
+}
+
+/// Enumerates all connected subgraphs of the query's join graph
+/// (`EnumerateCsg`).
+fn enumerate_csg(query: &QuerySpec, adjacency: &[RelSet], emit: &mut impl FnMut(RelSet)) {
+    let n = query.rel_count();
+    for i in (0..n).rev() {
+        let v = RelSet::single(i);
+        emit(v);
+        enumerate_csg_rec(query, adjacency, v, RelSet::first_n(i + 1), emit);
+    }
+}
+
+/// Enumerates all connected complements of `s1` (`EnumerateCmp`).
+fn enumerate_cmp(
+    query: &QuerySpec,
+    adjacency: &[RelSet],
+    s1: RelSet,
+    emit: &mut impl FnMut(RelSet),
+) {
+    let min = s1.min_rel().expect("non-empty csg");
+    let x = RelSet::first_n(min + 1).union(s1);
+    let neighbors = query.neighbors(s1, adjacency).minus(x);
+    let mut members: Vec<usize> = neighbors.iter().collect();
+    members.sort_unstable_by(|a, b| b.cmp(a));
+    for &vi in &members {
+        let v = RelSet::single(vi);
+        emit(v);
+        let below_vi = RelSet::first_n(vi + 1);
+        enumerate_csg_rec(
+            query,
+            adjacency,
+            v,
+            x.union(below_vi.intersect(neighbors)),
+            emit,
+        );
+    }
+}
+
+/// All csg-cmp pairs of the query's join graph.  Each unordered pair of
+/// disjoint, connected, edge-connected subgraphs appears exactly once (in one
+/// orientation).
+pub fn ccp_pairs(query: &QuerySpec) -> Vec<(RelSet, RelSet)> {
+    let adjacency = query.adjacency();
+    let mut csgs = Vec::new();
+    enumerate_csg(query, &adjacency, &mut |s| csgs.push(s));
+    let mut pairs = Vec::new();
+    for &s1 in &csgs {
+        enumerate_cmp(query, &adjacency, s1, &mut |s2| pairs.push((s1, s2)));
+    }
+    pairs
+}
+
+/// Exhaustive bushy dynamic programming over the csg-cmp pairs.
+///
+/// Pairs are processed in increasing size of their union, which guarantees
+/// that both sides of every pair already carry their optimal subplan.
+pub fn optimize_bushy(planner: &Planner<'_>) -> Result<OptimizedPlan, EnumerationError> {
+    planner.check_query()?;
+    let query = planner.query;
+    let mut best: HashMap<RelSet, Sub> = HashMap::new();
+    for rel in 0..query.rel_count() {
+        let leaf = planner.leaf(rel);
+        best.insert(leaf.set, leaf);
+    }
+    if query.rel_count() == 1 {
+        let only = best.remove(&RelSet::single(0)).expect("single relation");
+        return Ok(OptimizedPlan { plan: only.plan, cost: only.cost });
+    }
+    let mut pairs = ccp_pairs(query);
+    pairs.sort_by_key(|(a, b)| {
+        let u = a.union(*b);
+        (u.len(), u.bits(), a.bits())
+    });
+    for (s1, s2) in pairs {
+        let (Some(left), Some(right)) = (best.get(&s1), best.get(&s2)) else {
+            continue;
+        };
+        if let Some(candidate) = planner.best_join(left, right) {
+            match best.get(&candidate.set) {
+                Some(existing) if existing.cost <= candidate.cost => {}
+                _ => {
+                    best.insert(candidate.set, candidate);
+                }
+            }
+        }
+    }
+    let all = query.all_rels();
+    let result = best.remove(&all).ok_or(EnumerationError::DisconnectedQuery)?;
+    Ok(OptimizedPlan { plan: result.plan, cost: result.cost })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::test_support::star_fixture;
+    use crate::planner::PlannerConfig;
+    use qob_cost::SimpleCostModel;
+    use qob_plan::{BaseRelation, JoinEdge, PlanShape};
+    use qob_storage::{ColumnId, IndexConfig, TableId};
+
+    fn chain_query(n: usize) -> QuerySpec {
+        QuerySpec::new(
+            format!("chain{n}"),
+            (0..n).map(|i| BaseRelation::unfiltered(TableId(0), format!("r{i}"))).collect(),
+            (0..n - 1)
+                .map(|i| JoinEdge {
+                    left: i,
+                    left_column: ColumnId(0),
+                    right: i + 1,
+                    right_column: ColumnId(1),
+                })
+                .collect(),
+        )
+    }
+
+    fn clique_query(n: usize) -> QuerySpec {
+        let mut joins = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                joins.push(JoinEdge {
+                    left: i,
+                    left_column: ColumnId(0),
+                    right: j,
+                    right_column: ColumnId(1),
+                });
+            }
+        }
+        QuerySpec::new(
+            format!("clique{n}"),
+            (0..n).map(|i| BaseRelation::unfiltered(TableId(0), format!("r{i}"))).collect(),
+            joins,
+        )
+    }
+
+    /// Number of csg-cmp pairs for a chain of n relations is
+    /// `(n³ − n) / 6` counting each unordered pair once.
+    #[test]
+    fn ccp_count_matches_formula_for_chains() {
+        for n in 2..=8 {
+            let q = chain_query(n);
+            let pairs = ccp_pairs(&q);
+            let expected = (n * n * n - n) / 6;
+            assert_eq!(pairs.len(), expected, "chain of {n}");
+            // Every pair is disjoint, connected and edge-connected.
+            let adjacency = q.adjacency();
+            for (a, b) in &pairs {
+                assert!(a.is_disjoint(*b));
+                assert!(q.is_connected(*a, &adjacency));
+                assert!(q.is_connected(*b, &adjacency));
+                assert!(!q.edges_between(*a, *b).is_empty());
+            }
+        }
+    }
+
+    /// For a clique of n relations the count is `(3^n − 2^(n+1) + 1) / 2`.
+    #[test]
+    fn ccp_count_matches_formula_for_cliques() {
+        for n in 2..=6usize {
+            let q = clique_query(n);
+            let pairs = ccp_pairs(&q);
+            let expected = (3usize.pow(n as u32) - 2usize.pow(n as u32 + 1) + 1) / 2;
+            assert_eq!(pairs.len(), expected, "clique of {n}");
+        }
+    }
+
+    #[test]
+    fn no_duplicate_pairs() {
+        let q = chain_query(6);
+        let pairs = ccp_pairs(&q);
+        let mut seen = std::collections::HashSet::new();
+        for (a, b) in pairs {
+            let key = if a.bits() < b.bits() { (a.bits(), b.bits()) } else { (b.bits(), a.bits()) };
+            assert!(seen.insert(key), "duplicate pair {a} / {b}");
+        }
+    }
+
+    #[test]
+    fn dp_finds_a_valid_optimal_plan() {
+        let (db, q, cards) = star_fixture(IndexConfig::PrimaryAndForeignKey);
+        let model = SimpleCostModel::new();
+        let planner = Planner::new(&db, &q, &model, &cards, PlannerConfig::default());
+        let result = optimize_bushy(&planner).unwrap();
+        assert!(result.plan.validate(&q).is_ok());
+        assert_eq!(result.plan.rels(), q.all_rels());
+        assert!(result.cost > 0.0);
+    }
+
+    #[test]
+    fn dp_is_no_worse_than_any_left_deep_order() {
+        let (db, q, cards) = star_fixture(IndexConfig::PrimaryAndForeignKey);
+        let model = SimpleCostModel::new();
+        let planner = Planner::new(&db, &q, &model, &cards, PlannerConfig::default());
+        let bushy = optimize_bushy(&planner).unwrap();
+        let left_deep = crate::restricted::optimize_restricted(
+            &planner,
+            crate::planner::ShapeRestriction::LeftDeep,
+        )
+        .unwrap();
+        assert!(
+            bushy.cost <= left_deep.cost + 1e-9,
+            "bushy DP ({}) must not lose to the left-deep optimum ({})",
+            bushy.cost,
+            left_deep.cost
+        );
+    }
+
+    #[test]
+    fn single_relation_query() {
+        let (db, q, cards) = star_fixture(IndexConfig::PrimaryKeyOnly);
+        let single = QuerySpec::new("one", vec![q.relations[1].clone()], vec![]);
+        let model = SimpleCostModel::new();
+        let planner = Planner::new(&db, &single, &model, &cards, PlannerConfig::default());
+        let plan = optimize_bushy(&planner).unwrap();
+        assert!(plan.plan.is_leaf());
+    }
+
+    #[test]
+    fn disconnected_query_is_rejected() {
+        let (db, q, cards) = star_fixture(IndexConfig::PrimaryKeyOnly);
+        let mut disconnected = q.clone();
+        disconnected.joins.clear();
+        let model = SimpleCostModel::new();
+        let planner = Planner::new(&db, &disconnected, &model, &cards, PlannerConfig::default());
+        assert_eq!(optimize_bushy(&planner).unwrap_err(), EnumerationError::DisconnectedQuery);
+    }
+
+    #[test]
+    fn bushy_plans_emerge_when_beneficial() {
+        // With a chain a–b–c–d where both ends are tiny and the middle is
+        // huge, the optimal plan joins (a⋈b) and (c⋈d) first — a bushy tree.
+        use qob_cardest::TrueCardinalities;
+        use qob_storage::{ColumnMeta, DataType, Database, TableBuilder, Value};
+        let mut db = Database::new();
+        for (name, rows) in [("a", 10usize), ("b", 10_000), ("c", 10_000), ("d", 10)] {
+            let mut t = TableBuilder::new(
+                name,
+                vec![ColumnMeta::new("id", DataType::Int), ColumnMeta::new("fk", DataType::Int)],
+            );
+            for i in 0..rows.min(50) {
+                t.push_row(vec![Value::Int(i as i64), Value::Int(i as i64)]).unwrap();
+            }
+            db.add_table(t.finish()).unwrap();
+        }
+        let q = QuerySpec::new(
+            "bushy",
+            ["a", "b", "c", "d"]
+                .iter()
+                .map(|n| BaseRelation::unfiltered(db.table_id(n).unwrap(), *n))
+                .collect(),
+            vec![
+                JoinEdge { left: 0, left_column: ColumnId(0), right: 1, right_column: ColumnId(1) },
+                JoinEdge { left: 1, left_column: ColumnId(0), right: 2, right_column: ColumnId(1) },
+                JoinEdge { left: 2, left_column: ColumnId(0), right: 3, right_column: ColumnId(1) },
+            ],
+        );
+        let mut cards = TrueCardinalities::new();
+        cards.insert(RelSet::single(0), 10.0);
+        cards.insert(RelSet::single(1), 10_000.0);
+        cards.insert(RelSet::single(2), 10_000.0);
+        cards.insert(RelSet::single(3), 10.0);
+        cards.insert(RelSet::from_iter([0, 1]), 20.0);
+        cards.insert(RelSet::from_iter([1, 2]), 1_000_000.0);
+        cards.insert(RelSet::from_iter([2, 3]), 20.0);
+        cards.insert(RelSet::from_iter([0, 1, 2]), 2_000.0);
+        cards.insert(RelSet::from_iter([1, 2, 3]), 2_000.0);
+        cards.insert(RelSet::from_iter([0, 1, 2, 3]), 40.0);
+        let model = SimpleCostModel::new();
+        let cfg = PlannerConfig { allow_index_nested_loop: false, ..Default::default() };
+        let planner = Planner::new(&db, &q, &model, &cards, cfg);
+        let bushy = optimize_bushy(&planner).unwrap();
+        assert_eq!(bushy.plan.shape(), PlanShape::Bushy, "plan: {}", bushy.plan);
+        let left_deep =
+            crate::restricted::optimize_restricted(&planner, crate::planner::ShapeRestriction::LeftDeep)
+                .unwrap();
+        assert!(bushy.cost < left_deep.cost, "the bushy plan must be strictly cheaper here");
+    }
+}

@@ -1,0 +1,30 @@
+//! # qob-enumerate
+//!
+//! Join-order enumeration for the JOB reproduction (Section 6 of the paper):
+//!
+//! * [`dpccp`] — exhaustive dynamic programming over connected
+//!   subgraph/complement pairs (bushy trees, no cross products), the paper's
+//!   "Dynamic Programming" configuration,
+//! * [`restricted`] — the same dynamic programming restricted to left-deep,
+//!   right-deep or zig-zag trees (Table 2),
+//! * [`quickpick`] — the randomised Quickpick algorithm used both to
+//!   visualise the plan-space cost distribution (Figure 9) and, as
+//!   "Quickpick-1000", as a heuristic competitor (Table 3),
+//! * [`goo`] — Greedy Operator Ordering (Table 3).
+//!
+//! All enumerators share one physical-operator selection routine
+//! ([`planner::Planner`]) parameterised by a cost model, a cardinality
+//! source, and the availability of join algorithms and indexes — so the same
+//! machinery answers "optimal plan under true cardinalities" and "plan the
+//! optimizer would pick from system X's estimates".
+
+pub mod dpccp;
+pub mod goo;
+pub mod planner;
+pub mod quickpick;
+pub mod restricted;
+
+pub use dpccp::ccp_pairs;
+pub use planner::{
+    EnumerationError, OptimizedPlan, Planner, PlannerConfig, ShapeRestriction,
+};

@@ -1,0 +1,162 @@
+//! Shape-restricted dynamic programming: left-deep, right-deep and zig-zag
+//! trees (Section 6.2 / Table 2 of the paper).
+//!
+//! The restriction is structural:
+//!
+//! * **left-deep** — every join's probe (right) input is a base relation, so
+//!   a new hash table is built from the result of each join;
+//! * **right-deep** — every join's build (left) input is a base relation, so
+//!   hash tables are built from base relations only and probing is pipelined;
+//! * **zig-zag** — each join has at least one base-relation input (the union
+//!   of the two classes).
+
+use std::collections::HashMap;
+
+use qob_plan::RelSet;
+
+use crate::planner::{EnumerationError, OptimizedPlan, Planner, ShapeRestriction, Sub};
+
+/// Dynamic programming over connected subsets where every step extends the
+/// current subplan by exactly one base relation, respecting `shape`.
+pub fn optimize_restricted(
+    planner: &Planner<'_>,
+    shape: ShapeRestriction,
+) -> Result<OptimizedPlan, EnumerationError> {
+    if shape == ShapeRestriction::Bushy {
+        return crate::dpccp::optimize_bushy(planner);
+    }
+    planner.check_query()?;
+    let query = planner.query;
+    let mut best: HashMap<RelSet, Sub> = HashMap::new();
+    let mut leaves: Vec<Sub> = Vec::with_capacity(query.rel_count());
+    for rel in 0..query.rel_count() {
+        let leaf = planner.leaf(rel);
+        best.insert(leaf.set, leaf.clone());
+        leaves.push(leaf);
+    }
+    if query.rel_count() == 1 {
+        let only = best.remove(&RelSet::single(0)).expect("single relation");
+        return Ok(OptimizedPlan { plan: only.plan, cost: only.cost });
+    }
+
+    let subsets = query.connected_subexpressions();
+    let adjacency = query.adjacency();
+    for &set in subsets.iter().filter(|s| s.len() >= 2) {
+        let mut best_for_set: Option<Sub> = None;
+        for rel in set.iter() {
+            let rest = set.minus(RelSet::single(rel));
+            if !query.is_connected(rest, &adjacency) {
+                continue;
+            }
+            let Some(rest_sub) = best.get(&rest) else { continue };
+            let leaf = &leaves[rel];
+            // Left-deep: composite on the left (build), base on the right (probe).
+            let left_deep_candidate = || planner.best_join_oriented(rest_sub, leaf);
+            // Right-deep: base on the left (build), composite on the right.
+            let right_deep_candidate = || planner.best_join_oriented(leaf, rest_sub);
+            let candidates: Vec<Option<Sub>> = match shape {
+                ShapeRestriction::LeftDeep => vec![left_deep_candidate()],
+                ShapeRestriction::RightDeep => vec![right_deep_candidate()],
+                ShapeRestriction::ZigZag => vec![left_deep_candidate(), right_deep_candidate()],
+                ShapeRestriction::Bushy => unreachable!("handled above"),
+            };
+            for candidate in candidates.into_iter().flatten() {
+                if best_for_set.as_ref().map(|b| candidate.cost < b.cost).unwrap_or(true) {
+                    best_for_set = Some(candidate);
+                }
+            }
+        }
+        if let Some(sub) = best_for_set {
+            best.insert(set, sub);
+        }
+    }
+
+    let all = query.all_rels();
+    let result = best.remove(&all).ok_or(EnumerationError::DisconnectedQuery)?;
+    Ok(OptimizedPlan { plan: result.plan, cost: result.cost })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::test_support::star_fixture;
+    use crate::planner::PlannerConfig;
+    use qob_cost::SimpleCostModel;
+    use qob_plan::PlanShape;
+    use qob_storage::IndexConfig;
+
+    fn all_shapes() -> [ShapeRestriction; 3] {
+        [ShapeRestriction::LeftDeep, ShapeRestriction::RightDeep, ShapeRestriction::ZigZag]
+    }
+
+    #[test]
+    fn restricted_plans_have_the_requested_shape() {
+        let (db, q, cards) = star_fixture(IndexConfig::PrimaryAndForeignKey);
+        let model = SimpleCostModel::new();
+        let planner = Planner::new(&db, &q, &model, &cards, PlannerConfig::default());
+        for shape in all_shapes() {
+            let result = optimize_restricted(&planner, shape).unwrap();
+            assert!(result.plan.validate(&q).is_ok(), "{shape:?}");
+            let got = result.plan.shape();
+            match shape {
+                ShapeRestriction::LeftDeep => assert_eq!(got, PlanShape::LeftDeep),
+                ShapeRestriction::RightDeep => {
+                    assert!(
+                        got == PlanShape::RightDeep || got == PlanShape::LeftDeep,
+                        "a 2-level right-deep tree also classifies as left-deep, got {got:?}"
+                    )
+                }
+                ShapeRestriction::ZigZag => assert!(
+                    got == PlanShape::ZigZag || got == PlanShape::LeftDeep || got == PlanShape::RightDeep
+                ),
+                ShapeRestriction::Bushy => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn zigzag_is_no_worse_than_left_or_right_deep() {
+        let (db, q, cards) = star_fixture(IndexConfig::PrimaryAndForeignKey);
+        let model = SimpleCostModel::new();
+        let planner = Planner::new(&db, &q, &model, &cards, PlannerConfig::default());
+        let zig = optimize_restricted(&planner, ShapeRestriction::ZigZag).unwrap().cost;
+        let left = optimize_restricted(&planner, ShapeRestriction::LeftDeep).unwrap().cost;
+        let right = optimize_restricted(&planner, ShapeRestriction::RightDeep).unwrap().cost;
+        assert!(zig <= left + 1e-9);
+        assert!(zig <= right + 1e-9);
+    }
+
+    #[test]
+    fn bushy_is_no_worse_than_zigzag() {
+        let (db, q, cards) = star_fixture(IndexConfig::PrimaryAndForeignKey);
+        let model = SimpleCostModel::new();
+        let planner = Planner::new(&db, &q, &model, &cards, PlannerConfig::default());
+        let bushy = optimize_restricted(&planner, ShapeRestriction::Bushy).unwrap().cost;
+        let zig = optimize_restricted(&planner, ShapeRestriction::ZigZag).unwrap().cost;
+        assert!(bushy <= zig + 1e-9);
+    }
+
+    #[test]
+    fn right_deep_cannot_use_index_lookups_above_the_bottom_join() {
+        let (db, q, cards) = star_fixture(IndexConfig::PrimaryAndForeignKey);
+        let model = SimpleCostModel::new();
+        let planner = Planner::new(&db, &q, &model, &cards, PlannerConfig::default());
+        let right = optimize_restricted(&planner, ShapeRestriction::RightDeep).unwrap();
+        // Index-nested-loop joins need a base relation on the *right*; in a
+        // right-deep tree only the bottom-most join has one.
+        let inl_count = right.plan.count_algorithm(qob_plan::JoinAlgorithm::IndexNestedLoop);
+        assert!(inl_count <= 1, "at most the bottom join can be an INL, got {inl_count}");
+    }
+
+    #[test]
+    fn single_relation_short_circuits() {
+        let (db, q, cards) = star_fixture(IndexConfig::PrimaryKeyOnly);
+        let single = qob_plan::QuerySpec::new("one", vec![q.relations[0].clone()], vec![]);
+        let model = SimpleCostModel::new();
+        let planner = Planner::new(&db, &single, &model, &cards, PlannerConfig::default());
+        for shape in all_shapes() {
+            let plan = optimize_restricted(&planner, shape).unwrap();
+            assert!(plan.plan.is_leaf());
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! The plan executor: options, errors, results and the recursive driver.
+
+use std::fmt;
+use std::time::Duration;
+
+use qob_plan::{JoinAlgorithm, PhysicalPlan, QuerySpec, RelSet};
+use qob_storage::{ColumnId, Database};
+
+use crate::intermediate::Intermediate;
+use crate::operators::{
+    hash_join, index_nested_loop_join, nested_loop_join, scan, sort_merge_join, ExecGuard,
+};
+
+/// Runtime options of the execution engine.
+#[derive(Debug, Clone)]
+pub struct ExecutionOptions {
+    /// Resize hash tables at runtime when the build side exceeds the
+    /// estimate (the PostgreSQL 9.5 behaviour; disabling it reproduces the
+    /// ≤ 9.4 undersized-hash-table pathology of Figure 6).
+    pub enable_rehash: bool,
+    /// Abort execution after this wall-clock budget (the paper's query
+    /// timeout for disastrous plans).
+    pub timeout: Option<Duration>,
+    /// Abort when any intermediate exceeds this many row-id slots, a memory
+    /// guard against exploding plans.
+    pub max_intermediate_slots: usize,
+}
+
+impl Default for ExecutionOptions {
+    fn default() -> Self {
+        ExecutionOptions {
+            enable_rehash: true,
+            timeout: Some(Duration::from_secs(30)),
+            max_intermediate_slots: 200_000_000,
+        }
+    }
+}
+
+/// Errors and aborts produced by the executor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecutionError {
+    /// The wall-clock timeout was exceeded.
+    Timeout {
+        /// Time spent before the abort.
+        elapsed: Duration,
+    },
+    /// An intermediate grew past the configured memory guard.
+    IntermediateTooLarge {
+        /// Row-id slots produced.
+        slots: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A join node carried no keys (the optimizer never produces cross
+    /// products, so this indicates a malformed plan).
+    CrossProduct,
+    /// An index-nested-loop join referenced an index that is not built under
+    /// the current physical design.
+    MissingIndex {
+        /// Table whose index is missing.
+        table: String,
+        /// The column that would need an index.
+        column: ColumnId,
+    },
+    /// The plan references relations inconsistently.
+    InvalidPlan(String),
+}
+
+impl fmt::Display for ExecutionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecutionError::Timeout { elapsed } => {
+                write!(f, "execution timed out after {elapsed:?}")
+            }
+            ExecutionError::IntermediateTooLarge { slots, limit } => {
+                write!(f, "intermediate result too large: {slots} slots (limit {limit})")
+            }
+            ExecutionError::CrossProduct => write!(f, "join without keys (cross product)"),
+            ExecutionError::MissingIndex { table, column } => {
+                write!(f, "no index on {table} column {}", column.0)
+            }
+            ExecutionError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecutionError {}
+
+/// The outcome of executing a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionResult {
+    /// Number of result tuples (after all joins and selections; JOB queries
+    /// wrap their outputs in `MIN(...)`, which does not change this count's
+    /// meaning as "work performed").
+    pub rows: u64,
+    /// Wall-clock execution time.
+    pub elapsed: Duration,
+    /// Output cardinality of every join operator, keyed by the relation set
+    /// it produced (useful for diagnostics and tests).
+    pub operator_cardinalities: Vec<(RelSet, u64)>,
+}
+
+/// Executes `plan` for `query` against `db`.
+///
+/// `build_size_hint` supplies the optimizer's cardinality estimate for any
+/// subexpression — the executor uses it only to size hash-join tables,
+/// mirroring how PostgreSQL consumes its own estimates at runtime.
+pub fn execute_plan(
+    db: &Database,
+    query: &QuerySpec,
+    plan: &PhysicalPlan,
+    build_size_hint: &dyn Fn(RelSet) -> f64,
+    options: &ExecutionOptions,
+) -> Result<ExecutionResult, ExecutionError> {
+    plan.validate(query).map_err(ExecutionError::InvalidPlan)?;
+    let guard = ExecGuard::new(options);
+    let mut operator_cardinalities = Vec::new();
+    let result = run(
+        db,
+        query,
+        plan,
+        build_size_hint,
+        options,
+        &guard,
+        &mut operator_cardinalities,
+    )?;
+    Ok(ExecutionResult {
+        rows: result.len() as u64,
+        elapsed: guard.elapsed(),
+        operator_cardinalities,
+    })
+}
+
+fn run(
+    db: &Database,
+    query: &QuerySpec,
+    plan: &PhysicalPlan,
+    hint: &dyn Fn(RelSet) -> f64,
+    options: &ExecutionOptions,
+    guard: &ExecGuard,
+    cards: &mut Vec<(RelSet, u64)>,
+) -> Result<Intermediate, ExecutionError> {
+    guard.check_deadline()?;
+    match plan {
+        PhysicalPlan::Scan { rel } => Ok(scan(db, query, *rel)),
+        PhysicalPlan::Join { algorithm, left, right, keys } => {
+            let left_result = run(db, query, left, hint, options, guard, cards)?;
+            let out = match algorithm {
+                JoinAlgorithm::IndexNestedLoop => {
+                    let inner_rel = match right.as_ref() {
+                        PhysicalPlan::Scan { rel } => *rel,
+                        _ => {
+                            return Err(ExecutionError::InvalidPlan(
+                                "index-nested-loop join needs a base relation inner".to_owned(),
+                            ))
+                        }
+                    };
+                    index_nested_loop_join(db, query, &left_result, inner_rel, keys, guard)?
+                }
+                JoinAlgorithm::Hash => {
+                    let right_result = run(db, query, right, hint, options, guard, cards)?;
+                    let estimate = hint(left_result.rel_set());
+                    hash_join(db, query, &left_result, &right_result, keys, estimate, options, guard)?
+                }
+                JoinAlgorithm::NestedLoop => {
+                    let right_result = run(db, query, right, hint, options, guard, cards)?;
+                    nested_loop_join(db, query, &left_result, &right_result, keys, guard)?
+                }
+                JoinAlgorithm::SortMerge => {
+                    let right_result = run(db, query, right, hint, options, guard, cards)?;
+                    sort_merge_join(db, query, &left_result, &right_result, keys, guard)?
+                }
+            };
+            cards.push((out.rel_set(), out.len() as u64));
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qob_plan::{BaseRelation, JoinEdge, JoinKey};
+    use qob_storage::{
+        CmpOp, ColumnMeta, DataType, IndexConfig, Predicate, TableBuilder, Value,
+    };
+
+    /// Two tables: `movies(id, year)` with 100 rows and `info(id, movie_id)`
+    /// with 3 rows per movie.
+    fn setup(index_config: IndexConfig) -> (Database, QuerySpec) {
+        let mut movies = TableBuilder::new(
+            "movies",
+            vec![ColumnMeta::new("id", DataType::Int), ColumnMeta::new("year", DataType::Int)],
+        );
+        for i in 0..100i64 {
+            movies.push_row(vec![Value::Int(i + 1), Value::Int(1950 + i % 60)]).unwrap();
+        }
+        let mut info = TableBuilder::new(
+            "info",
+            vec![ColumnMeta::new("id", DataType::Int), ColumnMeta::new("movie_id", DataType::Int)],
+        );
+        let mut id = 1;
+        for i in 0..100i64 {
+            for _ in 0..3 {
+                info.push_row(vec![Value::Int(id), Value::Int(i + 1)]).unwrap();
+                id += 1;
+            }
+        }
+        let mut db = Database::new();
+        let m = db.add_table(movies.finish()).unwrap();
+        let inf = db.add_table(info.finish()).unwrap();
+        db.declare_primary_key(m, "id").unwrap();
+        db.declare_primary_key(inf, "id").unwrap();
+        db.declare_foreign_key(inf, "movie_id", m).unwrap();
+        db.build_indexes(index_config).unwrap();
+
+        let q = QuerySpec::new(
+            "q",
+            vec![
+                BaseRelation::filtered(
+                    m,
+                    "m",
+                    vec![Predicate::IntCmp { column: ColumnId(1), op: CmpOp::Ge, value: 2000 }],
+                ),
+                BaseRelation::unfiltered(inf, "i"),
+            ],
+            vec![JoinEdge { left: 0, left_column: ColumnId(0), right: 1, right_column: ColumnId(1) }],
+        );
+        (db, q)
+    }
+
+    fn key01() -> JoinKey {
+        JoinKey { left_rel: 0, left_column: ColumnId(0), right_rel: 1, right_column: ColumnId(1) }
+    }
+
+    /// 10 movies have year >= 2000 (years 1950..2009, i%60 >= 50 → 10 of each 60,
+    /// for 100 rows: i in 50..60 → 10 movies), each with 3 info rows → 30.
+    const EXPECTED_ROWS: u64 = 30;
+
+    #[test]
+    fn hash_join_produces_correct_count() {
+        let (db, q) = setup(IndexConfig::PrimaryKeyOnly);
+        let plan = PhysicalPlan::join(
+            JoinAlgorithm::Hash,
+            PhysicalPlan::scan(0),
+            PhysicalPlan::scan(1),
+            vec![key01()],
+        );
+        let r = execute_plan(&db, &q, &plan, &|_| 100.0, &ExecutionOptions::default()).unwrap();
+        assert_eq!(r.rows, EXPECTED_ROWS);
+        assert_eq!(r.operator_cardinalities.len(), 1);
+        assert_eq!(r.operator_cardinalities[0].1, EXPECTED_ROWS);
+    }
+
+    #[test]
+    fn all_join_algorithms_agree() {
+        let (db, q) = setup(IndexConfig::PrimaryAndForeignKey);
+        let algorithms = [
+            JoinAlgorithm::Hash,
+            JoinAlgorithm::NestedLoop,
+            JoinAlgorithm::SortMerge,
+            JoinAlgorithm::IndexNestedLoop,
+        ];
+        for alg in algorithms {
+            let plan = PhysicalPlan::join(
+                alg,
+                PhysicalPlan::scan(0),
+                PhysicalPlan::scan(1),
+                vec![key01()],
+            );
+            let r = execute_plan(&db, &q, &plan, &|_| 10.0, &ExecutionOptions::default())
+                .unwrap_or_else(|e| panic!("{alg:?} failed: {e}"));
+            assert_eq!(r.rows, EXPECTED_ROWS, "{alg:?}");
+        }
+    }
+
+    #[test]
+    fn undersized_hash_table_still_correct_without_rehash() {
+        let (db, q) = setup(IndexConfig::PrimaryKeyOnly);
+        let plan = PhysicalPlan::join(
+            JoinAlgorithm::Hash,
+            PhysicalPlan::scan(1),
+            PhysicalPlan::scan(0),
+            vec![JoinKey {
+                left_rel: 1,
+                left_column: ColumnId(1),
+                right_rel: 0,
+                right_column: ColumnId(0),
+            }],
+        );
+        let opts = ExecutionOptions { enable_rehash: false, ..Default::default() };
+        // Hint of 1 row forces a severely undersized table.
+        let r = execute_plan(&db, &q, &plan, &|_| 1.0, &opts).unwrap();
+        assert_eq!(r.rows, EXPECTED_ROWS);
+    }
+
+    #[test]
+    fn index_nested_loop_requires_index() {
+        let (db, q) = setup(IndexConfig::PrimaryKeyOnly);
+        // INL into info.movie_id needs an FK index, which PK-only lacks.
+        let plan = PhysicalPlan::join(
+            JoinAlgorithm::IndexNestedLoop,
+            PhysicalPlan::scan(0),
+            PhysicalPlan::scan(1),
+            vec![key01()],
+        );
+        let err = execute_plan(&db, &q, &plan, &|_| 10.0, &ExecutionOptions::default()).unwrap_err();
+        assert!(matches!(err, ExecutionError::MissingIndex { .. }));
+        assert!(err.to_string().contains("info"));
+    }
+
+    #[test]
+    fn index_nested_loop_applies_inner_predicates() {
+        let (db, q) = setup(IndexConfig::PrimaryAndForeignKey);
+        // Flip the query: outer = info (unfiltered), inner = movies (filtered on year).
+        let q2 = QuerySpec::new(
+            "q2",
+            vec![q.relations[1].clone(), q.relations[0].clone()],
+            vec![JoinEdge { left: 0, left_column: ColumnId(1), right: 1, right_column: ColumnId(0) }],
+        );
+        let plan = PhysicalPlan::join(
+            JoinAlgorithm::IndexNestedLoop,
+            PhysicalPlan::scan(0),
+            PhysicalPlan::scan(1),
+            vec![JoinKey {
+                left_rel: 0,
+                left_column: ColumnId(1),
+                right_rel: 1,
+                right_column: ColumnId(0),
+            }],
+        );
+        let r = execute_plan(&db, &q2, &plan, &|_| 10.0, &ExecutionOptions::default()).unwrap();
+        assert_eq!(r.rows, EXPECTED_ROWS, "inner predicate must be applied after the index lookup");
+    }
+
+    #[test]
+    fn timeout_aborts_execution() {
+        let (db, q) = setup(IndexConfig::PrimaryKeyOnly);
+        let plan = PhysicalPlan::join(
+            JoinAlgorithm::NestedLoop,
+            PhysicalPlan::scan(1),
+            PhysicalPlan::scan(0),
+            vec![JoinKey {
+                left_rel: 1,
+                left_column: ColumnId(1),
+                right_rel: 0,
+                right_column: ColumnId(0),
+            }],
+        );
+        let opts = ExecutionOptions { timeout: Some(Duration::from_nanos(1)), ..Default::default() };
+        let err = execute_plan(&db, &q, &plan, &|_| 10.0, &opts).unwrap_err();
+        assert!(matches!(err, ExecutionError::Timeout { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn intermediate_size_guard() {
+        let (db, q) = setup(IndexConfig::PrimaryKeyOnly);
+        let plan = PhysicalPlan::join(
+            JoinAlgorithm::Hash,
+            PhysicalPlan::scan(0),
+            PhysicalPlan::scan(1),
+            vec![key01()],
+        );
+        let opts = ExecutionOptions { max_intermediate_slots: 10, ..Default::default() };
+        let err = execute_plan(&db, &q, &plan, &|_| 10.0, &opts).unwrap_err();
+        assert!(matches!(err, ExecutionError::IntermediateTooLarge { .. }));
+    }
+
+    #[test]
+    fn invalid_plans_are_rejected() {
+        let (db, q) = setup(IndexConfig::PrimaryKeyOnly);
+        // Plan missing relation 1.
+        let plan = PhysicalPlan::scan(0);
+        let err = execute_plan(&db, &q, &plan, &|_| 1.0, &ExecutionOptions::default()).unwrap_err();
+        assert!(matches!(err, ExecutionError::InvalidPlan(_)));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_display_strings() {
+        let errs: Vec<ExecutionError> = vec![
+            ExecutionError::Timeout { elapsed: Duration::from_secs(1) },
+            ExecutionError::IntermediateTooLarge { slots: 10, limit: 5 },
+            ExecutionError::CrossProduct,
+            ExecutionError::MissingIndex { table: "t".into(), column: ColumnId(2) },
+            ExecutionError::InvalidPlan("oops".into()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Materialised intermediate results.
+//!
+//! An [`Intermediate`] is the output of a (partial) plan: a table of tuples,
+//! each tuple holding one [`RowId`] per base relation joined so far.  Keeping
+//! row ids instead of copied values keeps intermediates small and lets any
+//! downstream operator fetch whatever column it needs from the base tables.
+
+use qob_plan::RelSet;
+use qob_storage::{Database, RowId};
+
+/// A materialised intermediate result.
+#[derive(Debug, Clone)]
+pub struct Intermediate {
+    /// The relation indices covered, in slot order.
+    rels: Vec<usize>,
+    /// Flattened tuples: `data[t * width + s]` is the row of relation
+    /// `rels[s]` in tuple `t`.
+    data: Vec<RowId>,
+}
+
+impl Intermediate {
+    /// Creates an intermediate over the given relations with no tuples.
+    pub fn empty(rels: Vec<usize>) -> Self {
+        Intermediate { rels, data: Vec::new() }
+    }
+
+    /// Creates a single-relation intermediate from a selection vector.
+    pub fn from_scan(rel: usize, rows: Vec<RowId>) -> Self {
+        Intermediate { rels: vec![rel], data: rows }
+    }
+
+    /// The relation indices covered, in slot order.
+    pub fn rels(&self) -> &[usize] {
+        &self.rels
+    }
+
+    /// The covered relations as a set.
+    pub fn rel_set(&self) -> RelSet {
+        self.rels.iter().copied().collect()
+    }
+
+    /// Number of slots per tuple.
+    pub fn width(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        if self.rels.is_empty() {
+            0
+        } else {
+            self.data.len() / self.rels.len()
+        }
+    }
+
+    /// True if there are no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The slot position of relation `rel`, if covered.
+    pub fn slot_of(&self, rel: usize) -> Option<usize> {
+        self.rels.iter().position(|r| *r == rel)
+    }
+
+    /// The tuple at index `t` as a slice of row ids (one per slot).
+    #[inline]
+    pub fn tuple(&self, t: usize) -> &[RowId] {
+        let w = self.width();
+        &self.data[t * w..(t + 1) * w]
+    }
+
+    /// Appends a tuple assembled from two parent tuples.
+    #[inline]
+    pub fn push_joined(&mut self, left: &[RowId], right: &[RowId]) {
+        self.data.extend_from_slice(left);
+        self.data.extend_from_slice(right);
+    }
+
+    /// Appends a tuple.
+    #[inline]
+    pub fn push_tuple(&mut self, tuple: &[RowId]) {
+        debug_assert_eq!(tuple.len(), self.width());
+        self.data.extend_from_slice(tuple);
+    }
+
+    /// Reserves space for `tuples` additional tuples.
+    pub fn reserve(&mut self, tuples: usize) {
+        self.data.reserve(tuples.saturating_mul(self.width()));
+    }
+
+    /// Fetches the integer value of `column` of relation `rel` for tuple `t`,
+    /// or `None` if the value is NULL.
+    #[inline]
+    pub fn int_value(
+        &self,
+        db: &Database,
+        query: &qob_plan::QuerySpec,
+        t: usize,
+        rel: usize,
+        column: qob_storage::ColumnId,
+    ) -> Option<i64> {
+        let slot = self.slot_of(rel)?;
+        let row = self.tuple(t)[slot];
+        let table = db.table(query.relations[rel].table);
+        table.column(column).int_at(row as usize)
+    }
+
+    /// Total number of row-id slots stored (a memory proxy used by abort
+    /// guards).
+    pub fn slot_count(&self) -> usize {
+        self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_intermediate_basics() {
+        let i = Intermediate::from_scan(3, vec![10, 20, 30]);
+        assert_eq!(i.width(), 1);
+        assert_eq!(i.len(), 3);
+        assert!(!i.is_empty());
+        assert_eq!(i.rels(), &[3]);
+        assert_eq!(i.rel_set(), RelSet::single(3));
+        assert_eq!(i.slot_of(3), Some(0));
+        assert_eq!(i.slot_of(1), None);
+        assert_eq!(i.tuple(1), &[20]);
+        assert_eq!(i.slot_count(), 3);
+    }
+
+    #[test]
+    fn joined_intermediate() {
+        let mut out = Intermediate::empty(vec![0, 2, 1]);
+        assert_eq!(out.len(), 0);
+        out.reserve(2);
+        out.push_joined(&[5, 6], &[7]);
+        out.push_joined(&[8, 9], &[10]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.width(), 3);
+        assert_eq!(out.tuple(0), &[5, 6, 7]);
+        assert_eq!(out.tuple(1), &[8, 9, 10]);
+        assert_eq!(out.rel_set(), RelSet::from_iter([0, 1, 2]));
+        let mut copy = Intermediate::empty(vec![0, 2, 1]);
+        copy.push_tuple(out.tuple(1));
+        assert_eq!(copy.len(), 1);
+        assert_eq!(copy.tuple(0), &[8, 9, 10]);
+    }
+
+    #[test]
+    fn empty_relation_list() {
+        let i = Intermediate::empty(vec![]);
+        assert_eq!(i.len(), 0);
+        assert!(i.is_empty());
+        assert_eq!(i.width(), 0);
+    }
+}

@@ -1,0 +1,309 @@
+//! Physical operator implementations.
+//!
+//! All operators are materialising: they consume whole [`Intermediate`]
+//! inputs and produce a new [`Intermediate`].  This keeps the engine simple
+//! and is faithful enough for the paper's experiments, which compare *plan*
+//! quality on one engine rather than engine micro-architecture.
+
+use std::time::Instant;
+
+use qob_plan::{JoinKey, QuerySpec};
+use qob_storage::{Database, RowId};
+
+use crate::executor::{ExecutionError, ExecutionOptions};
+use crate::hashtable::ChainedHashTable;
+use crate::intermediate::Intermediate;
+
+/// Runtime guard shared by all operators of one execution: wall-clock
+/// timeout and intermediate-size limit.
+pub struct ExecGuard {
+    start: Instant,
+    timeout: Option<std::time::Duration>,
+    max_slots: usize,
+    check_counter: std::cell::Cell<u32>,
+}
+
+const CHECK_INTERVAL: u32 = 16 * 1024;
+
+impl ExecGuard {
+    /// Creates a guard from the execution options.
+    pub fn new(options: &ExecutionOptions) -> Self {
+        ExecGuard {
+            start: Instant::now(),
+            timeout: options.timeout,
+            max_slots: options.max_intermediate_slots,
+            check_counter: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Time elapsed since execution started.
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.start.elapsed()
+    }
+
+    /// Cheap periodic check: returns an error once the timeout has passed.
+    #[inline]
+    pub fn tick(&self) -> Result<(), ExecutionError> {
+        let c = self.check_counter.get().wrapping_add(1);
+        self.check_counter.set(c);
+        if c % CHECK_INTERVAL == 0 {
+            self.check_deadline()?;
+        }
+        Ok(())
+    }
+
+    /// Unconditional deadline check.
+    pub fn check_deadline(&self) -> Result<(), ExecutionError> {
+        if let Some(t) = self.timeout {
+            if self.start.elapsed() > t {
+                return Err(ExecutionError::Timeout { elapsed: self.start.elapsed() });
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks that an intermediate stays within the memory budget.
+    pub fn check_size(&self, produced: &Intermediate) -> Result<(), ExecutionError> {
+        if produced.slot_count() > self.max_slots {
+            return Err(ExecutionError::IntermediateTooLarge {
+                slots: produced.slot_count(),
+                limit: self.max_slots,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Scans a base relation, applying its selection predicates.
+pub fn scan(db: &Database, query: &QuerySpec, rel: usize) -> Intermediate {
+    let relation = &query.relations[rel];
+    let table = db.table(relation.table);
+    let rows: Vec<RowId> = if relation.predicates.is_empty() {
+        table.row_ids().collect()
+    } else if relation.predicates.len() == 1 {
+        relation.predicates[0].filter(table)
+    } else {
+        // Evaluate the most common case (conjunction) by filtering on the
+        // first predicate and rechecking the rest per row.
+        relation.predicates[0]
+            .filter(table)
+            .into_iter()
+            .filter(|&row| relation.predicates[1..].iter().all(|p| p.matches(table, row)))
+            .collect()
+    };
+    Intermediate::from_scan(rel, rows)
+}
+
+fn key_value(
+    db: &Database,
+    query: &QuerySpec,
+    input: &Intermediate,
+    tuple: usize,
+    rel: usize,
+    column: qob_storage::ColumnId,
+) -> Option<i64> {
+    input.int_value(db, query, tuple, rel, column)
+}
+
+/// Checks the remaining (non-primary) join keys for a candidate pair.
+fn verify_keys(
+    db: &Database,
+    query: &QuerySpec,
+    left: &Intermediate,
+    lt: usize,
+    right: &Intermediate,
+    rt: usize,
+    keys: &[JoinKey],
+) -> bool {
+    keys.iter().all(|k| {
+        let lv = key_value(db, query, left, lt, k.left_rel, k.left_column);
+        let rv = key_value(db, query, right, rt, k.right_rel, k.right_column);
+        match (lv, rv) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        }
+    })
+}
+
+fn output_rels(left: &Intermediate, right: &Intermediate) -> Vec<usize> {
+    let mut rels = left.rels().to_vec();
+    rels.extend_from_slice(right.rels());
+    rels
+}
+
+/// Hash join: builds a chained hash table on the *left* input (sized from
+/// `build_estimate`), probes with the right input.
+pub fn hash_join(
+    db: &Database,
+    query: &QuerySpec,
+    left: &Intermediate,
+    right: &Intermediate,
+    keys: &[JoinKey],
+    build_estimate: f64,
+    options: &ExecutionOptions,
+    guard: &ExecGuard,
+) -> Result<Intermediate, ExecutionError> {
+    let first = keys.first().ok_or(ExecutionError::CrossProduct)?;
+    let rest = &keys[1..];
+    let mut table = ChainedHashTable::with_estimate(build_estimate, options.enable_rehash);
+    for t in 0..left.len() {
+        guard.tick()?;
+        if let Some(v) = key_value(db, query, left, t, first.left_rel, first.left_column) {
+            table.insert(v, t as u32);
+        }
+    }
+    let mut out = Intermediate::empty(output_rels(left, right));
+    for rt in 0..right.len() {
+        guard.tick()?;
+        let probe = match key_value(db, query, right, rt, first.right_rel, first.right_column) {
+            Some(v) => v,
+            None => continue,
+        };
+        for lt in table.probe(probe) {
+            guard.tick()?;
+            let lt = lt as usize;
+            if rest.is_empty() || verify_keys(db, query, left, lt, right, rt, rest) {
+                out.push_joined(left.tuple(lt), right.tuple(rt));
+            }
+        }
+        guard.check_size(&out)?;
+    }
+    Ok(out)
+}
+
+/// Index-nested-loop join: for every tuple of `outer`, looks up matches of
+/// the first join key in the catalog hash index of the inner base relation
+/// and applies the inner relation's selection predicates on the fly.
+pub fn index_nested_loop_join(
+    db: &Database,
+    query: &QuerySpec,
+    outer: &Intermediate,
+    inner_rel: usize,
+    keys: &[JoinKey],
+    guard: &ExecGuard,
+) -> Result<Intermediate, ExecutionError> {
+    let first = keys.first().ok_or(ExecutionError::CrossProduct)?;
+    // In plan terms the inner relation is always the right child, so the
+    // first key's right side addresses the inner relation.
+    let inner_table_id = query.relations[inner_rel].table;
+    let inner_table = db.table(inner_table_id);
+    let index = db
+        .hash_index(inner_table_id, first.right_column)
+        .ok_or(ExecutionError::MissingIndex {
+            table: inner_table.name().to_owned(),
+            column: first.right_column,
+        })?;
+    let inner_predicates = &query.relations[inner_rel].predicates;
+    let rest = &keys[1..];
+    let mut out_rels = outer.rels().to_vec();
+    out_rels.push(inner_rel);
+    let mut out = Intermediate::empty(out_rels);
+    for ot in 0..outer.len() {
+        guard.tick()?;
+        let key = match key_value(db, query, outer, ot, first.left_rel, first.left_column) {
+            Some(v) => v,
+            None => continue,
+        };
+        for &inner_row in index.lookup(key) {
+            guard.tick()?;
+            if !inner_predicates.iter().all(|p| p.matches(inner_table, inner_row)) {
+                continue;
+            }
+            if !rest.is_empty() {
+                let ok = rest.iter().all(|k| {
+                    let lv = key_value(db, query, outer, ot, k.left_rel, k.left_column);
+                    let rv = inner_table.column(k.right_column).int_at(inner_row as usize);
+                    matches!((lv, rv), (Some(a), Some(b)) if a == b)
+                });
+                if !ok {
+                    continue;
+                }
+            }
+            out.push_joined(outer.tuple(ot), &[inner_row]);
+        }
+        guard.check_size(&out)?;
+    }
+    Ok(out)
+}
+
+/// Plain nested-loop join (no index): compares every pair of tuples.  This is
+/// the algorithm whose O(n·m) risk the paper analyses in Section 4.1.
+pub fn nested_loop_join(
+    db: &Database,
+    query: &QuerySpec,
+    left: &Intermediate,
+    right: &Intermediate,
+    keys: &[JoinKey],
+    guard: &ExecGuard,
+) -> Result<Intermediate, ExecutionError> {
+    if keys.is_empty() {
+        return Err(ExecutionError::CrossProduct);
+    }
+    let mut out = Intermediate::empty(output_rels(left, right));
+    for lt in 0..left.len() {
+        guard.check_deadline()?;
+        for rt in 0..right.len() {
+            guard.tick()?;
+            if verify_keys(db, query, left, lt, right, rt, keys) {
+                out.push_joined(left.tuple(lt), right.tuple(rt));
+            }
+        }
+        guard.check_size(&out)?;
+    }
+    Ok(out)
+}
+
+/// Sort-merge join on the first key (remaining keys are verified per match).
+pub fn sort_merge_join(
+    db: &Database,
+    query: &QuerySpec,
+    left: &Intermediate,
+    right: &Intermediate,
+    keys: &[JoinKey],
+    guard: &ExecGuard,
+) -> Result<Intermediate, ExecutionError> {
+    let first = keys.first().ok_or(ExecutionError::CrossProduct)?;
+    let rest = &keys[1..];
+    let mut lkeys: Vec<(i64, u32)> = (0..left.len())
+        .filter_map(|t| {
+            key_value(db, query, left, t, first.left_rel, first.left_column).map(|v| (v, t as u32))
+        })
+        .collect();
+    let mut rkeys: Vec<(i64, u32)> = (0..right.len())
+        .filter_map(|t| {
+            key_value(db, query, right, t, first.right_rel, first.right_column)
+                .map(|v| (v, t as u32))
+        })
+        .collect();
+    lkeys.sort_unstable();
+    rkeys.sort_unstable();
+    let mut out = Intermediate::empty(output_rels(left, right));
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < lkeys.len() && j < rkeys.len() {
+        guard.tick()?;
+        let (lk, _) = lkeys[i];
+        let (rk, _) = rkeys[j];
+        if lk < rk {
+            i += 1;
+        } else if lk > rk {
+            j += 1;
+        } else {
+            // Find the runs of equal keys on both sides.
+            let i_end = lkeys[i..].iter().take_while(|(k, _)| *k == lk).count() + i;
+            let j_end = rkeys[j..].iter().take_while(|(k, _)| *k == rk).count() + j;
+            for &(_, lt) in &lkeys[i..i_end] {
+                for &(_, rt) in &rkeys[j..j_end] {
+                    guard.tick()?;
+                    let (lt, rt) = (lt as usize, rt as usize);
+                    if rest.is_empty() || verify_keys(db, query, left, lt, right, rt, rest) {
+                        out.push_joined(left.tuple(lt), right.tuple(rt));
+                    }
+                }
+            }
+            guard.check_size(&out)?;
+            i = i_end;
+            j = j_end;
+        }
+    }
+    Ok(out)
+}

@@ -1,0 +1,517 @@
+//! Physical plan trees.
+//!
+//! A [`PhysicalPlan`] is a binary operator tree over the base relations of a
+//! [`crate::QuerySpec`].  Leaves are base-table scans (with the relation's
+//! selection predicates pushed down); inner nodes are joins annotated with a
+//! [`JoinAlgorithm`] and the equality [`JoinKey`]s they evaluate.
+//!
+//! The same plan representation is consumed by the cost models
+//! (`qob-cost`), the executor (`qob-exec`) and the enumeration experiments
+//! (Tables 2 and 3 of the paper).
+
+use std::fmt;
+
+use qob_storage::ColumnId;
+
+use crate::query::QuerySpec;
+use crate::relset::RelSet;
+
+/// The join algorithms available to the optimizer — the repertoire described
+/// in Section 2.3 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinAlgorithm {
+    /// In-memory hash join: build a hash table on the left (build) input,
+    /// probe with the right input.
+    Hash,
+    /// Index-nested-loop join: for each tuple of the left (outer) input,
+    /// look up matches in an index on the right child, which must be a base
+    /// relation scan.
+    IndexNestedLoop,
+    /// Plain nested-loop join without index support (the risky algorithm the
+    /// paper disables in Section 4.1).
+    NestedLoop,
+    /// Sort-merge join.
+    SortMerge,
+}
+
+impl JoinAlgorithm {
+    /// Short display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JoinAlgorithm::Hash => "HJ",
+            JoinAlgorithm::IndexNestedLoop => "INL",
+            JoinAlgorithm::NestedLoop => "NL",
+            JoinAlgorithm::SortMerge => "SMJ",
+        }
+    }
+}
+
+/// One equality join condition, expressed against base relations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinKey {
+    /// Relation index (into the query's relation list) on the left input.
+    pub left_rel: usize,
+    /// Join column of the left relation.
+    pub left_column: ColumnId,
+    /// Relation index on the right input.
+    pub right_rel: usize,
+    /// Join column of the right relation.
+    pub right_column: ColumnId,
+}
+
+/// The shape of a join tree, used for the Section 6.2 experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlanShape {
+    /// Every join's right input is a base relation.
+    LeftDeep,
+    /// Every join's left input is a base relation.
+    RightDeep,
+    /// Every join has at least one base relation input (superset of left- and
+    /// right-deep, reported when the plan is neither purely left- nor
+    /// right-deep).
+    ZigZag,
+    /// At least one join has two composite inputs.
+    Bushy,
+}
+
+impl PlanShape {
+    /// Display label matching the paper's Table 2.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlanShape::LeftDeep => "left-deep",
+            PlanShape::RightDeep => "right-deep",
+            PlanShape::ZigZag => "zig-zag",
+            PlanShape::Bushy => "bushy",
+        }
+    }
+}
+
+/// A physical operator tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicalPlan {
+    /// Scan of one base relation with its selection predicates applied.
+    Scan {
+        /// Index of the relation in [`QuerySpec::relations`].
+        rel: usize,
+    },
+    /// A binary join.
+    Join {
+        /// Join algorithm.
+        algorithm: JoinAlgorithm,
+        /// Left input (build side for hash joins, outer side for nested-loop
+        /// style joins).
+        left: Box<PhysicalPlan>,
+        /// Right input (probe side for hash joins; for index-nested-loop
+        /// joins this must be a [`PhysicalPlan::Scan`]).
+        right: Box<PhysicalPlan>,
+        /// The equality conditions evaluated by this join.
+        keys: Vec<JoinKey>,
+    },
+}
+
+impl PhysicalPlan {
+    /// A scan leaf.
+    pub fn scan(rel: usize) -> Self {
+        PhysicalPlan::Scan { rel }
+    }
+
+    /// A join node.
+    pub fn join(
+        algorithm: JoinAlgorithm,
+        left: PhysicalPlan,
+        right: PhysicalPlan,
+        keys: Vec<JoinKey>,
+    ) -> Self {
+        PhysicalPlan::Join { algorithm, left: Box::new(left), right: Box::new(right), keys }
+    }
+
+    /// The set of base relations produced by this plan.
+    pub fn rels(&self) -> RelSet {
+        match self {
+            PhysicalPlan::Scan { rel } => RelSet::single(*rel),
+            PhysicalPlan::Join { left, right, .. } => left.rels().union(right.rels()),
+        }
+    }
+
+    /// Number of scan leaves.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            PhysicalPlan::Scan { .. } => 1,
+            PhysicalPlan::Join { left, right, .. } => left.leaf_count() + right.leaf_count(),
+        }
+    }
+
+    /// Number of join operators.
+    pub fn join_count(&self) -> usize {
+        match self {
+            PhysicalPlan::Scan { .. } => 0,
+            PhysicalPlan::Join { left, right, .. } => 1 + left.join_count() + right.join_count(),
+        }
+    }
+
+    /// True if the plan is a single base-table scan.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, PhysicalPlan::Scan { .. })
+    }
+
+    /// Visits every node in pre-order.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a PhysicalPlan)) {
+        f(self);
+        if let PhysicalPlan::Join { left, right, .. } = self {
+            left.visit(f);
+            right.visit(f);
+        }
+    }
+
+    /// Counts the joins using a particular algorithm.
+    pub fn count_algorithm(&self, algorithm: JoinAlgorithm) -> usize {
+        let mut n = 0;
+        self.visit(&mut |node| {
+            if let PhysicalPlan::Join { algorithm: a, .. } = node {
+                if *a == algorithm {
+                    n += 1;
+                }
+            }
+        });
+        n
+    }
+
+    /// True if any join uses the given algorithm.
+    pub fn uses_algorithm(&self, algorithm: JoinAlgorithm) -> bool {
+        self.count_algorithm(algorithm) > 0
+    }
+
+    /// Classifies the tree shape (Section 6.2 of the paper).
+    ///
+    /// A single scan is classified as left-deep.  A plan in which every join
+    /// has a base relation on the right is left-deep; on the left,
+    /// right-deep; a mix of the two is zig-zag; anything with a join of two
+    /// composite inputs is bushy.
+    pub fn shape(&self) -> PlanShape {
+        let mut all_right_leaf = true;
+        let mut all_left_leaf = true;
+        let mut all_some_leaf = true;
+        self.visit(&mut |node| {
+            if let PhysicalPlan::Join { left, right, .. } = node {
+                let l = left.is_leaf();
+                let r = right.is_leaf();
+                all_right_leaf &= r;
+                all_left_leaf &= l;
+                all_some_leaf &= l || r;
+            }
+        });
+        if all_right_leaf {
+            PlanShape::LeftDeep
+        } else if all_left_leaf {
+            PlanShape::RightDeep
+        } else if all_some_leaf {
+            PlanShape::ZigZag
+        } else {
+            PlanShape::Bushy
+        }
+    }
+
+    /// Checks structural invariants of the plan against its query:
+    ///
+    /// * every relation appears exactly once,
+    /// * every join key references a relation on the proper side,
+    /// * index-nested-loop joins have a base relation scan on the right,
+    /// * joins carry at least one key (no cross products).
+    pub fn validate(&self, query: &QuerySpec) -> Result<(), String> {
+        let rels = self.rels();
+        if rels != query.all_rels() {
+            return Err(format!(
+                "plan covers relations {rels} but the query has {}",
+                query.all_rels()
+            ));
+        }
+        if self.leaf_count() != query.rel_count() {
+            return Err("a relation appears more than once in the plan".to_owned());
+        }
+        let mut err = None;
+        self.visit(&mut |node| {
+            if err.is_some() {
+                return;
+            }
+            if let PhysicalPlan::Join { algorithm, left, right, keys } = node {
+                if keys.is_empty() {
+                    err = Some("join without keys (cross product)".to_owned());
+                    return;
+                }
+                let lrels = left.rels();
+                let rrels = right.rels();
+                if !lrels.is_disjoint(rrels) {
+                    err = Some("join inputs overlap".to_owned());
+                    return;
+                }
+                for k in keys {
+                    if !lrels.contains(k.left_rel) || !rrels.contains(k.right_rel) {
+                        err = Some(format!(
+                            "join key references relations {} and {} not on the expected sides",
+                            k.left_rel, k.right_rel
+                        ));
+                        return;
+                    }
+                }
+                if *algorithm == JoinAlgorithm::IndexNestedLoop && !right.is_leaf() {
+                    err = Some("index-nested-loop join requires a base relation on the right".into());
+                }
+            }
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Pretty multi-line rendering of the plan with relation aliases.
+    pub fn render(&self, query: &QuerySpec) -> String {
+        let mut out = String::new();
+        self.render_rec(query, 0, &mut out);
+        out
+    }
+
+    fn render_rec(&self, query: &QuerySpec, depth: usize, out: &mut String) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        match self {
+            PhysicalPlan::Scan { rel } => {
+                let alias = query
+                    .relations
+                    .get(*rel)
+                    .map(|r| r.alias.as_str())
+                    .unwrap_or("?");
+                out.push_str(&format!("Scan {alias}\n"));
+            }
+            PhysicalPlan::Join { algorithm, left, right, keys } => {
+                out.push_str(&format!("{} [{} keys]\n", algorithm.label(), keys.len()));
+                left.render_rec(query, depth + 1, out);
+                right.render_rec(query, depth + 1, out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for PhysicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhysicalPlan::Scan { rel } => write!(f, "R{rel}"),
+            PhysicalPlan::Join { algorithm, left, right, .. } => {
+                write!(f, "({left} {} {right})", algorithm.label())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{BaseRelation, JoinEdge};
+    use qob_storage::TableId;
+
+    fn key(l: usize, r: usize) -> JoinKey {
+        JoinKey { left_rel: l, left_column: ColumnId(1), right_rel: r, right_column: ColumnId(0) }
+    }
+
+    /// A 4-relation chain query (no catalog needed for structural tests).
+    fn chain4() -> QuerySpec {
+        QuerySpec::new(
+            "chain4",
+            (0..4)
+                .map(|i| BaseRelation::unfiltered(TableId(i as u32), format!("r{i}")))
+                .collect(),
+            vec![
+                JoinEdge { left: 0, left_column: ColumnId(1), right: 1, right_column: ColumnId(0) },
+                JoinEdge { left: 1, left_column: ColumnId(1), right: 2, right_column: ColumnId(0) },
+                JoinEdge { left: 2, left_column: ColumnId(1), right: 3, right_column: ColumnId(0) },
+            ],
+        )
+    }
+
+    fn left_deep() -> PhysicalPlan {
+        // ((0 ⋈ 1) ⋈ 2) ⋈ 3
+        let j01 = PhysicalPlan::join(
+            JoinAlgorithm::Hash,
+            PhysicalPlan::scan(0),
+            PhysicalPlan::scan(1),
+            vec![key(0, 1)],
+        );
+        let j012 = PhysicalPlan::join(JoinAlgorithm::Hash, j01, PhysicalPlan::scan(2), vec![key(1, 2)]);
+        PhysicalPlan::join(JoinAlgorithm::Hash, j012, PhysicalPlan::scan(3), vec![key(2, 3)])
+    }
+
+    fn right_deep() -> PhysicalPlan {
+        // 0 ⋈ (1 ⋈ (2 ⋈ 3))
+        let j23 = PhysicalPlan::join(
+            JoinAlgorithm::Hash,
+            PhysicalPlan::scan(2),
+            PhysicalPlan::scan(3),
+            vec![key(2, 3)],
+        );
+        let j123 = PhysicalPlan::join(JoinAlgorithm::Hash, PhysicalPlan::scan(1), j23, vec![key(1, 2)]);
+        PhysicalPlan::join(JoinAlgorithm::Hash, PhysicalPlan::scan(0), j123, vec![key(0, 1)])
+    }
+
+    fn bushy() -> PhysicalPlan {
+        // (0 ⋈ 1) ⋈ (2 ⋈ 3)
+        let j01 = PhysicalPlan::join(
+            JoinAlgorithm::Hash,
+            PhysicalPlan::scan(0),
+            PhysicalPlan::scan(1),
+            vec![key(0, 1)],
+        );
+        let j23 = PhysicalPlan::join(
+            JoinAlgorithm::Hash,
+            PhysicalPlan::scan(2),
+            PhysicalPlan::scan(3),
+            vec![key(2, 3)],
+        );
+        PhysicalPlan::join(JoinAlgorithm::Hash, j01, j23, vec![key(1, 2)])
+    }
+
+    #[test]
+    fn rels_and_counts() {
+        let p = left_deep();
+        assert_eq!(p.rels(), RelSet::first_n(4));
+        assert_eq!(p.leaf_count(), 4);
+        assert_eq!(p.join_count(), 3);
+        assert!(!p.is_leaf());
+        assert!(PhysicalPlan::scan(0).is_leaf());
+    }
+
+    #[test]
+    fn shape_classification() {
+        assert_eq!(left_deep().shape(), PlanShape::LeftDeep);
+        assert_eq!(right_deep().shape(), PlanShape::RightDeep);
+        assert_eq!(bushy().shape(), PlanShape::Bushy);
+        assert_eq!(PhysicalPlan::scan(0).shape(), PlanShape::LeftDeep);
+
+        // Zig-zag: composite sides alternate but every join touches a leaf.
+        let j01 = PhysicalPlan::join(
+            JoinAlgorithm::Hash,
+            PhysicalPlan::scan(0),
+            PhysicalPlan::scan(1),
+            vec![key(0, 1)],
+        );
+        let j2_01 =
+            PhysicalPlan::join(JoinAlgorithm::Hash, PhysicalPlan::scan(2), j01, vec![key(2, 1)]);
+        let zig =
+            PhysicalPlan::join(JoinAlgorithm::Hash, j2_01, PhysicalPlan::scan(3), vec![key(2, 3)]);
+        assert_eq!(zig.shape(), PlanShape::ZigZag);
+        assert_eq!(PlanShape::ZigZag.label(), "zig-zag");
+        assert_eq!(PlanShape::Bushy.label(), "bushy");
+    }
+
+    #[test]
+    fn algorithm_counting() {
+        let q = chain4();
+        let mut p = left_deep();
+        assert_eq!(p.count_algorithm(JoinAlgorithm::Hash), 3);
+        assert!(!p.uses_algorithm(JoinAlgorithm::NestedLoop));
+        if let PhysicalPlan::Join { algorithm, .. } = &mut p {
+            *algorithm = JoinAlgorithm::IndexNestedLoop;
+        }
+        assert_eq!(p.count_algorithm(JoinAlgorithm::Hash), 2);
+        assert_eq!(p.count_algorithm(JoinAlgorithm::IndexNestedLoop), 1);
+        assert!(p.validate(&q).is_ok(), "INL with leaf right child is valid");
+    }
+
+    #[test]
+    fn validate_detects_structural_problems() {
+        let q = chain4();
+        assert!(left_deep().validate(&q).is_ok());
+        assert!(right_deep().validate(&q).is_ok());
+        assert!(bushy().validate(&q).is_ok());
+
+        // Missing a relation.
+        let partial = PhysicalPlan::join(
+            JoinAlgorithm::Hash,
+            PhysicalPlan::scan(0),
+            PhysicalPlan::scan(1),
+            vec![key(0, 1)],
+        );
+        assert!(partial.validate(&q).is_err());
+
+        // Cross product (no keys).
+        let j01 = PhysicalPlan::join(
+            JoinAlgorithm::Hash,
+            PhysicalPlan::scan(0),
+            PhysicalPlan::scan(1),
+            vec![],
+        );
+        let full = PhysicalPlan::join(
+            JoinAlgorithm::Hash,
+            j01,
+            PhysicalPlan::join(
+                JoinAlgorithm::Hash,
+                PhysicalPlan::scan(2),
+                PhysicalPlan::scan(3),
+                vec![key(2, 3)],
+            ),
+            vec![key(1, 2)],
+        );
+        assert!(full.validate(&q).unwrap_err().contains("cross product"));
+
+        // Key referencing the wrong side.
+        let bad_key = PhysicalPlan::join(
+            JoinAlgorithm::Hash,
+            PhysicalPlan::scan(0),
+            PhysicalPlan::scan(1),
+            vec![key(1, 0)],
+        );
+        let full = PhysicalPlan::join(
+            JoinAlgorithm::Hash,
+            bad_key,
+            PhysicalPlan::join(
+                JoinAlgorithm::Hash,
+                PhysicalPlan::scan(2),
+                PhysicalPlan::scan(3),
+                vec![key(2, 3)],
+            ),
+            vec![key(1, 2)],
+        );
+        assert!(full.validate(&q).is_err());
+
+        // INL with a composite right child.
+        let j23 = PhysicalPlan::join(
+            JoinAlgorithm::Hash,
+            PhysicalPlan::scan(2),
+            PhysicalPlan::scan(3),
+            vec![key(2, 3)],
+        );
+        let j01 = PhysicalPlan::join(
+            JoinAlgorithm::Hash,
+            PhysicalPlan::scan(0),
+            PhysicalPlan::scan(1),
+            vec![key(0, 1)],
+        );
+        let inl = PhysicalPlan::join(JoinAlgorithm::IndexNestedLoop, j01, j23, vec![key(1, 2)]);
+        assert!(inl.validate(&q).unwrap_err().contains("index-nested-loop"));
+
+        // Duplicate relation.
+        let dup = PhysicalPlan::join(
+            JoinAlgorithm::Hash,
+            left_deep(),
+            PhysicalPlan::scan(0),
+            vec![key(0, 0)],
+        );
+        assert!(dup.validate(&q).is_err());
+    }
+
+    #[test]
+    fn rendering() {
+        let q = chain4();
+        let p = bushy();
+        let text = p.render(&q);
+        assert!(text.contains("Scan r0"));
+        assert!(text.contains("HJ"));
+        assert_eq!(text.lines().count(), 7, "3 joins + 4 scans");
+        let compact = p.to_string();
+        assert!(compact.contains("R0"));
+        assert!(compact.contains("HJ"));
+        assert_eq!(JoinAlgorithm::IndexNestedLoop.label(), "INL");
+        assert_eq!(JoinAlgorithm::SortMerge.label(), "SMJ");
+        assert_eq!(JoinAlgorithm::NestedLoop.label(), "NL");
+    }
+}

@@ -1,0 +1,440 @@
+//! Query specifications: base relations, selection predicates and the join
+//! graph.
+//!
+//! A [`QuerySpec`] is the logical form of one JOB query: a set of aliased
+//! base relations, each with a conjunction of base-table predicates, plus the
+//! equality join edges connecting them.  Join graphs are what the paper's
+//! Figure 2 depicts; they are connected and free of cross products.
+
+use std::fmt;
+
+use qob_storage::{ColumnId, Database, Predicate, TableId};
+
+use crate::relset::RelSet;
+
+/// One occurrence of a base table in a query (a "range variable").
+///
+/// The same table may appear several times under different aliases — e.g.
+/// `info_type it, info_type it2` in JOB query 13.
+#[derive(Debug, Clone)]
+pub struct BaseRelation {
+    /// The catalog table.
+    pub table: TableId,
+    /// The alias used in the query text (e.g. `mc`, `it2`).
+    pub alias: String,
+    /// Conjunctive selection predicates applied to this relation.
+    pub predicates: Vec<Predicate>,
+}
+
+impl BaseRelation {
+    /// A relation with no base predicates.
+    pub fn unfiltered(table: TableId, alias: impl Into<String>) -> Self {
+        BaseRelation { table, alias: alias.into(), predicates: Vec::new() }
+    }
+
+    /// A relation with the given conjunctive predicates.
+    pub fn filtered(table: TableId, alias: impl Into<String>, predicates: Vec<Predicate>) -> Self {
+        BaseRelation { table, alias: alias.into(), predicates }
+    }
+
+    /// True if the relation carries at least one selection predicate.
+    pub fn has_predicates(&self) -> bool {
+        !self.predicates.is_empty()
+    }
+}
+
+/// An equality join edge between two relations of a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinEdge {
+    /// Index of the left relation in [`QuerySpec::relations`].
+    pub left: usize,
+    /// Join column of the left relation.
+    pub left_column: ColumnId,
+    /// Index of the right relation in [`QuerySpec::relations`].
+    pub right: usize,
+    /// Join column of the right relation.
+    pub right_column: ColumnId,
+}
+
+impl JoinEdge {
+    /// The two endpoints as a [`RelSet`].
+    pub fn rels(&self) -> RelSet {
+        RelSet::single(self.left).with(self.right)
+    }
+
+    /// True if the edge connects a relation in `a` with a relation in `b`.
+    pub fn connects(&self, a: RelSet, b: RelSet) -> bool {
+        (a.contains(self.left) && b.contains(self.right))
+            || (a.contains(self.right) && b.contains(self.left))
+    }
+}
+
+/// Errors found when validating a query against a catalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryValidationError {
+    /// A join edge references a relation index that does not exist.
+    JoinEdgeOutOfRange { edge: usize },
+    /// A join edge references a column that does not exist in its table.
+    UnknownJoinColumn { edge: usize, side: &'static str },
+    /// The join graph is not connected (the query would need a cross product).
+    Disconnected,
+    /// The query has no relations.
+    Empty,
+    /// The query has more relations than [`RelSet`] can represent.
+    TooManyRelations(usize),
+    /// Two relations share the same alias.
+    DuplicateAlias(String),
+}
+
+impl fmt::Display for QueryValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryValidationError::JoinEdgeOutOfRange { edge } => {
+                write!(f, "join edge {edge} references a relation out of range")
+            }
+            QueryValidationError::UnknownJoinColumn { edge, side } => {
+                write!(f, "join edge {edge} references an unknown column on the {side} side")
+            }
+            QueryValidationError::Disconnected => {
+                write!(f, "join graph is not connected (cross product required)")
+            }
+            QueryValidationError::Empty => write!(f, "query has no relations"),
+            QueryValidationError::TooManyRelations(n) => {
+                write!(f, "query has {n} relations, more than the supported 64")
+            }
+            QueryValidationError::DuplicateAlias(a) => write!(f, "duplicate alias `{a}`"),
+        }
+    }
+}
+
+impl std::error::Error for QueryValidationError {}
+
+/// A select-project-join query over the catalog.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// Query name (e.g. `"13d"` for JOB query 13, variant d).
+    pub name: String,
+    /// The base relations, in query order.
+    pub relations: Vec<BaseRelation>,
+    /// The equality join edges.
+    pub joins: Vec<JoinEdge>,
+}
+
+impl QuerySpec {
+    /// Creates a query spec.
+    pub fn new(name: impl Into<String>, relations: Vec<BaseRelation>, joins: Vec<JoinEdge>) -> Self {
+        QuerySpec { name: name.into(), relations, joins }
+    }
+
+    /// Number of base relations.
+    pub fn rel_count(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Number of join edges.
+    pub fn join_predicate_count(&self) -> usize {
+        self.joins.len()
+    }
+
+    /// Number of joins in a complete plan (relations − 1).
+    pub fn join_count(&self) -> usize {
+        self.relations.len().saturating_sub(1)
+    }
+
+    /// The set of all relations.
+    pub fn all_rels(&self) -> RelSet {
+        RelSet::first_n(self.relations.len())
+    }
+
+    /// Index of the relation with the given alias.
+    pub fn relation_by_alias(&self, alias: &str) -> Option<usize> {
+        self.relations.iter().position(|r| r.alias == alias)
+    }
+
+    /// Per-relation adjacency: `adjacency()[r]` is the set of relations that
+    /// share a join edge with `r`.
+    pub fn adjacency(&self) -> Vec<RelSet> {
+        let mut adj = vec![RelSet::empty(); self.relations.len()];
+        for e in &self.joins {
+            if e.left < adj.len() && e.right < adj.len() {
+                adj[e.left] = adj[e.left].with(e.right);
+                adj[e.right] = adj[e.right].with(e.left);
+            }
+        }
+        adj
+    }
+
+    /// The neighbourhood of `set`: relations outside `set` connected to it by
+    /// at least one join edge.
+    pub fn neighbors(&self, set: RelSet, adjacency: &[RelSet]) -> RelSet {
+        let mut n = RelSet::empty();
+        for rel in set.iter() {
+            n = n.union(adjacency[rel]);
+        }
+        n.minus(set)
+    }
+
+    /// True if the induced subgraph on `set` is connected.
+    pub fn is_connected(&self, set: RelSet, adjacency: &[RelSet]) -> bool {
+        if set.is_empty() {
+            return false;
+        }
+        if set.len() == 1 {
+            return true;
+        }
+        let start = set.min_rel().expect("non-empty");
+        let mut reached = RelSet::single(start);
+        loop {
+            let frontier = self.neighbors(reached, adjacency).intersect(set);
+            if frontier.is_empty() {
+                break;
+            }
+            reached = reached.union(frontier);
+        }
+        reached == set
+    }
+
+    /// The join edges with one endpoint in `a` and the other in `b`.
+    pub fn edges_between(&self, a: RelSet, b: RelSet) -> Vec<JoinEdge> {
+        self.joins.iter().copied().filter(|e| e.connects(a, b)).collect()
+    }
+
+    /// The join edges fully contained in `set`.
+    pub fn edges_within(&self, set: RelSet) -> Vec<JoinEdge> {
+        self.joins
+            .iter()
+            .copied()
+            .filter(|e| set.contains(e.left) && set.contains(e.right))
+            .collect()
+    }
+
+    /// Enumerates every *connected* subexpression of the query (every
+    /// connected subset of the join graph), in increasing size order.
+    ///
+    /// These are exactly the intermediate results the paper extracts
+    /// cardinalities for (Section 2.4).  Enumeration uses breadth-first
+    /// expansion from each seed relation and deduplicates by bitset, which is
+    /// efficient for the tree-like join graphs of JOB.
+    pub fn connected_subexpressions(&self) -> Vec<RelSet> {
+        let adjacency = self.adjacency();
+        let n = self.relations.len();
+        let mut seen = std::collections::HashSet::new();
+        let mut frontier: Vec<RelSet> = Vec::new();
+        for r in 0..n {
+            let s = RelSet::single(r);
+            seen.insert(s);
+            frontier.push(s);
+        }
+        let mut all: Vec<RelSet> = frontier.clone();
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &set in &frontier {
+                for nb in self.neighbors(set, &adjacency).iter() {
+                    let bigger = set.with(nb);
+                    if seen.insert(bigger) {
+                        next.push(bigger);
+                        all.push(bigger);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        all.sort_by_key(|s| (s.len(), s.bits()));
+        all
+    }
+
+    /// Validates the query against the catalog: relations resolve, join
+    /// columns exist, aliases are unique and the join graph is connected.
+    pub fn validate(&self, db: &Database) -> Result<(), QueryValidationError> {
+        if self.relations.is_empty() {
+            return Err(QueryValidationError::Empty);
+        }
+        if self.relations.len() > RelSet::MAX_RELS {
+            return Err(QueryValidationError::TooManyRelations(self.relations.len()));
+        }
+        let mut aliases = std::collections::HashSet::new();
+        for rel in &self.relations {
+            if !aliases.insert(rel.alias.as_str()) {
+                return Err(QueryValidationError::DuplicateAlias(rel.alias.clone()));
+            }
+        }
+        for (i, e) in self.joins.iter().enumerate() {
+            if e.left >= self.relations.len() || e.right >= self.relations.len() {
+                return Err(QueryValidationError::JoinEdgeOutOfRange { edge: i });
+            }
+            let lt = db.table(self.relations[e.left].table);
+            if e.left_column.index() >= lt.column_count() {
+                return Err(QueryValidationError::UnknownJoinColumn { edge: i, side: "left" });
+            }
+            let rt = db.table(self.relations[e.right].table);
+            if e.right_column.index() >= rt.column_count() {
+                return Err(QueryValidationError::UnknownJoinColumn { edge: i, side: "right" });
+            }
+        }
+        let adjacency = self.adjacency();
+        if self.relations.len() > 1 && !self.is_connected(self.all_rels(), &adjacency) {
+            return Err(QueryValidationError::Disconnected);
+        }
+        Ok(())
+    }
+
+    /// Total number of base-table selection predicates in the query.
+    pub fn base_predicate_count(&self) -> usize {
+        self.relations.iter().map(|r| r.predicates.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qob_storage::{ColumnMeta, DataType, TableBuilder, Value};
+
+    /// Builds a catalog with three tiny tables and a chain query A–B–C plus an
+    /// extra edge forming a cycle for some tests.
+    fn setup() -> (Database, QuerySpec) {
+        let mut db = Database::new();
+        for name in ["a", "b", "c", "d"] {
+            let mut t = TableBuilder::new(
+                name,
+                vec![
+                    ColumnMeta::new("id", DataType::Int),
+                    ColumnMeta::new("x_id", DataType::Int),
+                ],
+            );
+            for i in 0..5 {
+                t.push_row(vec![Value::Int(i), Value::Int(i % 2)]).unwrap();
+            }
+            db.add_table(t.finish()).unwrap();
+        }
+        let a = db.table_id("a").unwrap();
+        let b = db.table_id("b").unwrap();
+        let c = db.table_id("c").unwrap();
+        let q = QuerySpec::new(
+            "chain",
+            vec![
+                BaseRelation::unfiltered(a, "a"),
+                BaseRelation::unfiltered(b, "b"),
+                BaseRelation::unfiltered(c, "c"),
+            ],
+            vec![
+                JoinEdge { left: 0, left_column: ColumnId(1), right: 1, right_column: ColumnId(0) },
+                JoinEdge { left: 1, left_column: ColumnId(1), right: 2, right_column: ColumnId(0) },
+            ],
+        );
+        (db, q)
+    }
+
+    #[test]
+    fn counts_and_lookup() {
+        let (_, q) = setup();
+        assert_eq!(q.rel_count(), 3);
+        assert_eq!(q.join_count(), 2);
+        assert_eq!(q.join_predicate_count(), 2);
+        assert_eq!(q.all_rels(), RelSet::first_n(3));
+        assert_eq!(q.relation_by_alias("b"), Some(1));
+        assert_eq!(q.relation_by_alias("zz"), None);
+        assert_eq!(q.base_predicate_count(), 0);
+    }
+
+    #[test]
+    fn adjacency_and_neighbors() {
+        let (_, q) = setup();
+        let adj = q.adjacency();
+        assert_eq!(adj[0], RelSet::single(1));
+        assert_eq!(adj[1], RelSet::from_iter([0, 2]));
+        assert_eq!(adj[2], RelSet::single(1));
+        assert_eq!(q.neighbors(RelSet::single(0), &adj), RelSet::single(1));
+        assert_eq!(q.neighbors(RelSet::from_iter([0, 1]), &adj), RelSet::single(2));
+        assert_eq!(q.neighbors(q.all_rels(), &adj), RelSet::empty());
+    }
+
+    #[test]
+    fn connectivity() {
+        let (_, q) = setup();
+        let adj = q.adjacency();
+        assert!(q.is_connected(RelSet::single(0), &adj));
+        assert!(q.is_connected(RelSet::from_iter([0, 1]), &adj));
+        assert!(q.is_connected(q.all_rels(), &adj));
+        assert!(!q.is_connected(RelSet::from_iter([0, 2]), &adj), "a and c are not adjacent");
+        assert!(!q.is_connected(RelSet::empty(), &adj));
+    }
+
+    #[test]
+    fn edges_between_and_within() {
+        let (_, q) = setup();
+        let ab = q.edges_between(RelSet::single(0), RelSet::single(1));
+        assert_eq!(ab.len(), 1);
+        assert!(ab[0].connects(RelSet::single(0), RelSet::single(1)));
+        let ac = q.edges_between(RelSet::single(0), RelSet::single(2));
+        assert!(ac.is_empty());
+        let within = q.edges_within(RelSet::from_iter([0, 1]));
+        assert_eq!(within.len(), 1);
+        assert_eq!(q.edges_within(q.all_rels()).len(), 2);
+        assert_eq!(JoinEdge { left: 0, left_column: ColumnId(1), right: 1, right_column: ColumnId(0) }.rels(), RelSet::from_iter([0, 1]));
+    }
+
+    #[test]
+    fn connected_subexpressions_of_chain() {
+        let (_, q) = setup();
+        let subs = q.connected_subexpressions();
+        // Chain of 3: {0},{1},{2},{0,1},{1,2},{0,1,2} — but not {0,2}.
+        assert_eq!(subs.len(), 6);
+        assert!(!subs.contains(&RelSet::from_iter([0, 2])));
+        assert!(subs.contains(&q.all_rels()));
+        // Sizes are non-decreasing.
+        for w in subs.windows(2) {
+            assert!(w[0].len() <= w[1].len());
+        }
+    }
+
+    #[test]
+    fn validate_accepts_good_query() {
+        let (db, q) = setup();
+        assert!(q.validate(&db).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_problems() {
+        let (db, q) = setup();
+
+        let empty = QuerySpec::new("e", vec![], vec![]);
+        assert_eq!(empty.validate(&db), Err(QueryValidationError::Empty));
+
+        let mut disconnected = q.clone();
+        disconnected.joins.pop();
+        assert_eq!(disconnected.validate(&db), Err(QueryValidationError::Disconnected));
+
+        let mut bad_edge = q.clone();
+        bad_edge.joins[0].right = 9;
+        assert!(matches!(
+            bad_edge.validate(&db),
+            Err(QueryValidationError::JoinEdgeOutOfRange { .. })
+        ));
+
+        let mut bad_col = q.clone();
+        bad_col.joins[0].left_column = ColumnId(99);
+        assert!(matches!(
+            bad_col.validate(&db),
+            Err(QueryValidationError::UnknownJoinColumn { side: "left", .. })
+        ));
+
+        let mut dup = q.clone();
+        dup.relations[1].alias = "a".into();
+        assert!(matches!(dup.validate(&db), Err(QueryValidationError::DuplicateAlias(_))));
+    }
+
+    #[test]
+    fn validation_error_display() {
+        let errs = [
+            QueryValidationError::JoinEdgeOutOfRange { edge: 1 },
+            QueryValidationError::UnknownJoinColumn { edge: 0, side: "right" },
+            QueryValidationError::Disconnected,
+            QueryValidationError::Empty,
+            QueryValidationError::TooManyRelations(70),
+            QueryValidationError::DuplicateAlias("mc".into()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

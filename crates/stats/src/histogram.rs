@@ -1,0 +1,182 @@
+//! Equi-depth (quantile) histograms over integer columns.
+
+use qob_storage::CmpOp;
+
+/// An equi-depth histogram: `bounds` holds `buckets + 1` boundary values such
+/// that each bucket contains (approximately) the same number of rows.
+///
+/// This mirrors PostgreSQL's `histogram_bounds` statistic.  Selectivity
+/// estimates interpolate linearly within a bucket, assuming uniformity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EquiDepthHistogram {
+    bounds: Vec<i64>,
+}
+
+impl EquiDepthHistogram {
+    /// Builds a histogram with at most `buckets` buckets from (a sample of)
+    /// the column's non-null values.  Returns `None` if there are no values.
+    pub fn build(mut values: Vec<i64>, buckets: usize) -> Option<Self> {
+        if values.is_empty() || buckets == 0 {
+            return None;
+        }
+        values.sort_unstable();
+        let n = values.len();
+        let buckets = buckets.min(n.max(1));
+        let mut bounds = Vec::with_capacity(buckets + 1);
+        for b in 0..=buckets {
+            let idx = if b == buckets { n - 1 } else { (b * (n - 1)) / buckets };
+            bounds.push(values[idx]);
+        }
+        Some(EquiDepthHistogram { bounds })
+    }
+
+    /// The histogram boundary values.
+    pub fn bounds(&self) -> &[i64] {
+        &self.bounds
+    }
+
+    /// Number of buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Smallest and largest boundary.
+    pub fn min_max(&self) -> (i64, i64) {
+        (self.bounds[0], *self.bounds.last().expect("non-empty bounds"))
+    }
+
+    /// Estimated fraction of (non-null) rows with value `< x` — the
+    /// cumulative distribution, interpolated linearly within buckets.
+    pub fn fraction_below(&self, x: i64) -> f64 {
+        let (min, max) = self.min_max();
+        if x <= min {
+            return 0.0;
+        }
+        if x > max {
+            return 1.0;
+        }
+        let buckets = self.bucket_count() as f64;
+        // Walk the buckets; equal boundary values (possible for heavy
+        // hitters) still count as full buckets, preserving the equi-depth
+        // property.
+        let mut frac = 0.0;
+        for w in self.bounds.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            if x > hi {
+                frac += 1.0 / buckets;
+            } else if x <= lo {
+                break;
+            } else {
+                let width = (hi - lo) as f64;
+                let within = if width <= 0.0 { 1.0 } else { (x - lo) as f64 / width };
+                frac += within.clamp(0.0, 1.0) / buckets;
+                break;
+            }
+        }
+        frac.clamp(0.0, 1.0)
+    }
+
+    /// Estimated selectivity of `column <op> value` among non-null rows,
+    /// using only the histogram (equality falls back to a single-bucket
+    /// uniformity guess; the caller normally handles equality via MCVs and
+    /// distinct counts instead).
+    pub fn selectivity(&self, op: CmpOp, value: i64) -> f64 {
+        let below = self.fraction_below(value);
+        let below_or_eq = self.fraction_below(value.saturating_add(1));
+        let eq = (below_or_eq - below).max(0.0);
+        match op {
+            CmpOp::Lt => below,
+            CmpOp::Le => below_or_eq,
+            CmpOp::Gt => 1.0 - below_or_eq,
+            CmpOp::Ge => 1.0 - below,
+            CmpOp::Eq => eq,
+            CmpOp::Ne => 1.0 - eq,
+        }
+        .clamp(0.0, 1.0)
+    }
+
+    /// Estimated selectivity of `low <= column <= high` among non-null rows.
+    pub fn selectivity_between(&self, low: i64, high: i64) -> f64 {
+        if low > high {
+            return 0.0;
+        }
+        (self.fraction_below(high.saturating_add(1)) - self.fraction_below(low)).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_data_gives_proportional_selectivity() {
+        let values: Vec<i64> = (0..1000).collect();
+        let h = EquiDepthHistogram::build(values, 50).unwrap();
+        assert_eq!(h.bucket_count() + 1, h.bounds().len());
+        assert_eq!(h.min_max(), (0, 999));
+        let sel = h.selectivity(CmpOp::Lt, 500);
+        assert!((sel - 0.5).abs() < 0.05, "Lt 500 on uniform 0..1000 ≈ 0.5, got {sel}");
+        let sel = h.selectivity(CmpOp::Ge, 900);
+        assert!((sel - 0.1).abs() < 0.05, "Ge 900 ≈ 0.1, got {sel}");
+        let sel = h.selectivity_between(250, 749);
+        assert!((sel - 0.5).abs() < 0.06, "between 250..749 ≈ 0.5, got {sel}");
+    }
+
+    #[test]
+    fn out_of_range_values() {
+        let h = EquiDepthHistogram::build((10..20).collect(), 5).unwrap();
+        assert_eq!(h.selectivity(CmpOp::Lt, 5), 0.0);
+        assert_eq!(h.selectivity(CmpOp::Gt, 100), 0.0);
+        assert_eq!(h.selectivity(CmpOp::Ge, 5), 1.0);
+        assert_eq!(h.selectivity(CmpOp::Le, 100), 1.0);
+        assert_eq!(h.selectivity_between(100, 200), 0.0);
+        assert_eq!(h.selectivity_between(5, 3), 0.0);
+    }
+
+    #[test]
+    fn skewed_data_reflects_density() {
+        // 90% of values are 0, the rest spread over 1..100.
+        let mut values = vec![0i64; 900];
+        values.extend(1..101);
+        let h = EquiDepthHistogram::build(values, 20).unwrap();
+        let sel_zero_or_less = h.selectivity(CmpOp::Le, 0);
+        assert!(sel_zero_or_less > 0.7, "most mass at 0, got {sel_zero_or_less}");
+        let sel_gt_50 = h.selectivity(CmpOp::Gt, 50);
+        assert!(sel_gt_50 < 0.2, "little mass above 50, got {sel_gt_50}");
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert!(EquiDepthHistogram::build(vec![], 10).is_none());
+        assert!(EquiDepthHistogram::build(vec![1, 2, 3], 0).is_none());
+        let h = EquiDepthHistogram::build(vec![7; 50], 10).unwrap();
+        assert_eq!(h.min_max(), (7, 7));
+        assert!(h.selectivity(CmpOp::Eq, 7) > 0.0);
+        assert_eq!(h.selectivity(CmpOp::Lt, 7), 0.0);
+        assert_eq!(h.selectivity(CmpOp::Gt, 7), 0.0);
+        let h = EquiDepthHistogram::build(vec![3], 10).unwrap();
+        assert_eq!(h.min_max(), (3, 3));
+    }
+
+    #[test]
+    fn ne_is_complement_of_eq() {
+        let h = EquiDepthHistogram::build((0..100).collect(), 10).unwrap();
+        for v in [0, 10, 55, 99] {
+            let eq = h.selectivity(CmpOp::Eq, v);
+            let ne = h.selectivity(CmpOp::Ne, v);
+            assert!((eq + ne - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fraction_below_is_monotone() {
+        let h = EquiDepthHistogram::build((0..500).map(|i| i * 3).collect(), 25).unwrap();
+        let mut prev = 0.0;
+        for x in (0..1600).step_by(37) {
+            let f = h.fraction_below(x);
+            assert!(f >= prev - 1e-12, "fraction_below must be monotone at {x}");
+            assert!((0.0..=1.0).contains(&f));
+            prev = f;
+        }
+    }
+}

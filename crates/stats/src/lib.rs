@@ -1,0 +1,25 @@
+//! # qob-stats
+//!
+//! ANALYZE-style statistics for the JOB reproduction, mirroring what
+//! PostgreSQL's `analyze` command collects (Section 2.3 of the paper):
+//!
+//! * per-column **equi-depth histograms** (quantile statistics),
+//! * **most common values** with their frequencies,
+//! * **distinct value counts**, estimated from a fixed-size sample with the
+//!   Duj1 estimator PostgreSQL uses (and, optionally, computed exactly — the
+//!   paper's Figure 5 experiment),
+//! * per-table **row samples**, used by the sampling-based estimators that
+//!   model HyPer and "DBMS A".
+//!
+//! Statistics are computed once per database ([`analyze_database`]) and then
+//! shared read-only by all cardinality estimators.
+
+pub mod analyze;
+pub mod histogram;
+pub mod sample;
+
+pub use analyze::{
+    analyze_database, AnalyzeOptions, ColumnStats, DatabaseStats, TableStats,
+};
+pub use histogram::EquiDepthHistogram;
+pub use sample::TableSample;

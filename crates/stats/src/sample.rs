@@ -1,0 +1,164 @@
+//! Per-table row samples.
+//!
+//! HyPer (and, the paper conjectures, "DBMS A") estimate base-table
+//! selectivities by evaluating the predicate on a random sample of ~1000 rows
+//! per table (Section 3.1).  [`TableSample`] holds such a sample and can
+//! evaluate arbitrary predicates against it.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use qob_storage::{Predicate, RowId, Table};
+
+/// A fixed-size uniform random sample of a table's rows.
+#[derive(Debug, Clone)]
+pub struct TableSample {
+    rows: Vec<RowId>,
+    table_rows: usize,
+}
+
+impl TableSample {
+    /// Draws a sample of at most `size` rows using the provided RNG.
+    pub fn draw(table: &Table, size: usize, rng: &mut impl Rng) -> Self {
+        let n = table.row_count();
+        let rows: Vec<RowId> = if n <= size {
+            table.row_ids().collect()
+        } else {
+            let mut all: Vec<RowId> = table.row_ids().collect();
+            all.shuffle(rng);
+            all.truncate(size);
+            all.sort_unstable();
+            all
+        };
+        TableSample { rows, table_rows: n }
+    }
+
+    /// Number of sampled rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the sample is empty (only for an empty table).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The sampled row ids.
+    pub fn rows(&self) -> &[RowId] {
+        &self.rows
+    }
+
+    /// Total number of rows of the sampled table.
+    pub fn table_rows(&self) -> usize {
+        self.table_rows
+    }
+
+    /// Number of sampled rows matching a conjunction of predicates.
+    pub fn matching_rows(&self, table: &Table, predicates: &[Predicate]) -> usize {
+        self.rows
+            .iter()
+            .filter(|&&row| predicates.iter().all(|p| p.matches(table, row)))
+            .count()
+    }
+
+    /// Estimated selectivity of a conjunction of predicates: matching sample
+    /// fraction.  Returns `None` when the sample is empty *or* when no sample
+    /// row matches — the situation where real systems fall back to "magic
+    /// constants" (Section 3.1).
+    pub fn selectivity(&self, table: &Table, predicates: &[Predicate]) -> Option<f64> {
+        if self.rows.is_empty() {
+            return None;
+        }
+        let matching = self.matching_rows(table, predicates);
+        if matching == 0 {
+            None
+        } else {
+            Some(matching as f64 / self.rows.len() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qob_storage::{CmpOp, ColumnMeta, DataType, TableBuilder, Value};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn table(n: usize) -> Table {
+        let mut b = TableBuilder::new(
+            "t",
+            vec![ColumnMeta::new("id", DataType::Int), ColumnMeta::new("v", DataType::Int)],
+        );
+        for i in 0..n {
+            b.push_row(vec![Value::Int(i as i64), Value::Int((i % 10) as i64)]).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn small_table_is_fully_sampled() {
+        let t = table(50);
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = TableSample::draw(&t, 100, &mut rng);
+        assert_eq!(s.len(), 50);
+        assert_eq!(s.table_rows(), 50);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn large_table_sample_is_limited_and_sorted() {
+        let t = table(5000);
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = TableSample::draw(&t, 1000, &mut rng);
+        assert_eq!(s.len(), 1000);
+        assert!(s.rows().windows(2).all(|w| w[0] < w[1]), "sorted and unique");
+    }
+
+    #[test]
+    fn selectivity_estimate_is_close_for_common_values() {
+        let t = table(5000);
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = TableSample::draw(&t, 1000, &mut rng);
+        let v = t.column_id("v").unwrap();
+        // v == 3 has true selectivity 0.1.
+        let pred = Predicate::IntCmp { column: v, op: CmpOp::Eq, value: 3 };
+        let est = s.selectivity(&t, std::slice::from_ref(&pred)).unwrap();
+        assert!((est - 0.1).abs() < 0.04, "sample estimate {est} should be near 0.1");
+        assert_eq!(s.matching_rows(&t, std::slice::from_ref(&pred)), (est * 1000.0).round() as usize);
+    }
+
+    #[test]
+    fn zero_matches_returns_none() {
+        let t = table(100);
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = TableSample::draw(&t, 50, &mut rng);
+        let v = t.column_id("v").unwrap();
+        let pred = Predicate::IntCmp { column: v, op: CmpOp::Eq, value: 999 };
+        assert_eq!(s.selectivity(&t, &[pred]), None);
+    }
+
+    #[test]
+    fn empty_table_sample() {
+        let t = table(0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = TableSample::draw(&t, 50, &mut rng);
+        assert!(s.is_empty());
+        assert_eq!(s.selectivity(&t, &[]), None);
+    }
+
+    #[test]
+    fn conjunction_of_predicates() {
+        let t = table(1000);
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = TableSample::draw(&t, 1000, &mut rng);
+        let id = t.column_id("id").unwrap();
+        let v = t.column_id("v").unwrap();
+        let preds = vec![
+            Predicate::IntCmp { column: id, op: CmpOp::Lt, value: 500 },
+            Predicate::IntCmp { column: v, op: CmpOp::Eq, value: 0 },
+        ];
+        let est = s.selectivity(&t, &preds).unwrap();
+        assert!((est - 0.05).abs() < 0.02, "joint selectivity ≈ 0.05, got {est}");
+    }
+}

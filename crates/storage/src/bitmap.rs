@@ -1,0 +1,246 @@
+//! A compact validity / selection bitmap.
+//!
+//! Used for null tracking in columns and for selection vectors produced by
+//! predicate evaluation.
+
+/// A growable bitmap backed by `u64` words.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// Creates an empty bitmap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a bitmap of `len` bits, all set to `value`.
+    pub fn with_value(len: usize, value: bool) -> Self {
+        let word = if value { u64::MAX } else { 0 };
+        let mut bm = Bitmap { words: vec![word; len.div_ceil(64)], len };
+        bm.clear_trailing();
+        bm
+    }
+
+    /// Number of bits stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bitmap has no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a bit.
+    pub fn push(&mut self, value: bool) {
+        let idx = self.len;
+        self.len += 1;
+        if self.words.len() * 64 < self.len {
+            self.words.push(0);
+        }
+        if value {
+            self.words[idx / 64] |= 1u64 << (idx % 64);
+        }
+    }
+
+    /// Returns the bit at `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx >= len()`.
+    #[inline]
+    pub fn get(&self, idx: usize) -> bool {
+        assert!(idx < self.len, "bitmap index {idx} out of bounds (len {})", self.len);
+        (self.words[idx / 64] >> (idx % 64)) & 1 == 1
+    }
+
+    /// Sets the bit at `idx` to `value`.
+    ///
+    /// # Panics
+    /// Panics if `idx >= len()`.
+    #[inline]
+    pub fn set(&mut self, idx: usize, value: bool) {
+        assert!(idx < self.len, "bitmap index {idx} out of bounds (len {})", self.len);
+        let mask = 1u64 << (idx % 64);
+        if value {
+            self.words[idx / 64] |= mask;
+        } else {
+            self.words[idx / 64] &= !mask;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterator over all bit values in order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Indices of all set bits.
+    pub fn set_indices(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.count_ones());
+        for (w_idx, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                out.push(w_idx * 64 + bit);
+                w &= w - 1;
+            }
+        }
+        out
+    }
+
+    /// In-place logical AND with another bitmap of identical length.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn and_with(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch in and_with");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// In-place logical OR with another bitmap of identical length.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn or_with(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch in or_with");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place logical NOT.
+    pub fn negate(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.clear_trailing();
+    }
+
+    fn clear_trailing(&mut self) {
+        let rem = self.len % 64;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+        // When len is a multiple of 64 there are no trailing bits to clear,
+        // but an over-allocated final word (len == 0 with one word) must be zeroed.
+        if self.len == 0 {
+            for w in &mut self.words {
+                *w = 0;
+            }
+        }
+    }
+}
+
+impl FromIterator<bool> for Bitmap {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        let mut bm = Bitmap::new();
+        for v in iter {
+            bm.push(v);
+        }
+        bm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_roundtrip() {
+        let mut bm = Bitmap::new();
+        let pattern: Vec<bool> = (0..200).map(|i| i % 3 == 0).collect();
+        for &b in &pattern {
+            bm.push(b);
+        }
+        assert_eq!(bm.len(), 200);
+        for (i, &b) in pattern.iter().enumerate() {
+            assert_eq!(bm.get(i), b, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn with_value_all_true_and_false() {
+        let t = Bitmap::with_value(70, true);
+        assert_eq!(t.count_ones(), 70);
+        let f = Bitmap::with_value(70, false);
+        assert_eq!(f.count_ones(), 0);
+        assert_eq!(t.len(), 70);
+        assert_eq!(f.len(), 70);
+    }
+
+    #[test]
+    fn set_and_count() {
+        let mut bm = Bitmap::with_value(130, false);
+        bm.set(0, true);
+        bm.set(64, true);
+        bm.set(129, true);
+        assert_eq!(bm.count_ones(), 3);
+        assert_eq!(bm.set_indices(), vec![0, 64, 129]);
+        bm.set(64, false);
+        assert_eq!(bm.count_ones(), 2);
+    }
+
+    #[test]
+    fn and_or_negate() {
+        let a: Bitmap = (0..100).map(|i| i % 2 == 0).collect();
+        let b: Bitmap = (0..100).map(|i| i % 3 == 0).collect();
+        let mut and = a.clone();
+        and.and_with(&b);
+        assert_eq!(and.count_ones(), (0..100).filter(|i| i % 6 == 0).count());
+        let mut or = a.clone();
+        or.or_with(&b);
+        assert_eq!(
+            or.count_ones(),
+            (0..100).filter(|i| i % 2 == 0 || i % 3 == 0).count()
+        );
+        let mut neg = a.clone();
+        neg.negate();
+        assert_eq!(neg.count_ones(), 100 - a.count_ones());
+        assert_eq!(neg.len(), 100);
+    }
+
+    #[test]
+    fn negate_does_not_leak_trailing_bits() {
+        let mut bm = Bitmap::with_value(65, false);
+        bm.negate();
+        assert_eq!(bm.count_ones(), 65);
+        bm.negate();
+        assert_eq!(bm.count_ones(), 0);
+    }
+
+    #[test]
+    fn iter_matches_get() {
+        let bm: Bitmap = (0..67).map(|i| i % 5 == 0).collect();
+        let collected: Vec<bool> = bm.iter().collect();
+        assert_eq!(collected.len(), 67);
+        for (i, v) in collected.iter().enumerate() {
+            assert_eq!(*v, bm.get(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let bm = Bitmap::with_value(10, true);
+        let _ = bm.get(10);
+    }
+
+    #[test]
+    fn empty_bitmap_behaviour() {
+        let bm = Bitmap::new();
+        assert!(bm.is_empty());
+        assert_eq!(bm.count_ones(), 0);
+        assert!(bm.set_indices().is_empty());
+    }
+}

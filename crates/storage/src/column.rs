@@ -1,0 +1,375 @@
+//! Columnar storage: typed column data and string dictionaries.
+
+use std::collections::HashMap;
+
+use crate::bitmap::Bitmap;
+use crate::value::{DataType, Value};
+
+/// A per-column string dictionary.
+///
+/// String columns store a `u32` code per row; the dictionary maps codes to
+/// the distinct strings that occur in the column.  Equality, `IN` and `LIKE`
+/// predicates are evaluated once against the dictionary and then reduced to
+/// integer comparisons on codes, which keeps string-heavy workloads fast.
+#[derive(Debug, Clone, Default)]
+pub struct StringDict {
+    strings: Vec<String>,
+    lookup: HashMap<String, u32>,
+}
+
+impl StringDict {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its code.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&code) = self.lookup.get(s) {
+            return code;
+        }
+        let code = self.strings.len() as u32;
+        self.strings.push(s.to_owned());
+        self.lookup.insert(s.to_owned(), code);
+        code
+    }
+
+    /// Returns the code of `s` if it is present, without interning.
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        self.lookup.get(s).copied()
+    }
+
+    /// The string for `code`.
+    ///
+    /// # Panics
+    /// Panics if `code` is not a valid dictionary code.
+    pub fn string(&self, code: u32) -> &str {
+        &self.strings[code as usize]
+    }
+
+    /// Number of distinct strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True if no strings have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates over `(code, string)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.strings.iter().enumerate().map(|(i, s)| (i as u32, s.as_str()))
+    }
+}
+
+/// The physical representation of one column.
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// Integer column: dense values plus a validity bitmap (`true` = non-null).
+    Int {
+        /// Row values; the entry for a null row is 0 and must not be read.
+        values: Vec<i64>,
+        /// Validity bitmap, one bit per row.
+        validity: Bitmap,
+    },
+    /// Dictionary-encoded string column.
+    Str {
+        /// Dictionary code per row; the entry for a null row is 0 and must not be read.
+        codes: Vec<u32>,
+        /// The dictionary of distinct strings.
+        dict: StringDict,
+        /// Validity bitmap, one bit per row.
+        validity: Bitmap,
+    },
+}
+
+impl ColumnData {
+    /// Creates an empty column of the given type.
+    pub fn new(dtype: DataType) -> Self {
+        match dtype {
+            DataType::Int => ColumnData::Int { values: Vec::new(), validity: Bitmap::new() },
+            DataType::Str => ColumnData::Str {
+                codes: Vec::new(),
+                dict: StringDict::new(),
+                validity: Bitmap::new(),
+            },
+        }
+    }
+
+    /// The data type of this column.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            ColumnData::Int { .. } => DataType::Int,
+            ColumnData::Str { .. } => DataType::Str,
+        }
+    }
+
+    /// Number of rows stored.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int { values, .. } => values.len(),
+            ColumnData::Str { codes, .. } => codes.len(),
+        }
+    }
+
+    /// True if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends one value.  Returns `false` on a type mismatch.
+    pub fn push(&mut self, value: &Value) -> bool {
+        match (self, value) {
+            (ColumnData::Int { values, validity }, Value::Int(v)) => {
+                values.push(*v);
+                validity.push(true);
+                true
+            }
+            (ColumnData::Int { values, validity }, Value::Null) => {
+                values.push(0);
+                validity.push(false);
+                true
+            }
+            (ColumnData::Str { codes, dict, validity }, Value::Str(s)) => {
+                let code = dict.intern(s);
+                codes.push(code);
+                validity.push(true);
+                true
+            }
+            (ColumnData::Str { codes, validity, .. }, Value::Null) => {
+                codes.push(0);
+                validity.push(false);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// True if the row at `row` is NULL.
+    #[inline]
+    pub fn is_null(&self, row: usize) -> bool {
+        match self {
+            ColumnData::Int { validity, .. } | ColumnData::Str { validity, .. } => {
+                !validity.get(row)
+            }
+        }
+    }
+
+    /// The integer value at `row`, or `None` if the row is NULL or the column
+    /// is not an integer column.
+    #[inline]
+    pub fn int_at(&self, row: usize) -> Option<i64> {
+        match self {
+            ColumnData::Int { values, validity } => {
+                if validity.get(row) {
+                    Some(values[row])
+                } else {
+                    None
+                }
+            }
+            ColumnData::Str { .. } => None,
+        }
+    }
+
+    /// The string value at `row`, or `None` if the row is NULL or the column
+    /// is not a string column.
+    #[inline]
+    pub fn str_at(&self, row: usize) -> Option<&str> {
+        match self {
+            ColumnData::Str { codes, dict, validity } => {
+                if validity.get(row) {
+                    Some(dict.string(codes[row]))
+                } else {
+                    None
+                }
+            }
+            ColumnData::Int { .. } => None,
+        }
+    }
+
+    /// The dictionary code at `row` for string columns (`None` if null or not
+    /// a string column).
+    #[inline]
+    pub fn code_at(&self, row: usize) -> Option<u32> {
+        match self {
+            ColumnData::Str { codes, validity, .. } => {
+                if validity.get(row) {
+                    Some(codes[row])
+                } else {
+                    None
+                }
+            }
+            ColumnData::Int { .. } => None,
+        }
+    }
+
+    /// The value at `row` as an owned [`Value`].
+    pub fn value_at(&self, row: usize) -> Value {
+        if self.is_null(row) {
+            return Value::Null;
+        }
+        match self {
+            ColumnData::Int { values, .. } => Value::Int(values[row]),
+            ColumnData::Str { codes, dict, .. } => Value::Str(dict.string(codes[row]).to_owned()),
+        }
+    }
+
+    /// Number of non-null rows.
+    pub fn non_null_count(&self) -> usize {
+        match self {
+            ColumnData::Int { validity, .. } | ColumnData::Str { validity, .. } => {
+                validity.count_ones()
+            }
+        }
+    }
+
+    /// Exact number of distinct non-null values.
+    pub fn distinct_count_exact(&self) -> usize {
+        match self {
+            ColumnData::Int { values, validity } => {
+                let mut set = std::collections::HashSet::new();
+                for (i, v) in values.iter().enumerate() {
+                    if validity.get(i) {
+                        set.insert(*v);
+                    }
+                }
+                set.len()
+            }
+            ColumnData::Str { codes, validity, .. } => {
+                let mut set = std::collections::HashSet::new();
+                for (i, c) in codes.iter().enumerate() {
+                    if validity.get(i) {
+                        set.insert(*c);
+                    }
+                }
+                set.len()
+            }
+        }
+    }
+
+    /// The string dictionary for string columns.
+    pub fn dict(&self) -> Option<&StringDict> {
+        match self {
+            ColumnData::Str { dict, .. } => Some(dict),
+            ColumnData::Int { .. } => None,
+        }
+    }
+
+    /// Raw integer values (including slots for null rows); only for Int columns.
+    pub fn int_values(&self) -> Option<&[i64]> {
+        match self {
+            ColumnData::Int { values, .. } => Some(values),
+            ColumnData::Str { .. } => None,
+        }
+    }
+
+    /// Raw dictionary codes (including slots for null rows); only for Str columns.
+    pub fn str_codes(&self) -> Option<&[u32]> {
+        match self {
+            ColumnData::Str { codes, .. } => Some(codes),
+            ColumnData::Int { .. } => None,
+        }
+    }
+
+    /// The validity bitmap.
+    pub fn validity(&self) -> &Bitmap {
+        match self {
+            ColumnData::Int { validity, .. } | ColumnData::Str { validity, .. } => validity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_dict_interning_is_idempotent() {
+        let mut d = StringDict::new();
+        let a = d.intern("alpha");
+        let b = d.intern("beta");
+        let a2 = d.intern("alpha");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.string(a), "alpha");
+        assert_eq!(d.code_of("beta"), Some(b));
+        assert_eq!(d.code_of("missing"), None);
+        let all: Vec<_> = d.iter().map(|(_, s)| s.to_owned()).collect();
+        assert_eq!(all, vec!["alpha", "beta"]);
+    }
+
+    #[test]
+    fn int_column_roundtrip_with_nulls() {
+        let mut col = ColumnData::new(DataType::Int);
+        assert!(col.push(&Value::Int(10)));
+        assert!(col.push(&Value::Null));
+        assert!(col.push(&Value::Int(-5)));
+        assert_eq!(col.len(), 3);
+        assert_eq!(col.int_at(0), Some(10));
+        assert_eq!(col.int_at(1), None);
+        assert_eq!(col.int_at(2), Some(-5));
+        assert!(col.is_null(1));
+        assert!(!col.is_null(0));
+        assert_eq!(col.non_null_count(), 2);
+        assert_eq!(col.value_at(1), Value::Null);
+        assert_eq!(col.value_at(2), Value::Int(-5));
+        assert_eq!(col.data_type(), DataType::Int);
+    }
+
+    #[test]
+    fn str_column_roundtrip_with_nulls() {
+        let mut col = ColumnData::new(DataType::Str);
+        assert!(col.push(&Value::Str("us".into())));
+        assert!(col.push(&Value::Str("de".into())));
+        assert!(col.push(&Value::Null));
+        assert!(col.push(&Value::Str("us".into())));
+        assert_eq!(col.len(), 4);
+        assert_eq!(col.str_at(0), Some("us"));
+        assert_eq!(col.str_at(2), None);
+        assert_eq!(col.str_at(3), Some("us"));
+        assert_eq!(col.code_at(0), col.code_at(3));
+        assert_ne!(col.code_at(0), col.code_at(1));
+        assert_eq!(col.distinct_count_exact(), 2);
+        assert_eq!(col.dict().unwrap().len(), 2);
+        assert_eq!(col.value_at(0), Value::Str("us".into()));
+    }
+
+    #[test]
+    fn type_mismatch_is_rejected() {
+        let mut col = ColumnData::new(DataType::Int);
+        assert!(!col.push(&Value::Str("oops".into())));
+        let mut col = ColumnData::new(DataType::Str);
+        assert!(!col.push(&Value::Int(1)));
+    }
+
+    #[test]
+    fn distinct_count_ignores_nulls() {
+        let mut col = ColumnData::new(DataType::Int);
+        for v in [1, 2, 2, 3, 3, 3] {
+            col.push(&Value::Int(v));
+        }
+        col.push(&Value::Null);
+        col.push(&Value::Null);
+        assert_eq!(col.distinct_count_exact(), 3);
+        assert_eq!(col.non_null_count(), 6);
+    }
+
+    #[test]
+    fn cross_type_accessors_return_none() {
+        let mut int_col = ColumnData::new(DataType::Int);
+        int_col.push(&Value::Int(1));
+        assert_eq!(int_col.str_at(0), None);
+        assert_eq!(int_col.code_at(0), None);
+        assert!(int_col.dict().is_none());
+        assert!(int_col.str_codes().is_none());
+        assert!(int_col.int_values().is_some());
+
+        let mut str_col = ColumnData::new(DataType::Str);
+        str_col.push(&Value::Str("x".into()));
+        assert_eq!(str_col.int_at(0), None);
+        assert!(str_col.int_values().is_none());
+        assert!(str_col.str_codes().is_some());
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type for the storage layer.
+
+use std::fmt;
+
+/// Errors produced by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A referenced table does not exist in the catalog.
+    UnknownTable(String),
+    /// A referenced column does not exist in a table.
+    UnknownColumn { table: String, column: String },
+    /// A value of the wrong type was supplied for a column.
+    TypeMismatch { column: String, expected: &'static str, got: &'static str },
+    /// A row with a different arity than the schema was appended.
+    ArityMismatch { expected: usize, got: usize },
+    /// An index was requested on a column type that does not support it.
+    UnsupportedIndexColumn { column: String },
+    /// A duplicate table name was registered in the catalog.
+    DuplicateTable(String),
+    /// Generic invariant violation with a description.
+    Invariant(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownTable(name) => write!(f, "unknown table `{name}`"),
+            StorageError::UnknownColumn { table, column } => {
+                write!(f, "unknown column `{column}` in table `{table}`")
+            }
+            StorageError::TypeMismatch { column, expected, got } => {
+                write!(f, "type mismatch for column `{column}`: expected {expected}, got {got}")
+            }
+            StorageError::ArityMismatch { expected, got } => {
+                write!(f, "row arity mismatch: expected {expected} values, got {got}")
+            }
+            StorageError::UnsupportedIndexColumn { column } => {
+                write!(f, "indexes are only supported on integer columns (column `{column}`)")
+            }
+            StorageError::DuplicateTable(name) => write!(f, "table `{name}` already exists"),
+            StorageError::Invariant(msg) => write!(f, "storage invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StorageError::UnknownTable("title".into());
+        assert!(e.to_string().contains("title"));
+        let e = StorageError::UnknownColumn { table: "t".into(), column: "c".into() };
+        assert!(e.to_string().contains("`c`"));
+        assert!(e.to_string().contains("`t`"));
+        let e = StorageError::TypeMismatch { column: "id".into(), expected: "Int", got: "Str" };
+        assert!(e.to_string().contains("Int"));
+        let e = StorageError::ArityMismatch { expected: 3, got: 2 };
+        assert!(e.to_string().contains('3'));
+        let e = StorageError::UnsupportedIndexColumn { column: "name".into() };
+        assert!(e.to_string().contains("name"));
+        let e = StorageError::DuplicateTable("x".into());
+        assert!(e.to_string().contains('x'));
+        let e = StorageError::Invariant("boom".into());
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<T: std::error::Error>() {}
+        assert_err::<StorageError>();
+    }
+}

@@ -1,0 +1,42 @@
+//! # qob-storage
+//!
+//! In-memory columnar storage engine used as the execution substrate for the
+//! reproduction of *"How Good Are Query Optimizers, Really?"* (Leis et al.,
+//! VLDB 2015).
+//!
+//! The paper runs every experiment against a single main-memory resident
+//! database (the IMDB snapshot loaded into PostgreSQL).  This crate provides
+//! the equivalent substrate for the reproduction:
+//!
+//! * typed, dictionary-encoded columnar tables ([`Table`], [`column::ColumnData`]),
+//! * unclustered hash and ordered indexes ([`index`]),
+//! * a catalog of tables and indexes ([`Database`]),
+//! * a predicate language with vectorised evaluation ([`predicate`]).
+//!
+//! The storage layer is deliberately simple — all data fits in RAM, rows are
+//! addressed by dense [`RowId`]s, and strings are dictionary encoded so that
+//! the synthetic IMDB-scale workload stays laptop friendly — but it exposes
+//! exactly the access paths the paper's experiments depend on: full table
+//! scans, index lookups on key/foreign-key columns, and per-row predicate
+//! evaluation.
+
+pub mod bitmap;
+pub mod catalog;
+pub mod column;
+pub mod error;
+pub mod index;
+pub mod predicate;
+pub mod table;
+pub mod value;
+
+pub use bitmap::Bitmap;
+pub use catalog::{Database, IndexConfig, TableId};
+pub use column::{ColumnData, StringDict};
+pub use error::StorageError;
+pub use index::{HashIndex, OrderedIndex};
+pub use predicate::{CmpOp, Predicate};
+pub use table::{ColumnId, ColumnMeta, RowId, Table, TableBuilder};
+pub use value::{DataType, Value};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StorageError>;

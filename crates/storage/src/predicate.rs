@@ -1,0 +1,452 @@
+//! Base-table predicates and their evaluation.
+//!
+//! JOB queries restrict base tables with equality, range, `IN`, `LIKE`,
+//! disjunctive and null predicates.  This module represents those predicates
+//! and evaluates them against a [`Table`], producing either a selection
+//! vector of matching [`RowId`]s or a per-row boolean.
+
+use crate::column::ColumnData;
+use crate::table::{ColumnId, RowId, Table};
+
+/// Comparison operators on integer columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the operator to `(lhs, rhs)`.
+    #[inline]
+    pub fn apply(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+
+    /// SQL spelling of the operator.
+    pub fn sql(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// A predicate over a single base table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `col <op> literal` on an integer column.
+    IntCmp {
+        /// Column operand.
+        column: ColumnId,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Literal operand.
+        value: i64,
+    },
+    /// `col BETWEEN low AND high` (inclusive) on an integer column.
+    IntBetween {
+        /// Column operand.
+        column: ColumnId,
+        /// Inclusive lower bound.
+        low: i64,
+        /// Inclusive upper bound.
+        high: i64,
+    },
+    /// `col = 'literal'` on a string column.
+    StrEq {
+        /// Column operand.
+        column: ColumnId,
+        /// Literal operand.
+        value: String,
+    },
+    /// `col IN ('a', 'b', ...)` on a string column.
+    StrIn {
+        /// Column operand.
+        column: ColumnId,
+        /// Literal set.
+        values: Vec<String>,
+    },
+    /// `col LIKE 'pattern'` where `%` matches any sequence and `_` any single
+    /// character.
+    Like {
+        /// Column operand.
+        column: ColumnId,
+        /// LIKE pattern.
+        pattern: String,
+    },
+    /// `col IS NULL`.
+    IsNull {
+        /// Column operand.
+        column: ColumnId,
+    },
+    /// `col IS NOT NULL`.
+    IsNotNull {
+        /// Column operand.
+        column: ColumnId,
+    },
+    /// Conjunction of predicates.
+    And(Vec<Predicate>),
+    /// Disjunction of predicates.
+    Or(Vec<Predicate>),
+    /// Negation of a predicate.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Evaluates the predicate for one row of `table`.
+    pub fn matches(&self, table: &Table, row: RowId) -> bool {
+        let r = row as usize;
+        match self {
+            Predicate::IntCmp { column, op, value } => match table.column(*column).int_at(r) {
+                Some(v) => op.apply(v, *value),
+                None => false,
+            },
+            Predicate::IntBetween { column, low, high } => {
+                match table.column(*column).int_at(r) {
+                    Some(v) => v >= *low && v <= *high,
+                    None => false,
+                }
+            }
+            Predicate::StrEq { column, value } => match table.column(*column).str_at(r) {
+                Some(s) => s == value,
+                None => false,
+            },
+            Predicate::StrIn { column, values } => match table.column(*column).str_at(r) {
+                Some(s) => values.iter().any(|v| v == s),
+                None => false,
+            },
+            Predicate::Like { column, pattern } => match table.column(*column).str_at(r) {
+                Some(s) => like_match(pattern, s),
+                None => false,
+            },
+            Predicate::IsNull { column } => table.column(*column).is_null(r),
+            Predicate::IsNotNull { column } => !table.column(*column).is_null(r),
+            Predicate::And(preds) => preds.iter().all(|p| p.matches(table, row)),
+            Predicate::Or(preds) => preds.iter().any(|p| p.matches(table, row)),
+            Predicate::Not(p) => !p.matches(table, row),
+        }
+    }
+
+    /// Evaluates the predicate against a whole table, returning the matching
+    /// row ids in order.
+    ///
+    /// String equality / IN / LIKE predicates are evaluated once against the
+    /// column dictionary and then as integer code comparisons.
+    pub fn filter(&self, table: &Table) -> Vec<RowId> {
+        // Fast paths for the common leaf predicates.
+        match self {
+            Predicate::StrEq { column, value } => {
+                return filter_str_codes(table.column(*column), |dict| {
+                    dict.code_of(value).map(|c| vec![c]).unwrap_or_default()
+                });
+            }
+            Predicate::StrIn { column, values } => {
+                return filter_str_codes(table.column(*column), |dict| {
+                    values.iter().filter_map(|v| dict.code_of(v)).collect()
+                });
+            }
+            Predicate::Like { column, pattern } => {
+                return filter_str_codes(table.column(*column), |dict| {
+                    dict.iter()
+                        .filter(|(_, s)| like_match(pattern, s))
+                        .map(|(c, _)| c)
+                        .collect()
+                });
+            }
+            _ => {}
+        }
+        table.row_ids().filter(|&row| self.matches(table, row)).collect()
+    }
+
+    /// Counts the matching rows without materialising the selection.
+    pub fn count(&self, table: &Table) -> usize {
+        table.row_ids().filter(|&row| self.matches(table, row)).count()
+    }
+
+    /// All columns referenced by the predicate (with duplicates removed).
+    pub fn referenced_columns(&self) -> Vec<ColumnId> {
+        let mut cols = Vec::new();
+        self.collect_columns(&mut cols);
+        cols.sort();
+        cols.dedup();
+        cols
+    }
+
+    fn collect_columns(&self, out: &mut Vec<ColumnId>) {
+        match self {
+            Predicate::IntCmp { column, .. }
+            | Predicate::IntBetween { column, .. }
+            | Predicate::StrEq { column, .. }
+            | Predicate::StrIn { column, .. }
+            | Predicate::Like { column, .. }
+            | Predicate::IsNull { column }
+            | Predicate::IsNotNull { column } => out.push(*column),
+            Predicate::And(preds) | Predicate::Or(preds) => {
+                for p in preds {
+                    p.collect_columns(out);
+                }
+            }
+            Predicate::Not(p) => p.collect_columns(out),
+        }
+    }
+
+    /// True if the predicate is a plain equality (integer or string) — the
+    /// kind of predicate histograms and most-common-value lists handle well.
+    pub fn is_simple_equality(&self) -> bool {
+        matches!(
+            self,
+            Predicate::StrEq { .. } | Predicate::IntCmp { op: CmpOp::Eq, .. }
+        )
+    }
+}
+
+/// Evaluates the selected dictionary codes against a string column.
+fn filter_str_codes<F>(col: &ColumnData, select_codes: F) -> Vec<RowId>
+where
+    F: FnOnce(&crate::column::StringDict) -> Vec<u32>,
+{
+    let (codes, dict, validity) = match col {
+        ColumnData::Str { codes, dict, validity } => (codes, dict, validity),
+        // Fall back to an empty result: a string predicate over an int column
+        // never matches (the schema-level type check happens upstream).
+        ColumnData::Int { .. } => return Vec::new(),
+    };
+    let wanted = select_codes(dict);
+    if wanted.is_empty() {
+        return Vec::new();
+    }
+    if wanted.len() == 1 {
+        let target = wanted[0];
+        codes
+            .iter()
+            .enumerate()
+            .filter(|(i, &c)| validity.get(*i) && c == target)
+            .map(|(i, _)| i as RowId)
+            .collect()
+    } else {
+        let set: std::collections::HashSet<u32> = wanted.into_iter().collect();
+        codes
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| validity.get(*i) && set.contains(c))
+            .map(|(i, _)| i as RowId)
+            .collect()
+    }
+}
+
+/// SQL `LIKE` matching with `%` (any sequence) and `_` (any single char).
+///
+/// Matching is case sensitive, as in PostgreSQL.
+pub fn like_match(pattern: &str, value: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let v: Vec<char> = value.chars().collect();
+    like_rec(&p, &v)
+}
+
+fn like_rec(p: &[char], v: &[char]) -> bool {
+    // Iterative greedy matcher with backtracking for '%'.
+    let (mut pi, mut vi) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None;
+    while vi < v.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == v[vi]) {
+            pi += 1;
+            vi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = Some((pi, vi));
+            pi += 1;
+        } else if let Some((sp, sv)) = star {
+            pi = sp + 1;
+            vi = sv + 1;
+            star = Some((sp, sv + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{ColumnMeta, TableBuilder};
+    use crate::value::{DataType, Value};
+
+    fn movies() -> Table {
+        let mut b = TableBuilder::new(
+            "title",
+            vec![
+                ColumnMeta::new("id", DataType::Int),
+                ColumnMeta::new("title", DataType::Str),
+                ColumnMeta::new("production_year", DataType::Int),
+                ColumnMeta::new("kind", DataType::Str),
+            ],
+        );
+        let rows: Vec<(i64, &str, Option<i64>, &str)> = vec![
+            (1, "The Matrix", Some(1999), "movie"),
+            (2, "The Matrix Reloaded", Some(2003), "movie"),
+            (3, "Some Documentary", Some(2003), "documentary"),
+            (4, "Old Short", Some(1950), "short"),
+            (5, "Unknown Year", None, "movie"),
+            (6, "matrix lowercase", Some(2010), "movie"),
+        ];
+        for (id, title, year, kind) in rows {
+            b.push_row(vec![
+                Value::Int(id),
+                Value::Str(title.into()),
+                year.map(Value::Int).unwrap_or(Value::Null),
+                Value::Str(kind.into()),
+            ])
+            .unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn cmp_op_semantics() {
+        assert!(CmpOp::Eq.apply(3, 3));
+        assert!(CmpOp::Ne.apply(3, 4));
+        assert!(CmpOp::Lt.apply(3, 4));
+        assert!(CmpOp::Le.apply(4, 4));
+        assert!(CmpOp::Gt.apply(5, 4));
+        assert!(CmpOp::Ge.apply(4, 4));
+        assert_eq!(CmpOp::Eq.sql(), "=");
+        assert_eq!(CmpOp::Ge.sql(), ">=");
+    }
+
+    #[test]
+    fn int_cmp_and_between() {
+        let t = movies();
+        let year = t.column_id("production_year").unwrap();
+        let p = Predicate::IntCmp { column: year, op: CmpOp::Gt, value: 2000 };
+        assert_eq!(p.filter(&t), vec![1, 2, 5]);
+        let p = Predicate::IntBetween { column: year, low: 1999, high: 2003 };
+        assert_eq!(p.filter(&t), vec![0, 1, 2]);
+        assert_eq!(p.count(&t), 3);
+    }
+
+    #[test]
+    fn null_handling_in_comparisons() {
+        let t = movies();
+        let year = t.column_id("production_year").unwrap();
+        // The NULL year row never matches a comparison, like in SQL.
+        let p = Predicate::IntCmp { column: year, op: CmpOp::Ne, value: 1999 };
+        assert!(!p.filter(&t).contains(&4));
+        let p = Predicate::IsNull { column: year };
+        assert_eq!(p.filter(&t), vec![4]);
+        let p = Predicate::IsNotNull { column: year };
+        assert_eq!(p.count(&t), 5);
+    }
+
+    #[test]
+    fn string_equality_and_in() {
+        let t = movies();
+        let kind = t.column_id("kind").unwrap();
+        let p = Predicate::StrEq { column: kind, value: "movie".into() };
+        assert_eq!(p.filter(&t), vec![0, 1, 4, 5]);
+        let p = Predicate::StrIn {
+            column: kind,
+            values: vec!["short".into(), "documentary".into()],
+        };
+        assert_eq!(p.filter(&t), vec![2, 3]);
+        let p = Predicate::StrEq { column: kind, value: "does not exist".into() };
+        assert!(p.filter(&t).is_empty());
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("%Matrix%", "The Matrix Reloaded"));
+        assert!(like_match("The %", "The Matrix"));
+        assert!(!like_match("The %", "A Matrix"));
+        assert!(like_match("%trix", "The Matrix"));
+        assert!(like_match("_he Matrix", "The Matrix"));
+        assert!(!like_match("_he Matrix", "TThe Matrix"));
+        assert!(like_match("%", ""));
+        assert!(like_match("%%", "anything"));
+        assert!(!like_match("", "x"));
+        assert!(like_match("", ""));
+        assert!(like_match("a%b%c", "a-x-b-y-c"));
+        assert!(!like_match("a%b%c", "a-x-c"));
+    }
+
+    #[test]
+    fn like_predicate_filters_via_dictionary() {
+        let t = movies();
+        let title = t.column_id("title").unwrap();
+        let p = Predicate::Like { column: title, pattern: "%Matrix%".into() };
+        assert_eq!(p.filter(&t), vec![0, 1]);
+        // per-row evaluation agrees with the dictionary fast path
+        let slow: Vec<RowId> = t.row_ids().filter(|&r| p.matches(&t, r)).collect();
+        assert_eq!(p.filter(&t), slow);
+    }
+
+    #[test]
+    fn and_or_not_composition() {
+        let t = movies();
+        let kind = t.column_id("kind").unwrap();
+        let year = t.column_id("production_year").unwrap();
+        let p = Predicate::And(vec![
+            Predicate::StrEq { column: kind, value: "movie".into() },
+            Predicate::IntCmp { column: year, op: CmpOp::Ge, value: 2003 },
+        ]);
+        assert_eq!(p.filter(&t), vec![1, 5]);
+        let p = Predicate::Or(vec![
+            Predicate::StrEq { column: kind, value: "short".into() },
+            Predicate::StrEq { column: kind, value: "documentary".into() },
+        ]);
+        assert_eq!(p.filter(&t), vec![2, 3]);
+        let p = Predicate::Not(Box::new(Predicate::StrEq { column: kind, value: "movie".into() }));
+        assert_eq!(p.filter(&t), vec![2, 3]);
+    }
+
+    #[test]
+    fn referenced_columns_deduplicated() {
+        let t = movies();
+        let kind = t.column_id("kind").unwrap();
+        let year = t.column_id("production_year").unwrap();
+        let p = Predicate::And(vec![
+            Predicate::StrEq { column: kind, value: "movie".into() },
+            Predicate::Or(vec![
+                Predicate::IntCmp { column: year, op: CmpOp::Ge, value: 2000 },
+                Predicate::IntCmp { column: year, op: CmpOp::Lt, value: 1960 },
+            ]),
+        ]);
+        let mut expected = vec![kind, year];
+        expected.sort();
+        assert_eq!(p.referenced_columns(), expected);
+    }
+
+    #[test]
+    fn simple_equality_detection() {
+        let t = movies();
+        let kind = t.column_id("kind").unwrap();
+        let year = t.column_id("production_year").unwrap();
+        assert!(Predicate::StrEq { column: kind, value: "movie".into() }.is_simple_equality());
+        assert!(Predicate::IntCmp { column: year, op: CmpOp::Eq, value: 1999 }.is_simple_equality());
+        assert!(!Predicate::IntCmp { column: year, op: CmpOp::Gt, value: 1999 }.is_simple_equality());
+        assert!(!Predicate::Like { column: kind, pattern: "%m%".into() }.is_simple_equality());
+    }
+}

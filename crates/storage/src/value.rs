@@ -1,0 +1,161 @@
+//! Scalar values and data types.
+
+use std::fmt;
+
+/// The data types supported by the storage engine.
+///
+/// The JOB schema only requires 64-bit integers (surrogate keys, years,
+/// ordinal attributes) and strings (names, titles, free-form info values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// Variable-length UTF-8 string, dictionary encoded in columns.
+    Str,
+}
+
+impl DataType {
+    /// Human readable name, used in error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DataType::Int => "Int",
+            DataType::Str => "Str",
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A single scalar value used when constructing rows and expressing literals
+/// in predicates.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// An integer value.
+    Int(i64),
+    /// A string value.
+    Str(String),
+}
+
+impl Value {
+    /// The data type of this value, or `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Str(_) => Some(DataType::Str),
+        }
+    }
+
+    /// Human readable type name, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "Null",
+            Value::Int(_) => "Int",
+            Value::Str(_) => "Str",
+        }
+    }
+
+    /// True if the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Extracts the integer value if present.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extracts the string value if present.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        match v {
+            Some(v) => v.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_type_of_values() {
+        assert_eq!(Value::Null.data_type(), None);
+        assert_eq!(Value::Int(1).data_type(), Some(DataType::Int));
+        assert_eq!(Value::Str("a".into()).data_type(), Some(DataType::Str));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(42i64), Value::Int(42));
+        assert_eq!(Value::from("abc"), Value::Str("abc".into()));
+        assert_eq!(Value::from(String::from("x")), Value::Str("x".into()));
+        assert_eq!(Value::from(Option::<i64>::None), Value::Null);
+        assert_eq!(Value::from(Some(7i64)), Value::Int(7));
+    }
+
+    #[test]
+    fn accessors() {
+        assert!(Value::Null.is_null());
+        assert!(!Value::Int(0).is_null());
+        assert_eq!(Value::Int(5).as_int(), Some(5));
+        assert_eq!(Value::Str("s".into()).as_int(), None);
+        assert_eq!(Value::Str("s".into()).as_str(), Some("s"));
+        assert_eq!(Value::Int(5).as_str(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::Str("movie".into()).to_string(), "'movie'");
+        assert_eq!(DataType::Int.to_string(), "Int");
+        assert_eq!(DataType::Str.to_string(), "Str");
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the storage primitives.
+
+use proptest::prelude::*;
+use qob_storage::predicate::like_match;
+use qob_storage::{Bitmap, CmpOp, ColumnData, ColumnMeta, DataType, Predicate, TableBuilder, Value};
+
+proptest! {
+    /// A bitmap built from a boolean vector reproduces it exactly.
+    #[test]
+    fn bitmap_roundtrip(bits in prop::collection::vec(any::<bool>(), 0..512)) {
+        let bm: Bitmap = bits.iter().copied().collect();
+        prop_assert_eq!(bm.len(), bits.len());
+        prop_assert_eq!(bm.count_ones(), bits.iter().filter(|b| **b).count());
+        for (i, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(bm.get(i), b);
+        }
+        let expected_indices: Vec<usize> =
+            bits.iter().enumerate().filter(|(_, b)| **b).map(|(i, _)| i).collect();
+        prop_assert_eq!(bm.set_indices(), expected_indices);
+    }
+
+    /// AND/OR/NOT on bitmaps agree with element-wise boolean logic.
+    #[test]
+    fn bitmap_boolean_algebra(
+        pairs in prop::collection::vec((any::<bool>(), any::<bool>()), 0..300)
+    ) {
+        let a: Bitmap = pairs.iter().map(|(x, _)| *x).collect();
+        let b: Bitmap = pairs.iter().map(|(_, y)| *y).collect();
+        let mut and = a.clone();
+        and.and_with(&b);
+        let mut or = a.clone();
+        or.or_with(&b);
+        let mut not_a = a.clone();
+        not_a.negate();
+        for (i, (x, y)) in pairs.iter().enumerate() {
+            prop_assert_eq!(and.get(i), *x && *y);
+            prop_assert_eq!(or.get(i), *x || *y);
+            prop_assert_eq!(not_a.get(i), !*x);
+        }
+        prop_assert_eq!(not_a.count_ones(), pairs.len() - a.count_ones());
+    }
+
+    /// An exact-match LIKE pattern (no wildcards) behaves like equality, and
+    /// a pattern wrapped in % behaves like substring containment.
+    #[test]
+    fn like_matches_equality_and_containment(
+        needle in "[a-z]{0,6}",
+        hay in "[a-z]{0,12}",
+    ) {
+        prop_assert_eq!(like_match(&needle, &hay), needle == hay);
+        let contains_pattern = format!("%{needle}%");
+        prop_assert_eq!(like_match(&contains_pattern, &hay), hay.contains(&needle));
+        let prefix_pattern = format!("{needle}%");
+        prop_assert_eq!(like_match(&prefix_pattern, &hay), hay.starts_with(&needle));
+        let suffix_pattern = format!("%{needle}");
+        prop_assert_eq!(like_match(&suffix_pattern, &hay), hay.ends_with(&needle));
+    }
+
+    /// Filtering a table with an integer comparison matches a scan with the
+    /// same comparison applied per row, and counts agree.
+    #[test]
+    fn int_filter_agrees_with_scan(values in prop::collection::vec(proptest::option::of(-50i64..50), 1..200), threshold in -50i64..50) {
+        let mut b = TableBuilder::new("t", vec![ColumnMeta::new("v", DataType::Int)]);
+        for v in &values {
+            b.push_row(vec![v.map(Value::Int).unwrap_or(Value::Null)]).unwrap();
+        }
+        let t = b.finish();
+        let col = t.column_id("v").unwrap();
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            let pred = Predicate::IntCmp { column: col, op, value: threshold };
+            let filtered = pred.filter(&t);
+            let expected: Vec<u32> = values
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| v.map(|v| op.apply(v, threshold)).unwrap_or(false))
+                .map(|(i, _)| i as u32)
+                .collect();
+            prop_assert_eq!(&filtered, &expected);
+            prop_assert_eq!(pred.count(&t), expected.len());
+        }
+    }
+
+    /// Dictionary-encoded string columns return exactly the pushed strings.
+    #[test]
+    fn string_column_roundtrip(strings in prop::collection::vec(proptest::option::of("[a-c]{0,3}"), 0..100)) {
+        let mut col = ColumnData::new(DataType::Str);
+        for s in &strings {
+            let v = s.clone().map(Value::Str).unwrap_or(Value::Null);
+            prop_assert!(col.push(&v));
+        }
+        prop_assert_eq!(col.len(), strings.len());
+        for (i, s) in strings.iter().enumerate() {
+            prop_assert_eq!(col.str_at(i), s.as_deref());
+        }
+        let distinct_expected: std::collections::HashSet<&String> =
+            strings.iter().flatten().collect();
+        prop_assert_eq!(col.distinct_count_exact(), distinct_expected.len());
+    }
+}

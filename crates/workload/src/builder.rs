@@ -1,0 +1,226 @@
+//! A fluent builder for select-project-join queries over a catalog.
+
+use qob_plan::{BaseRelation, JoinEdge, QuerySpec};
+use qob_storage::{CmpOp, ColumnId, Database, Predicate, TableId};
+
+/// Builds a [`QuerySpec`] by name, resolving tables and columns against a
+/// [`Database`].
+///
+/// The builder panics on unknown table, alias or column names: the workload
+/// is a static artefact and a typo should fail loudly in tests rather than
+/// silently produce a different query.
+pub struct QueryBuilder<'a> {
+    db: &'a Database,
+    name: String,
+    relations: Vec<BaseRelation>,
+    joins: Vec<JoinEdge>,
+}
+
+impl<'a> QueryBuilder<'a> {
+    /// Starts a new query with the given name (e.g. `"13d"`).
+    pub fn new(db: &'a Database, name: impl Into<String>) -> Self {
+        QueryBuilder { db, name: name.into(), relations: Vec::new(), joins: Vec::new() }
+    }
+
+    /// Adds a base relation `table AS alias`.
+    pub fn table(mut self, table: &str, alias: &str) -> Self {
+        let table_id = self.resolve_table(table);
+        self.relations.push(BaseRelation::unfiltered(table_id, alias));
+        self
+    }
+
+    fn resolve_table(&self, table: &str) -> TableId {
+        self.db
+            .table_id(table)
+            .unwrap_or_else(|| panic!("query {}: unknown table `{table}`", self.name))
+    }
+
+    fn rel_index(&self, alias: &str) -> usize {
+        self.relations
+            .iter()
+            .position(|r| r.alias == alias)
+            .unwrap_or_else(|| panic!("query {}: unknown alias `{alias}`", self.name))
+    }
+
+    fn column(&self, rel: usize, column: &str) -> ColumnId {
+        let table = self.db.table(self.relations[rel].table);
+        table.column_id(column).unwrap_or_else(|| {
+            panic!(
+                "query {}: table `{}` has no column `{column}`",
+                self.name,
+                table.name()
+            )
+        })
+    }
+
+    /// Resolves `"alias.column"` into `(relation index, column id)`.
+    fn resolve_ref(&self, reference: &str) -> (usize, ColumnId) {
+        let (alias, column) = reference
+            .split_once('.')
+            .unwrap_or_else(|| panic!("query {}: malformed column reference `{reference}`", self.name));
+        let rel = self.rel_index(alias);
+        (rel, self.column(rel, column))
+    }
+
+    /// Adds an equality join edge `left = right` where both sides are
+    /// `"alias.column"` references.
+    pub fn join(mut self, left: &str, right: &str) -> Self {
+        let (l, lc) = self.resolve_ref(left);
+        let (r, rc) = self.resolve_ref(right);
+        self.joins.push(JoinEdge { left: l, left_column: lc, right: r, right_column: rc });
+        self
+    }
+
+    /// Adds an arbitrary predicate to `"alias.column"`'s relation, where the
+    /// predicate is produced by a closure receiving the resolved column.
+    pub fn filter_with(mut self, column_ref: &str, make: impl FnOnce(ColumnId) -> Predicate) -> Self {
+        let (rel, col) = self.resolve_ref(column_ref);
+        self.relations[rel].predicates.push(make(col));
+        self
+    }
+
+    /// `alias.column = 'value'` (string equality).
+    pub fn filter_eq(self, column_ref: &str, value: &str) -> Self {
+        let value = value.to_owned();
+        self.filter_with(column_ref, |column| Predicate::StrEq { column, value })
+    }
+
+    /// `alias.column IN ('a', 'b', ...)`.
+    pub fn filter_in(self, column_ref: &str, values: &[&str]) -> Self {
+        let values = values.iter().map(|v| (*v).to_owned()).collect();
+        self.filter_with(column_ref, |column| Predicate::StrIn { column, values })
+    }
+
+    /// `alias.column LIKE 'pattern'`.
+    pub fn filter_like(self, column_ref: &str, pattern: &str) -> Self {
+        let pattern = pattern.to_owned();
+        self.filter_with(column_ref, |column| Predicate::Like { column, pattern })
+    }
+
+    /// Disjunction of LIKE patterns: `col LIKE p1 OR col LIKE p2 OR ...`.
+    pub fn filter_any_like(self, column_ref: &str, patterns: &[&str]) -> Self {
+        let patterns: Vec<String> = patterns.iter().map(|p| (*p).to_owned()).collect();
+        self.filter_with(column_ref, |column| {
+            Predicate::Or(
+                patterns
+                    .into_iter()
+                    .map(|pattern| Predicate::Like { column, pattern })
+                    .collect(),
+            )
+        })
+    }
+
+    /// `alias.column <op> value` on an integer column.
+    pub fn filter_int(self, column_ref: &str, op: CmpOp, value: i64) -> Self {
+        self.filter_with(column_ref, |column| Predicate::IntCmp { column, op, value })
+    }
+
+    /// `alias.column BETWEEN low AND high`.
+    pub fn filter_between(self, column_ref: &str, low: i64, high: i64) -> Self {
+        self.filter_with(column_ref, |column| Predicate::IntBetween { column, low, high })
+    }
+
+    /// `alias.column IS NULL`.
+    pub fn filter_null(self, column_ref: &str) -> Self {
+        self.filter_with(column_ref, |column| Predicate::IsNull { column })
+    }
+
+    /// `alias.column IS NOT NULL`.
+    pub fn filter_not_null(self, column_ref: &str) -> Self {
+        self.filter_with(column_ref, |column| Predicate::IsNotNull { column })
+    }
+
+    /// Finalises the query and validates it against the catalog.
+    pub fn build(self) -> QuerySpec {
+        let query = QuerySpec::new(self.name.clone(), self.relations, self.joins);
+        if let Err(e) = query.validate(self.db) {
+            panic!("query {} failed validation: {e}", self.name);
+        }
+        query
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qob_datagen::{generate_imdb, Scale};
+
+    fn db() -> Database {
+        generate_imdb(&Scale::tiny()).unwrap()
+    }
+
+    #[test]
+    fn builds_a_simple_join_query() {
+        let db = db();
+        let q = QueryBuilder::new(&db, "demo")
+            .table("title", "t")
+            .table("movie_companies", "mc")
+            .table("company_name", "cn")
+            .join("mc.movie_id", "t.id")
+            .join("mc.company_id", "cn.id")
+            .filter_eq("cn.country_code", "[us]")
+            .filter_int("t.production_year", CmpOp::Gt, 2000)
+            .build();
+        assert_eq!(q.rel_count(), 3);
+        assert_eq!(q.join_predicate_count(), 2);
+        assert_eq!(q.base_predicate_count(), 2);
+        assert_eq!(q.relation_by_alias("cn"), Some(2));
+    }
+
+    #[test]
+    fn all_filter_kinds_resolve() {
+        let db = db();
+        let q = QueryBuilder::new(&db, "filters")
+            .table("title", "t")
+            .table("movie_info", "mi")
+            .table("keyword", "k")
+            .table("movie_keyword", "mk")
+            .join("mi.movie_id", "t.id")
+            .join("mk.movie_id", "t.id")
+            .join("mk.keyword_id", "k.id")
+            .filter_in("mi.info", &["Drama", "Horror"])
+            .filter_like("k.keyword", "%sequel%")
+            .filter_any_like("t.title", &["The %", "%Shadow%"])
+            .filter_between("t.production_year", 1990, 2005)
+            .filter_not_null("t.production_year")
+            .filter_null("mi.note")
+            .build();
+        assert_eq!(q.base_predicate_count(), 6);
+        assert!(q.validate(&db).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown table")]
+    fn unknown_table_panics() {
+        let db = db();
+        let _ = QueryBuilder::new(&db, "bad").table("does_not_exist", "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "no column")]
+    fn unknown_column_panics() {
+        let db = db();
+        let _ = QueryBuilder::new(&db, "bad")
+            .table("title", "t")
+            .filter_eq("t.nonexistent", "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown alias")]
+    fn unknown_alias_panics() {
+        let db = db();
+        let _ = QueryBuilder::new(&db, "bad")
+            .table("title", "t")
+            .join("zz.movie_id", "t.id");
+    }
+
+    #[test]
+    #[should_panic(expected = "failed validation")]
+    fn disconnected_query_panics_on_build() {
+        let db = db();
+        let _ = QueryBuilder::new(&db, "bad")
+            .table("title", "t")
+            .table("keyword", "k")
+            .build();
+    }
+}

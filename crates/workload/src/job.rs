@@ -1,0 +1,1173 @@
+//! The Join Order Benchmark reproduction workload.
+//!
+//! 33 query families, 113 queries in total, over the 21-table IMDB-like
+//! schema.  Families mirror the structural themes of the original JOB: short
+//! dimension-lookup queries, company/keyword/cast combinations, rating
+//! queries, link (sequel) queries, complete-cast queries and the large
+//! 14–17-relation "everything at once" families.  Within a family, variants
+//! share the join structure and differ only in their selection predicates —
+//! exactly the original benchmark's design, which makes the variants' optimal
+//! plans (and runtimes) diverge widely.
+
+use qob_plan::QuerySpec;
+use qob_storage::{CmpOp, Database};
+
+use crate::builder::QueryBuilder;
+
+/// Number of query families.
+pub const JOB_FAMILY_COUNT: usize = 33;
+
+/// Total number of queries across all families.
+pub const JOB_QUERY_COUNT: usize = 113;
+
+/// Variant letters, in order.
+const LETTERS: [&str; 6] = ["a", "b", "c", "d", "e", "f"];
+
+fn name(family: usize, variant: usize) -> String {
+    format!("{}{}", family, LETTERS[variant])
+}
+
+// ---------------------------------------------------------------------------
+// Reusable structural blocks.  Each block assumes the movie relation `t`
+// (alias for `title`) is already present and attaches itself to it.
+// ---------------------------------------------------------------------------
+
+fn base_title<'a>(db: &'a Database, query_name: &str) -> QueryBuilder<'a> {
+    QueryBuilder::new(db, query_name).table("title", "t")
+}
+
+fn with_kind(b: QueryBuilder<'_>) -> QueryBuilder<'_> {
+    b.table("kind_type", "kt").join("t.kind_id", "kt.id")
+}
+
+fn with_companies(b: QueryBuilder<'_>) -> QueryBuilder<'_> {
+    b.table("movie_companies", "mc")
+        .table("company_name", "cn")
+        .table("company_type", "ct")
+        .join("mc.movie_id", "t.id")
+        .join("mc.company_id", "cn.id")
+        .join("mc.company_type_id", "ct.id")
+}
+
+fn with_info(b: QueryBuilder<'_>) -> QueryBuilder<'_> {
+    b.table("movie_info", "mi")
+        .table("info_type", "it")
+        .join("mi.movie_id", "t.id")
+        .join("mi.info_type_id", "it.id")
+}
+
+fn with_info_idx(b: QueryBuilder<'_>) -> QueryBuilder<'_> {
+    b.table("movie_info_idx", "miidx")
+        .table("info_type", "it2")
+        .join("miidx.movie_id", "t.id")
+        .join("miidx.info_type_id", "it2.id")
+}
+
+fn with_keyword(b: QueryBuilder<'_>) -> QueryBuilder<'_> {
+    b.table("movie_keyword", "mk")
+        .table("keyword", "k")
+        .join("mk.movie_id", "t.id")
+        .join("mk.keyword_id", "k.id")
+}
+
+fn with_cast(b: QueryBuilder<'_>) -> QueryBuilder<'_> {
+    b.table("cast_info", "ci")
+        .table("name", "n")
+        .join("ci.movie_id", "t.id")
+        .join("ci.person_id", "n.id")
+}
+
+fn with_role(b: QueryBuilder<'_>) -> QueryBuilder<'_> {
+    b.table("role_type", "rt").join("ci.role_id", "rt.id")
+}
+
+fn with_char(b: QueryBuilder<'_>) -> QueryBuilder<'_> {
+    b.table("char_name", "chn").join("ci.person_role_id", "chn.id")
+}
+
+fn with_links(b: QueryBuilder<'_>) -> QueryBuilder<'_> {
+    b.table("movie_link", "ml")
+        .table("link_type", "lt")
+        .join("ml.movie_id", "t.id")
+        .join("ml.link_type_id", "lt.id")
+}
+
+fn with_complete_cast(b: QueryBuilder<'_>) -> QueryBuilder<'_> {
+    b.table("complete_cast", "cc")
+        .table("comp_cast_type", "cct1")
+        .table("comp_cast_type", "cct2")
+        .join("cc.movie_id", "t.id")
+        .join("cc.subject_id", "cct1.id")
+        .join("cc.status_id", "cct2.id")
+}
+
+fn with_aka_title(b: QueryBuilder<'_>) -> QueryBuilder<'_> {
+    b.table("aka_title", "at").join("at.movie_id", "t.id")
+}
+
+fn with_aka_name(b: QueryBuilder<'_>) -> QueryBuilder<'_> {
+    b.table("aka_name", "an").join("an.person_id", "n.id")
+}
+
+fn with_person_info(b: QueryBuilder<'_>) -> QueryBuilder<'_> {
+    b.table("person_info", "pi")
+        .table("info_type", "it3")
+        .join("pi.person_id", "n.id")
+        .join("pi.info_type_id", "it3.id")
+}
+
+// Common predicate value pools used across variants.
+const COUNTRIES: [&str; 4] = ["[us]", "[de]", "[gb]", "[fr]"];
+
+// ---------------------------------------------------------------------------
+// Families.
+// ---------------------------------------------------------------------------
+
+/// Family 1 (4 variants): production companies of rated movies.
+/// `t ⋈ mc ⋈ ct ⋈ miidx ⋈ it2` — 4 joins.
+fn family_1(db: &Database) -> Vec<QuerySpec> {
+    (0..4)
+        .map(|v| {
+            let b = base_title(db, &name(1, v));
+            let b = b
+                .table("movie_companies", "mc")
+                .table("company_type", "ct")
+                .join("mc.movie_id", "t.id")
+                .join("mc.company_type_id", "ct.id");
+            let b = with_info_idx(b)
+                .filter_eq("ct.kind", "production companies")
+                .filter_eq("it2.info", "top 250 rank");
+            match v {
+                0 => b.filter_like("mc.note", "%(co-production)%"),
+                1 => b.filter_like("mc.note", "%(presents)%"),
+                2 => b
+                    .filter_like("mc.note", "%(co-production)%")
+                    .filter_int("t.production_year", CmpOp::Gt, 2005),
+                _ => b.filter_int("t.production_year", CmpOp::Gt, 2000),
+            }
+            .build()
+        })
+        .collect()
+}
+
+/// Family 2 (4 variants): movies of companies from a country carrying a
+/// specific keyword.  `t ⋈ mc ⋈ cn ⋈ ct ⋈ mk ⋈ k` — 6 joins.
+fn family_2(db: &Database) -> Vec<QuerySpec> {
+    (0..4)
+        .map(|v| {
+            let b = with_keyword(with_companies(base_title(db, &name(2, v))));
+            b.filter_eq("cn.country_code", COUNTRIES[v])
+                .filter_eq("k.keyword", "character-name-in-title")
+                .build()
+        })
+        .collect()
+}
+
+/// Family 3 (3 variants): keyworded movies with a genre restriction.
+/// `t ⋈ mk ⋈ k ⋈ mi` — 3 joins.
+fn family_3(db: &Database) -> Vec<QuerySpec> {
+    (0..3)
+        .map(|v| {
+            let b = base_title(db, &name(3, v))
+                .table("movie_keyword", "mk")
+                .table("keyword", "k")
+                .table("movie_info", "mi")
+                .join("mk.movie_id", "t.id")
+                .join("mk.keyword_id", "k.id")
+                .join("mi.movie_id", "t.id")
+                .filter_like("k.keyword", "%sequel%");
+            match v {
+                0 => b
+                    .filter_in("mi.info", &["Germany", "German"])
+                    .filter_int("t.production_year", CmpOp::Gt, 2005),
+                1 => b
+                    .filter_in("mi.info", &["USA", "English"])
+                    .filter_int("t.production_year", CmpOp::Gt, 2008),
+                _ => b.filter_int("t.production_year", CmpOp::Gt, 1990),
+            }
+            .build()
+        })
+        .collect()
+}
+
+/// Family 4 (3 variants): ratings of keyworded movies.
+/// `t ⋈ miidx ⋈ it2 ⋈ mk ⋈ k` — 4 joins.
+fn family_4(db: &Database) -> Vec<QuerySpec> {
+    (0..3)
+        .map(|v| {
+            let b = with_keyword(with_info_idx(base_title(db, &name(4, v))))
+                .filter_eq("it2.info", "rating")
+                .filter_like("k.keyword", "%sequel%");
+            match v {
+                0 => b.filter_int("t.production_year", CmpOp::Gt, 2005),
+                1 => b.filter_int("t.production_year", CmpOp::Gt, 2010),
+                _ => b.filter_int("t.production_year", CmpOp::Gt, 1990),
+            }
+            .build()
+        })
+        .collect()
+}
+
+/// Family 5 (3 variants): genre/language info of movies from typed companies.
+/// `t ⋈ mc ⋈ ct ⋈ mi ⋈ it` — 4 joins.
+fn family_5(db: &Database) -> Vec<QuerySpec> {
+    (0..3)
+        .map(|v| {
+            let b = base_title(db, &name(5, v))
+                .table("movie_companies", "mc")
+                .table("company_type", "ct")
+                .join("mc.movie_id", "t.id")
+                .join("mc.company_type_id", "ct.id");
+            let b = with_info(b).filter_eq("ct.kind", "production companies");
+            match v {
+                0 => b
+                    .filter_like("mc.note", "%(co-production)%")
+                    .filter_in("mi.info", &["Drama", "Horror"])
+                    .filter_int("t.production_year", CmpOp::Gt, 2005),
+                1 => b
+                    .filter_in("mi.info", &["Drama", "Comedy", "Action"])
+                    .filter_int("t.production_year", CmpOp::Gt, 2000),
+                _ => b.filter_in("mi.info", &["German", "French", "Italian"]),
+            }
+            .build()
+        })
+        .collect()
+}
+
+/// Family 6 (6 variants): cast members of keyworded movies.
+/// `t ⋈ ci ⋈ n ⋈ mk ⋈ k` — 5 joins.
+fn family_6(db: &Database) -> Vec<QuerySpec> {
+    (0..6)
+        .map(|v| {
+            let b = with_keyword(with_cast(base_title(db, &name(6, v))));
+            match v {
+                0 => b
+                    .filter_eq("k.keyword", "marvel-comics")
+                    .filter_like("n.name", "%Tim%")
+                    .filter_int("t.production_year", CmpOp::Gt, 2005),
+                1 => b
+                    .filter_eq("k.keyword", "superhero")
+                    .filter_like("n.name", "%Smith%")
+                    .filter_int("t.production_year", CmpOp::Gt, 2000),
+                2 => b
+                    .filter_in("k.keyword", &["superhero", "marvel-comics", "based-on-comic"])
+                    .filter_like("n.name", "%An%")
+                    .filter_int("t.production_year", CmpOp::Gt, 2008),
+                3 => b
+                    .filter_eq("k.keyword", "fight")
+                    .filter_like("n.name", "%Kumar%")
+                    .filter_int("t.production_year", CmpOp::Gt, 2005),
+                4 => b.filter_eq("k.keyword", "sequel").filter_like("n.name", "%a%"),
+                _ => b
+                    .filter_in("k.keyword", &["hero", "martial-arts", "revenge"])
+                    .filter_int("t.production_year", CmpOp::Gt, 1995),
+            }
+            .build()
+        })
+        .collect()
+}
+
+/// Family 7 (3 variants): biographical info of people in linked movies.
+/// `t ⋈ ci ⋈ n ⋈ an ⋈ pi ⋈ it3 ⋈ ml ⋈ lt` — 8 joins.
+fn family_7(db: &Database) -> Vec<QuerySpec> {
+    (0..3)
+        .map(|v| {
+            let b = with_links(with_person_info(with_aka_name(with_cast(base_title(
+                db,
+                &name(7, v),
+            )))))
+            .filter_eq("it3.info", "biography")
+            .filter_eq("lt.link", "features");
+            match v {
+                0 => b
+                    .filter_like("n.name", "%a%")
+                    .filter_eq("n.gender", "m")
+                    .filter_between("t.production_year", 1980, 1995),
+                1 => b
+                    .filter_like("n.name", "%An%")
+                    .filter_eq("n.gender", "f")
+                    .filter_between("t.production_year", 1995, 2010),
+                _ => b.filter_between("t.production_year", 1980, 2010),
+            }
+            .build()
+        })
+        .collect()
+}
+
+/// Family 8 (4 variants): actors/actresses in movies of companies from a
+/// country.  `t ⋈ ci ⋈ n ⋈ rt ⋈ mc ⋈ cn` — 6 joins.
+fn family_8(db: &Database) -> Vec<QuerySpec> {
+    (0..4)
+        .map(|v| {
+            let b = base_title(db, &name(8, v))
+                .table("cast_info", "ci")
+                .table("name", "n")
+                .table("role_type", "rt")
+                .table("movie_companies", "mc")
+                .table("company_name", "cn")
+                .join("ci.movie_id", "t.id")
+                .join("ci.person_id", "n.id")
+                .join("ci.role_id", "rt.id")
+                .join("mc.movie_id", "t.id")
+                .join("mc.company_id", "cn.id");
+            match v {
+                0 => b
+                    .filter_eq("rt.role", "actress")
+                    .filter_eq("cn.country_code", "[us]")
+                    .filter_like("ci.note", "%(voice)%"),
+                1 => b
+                    .filter_eq("rt.role", "actor")
+                    .filter_eq("cn.country_code", "[jp]")
+                    .filter_like("ci.note", "%(voice%"),
+                2 => b
+                    .filter_eq("rt.role", "writer")
+                    .filter_eq("cn.country_code", "[us]")
+                    .filter_eq("n.gender", "f"),
+                _ => b.filter_eq("rt.role", "director").filter_eq("cn.country_code", "[gb]"),
+            }
+            .build()
+        })
+        .collect()
+}
+
+/// Family 9 (4 variants): characters played by actresses in US productions.
+/// `t ⋈ ci ⋈ n ⋈ chn ⋈ rt ⋈ mc ⋈ cn` — 7 joins.
+fn family_9(db: &Database) -> Vec<QuerySpec> {
+    (0..4)
+        .map(|v| {
+            let b = base_title(db, &name(9, v))
+                .table("cast_info", "ci")
+                .table("name", "n")
+                .table("char_name", "chn")
+                .table("role_type", "rt")
+                .table("movie_companies", "mc")
+                .table("company_name", "cn")
+                .join("ci.movie_id", "t.id")
+                .join("ci.person_id", "n.id")
+                .join("ci.person_role_id", "chn.id")
+                .join("ci.role_id", "rt.id")
+                .join("mc.movie_id", "t.id")
+                .join("mc.company_id", "cn.id")
+                .filter_eq("rt.role", "actress")
+                .filter_eq("cn.country_code", "[us]");
+            match v {
+                0 => b.filter_like("ci.note", "%(voice)%").filter_like("n.name", "%An%"),
+                1 => b.filter_eq("n.gender", "f").filter_like("n.name", "%a%"),
+                2 => b
+                    .filter_like("n.name", "%An%")
+                    .filter_int("t.production_year", CmpOp::Gt, 2005),
+                _ => b.filter_between("t.production_year", 2000, 2010),
+            }
+            .build()
+        })
+        .collect()
+}
+
+/// Family 10 (3 variants): uncredited/voice cast in typed companies' movies.
+/// `t ⋈ ci ⋈ chn ⋈ rt ⋈ mc ⋈ ct ⋈ cn` — 7 joins.
+fn family_10(db: &Database) -> Vec<QuerySpec> {
+    (0..3)
+        .map(|v| {
+            let b = base_title(db, &name(10, v))
+                .table("cast_info", "ci")
+                .table("char_name", "chn")
+                .table("role_type", "rt")
+                .table("movie_companies", "mc")
+                .table("company_name", "cn")
+                .table("company_type", "ct")
+                .join("ci.movie_id", "t.id")
+                .join("ci.person_role_id", "chn.id")
+                .join("ci.role_id", "rt.id")
+                .join("mc.movie_id", "t.id")
+                .join("mc.company_id", "cn.id")
+                .join("mc.company_type_id", "ct.id");
+            match v {
+                0 => b
+                    .filter_like("ci.note", "%(voice)%")
+                    .filter_eq("cn.country_code", "[ja]")
+                    .filter_eq("rt.role", "actress")
+                    .filter_int("t.production_year", CmpOp::Gt, 2005),
+                1 => b
+                    .filter_like("ci.note", "%(producer)%")
+                    .filter_eq("cn.country_code", "[us]")
+                    .filter_int("t.production_year", CmpOp::Gt, 2000),
+                _ => b
+                    .filter_like("ci.note", "%(uncredited)%")
+                    .filter_eq("ct.kind", "production companies")
+                    .filter_int("t.production_year", CmpOp::Gt, 1990),
+            }
+            .build()
+        })
+        .collect()
+}
+
+/// Family 11 (4 variants): sequels/links of keyworded company movies.
+/// `t ⋈ mc ⋈ cn ⋈ ct ⋈ ml ⋈ lt ⋈ mk ⋈ k` — 9 joins.
+fn family_11(db: &Database) -> Vec<QuerySpec> {
+    (0..4)
+        .map(|v| {
+            let b = with_keyword(with_links(with_companies(base_title(db, &name(11, v)))))
+                .filter_eq("k.keyword", "sequel")
+                .filter_not_null("cn.country_code");
+            match v {
+                0 => b
+                    .filter_like("lt.link", "%follow%")
+                    .filter_eq("ct.kind", "production companies")
+                    .filter_between("t.production_year", 1990, 2000),
+                1 => b
+                    .filter_like("lt.link", "%follow%")
+                    .filter_null("mc.note")
+                    .filter_int("t.production_year", CmpOp::Gt, 2000),
+                2 => b.filter_in("lt.link", &["references", "referenced in"]),
+                _ => b.filter_in("lt.link", &["remake of", "remade as"]),
+            }
+            .build()
+        })
+        .collect()
+}
+
+/// Family 12 (3 variants): ratings and genres of company movies.
+/// `t ⋈ mc ⋈ cn ⋈ ct ⋈ mi ⋈ it ⋈ miidx ⋈ it2` — 9 joins.
+fn family_12(db: &Database) -> Vec<QuerySpec> {
+    (0..3)
+        .map(|v| {
+            let b = with_info_idx(with_info(with_companies(base_title(db, &name(12, v)))))
+                .filter_eq("it.info", "genres")
+                .filter_eq("it2.info", "rating")
+                .filter_eq("cn.country_code", "[us]");
+            match v {
+                0 => b
+                    .filter_eq("ct.kind", "production companies")
+                    .filter_in("mi.info", &["Drama", "Horror"])
+                    .filter_int("t.production_year", CmpOp::Ge, 2005),
+                1 => b.filter_in("mi.info", &["Drama", "Horror", "Western", "Family"]),
+                _ => b
+                    .filter_eq("ct.kind", "distributors")
+                    .filter_between("t.production_year", 2000, 2010),
+            }
+            .build()
+        })
+        .collect()
+}
+
+/// Family 13 (4 variants): the paper's example query — ratings and release
+/// dates of movies produced by companies of one country.
+/// `t ⋈ kt ⋈ mc ⋈ cn ⋈ ct ⋈ mi ⋈ it ⋈ miidx ⋈ it2` — 10 joins, 9 relations.
+fn family_13(db: &Database) -> Vec<QuerySpec> {
+    (0..4)
+        .map(|v| {
+            let b = with_info_idx(with_info(with_companies(with_kind(base_title(
+                db,
+                &name(13, v),
+            )))))
+            .filter_eq("ct.kind", "production companies")
+            .filter_eq("it.info", "release dates")
+            .filter_eq("it2.info", "rating")
+            .filter_eq("kt.kind", "movie");
+            match v {
+                0 => b.filter_eq("cn.country_code", "[de]"),
+                1 => b.filter_eq("cn.country_code", "[us]"),
+                2 => b.filter_eq("cn.country_code", "[gb]"),
+                _ => b.filter_eq("cn.country_code", "[fr]"),
+            }
+            .build()
+        })
+        .collect()
+}
+
+/// Family 14 (3 variants): ratings of horror/thriller movies with keywords.
+/// `t ⋈ kt ⋈ mi ⋈ it ⋈ miidx ⋈ it2 ⋈ mk ⋈ k` — 8 joins.
+fn family_14(db: &Database) -> Vec<QuerySpec> {
+    (0..3)
+        .map(|v| {
+            let b = with_keyword(with_info_idx(with_info(with_kind(base_title(
+                db,
+                &name(14, v),
+            )))))
+            .filter_eq("kt.kind", "movie")
+            .filter_eq("it.info", "countries")
+            .filter_eq("it2.info", "rating");
+            match v {
+                0 => b
+                    .filter_in("k.keyword", &["murder", "blood", "gore"])
+                    .filter_int("t.production_year", CmpOp::Gt, 2005),
+                1 => b
+                    .filter_in("k.keyword", &["murder", "blood", "gore", "violence"])
+                    .filter_in("mi.info", &["USA", "UK"]),
+                _ => b
+                    .filter_eq("k.keyword", "murder")
+                    .filter_int("t.production_year", CmpOp::Gt, 1990),
+            }
+            .build()
+        })
+        .collect()
+}
+
+/// Family 15 (4 variants): international release info of keyworded US movies.
+/// `t ⋈ mc ⋈ cn ⋈ ct ⋈ mi ⋈ it ⋈ mk ⋈ k ⋈ at` — 10 joins.
+fn family_15(db: &Database) -> Vec<QuerySpec> {
+    (0..4)
+        .map(|v| {
+            let b = with_aka_title(with_keyword(with_info(with_companies(base_title(
+                db,
+                &name(15, v),
+            )))))
+            .filter_eq("it.info", "release dates")
+            .filter_eq("cn.country_code", "[us]");
+            match v {
+                0 => b
+                    .filter_like("mi.info", "USA:%")
+                    .filter_int("t.production_year", CmpOp::Gt, 2000),
+                1 => b.filter_like("mi.info", "USA:% 2005").filter_like("mc.note", "%(presents)%"),
+                2 => b
+                    .filter_eq("k.keyword", "character-name-in-title")
+                    .filter_int("t.production_year", CmpOp::Gt, 1990),
+                _ => b
+                    .filter_eq("k.keyword", "second-part")
+                    .filter_between("t.production_year", 1950, 2000),
+            }
+            .build()
+        })
+        .collect()
+}
+
+/// Family 16 (4 variants): alternative names of cast in keyworded company
+/// movies.  `t ⋈ ci ⋈ n ⋈ an ⋈ mk ⋈ k ⋈ mc ⋈ cn` — 9 joins.
+fn family_16(db: &Database) -> Vec<QuerySpec> {
+    (0..4)
+        .map(|v| {
+            let b = base_title(db, &name(16, v))
+                .table("cast_info", "ci")
+                .table("name", "n")
+                .table("aka_name", "an")
+                .table("movie_keyword", "mk")
+                .table("keyword", "k")
+                .table("movie_companies", "mc")
+                .table("company_name", "cn")
+                .join("ci.movie_id", "t.id")
+                .join("ci.person_id", "n.id")
+                .join("an.person_id", "n.id")
+                .join("mk.movie_id", "t.id")
+                .join("mk.keyword_id", "k.id")
+                .join("mc.movie_id", "t.id")
+                .join("mc.company_id", "cn.id")
+                .filter_eq("k.keyword", "character-name-in-title");
+            match v {
+                0 => b.filter_eq("cn.country_code", "[us]").filter_between("t.production_year", 2005, 2010),
+                1 => b.filter_eq("cn.country_code", "[us]"),
+                2 => b.filter_between("t.production_year", 1990, 2000),
+                _ => b.filter_int("t.production_year", CmpOp::Gt, 1950),
+            }
+            .build()
+        })
+        .collect()
+}
+
+/// Family 17 (6 variants): people in keyworded US-company movies, by name
+/// pattern.  `t ⋈ ci ⋈ n ⋈ mk ⋈ k ⋈ mc ⋈ cn` — 8 joins.
+fn family_17(db: &Database) -> Vec<QuerySpec> {
+    (0..6)
+        .map(|v| {
+            let b = base_title(db, &name(17, v))
+                .table("cast_info", "ci")
+                .table("name", "n")
+                .table("movie_keyword", "mk")
+                .table("keyword", "k")
+                .table("movie_companies", "mc")
+                .table("company_name", "cn")
+                .join("ci.movie_id", "t.id")
+                .join("ci.person_id", "n.id")
+                .join("mk.movie_id", "t.id")
+                .join("mk.keyword_id", "k.id")
+                .join("mc.movie_id", "t.id")
+                .join("mc.company_id", "cn.id")
+                .filter_eq("k.keyword", "character-name-in-title");
+            match v {
+                0 => b.filter_like("n.name", "B%").filter_eq("cn.country_code", "[us]"),
+                1 => b.filter_like("n.name", "Z%"),
+                2 => b.filter_like("n.name", "X%"),
+                3 => b.filter_like("n.name", "%Smith%").filter_eq("cn.country_code", "[us]"),
+                4 => b.filter_like("n.name", "%a%"),
+                _ => b.filter_like("n.name", "K%").filter_eq("cn.country_code", "[de]"),
+            }
+            .build()
+        })
+        .collect()
+}
+
+/// Family 18 (3 variants): budgets/ratings of movies by gendered writers.
+/// `t ⋈ ci ⋈ n ⋈ mi ⋈ it ⋈ miidx ⋈ it2` — 7 joins.
+fn family_18(db: &Database) -> Vec<QuerySpec> {
+    (0..3)
+        .map(|v| {
+            let b = with_info_idx(with_info(with_cast(base_title(db, &name(18, v)))))
+                .filter_eq("it.info", "budget")
+                .filter_eq("it2.info", "votes");
+            match v {
+                0 => b.filter_eq("n.gender", "m").filter_like("n.name", "%Tim%"),
+                1 => b.filter_eq("n.gender", "f").filter_like("n.name", "%An%"),
+                _ => b.filter_like("n.name", "%.%"),
+            }
+            .build()
+        })
+        .collect()
+}
+
+/// Family 19 (4 variants): voice actresses of US movies with release info.
+/// `t ⋈ ci ⋈ n ⋈ an ⋈ chn ⋈ rt ⋈ mi ⋈ it ⋈ mc ⋈ cn` — 11 joins.
+fn family_19(db: &Database) -> Vec<QuerySpec> {
+    (0..4)
+        .map(|v| {
+            let b = base_title(db, &name(19, v))
+                .table("cast_info", "ci")
+                .table("name", "n")
+                .table("aka_name", "an")
+                .table("char_name", "chn")
+                .table("role_type", "rt")
+                .table("movie_info", "mi")
+                .table("info_type", "it")
+                .table("movie_companies", "mc")
+                .table("company_name", "cn")
+                .join("ci.movie_id", "t.id")
+                .join("ci.person_id", "n.id")
+                .join("an.person_id", "n.id")
+                .join("ci.person_role_id", "chn.id")
+                .join("ci.role_id", "rt.id")
+                .join("mi.movie_id", "t.id")
+                .join("mi.info_type_id", "it.id")
+                .join("mc.movie_id", "t.id")
+                .join("mc.company_id", "cn.id")
+                .filter_eq("it.info", "release dates")
+                .filter_eq("rt.role", "actress")
+                .filter_eq("n.gender", "f")
+                .filter_eq("cn.country_code", "[us]");
+            match v {
+                0 => b.filter_like("ci.note", "%(voice)%").filter_between("t.production_year", 2000, 2010),
+                1 => b.filter_like("ci.note", "%(voice%").filter_int("t.production_year", CmpOp::Gt, 2005),
+                2 => b.filter_like("n.name", "%An%"),
+                _ => b.filter_int("t.production_year", CmpOp::Gt, 1990),
+            }
+            .build()
+        })
+        .collect()
+}
+
+/// Family 20 (3 variants): complete-cast hero movies with character names.
+/// `t ⋈ kt ⋈ ci ⋈ chn ⋈ n ⋈ cc ⋈ cct1 ⋈ cct2 ⋈ mk ⋈ k` — 11 joins.
+fn family_20(db: &Database) -> Vec<QuerySpec> {
+    (0..3)
+        .map(|v| {
+            let b = with_keyword(with_complete_cast(with_char(with_cast(with_kind(
+                base_title(db, &name(20, v)),
+            )))))
+            .filter_eq("kt.kind", "movie")
+            .filter_eq("cct1.kind", "cast")
+            .filter_like("cct2.kind", "complete%");
+            match v {
+                0 => b
+                    .filter_in("k.keyword", &["superhero", "marvel-comics", "based-on-comic"])
+                    .filter_int("t.production_year", CmpOp::Gt, 2000),
+                1 => b.filter_eq("k.keyword", "superhero").filter_like("chn.name", "%man%"),
+                _ => b.filter_in("k.keyword", &["hero", "fight"]).filter_int("t.production_year", CmpOp::Gt, 1990),
+            }
+            .build()
+        })
+        .collect()
+}
+
+/// Family 21 (3 variants): linked company movies with country info.
+/// `t ⋈ kt ⋈ mc ⋈ cn ⋈ ct ⋈ ml ⋈ lt ⋈ mi ⋈ it` — 10 joins.
+fn family_21(db: &Database) -> Vec<QuerySpec> {
+    (0..3)
+        .map(|v| {
+            let b = with_info(with_links(with_companies(with_kind(base_title(db, &name(21, v))))))
+                .filter_eq("kt.kind", "movie")
+                .filter_eq("it.info", "countries")
+                .filter_like("lt.link", "%follow%")
+                .filter_null("mc.note");
+            match v {
+                0 => b.filter_in("mi.info", &["Germany", "Sweden"]),
+                1 => b.filter_in("mi.info", &["USA", "UK", "Canada"]),
+                _ => b.filter_int("t.production_year", CmpOp::Gt, 1980),
+            }
+            .build()
+        })
+        .collect()
+}
+
+/// Family 22 (4 variants): western-country violent movies with companies and
+/// ratings.  `t ⋈ kt ⋈ mc ⋈ cn ⋈ ct ⋈ mi ⋈ it ⋈ miidx ⋈ it2 ⋈ mk ⋈ k` — 12 joins.
+fn family_22(db: &Database) -> Vec<QuerySpec> {
+    (0..4)
+        .map(|v| {
+            let b = with_keyword(with_info_idx(with_info(with_companies(with_kind(
+                base_title(db, &name(22, v)),
+            )))))
+            .filter_eq("it.info", "countries")
+            .filter_eq("it2.info", "rating")
+            .filter_in("k.keyword", &["murder", "blood", "violence"]);
+            match v {
+                0 => b
+                    .filter_eq("cn.country_code", "[de]")
+                    .filter_eq("kt.kind", "movie")
+                    .filter_int("t.production_year", CmpOp::Gt, 2008),
+                1 => b
+                    .filter_eq("cn.country_code", "[us]")
+                    .filter_int("t.production_year", CmpOp::Gt, 2005),
+                2 => b.filter_in("kt.kind", &["movie", "episode"]).filter_int("t.production_year", CmpOp::Gt, 2000),
+                _ => b.filter_int("t.production_year", CmpOp::Gt, 1990),
+            }
+            .build()
+        })
+        .collect()
+}
+
+/// Family 23 (3 variants): complete-cast movies of US companies with a kind
+/// and keyword.  `t ⋈ kt ⋈ mi ⋈ it ⋈ cc ⋈ cct1 ⋈ cct2 ⋈ mk ⋈ k ⋈ mc ⋈ cn ⋈ ct` — 13 joins.
+fn family_23(db: &Database) -> Vec<QuerySpec> {
+    (0..3)
+        .map(|v| {
+            let b = with_companies(with_keyword(with_complete_cast(with_info(with_kind(
+                base_title(db, &name(23, v)),
+            )))))
+            .filter_eq("kt.kind", "movie")
+            .filter_eq("it.info", "release dates")
+            .filter_like("cct2.kind", "complete%")
+            .filter_eq("cn.country_code", "[us]");
+            match v {
+                0 => b.filter_like("mi.info", "USA:%").filter_int("t.production_year", CmpOp::Gt, 2000),
+                1 => b.filter_eq("k.keyword", "sequel"),
+                _ => b.filter_int("t.production_year", CmpOp::Gt, 1990),
+            }
+            .build()
+        })
+        .collect()
+}
+
+/// Family 24 (2 variants): voice actresses in keyworded US movies with
+/// character names.  `t ⋈ ci ⋈ n ⋈ rt ⋈ chn ⋈ mi ⋈ it ⋈ mk ⋈ k ⋈ mc ⋈ cn` — 12 joins.
+fn family_24(db: &Database) -> Vec<QuerySpec> {
+    (0..2)
+        .map(|v| {
+            let b = base_title(db, &name(24, v))
+                .table("cast_info", "ci")
+                .table("name", "n")
+                .table("role_type", "rt")
+                .table("char_name", "chn")
+                .table("movie_info", "mi")
+                .table("info_type", "it")
+                .table("movie_keyword", "mk")
+                .table("keyword", "k")
+                .table("movie_companies", "mc")
+                .table("company_name", "cn")
+                .join("ci.movie_id", "t.id")
+                .join("ci.person_id", "n.id")
+                .join("ci.role_id", "rt.id")
+                .join("ci.person_role_id", "chn.id")
+                .join("mi.movie_id", "t.id")
+                .join("mi.info_type_id", "it.id")
+                .join("mk.movie_id", "t.id")
+                .join("mk.keyword_id", "k.id")
+                .join("mc.movie_id", "t.id")
+                .join("mc.company_id", "cn.id")
+                .filter_eq("it.info", "release dates")
+                .filter_eq("rt.role", "actress")
+                .filter_eq("n.gender", "f")
+                .filter_eq("cn.country_code", "[us]")
+                .filter_eq("k.keyword", "character-name-in-title");
+            match v {
+                0 => b.filter_like("ci.note", "%(voice)%").filter_int("t.production_year", CmpOp::Gt, 2005),
+                _ => b.filter_int("t.production_year", CmpOp::Gt, 1990),
+            }
+            .build()
+        })
+        .collect()
+}
+
+/// Family 25 (3 variants): male writers of violent movies with ratings.
+/// `t ⋈ ci ⋈ n ⋈ rt ⋈ mi ⋈ it ⋈ miidx ⋈ it2 ⋈ mk ⋈ k` — 11 joins.
+fn family_25(db: &Database) -> Vec<QuerySpec> {
+    (0..3)
+        .map(|v| {
+            let b = with_keyword(with_info_idx(with_info(with_role(with_cast(base_title(
+                db,
+                &name(25, v),
+            ))))))
+            .filter_eq("it.info", "genres")
+            .filter_eq("it2.info", "votes")
+            .filter_eq("rt.role", "writer")
+            .filter_eq("n.gender", "m");
+            match v {
+                0 => b
+                    .filter_eq("mi.info", "Horror")
+                    .filter_in("k.keyword", &["murder", "blood", "gore"]),
+                1 => b.filter_in("mi.info", &["Horror", "Thriller"]),
+                _ => b
+                    .filter_in("mi.info", &["Horror", "Action", "Thriller", "Crime"])
+                    .filter_in("k.keyword", &["murder", "violence", "blood", "revenge"]),
+            }
+            .build()
+        })
+        .collect()
+}
+
+/// Family 26 (3 variants): complete-cast superhero movies with ratings and
+/// characters.  `t ⋈ kt ⋈ ci ⋈ chn ⋈ n ⋈ cc ⋈ cct1 ⋈ cct2 ⋈ miidx ⋈ it2 ⋈ mk ⋈ k` — 13 joins.
+fn family_26(db: &Database) -> Vec<QuerySpec> {
+    (0..3)
+        .map(|v| {
+            let b = with_keyword(with_info_idx(with_complete_cast(with_char(with_cast(
+                with_kind(base_title(db, &name(26, v))),
+            )))))
+            .filter_eq("kt.kind", "movie")
+            .filter_eq("cct1.kind", "cast")
+            .filter_like("cct2.kind", "complete%")
+            .filter_eq("it2.info", "rating");
+            match v {
+                0 => b
+                    .filter_in("k.keyword", &["superhero", "marvel-comics", "based-on-comic"])
+                    .filter_int("t.production_year", CmpOp::Gt, 2005),
+                1 => b.filter_eq("k.keyword", "superhero").filter_like("chn.name", "%man%"),
+                _ => b.filter_int("t.production_year", CmpOp::Gt, 2000),
+            }
+            .build()
+        })
+        .collect()
+}
+
+/// Family 27 (3 variants): complete-cast linked co-productions with keywords.
+/// `t ⋈ mc ⋈ cn ⋈ ct ⋈ ml ⋈ lt ⋈ mi ⋈ it ⋈ cc ⋈ cct1 ⋈ cct2 ⋈ mk ⋈ k` — 14 joins.
+fn family_27(db: &Database) -> Vec<QuerySpec> {
+    (0..3)
+        .map(|v| {
+            let b = with_keyword(with_complete_cast(with_info(with_links(with_companies(
+                base_title(db, &name(27, v)),
+            )))))
+            .filter_eq("it.info", "countries")
+            .filter_eq("cct1.kind", "cast")
+            .filter_eq("cct2.kind", "complete")
+            .filter_eq("k.keyword", "sequel")
+            .filter_like("lt.link", "%follow%")
+            .filter_null("mc.note");
+            match v {
+                0 => b.filter_in("mi.info", &["Germany", "Sweden"]).filter_int("t.production_year", CmpOp::Gt, 1950),
+                1 => b.filter_in("mi.info", &["USA", "UK"]).filter_int("t.production_year", CmpOp::Gt, 2000),
+                _ => b.filter_int("t.production_year", CmpOp::Gt, 1980),
+            }
+            .build()
+        })
+        .collect()
+}
+
+/// Family 28 (3 variants): everything about western violent movies.
+/// `t ⋈ kt ⋈ mc ⋈ cn ⋈ ct ⋈ mi ⋈ it ⋈ miidx ⋈ it2 ⋈ mk ⋈ k ⋈ cc ⋈ cct1 ⋈ cct2` — 15 joins.
+fn family_28(db: &Database) -> Vec<QuerySpec> {
+    (0..3)
+        .map(|v| {
+            let b = with_complete_cast(with_keyword(with_info_idx(with_info(with_companies(
+                with_kind(base_title(db, &name(28, v))),
+            )))))
+            .filter_eq("it.info", "countries")
+            .filter_eq("it2.info", "rating")
+            .filter_eq("cct1.kind", "crew")
+            .filter_like("cct2.kind", "complete%")
+            .filter_in("k.keyword", &["murder", "blood", "violence"]);
+            match v {
+                0 => b
+                    .filter_eq("kt.kind", "movie")
+                    .filter_eq("cn.country_code", "[us]")
+                    .filter_int("t.production_year", CmpOp::Gt, 2005),
+                1 => b.filter_in("kt.kind", &["movie", "episode"]).filter_int("t.production_year", CmpOp::Gt, 2000),
+                _ => b.filter_int("t.production_year", CmpOp::Gt, 1990),
+            }
+            .build()
+        })
+        .collect()
+}
+
+/// Family 29 (3 variants): the full-schema query — cast, characters,
+/// alternative names, person info, companies, keywords, info and ratings.
+/// 17 relations, 19 joins.
+fn family_29(db: &Database) -> Vec<QuerySpec> {
+    (0..3)
+        .map(|v| {
+            let b = with_person_info(with_aka_name(with_char(with_role(with_cast(
+                with_keyword(with_info_idx(with_info(with_companies(with_kind(base_title(
+                    db,
+                    &name(29, v),
+                )))))),
+            )))))
+            .filter_eq("kt.kind", "movie")
+            .filter_eq("it.info", "release dates")
+            .filter_eq("it2.info", "rating")
+            .filter_eq("it3.info", "biography")
+            .filter_eq("rt.role", "actress")
+            .filter_eq("n.gender", "f")
+            .filter_eq("cn.country_code", "[us]")
+            .filter_eq("k.keyword", "character-name-in-title");
+            match v {
+                0 => b.filter_like("ci.note", "%(voice)%").filter_between("t.production_year", 2000, 2010),
+                1 => b.filter_like("n.name", "%An%").filter_int("t.production_year", CmpOp::Gt, 2005),
+                _ => b.filter_int("t.production_year", CmpOp::Gt, 1990),
+            }
+            .build()
+        })
+        .collect()
+}
+
+/// Family 30 (3 variants): complete-cast violent movies by male writers with
+/// ratings.  `t ⋈ kt ⋈ mi ⋈ it ⋈ miidx ⋈ it2 ⋈ ci ⋈ n ⋈ rt ⋈ mk ⋈ k ⋈ cc ⋈ cct1 ⋈ cct2` — 15 joins.
+fn family_30(db: &Database) -> Vec<QuerySpec> {
+    (0..3)
+        .map(|v| {
+            let b = with_complete_cast(with_keyword(with_role(with_cast(with_info_idx(
+                with_info(with_kind(base_title(db, &name(30, v)))),
+            )))))
+            .filter_eq("kt.kind", "movie")
+            .filter_eq("it.info", "genres")
+            .filter_eq("it2.info", "votes")
+            .filter_eq("rt.role", "writer")
+            .filter_eq("n.gender", "m")
+            .filter_eq("cct1.kind", "cast")
+            .filter_like("cct2.kind", "complete%")
+            .filter_in("k.keyword", &["murder", "violence", "blood"]);
+            match v {
+                0 => b.filter_in("mi.info", &["Horror", "Thriller"]).filter_int("t.production_year", CmpOp::Gt, 2000),
+                1 => b.filter_eq("mi.info", "Horror"),
+                _ => b.filter_int("t.production_year", CmpOp::Gt, 1990),
+            }
+            .build()
+        })
+        .collect()
+}
+
+/// Family 31 (3 variants): writers of violent company movies with ratings.
+/// `t ⋈ ci ⋈ n ⋈ mi ⋈ it ⋈ miidx ⋈ it2 ⋈ mk ⋈ k ⋈ mc ⋈ cn` — 12 joins.
+fn family_31(db: &Database) -> Vec<QuerySpec> {
+    (0..3)
+        .map(|v| {
+            let b = base_title(db, &name(31, v))
+                .table("cast_info", "ci")
+                .table("name", "n")
+                .table("movie_info", "mi")
+                .table("info_type", "it")
+                .table("movie_info_idx", "miidx")
+                .table("info_type", "it2")
+                .table("movie_keyword", "mk")
+                .table("keyword", "k")
+                .table("movie_companies", "mc")
+                .table("company_name", "cn")
+                .join("ci.movie_id", "t.id")
+                .join("ci.person_id", "n.id")
+                .join("mi.movie_id", "t.id")
+                .join("mi.info_type_id", "it.id")
+                .join("miidx.movie_id", "t.id")
+                .join("miidx.info_type_id", "it2.id")
+                .join("mk.movie_id", "t.id")
+                .join("mk.keyword_id", "k.id")
+                .join("mc.movie_id", "t.id")
+                .join("mc.company_id", "cn.id")
+                .filter_eq("it.info", "genres")
+                .filter_eq("it2.info", "votes")
+                .filter_in("k.keyword", &["murder", "blood", "violence"])
+                .filter_eq("n.gender", "m");
+            match v {
+                0 => b.filter_eq("mi.info", "Horror").filter_like("cn.name", "%Lionsgate%"),
+                1 => b.filter_in("mi.info", &["Horror", "Thriller"]).filter_like("cn.name", "%Warner%"),
+                _ => b.filter_in("mi.info", &["Horror", "Action", "Thriller"]),
+            }
+            .build()
+        })
+        .collect()
+}
+
+/// Family 32 (2 variants): keyworded movies and what links to them.
+/// `k ⋈ mk ⋈ t ⋈ ml ⋈ lt` — 4 joins.
+fn family_32(db: &Database) -> Vec<QuerySpec> {
+    (0..2)
+        .map(|v| {
+            let b = with_links(with_keyword(base_title(db, &name(32, v))));
+            match v {
+                0 => b.filter_eq("k.keyword", "character-name-in-title"),
+                _ => b.filter_in("k.keyword", &["sequel", "second-part"]),
+            }
+            .build()
+        })
+        .collect()
+}
+
+/// Family 33 (3 variants): linked pairs of rated series from specific
+/// countries — a self-join of the movie side of the schema.
+/// `cn1 ⋈ mc1 ⋈ t1 ⋈ kt1 ⋈ miidx1 ⋈ it1 ⋈ ml ⋈ t2 ⋈ kt2 ⋈ miidx2 ⋈ it2x ⋈ mc2 ⋈ cn2 ⋈ lt` — 14 relations.
+fn family_33(db: &Database) -> Vec<QuerySpec> {
+    (0..3)
+        .map(|v| {
+            let b = QueryBuilder::new(db, name(33, v))
+                .table("title", "t1")
+                .table("title", "t2")
+                .table("movie_link", "ml")
+                .table("link_type", "lt")
+                .table("kind_type", "kt1")
+                .table("kind_type", "kt2")
+                .table("movie_info_idx", "mii1")
+                .table("movie_info_idx", "mii2")
+                .table("info_type", "it1")
+                .table("info_type", "it2x")
+                .table("movie_companies", "mc1")
+                .table("company_name", "cn1")
+                .table("movie_companies", "mc2")
+                .table("company_name", "cn2")
+                .join("ml.movie_id", "t1.id")
+                .join("ml.linked_movie_id", "t2.id")
+                .join("ml.link_type_id", "lt.id")
+                .join("t1.kind_id", "kt1.id")
+                .join("t2.kind_id", "kt2.id")
+                .join("mii1.movie_id", "t1.id")
+                .join("mii1.info_type_id", "it1.id")
+                .join("mii2.movie_id", "t2.id")
+                .join("mii2.info_type_id", "it2x.id")
+                .join("mc1.movie_id", "t1.id")
+                .join("mc1.company_id", "cn1.id")
+                .join("mc2.movie_id", "t2.id")
+                .join("mc2.company_id", "cn2.id")
+                .filter_eq("it1.info", "rating")
+                .filter_eq("it2x.info", "rating")
+                .filter_in("kt1.kind", &["tv series", "movie"])
+                .filter_in("kt2.kind", &["tv series", "movie"]);
+            match v {
+                0 => b
+                    .filter_eq("cn1.country_code", "[us]")
+                    .filter_in("lt.link", &["follows", "followed by"]),
+                1 => b
+                    .filter_eq("cn1.country_code", "[de]")
+                    .filter_in("lt.link", &["follows", "followed by"])
+                    .filter_int("t2.production_year", CmpOp::Ge, 2000),
+                _ => b.filter_in("lt.link", &["follows", "followed by", "remake of", "remade as"]),
+            }
+            .build()
+        })
+        .collect()
+}
+
+/// Returns the full 113-query workload over the given (IMDB-like) catalog.
+pub fn job_queries(db: &Database) -> Vec<QuerySpec> {
+    let families: Vec<fn(&Database) -> Vec<QuerySpec>> = vec![
+        family_1, family_2, family_3, family_4, family_5, family_6, family_7, family_8, family_9,
+        family_10, family_11, family_12, family_13, family_14, family_15, family_16, family_17,
+        family_18, family_19, family_20, family_21, family_22, family_23, family_24, family_25,
+        family_26, family_27, family_28, family_29, family_30, family_31, family_32, family_33,
+    ];
+    debug_assert_eq!(families.len(), JOB_FAMILY_COUNT);
+    families.iter().flat_map(|f| f(db)).collect()
+}
+
+/// Looks up a single query by name (e.g. `"13d"`).
+pub fn job_query(db: &Database, query_name: &str) -> Option<QuerySpec> {
+    job_queries(db).into_iter().find(|q| q.name == query_name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qob_datagen::{generate_imdb, Scale};
+
+    fn db() -> Database {
+        generate_imdb(&Scale::tiny()).unwrap()
+    }
+
+    #[test]
+    fn workload_has_113_queries_in_33_families() {
+        let db = db();
+        let queries = job_queries(&db);
+        assert_eq!(queries.len(), JOB_QUERY_COUNT);
+        let families: std::collections::HashSet<String> = queries
+            .iter()
+            .map(|q| q.name.trim_end_matches(char::is_alphabetic).to_owned())
+            .collect();
+        assert_eq!(families.len(), JOB_FAMILY_COUNT);
+        // Names are unique.
+        let names: std::collections::HashSet<&str> = queries.iter().map(|q| q.name.as_str()).collect();
+        assert_eq!(names.len(), queries.len());
+    }
+
+    #[test]
+    fn all_queries_validate_against_the_catalog() {
+        let db = db();
+        for q in job_queries(&db) {
+            assert!(q.validate(&db).is_ok(), "query {} failed validation", q.name);
+        }
+    }
+
+    #[test]
+    fn join_counts_match_the_paper_range() {
+        let db = db();
+        let queries = job_queries(&db);
+        let mut min = usize::MAX;
+        let mut max = 0;
+        let mut total = 0usize;
+        for q in &queries {
+            let joins = q.join_count();
+            min = min.min(joins);
+            max = max.max(joins);
+            total += joins;
+        }
+        assert!(min >= 2, "minimum joins {min} (paper: 3..16, ours starts at the small families)");
+        assert!(max >= 13, "largest family should have many joins, got {max}");
+        assert!(max <= 20);
+        let avg = total as f64 / queries.len() as f64;
+        assert!(avg > 6.0 && avg < 11.0, "average joins ≈ 8, got {avg:.1}");
+    }
+
+    #[test]
+    fn variants_share_structure_but_differ_in_predicates() {
+        let db = db();
+        let queries = job_queries(&db);
+        let f13: Vec<&QuerySpec> = queries.iter().filter(|q| q.name.starts_with("13")).collect();
+        assert_eq!(f13.len(), 4);
+        for q in &f13 {
+            assert_eq!(q.rel_count(), f13[0].rel_count());
+            assert_eq!(q.join_predicate_count(), f13[0].join_predicate_count());
+        }
+        // Predicates differ between variants (different country codes).
+        let preds: std::collections::HashSet<String> =
+            f13.iter().map(|q| format!("{:?}", q.relations.iter().map(|r| &r.predicates).collect::<Vec<_>>())).collect();
+        assert_eq!(preds.len(), 4);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let db = db();
+        assert!(job_query(&db, "13d").is_some());
+        assert!(job_query(&db, "6a").is_some());
+        assert!(job_query(&db, "99z").is_none());
+    }
+
+    #[test]
+    fn example_query_13_mirrors_the_paper() {
+        let db = db();
+        let q = job_query(&db, "13d").unwrap();
+        // 9 relations: cn, ct, it, it2, t, kt, mc, mi, miidx.
+        assert_eq!(q.rel_count(), 9);
+        assert!(q.join_predicate_count() >= q.rel_count() - 1, "spanning set of join edges");
+        let aliases: Vec<&str> = q.relations.iter().map(|r| r.alias.as_str()).collect();
+        for a in ["t", "kt", "mc", "cn", "ct", "mi", "it", "miidx", "it2"] {
+            assert!(aliases.contains(&a), "missing alias {a}");
+        }
+    }
+
+    #[test]
+    fn some_queries_exercise_every_bridge_table() {
+        let db = db();
+        let queries = job_queries(&db);
+        for table in [
+            "cast_info", "movie_companies", "movie_info", "movie_info_idx", "movie_keyword",
+            "movie_link", "complete_cast", "person_info", "aka_name", "aka_title",
+        ] {
+            let tid = db.table_id(table).unwrap();
+            assert!(
+                queries.iter().any(|q| q.relations.iter().any(|r| r.table == tid)),
+                "no query uses table {table}"
+            );
+        }
+    }
+}

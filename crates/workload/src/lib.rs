@@ -1,0 +1,27 @@
+//! # qob-workload
+//!
+//! The query workload of the reproduction:
+//!
+//! * [`job`] — the Join Order Benchmark reproduction: 33 query families with
+//!   2–6 variants each (113 queries in total) over the 21-table IMDB-like
+//!   schema, mirroring the structure of the original JOB (3–16 joins per
+//!   query, one select-project-join block each, variants differing only in
+//!   their selection predicates),
+//! * [`tpch`] — three TPC-H-shaped join queries (Q5/Q8/Q10 analogues) over
+//!   the uniform synthetic TPC-H database, used for the Figure 4 contrast,
+//! * [`builder`] — a small fluent builder for select-project-join queries
+//!   that resolves table/column names against a catalog.
+//!
+//! The original JOB text is published as SQL against the real IMDB snapshot;
+//! since this reproduction generates its own IMDB-like data, the queries are
+//! re-expressed through the builder with the same join structures and the
+//! same *kinds* of predicates (equality on dimension values, `IN` lists,
+//! `LIKE` patterns, year ranges, null tests) over the generated vocabulary.
+
+pub mod builder;
+pub mod job;
+pub mod tpch;
+
+pub use builder::QueryBuilder;
+pub use job::{job_queries, job_query, JOB_FAMILY_COUNT, JOB_QUERY_COUNT};
+pub use tpch::tpch_queries;

@@ -1,0 +1,106 @@
+//! TPC-H-shaped join queries over the uniform synthetic TPC-H database.
+//!
+//! The paper's Figure 4 contrasts PostgreSQL's estimation errors on three of
+//! the larger TPC-H queries (Q5, Q8, Q10) with four JOB queries; the TPC-H
+//! side is easy because the data is uniform and independent.  These three
+//! query structures reproduce the *join shapes* of those queries (their
+//! aggregations are irrelevant for cardinality estimation).
+
+use qob_plan::QuerySpec;
+use qob_storage::{CmpOp, Database};
+
+use crate::builder::QueryBuilder;
+
+/// Q5-shaped query: customer ⋈ orders ⋈ lineitem ⋈ supplier ⋈ nation ⋈ region
+/// with a region and an order-year predicate (5 joins… plus the
+/// supplier-nation edge, 7 join predicates).
+pub fn tpch_q5(db: &Database) -> QuerySpec {
+    QueryBuilder::new(db, "tpch5")
+        .table("customer", "c")
+        .table("orders", "o")
+        .table("lineitem", "l")
+        .table("supplier", "s")
+        .table("nation", "n")
+        .table("region", "r")
+        .join("o.customer_id", "c.id")
+        .join("l.order_id", "o.id")
+        .join("l.supplier_id", "s.id")
+        .join("c.nation_id", "n.id")
+        .join("s.nation_id", "n.id")
+        .join("n.region_id", "r.id")
+        .filter_eq("r.r_name", "ASIA")
+        .filter_int("o.o_orderyear", CmpOp::Eq, 1994)
+        .build()
+}
+
+/// Q8-shaped query: part ⋈ lineitem ⋈ supplier ⋈ orders ⋈ customer ⋈ nation ⋈ region
+/// with a part-type, region and order-year range predicate.
+pub fn tpch_q8(db: &Database) -> QuerySpec {
+    QueryBuilder::new(db, "tpch8")
+        .table("part", "p")
+        .table("lineitem", "l")
+        .table("supplier", "s")
+        .table("orders", "o")
+        .table("customer", "c")
+        .table("nation", "n")
+        .table("region", "r")
+        .join("l.part_id", "p.id")
+        .join("l.supplier_id", "s.id")
+        .join("l.order_id", "o.id")
+        .join("o.customer_id", "c.id")
+        .join("c.nation_id", "n.id")
+        .join("n.region_id", "r.id")
+        .filter_eq("p.p_type", "ECONOMY ANODIZED STEEL")
+        .filter_eq("r.r_name", "AMERICA")
+        .filter_between("o.o_orderyear", 1995, 1996)
+        .build()
+}
+
+/// Q10-shaped query: customer ⋈ orders ⋈ lineitem ⋈ nation with a returned
+/// flag and an order-year predicate.
+pub fn tpch_q10(db: &Database) -> QuerySpec {
+    QueryBuilder::new(db, "tpch10")
+        .table("customer", "c")
+        .table("orders", "o")
+        .table("lineitem", "l")
+        .table("nation", "n")
+        .join("o.customer_id", "c.id")
+        .join("l.order_id", "o.id")
+        .join("c.nation_id", "n.id")
+        .filter_eq("l.l_returnflag", "R")
+        .filter_int("o.o_orderyear", CmpOp::Eq, 1993)
+        .build()
+}
+
+/// The three TPC-H-shaped queries used in Figure 4.
+pub fn tpch_queries(db: &Database) -> Vec<QuerySpec> {
+    vec![tpch_q5(db), tpch_q8(db), tpch_q10(db)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qob_datagen::{generate_tpch, Scale};
+
+    #[test]
+    fn tpch_queries_validate() {
+        let db = generate_tpch(&Scale::tiny()).unwrap();
+        let queries = tpch_queries(&db);
+        assert_eq!(queries.len(), 3);
+        for q in &queries {
+            assert!(q.validate(&db).is_ok(), "{} invalid", q.name);
+        }
+        assert_eq!(queries[0].rel_count(), 6);
+        assert_eq!(queries[1].rel_count(), 7);
+        assert_eq!(queries[2].rel_count(), 4);
+    }
+
+    #[test]
+    fn tpch_queries_have_nontrivial_join_counts() {
+        let db = generate_tpch(&Scale::tiny()).unwrap();
+        for q in tpch_queries(&db) {
+            assert!(q.join_count() >= 3, "{}", q.name);
+            assert!(q.base_predicate_count() >= 2, "{}", q.name);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Cardinality-estimation deep dive: for one JOB query, print the estimate
+//! of every system next to the true cardinality for each subexpression size,
+//! the per-query version of the paper's Figure 3.
+//!
+//! Run with `cargo run --release --example cardinality_deep_dive [query]`.
+
+use qob_cardest::q_error;
+use qob_core::{BenchmarkContext, EstimatorKind};
+use qob_datagen::Scale;
+use qob_storage::IndexConfig;
+
+fn main() {
+    let query_name = std::env::args().nth(1).unwrap_or_else(|| "17b".to_owned());
+    let ctx = BenchmarkContext::new(Scale::small(), IndexConfig::PrimaryKeyOnly)
+        .expect("database generation");
+    let query = ctx.query(&query_name).expect("unknown query name");
+    let truth = ctx.true_cardinalities(&query);
+
+    let estimators: Vec<_> =
+        EstimatorKind::paper_systems().iter().map(|k| (*k, ctx.estimator(*k))).collect();
+
+    println!("query {query_name}: estimate / true cardinality per subexpression\n");
+    print!("{:<28} {:>12}", "subexpression (aliases)", "true");
+    for (kind, _) in &estimators {
+        print!(" {:>14}", kind.label());
+    }
+    println!();
+
+    let mut subexpressions = query.connected_subexpressions();
+    subexpressions.sort_by_key(|s| (s.len(), s.bits()));
+    for set in subexpressions {
+        let Some(true_card) = truth.get(set) else { continue };
+        let aliases: Vec<&str> =
+            set.iter().map(|r| query.relations[r].alias.as_str()).collect();
+        print!("{:<28} {:>12.0}", aliases.join(","), true_card);
+        for (_, est) in &estimators {
+            let estimate = est.estimate(&query, set);
+            print!(" {:>8.0} ({:>3.0}x)", estimate, q_error(estimate, true_card));
+        }
+        println!();
+    }
+
+    println!("\n(q-error in parentheses; note how errors grow with the subexpression size)");
+}

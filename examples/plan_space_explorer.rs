@@ -1,0 +1,60 @@
+//! Plan-space exploration: run Quickpick on one query under the three
+//! physical designs and print the cost distribution of random plans relative
+//! to the optimum — a text rendering of the paper's Figure 9.
+//!
+//! Run with `cargo run --release --example plan_space_explorer [query]`.
+
+use qob_cardest::InjectedCardinalities;
+use qob_core::{BenchmarkContext, EstimatorKind};
+use qob_datagen::Scale;
+use qob_enumerate::{Planner, PlannerConfig};
+use qob_storage::IndexConfig;
+use rand::SeedableRng;
+
+fn main() {
+    let query_name = std::env::args().nth(1).unwrap_or_else(|| "16d".to_owned());
+    let runs = 2_000;
+
+    let mut ctx = BenchmarkContext::new(Scale::small(), IndexConfig::PrimaryAndForeignKey)
+        .expect("database generation");
+    let query = ctx.query(&query_name).expect("unknown query name");
+
+    // The paper normalises by the optimal plan of the FK configuration.
+    let pg = ctx.estimator(EstimatorKind::Postgres);
+    let truth = ctx.true_cardinalities(&query);
+    let injected = InjectedCardinalities::new(&truth, pg.as_ref());
+    let reference = ctx.optimize(&query, &injected, PlannerConfig::default()).unwrap().cost;
+    drop(pg);
+
+    println!("query {query_name}: cost of {runs} random (Quickpick) plans, relative to the optimal FK plan\n");
+    for config in IndexConfig::all() {
+        ctx.set_index_config(config).expect("index rebuild");
+        let pg = ctx.estimator(EstimatorKind::Postgres);
+        let injected = InjectedCardinalities::new(&truth, pg.as_ref());
+        let model = qob_cost::SimpleCostModel::new();
+        let planner = Planner::new(ctx.db(), &query, &model, &injected, PlannerConfig::default());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let plans = qob_enumerate::quickpick::quickpick_plans(&planner, runs, &mut rng).unwrap();
+        let mut ratios: Vec<f64> = plans.iter().map(|p| p.cost / reference).collect();
+        ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+        // Text histogram over log-spaced buckets (1x, 10x, 100x, ...).
+        let buckets = [1.5, 10.0, 100.0, 1_000.0, 10_000.0, f64::INFINITY];
+        let labels = ["<=1.5x", "<=10x", "<=100x", "<=1e3x", "<=1e4x", ">1e4x"];
+        println!("{}:", config.label());
+        let mut start = 0usize;
+        for (bound, label) in buckets.iter().zip(labels) {
+            let end = ratios.partition_point(|r| r <= bound);
+            let count = end - start;
+            let bar = "#".repeat((count * 60 / runs).max(usize::from(count > 0)));
+            println!("  {label:>8} {count:>6} {bar}");
+            start = end;
+        }
+        println!(
+            "  best {:.2}x, median {:.2}x, worst {:.1}x\n",
+            ratios.first().unwrap(),
+            ratios[ratios.len() / 2],
+            ratios.last().unwrap()
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: generate the synthetic IMDB-like database, pick a JOB query,
+//! optimize it with different cardinality sources and execute the plans.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use qob_cardest::InjectedCardinalities;
+use qob_core::{BenchmarkContext, EstimatorKind};
+use qob_datagen::Scale;
+use qob_enumerate::PlannerConfig;
+use qob_exec::ExecutionOptions;
+use qob_storage::IndexConfig;
+
+fn main() {
+    // 1. Build the benchmark context: data, statistics, indexes, workload.
+    let ctx = BenchmarkContext::new(Scale::small(), IndexConfig::PrimaryKeyOnly)
+        .expect("database generation");
+    println!(
+        "generated {} tables / {} rows, workload of {} queries",
+        ctx.db().table_count(),
+        ctx.db().total_rows(),
+        ctx.queries().len()
+    );
+
+    // 2. Pick the paper's example query (13d) and look at its structure.
+    let query = ctx.query("13d").expect("query 13d");
+    println!(
+        "\nquery 13d: {} relations, {} join predicates, {} selections",
+        query.rel_count(),
+        query.join_predicate_count(),
+        query.base_predicate_count()
+    );
+
+    // 3. Optimize with PostgreSQL-style estimates and with true cardinalities.
+    let pg = ctx.estimator(EstimatorKind::Postgres);
+    let truth = ctx.true_cardinalities(&query);
+    let injected = InjectedCardinalities::new(&truth, pg.as_ref());
+
+    let estimate_plan = ctx.optimize(&query, pg.as_ref(), PlannerConfig::default()).unwrap();
+    let optimal_plan = ctx.optimize(&query, &injected, PlannerConfig::default()).unwrap();
+
+    println!("\nplan from PostgreSQL-style estimates:\n{}", estimate_plan.plan.render(&query));
+    println!("plan from true cardinalities:\n{}", optimal_plan.plan.render(&query));
+
+    // 4. Execute both on the same engine and compare.
+    let options = ExecutionOptions::default();
+    let est_run = ctx.execute(&query, &estimate_plan.plan, pg.as_ref(), &options).unwrap();
+    let opt_run = ctx.execute(&query, &optimal_plan.plan, &injected, &options).unwrap();
+    println!(
+        "estimate-based plan: {} rows in {:?}\ntrue-cardinality plan: {} rows in {:?}\nslowdown: {:.2}x",
+        est_run.rows,
+        est_run.elapsed,
+        opt_run.rows,
+        opt_run.elapsed,
+        est_run.elapsed.as_secs_f64() / opt_run.elapsed.as_secs_f64().max(1e-9)
+    );
+}

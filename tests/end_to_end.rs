@@ -1,0 +1,77 @@
+//! End-to-end smoke test: generate data, analyze, optimize, execute and check
+//! that every moving part agrees on the result cardinality.
+
+use qob_core::{BenchmarkContext, EstimatorKind};
+use qob_datagen::Scale;
+use qob_enumerate::PlannerConfig;
+use qob_exec::ExecutionOptions;
+use qob_storage::IndexConfig;
+
+#[test]
+fn optimize_and_execute_a_handful_of_queries_end_to_end() {
+    let ctx = BenchmarkContext::new(Scale::tiny(), IndexConfig::PrimaryKeyOnly).unwrap();
+    let estimator = ctx.estimator(EstimatorKind::Postgres);
+    let options = ExecutionOptions::default();
+
+    for name in ["1a", "2a", "3c", "4a", "6a", "13d", "32a"] {
+        let query = ctx.query(name).unwrap_or_else(|| panic!("query {name} missing"));
+        let plan = ctx
+            .optimize(&query, estimator.as_ref(), PlannerConfig::default())
+            .unwrap_or_else(|e| panic!("{name}: optimization failed: {e}"));
+        assert!(plan.plan.validate(&query).is_ok(), "{name}: invalid plan");
+        let result = ctx
+            .execute(&query, &plan.plan, estimator.as_ref(), &options)
+            .unwrap_or_else(|e| panic!("{name}: execution failed: {e}"));
+        // The executed result must match the ground-truth cardinality of the
+        // full query, whatever plan was chosen.
+        let truth = ctx.true_cardinalities(&query);
+        if let Some(expected) = truth.get(query.all_rels()) {
+            assert_eq!(result.rows as f64, expected, "{name}: row count mismatch");
+        }
+    }
+}
+
+#[test]
+fn different_estimators_still_produce_correct_results() {
+    // Plans differ between estimate sources, but the engine must return the
+    // same answer for all of them — only the runtime may differ.
+    let ctx = BenchmarkContext::new(Scale::tiny(), IndexConfig::PrimaryKeyOnly).unwrap();
+    let query = ctx.query("13a").unwrap();
+    let truth = ctx.true_cardinalities(&query);
+    let expected = truth.get(query.all_rels());
+    let options = ExecutionOptions::default();
+    let mut row_counts = Vec::new();
+    for kind in EstimatorKind::paper_systems() {
+        let estimator = ctx.estimator(kind);
+        let plan = ctx.optimize(&query, estimator.as_ref(), PlannerConfig::default()).unwrap();
+        let result = ctx.execute(&query, &plan.plan, estimator.as_ref(), &options).unwrap();
+        row_counts.push(result.rows);
+    }
+    assert!(row_counts.windows(2).all(|w| w[0] == w[1]), "all plans agree: {row_counts:?}");
+    if let Some(expected) = expected {
+        assert_eq!(row_counts[0] as f64, expected);
+    }
+}
+
+#[test]
+fn index_configuration_changes_plans_but_not_results() {
+    let mut ctx = BenchmarkContext::new(Scale::tiny(), IndexConfig::PrimaryKeyOnly).unwrap();
+    let query = ctx.query("2a").unwrap();
+    let pk_rows = {
+        let estimator = ctx.estimator(EstimatorKind::Postgres);
+        let plan = ctx.optimize(&query, estimator.as_ref(), PlannerConfig::default()).unwrap();
+        ctx.execute(&query, &plan.plan, estimator.as_ref(), &ExecutionOptions::default())
+            .unwrap()
+            .rows
+    };
+
+    ctx.set_index_config(IndexConfig::PrimaryAndForeignKey).unwrap();
+    let fk_rows = {
+        let estimator = ctx.estimator(EstimatorKind::Postgres);
+        let plan = ctx.optimize(&query, estimator.as_ref(), PlannerConfig::default()).unwrap();
+        ctx.execute(&query, &plan.plan, estimator.as_ref(), &ExecutionOptions::default())
+            .unwrap()
+            .rows
+    };
+    assert_eq!(pk_rows, fk_rows, "physical design must not change query results");
+}

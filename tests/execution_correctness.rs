@@ -1,0 +1,100 @@
+//! Cross-checks the execution engine: every join algorithm, every plan shape
+//! and every index configuration must produce identical results for the same
+//! query.
+
+use qob_cardest::InjectedCardinalities;
+use qob_core::{BenchmarkContext, EstimatorKind};
+use qob_datagen::Scale;
+use qob_enumerate::{PlannerConfig, ShapeRestriction};
+use qob_exec::ExecutionOptions;
+use qob_storage::IndexConfig;
+
+fn reference_rows(ctx: &BenchmarkContext, name: &str) -> u64 {
+    let query = ctx.query(name).unwrap();
+    let truth = ctx.true_cardinalities(&query);
+    truth.get(query.all_rels()).unwrap_or(0.0) as u64
+}
+
+#[test]
+fn all_tree_shapes_return_the_same_rows() {
+    let ctx = BenchmarkContext::new(Scale::tiny(), IndexConfig::PrimaryAndForeignKey).unwrap();
+    let pg = ctx.estimator(EstimatorKind::Postgres);
+    for name in ["3a", "5b", "13b"] {
+        let query = ctx.query(name).unwrap();
+        let truth = ctx.true_cardinalities(&query);
+        let injected = InjectedCardinalities::new(&truth, pg.as_ref());
+        let expected = reference_rows(&ctx, name);
+        for shape in [
+            ShapeRestriction::Bushy,
+            ShapeRestriction::LeftDeep,
+            ShapeRestriction::RightDeep,
+            ShapeRestriction::ZigZag,
+        ] {
+            let model = qob_cost::SimpleCostModel::new();
+            let planner = qob_enumerate::Planner::new(
+                ctx.db(),
+                &query,
+                &model,
+                &injected,
+                PlannerConfig { shape, ..Default::default() },
+            );
+            let plan = qob_enumerate::restricted::optimize_restricted(&planner, shape).unwrap();
+            let rows = ctx
+                .execute(&query, &plan.plan, &injected, &ExecutionOptions::default())
+                .unwrap()
+                .rows;
+            assert_eq!(rows, expected, "{name} under {shape:?}");
+        }
+    }
+}
+
+#[test]
+fn rehash_toggle_does_not_change_results() {
+    let ctx = BenchmarkContext::new(Scale::tiny(), IndexConfig::PrimaryKeyOnly).unwrap();
+    let pg = ctx.estimator(EstimatorKind::Postgres);
+    let query = ctx.query("4a").unwrap();
+    let plan = ctx.optimize(&query, pg.as_ref(), PlannerConfig::default()).unwrap();
+    let with = ctx
+        .execute(
+            &query,
+            &plan.plan,
+            pg.as_ref(),
+            &ExecutionOptions { enable_rehash: true, ..Default::default() },
+        )
+        .unwrap()
+        .rows;
+    let without = ctx
+        .execute(
+            &query,
+            &plan.plan,
+            pg.as_ref(),
+            &ExecutionOptions { enable_rehash: false, ..Default::default() },
+        )
+        .unwrap()
+        .rows;
+    assert_eq!(with, without);
+}
+
+#[test]
+fn heuristic_plans_match_dp_plan_results() {
+    let ctx = BenchmarkContext::new(Scale::tiny(), IndexConfig::PrimaryKeyOnly).unwrap();
+    let pg = ctx.estimator(EstimatorKind::Postgres);
+    let query = ctx.query("6c").unwrap();
+    let expected = reference_rows(&ctx, "6c");
+    let model = qob_cost::SimpleCostModel::new();
+    let planner =
+        qob_enumerate::Planner::new(ctx.db(), &query, &model, pg.as_ref(), PlannerConfig::default());
+
+    let dp = qob_enumerate::dpccp::optimize_bushy(&planner).unwrap();
+    let goo = qob_enumerate::goo::optimize_goo(&planner).unwrap();
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(11);
+    let qp = qob_enumerate::quickpick::quickpick_best(&planner, 50, &mut rng).unwrap();
+
+    for (label, plan) in [("dp", dp), ("goo", goo), ("quickpick", qp)] {
+        let rows = ctx
+            .execute(&query, &plan.plan, pg.as_ref(), &ExecutionOptions::default())
+            .unwrap()
+            .rows;
+        assert_eq!(rows, expected, "{label} plan returned a different result");
+    }
+}

@@ -1,0 +1,94 @@
+//! Qualitative reproduction of the paper's Sections 4–6 findings: plan
+//! quality under misestimation, tree-shape restrictions and heuristic
+//! enumeration.
+
+use qob_cardest::InjectedCardinalities;
+use qob_core::experiments::{
+    enumeration_experiment, tree_shape_experiment, EnumerationAlgorithm,
+};
+use qob_core::{BenchmarkContext, EstimatorKind};
+use qob_datagen::Scale;
+use qob_enumerate::{PlannerConfig, ShapeRestriction};
+use qob_storage::IndexConfig;
+
+#[test]
+fn estimate_plans_cost_at_least_as_much_as_true_cardinality_plans() {
+    // Section 4: plans built from estimates are never better (under the true
+    // cost) than plans built from true cardinalities.
+    let ctx = BenchmarkContext::new(Scale::tiny(), IndexConfig::PrimaryAndForeignKey).unwrap();
+    let pg = ctx.estimator(EstimatorKind::Postgres);
+    let model = qob_cost::SimpleCostModel::new();
+    let mut worse = 0usize;
+    let mut total = 0usize;
+    for query in ctx.query_subset(Some(15)) {
+        let truth = ctx.true_cardinalities(query);
+        let injected = InjectedCardinalities::new(&truth, pg.as_ref());
+        let Ok(optimal) = ctx.optimize(query, &injected, PlannerConfig::default()) else { continue };
+        let Ok(estimated) = ctx.optimize(query, pg.as_ref(), PlannerConfig::default()) else {
+            continue;
+        };
+        let optimal_true_cost = ctx.plan_cost(query, &optimal.plan, &model, &injected);
+        let estimated_true_cost = ctx.plan_cost(query, &estimated.plan, &model, &injected);
+        assert!(
+            estimated_true_cost + 1e-6 >= optimal_true_cost,
+            "{}: estimate-based plan cannot beat the true-cardinality optimum",
+            query.name
+        );
+        total += 1;
+        if estimated_true_cost > optimal_true_cost * 1.05 {
+            worse += 1;
+        }
+    }
+    assert!(total >= 10, "enough queries evaluated");
+    // Misestimation leads at least some queries to genuinely worse plans.
+    assert!(worse >= 1, "at least one query should get a worse plan from estimates");
+}
+
+#[test]
+fn table2_right_deep_trees_are_the_worst_restriction() {
+    let ctx = BenchmarkContext::new(Scale::tiny(), IndexConfig::PrimaryAndForeignKey).unwrap();
+    let results = tree_shape_experiment(&ctx, Some(15));
+    assert_eq!(results.len(), 3);
+    let get = |shape: ShapeRestriction| results.iter().find(|r| r.shape == shape).unwrap();
+    let zig = get(ShapeRestriction::ZigZag);
+    let left = get(ShapeRestriction::LeftDeep);
+    let right = get(ShapeRestriction::RightDeep);
+    // All ratios are at least 1 (bushy is optimal by construction).
+    for r in &results {
+        assert!(r.ratios.iter().all(|x| *x >= 1.0));
+        assert!(!r.ratios.is_empty());
+    }
+    // Zig-zag ⊇ left-deep, so its optimum can only be at least as good.
+    assert!(zig.median() <= left.median() + 1e-9);
+    // Right-deep is the weakest class (Table 2's ordering).
+    assert!(right.median() + 1e-9 >= zig.median());
+    assert!(right.max() + 1e-9 >= left.max());
+}
+
+#[test]
+fn table3_dp_beats_heuristics_and_true_cards_beat_estimates() {
+    let ctx = BenchmarkContext::new(Scale::tiny(), IndexConfig::PrimaryAndForeignKey).unwrap();
+    let results = enumeration_experiment(&ctx, Some(12), 200, 7);
+    assert_eq!(results.len(), 6);
+    let get = |a: EnumerationAlgorithm, truth: bool| {
+        results
+            .iter()
+            .find(|r| r.algorithm == a && r.true_cardinalities == truth)
+            .unwrap()
+    };
+    // With true cardinalities, exhaustive DP is exactly optimal.
+    let dp_truth = get(EnumerationAlgorithm::DynamicProgramming, true);
+    assert!((dp_truth.median() - 1.0).abs() < 1e-6);
+    assert!(dp_truth.max() < 1.0 + 1e-6);
+    // Heuristics never beat DP under the same cardinalities.
+    for alg in [EnumerationAlgorithm::Quickpick1000, EnumerationAlgorithm::Goo] {
+        let h = get(alg, true);
+        assert!(h.median() + 1e-9 >= dp_truth.median(), "{}", alg.label());
+        assert!(h.max() + 1e-9 >= dp_truth.max(), "{}", alg.label());
+    }
+    // Planning from estimates costs something for DP as well (its median
+    // ratio is at least the true-cardinality one).
+    let dp_est = get(EnumerationAlgorithm::DynamicProgramming, false);
+    assert!(dp_est.median() + 1e-9 >= dp_truth.median());
+    assert!(dp_est.max() + 1e-9 >= dp_truth.max());
+}

@@ -1,0 +1,99 @@
+//! Structural checks of the workload against the generated database:
+//! the 113 queries exist, validate, cover the schema, and their predicates
+//! actually select rows on the synthetic data (so the benchmark is not
+//! degenerate).
+
+use qob_datagen::{generate_imdb, generate_tpch, Scale};
+use qob_workload::{job_queries, tpch_queries, JOB_FAMILY_COUNT, JOB_QUERY_COUNT};
+
+#[test]
+fn workload_counts_and_validation() {
+    let db = generate_imdb(&Scale::tiny()).unwrap();
+    let queries = job_queries(&db);
+    assert_eq!(queries.len(), JOB_QUERY_COUNT);
+    assert_eq!(JOB_FAMILY_COUNT, 33);
+    for q in &queries {
+        q.validate(&db).unwrap_or_else(|e| panic!("{}: {e}", q.name));
+        assert!(q.rel_count() >= 3, "{} has too few relations", q.name);
+        assert!(q.base_predicate_count() >= 1, "{} has no selections", q.name);
+    }
+}
+
+#[test]
+fn family_sizes_are_between_2_and_6() {
+    let db = generate_imdb(&Scale::tiny()).unwrap();
+    let queries = job_queries(&db);
+    let mut per_family: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    for q in &queries {
+        let family = q.name.trim_end_matches(char::is_alphabetic).to_owned();
+        *per_family.entry(family).or_default() += 1;
+    }
+    assert_eq!(per_family.len(), JOB_FAMILY_COUNT);
+    for (family, count) in per_family {
+        assert!((2..=6).contains(&count), "family {family} has {count} variants");
+    }
+}
+
+#[test]
+fn most_base_predicates_are_selective_but_not_empty_on_generated_data() {
+    // The benchmark's difficulty comes from selective, correlated predicates;
+    // a predicate that never matches anything (or matches everything) on the
+    // synthetic data would make its query degenerate.  Require that across
+    // the workload a healthy majority of filtered relations select at least
+    // one row and that selective predicates exist.
+    let db = generate_imdb(&Scale::small()).unwrap();
+    let queries = job_queries(&db);
+    let mut filtered = 0usize;
+    let mut non_empty = 0usize;
+    let mut selective = 0usize;
+    for q in &queries {
+        for rel in &q.relations {
+            if rel.predicates.is_empty() {
+                continue;
+            }
+            filtered += 1;
+            let table = db.table(rel.table);
+            let matching = table
+                .row_ids()
+                .filter(|&r| rel.predicates.iter().all(|p| p.matches(table, r)))
+                .count();
+            if matching > 0 {
+                non_empty += 1;
+            }
+            if (matching as f64) < table.row_count() as f64 * 0.5 {
+                selective += 1;
+            }
+        }
+    }
+    assert!(filtered > 150, "the workload has many filtered relations, got {filtered}");
+    assert!(
+        non_empty as f64 >= filtered as f64 * 0.6,
+        "most filtered relations match something: {non_empty}/{filtered}"
+    );
+    assert!(
+        selective as f64 >= filtered as f64 * 0.5,
+        "at least half of the filters are selective: {selective}/{filtered}"
+    );
+}
+
+#[test]
+fn tpch_workload_validates_against_its_catalog() {
+    let db = generate_tpch(&Scale::tiny()).unwrap();
+    let queries = tpch_queries(&db);
+    assert_eq!(queries.len(), 3);
+    for q in &queries {
+        assert!(q.validate(&db).is_ok(), "{}", q.name);
+    }
+}
+
+#[test]
+fn join_count_distribution_matches_the_paper_design() {
+    let db = generate_imdb(&Scale::tiny()).unwrap();
+    let queries = job_queries(&db);
+    let counts: Vec<usize> = queries.iter().map(|q| q.join_count()).collect();
+    let max = *counts.iter().max().unwrap();
+    let min = *counts.iter().min().unwrap();
+    assert!(min >= 2 && max >= 13, "join counts span a wide range ({min}..{max})");
+    let avg = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+    assert!((6.0..11.0).contains(&avg), "average join count ≈ 8, got {avg:.1}");
+}

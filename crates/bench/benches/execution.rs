@@ -67,25 +67,21 @@ fn bench_join_algorithms(c: &mut Criterion) {
             }
         }
         let plan = rewrite(&base, algorithm);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(algorithm.label()),
-            &plan,
-            |b, plan| {
-                b.iter(|| {
-                    let hint = |set: RelSet| pg.estimate(&query, set);
-                    std::hint::black_box(
-                        qob_exec::execute_plan(
-                            ctx.db(),
-                            &query,
-                            plan,
-                            &hint,
-                            &ExecutionOptions::default(),
-                        )
-                        .unwrap(),
+        group.bench_with_input(BenchmarkId::from_parameter(algorithm.label()), &plan, |b, plan| {
+            b.iter(|| {
+                let hint = |set: RelSet| pg.estimate(&query, set);
+                std::hint::black_box(
+                    qob_exec::execute_plan(
+                        ctx.db(),
+                        &query,
+                        plan,
+                        &hint,
+                        &ExecutionOptions::default(),
                     )
-                })
-            },
-        );
+                    .unwrap(),
+                )
+            })
+        });
     }
     group.finish();
 }

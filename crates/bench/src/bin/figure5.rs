@@ -10,5 +10,7 @@ fn main() {
     println!("Figure 5: PostgreSQL estimates with default vs true distinct counts\n");
     print_estimate_quality(&default, 6);
     print_estimate_quality(&exact, 6);
-    println!("(true distinct counts tighten the variance slightly but deepen the underestimation trend)");
+    println!(
+        "(true distinct counts tighten the variance slightly but deepen the underestimation trend)"
+    );
 }

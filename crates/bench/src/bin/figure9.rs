@@ -7,10 +7,8 @@ use qob_storage::IndexConfig;
 
 fn main() {
     let queries = ["6a", "13a", "16d", "17b", "25c"];
-    let runs: usize = std::env::var("QOB_QUICKPICK_RUNS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(10_000);
+    let runs: usize =
+        std::env::var("QOB_QUICKPICK_RUNS").ok().and_then(|v| v.parse().ok()).unwrap_or(10_000);
 
     let mut ctx = build_context(IndexConfig::PrimaryAndForeignKey);
     let reference = optimal_costs(&ctx, &queries);

@@ -12,7 +12,11 @@ fn main() {
     for row in rows {
         println!(
             "{:<14} {:>10.2} {:>10.2} {:>10.2} {:>12.1} {:>10}",
-            row.system, row.summary.median, row.summary.p90, row.summary.p95, row.summary.max,
+            row.system,
+            row.summary.median,
+            row.summary.p90,
+            row.summary.p95,
+            row.summary.max,
             row.summary.count
         );
     }

@@ -14,10 +14,7 @@ fn main() {
         ctx.set_index_config(config).expect("index rebuild");
         let results = enumeration_experiment(&ctx, limit, 1_000, 42);
         println!("=== {} ===", config.label());
-        println!(
-            "{:<28} {:>30} {:>30}",
-            "", "PostgreSQL estimates", "true cardinalities"
-        );
+        println!("{:<28} {:>30} {:>30}", "", "PostgreSQL estimates", "true cardinalities");
         println!(
             "{:<28} {:>10} {:>9} {:>9} {:>10} {:>9} {:>9}",
             "", "median", "95%", "max", "median", "95%", "max"

@@ -29,10 +29,7 @@ use qob_storage::IndexConfig;
 
 /// Scale taken from `QOB_MOVIES` (default 1000 movies ≈ laptop-friendly).
 pub fn scale_from_env() -> Scale {
-    let movies = std::env::var("QOB_MOVIES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1_000);
+    let movies = std::env::var("QOB_MOVIES").ok().and_then(|v| v.parse().ok()).unwrap_or(1_000);
     let seed = std::env::var("QOB_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(42);
     Scale::with_movies(movies).with_seed(seed)
 }

@@ -189,7 +189,14 @@ impl CardinalityEstimator for PessimisticEstimator<'_> {
             query,
             set,
             |rel| {
-                histogram_base_rows(&self.ctx, query, rel, false, &self.magic, Damping::Independence)
+                histogram_base_rows(
+                    &self.ctx,
+                    query,
+                    rel,
+                    false,
+                    &self.magic,
+                    Damping::Independence,
+                )
             },
             |edge| join_edge_selectivity(&self.ctx, query, edge, false),
             Damping::Independence,
@@ -215,7 +222,12 @@ pub struct MagicConstantEstimator<'a> {
 impl<'a> MagicConstantEstimator<'a> {
     /// Creates the DBMS C-style profile.
     pub fn new(ctx: EstimatorContext<'a>) -> Self {
-        MagicConstantEstimator { ctx, equality_guess: 0.01, like_guess: 0.05, range_guess: 1.0 / 3.0 }
+        MagicConstantEstimator {
+            ctx,
+            equality_guess: 0.01,
+            like_guess: 0.05,
+            range_guess: 1.0 / 3.0,
+        }
     }
 
     fn guess(&self, predicate: &qob_storage::Predicate) -> f64 {
@@ -229,9 +241,7 @@ impl<'a> MagicConstantEstimator<'a> {
             P::IsNull { .. } => 0.05,
             P::IsNotNull { .. } => 0.95,
             P::And(ps) => ps.iter().map(|p| self.guess(p)).product(),
-            P::Or(ps) => {
-                1.0 - ps.iter().map(|p| 1.0 - self.guess(p)).product::<f64>()
-            }
+            P::Or(ps) => 1.0 - ps.iter().map(|p| 1.0 - self.guess(p)).product::<f64>(),
             P::Not(p) => 1.0 - self.guess(p),
         }
     }
@@ -267,7 +277,7 @@ mod tests {
     use qob_plan::{BaseRelation, JoinEdge};
     use qob_stats::{analyze_database, AnalyzeOptions, DatabaseStats};
     use qob_storage::{
-        CmpOp, ColumnId, ColumnMeta, Database, DataType, Predicate, TableBuilder, TableId, Value,
+        CmpOp, ColumnId, ColumnMeta, DataType, Database, Predicate, TableBuilder, TableId, Value,
     };
 
     /// A two-table database with a correlated filter + join so that the
@@ -285,7 +295,11 @@ mod tests {
         for i in 0..2000i64 {
             let kind = if i % 10 < 3 { "blockbuster" } else { "indie" };
             movies
-                .push_row(vec![Value::Int(i + 1), Value::Str(kind.into()), Value::Int(1990 + (i % 25))])
+                .push_row(vec![
+                    Value::Int(i + 1),
+                    Value::Str(kind.into()),
+                    Value::Int(1990 + (i % 25)),
+                ])
                 .unwrap();
         }
         // info rows: blockbusters have 10 each, indies 1 each (correlated fan-out).
@@ -324,7 +338,12 @@ mod tests {
                 ),
                 BaseRelation::unfiltered(info, "i"),
             ],
-            vec![JoinEdge { left: 0, left_column: ColumnId(0), right: 1, right_column: ColumnId(1) }],
+            vec![JoinEdge {
+                left: 0,
+                left_column: ColumnId(0),
+                right: 1,
+                right_column: ColumnId(1),
+            }],
         )
     }
 
@@ -397,7 +416,7 @@ mod tests {
             vec![],
         );
         let est = hyper.estimate(&q, RelSet::single(0));
-        assert!(est >= 1.0 && est <= 10.0, "fallback should be small but non-zero, got {est}");
+        assert!((1.0..=10.0).contains(&est), "fallback should be small but non-zero, got {est}");
     }
 
     #[test]
@@ -485,10 +504,8 @@ mod tests {
         let (db, _) = correlated_db();
         // Use a small statistics sample so the Duj1 distinct estimate for the
         // skewed info.movie_id column undershoots the exact count.
-        let stats = analyze_database(
-            &db,
-            &AnalyzeOptions { stats_sample_size: 300, ..Default::default() },
-        );
+        let stats =
+            analyze_database(&db, &AnalyzeOptions { stats_sample_size: 300, ..Default::default() });
         let ctx = EstimatorContext::new(&db, &stats);
         let default = PostgresEstimator::new(ctx);
         let exact = PostgresEstimator::with_true_distinct_counts(ctx);
@@ -498,11 +515,13 @@ mod tests {
         let info = db.table_id("info").unwrap();
         let q = QuerySpec::new(
             "nm",
-            vec![
-                BaseRelation::unfiltered(info, "i1"),
-                BaseRelation::unfiltered(info, "i2"),
-            ],
-            vec![JoinEdge { left: 0, left_column: ColumnId(1), right: 1, right_column: ColumnId(1) }],
+            vec![BaseRelation::unfiltered(info, "i1"), BaseRelation::unfiltered(info, "i2")],
+            vec![JoinEdge {
+                left: 0,
+                left_column: ColumnId(1),
+                right: 1,
+                right_column: ColumnId(1),
+            }],
         );
         let all = q.all_rels();
         let d = default.estimate(&q, all);

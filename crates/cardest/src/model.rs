@@ -93,10 +93,7 @@ pub fn combine_selectivities(mut sels: Vec<f64>, damping: Damping) -> f64 {
         Damping::Independence => sels.iter().product(),
         Damping::ExponentialBackoff => {
             sels.sort_by(|a, b| a.partial_cmp(b).expect("selectivities are not NaN"));
-            sels.iter()
-                .enumerate()
-                .map(|(i, s)| s.powf(1.0 / (1u64 << i.min(62)) as f64))
-                .product()
+            sels.iter().enumerate().map(|(i, s)| s.powf(1.0 / (1u64 << i.min(62)) as f64)).product()
         }
     }
 }
@@ -224,14 +221,8 @@ mod tests {
     #[test]
     fn estimate_is_clamped_to_one() {
         let q = two_rel_query();
-        let est = independence_estimate(
-            &q,
-            q.all_rels(),
-            |_| 2.0,
-            |_| 1e-9,
-            Damping::Independence,
-            1.0,
-        );
+        let est =
+            independence_estimate(&q, q.all_rels(), |_| 2.0, |_| 1e-9, Damping::Independence, 1.0);
         assert_eq!(est, 1.0);
     }
 
@@ -239,8 +230,10 @@ mod tests {
     fn per_join_shrink_reduces_deep_joins_only() {
         let q = two_rel_query();
         let base = |r: usize| [100.0, 100.0, 100.0][r];
-        let without = independence_estimate(&q, q.all_rels(), base, |_| 0.01, Damping::Independence, 1.0);
-        let with = independence_estimate(&q, q.all_rels(), base, |_| 0.01, Damping::Independence, 0.5);
+        let without =
+            independence_estimate(&q, q.all_rels(), base, |_| 0.01, Damping::Independence, 1.0);
+        let with =
+            independence_estimate(&q, q.all_rels(), base, |_| 0.01, Damping::Independence, 0.5);
         assert!(with < without);
         // Single-edge subexpression is unaffected by the shrink.
         let sub = RelSet::from_iter([0usize, 1usize]);

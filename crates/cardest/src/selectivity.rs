@@ -165,7 +165,7 @@ pub fn histogram_base_rows(
 mod tests {
     use super::*;
     use qob_stats::{analyze_database, AnalyzeOptions};
-    use qob_storage::{ColumnId, ColumnMeta, Database, DataType, TableBuilder, TableId};
+    use qob_storage::{ColumnId, ColumnMeta, DataType, Database, TableBuilder, TableId};
 
     /// 1000 rows: kind is 'movie' for 70%, 'tv' for 20%, ten rare kinds for
     /// the rest; year uniform in 1950..2010 with 10% nulls.
@@ -207,7 +207,8 @@ mod tests {
     fn mcv_equality_is_accurate() {
         let (_, stats) = db_and_stats();
         let magic = MagicConstants::default();
-        let sel = equality_selectivity(kind_stats(&stats), &Value::Str("movie".into()), false, &magic);
+        let sel =
+            equality_selectivity(kind_stats(&stats), &Value::Str("movie".into()), false, &magic);
         assert!((sel - 0.7).abs() < 0.05, "movie ≈ 70%, got {sel}");
         let sel = equality_selectivity(kind_stats(&stats), &Value::Str("tv".into()), false, &magic);
         assert!((sel - 0.2).abs() < 0.05, "tv ≈ 20%, got {sel}");
@@ -217,7 +218,8 @@ mod tests {
     fn non_mcv_equality_uses_remaining_mass() {
         let (_, stats) = db_and_stats();
         let magic = MagicConstants::default();
-        let sel = equality_selectivity(kind_stats(&stats), &Value::Str("rare42".into()), false, &magic);
+        let sel =
+            equality_selectivity(kind_stats(&stats), &Value::Str("rare42".into()), false, &magic);
         assert!(sel < 0.05, "rare kinds get a small selectivity, got {sel}");
         assert!(sel > 0.0);
     }
@@ -295,14 +297,12 @@ mod tests {
         let rows = histogram_base_rows(&ctx, &query, 0, false, &magic, Damping::Independence);
         // 1000 * 0.7 * 0.45 ≈ 315 (independence; the true joint count differs).
         assert!(rows > 200.0 && rows < 450.0, "got {rows}");
-        let damped = histogram_base_rows(&ctx, &query, 0, false, &magic, Damping::ExponentialBackoff);
+        let damped =
+            histogram_base_rows(&ctx, &query, 0, false, &magic, Damping::ExponentialBackoff);
         assert!(damped >= rows, "backoff never decreases the estimate");
 
-        let unfiltered = QuerySpec::new(
-            "q2",
-            vec![qob_plan::BaseRelation::unfiltered(TableId(0), "t")],
-            vec![],
-        );
+        let unfiltered =
+            QuerySpec::new("q2", vec![qob_plan::BaseRelation::unfiltered(TableId(0), "t")], vec![]);
         assert_eq!(
             histogram_base_rows(&ctx, &unfiltered, 0, false, &magic, Damping::Independence),
             1000.0

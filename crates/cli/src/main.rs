@@ -1,0 +1,313 @@
+//! `qob` — the end-to-end text path of the reproduction.
+//!
+//! Takes ad-hoc SQL (a file, stdin, or `-e "..."`), runs it through the full
+//! pipeline — parse → bind → estimate → plan → execute — and prints the
+//! chosen plan, the estimated vs. true cardinality of every operator, the
+//! per-operator q-errors and the result.
+//!
+//! ```text
+//! echo "SELECT COUNT(*) FROM title t, movie_companies mc, company_name cn
+//!       WHERE mc.movie_id = t.id AND mc.company_id = cn.id
+//!         AND cn.country_code = '[us]'" | qob
+//! ```
+
+use std::process::ExitCode;
+
+use qob_cardest::q_error;
+use qob_core::{BenchmarkContext, EstimatorKind};
+use qob_datagen::Scale;
+use qob_enumerate::PlannerConfig;
+use qob_exec::ExecutionOptions;
+use qob_plan::{QuerySpec, RelSet};
+use qob_storage::IndexConfig;
+use qob_workload::load_sql_str;
+
+const USAGE: &str = "\
+qob — run ad-hoc SQL through the optimizer pipeline of the JOB reproduction
+
+USAGE:
+    qob [OPTIONS] [FILE]    read a ;-separated SQL script from FILE (or stdin)
+    qob [OPTIONS] -e SQL    run an inline statement
+
+OPTIONS:
+    -e, --execute <SQL>      inline SQL statement
+        --scale <s>          data scale: tiny | small | benchmark  [default: tiny]
+        --indexes <i>        physical design: none | pk | pkfk     [default: pk]
+        --estimator <n>      postgres | hyper | dbms-a | dbms-b | dbms-c |
+                             true-distinct                          [default: postgres]
+        --no-exec            stop after planning (skip execution and q-errors)
+    -h, --help               print this help
+
+The database is the synthetic IMDB-like catalog (21 tables); queries are
+written in the JOB dialect: SELECT MIN(..)/COUNT(*) FROM t1 a1, t2 a2
+WHERE <equality joins AND base predicates>.";
+
+/// Everything the command line selects.
+struct Options {
+    source: Source,
+    scale: Scale,
+    indexes: IndexConfig,
+    estimator: EstimatorKind,
+    execute: bool,
+}
+
+enum Source {
+    Stdin,
+    File(String),
+    Inline(String),
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        source: Source::Stdin,
+        scale: Scale::tiny(),
+        indexes: IndexConfig::PrimaryKeyOnly,
+        estimator: EstimatorKind::Postgres,
+        execute: true,
+    };
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i).cloned().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "-h" | "--help" => return Err(String::new()),
+            "-e" | "--execute" => options.source = Source::Inline(value(&mut i, "-e")?),
+            "--scale" => {
+                options.scale = match value(&mut i, "--scale")?.as_str() {
+                    "tiny" => Scale::tiny(),
+                    "small" => Scale::small(),
+                    "benchmark" => Scale::benchmark(),
+                    other => return Err(format!("unknown scale `{other}`")),
+                }
+            }
+            "--indexes" => {
+                options.indexes = match value(&mut i, "--indexes")?.as_str() {
+                    "none" => IndexConfig::NoIndexes,
+                    "pk" => IndexConfig::PrimaryKeyOnly,
+                    "pkfk" => IndexConfig::PrimaryAndForeignKey,
+                    other => return Err(format!("unknown index config `{other}`")),
+                }
+            }
+            "--estimator" => options.estimator = parse_estimator(&value(&mut i, "--estimator")?)?,
+            "--no-exec" => options.execute = false,
+            "-" => options.source = Source::Stdin,
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            file => options.source = Source::File(file.to_owned()),
+        }
+        i += 1;
+    }
+    Ok(options)
+}
+
+fn parse_estimator(name: &str) -> Result<EstimatorKind, String> {
+    Ok(match name {
+        "postgres" => EstimatorKind::Postgres,
+        "true-distinct" => EstimatorKind::PostgresTrueDistinct,
+        "hyper" => EstimatorKind::HyPer,
+        "dbms-a" => EstimatorKind::DbmsA,
+        "dbms-b" => EstimatorKind::DbmsB,
+        "dbms-c" => EstimatorKind::DbmsC,
+        other => return Err(format!("unknown estimator `{other}`")),
+    })
+}
+
+/// Human label for a relation set: the aliases it covers, e.g. `{t,mc,cn}`.
+fn relset_label(query: &QuerySpec, set: RelSet) -> String {
+    let aliases: Vec<&str> = set.iter().map(|rel| query.relations[rel].alias.as_str()).collect();
+    format!("{{{}}}", aliases.join(","))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(message) if message.is_empty() => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("error: {message}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let script = match &options.source {
+        Source::Inline(sql) => sql.clone(),
+        Source::File(path) => match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("error: cannot read `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Source::Stdin => {
+            let mut text = String::new();
+            if let Err(e) = std::io::Read::read_to_string(&mut std::io::stdin(), &mut text) {
+                eprintln!("error: cannot read stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+            text
+        }
+    };
+
+    eprintln!("building the synthetic IMDB-like database ({})...", options.indexes.label());
+    let ctx = match BenchmarkContext::new(options.scale, options.indexes) {
+        Ok(ctx) => ctx,
+        Err(e) => {
+            eprintln!("error: database generation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let queries = match load_sql_str(ctx.db(), &script) {
+        Ok(queries) => queries,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if queries.is_empty() {
+        eprintln!("error: the input contains no statements");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failures = 0usize;
+    for query in &queries {
+        if let Err(e) = run_query(&ctx, query, &options) {
+            eprintln!("query `{}` failed: {e}", query.name);
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn run_query(ctx: &BenchmarkContext, query: &QuerySpec, options: &Options) -> Result<(), String> {
+    println!(
+        "\n=== {} — {} relations, {} join predicates, {} selections ===",
+        query.name,
+        query.rel_count(),
+        query.join_predicate_count(),
+        query.base_predicate_count()
+    );
+
+    let estimator = ctx.estimator(options.estimator);
+    let optimized = ctx
+        .optimize(query, estimator.as_ref(), PlannerConfig::default())
+        .map_err(|e| format!("optimization failed: {e}"))?;
+
+    println!("plan chosen with {} estimates (cost {:.1}):", estimator.name(), optimized.cost);
+    print!("{}", optimized.plan.render(query));
+
+    if !options.execute {
+        return Ok(());
+    }
+
+    let result = ctx
+        .execute(query, &optimized.plan, estimator.as_ref(), &ExecutionOptions::default())
+        .map_err(|e| format!("execution failed: {e}"))?;
+
+    // Per-operator estimated vs. true cardinalities, in execution order.
+    println!("\n{:<28} {:>14} {:>14} {:>10}", "operator output", "estimated", "true", "q-error");
+    let mut worst: f64 = 1.0;
+    for (set, true_rows) in &result.operator_cardinalities {
+        let estimate = estimator.estimate(query, *set);
+        let qerr = q_error(estimate, *true_rows as f64);
+        worst = worst.max(qerr);
+        println!(
+            "{:<28} {:>14.0} {:>14} {:>9.1}x",
+            relset_label(query, *set),
+            estimate,
+            true_rows,
+            qerr
+        );
+    }
+    println!(
+        "\n{} rows in {:.3?} — worst operator q-error {:.1}x",
+        result.rows, result.elapsed, worst
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_read_stdin_with_postgres_estimator() {
+        let options = parse_args(&[]).unwrap();
+        assert!(matches!(options.source, Source::Stdin));
+        assert_eq!(options.estimator, EstimatorKind::Postgres);
+        assert_eq!(options.indexes, IndexConfig::PrimaryKeyOnly);
+        assert!(options.execute);
+    }
+
+    #[test]
+    fn flags_parse() {
+        let options = parse_args(&args(&[
+            "--scale",
+            "small",
+            "--indexes",
+            "pkfk",
+            "--estimator",
+            "hyper",
+            "--no-exec",
+            "-e",
+            "SELECT * FROM t",
+        ]))
+        .unwrap();
+        assert!(matches!(options.source, Source::Inline(ref s) if s == "SELECT * FROM t"));
+        assert_eq!(options.estimator, EstimatorKind::HyPer);
+        assert_eq!(options.indexes, IndexConfig::PrimaryAndForeignKey);
+        assert!(!options.execute);
+
+        let options = parse_args(&args(&["queries.sql"])).unwrap();
+        assert!(matches!(options.source, Source::File(ref f) if f == "queries.sql"));
+    }
+
+    #[test]
+    fn bad_flags_are_rejected_and_help_is_empty_error() {
+        assert!(parse_args(&args(&["--scale", "huge"])).is_err());
+        assert!(parse_args(&args(&["--estimator"])).is_err());
+        assert!(parse_args(&args(&["--bogus"])).is_err());
+        assert_eq!(parse_args(&args(&["--help"])).err().unwrap(), "");
+    }
+
+    #[test]
+    fn estimator_names_cover_the_paper_systems() {
+        for (name, kind) in [
+            ("postgres", EstimatorKind::Postgres),
+            ("true-distinct", EstimatorKind::PostgresTrueDistinct),
+            ("hyper", EstimatorKind::HyPer),
+            ("dbms-a", EstimatorKind::DbmsA),
+            ("dbms-b", EstimatorKind::DbmsB),
+            ("dbms-c", EstimatorKind::DbmsC),
+        ] {
+            assert_eq!(parse_estimator(name).unwrap(), kind);
+        }
+        assert!(parse_estimator("oracle").is_err());
+    }
+
+    #[test]
+    fn relset_labels_use_aliases() {
+        let query = QuerySpec::new(
+            "x",
+            vec![
+                qob_plan::BaseRelation::unfiltered(qob_storage::TableId(0), "t"),
+                qob_plan::BaseRelation::unfiltered(qob_storage::TableId(1), "mc"),
+            ],
+            vec![],
+        );
+        assert_eq!(relset_label(&query, RelSet::from_iter([0, 1])), "{t,mc}");
+        assert_eq!(relset_label(&query, RelSet::single(1)), "{mc}");
+    }
+}

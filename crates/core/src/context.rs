@@ -161,8 +161,8 @@ impl BenchmarkContext {
         if let Some(cached) = self.truth_cache.lock().get(&query.name) {
             return Arc::clone(cached);
         }
-        let computed = qob_exec::true_cardinalities(&self.db, query, &self.truth_options)
-            .unwrap_or_default();
+        let computed =
+            qob_exec::true_cardinalities(&self.db, query, &self.truth_options).unwrap_or_default();
         let mut truth = TrueCardinalities::new();
         for (set, card) in computed {
             truth.insert(set, card as f64);
@@ -292,9 +292,8 @@ mod tests {
         let est = ctx.estimator(EstimatorKind::Postgres);
         let plan = ctx.optimize(&q, est.as_ref(), PlannerConfig::default()).unwrap();
         assert!(plan.plan.validate(&q).is_ok());
-        let result = ctx
-            .execute(&q, &plan.plan, est.as_ref(), &ExecutionOptions::default())
-            .unwrap();
+        let result =
+            ctx.execute(&q, &plan.plan, est.as_ref(), &ExecutionOptions::default()).unwrap();
         // The true final cardinality matches what execution produced.
         let truth = ctx.true_cardinalities(&q);
         if let Some(expected) = truth.get(q.all_rels()) {

@@ -33,7 +33,10 @@ pub struct BaseTableQuality {
 
 /// Reproduces Table 1: the q-error distribution of base-table selection
 /// estimates, per system.
-pub fn base_table_quality(ctx: &BenchmarkContext, query_limit: Option<usize>) -> Vec<BaseTableQuality> {
+pub fn base_table_quality(
+    ctx: &BenchmarkContext,
+    query_limit: Option<usize>,
+) -> Vec<BaseTableQuality> {
     let queries = ctx.query_subset(query_limit);
     let mut results = Vec::new();
     for kind in EstimatorKind::paper_systems() {
@@ -204,6 +207,9 @@ pub fn distinct_count_experiment(
     (collect(EstimatorKind::Postgres), collect(EstimatorKind::PostgresTrueDistinct))
 }
 
+/// Per-query estimate ratios: `(query name, ratios by join count)`.
+pub type QueryRatioSeries = Vec<(String, Vec<Vec<f64>>)>;
+
 /// Reproduces Figure 4: PostgreSQL estimate ratios for a handful of JOB
 /// queries and the TPC-H-shaped queries.  Each entry is
 /// `(query name, ratios by join count)`.
@@ -212,7 +218,7 @@ pub fn tpch_contrast(
     job_query_names: &[&str],
     tpch_scale: qob_datagen::Scale,
     max_joins: usize,
-) -> (Vec<(String, Vec<Vec<f64>>)>, Vec<(String, Vec<Vec<f64>>)>) {
+) -> (QueryRatioSeries, QueryRatioSeries) {
     let pg = ctx.estimator(EstimatorKind::Postgres);
     let mut job_series = Vec::new();
     for name in job_query_names {
@@ -296,10 +302,8 @@ pub fn risk_of_estimates(
     options: &RiskOptions,
 ) -> Vec<RiskResult> {
     let queries = ctx.query_subset(options.query_limit);
-    let planner_config = PlannerConfig {
-        allow_nested_loop: options.allow_nested_loop,
-        ..PlannerConfig::default()
-    };
+    let planner_config =
+        PlannerConfig { allow_nested_loop: options.allow_nested_loop, ..PlannerConfig::default() };
     let exec_options = ExecutionOptions {
         enable_rehash: options.enable_rehash,
         timeout: Some(options.timeout),
@@ -329,7 +333,9 @@ pub fn risk_of_estimates(
             let estimate_runtime = ctx
                 .optimize(query, estimator.as_ref(), planner_config)
                 .ok()
-                .and_then(|plan| ctx.execute(query, &plan.plan, estimator.as_ref(), &exec_options).ok())
+                .and_then(|plan| {
+                    ctx.execute(query, &plan.plan, estimator.as_ref(), &exec_options).ok()
+                })
                 .map(|r| r.elapsed.as_secs_f64().max(1e-6));
             match estimate_runtime {
                 Some(rt) => distribution.push(rt / reference_runtime),
@@ -438,12 +444,9 @@ pub fn cost_model_correlation(
                 let injected = InjectedCardinalities::new(&truth, pg.as_ref());
                 let cards: &dyn CardinalityEstimator =
                     if use_truth { &injected } else { pg.as_ref() };
-                let Ok(plan) = ctx.optimize_with_model(
-                    query,
-                    cards,
-                    model.as_ref(),
-                    PlannerConfig::default(),
-                ) else {
+                let Ok(plan) =
+                    ctx.optimize_with_model(query, cards, model.as_ref(), PlannerConfig::default())
+                else {
                     continue;
                 };
                 let Ok(result) = ctx.execute(query, &plan.plan, cards, &exec_options) else {
@@ -522,8 +525,7 @@ pub fn plan_space_distributions(
         let Some(query) = ctx.query(name) else { continue };
         let truth = ctx.true_cardinalities(&query);
         let injected = InjectedCardinalities::new(&truth, pg.as_ref());
-        let planner =
-            Planner::new(ctx.db(), &query, &model, &injected, PlannerConfig::default());
+        let planner = Planner::new(ctx.db(), &query, &model, &injected, PlannerConfig::default());
         let mut rng = StdRng::seed_from_u64(seed);
         let Ok(plans) = qob_enumerate::quickpick::quickpick_plans(&planner, runs, &mut rng) else {
             continue;
@@ -600,7 +602,8 @@ pub fn tree_shape_experiment(
     let queries = ctx.query_subset(query_limit);
     let model = SimpleCostModel::new();
     let pg = ctx.estimator(EstimatorKind::Postgres);
-    let shapes = [ShapeRestriction::ZigZag, ShapeRestriction::LeftDeep, ShapeRestriction::RightDeep];
+    let shapes =
+        [ShapeRestriction::ZigZag, ShapeRestriction::LeftDeep, ShapeRestriction::RightDeep];
     let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); shapes.len()];
     for query in &queries {
         let truth = ctx.true_cardinalities(query);
@@ -728,7 +731,8 @@ pub fn enumeration_experiment(
                 }
                 EnumerationAlgorithm::Quickpick1000 => {
                     let mut rng = StdRng::seed_from_u64(seed ^ query.name.len() as u64);
-                    qob_enumerate::quickpick::quickpick_best(&planner, quickpick_runs, &mut rng).ok()
+                    qob_enumerate::quickpick::quickpick_best(&planner, quickpick_runs, &mut rng)
+                        .ok()
                 }
                 EnumerationAlgorithm::Goo => qob_enumerate::goo::optimize_goo(&planner).ok(),
             };

@@ -136,7 +136,7 @@ impl CostModel for PostgresCostModel {
 mod tests {
     use super::*;
     use qob_plan::{BaseRelation, QuerySpec, RelSet};
-    use qob_storage::{ColumnMeta, Database, DataType, TableBuilder, Value};
+    use qob_storage::{ColumnMeta, DataType, Database, TableBuilder, Value};
 
     fn ctx_fixture() -> (Database, QuerySpec) {
         let mut db = Database::new();
@@ -213,11 +213,29 @@ mod tests {
         let (db, q) = ctx_fixture();
         let ctx = CostContext::new(&db, &q);
         let m = PostgresCostModel::standard();
-        let few = m.join_cost(&ctx, JoinAlgorithm::IndexNestedLoop, &info(10.0, None), &info(1000.0, Some(1)), 30.0);
-        let many = m.join_cost(&ctx, JoinAlgorithm::IndexNestedLoop, &info(10_000.0, None), &info(1000.0, Some(1)), 30_000.0);
+        let few = m.join_cost(
+            &ctx,
+            JoinAlgorithm::IndexNestedLoop,
+            &info(10.0, None),
+            &info(1000.0, Some(1)),
+            30.0,
+        );
+        let many = m.join_cost(
+            &ctx,
+            JoinAlgorithm::IndexNestedLoop,
+            &info(10_000.0, None),
+            &info(1000.0, Some(1)),
+            30_000.0,
+        );
         assert!(many > few * 500.0);
         // With few outer rows, INL beats hashing the big inner table.
-        let hj = m.join_cost(&ctx, JoinAlgorithm::Hash, &info(100_000.0, Some(1)), &info(10.0, None), 30.0);
+        let hj = m.join_cost(
+            &ctx,
+            JoinAlgorithm::Hash,
+            &info(100_000.0, Some(1)),
+            &info(10.0, None),
+            30.0,
+        );
         assert!(few < hj, "INL {few} should beat building a hash table on 100k rows {hj}");
     }
 

@@ -95,7 +95,7 @@ mod tests {
     use super::*;
     use qob_cardest::{CardinalityEstimator, TrueCardinalities};
     use qob_plan::{BaseRelation, JoinKey, PhysicalPlan, QuerySpec, RelSet};
-    use qob_storage::{ColumnId, ColumnMeta, Database, DataType, TableBuilder, Value};
+    use qob_storage::{ColumnId, ColumnMeta, DataType, Database, TableBuilder, Value};
 
     fn fixture() -> (Database, QuerySpec, TrueCardinalities) {
         let mut db = Database::new();
@@ -148,7 +148,12 @@ mod tests {
             qob_plan::JoinAlgorithm::Hash,
             PhysicalPlan::scan(0),
             PhysicalPlan::scan(1),
-            vec![JoinKey { left_rel: 0, left_column: ColumnId(0), right_rel: 1, right_column: ColumnId(1) }],
+            vec![JoinKey {
+                left_rel: 0,
+                left_column: ColumnId(0),
+                right_rel: 1,
+                right_column: ColumnId(1),
+            }],
         );
         let cost = crate::plan_cost(&m, &ctx, &plan, &cards);
         // τ·1000 + τ·100 + |T1 ⋈ T2| = 200 + 20 + 400.
@@ -180,10 +185,17 @@ mod tests {
         // Inner relation is filtered to 10 of its 100 rows: selectivity 0.1, so the
         // index still yields ~10× more lookups than surviving tuples.
         let inner = SubPlanInfo { rows: 10.0, rels: RelSet::single(1), base_rel: Some(1) };
-        let filtered = m.join_cost(&ctx, qob_plan::JoinAlgorithm::IndexNestedLoop, &outer, &inner, 20.0);
-        let unfiltered_inner = SubPlanInfo { rows: 100.0, rels: RelSet::single(1), base_rel: Some(1) };
-        let unfiltered =
-            m.join_cost(&ctx, qob_plan::JoinAlgorithm::IndexNestedLoop, &outer, &unfiltered_inner, 20.0);
+        let filtered =
+            m.join_cost(&ctx, qob_plan::JoinAlgorithm::IndexNestedLoop, &outer, &inner, 20.0);
+        let unfiltered_inner =
+            SubPlanInfo { rows: 100.0, rels: RelSet::single(1), base_rel: Some(1) };
+        let unfiltered = m.join_cost(
+            &ctx,
+            qob_plan::JoinAlgorithm::IndexNestedLoop,
+            &outer,
+            &unfiltered_inner,
+            20.0,
+        );
         assert!(filtered > unfiltered, "the selection does not make index lookups cheaper");
     }
 
@@ -210,7 +222,12 @@ mod tests {
             qob_plan::JoinAlgorithm::Hash,
             PhysicalPlan::scan(0),
             PhysicalPlan::scan(1),
-            vec![JoinKey { left_rel: 0, left_column: ColumnId(0), right_rel: 1, right_column: ColumnId(1) }],
+            vec![JoinKey {
+                left_rel: 0,
+                left_column: ColumnId(0),
+                right_rel: 1,
+                right_column: ColumnId(1),
+            }],
         );
         let mut bad = TrueCardinalities::with_name("bad estimates");
         bad.insert(RelSet::single(0), 1000.0);

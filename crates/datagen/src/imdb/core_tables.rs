@@ -89,11 +89,8 @@ pub fn title_table(scale: &Scale, movies: &[MovieProfile]) -> Table {
             format!("{w1} {w2}")
         };
         let is_episode = vocab::MOVIE_KINDS[m.kind].0 == "episode";
-        let episode_of = if is_episode && i > 0 {
-            Value::Int(rng.gen_range(1..=i as i64))
-        } else {
-            Value::Null
-        };
+        let episode_of =
+            if is_episode && i > 0 { Value::Int(rng.gen_range(1..=i as i64)) } else { Value::Null };
         let season = if is_episode { Value::Int(rng.gen_range(1..15)) } else { Value::Null };
         let imdb_index = if chance(&mut rng, 0.04) {
             Value::Str(["I", "II", "III", "IV"][rng.gen_range(0..4)].to_owned())
@@ -298,7 +295,10 @@ mod tests {
         assert_eq!(comp_cast_type_table().row_count(), 4);
         let it = info_type_table();
         let rating_id = info_type_id("rating");
-        assert_eq!(it.value((rating_id - 1) as u32, qob_storage::ColumnId(1)), Value::Str("rating".into()));
+        assert_eq!(
+            it.value((rating_id - 1) as u32, qob_storage::ColumnId(1)),
+            Value::Str("rating".into())
+        );
     }
 
     #[test]
@@ -338,10 +338,8 @@ mod tests {
     fn keyword_table_contains_special_keywords() {
         let t = keyword_table(&Scale::tiny());
         let col = t.column_id("keyword").unwrap();
-        let all: Vec<String> = t
-            .row_ids()
-            .filter_map(|r| t.value(r, col).as_str().map(|s| s.to_owned()))
-            .collect();
+        let all: Vec<String> =
+            t.row_ids().filter_map(|r| t.value(r, col).as_str().map(|s| s.to_owned())).collect();
         assert!(all.iter().any(|k| k == "sequel"));
         assert!(all.iter().any(|k| k == "murder"));
         assert!(t.row_count() >= vocab::SPECIAL_KEYWORDS.len());

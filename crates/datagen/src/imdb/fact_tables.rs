@@ -27,12 +27,7 @@ fn by_region(regions: impl Iterator<Item = usize>) -> Vec<Vec<usize>> {
 
 /// Samples an element of `group` (preferred) or `0..fallback_len` when the
 /// group is empty, with zipf skew so a few members dominate.
-fn sample_member(
-    rng: &mut impl Rng,
-    group: &[usize],
-    fallback_len: usize,
-    zipf: &Zipf,
-) -> usize {
+fn sample_member(rng: &mut impl Rng, group: &[usize], fallback_len: usize, zipf: &Zipf) -> usize {
     if group.is_empty() {
         return zipf.sample(rng).min(fallback_len.saturating_sub(1));
     }
@@ -78,7 +73,9 @@ pub fn movie_companies_table(scale: &Scale, profiles: &Profiles) -> Table {
                 weighted_choice(&mut rng, &[30, 52, 6, 12])
             };
             let note = if chance(&mut rng, 0.38) {
-                Value::Str(vocab::COMPANY_NOTES[weighted_choice(&mut rng, &note_weights)].0.to_owned())
+                Value::Str(
+                    vocab::COMPANY_NOTES[weighted_choice(&mut rng, &note_weights)].0.to_owned(),
+                )
             } else {
                 Value::Null
             };
@@ -118,8 +115,14 @@ pub fn movie_info_table(scale: &Scale, movies: &[MovieProfile]) -> Table {
     let genre_weights: Vec<u32> = vocab::GENRES.iter().map(|(_, w)| *w).collect();
     let mut id = 1i64;
     let mut push = |b: &mut TableBuilder, mid: usize, ti: i64, info: String, note: Value| {
-        b.push_row(vec![Value::Int(id), Value::Int(mid as i64 + 1), Value::Int(ti), Value::Str(info), note])
-            .expect("movie_info row");
+        b.push_row(vec![
+            Value::Int(id),
+            Value::Int(mid as i64 + 1),
+            Value::Int(ti),
+            Value::Str(info),
+            note,
+        ])
+        .expect("movie_info row");
         id += 1;
     };
     for (mi, m) in movies.iter().enumerate() {
@@ -185,8 +188,13 @@ pub fn movie_info_idx_table(scale: &Scale, movies: &[MovieProfile]) -> Table {
     let bottom10_id = info_type_id("bottom 10 rank");
     let mut id = 1i64;
     let mut push = |b: &mut TableBuilder, mid: usize, ti: i64, info: String| {
-        b.push_row(vec![Value::Int(id), Value::Int(mid as i64 + 1), Value::Int(ti), Value::Str(info)])
-            .expect("movie_info_idx row");
+        b.push_row(vec![
+            Value::Int(id),
+            Value::Int(mid as i64 + 1),
+            Value::Int(ti),
+            Value::Str(info),
+        ])
+        .expect("movie_info_idx row");
         id += 1;
     };
     for (mi, m) in movies.iter().enumerate() {
@@ -220,7 +228,8 @@ pub fn movie_keyword_table(scale: &Scale, movies: &[MovieProfile]) -> Table {
     let keyword_zipf = Zipf::new(total_keywords, 0.9);
     let mut id = 1i64;
     for (mi, m) in movies.iter().enumerate() {
-        let count = skewed_count(&mut rng, scale.avg_keywords_per_movie() * (0.5 + m.popularity), 40);
+        let count =
+            skewed_count(&mut rng, scale.avg_keywords_per_movie() * (0.5 + m.popularity), 40);
         let mut used = std::collections::HashSet::new();
         for _ in 0..count {
             // Genre-affine special keywords are strongly preferred when they match.
@@ -248,8 +257,12 @@ pub fn movie_keyword_table(scale: &Scale, movies: &[MovieProfile]) -> Table {
                 keyword_zipf.sample(&mut rng)
             };
             if used.insert(kw) {
-                b.push_row(vec![Value::Int(id), Value::Int(mi as i64 + 1), Value::Int(kw as i64 + 1)])
-                    .expect("movie_keyword row");
+                b.push_row(vec![
+                    Value::Int(id),
+                    Value::Int(mi as i64 + 1),
+                    Value::Int(kw as i64 + 1),
+                ])
+                .expect("movie_keyword row");
                 id += 1;
             }
         }
@@ -288,7 +301,12 @@ pub fn cast_info_table(scale: &Scale, profiles: &Profiles) -> Table {
         let count = (1 + skewed_count(&mut rng, mean, 90)).min(90);
         for pos in 0..count {
             let person = if chance(&mut rng, 0.7) {
-                sample_member(&mut rng, &people_by_region[m.region], profiles.people.len(), &person_zipf)
+                sample_member(
+                    &mut rng,
+                    &people_by_region[m.region],
+                    profiles.people.len(),
+                    &person_zipf,
+                )
             } else {
                 person_zipf.sample(&mut rng)
             };
@@ -372,14 +390,23 @@ pub fn person_info_table(scale: &Scale, people: &[PersonProfile]) -> Table {
             push(&mut b, pi, birth_id, format!("{} {}", rng.gen_range(1..29), year));
         }
         if chance(&mut rng, 0.3) {
-            let cm = if p.gender == Some("f") { rng.gen_range(150..185) } else { rng.gen_range(160..200) };
+            let cm = if p.gender == Some("f") {
+                rng.gen_range(150..185)
+            } else {
+                rng.gen_range(160..200)
+            };
             push(&mut b, pi, height_id, format!("{cm} cm"));
         }
         if chance(&mut rng, 0.25) {
             push(&mut b, pi, bio_id, format!("Biography of person {}", pi + 1));
         }
         if chance(&mut rng, 0.15) {
-            push(&mut b, pi, spouse_id, format!("Spouse {}", rng.gen_range(1..people.len().max(2))));
+            push(
+                &mut b,
+                pi,
+                spouse_id,
+                format!("Spouse {}", rng.gen_range(1..people.len().max(2))),
+            );
         }
     }
     b.finish()
@@ -407,8 +434,13 @@ pub fn complete_cast_table(scale: &Scale, movies: &[MovieProfile]) -> Table {
         if chance(&mut rng, 0.18 + 0.3 * m.popularity) {
             let subject = if chance(&mut rng, 0.7) { cast_subject } else { crew_subject };
             let status = if chance(&mut rng, 0.6) { complete_status } else { verified_status };
-            b.push_row(vec![Value::Int(id), Value::Int(mi as i64 + 1), Value::Int(subject), Value::Int(status)])
-                .expect("complete_cast row");
+            b.push_row(vec![
+                Value::Int(id),
+                Value::Int(mi as i64 + 1),
+                Value::Int(subject),
+                Value::Int(status),
+            ])
+            .expect("complete_cast row");
             id += 1;
         }
     }
@@ -493,7 +525,7 @@ mod tests {
             assert!(v >= 1 && v <= p.companies.len() as i64);
         }
         for v in fk_values(&t, "company_type_id") {
-            assert!(v >= 1 && v <= 4);
+            assert!((1..=4).contains(&v));
         }
     }
 
@@ -553,7 +585,10 @@ mod tests {
         }
         let pop_avg = pop_sum as f64 / pop_n.max(1) as f64;
         let unpop_avg = unpop_sum as f64 / unpop_n.max(1) as f64;
-        assert!(pop_avg > unpop_avg, "popular movies should have larger casts ({pop_avg:.1} vs {unpop_avg:.1})");
+        assert!(
+            pop_avg > unpop_avg,
+            "popular movies should have larger casts ({pop_avg:.1} vs {unpop_avg:.1})"
+        );
         // role ids are valid.
         for v in fk_values(&t, "role_id") {
             assert!(v >= 1 && v <= vocab::ROLE_TYPES.len() as i64);
@@ -591,10 +626,7 @@ mod tests {
     #[test]
     fn small_bridge_tables_reference_valid_movies() {
         let (scale, p) = profiles();
-        for t in [
-            complete_cast_table(&scale, &p.movies),
-            movie_link_table(&scale, &p.movies),
-        ] {
+        for t in [complete_cast_table(&scale, &p.movies), movie_link_table(&scale, &p.movies)] {
             for v in fk_values(&t, "movie_id") {
                 assert!(v >= 1 && v <= scale.movies as i64, "table {}", t.name());
             }

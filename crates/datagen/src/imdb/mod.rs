@@ -122,8 +122,10 @@ fn generate_movie_profiles(scale: &Scale) -> Vec<MovieProfile> {
             Some(base + (u.sqrt() * span as f64) as i64)
         };
         let recent = year.map(|y| y >= 1990).unwrap_or(false);
-        let has_rating =
-            chance(&mut rng, (0.22 + 0.55 * popularity + if recent { 0.12 } else { 0.0 }).min(0.95));
+        let has_rating = chance(
+            &mut rng,
+            (0.22 + 0.55 * popularity + if recent { 0.12 } else { 0.0 }).min(0.95),
+        );
         let genre_bonus: i64 = match vocab::GENRES[genre].0 {
             "Drama" | "Biography" | "Documentary" => 6,
             "Horror" => -8,
@@ -201,8 +203,7 @@ pub fn generate_imdb(scale: &Scale) -> Result<Database> {
     let aka_title = db.add_table(core_tables::aka_title_table(scale, &profiles.movies))?;
 
     // Fact / bridge tables.
-    let movie_companies =
-        db.add_table(fact_tables::movie_companies_table(scale, &profiles))?;
+    let movie_companies = db.add_table(fact_tables::movie_companies_table(scale, &profiles))?;
     let movie_info = db.add_table(fact_tables::movie_info_table(scale, &profiles.movies))?;
     let movie_info_idx =
         db.add_table(fact_tables::movie_info_idx_table(scale, &profiles.movies))?;
@@ -214,9 +215,27 @@ pub fn generate_imdb(scale: &Scale) -> Result<Database> {
 
     // Primary keys: every table has a surrogate `id`.
     for tid in [
-        kind_type, info_type, company_type, role_type, link_type, comp_cast_type, title, name,
-        char_name, company_name, keyword, aka_name, aka_title, movie_companies, movie_info,
-        movie_info_idx, movie_keyword, cast_info, person_info, complete_cast, movie_link,
+        kind_type,
+        info_type,
+        company_type,
+        role_type,
+        link_type,
+        comp_cast_type,
+        title,
+        name,
+        char_name,
+        company_name,
+        keyword,
+        aka_name,
+        aka_title,
+        movie_companies,
+        movie_info,
+        movie_info_idx,
+        movie_keyword,
+        cast_info,
+        person_info,
+        complete_cast,
+        movie_link,
     ] {
         db.declare_primary_key(tid, "id")?;
     }
@@ -338,10 +357,27 @@ mod tests {
         let db = generate_imdb(&Scale::tiny()).unwrap();
         assert_eq!(db.table_count(), 21);
         for name in [
-            "kind_type", "info_type", "company_type", "role_type", "link_type", "comp_cast_type",
-            "title", "name", "char_name", "company_name", "keyword", "aka_name", "aka_title",
-            "movie_companies", "movie_info", "movie_info_idx", "movie_keyword", "cast_info",
-            "person_info", "complete_cast", "movie_link",
+            "kind_type",
+            "info_type",
+            "company_type",
+            "role_type",
+            "link_type",
+            "comp_cast_type",
+            "title",
+            "name",
+            "char_name",
+            "company_name",
+            "keyword",
+            "aka_name",
+            "aka_title",
+            "movie_companies",
+            "movie_info",
+            "movie_info_idx",
+            "movie_keyword",
+            "cast_info",
+            "person_info",
+            "complete_cast",
+            "movie_link",
         ] {
             let tid = db.table_id(name).unwrap_or_else(|| panic!("missing table {name}"));
             assert!(db.keys(tid).primary_key.is_some(), "{name} has a primary key");

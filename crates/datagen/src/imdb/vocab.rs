@@ -181,9 +181,30 @@ pub const COMPANY_SUFFIXES: &[(&str, u32)] = &[
 
 /// Company name cores.
 pub const COMPANY_CORES: &[&str] = &[
-    "Warner", "Universal", "Paramount", "Columbia", "Metro", "Castle", "Summit", "Gaumont",
-    "Nordisk", "Toho", "Yash", "Atlas", "Polygram", "Lionsgate", "Vertigo", "Zentropa",
-    "Canal", "Babelsberg", "Cinecitta", "Mosfilm", "Svensk", "Village", "Beacon", "Orion",
+    "Warner",
+    "Universal",
+    "Paramount",
+    "Columbia",
+    "Metro",
+    "Castle",
+    "Summit",
+    "Gaumont",
+    "Nordisk",
+    "Toho",
+    "Yash",
+    "Atlas",
+    "Polygram",
+    "Lionsgate",
+    "Vertigo",
+    "Zentropa",
+    "Canal",
+    "Babelsberg",
+    "Cinecitta",
+    "Mosfilm",
+    "Svensk",
+    "Village",
+    "Beacon",
+    "Orion",
 ];
 
 /// `movie_companies.note` values (non-null cases).
@@ -210,26 +231,122 @@ pub const CAST_NOTES: &[(&str, u32)] = &[
 /// First names used for people; several contain substrings JOB-style LIKE
 /// predicates look for (`%Tim%`, `%An%`, ...).
 pub const FIRST_NAMES: &[&str] = &[
-    "Tim", "Timothy", "Anna", "Anders", "Angela", "Bob", "Robert", "John", "Johanna", "Maria",
-    "Marion", "Pierre", "Hans", "Yuki", "Raj", "Ingrid", "Olga", "Carlos", "Luis", "Emma",
-    "Sven", "Kate", "Katherine", "Michael", "Michelle", "David", "Sophie", "Akira", "Priya",
-    "Walter", "Greta", "Nina", "Oscar", "Paula", "Quentin", "Rosa", "Stefan", "Tom", "Ursula",
-    "Viktor", "Wanda", "Xavier", "Yann", "Zelda",
+    "Tim",
+    "Timothy",
+    "Anna",
+    "Anders",
+    "Angela",
+    "Bob",
+    "Robert",
+    "John",
+    "Johanna",
+    "Maria",
+    "Marion",
+    "Pierre",
+    "Hans",
+    "Yuki",
+    "Raj",
+    "Ingrid",
+    "Olga",
+    "Carlos",
+    "Luis",
+    "Emma",
+    "Sven",
+    "Kate",
+    "Katherine",
+    "Michael",
+    "Michelle",
+    "David",
+    "Sophie",
+    "Akira",
+    "Priya",
+    "Walter",
+    "Greta",
+    "Nina",
+    "Oscar",
+    "Paula",
+    "Quentin",
+    "Rosa",
+    "Stefan",
+    "Tom",
+    "Ursula",
+    "Viktor",
+    "Wanda",
+    "Xavier",
+    "Yann",
+    "Zelda",
 ];
 
 /// Last names used for people.
 pub const LAST_NAMES: &[&str] = &[
-    "Smith", "Johnson", "Mueller", "Schmidt", "Dubois", "Rossi", "Tanaka", "Suzuki", "Kumar",
-    "Singh", "Andersson", "Ivanov", "Garcia", "Fernandez", "Brown", "Wilson", "Taylor",
-    "Lefebvre", "Moreau", "Weber", "Fischer", "Sato", "Yamamoto", "Patel", "Nilsson", "Petrov",
-    "Lopez", "Martinez", "Clark", "Lewis", "Walker", "Hall", "Young", "King", "Wright",
+    "Smith",
+    "Johnson",
+    "Mueller",
+    "Schmidt",
+    "Dubois",
+    "Rossi",
+    "Tanaka",
+    "Suzuki",
+    "Kumar",
+    "Singh",
+    "Andersson",
+    "Ivanov",
+    "Garcia",
+    "Fernandez",
+    "Brown",
+    "Wilson",
+    "Taylor",
+    "Lefebvre",
+    "Moreau",
+    "Weber",
+    "Fischer",
+    "Sato",
+    "Yamamoto",
+    "Patel",
+    "Nilsson",
+    "Petrov",
+    "Lopez",
+    "Martinez",
+    "Clark",
+    "Lewis",
+    "Walker",
+    "Hall",
+    "Young",
+    "King",
+    "Wright",
 ];
 
 /// Title words used to assemble movie titles.
 pub const TITLE_WORDS: &[&str] = &[
-    "Shadow", "Night", "Return", "Last", "Dark", "Golden", "Lost", "Silent", "Broken", "Eternal",
-    "Hidden", "Crimson", "Winter", "Summer", "Iron", "Glass", "Paper", "Stone", "River", "Storm",
-    "Dream", "Empire", "Secret", "Forgotten", "Burning", "Frozen", "Distant", "Savage", "Gentle",
+    "Shadow",
+    "Night",
+    "Return",
+    "Last",
+    "Dark",
+    "Golden",
+    "Lost",
+    "Silent",
+    "Broken",
+    "Eternal",
+    "Hidden",
+    "Crimson",
+    "Winter",
+    "Summer",
+    "Iron",
+    "Glass",
+    "Paper",
+    "Stone",
+    "River",
+    "Storm",
+    "Dream",
+    "Empire",
+    "Secret",
+    "Forgotten",
+    "Burning",
+    "Frozen",
+    "Distant",
+    "Savage",
+    "Gentle",
     "Electric",
 ];
 

@@ -12,7 +12,7 @@
 
 use rand::Rng;
 
-use qob_storage::{ColumnMeta, Database, DataType, Result, TableBuilder, Value};
+use qob_storage::{ColumnMeta, DataType, Database, Result, TableBuilder, Value};
 
 use crate::rng::stream_rng;
 use crate::scale::Scale;
@@ -22,9 +22,31 @@ pub const REGIONS: &[&str] = &["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EA
 
 /// TPC-H nation names (one region each, round-robin).
 pub const NATIONS: &[&str] = &[
-    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY", "INDIA",
-    "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU",
-    "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+    "ALGERIA",
+    "ARGENTINA",
+    "BRAZIL",
+    "CANADA",
+    "EGYPT",
+    "ETHIOPIA",
+    "FRANCE",
+    "GERMANY",
+    "INDIA",
+    "INDONESIA",
+    "IRAN",
+    "IRAQ",
+    "JAPAN",
+    "JORDAN",
+    "KENYA",
+    "MOROCCO",
+    "MOZAMBIQUE",
+    "PERU",
+    "CHINA",
+    "ROMANIA",
+    "SAUDI ARABIA",
+    "VIETNAM",
+    "RUSSIA",
+    "UNITED KINGDOM",
+    "UNITED STATES",
 ];
 
 /// Market segments.
@@ -267,7 +289,9 @@ mod tests {
     fn generates_all_eight_tables_with_keys() {
         let db = generate_tpch(&Scale::tiny()).unwrap();
         assert_eq!(db.table_count(), 8);
-        for name in ["region", "nation", "customer", "supplier", "part", "partsupp", "orders", "lineitem"] {
+        for name in
+            ["region", "nation", "customer", "supplier", "part", "partsupp", "orders", "lineitem"]
+        {
             let tid = db.table_id(name).unwrap_or_else(|| panic!("missing {name}"));
             assert!(db.keys(tid).primary_key.is_some());
         }

@@ -58,13 +58,7 @@ fn enumerate_cmp(
         let v = RelSet::single(vi);
         emit(v);
         let below_vi = RelSet::first_n(vi + 1);
-        enumerate_csg_rec(
-            query,
-            adjacency,
-            v,
-            x.union(below_vi.intersect(neighbors)),
-            emit,
-        );
+        enumerate_csg_rec(query, adjacency, v, x.union(below_vi.intersect(neighbors)), emit);
     }
 }
 
@@ -190,7 +184,7 @@ mod tests {
         for n in 2..=6usize {
             let q = clique_query(n);
             let pairs = ccp_pairs(&q);
-            let expected = (3usize.pow(n as u32) - 2usize.pow(n as u32 + 1) + 1) / 2;
+            let expected = (3usize.pow(n as u32) - 2usize.pow(n as u32 + 1)).div_ceil(2);
             assert_eq!(pairs.len(), expected, "clique of {n}");
         }
     }
@@ -301,9 +295,11 @@ mod tests {
         let planner = Planner::new(&db, &q, &model, &cards, cfg);
         let bushy = optimize_bushy(&planner).unwrap();
         assert_eq!(bushy.plan.shape(), PlanShape::Bushy, "plan: {}", bushy.plan);
-        let left_deep =
-            crate::restricted::optimize_restricted(&planner, crate::planner::ShapeRestriction::LeftDeep)
-                .unwrap();
+        let left_deep = crate::restricted::optimize_restricted(
+            &planner,
+            crate::planner::ShapeRestriction::LeftDeep,
+        )
+        .unwrap();
         assert!(bushy.cost < left_deep.cost, "the bushy plan must be strictly cheaper here");
     }
 }

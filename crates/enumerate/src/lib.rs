@@ -25,6 +25,4 @@ pub mod quickpick;
 pub mod restricted;
 
 pub use dpccp::ccp_pairs;
-pub use planner::{
-    EnumerationError, OptimizedPlan, Planner, PlannerConfig, ShapeRestriction,
-};
+pub use planner::{EnumerationError, OptimizedPlan, Planner, PlannerConfig, ShapeRestriction};

@@ -264,16 +264,12 @@ pub(crate) mod test_support {
 
     use qob_cardest::TrueCardinalities;
     use qob_plan::{BaseRelation, JoinEdge, QuerySpec, RelSet};
-    use qob_storage::{
-        ColumnId, ColumnMeta, Database, DataType, IndexConfig, TableBuilder, Value,
-    };
+    use qob_storage::{ColumnId, ColumnMeta, DataType, Database, IndexConfig, TableBuilder, Value};
 
     /// Builds a star-ish query: fact table `f` joined to dimensions `d1..d3`,
     /// plus a chain edge d1–d2 is absent (pure star).  Cardinalities are
     /// hand-crafted so the optimal bushy/left-deep orders are known.
-    pub fn star_fixture(
-        index_config: IndexConfig,
-    ) -> (Database, QuerySpec, TrueCardinalities) {
+    pub fn star_fixture(index_config: IndexConfig) -> (Database, QuerySpec, TrueCardinalities) {
         let mut db = Database::new();
         let sizes = [("f", 10_000usize), ("d1", 100), ("d2", 1_000), ("d3", 10)];
         for (name, rows) in sizes {

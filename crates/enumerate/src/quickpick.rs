@@ -10,7 +10,10 @@ use crate::planner::{EnumerationError, OptimizedPlan, Planner, Sub};
 
 /// Generates one random plan: join edges are picked in random order and the
 /// components they connect are merged until a single plan covers the query.
-pub fn random_plan(planner: &Planner<'_>, rng: &mut impl Rng) -> Result<OptimizedPlan, EnumerationError> {
+pub fn random_plan(
+    planner: &Planner<'_>,
+    rng: &mut impl Rng,
+) -> Result<OptimizedPlan, EnumerationError> {
     planner.check_query()?;
     let query = planner.query;
     let mut components: Vec<Sub> = (0..query.rel_count()).map(|r| planner.leaf(r)).collect();
@@ -35,9 +38,8 @@ pub fn random_plan(planner: &Planner<'_>, rng: &mut impl Rng) -> Result<Optimize
         let (first, second) = if a > b { (a, b) } else { (b, a) };
         let right = components.swap_remove(first);
         let left = components.swap_remove(second);
-        let joined = planner
-            .best_join(&left, &right)
-            .expect("the picked edge connects the two components");
+        let joined =
+            planner.best_join(&left, &right).expect("the picked edge connects the two components");
         components.push(joined);
     }
     debug_assert_eq!(components.len(), 1, "connected queries always reduce to one component");

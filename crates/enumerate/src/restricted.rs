@@ -107,7 +107,9 @@ mod tests {
                     )
                 }
                 ShapeRestriction::ZigZag => assert!(
-                    got == PlanShape::ZigZag || got == PlanShape::LeftDeep || got == PlanShape::RightDeep
+                    got == PlanShape::ZigZag
+                        || got == PlanShape::LeftDeep
+                        || got == PlanShape::RightDeep
                 ),
                 ShapeRestriction::Bushy => unreachable!(),
             }

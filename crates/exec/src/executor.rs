@@ -115,15 +115,8 @@ pub fn execute_plan(
     plan.validate(query).map_err(ExecutionError::InvalidPlan)?;
     let guard = ExecGuard::new(options);
     let mut operator_cardinalities = Vec::new();
-    let result = run(
-        db,
-        query,
-        plan,
-        build_size_hint,
-        options,
-        &guard,
-        &mut operator_cardinalities,
-    )?;
+    let result =
+        run(db, query, plan, build_size_hint, options, &guard, &mut operator_cardinalities)?;
     Ok(ExecutionResult {
         rows: result.len() as u64,
         elapsed: guard.elapsed(),
@@ -160,7 +153,16 @@ fn run(
                 JoinAlgorithm::Hash => {
                     let right_result = run(db, query, right, hint, options, guard, cards)?;
                     let estimate = hint(left_result.rel_set());
-                    hash_join(db, query, &left_result, &right_result, keys, estimate, options, guard)?
+                    hash_join(
+                        db,
+                        query,
+                        &left_result,
+                        &right_result,
+                        keys,
+                        estimate,
+                        options,
+                        guard,
+                    )?
                 }
                 JoinAlgorithm::NestedLoop => {
                     let right_result = run(db, query, right, hint, options, guard, cards)?;
@@ -181,9 +183,7 @@ fn run(
 mod tests {
     use super::*;
     use qob_plan::{BaseRelation, JoinEdge, JoinKey};
-    use qob_storage::{
-        CmpOp, ColumnMeta, DataType, IndexConfig, Predicate, TableBuilder, Value,
-    };
+    use qob_storage::{CmpOp, ColumnMeta, DataType, IndexConfig, Predicate, TableBuilder, Value};
 
     /// Two tables: `movies(id, year)` with 100 rows and `info(id, movie_id)`
     /// with 3 rows per movie.
@@ -224,7 +224,12 @@ mod tests {
                 ),
                 BaseRelation::unfiltered(inf, "i"),
             ],
-            vec![JoinEdge { left: 0, left_column: ColumnId(0), right: 1, right_column: ColumnId(1) }],
+            vec![JoinEdge {
+                left: 0,
+                left_column: ColumnId(0),
+                right: 1,
+                right_column: ColumnId(1),
+            }],
         );
         (db, q)
     }
@@ -304,7 +309,8 @@ mod tests {
             PhysicalPlan::scan(1),
             vec![key01()],
         );
-        let err = execute_plan(&db, &q, &plan, &|_| 10.0, &ExecutionOptions::default()).unwrap_err();
+        let err =
+            execute_plan(&db, &q, &plan, &|_| 10.0, &ExecutionOptions::default()).unwrap_err();
         assert!(matches!(err, ExecutionError::MissingIndex { .. }));
         assert!(err.to_string().contains("info"));
     }
@@ -316,7 +322,12 @@ mod tests {
         let q2 = QuerySpec::new(
             "q2",
             vec![q.relations[1].clone(), q.relations[0].clone()],
-            vec![JoinEdge { left: 0, left_column: ColumnId(1), right: 1, right_column: ColumnId(0) }],
+            vec![JoinEdge {
+                left: 0,
+                left_column: ColumnId(1),
+                right: 1,
+                right_column: ColumnId(0),
+            }],
         );
         let plan = PhysicalPlan::join(
             JoinAlgorithm::IndexNestedLoop,
@@ -347,7 +358,8 @@ mod tests {
                 right_column: ColumnId(0),
             }],
         );
-        let opts = ExecutionOptions { timeout: Some(Duration::from_nanos(1)), ..Default::default() };
+        let opts =
+            ExecutionOptions { timeout: Some(Duration::from_nanos(1)), ..Default::default() };
         let err = execute_plan(&db, &q, &plan, &|_| 10.0, &opts).unwrap_err();
         assert!(matches!(err, ExecutionError::Timeout { .. }), "got {err:?}");
     }

@@ -46,7 +46,7 @@ impl ExecGuard {
     pub fn tick(&self) -> Result<(), ExecutionError> {
         let c = self.check_counter.get().wrapping_add(1);
         self.check_counter.set(c);
-        if c % CHECK_INTERVAL == 0 {
+        if c.is_multiple_of(CHECK_INTERVAL) {
             self.check_deadline()?;
         }
         Ok(())
@@ -133,6 +133,7 @@ fn output_rels(left: &Intermediate, right: &Intermediate) -> Vec<usize> {
 
 /// Hash join: builds a chained hash table on the *left* input (sized from
 /// `build_estimate`), probes with the right input.
+#[allow(clippy::too_many_arguments)] // mirrors the executor's operator ABI
 pub fn hash_join(
     db: &Database,
     query: &QuerySpec,
@@ -187,9 +188,8 @@ pub fn index_nested_loop_join(
     // first key's right side addresses the inner relation.
     let inner_table_id = query.relations[inner_rel].table;
     let inner_table = db.table(inner_table_id);
-    let index = db
-        .hash_index(inner_table_id, first.right_column)
-        .ok_or(ExecutionError::MissingIndex {
+    let index =
+        db.hash_index(inner_table_id, first.right_column).ok_or(ExecutionError::MissingIndex {
             table: inner_table.name().to_owned(),
             column: first.right_column,
         })?;

@@ -140,9 +140,7 @@ pub fn true_cardinalities(
 mod tests {
     use super::*;
     use qob_plan::{BaseRelation, JoinEdge};
-    use qob_storage::{
-        CmpOp, ColumnId, ColumnMeta, DataType, Predicate, TableBuilder, Value,
-    };
+    use qob_storage::{CmpOp, ColumnId, ColumnMeta, DataType, Predicate, TableBuilder, Value};
 
     /// a(id), b(id, a_id), c(id, b_id): a 1:2 fan-out at each level.
     fn chain_db() -> (Database, QuerySpec) {
@@ -216,11 +214,8 @@ mod tests {
     fn selections_reduce_subexpression_counts() {
         let (db, mut q) = chain_db();
         // Keep only a.id <= 5.
-        q.relations[0].predicates = vec![Predicate::IntCmp {
-            column: ColumnId(0),
-            op: CmpOp::Le,
-            value: 5,
-        }];
+        q.relations[0].predicates =
+            vec![Predicate::IntCmp { column: ColumnId(0), op: CmpOp::Le, value: 5 }];
         let cards = true_cardinalities(&db, &q, &TrueCardinalityOptions::default()).unwrap();
         assert_eq!(cards[&RelSet::single(0)], 5);
         assert_eq!(cards[&RelSet::from_iter([0, 1])], 10);

@@ -254,7 +254,8 @@ impl PhysicalPlan {
                     }
                 }
                 if *algorithm == JoinAlgorithm::IndexNestedLoop && !right.is_leaf() {
-                    err = Some("index-nested-loop join requires a base relation on the right".into());
+                    err =
+                        Some("index-nested-loop join requires a base relation on the right".into());
                 }
             }
         });
@@ -277,11 +278,7 @@ impl PhysicalPlan {
         }
         match self {
             PhysicalPlan::Scan { rel } => {
-                let alias = query
-                    .relations
-                    .get(*rel)
-                    .map(|r| r.alias.as_str())
-                    .unwrap_or("?");
+                let alias = query.relations.get(*rel).map(|r| r.alias.as_str()).unwrap_or("?");
                 out.push_str(&format!("Scan {alias}\n"));
             }
             PhysicalPlan::Join { algorithm, left, right, keys } => {
@@ -318,9 +315,7 @@ mod tests {
     fn chain4() -> QuerySpec {
         QuerySpec::new(
             "chain4",
-            (0..4)
-                .map(|i| BaseRelation::unfiltered(TableId(i as u32), format!("r{i}")))
-                .collect(),
+            (0..4).map(|i| BaseRelation::unfiltered(TableId(i as u32), format!("r{i}"))).collect(),
             vec![
                 JoinEdge { left: 0, left_column: ColumnId(1), right: 1, right_column: ColumnId(0) },
                 JoinEdge { left: 1, left_column: ColumnId(1), right: 2, right_column: ColumnId(0) },
@@ -337,7 +332,8 @@ mod tests {
             PhysicalPlan::scan(1),
             vec![key(0, 1)],
         );
-        let j012 = PhysicalPlan::join(JoinAlgorithm::Hash, j01, PhysicalPlan::scan(2), vec![key(1, 2)]);
+        let j012 =
+            PhysicalPlan::join(JoinAlgorithm::Hash, j01, PhysicalPlan::scan(2), vec![key(1, 2)]);
         PhysicalPlan::join(JoinAlgorithm::Hash, j012, PhysicalPlan::scan(3), vec![key(2, 3)])
     }
 
@@ -349,7 +345,8 @@ mod tests {
             PhysicalPlan::scan(3),
             vec![key(2, 3)],
         );
-        let j123 = PhysicalPlan::join(JoinAlgorithm::Hash, PhysicalPlan::scan(1), j23, vec![key(1, 2)]);
+        let j123 =
+            PhysicalPlan::join(JoinAlgorithm::Hash, PhysicalPlan::scan(1), j23, vec![key(1, 2)]);
         PhysicalPlan::join(JoinAlgorithm::Hash, PhysicalPlan::scan(0), j123, vec![key(0, 1)])
     }
 

@@ -16,7 +16,7 @@ use crate::relset::RelSet;
 ///
 /// The same table may appear several times under different aliases — e.g.
 /// `info_type it, info_type it2` in JOB query 13.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BaseRelation {
     /// The catalog table.
     pub table: TableId,
@@ -110,7 +110,10 @@ impl fmt::Display for QueryValidationError {
 impl std::error::Error for QueryValidationError {}
 
 /// A select-project-join query over the catalog.
-#[derive(Debug, Clone)]
+///
+/// Equality is structural (same name, relations, predicates and join edges
+/// in the same order) — the property the SQL round-trip tests pin.
+#[derive(Debug, Clone, PartialEq)]
 pub struct QuerySpec {
     /// Query name (e.g. `"13d"` for JOB query 13, variant d).
     pub name: String,
@@ -122,7 +125,11 @@ pub struct QuerySpec {
 
 impl QuerySpec {
     /// Creates a query spec.
-    pub fn new(name: impl Into<String>, relations: Vec<BaseRelation>, joins: Vec<JoinEdge>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        relations: Vec<BaseRelation>,
+        joins: Vec<JoinEdge>,
+    ) -> Self {
         QuerySpec { name: name.into(), relations, joins }
     }
 
@@ -296,10 +303,7 @@ mod tests {
         for name in ["a", "b", "c", "d"] {
             let mut t = TableBuilder::new(
                 name,
-                vec![
-                    ColumnMeta::new("id", DataType::Int),
-                    ColumnMeta::new("x_id", DataType::Int),
-                ],
+                vec![ColumnMeta::new("id", DataType::Int), ColumnMeta::new("x_id", DataType::Int)],
             );
             for i in 0..5 {
                 t.push_row(vec![Value::Int(i), Value::Int(i % 2)]).unwrap();
@@ -370,7 +374,11 @@ mod tests {
         let within = q.edges_within(RelSet::from_iter([0, 1]));
         assert_eq!(within.len(), 1);
         assert_eq!(q.edges_within(q.all_rels()).len(), 2);
-        assert_eq!(JoinEdge { left: 0, left_column: ColumnId(1), right: 1, right_column: ColumnId(0) }.rels(), RelSet::from_iter([0, 1]));
+        assert_eq!(
+            JoinEdge { left: 0, left_column: ColumnId(1), right: 1, right_column: ColumnId(0) }
+                .rels(),
+            RelSet::from_iter([0, 1])
+        );
     }
 
     #[test]

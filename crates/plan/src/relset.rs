@@ -216,14 +216,12 @@ impl Iterator for SubsetIter {
         if self.done {
             return None;
         }
-        loop {
-            self.current = self.current.wrapping_sub(self.superset) & self.superset;
-            if self.current == 0 {
-                self.done = true;
-                return None;
-            }
-            return Some(RelSet(self.current));
+        self.current = self.current.wrapping_sub(self.superset) & self.superset;
+        if self.current == 0 {
+            self.done = true;
+            return None;
         }
+        Some(RelSet(self.current))
     }
 }
 

@@ -1,0 +1,227 @@
+//! The abstract syntax tree of the JOB SQL dialect.
+//!
+//! One statement is a single select-project-join block:
+//! `SELECT <items> FROM <range variables> [WHERE <boolean expression>]`.
+//! The tree is deliberately close to the text — parenthesised groups are kept
+//! as [`Expr::Paren`] nodes so the binder can preserve the conjunct structure
+//! the query was written with (which is what makes emission round-trip).
+
+use qob_storage::CmpOp;
+
+use crate::error::Span;
+
+/// A column reference, optionally qualified by a range-variable alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnRef {
+    /// `alias` in `alias.column`; `None` for a bare column name.
+    pub qualifier: Option<String>,
+    /// The column name.
+    pub column: String,
+    /// Source span of the whole reference.
+    pub span: Span,
+}
+
+impl ColumnRef {
+    /// Renders the reference as it appeared (`alias.column` or `column`).
+    pub fn display_name(&self) -> String {
+        match &self.qualifier {
+            Some(q) => format!("{q}.{}", self.column),
+            None => self.column.clone(),
+        }
+    }
+}
+
+/// A literal scalar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LiteralValue {
+    /// Integer literal.
+    Int(i64),
+    /// String literal.
+    Str(String),
+    /// `NULL`.
+    Null,
+}
+
+impl LiteralValue {
+    /// Type name used in diagnostics.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            LiteralValue::Int(_) => "integer",
+            LiteralValue::Str(_) => "string",
+            LiteralValue::Null => "NULL",
+        }
+    }
+}
+
+/// A literal with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Literal {
+    /// The value.
+    pub value: LiteralValue,
+    /// Source span.
+    pub span: Span,
+}
+
+/// Either side of a comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operand {
+    /// A column reference.
+    Column(ColumnRef),
+    /// A literal.
+    Literal(Literal),
+}
+
+impl Operand {
+    /// The operand's source span.
+    pub fn span(&self) -> Span {
+        match self {
+            Operand::Column(c) => c.span,
+            Operand::Literal(l) => l.span,
+        }
+    }
+}
+
+/// A boolean expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `left OR right` (left-associative chains nest on the left).
+    Or(Box<Expr>, Box<Expr>),
+    /// `left AND right` (left-associative chains nest on the left).
+    And(Box<Expr>, Box<Expr>),
+    /// `NOT expr`.
+    Not(Box<Expr>),
+    /// `( expr )` — kept explicit to preserve grouping.
+    Paren(Box<Expr>),
+    /// `left <op> right`.
+    Cmp {
+        /// Left operand.
+        left: Operand,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right operand.
+        right: Operand,
+    },
+    /// `column [NOT] BETWEEN low AND high`.
+    Between {
+        /// Column operand.
+        column: ColumnRef,
+        /// True for `NOT BETWEEN`.
+        negated: bool,
+        /// Lower bound.
+        low: Literal,
+        /// Upper bound.
+        high: Literal,
+    },
+    /// `column [NOT] IN ( item, ... )`.
+    InList {
+        /// Column operand.
+        column: ColumnRef,
+        /// True for `NOT IN`.
+        negated: bool,
+        /// The literal list.
+        items: Vec<Literal>,
+    },
+    /// `column [NOT] LIKE pattern`.
+    Like {
+        /// Column operand.
+        column: ColumnRef,
+        /// True for `NOT LIKE`.
+        negated: bool,
+        /// The pattern literal.
+        pattern: Literal,
+    },
+    /// `column IS [NOT] NULL`.
+    IsNull {
+        /// Column operand.
+        column: ColumnRef,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+}
+
+impl Expr {
+    /// An approximate source span for diagnostics.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Or(l, r) | Expr::And(l, r) => l.span().merge(r.span()),
+            Expr::Not(e) | Expr::Paren(e) => e.span(),
+            Expr::Cmp { left, right, .. } => left.span().merge(right.span()),
+            Expr::Between { column, high, .. } => column.span.merge(high.span),
+            Expr::InList { column, items, .. } => {
+                items.last().map(|l| column.span.merge(l.span)).unwrap_or(column.span)
+            }
+            Expr::Like { column, pattern, .. } => column.span.merge(pattern.span),
+            Expr::IsNull { column, .. } => column.span,
+        }
+    }
+}
+
+/// One range variable of the `FROM` clause: `table [AS] [alias]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// The catalog table name.
+    pub table: String,
+    /// The alias, if any (defaults to the table name when bound).
+    pub alias: Option<String>,
+    /// Source span of the reference.
+    pub span: Span,
+}
+
+/// What a select item projects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectExpr {
+    /// `*`.
+    Star,
+    /// `COUNT(*)`.
+    CountStar,
+    /// `func(column)` — MIN / MAX / COUNT over a column.
+    Aggregate {
+        /// Upper-cased function name.
+        func: String,
+        /// The argument column.
+        arg: ColumnRef,
+    },
+    /// A plain column.
+    Column(ColumnRef),
+}
+
+/// One item of the `SELECT` list with its optional output alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectItem {
+    /// The projected expression.
+    pub expr: SelectExpr,
+    /// `AS alias`, if given.
+    pub alias: Option<String>,
+}
+
+/// A full select-project-join statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStatement {
+    /// The `SELECT` list.
+    pub items: Vec<SelectItem>,
+    /// The `FROM` clause range variables, in order.
+    pub from: Vec<TableRef>,
+    /// The `WHERE` expression, if present.
+    pub selection: Option<Expr>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_ref_display() {
+        let qualified =
+            ColumnRef { qualifier: Some("t".into()), column: "id".into(), span: Span::default() };
+        assert_eq!(qualified.display_name(), "t.id");
+        let bare = ColumnRef { qualifier: None, column: "id".into(), span: Span::default() };
+        assert_eq!(bare.display_name(), "id");
+    }
+
+    #[test]
+    fn literal_type_names() {
+        assert_eq!(LiteralValue::Int(1).type_name(), "integer");
+        assert_eq!(LiteralValue::Str("x".into()).type_name(), "string");
+        assert_eq!(LiteralValue::Null.type_name(), "NULL");
+    }
+}

@@ -1,0 +1,794 @@
+//! Name resolution and lowering: AST → [`QuerySpec`].
+//!
+//! The binder resolves `FROM` range variables against the catalog, resolves
+//! qualified and unqualified column references (reporting unknown and
+//! ambiguous names with spans), classifies `WHERE` conjuncts into equality
+//! join edges and single-relation base predicates, type-checks literals
+//! against column types and finally validates the whole query (connected
+//! join graph, no duplicate aliases).
+//!
+//! Lowering preserves the conjunct structure of the text: parenthesised
+//! groups become [`Predicate::And`] / [`Predicate::Or`] nodes, which is what
+//! makes `emit → parse → bind` round-trip to a structurally identical spec.
+//!
+//! NULL handling follows SQL three-valued logic for the negated forms the
+//! binder itself constructs (`<>` on strings, `NOT BETWEEN/IN/LIKE` get an
+//! `IS NOT NULL` guard — see `negate_if`); an explicit user-written
+//! `NOT (...)` stays plain boolean negation, matching the engine's
+//! two-valued predicate evaluation.
+
+use qob_plan::{BaseRelation, JoinEdge, QuerySpec, QueryValidationError};
+use qob_storage::{CmpOp, ColumnId, DataType, Database, Predicate};
+
+use crate::ast::{
+    ColumnRef, Expr, Literal, LiteralValue, Operand, SelectExpr, SelectStatement, TableRef,
+};
+use crate::error::{ErrorKind, SqlError};
+
+/// Binds a parsed statement against `db`, producing a validated
+/// [`QuerySpec`] named `name`.
+pub fn bind(
+    db: &Database,
+    stmt: &SelectStatement,
+    name: impl Into<String>,
+) -> Result<QuerySpec, SqlError> {
+    let binder = Binder { db };
+    binder.bind(stmt, name.into())
+}
+
+struct Binder<'a> {
+    db: &'a Database,
+}
+
+/// A resolved column: which relation it belongs to and its column id.
+#[derive(Debug, Clone, Copy)]
+struct BoundColumn {
+    rel: usize,
+    column: ColumnId,
+    dtype: DataType,
+}
+
+impl<'a> Binder<'a> {
+    fn bind(&self, stmt: &SelectStatement, name: String) -> Result<QuerySpec, SqlError> {
+        let mut relations = self.bind_from(&stmt.from)?;
+        self.check_select_items(stmt, &relations)?;
+
+        let mut joins = Vec::new();
+        if let Some(selection) = &stmt.selection {
+            let mut conjuncts = Vec::new();
+            flatten_and(selection, &mut conjuncts);
+            for conjunct in conjuncts {
+                self.bind_conjunct(conjunct, &mut relations, &mut joins)?;
+            }
+        }
+
+        let query = QuerySpec::new(name, relations, joins);
+        query.validate(self.db).map_err(|e| {
+            let kind = match e {
+                QueryValidationError::DuplicateAlias(_) => ErrorKind::DuplicateAlias,
+                _ => ErrorKind::Validation,
+            };
+            SqlError::spanless(kind, e.to_string())
+        })?;
+        Ok(query)
+    }
+
+    // -- FROM --------------------------------------------------------------
+
+    fn bind_from(&self, from: &[TableRef]) -> Result<Vec<BaseRelation>, SqlError> {
+        let mut relations: Vec<BaseRelation> = Vec::with_capacity(from.len());
+        for table_ref in from {
+            let table_id = self.db.table_id(&table_ref.table).ok_or_else(|| {
+                SqlError::new(
+                    ErrorKind::UnknownTable,
+                    format!("no table `{}` in the catalog", table_ref.table),
+                    table_ref.span,
+                )
+            })?;
+            let alias = table_ref.alias.clone().unwrap_or_else(|| table_ref.table.clone());
+            if relations.iter().any(|r| r.alias == alias) {
+                return Err(SqlError::new(
+                    ErrorKind::DuplicateAlias,
+                    format!("alias `{alias}` is used by more than one FROM entry"),
+                    table_ref.span,
+                ));
+            }
+            relations.push(BaseRelation::unfiltered(table_id, alias));
+        }
+        Ok(relations)
+    }
+
+    // -- SELECT list -------------------------------------------------------
+
+    fn check_select_items(
+        &self,
+        stmt: &SelectStatement,
+        relations: &[BaseRelation],
+    ) -> Result<(), SqlError> {
+        for item in &stmt.items {
+            match &item.expr {
+                SelectExpr::Star | SelectExpr::CountStar => {}
+                SelectExpr::Aggregate { func, arg } => {
+                    if !matches!(func.as_str(), "MIN" | "MAX" | "COUNT") {
+                        return Err(SqlError::new(
+                            ErrorKind::Unsupported,
+                            format!("unsupported aggregate function `{func}` (MIN, MAX and COUNT are available)"),
+                            arg.span,
+                        ));
+                    }
+                    self.resolve_column(arg, relations)?;
+                }
+                SelectExpr::Column(column) => {
+                    self.resolve_column(column, relations)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // -- column resolution -------------------------------------------------
+
+    fn resolve_column(
+        &self,
+        column: &ColumnRef,
+        relations: &[BaseRelation],
+    ) -> Result<BoundColumn, SqlError> {
+        match &column.qualifier {
+            Some(alias) => {
+                let rel = relations.iter().position(|r| &r.alias == alias).ok_or_else(|| {
+                    SqlError::new(
+                        ErrorKind::UnknownAlias,
+                        format!("no FROM entry with alias `{alias}`"),
+                        column.span,
+                    )
+                })?;
+                let table = self.db.table(relations[rel].table);
+                let column_id = table.column_id(&column.column).ok_or_else(|| {
+                    SqlError::new(
+                        ErrorKind::UnknownColumn,
+                        format!("table `{}` has no column `{}`", table.name(), column.column),
+                        column.span,
+                    )
+                })?;
+                Ok(BoundColumn {
+                    rel,
+                    column: column_id,
+                    dtype: table.column_meta(column_id).dtype,
+                })
+            }
+            None => {
+                let mut matches = Vec::new();
+                for (rel, relation) in relations.iter().enumerate() {
+                    let table = self.db.table(relation.table);
+                    if let Some(column_id) = table.column_id(&column.column) {
+                        matches.push(BoundColumn {
+                            rel,
+                            column: column_id,
+                            dtype: table.column_meta(column_id).dtype,
+                        });
+                    }
+                }
+                match matches.len() {
+                    0 => Err(SqlError::new(
+                        ErrorKind::UnknownColumn,
+                        format!("no FROM table has a column `{}`", column.column),
+                        column.span,
+                    )),
+                    1 => Ok(matches[0]),
+                    n => Err(SqlError::new(
+                        ErrorKind::AmbiguousColumn,
+                        format!(
+                            "column `{}` is ambiguous: it exists in {n} FROM tables; qualify it with an alias",
+                            column.column
+                        ),
+                        column.span,
+                    )),
+                }
+            }
+        }
+    }
+
+    // -- WHERE -------------------------------------------------------------
+
+    /// Classifies one top-level conjunct as a join edge or a base predicate.
+    fn bind_conjunct(
+        &self,
+        conjunct: &Expr,
+        relations: &mut [BaseRelation],
+        joins: &mut Vec<JoinEdge>,
+    ) -> Result<(), SqlError> {
+        if let Expr::Cmp { left: Operand::Column(left), op, right: Operand::Column(right) } =
+            conjunct
+        {
+            let l = self.resolve_column(left, relations)?;
+            let r = self.resolve_column(right, relations)?;
+            if l.rel == r.rel {
+                return Err(SqlError::new(
+                    ErrorKind::Unsupported,
+                    format!(
+                        "comparison between two columns of `{}` is not supported",
+                        relations[l.rel].alias
+                    ),
+                    conjunct.span(),
+                ));
+            }
+            if *op != CmpOp::Eq {
+                return Err(SqlError::new(
+                    ErrorKind::Unsupported,
+                    "only equality joins are supported",
+                    conjunct.span(),
+                ));
+            }
+            if l.dtype != r.dtype {
+                return Err(SqlError::new(
+                    ErrorKind::TypeMismatch,
+                    format!(
+                        "join compares {} column `{}` with {} column `{}`",
+                        l.dtype,
+                        left.display_name(),
+                        r.dtype,
+                        right.display_name()
+                    ),
+                    conjunct.span(),
+                ));
+            }
+            joins.push(JoinEdge {
+                left: l.rel,
+                left_column: l.column,
+                right: r.rel,
+                right_column: r.column,
+            });
+            return Ok(());
+        }
+        let (rel, predicate) = self.lower(conjunct, relations)?;
+        relations[rel].predicates.push(predicate);
+        Ok(())
+    }
+
+    /// Lowers a single-relation boolean expression to a [`Predicate`],
+    /// returning the relation it restricts.
+    fn lower(
+        &self,
+        expr: &Expr,
+        relations: &[BaseRelation],
+    ) -> Result<(usize, Predicate), SqlError> {
+        match expr {
+            Expr::Paren(inner) => match inner.as_ref() {
+                // A parenthesised AND/OR chain becomes one composite node.
+                Expr::And(..) => {
+                    let mut parts = Vec::new();
+                    flatten_and(inner, &mut parts);
+                    self.lower_group(expr, &parts, relations, Predicate::And)
+                }
+                Expr::Or(..) => {
+                    let mut parts = Vec::new();
+                    flatten_or(inner, &mut parts);
+                    self.lower_group(expr, &parts, relations, Predicate::Or)
+                }
+                other => self.lower(other, relations),
+            },
+            Expr::And(..) => {
+                let mut parts = Vec::new();
+                flatten_and(expr, &mut parts);
+                self.lower_group(expr, &parts, relations, Predicate::And)
+            }
+            Expr::Or(..) => {
+                let mut parts = Vec::new();
+                flatten_or(expr, &mut parts);
+                self.lower_group(expr, &parts, relations, Predicate::Or)
+            }
+            Expr::Not(inner) => {
+                let (rel, pred) = self.lower(inner, relations)?;
+                Ok((rel, Predicate::Not(Box::new(pred))))
+            }
+            Expr::Cmp { left, op, right } => self.lower_cmp(expr, left, *op, right, relations),
+            Expr::Between { column, negated, low, high } => {
+                let bound = self.resolve_column(column, relations)?;
+                self.expect_type(bound, DataType::Int, column, low)?;
+                let low_v = self.int_literal(low)?;
+                let high_v = self.int_literal(high)?;
+                let pred = Predicate::IntBetween { column: bound.column, low: low_v, high: high_v };
+                Ok((bound.rel, negate_if(*negated, bound.column, pred)))
+            }
+            Expr::InList { column, negated, items } => {
+                let bound = self.resolve_column(column, relations)?;
+                let pred = match bound.dtype {
+                    DataType::Str => {
+                        let values = items
+                            .iter()
+                            .map(|item| self.str_literal(column, bound, item))
+                            .collect::<Result<Vec<_>, _>>()?;
+                        Predicate::StrIn { column: bound.column, values }
+                    }
+                    DataType::Int => {
+                        // The predicate language has no integer IN; lower to a
+                        // disjunction of equalities (a bare equality for a
+                        // single item, so singleton Or never appears and the
+                        // emit → bind round-trip stays the identity).
+                        let mut alternatives = items
+                            .iter()
+                            .map(|item| {
+                                self.int_typed_literal(column, bound, item).map(|value| {
+                                    Predicate::IntCmp { column: bound.column, op: CmpOp::Eq, value }
+                                })
+                            })
+                            .collect::<Result<Vec<_>, _>>()?;
+                        if alternatives.len() == 1 {
+                            alternatives.pop().expect("one alternative")
+                        } else {
+                            Predicate::Or(alternatives)
+                        }
+                    }
+                };
+                Ok((bound.rel, negate_if(*negated, bound.column, pred)))
+            }
+            Expr::Like { column, negated, pattern } => {
+                let bound = self.resolve_column(column, relations)?;
+                let pattern = self.str_literal(column, bound, pattern)?;
+                let pred = Predicate::Like { column: bound.column, pattern };
+                Ok((bound.rel, negate_if(*negated, bound.column, pred)))
+            }
+            Expr::IsNull { column, negated } => {
+                let bound = self.resolve_column(column, relations)?;
+                let pred = if *negated {
+                    Predicate::IsNotNull { column: bound.column }
+                } else {
+                    Predicate::IsNull { column: bound.column }
+                };
+                Ok((bound.rel, pred))
+            }
+        }
+    }
+
+    /// Lowers the parts of an AND/OR group, requiring them all to restrict
+    /// the same relation.
+    fn lower_group(
+        &self,
+        whole: &Expr,
+        parts: &[&Expr],
+        relations: &[BaseRelation],
+        combine: impl FnOnce(Vec<Predicate>) -> Predicate,
+    ) -> Result<(usize, Predicate), SqlError> {
+        let mut rel = None;
+        let mut predicates = Vec::with_capacity(parts.len());
+        for part in parts {
+            let (part_rel, predicate) = self.lower(part, relations)?;
+            match rel {
+                None => rel = Some(part_rel),
+                Some(r) if r == part_rel => {}
+                Some(r) => {
+                    return Err(SqlError::new(
+                        ErrorKind::Unsupported,
+                        format!(
+                            "a boolean group must restrict a single relation, but this one mixes `{}` and `{}`",
+                            relations[r].alias, relations[part_rel].alias
+                        ),
+                        whole.span(),
+                    ));
+                }
+            }
+            predicates.push(predicate);
+        }
+        let rel = rel.expect("AND/OR groups have at least two parts");
+        Ok((rel, combine(predicates)))
+    }
+
+    fn lower_cmp(
+        &self,
+        whole: &Expr,
+        left: &Operand,
+        op: CmpOp,
+        right: &Operand,
+        relations: &[BaseRelation],
+    ) -> Result<(usize, Predicate), SqlError> {
+        // Normalise to column <op> literal.
+        let (column, op, literal) = match (left, right) {
+            (Operand::Column(c), Operand::Literal(l)) => (c, op, l),
+            (Operand::Literal(l), Operand::Column(c)) => (c, flip(op), l),
+            (Operand::Literal(_), Operand::Literal(_)) => {
+                return Err(SqlError::new(
+                    ErrorKind::Unsupported,
+                    "comparison between two literals",
+                    whole.span(),
+                ));
+            }
+            (Operand::Column(_), Operand::Column(_)) => {
+                // Column-column comparisons inside groups / NOT are joins in
+                // disguise; those are only valid as top-level conjuncts.
+                return Err(SqlError::new(
+                    ErrorKind::Unsupported,
+                    "join predicates cannot appear inside OR, NOT or parentheses",
+                    whole.span(),
+                ));
+            }
+        };
+        let bound = self.resolve_column(column, relations)?;
+        match (&literal.value, bound.dtype) {
+            (LiteralValue::Null, _) => Err(SqlError::new(
+                ErrorKind::Unsupported,
+                "comparison with NULL is always unknown; use IS [NOT] NULL",
+                literal.span,
+            )),
+            (LiteralValue::Int(value), DataType::Int) => {
+                Ok((bound.rel, Predicate::IntCmp { column: bound.column, op, value: *value }))
+            }
+            (LiteralValue::Str(value), DataType::Str) => match op {
+                CmpOp::Eq => {
+                    Ok((bound.rel, Predicate::StrEq { column: bound.column, value: value.clone() }))
+                }
+                // SQL `<>` excludes NULL cells; see `negate_if`.
+                CmpOp::Ne => Ok((
+                    bound.rel,
+                    negate_if(
+                        true,
+                        bound.column,
+                        Predicate::StrEq { column: bound.column, value: value.clone() },
+                    ),
+                )),
+                _ => Err(SqlError::new(
+                    ErrorKind::Unsupported,
+                    format!("operator `{}` is not supported on string columns", op.sql()),
+                    whole.span(),
+                )),
+            },
+            (value, dtype) => Err(SqlError::new(
+                ErrorKind::TypeMismatch,
+                format!(
+                    "column `{}` has type {dtype} but the literal is {}",
+                    column.display_name(),
+                    value.type_name()
+                ),
+                literal.span,
+            )),
+        }
+    }
+
+    // -- literal helpers ---------------------------------------------------
+
+    fn expect_type(
+        &self,
+        bound: BoundColumn,
+        expected: DataType,
+        column: &ColumnRef,
+        witness: &Literal,
+    ) -> Result<(), SqlError> {
+        if bound.dtype != expected {
+            return Err(SqlError::new(
+                ErrorKind::TypeMismatch,
+                format!(
+                    "column `{}` has type {} but this predicate needs {expected}",
+                    column.display_name(),
+                    bound.dtype
+                ),
+                column.span.merge(witness.span),
+            ));
+        }
+        Ok(())
+    }
+
+    fn int_literal(&self, literal: &Literal) -> Result<i64, SqlError> {
+        match &literal.value {
+            LiteralValue::Int(v) => Ok(*v),
+            other => Err(SqlError::new(
+                ErrorKind::TypeMismatch,
+                format!("expected an integer literal, found {}", other.type_name()),
+                literal.span,
+            )),
+        }
+    }
+
+    fn int_typed_literal(
+        &self,
+        column: &ColumnRef,
+        bound: BoundColumn,
+        literal: &Literal,
+    ) -> Result<i64, SqlError> {
+        match &literal.value {
+            LiteralValue::Int(v) => Ok(*v),
+            other => Err(SqlError::new(
+                ErrorKind::TypeMismatch,
+                format!(
+                    "column `{}` has type {} but the literal is {}",
+                    column.display_name(),
+                    bound.dtype,
+                    other.type_name()
+                ),
+                literal.span,
+            )),
+        }
+    }
+
+    fn str_literal(
+        &self,
+        column: &ColumnRef,
+        bound: BoundColumn,
+        literal: &Literal,
+    ) -> Result<String, SqlError> {
+        match &literal.value {
+            LiteralValue::Str(s) if bound.dtype == DataType::Str => Ok(s.clone()),
+            LiteralValue::Str(_) | LiteralValue::Int(_) | LiteralValue::Null => Err(SqlError::new(
+                ErrorKind::TypeMismatch,
+                format!(
+                    "column `{}` has type {} but the literal is {}",
+                    column.display_name(),
+                    bound.dtype,
+                    literal.value.type_name()
+                ),
+                literal.span,
+            )),
+        }
+    }
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        CmpOp::Eq | CmpOp::Ne => op,
+    }
+}
+
+/// Applies SQL negation semantics: `col NOT BETWEEN / NOT IN / NOT LIKE ...`
+/// is false for NULL cells (three-valued logic), but the engine's
+/// [`Predicate::Not`] is plain boolean negation over predicates that treat
+/// NULL as non-matching — so a bare `Not` would *include* NULL rows.  The
+/// null guard restores the SQL behavior.  (Integer `<>` needs no guard:
+/// [`Predicate::IntCmp`] already skips NULL cells itself.)
+fn negate_if(negated: bool, column: ColumnId, pred: Predicate) -> Predicate {
+    if negated {
+        Predicate::And(vec![Predicate::IsNotNull { column }, Predicate::Not(Box::new(pred))])
+    } else {
+        pred
+    }
+}
+
+/// Flattens a bare (unparenthesised) AND chain into its conjuncts.
+fn flatten_and<'e>(expr: &'e Expr, out: &mut Vec<&'e Expr>) {
+    if let Expr::And(l, r) = expr {
+        flatten_and(l, out);
+        flatten_and(r, out);
+    } else {
+        out.push(expr);
+    }
+}
+
+/// Flattens a bare OR chain into its alternatives.
+fn flatten_or<'e>(expr: &'e Expr, out: &mut Vec<&'e Expr>) {
+    if let Expr::Or(l, r) = expr {
+        flatten_or(l, out);
+        flatten_or(r, out);
+    } else {
+        out.push(expr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_statement;
+    use qob_storage::{ColumnMeta, TableBuilder, Value};
+
+    /// A two-table catalog: movies(id, year, kind) and roles(id, movie_id, role).
+    fn db() -> Database {
+        let mut db = Database::new();
+        let mut movies = TableBuilder::new(
+            "movies",
+            vec![
+                ColumnMeta::new("id", DataType::Int),
+                ColumnMeta::new("year", DataType::Int),
+                ColumnMeta::new("kind", DataType::Str),
+            ],
+        );
+        for (id, year, kind) in [(1, 1999, "movie"), (2, 2003, "movie"), (3, 1950, "short")] {
+            movies
+                .push_row(vec![Value::Int(id), Value::Int(year), Value::Str(kind.into())])
+                .unwrap();
+        }
+        let mut roles = TableBuilder::new(
+            "roles",
+            vec![
+                ColumnMeta::new("id", DataType::Int),
+                ColumnMeta::new("movie_id", DataType::Int),
+                ColumnMeta::new("role", DataType::Str),
+            ],
+        );
+        for (id, movie_id, role) in [(1, 1, "actor"), (2, 2, "director")] {
+            roles
+                .push_row(vec![Value::Int(id), Value::Int(movie_id), Value::Str(role.into())])
+                .unwrap();
+        }
+        db.add_table(movies.finish()).unwrap();
+        db.add_table(roles.finish()).unwrap();
+        db
+    }
+
+    fn bind_sql(sql: &str) -> Result<QuerySpec, SqlError> {
+        let db = db();
+        let stmt = parse_statement(sql).unwrap();
+        bind(&db, &stmt, "test")
+    }
+
+    #[test]
+    fn binds_joins_and_base_predicates() {
+        let q = bind_sql(
+            "SELECT COUNT(*) FROM movies m, roles r \
+             WHERE r.movie_id = m.id AND m.year > 1990 AND r.role = 'actor'",
+        )
+        .unwrap();
+        assert_eq!(q.rel_count(), 2);
+        assert_eq!(q.joins.len(), 1);
+        assert_eq!(q.joins[0].left, 1, "left side is the first-mentioned alias `r`");
+        assert_eq!(q.relations[0].predicates.len(), 1);
+        assert!(matches!(
+            q.relations[0].predicates[0],
+            Predicate::IntCmp { op: CmpOp::Gt, value: 1990, .. }
+        ));
+        assert!(matches!(q.relations[1].predicates[0], Predicate::StrEq { .. }));
+    }
+
+    #[test]
+    fn alias_defaults_to_table_name_and_unqualified_columns_resolve() {
+        let q = bind_sql("SELECT COUNT(*) FROM movies WHERE year = 1999").unwrap();
+        assert_eq!(q.relations[0].alias, "movies");
+        assert_eq!(q.relations[0].predicates.len(), 1);
+    }
+
+    #[test]
+    fn ambiguous_and_unknown_names_are_diagnosed() {
+        let err =
+            bind_sql("SELECT COUNT(*) FROM movies m, roles r WHERE r.movie_id = m.id AND id = 1")
+                .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::AmbiguousColumn);
+
+        let err = bind_sql("SELECT * FROM nope").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::UnknownTable);
+
+        let err = bind_sql("SELECT * FROM movies m WHERE z.id = 1").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::UnknownAlias);
+
+        let err = bind_sql("SELECT * FROM movies m WHERE m.budget = 1").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::UnknownColumn);
+
+        let err = bind_sql("SELECT * FROM movies m WHERE colour = 'red'").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::UnknownColumn);
+
+        let err = bind_sql("SELECT * FROM movies m, movies m WHERE m.id = 1").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::DuplicateAlias);
+    }
+
+    #[test]
+    fn type_mismatches_are_diagnosed() {
+        let err = bind_sql("SELECT * FROM movies m WHERE m.year = 'old'").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::TypeMismatch);
+
+        let err = bind_sql("SELECT * FROM movies m WHERE m.kind = 3").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::TypeMismatch);
+
+        let err = bind_sql("SELECT * FROM movies m WHERE m.kind BETWEEN 'a' AND 'b'").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::TypeMismatch);
+
+        let err = bind_sql("SELECT * FROM movies m WHERE m.kind IN ('a', 3)").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::TypeMismatch);
+
+        let err = bind_sql("SELECT * FROM movies m WHERE m.year LIKE '%9%'").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::TypeMismatch);
+
+        let err =
+            bind_sql("SELECT * FROM movies m, roles r WHERE r.movie_id = m.id AND r.role = m.id")
+                .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::TypeMismatch, "join across Int and Str columns");
+    }
+
+    #[test]
+    fn unsupported_constructs_are_diagnosed() {
+        let err = bind_sql("SELECT * FROM movies m, roles r WHERE r.movie_id < m.id").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Unsupported, "non-equality join");
+
+        let err = bind_sql("SELECT * FROM movies m WHERE m.id = m.year").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Unsupported, "intra-relation column comparison");
+
+        let err = bind_sql("SELECT * FROM movies m WHERE m.year = NULL").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Unsupported);
+        assert!(err.message.contains("IS [NOT] NULL"));
+
+        let err = bind_sql("SELECT * FROM movies m WHERE m.kind < 'z'").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Unsupported, "string ordering");
+
+        let err = bind_sql(
+            "SELECT * FROM movies m, roles r \
+             WHERE r.movie_id = m.id AND (m.year = 1999 OR r.role = 'actor')",
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Unsupported, "multi-relation OR group");
+
+        let err = bind_sql("SELECT SUM(m.year) FROM movies m").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Unsupported, "aggregate beyond MIN/MAX/COUNT");
+    }
+
+    #[test]
+    fn disconnected_join_graph_is_rejected() {
+        let err = bind_sql("SELECT COUNT(*) FROM movies m, roles r").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Validation);
+        assert!(err.message.contains("cross product"), "{}", err.message);
+    }
+
+    #[test]
+    fn groups_lower_to_composite_predicates() {
+        let q = bind_sql(
+            "SELECT COUNT(*) FROM movies m \
+             WHERE (m.year < 1960 OR m.year > 2000) AND NOT (m.kind = 'short') \
+               AND (m.kind = 'movie' AND m.year <> 1995) AND m.year IN (1999, 2003)",
+        )
+        .unwrap();
+        let preds = &q.relations[0].predicates;
+        assert_eq!(preds.len(), 4);
+        assert!(matches!(&preds[0], Predicate::Or(alts) if alts.len() == 2));
+        assert!(matches!(&preds[1], Predicate::Not(_)));
+        assert!(matches!(&preds[2], Predicate::And(parts) if parts.len() == 2));
+        assert!(matches!(&preds[3], Predicate::Or(alts) if alts.len() == 2), "integer IN");
+    }
+
+    #[test]
+    fn literal_on_the_left_flips_the_operator() {
+        let q = bind_sql("SELECT COUNT(*) FROM movies m WHERE 1990 < m.year").unwrap();
+        assert!(matches!(
+            q.relations[0].predicates[0],
+            Predicate::IntCmp { op: CmpOp::Gt, value: 1990, .. }
+        ));
+    }
+
+    #[test]
+    fn string_inequality_lowers_to_null_guarded_not_eq() {
+        // SQL `<>` is false for NULL cells, but the engine's Not is plain
+        // boolean negation — so the binder adds the IS NOT NULL guard.
+        let q = bind_sql("SELECT COUNT(*) FROM movies m WHERE m.kind <> 'short'").unwrap();
+        match &q.relations[0].predicates[0] {
+            Predicate::And(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(matches!(parts[0], Predicate::IsNotNull { .. }));
+                assert!(
+                    matches!(&parts[1], Predicate::Not(inner) if matches!(**inner, Predicate::StrEq { .. }))
+                );
+            }
+            other => panic!("expected null-guarded negation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negated_predicates_carry_a_null_guard() {
+        for sql in [
+            "SELECT COUNT(*) FROM movies m WHERE m.kind NOT LIKE 's%'",
+            "SELECT COUNT(*) FROM movies m WHERE m.kind NOT IN ('a', 'b')",
+            "SELECT COUNT(*) FROM movies m WHERE m.year NOT BETWEEN 1960 AND 1990",
+        ] {
+            let q = bind_sql(sql).unwrap();
+            assert!(
+                matches!(
+                    &q.relations[0].predicates[0],
+                    Predicate::And(parts)
+                        if parts.len() == 2 && matches!(parts[0], Predicate::IsNotNull { .. })
+                ),
+                "for `{sql}`: {:?}",
+                q.relations[0].predicates[0]
+            );
+        }
+        // Integer `<>` needs no guard: IntCmp itself skips NULL cells.
+        let q = bind_sql("SELECT COUNT(*) FROM movies m WHERE m.year <> 1999").unwrap();
+        assert!(matches!(q.relations[0].predicates[0], Predicate::IntCmp { op: CmpOp::Ne, .. }));
+    }
+
+    #[test]
+    fn singleton_integer_in_lowers_to_bare_equality() {
+        let q = bind_sql("SELECT COUNT(*) FROM movies m WHERE m.year IN (1999)").unwrap();
+        assert!(
+            matches!(
+                q.relations[0].predicates[0],
+                Predicate::IntCmp { op: CmpOp::Eq, value: 1999, .. }
+            ),
+            "single-item integer IN must not wrap in Or: {:?}",
+            q.relations[0].predicates[0]
+        );
+    }
+}

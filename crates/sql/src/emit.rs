@@ -1,0 +1,167 @@
+//! SQL emission: the inverse of the frontend.
+//!
+//! [`emit_query`] renders a bound [`QuerySpec`] back to text in the JOB
+//! dialect such that `parse → bind` of the output reproduces a structurally
+//! identical spec (same relations in the same order, same join edges, same
+//! predicates).  This inverse is what pins the whole frontend against the
+//! built-in 113-query workload as an oracle.
+
+use qob_plan::{BaseRelation, QuerySpec};
+use qob_storage::{sql_string_literal, Database, Predicate, Table};
+
+/// Renders `query` as SQL text (multi-line, `;`-terminated).
+pub fn emit_query(db: &Database, query: &QuerySpec) -> String {
+    let mut out = String::from("SELECT COUNT(*)\nFROM ");
+    for (i, rel) in query.relations.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n     ");
+        }
+        out.push_str(db.table(rel.table).name());
+        out.push_str(" AS ");
+        out.push_str(&rel.alias);
+    }
+    let mut clauses: Vec<String> = Vec::new();
+    for edge in &query.joins {
+        let left = &query.relations[edge.left];
+        let right = &query.relations[edge.right];
+        clauses.push(format!(
+            "{}.{} = {}.{}",
+            left.alias,
+            db.table(left.table).column_meta(edge.left_column).name,
+            right.alias,
+            db.table(right.table).column_meta(edge.right_column).name,
+        ));
+    }
+    for rel in &query.relations {
+        let table = db.table(rel.table);
+        for predicate in &rel.predicates {
+            clauses.push(emit_predicate(table, rel, predicate));
+        }
+    }
+    if !clauses.is_empty() {
+        out.push_str("\nWHERE ");
+        out.push_str(&clauses.join("\n  AND "));
+    }
+    out.push(';');
+    out
+}
+
+/// Renders one base-table predicate of `rel` as a SQL boolean expression.
+pub fn emit_predicate(table: &Table, rel: &BaseRelation, predicate: &Predicate) -> String {
+    let col = |id: &qob_storage::ColumnId| format!("{}.{}", rel.alias, table.column_meta(*id).name);
+    match predicate {
+        Predicate::IntCmp { column, op, value } => {
+            format!("{} {} {}", col(column), op.sql(), value)
+        }
+        Predicate::IntBetween { column, low, high } => {
+            format!("{} BETWEEN {low} AND {high}", col(column))
+        }
+        Predicate::StrEq { column, value } => {
+            format!("{} = {}", col(column), sql_string_literal(value))
+        }
+        Predicate::StrIn { column, values } => {
+            let list: Vec<String> = values.iter().map(|v| sql_string_literal(v)).collect();
+            format!("{} IN ({})", col(column), list.join(", "))
+        }
+        Predicate::Like { column, pattern } => {
+            format!("{} LIKE {}", col(column), sql_string_literal(pattern))
+        }
+        Predicate::IsNull { column } => format!("{} IS NULL", col(column)),
+        Predicate::IsNotNull { column } => format!("{} IS NOT NULL", col(column)),
+        // Singleton groups emit as their only member: the binder never
+        // produces them, and a parenthesised single predicate re-binds to
+        // the bare predicate, so emitting the parens would break the
+        // round-trip for programmatically built specs.
+        Predicate::And(parts) | Predicate::Or(parts) if parts.len() == 1 => {
+            emit_predicate(table, rel, &parts[0])
+        }
+        Predicate::And(parts) => {
+            let rendered: Vec<String> =
+                parts.iter().map(|p| emit_predicate(table, rel, p)).collect();
+            format!("({})", rendered.join(" AND "))
+        }
+        Predicate::Or(parts) => {
+            let rendered: Vec<String> =
+                parts.iter().map(|p| emit_predicate(table, rel, p)).collect();
+            format!("({})", rendered.join(" OR "))
+        }
+        // Always the explicit `NOT (...)` form: emitting `col <> 'v'` for
+        // NOT(StrEq) would re-bind to the null-guarded form and diverge.
+        Predicate::Not(inner) => format!("NOT ({})", emit_predicate(table, rel, inner)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qob_storage::{CmpOp, ColumnId, ColumnMeta, DataType, TableBuilder, Value};
+
+    fn table() -> Table {
+        let mut b = TableBuilder::new(
+            "movies",
+            vec![
+                ColumnMeta::new("id", DataType::Int),
+                ColumnMeta::new("year", DataType::Int),
+                ColumnMeta::new("kind", DataType::Str),
+            ],
+        );
+        b.push_row(vec![Value::Int(1), Value::Int(1999), Value::Str("movie".into())]).unwrap();
+        b.finish()
+    }
+
+    fn rel(table: &Table) -> BaseRelation {
+        // The table id is irrelevant for predicate emission.
+        let _ = table;
+        BaseRelation::unfiltered(qob_storage::TableId(0), "m")
+    }
+
+    #[test]
+    fn emits_each_predicate_form() {
+        let t = table();
+        let r = rel(&t);
+        let year = ColumnId(1);
+        let kind = ColumnId(2);
+        let cases: Vec<(Predicate, &str)> = vec![
+            (Predicate::IntCmp { column: year, op: CmpOp::Gt, value: 2000 }, "m.year > 2000"),
+            (
+                Predicate::IntBetween { column: year, low: 1990, high: 2005 },
+                "m.year BETWEEN 1990 AND 2005",
+            ),
+            (Predicate::StrEq { column: kind, value: "movie".into() }, "m.kind = 'movie'"),
+            (
+                Predicate::StrIn { column: kind, values: vec!["a".into(), "o'b".into()] },
+                "m.kind IN ('a', 'o''b')",
+            ),
+            (Predicate::Like { column: kind, pattern: "%seq%".into() }, "m.kind LIKE '%seq%'"),
+            (Predicate::IsNull { column: year }, "m.year IS NULL"),
+            (Predicate::IsNotNull { column: year }, "m.year IS NOT NULL"),
+            (
+                Predicate::Or(vec![
+                    Predicate::Like { column: kind, pattern: "a%".into() },
+                    Predicate::Like { column: kind, pattern: "b%".into() },
+                ]),
+                "(m.kind LIKE 'a%' OR m.kind LIKE 'b%')",
+            ),
+            (
+                Predicate::And(vec![
+                    Predicate::IntCmp { column: year, op: CmpOp::Ge, value: 1990 },
+                    Predicate::IsNotNull { column: year },
+                ]),
+                "(m.year >= 1990 AND m.year IS NOT NULL)",
+            ),
+            (
+                Predicate::Not(Box::new(Predicate::StrEq { column: kind, value: "x".into() })),
+                "NOT (m.kind = 'x')",
+            ),
+            (Predicate::Not(Box::new(Predicate::IsNull { column: year })), "NOT (m.year IS NULL)"),
+            (
+                Predicate::Or(vec![Predicate::Like { column: kind, pattern: "a%".into() }]),
+                "m.kind LIKE 'a%'",
+            ),
+            (Predicate::And(vec![Predicate::IsNull { column: year }]), "m.year IS NULL"),
+        ];
+        for (predicate, expected) in cases {
+            assert_eq!(emit_predicate(&t, &r, &predicate), expected);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! SQL diagnostics: spanned errors for every stage of the frontend.
+
+use std::fmt;
+
+/// A byte range within the SQL source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Start byte offset (inclusive).
+    pub start: usize,
+    /// End byte offset (exclusive).
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+    }
+}
+
+/// What stage of the frontend rejected the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Lexing failed (bad character, unterminated string, overflowing number).
+    Lex,
+    /// Parsing failed (unexpected token).
+    Parse,
+    /// A `FROM` table does not exist in the catalog.
+    UnknownTable,
+    /// A column qualifier does not match any range variable.
+    UnknownAlias,
+    /// A column does not exist in its table (or in any `FROM` table).
+    UnknownColumn,
+    /// An unqualified column name matches more than one `FROM` table.
+    AmbiguousColumn,
+    /// Two range variables share one alias.
+    DuplicateAlias,
+    /// A literal's type does not match its column's type.
+    TypeMismatch,
+    /// The construct parses but has no representation in the query model
+    /// (e.g. non-equality joins, string `<`).
+    Unsupported,
+    /// The bound query failed whole-query validation (e.g. the join graph is
+    /// disconnected and would need a cross product).
+    Validation,
+}
+
+impl ErrorKind {
+    /// Short label used as the diagnostic prefix.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ErrorKind::Lex => "lex error",
+            ErrorKind::Parse => "parse error",
+            ErrorKind::UnknownTable => "unknown table",
+            ErrorKind::UnknownAlias => "unknown alias",
+            ErrorKind::UnknownColumn => "unknown column",
+            ErrorKind::AmbiguousColumn => "ambiguous column",
+            ErrorKind::DuplicateAlias => "duplicate alias",
+            ErrorKind::TypeMismatch => "type mismatch",
+            ErrorKind::Unsupported => "unsupported",
+            ErrorKind::Validation => "invalid query",
+        }
+    }
+}
+
+/// A frontend diagnostic: kind, human-readable message and (when known) the
+/// source span it points at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError {
+    /// The failing stage / category.
+    pub kind: ErrorKind,
+    /// Human-readable description.
+    pub message: String,
+    /// Where in the source text, if known.
+    pub span: Option<Span>,
+}
+
+impl SqlError {
+    /// Creates a spanned diagnostic.
+    pub fn new(kind: ErrorKind, message: impl Into<String>, span: Span) -> Self {
+        SqlError { kind, message: message.into(), span: Some(span) }
+    }
+
+    /// Creates a diagnostic with no source location.
+    pub fn spanless(kind: ErrorKind, message: impl Into<String>) -> Self {
+        SqlError { kind, message: message.into(), span: None }
+    }
+
+    /// Renders the diagnostic against the source text with a caret line, e.g.
+    ///
+    /// ```text
+    /// unknown column: table `title` has no column `yr`
+    ///   |  WHERE t.yr > 2000
+    ///   |        ^^^^
+    /// ```
+    pub fn render(&self, sql: &str) -> String {
+        let mut out = self.to_string();
+        let Some(span) = self.span else { return out };
+        // Find the line containing the span start.
+        let start = span.start.min(sql.len());
+        let line_start = sql[..start].rfind('\n').map(|i| i + 1).unwrap_or(0);
+        let line_end = sql[start..].find('\n').map(|i| start + i).unwrap_or(sql.len());
+        let line = &sql[line_start..line_end];
+        let col = sql[line_start..start].chars().count();
+        let width = sql[start..span.end.clamp(start, line_end)].chars().count().max(1);
+        out.push_str(&format!("\n  |  {line}\n  |  {}{}", " ".repeat(col), "^".repeat(width)));
+        out
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind.label(), self.message)
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge_covers_both() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.merge(b), Span::new(3, 12));
+        assert_eq!(b.merge(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn display_has_kind_prefix() {
+        let e = SqlError::spanless(ErrorKind::UnknownTable, "no table `foo`");
+        assert_eq!(e.to_string(), "unknown table: no table `foo`");
+    }
+
+    #[test]
+    fn render_points_at_the_span() {
+        let sql = "SELECT *\nFROM title t\nWHERE t.yr > 2000";
+        let start = sql.find("t.yr").unwrap();
+        let e = SqlError::new(
+            ErrorKind::UnknownColumn,
+            "table `title` has no column `yr`",
+            Span::new(start, start + 4),
+        );
+        let rendered = e.render(sql);
+        assert!(rendered.contains("WHERE t.yr > 2000"));
+        assert!(rendered.contains("^^^^"));
+        // The caret is under the span, not at column zero.
+        let caret_line = rendered.lines().last().unwrap();
+        assert!(caret_line.contains("      ^^^^"));
+    }
+
+    #[test]
+    fn render_with_out_of_range_span_does_not_panic() {
+        let e = SqlError::new(ErrorKind::Parse, "eof", Span::new(500, 505));
+        let rendered = e.render("short");
+        assert!(rendered.contains("parse error"));
+    }
+}

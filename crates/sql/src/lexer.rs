@@ -1,0 +1,209 @@
+//! Hand-written lexer for the JOB SQL dialect.
+//!
+//! Whitespace and `--` line comments are skipped.  The lexer never panics:
+//! every malformed input (stray character, unterminated string, overflowing
+//! integer) becomes a spanned [`SqlError`].
+
+use crate::error::{ErrorKind, Span, SqlError};
+use crate::token::{Tok, Token};
+
+/// Tokenizes `src`, appending a final [`Tok::Eof`] token.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, SqlError> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        // Whitespace.
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // `--` line comment.
+        if b == b'-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        // String literal with '' escaping.
+        if b == b'\'' {
+            let mut value = String::new();
+            i += 1;
+            loop {
+                match bytes.get(i) {
+                    None => {
+                        return Err(SqlError::new(
+                            ErrorKind::Lex,
+                            "unterminated string literal",
+                            Span::new(start, src.len()),
+                        ));
+                    }
+                    Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                        value.push('\'');
+                        i += 2;
+                    }
+                    Some(b'\'') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(_) => {
+                        // Consume one whole UTF-8 character.
+                        let rest = &src[i..];
+                        let ch = rest.chars().next().expect("in-bounds char");
+                        value.push(ch);
+                        i += ch.len_utf8();
+                    }
+                }
+            }
+            tokens.push(Token { tok: Tok::Str(value), span: Span::new(start, i) });
+            continue;
+        }
+        // Integer literal.
+        if b.is_ascii_digit() {
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            let text = &src[start..i];
+            let value: i64 = text.parse().map_err(|_| {
+                SqlError::new(
+                    ErrorKind::Lex,
+                    format!("integer literal `{text}` does not fit in 64 bits"),
+                    Span::new(start, i),
+                )
+            })?;
+            tokens.push(Token { tok: Tok::Int(value), span: Span::new(start, i) });
+            continue;
+        }
+        // Identifier or keyword.
+        if b.is_ascii_alphabetic() || b == b'_' {
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let word = &src[start..i];
+            let tok = Tok::keyword(word).unwrap_or_else(|| Tok::Ident(word.to_owned()));
+            tokens.push(Token { tok, span: Span::new(start, i) });
+            continue;
+        }
+        // Operators and punctuation.
+        let (tok, len) = match b {
+            b',' => (Tok::Comma, 1),
+            b'.' => (Tok::Dot, 1),
+            b'(' => (Tok::LParen, 1),
+            b')' => (Tok::RParen, 1),
+            b';' => (Tok::Semi, 1),
+            b'*' => (Tok::Star, 1),
+            b'-' => (Tok::Minus, 1),
+            b'=' => (Tok::Eq, 1),
+            b'<' if bytes.get(i + 1) == Some(&b'>') => (Tok::Ne, 2),
+            b'<' if bytes.get(i + 1) == Some(&b'=') => (Tok::Le, 2),
+            b'<' => (Tok::Lt, 1),
+            b'>' if bytes.get(i + 1) == Some(&b'=') => (Tok::Ge, 2),
+            b'>' => (Tok::Gt, 1),
+            b'!' if bytes.get(i + 1) == Some(&b'=') => (Tok::Ne, 2),
+            _ => {
+                let ch = src[i..].chars().next().expect("in-bounds char");
+                return Err(SqlError::new(
+                    ErrorKind::Lex,
+                    format!("unexpected character `{ch}`"),
+                    Span::new(start, start + ch.len_utf8()),
+                ));
+            }
+        };
+        tokens.push(Token { tok, span: Span::new(start, start + len) });
+        i += len;
+    }
+    tokens.push(Token { tok: Tok::Eof, span: Span::new(src.len(), src.len()) });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        tokenize(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_a_small_query() {
+        let toks = kinds("SELECT COUNT(*) FROM title AS t WHERE t.id = 3;");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Select,
+                Tok::Ident("COUNT".into()),
+                Tok::LParen,
+                Tok::Star,
+                Tok::RParen,
+                Tok::From,
+                Tok::Ident("title".into()),
+                Tok::As,
+                Tok::Ident("t".into()),
+                Tok::Where,
+                Tok::Ident("t".into()),
+                Tok::Dot,
+                Tok::Ident("id".into()),
+                Tok::Eq,
+                Tok::Int(3),
+                Tok::Semi,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes_and_unicode() {
+        let toks = kinds("'it''s' 'naïve'");
+        assert_eq!(toks, vec![Tok::Str("it's".into()), Tok::Str("naïve".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn operators_and_comments() {
+        let toks = kinds("<= >= <> != < > = - -- comment to end\n,");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Le,
+                Tok::Ge,
+                Tok::Ne,
+                Tok::Ne,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Eq,
+                Tok::Minus,
+                Tok::Comma,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_are_byte_accurate() {
+        let src = "WHERE x = 'ab'";
+        let toks = tokenize(src).unwrap();
+        let lit = &toks[3];
+        assert_eq!(lit.tok, Tok::Str("ab".into()));
+        assert_eq!(&src[lit.span.start..lit.span.end], "'ab'");
+    }
+
+    #[test]
+    fn errors_are_spanned_not_panics() {
+        let err = tokenize("SELECT ~").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Lex);
+        assert!(err.message.contains('~'));
+
+        let err = tokenize("'unterminated").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+
+        let err = tokenize("99999999999999999999999").unwrap_err();
+        assert!(err.message.contains("64 bits"));
+    }
+
+    #[test]
+    fn empty_input_is_just_eof() {
+        assert_eq!(kinds(""), vec![Tok::Eof]);
+        assert_eq!(kinds("  -- only a comment"), vec![Tok::Eof]);
+    }
+}

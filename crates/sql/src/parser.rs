@@ -1,0 +1,452 @@
+//! Recursive-descent parser for the JOB SQL dialect.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! script     := statement (';' statement)* [';']
+//! statement  := SELECT items FROM tables [WHERE expr]
+//! items      := item (',' item)*
+//! item       := '*' | ident '(' ('*' | colref) ')' [AS ident] | colref [AS ident]
+//! tables     := table (',' table)*
+//! table      := ident [AS] [ident]
+//! expr       := and_expr (OR and_expr)*
+//! and_expr   := unary (AND unary)*
+//! unary      := NOT unary | '(' expr ')' | predicate
+//! predicate  := operand cmp_op operand
+//!             | colref [NOT] BETWEEN literal AND literal
+//!             | colref [NOT] IN '(' literal (',' literal)* ')'
+//!             | colref [NOT] LIKE literal
+//!             | colref IS [NOT] NULL
+//! operand    := colref | literal
+//! colref     := ident ['.' ident]
+//! literal    := ['-'] int | string | NULL
+//! ```
+
+use qob_storage::CmpOp;
+
+use crate::ast::{
+    ColumnRef, Expr, Literal, LiteralValue, Operand, SelectExpr, SelectItem, SelectStatement,
+    TableRef,
+};
+use crate::error::{ErrorKind, Span, SqlError};
+use crate::lexer::tokenize;
+use crate::token::{Tok, Token};
+
+/// Parses a single statement (a trailing `;` is allowed).
+pub fn parse_statement(sql: &str) -> Result<SelectStatement, SqlError> {
+    let mut parser = Parser::new(sql)?;
+    let stmt = parser.statement()?;
+    parser.eat_if(&Tok::Semi);
+    parser.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parses a `;`-separated script of statements (empty statements are
+/// skipped, so trailing semicolons and comment-only segments are fine).
+pub fn parse_statements(sql: &str) -> Result<Vec<SelectStatement>, SqlError> {
+    let mut parser = Parser::new(sql)?;
+    let mut statements = Vec::new();
+    loop {
+        while parser.eat_if(&Tok::Semi) {}
+        if parser.peek() == &Tok::Eof {
+            break;
+        }
+        statements.push(parser.statement()?);
+        if !parser.eat_if(&Tok::Semi) {
+            parser.expect_eof()?;
+            break;
+        }
+    }
+    Ok(statements)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(sql: &str) -> Result<Self, SqlError> {
+        Ok(Parser { tokens: tokenize(sql)?, pos: 0 })
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].tok
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn advance(&mut self) -> Token {
+        let token = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        token
+    }
+
+    fn eat_if(&mut self, tok: &Tok) -> bool {
+        if self.peek() == tok {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: Tok, context: &str) -> Result<Token, SqlError> {
+        if self.peek() == &tok {
+            Ok(self.advance())
+        } else {
+            Err(self.unexpected(context))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), SqlError> {
+        if self.peek() == &Tok::Eof {
+            Ok(())
+        } else {
+            Err(self.unexpected("end of statement"))
+        }
+    }
+
+    fn unexpected(&self, context: &str) -> SqlError {
+        SqlError::new(
+            ErrorKind::Parse,
+            format!("expected {context}, found {}", self.peek().describe()),
+            self.span(),
+        )
+    }
+
+    fn ident(&mut self, context: &str) -> Result<(String, Span), SqlError> {
+        match self.peek() {
+            Tok::Ident(_) => {
+                let token = self.advance();
+                let Tok::Ident(name) = token.tok else { unreachable!() };
+                Ok((name, token.span))
+            }
+            _ => Err(self.unexpected(context)),
+        }
+    }
+
+    // -- statement ---------------------------------------------------------
+
+    fn statement(&mut self) -> Result<SelectStatement, SqlError> {
+        self.expect(Tok::Select, "`SELECT`")?;
+        let mut items = vec![self.select_item()?];
+        while self.eat_if(&Tok::Comma) {
+            items.push(self.select_item()?);
+        }
+        self.expect(Tok::From, "`FROM`")?;
+        let mut from = vec![self.table_ref()?];
+        while self.eat_if(&Tok::Comma) {
+            from.push(self.table_ref()?);
+        }
+        let selection = if self.eat_if(&Tok::Where) { Some(self.expr()?) } else { None };
+        Ok(SelectStatement { items, from, selection })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, SqlError> {
+        if self.eat_if(&Tok::Star) {
+            return Ok(SelectItem { expr: SelectExpr::Star, alias: None });
+        }
+        // `ident (` is an aggregate call; otherwise a column reference.
+        let expr = if matches!(self.peek(), Tok::Ident(_)) && self.peek2() == &Tok::LParen {
+            let (func, func_span) = self.ident("aggregate function")?;
+            self.expect(Tok::LParen, "`(`")?;
+            let expr = if self.eat_if(&Tok::Star) {
+                let upper = func.to_ascii_uppercase();
+                if upper != "COUNT" {
+                    return Err(SqlError::new(
+                        ErrorKind::Parse,
+                        format!("`*` is only valid inside COUNT, not {func}"),
+                        func_span,
+                    ));
+                }
+                SelectExpr::CountStar
+            } else {
+                let arg = self.column_ref()?;
+                SelectExpr::Aggregate { func: func.to_ascii_uppercase(), arg }
+            };
+            self.expect(Tok::RParen, "`)`")?;
+            expr
+        } else {
+            SelectExpr::Column(self.column_ref()?)
+        };
+        let alias = if self.eat_if(&Tok::As) {
+            Some(self.ident("output alias after `AS`")?.0)
+        } else {
+            None
+        };
+        Ok(SelectItem { expr, alias })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, SqlError> {
+        let (table, span) = self.ident("table name")?;
+        let explicit_as = self.eat_if(&Tok::As);
+        let alias = match self.peek() {
+            Tok::Ident(_) => {
+                let (alias, alias_span) = self.ident("alias")?;
+                return Ok(TableRef { table, alias: Some(alias), span: span.merge(alias_span) });
+            }
+            _ if explicit_as => return Err(self.unexpected("alias after `AS`")),
+            _ => None,
+        };
+        Ok(TableRef { table, alias, span })
+    }
+
+    // -- expressions -------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.and_expr()?;
+        while self.eat_if(&Tok::Or) {
+            let right = self.and_expr()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.unary()?;
+        while self.eat_if(&Tok::And) {
+            let right = self.unary()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr, SqlError> {
+        if self.eat_if(&Tok::Not) {
+            return Ok(Expr::Not(Box::new(self.unary()?)));
+        }
+        if self.eat_if(&Tok::LParen) {
+            let inner = self.expr()?;
+            self.expect(Tok::RParen, "`)`")?;
+            return Ok(Expr::Paren(Box::new(inner)));
+        }
+        self.predicate()
+    }
+
+    fn predicate(&mut self) -> Result<Expr, SqlError> {
+        let left = self.operand()?;
+        // Column-only suffix predicates.
+        if let Operand::Column(column) = &left {
+            let negated = matches!(self.peek(), Tok::Not)
+                && matches!(self.peek2(), Tok::Between | Tok::In | Tok::Like);
+            if negated {
+                self.advance();
+            }
+            match self.peek() {
+                Tok::Between => {
+                    self.advance();
+                    let low = self.literal()?;
+                    self.expect(Tok::And, "`AND` in BETWEEN")?;
+                    let high = self.literal()?;
+                    return Ok(Expr::Between { column: column.clone(), negated, low, high });
+                }
+                Tok::In => {
+                    self.advance();
+                    self.expect(Tok::LParen, "`(` after IN")?;
+                    let mut items = vec![self.literal()?];
+                    while self.eat_if(&Tok::Comma) {
+                        items.push(self.literal()?);
+                    }
+                    self.expect(Tok::RParen, "`)` closing the IN list")?;
+                    return Ok(Expr::InList { column: column.clone(), negated, items });
+                }
+                Tok::Like => {
+                    self.advance();
+                    let pattern = self.literal()?;
+                    return Ok(Expr::Like { column: column.clone(), negated, pattern });
+                }
+                Tok::Is => {
+                    self.advance();
+                    let negated = self.eat_if(&Tok::Not);
+                    self.expect(Tok::Null, "`NULL` after IS")?;
+                    return Ok(Expr::IsNull { column: column.clone(), negated });
+                }
+                Tok::Not => return Err(self.unexpected("`BETWEEN`, `IN` or `LIKE` after `NOT`")),
+                _ => {}
+            }
+        }
+        // Plain comparison.
+        let op = match self.peek() {
+            Tok::Eq => CmpOp::Eq,
+            Tok::Ne => CmpOp::Ne,
+            Tok::Lt => CmpOp::Lt,
+            Tok::Le => CmpOp::Le,
+            Tok::Gt => CmpOp::Gt,
+            Tok::Ge => CmpOp::Ge,
+            _ => return Err(self.unexpected("a comparison operator")),
+        };
+        self.advance();
+        let right = self.operand()?;
+        Ok(Expr::Cmp { left, op, right })
+    }
+
+    fn operand(&mut self) -> Result<Operand, SqlError> {
+        match self.peek() {
+            Tok::Ident(_) => Ok(Operand::Column(self.column_ref()?)),
+            _ => Ok(Operand::Literal(self.literal()?)),
+        }
+    }
+
+    fn column_ref(&mut self) -> Result<ColumnRef, SqlError> {
+        let (first, first_span) = self.ident("column reference")?;
+        if self.eat_if(&Tok::Dot) {
+            let (column, col_span) = self.ident("column name after `.`")?;
+            Ok(ColumnRef { qualifier: Some(first), column, span: first_span.merge(col_span) })
+        } else {
+            Ok(ColumnRef { qualifier: None, column: first, span: first_span })
+        }
+    }
+
+    fn literal(&mut self) -> Result<Literal, SqlError> {
+        let start = self.span();
+        if self.eat_if(&Tok::Minus) {
+            return match self.peek() {
+                Tok::Int(v) => {
+                    let v = *v;
+                    let span = start.merge(self.span());
+                    self.advance();
+                    Ok(Literal { value: LiteralValue::Int(-v), span })
+                }
+                _ => Err(self.unexpected("an integer after `-`")),
+            };
+        }
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                let span = self.advance().span;
+                Ok(Literal { value: LiteralValue::Int(v), span })
+            }
+            Tok::Str(s) => {
+                let span = self.advance().span;
+                Ok(Literal { value: LiteralValue::Str(s), span })
+            }
+            Tok::Null => {
+                let span = self.advance().span;
+                Ok(Literal { value: LiteralValue::Null, span })
+            }
+            _ => Err(self.unexpected("a literal")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_job_shaped_query() {
+        let stmt = parse_statement(
+            "SELECT MIN(t.title) AS movie_title, COUNT(*) \
+             FROM title AS t, movie_companies mc, company_name cn \
+             WHERE mc.movie_id = t.id AND mc.company_id = cn.id \
+               AND cn.country_code = '[us]' AND t.production_year > 2000;",
+        )
+        .unwrap();
+        assert_eq!(stmt.items.len(), 2);
+        assert_eq!(stmt.items[0].alias.as_deref(), Some("movie_title"));
+        assert!(matches!(stmt.items[1].expr, SelectExpr::CountStar));
+        assert_eq!(stmt.from.len(), 3);
+        assert_eq!(stmt.from[0].alias.as_deref(), Some("t"));
+        assert_eq!(stmt.from[1].alias.as_deref(), Some("mc"), "alias without AS");
+        let selection = stmt.selection.unwrap();
+        // Left-associative AND chain.
+        assert!(matches!(selection, Expr::And(..)));
+    }
+
+    #[test]
+    fn parses_every_predicate_form() {
+        let stmt = parse_statement(
+            "SELECT * FROM t x WHERE x.a BETWEEN 1990 AND -5 \
+             AND x.b IN ('p', 'q') AND x.c NOT IN ('r') \
+             AND x.d LIKE '%seq%' AND x.e NOT LIKE 'a_' \
+             AND x.f IS NULL AND x.g IS NOT NULL \
+             AND x.h NOT BETWEEN 1 AND 2 \
+             AND NOT (x.i = 3 OR x.j <> 4)",
+        )
+        .unwrap();
+        let mut conjuncts = Vec::new();
+        fn flatten(e: Expr, out: &mut Vec<Expr>) {
+            if let Expr::And(l, r) = e {
+                flatten(*l, out);
+                flatten(*r, out);
+            } else {
+                out.push(e);
+            }
+        }
+        flatten(stmt.selection.unwrap(), &mut conjuncts);
+        assert_eq!(conjuncts.len(), 9);
+        assert!(matches!(
+            &conjuncts[0],
+            Expr::Between { negated: false, low, .. }
+                if low.value == LiteralValue::Int(1990)
+        ));
+        assert!(matches!(&conjuncts[2], Expr::InList { negated: true, .. }));
+        assert!(matches!(&conjuncts[4], Expr::Like { negated: true, .. }));
+        assert!(matches!(&conjuncts[5], Expr::IsNull { negated: false, .. }));
+        assert!(matches!(&conjuncts[6], Expr::IsNull { negated: true, .. }));
+        assert!(matches!(&conjuncts[7], Expr::Between { negated: true, .. }));
+        assert!(matches!(&conjuncts[8], Expr::Not(inner) if matches!(**inner, Expr::Paren(_))));
+    }
+
+    #[test]
+    fn or_has_lower_precedence_than_and() {
+        let stmt = parse_statement("SELECT * FROM t WHERE t.a = 1 AND t.b = 2 OR t.c = 3").unwrap();
+        // (a AND b) OR c
+        assert!(matches!(stmt.selection.unwrap(), Expr::Or(l, _) if matches!(*l, Expr::And(..))));
+    }
+
+    #[test]
+    fn parses_multi_statement_scripts() {
+        let script = "-- two queries\nSELECT * FROM a;\n\nSELECT * FROM b x;;\n";
+        let stmts = parse_statements(script).unwrap();
+        assert_eq!(stmts.len(), 2);
+        assert_eq!(stmts[1].from[0].alias.as_deref(), Some("x"));
+        assert!(parse_statements("  -- nothing\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn error_paths_are_spanned() {
+        for (sql, needle) in [
+            ("FROM t", "expected `SELECT`"),
+            ("SELECT FROM t", "column reference"),
+            ("SELECT * FROM", "table name"),
+            ("SELECT * FROM t WHERE", "a literal"),
+            ("SELECT * FROM t WHERE t.a >", "a literal"),
+            ("SELECT * FROM t WHERE t.a BETWEEN 1 OR 2", "`AND` in BETWEEN"),
+            ("SELECT * FROM t WHERE t.a IN 'x'", "`(` after IN"),
+            ("SELECT * FROM t WHERE t.a NOT NULL", "after `NOT`"),
+            ("SELECT * FROM t WHERE t.a IS 3", "`NULL` after IS"),
+            ("SELECT MIN(*) FROM t", "only valid inside COUNT"),
+            ("SELECT * FROM t AS WHERE", "alias after `AS`"),
+            ("SELECT * FROM t extra junk", "end of statement"),
+            ("SELECT * FROM t WHERE t.a = - 'x'", "an integer after `-`"),
+        ] {
+            let err = parse_statement(sql).unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "for `{sql}` expected message containing `{needle}`, got `{}`",
+                err.message
+            );
+            assert!(err.span.is_some(), "error for `{sql}` should be spanned");
+        }
+    }
+
+    #[test]
+    fn unary_minus_binds_to_integer_literals() {
+        let stmt = parse_statement("SELECT * FROM t WHERE t.a = -42").unwrap();
+        match stmt.selection.unwrap() {
+            Expr::Cmp { right: Operand::Literal(lit), .. } => {
+                assert_eq!(lit.value, LiteralValue::Int(-42));
+            }
+            other => panic!("expected comparison, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Tokens of the JOB SQL dialect.
+
+use std::fmt;
+
+use crate::error::Span;
+
+/// A lexical token.
+///
+/// Keywords are recognised case-insensitively.  Aggregate function names
+/// (`MIN`, `MAX`, `COUNT`) deliberately stay plain identifiers so columns may
+/// use those names; the parser recognises them by the following `(`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier (table, alias, column or function name).
+    Ident(String),
+    /// Integer literal (always non-negative; the parser applies unary minus).
+    Int(i64),
+    /// String literal with quotes removed and `''` unescaped.
+    Str(String),
+
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `;`
+    Semi,
+    /// `*`
+    Star,
+    /// `-`
+    Minus,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+
+    /// `SELECT`
+    Select,
+    /// `AS`
+    As,
+    /// `FROM`
+    From,
+    /// `WHERE`
+    Where,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `NOT`
+    Not,
+    /// `IN`
+    In,
+    /// `LIKE`
+    Like,
+    /// `BETWEEN`
+    Between,
+    /// `IS`
+    Is,
+    /// `NULL`
+    Null,
+
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// The keyword for an identifier-shaped word, if it is one.
+    pub fn keyword(word: &str) -> Option<Tok> {
+        Some(match word.to_ascii_uppercase().as_str() {
+            "SELECT" => Tok::Select,
+            "AS" => Tok::As,
+            "FROM" => Tok::From,
+            "WHERE" => Tok::Where,
+            "AND" => Tok::And,
+            "OR" => Tok::Or,
+            "NOT" => Tok::Not,
+            "IN" => Tok::In,
+            "LIKE" => Tok::Like,
+            "BETWEEN" => Tok::Between,
+            "IS" => Tok::Is,
+            "NULL" => Tok::Null,
+            _ => return None,
+        })
+    }
+
+    /// Short description used in parse-error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(name) => format!("identifier `{name}`"),
+            Tok::Int(v) => format!("integer `{v}`"),
+            Tok::Str(s) => format!("string '{s}'"),
+            Tok::Eof => "end of input".to_owned(),
+            other => format!("`{}`", other.symbol()),
+        }
+    }
+
+    fn symbol(&self) -> &'static str {
+        match self {
+            Tok::Comma => ",",
+            Tok::Dot => ".",
+            Tok::LParen => "(",
+            Tok::RParen => ")",
+            Tok::Semi => ";",
+            Tok::Star => "*",
+            Tok::Minus => "-",
+            Tok::Eq => "=",
+            Tok::Ne => "<>",
+            Tok::Lt => "<",
+            Tok::Le => "<=",
+            Tok::Gt => ">",
+            Tok::Ge => ">=",
+            Tok::Select => "SELECT",
+            Tok::As => "AS",
+            Tok::From => "FROM",
+            Tok::Where => "WHERE",
+            Tok::And => "AND",
+            Tok::Or => "OR",
+            Tok::Not => "NOT",
+            Tok::In => "IN",
+            Tok::Like => "LIKE",
+            Tok::Between => "BETWEEN",
+            Tok::Is => "IS",
+            Tok::Null => "NULL",
+            Tok::Ident(_) | Tok::Int(_) | Tok::Str(_) | Tok::Eof => "",
+        }
+    }
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind/payload.
+    pub tok: Tok,
+    /// Byte range in the source text.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(Tok::keyword("select"), Some(Tok::Select));
+        assert_eq!(Tok::keyword("Between"), Some(Tok::Between));
+        assert_eq!(Tok::keyword("NULL"), Some(Tok::Null));
+        assert_eq!(Tok::keyword("min"), None, "function names are identifiers");
+        assert_eq!(Tok::keyword("title"), None);
+    }
+
+    #[test]
+    fn descriptions_are_informative() {
+        assert_eq!(Tok::Ident("t".into()).describe(), "identifier `t`");
+        assert_eq!(Tok::Int(7).describe(), "integer `7`");
+        assert_eq!(Tok::Str("x".into()).describe(), "string 'x'");
+        assert_eq!(Tok::Le.describe(), "`<=`");
+        assert_eq!(Tok::Eof.describe(), "end of input");
+    }
+}

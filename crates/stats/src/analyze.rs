@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use qob_storage::{ColumnData, Database, DataType, TableId, Value};
+use qob_storage::{ColumnData, DataType, Database, TableId, Value};
 
 use crate::histogram::EquiDepthHistogram;
 use crate::sample::TableSample;
@@ -184,7 +184,8 @@ fn analyze_column(
 
     // Most common values: keep values occurring at least twice in the sample.
     let mut by_count: Vec<(Value, usize)> = freq.iter().map(|(v, c)| (v.clone(), *c)).collect();
-    by_count.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| format!("{}", a.0).cmp(&format!("{}", b.0))));
+    by_count
+        .sort_by(|a, b| b.1.cmp(&a.1).then_with(|| format!("{}", a.0).cmp(&format!("{}", b.0))));
     let mcv: Vec<(Value, f64)> = by_count
         .into_iter()
         .filter(|(_, c)| *c >= 2)
@@ -209,10 +210,13 @@ fn analyze_column(
 pub fn analyze_database(db: &Database, options: &AnalyzeOptions) -> DatabaseStats {
     let mut tables = Vec::with_capacity(db.table_count());
     for (tid, table) in db.tables() {
-        let mut stats_rng = StdRng::seed_from_u64(options.seed ^ (tid.0 as u64).wrapping_mul(0x9E37_79B9));
+        let mut stats_rng =
+            StdRng::seed_from_u64(options.seed ^ (tid.0 as u64).wrapping_mul(0x9E37_79B9));
         let stats_sample = TableSample::draw(table, options.stats_sample_size, &mut stats_rng);
-        let mut est_rng = StdRng::seed_from_u64(options.seed ^ (tid.0 as u64).wrapping_mul(0xA24B_AED4));
-        let estimator_sample = TableSample::draw(table, options.estimator_sample_size, &mut est_rng);
+        let mut est_rng =
+            StdRng::seed_from_u64(options.seed ^ (tid.0 as u64).wrapping_mul(0xA24B_AED4));
+        let estimator_sample =
+            TableSample::draw(table, options.estimator_sample_size, &mut est_rng);
         let columns = (0..table.column_count())
             .map(|c| {
                 analyze_column(
@@ -223,11 +227,7 @@ pub fn analyze_database(db: &Database, options: &AnalyzeOptions) -> DatabaseStat
                 )
             })
             .collect();
-        tables.push(TableStats {
-            row_count: table.row_count(),
-            columns,
-            sample: estimator_sample,
-        });
+        tables.push(TableStats { row_count: table.row_count(), columns, sample: estimator_sample });
     }
     DatabaseStats { tables, options: *options }
 }
@@ -280,7 +280,7 @@ mod tests {
         assert!((est - 10.0).abs() < 1e-9);
         // Estimate is clamped to [d, N].
         let est = duj1_distinct(10, 20, 10, 10);
-        assert!(est >= 10.0 && est <= 20.0);
+        assert!((10.0..=20.0).contains(&est));
     }
 
     #[test]
@@ -294,10 +294,17 @@ mod tests {
         let id_stats = &t.columns[0];
         assert!(id_stats.null_frac.abs() < 1e-9);
         assert!(id_stats.distinct(true) as usize == 2000);
-        assert!(id_stats.distinct(false) > 500.0, "unique column distinct estimate should be large");
+        assert!(
+            id_stats.distinct(false) > 500.0,
+            "unique column distinct estimate should be large"
+        );
 
         let null_stats = &t.columns[3];
-        assert!((null_stats.null_frac - 0.75).abs() < 0.05, "≈75% nulls, got {}", null_stats.null_frac);
+        assert!(
+            (null_stats.null_frac - 0.75).abs() < 0.05,
+            "≈75% nulls, got {}",
+            null_stats.null_frac
+        );
 
         let label_stats = &t.columns[2];
         assert_eq!(label_stats.distinct_exact, 2);
@@ -365,10 +372,7 @@ mod tests {
         let cb = &b.table(TableId(0)).columns[1];
         assert_eq!(ca.distinct_sampled, cb.distinct_sampled);
         assert_eq!(ca.null_frac, cb.null_frac);
-        assert_eq!(
-            a.table(TableId(0)).sample.rows(),
-            b.table(TableId(0)).sample.rows()
-        );
+        assert_eq!(a.table(TableId(0)).sample.rows(), b.table(TableId(0)).sample.rows());
         let _ = a.table(TableId(0)).columns[0].histogram.as_ref().map(|h| h.bounds().len());
         let _ = ColumnId(0);
     }

@@ -18,8 +18,6 @@ pub mod analyze;
 pub mod histogram;
 pub mod sample;
 
-pub use analyze::{
-    analyze_database, AnalyzeOptions, ColumnStats, DatabaseStats, TableStats,
-};
+pub use analyze::{analyze_database, AnalyzeOptions, ColumnStats, DatabaseStats, TableStats};
 pub use histogram::EquiDepthHistogram;
 pub use sample::TableSample;

@@ -55,10 +55,7 @@ impl TableSample {
 
     /// Number of sampled rows matching a conjunction of predicates.
     pub fn matching_rows(&self, table: &Table, predicates: &[Predicate]) -> usize {
-        self.rows
-            .iter()
-            .filter(|&&row| predicates.iter().all(|p| p.matches(table, row)))
-            .count()
+        self.rows.iter().filter(|&&row| predicates.iter().all(|p| p.matches(table, row))).count()
     }
 
     /// Estimated selectivity of a conjunction of predicates: matching sample
@@ -125,7 +122,10 @@ mod tests {
         let pred = Predicate::IntCmp { column: v, op: CmpOp::Eq, value: 3 };
         let est = s.selectivity(&t, std::slice::from_ref(&pred)).unwrap();
         assert!((est - 0.1).abs() < 0.04, "sample estimate {est} should be near 0.1");
-        assert_eq!(s.matching_rows(&t, std::slice::from_ref(&pred)), (est * 1000.0).round() as usize);
+        assert_eq!(
+            s.matching_rows(&t, std::slice::from_ref(&pred)),
+            (est * 1000.0).round() as usize
+        );
     }
 
     #[test]

@@ -200,10 +200,7 @@ mod tests {
         assert_eq!(and.count_ones(), (0..100).filter(|i| i % 6 == 0).count());
         let mut or = a.clone();
         or.or_with(&b);
-        assert_eq!(
-            or.count_ones(),
-            (0..100).filter(|i| i % 2 == 0 || i % 3 == 0).count()
-        );
+        assert_eq!(or.count_ones(), (0..100).filter(|i| i % 2 == 0 || i % 3 == 0).count());
         let mut neg = a.clone();
         neg.negate();
         assert_eq!(neg.count_ones(), 100 - a.count_ones());

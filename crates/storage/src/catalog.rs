@@ -48,11 +48,7 @@ impl IndexConfig {
 
     /// All configurations, in the order the paper reports them.
     pub fn all() -> [IndexConfig; 3] {
-        [
-            IndexConfig::NoIndexes,
-            IndexConfig::PrimaryKeyOnly,
-            IndexConfig::PrimaryAndForeignKey,
-        ]
+        [IndexConfig::NoIndexes, IndexConfig::PrimaryKeyOnly, IndexConfig::PrimaryAndForeignKey]
     }
 }
 
@@ -120,9 +116,7 @@ impl Database {
         references: TableId,
     ) -> Result<()> {
         let col = self.table(table).column_id_or_err(column)?;
-        self.keys[table.index()]
-            .foreign_keys
-            .push(ForeignKeyDef { column: col, references });
+        self.keys[table.index()].foreign_keys.push(ForeignKeyDef { column: col, references });
         Ok(())
     }
 
@@ -143,8 +137,7 @@ impl Database {
 
     /// Looks up a table id by name, with a descriptive error.
     pub fn table_id_or_err(&self, name: &str) -> Result<TableId> {
-        self.table_id(name)
-            .ok_or_else(|| StorageError::UnknownTable(name.to_owned()))
+        self.table_id(name).ok_or_else(|| StorageError::UnknownTable(name.to_owned()))
     }
 
     /// The table with the given id.
@@ -159,10 +152,7 @@ impl Database {
 
     /// Iterates over `(id, table)` pairs.
     pub fn tables(&self) -> impl Iterator<Item = (TableId, &Table)> {
-        self.tables
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (TableId(i as u32), t))
+        self.tables.iter().enumerate().map(|(i, t)| (TableId(i as u32), t))
     }
 
     /// Key metadata of a table.
@@ -240,24 +230,16 @@ mod tests {
 
         let mut title = TableBuilder::new(
             "title",
-            vec![
-                ColumnMeta::new("id", DataType::Int),
-                ColumnMeta::new("title", DataType::Str),
-            ],
+            vec![ColumnMeta::new("id", DataType::Int), ColumnMeta::new("title", DataType::Str)],
         );
         for i in 0..10 {
-            title
-                .push_row(vec![Value::Int(i), Value::Str(format!("movie {i}"))])
-                .unwrap();
+            title.push_row(vec![Value::Int(i), Value::Str(format!("movie {i}"))]).unwrap();
         }
         let title_id = db.add_table(title.finish()).unwrap();
 
         let mut mc = TableBuilder::new(
             "movie_companies",
-            vec![
-                ColumnMeta::new("id", DataType::Int),
-                ColumnMeta::new("movie_id", DataType::Int),
-            ],
+            vec![ColumnMeta::new("id", DataType::Int), ColumnMeta::new("movie_id", DataType::Int)],
         );
         for i in 0..30 {
             mc.push_row(vec![Value::Int(i), Value::Int(i % 10)]).unwrap();

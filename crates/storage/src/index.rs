@@ -114,10 +114,8 @@ impl OrderedIndex {
                 column: table.column_meta(column).name.clone(),
             });
         }
-        let mut entries: Vec<(i64, RowId)> = table
-            .row_ids()
-            .filter_map(|row| data.int_at(row as usize).map(|v| (v, row)))
-            .collect();
+        let mut entries: Vec<(i64, RowId)> =
+            table.row_ids().filter_map(|row| data.int_at(row as usize).map(|v| (v, row))).collect();
         entries.sort_unstable();
         Ok(OrderedIndex { column, entries })
     }
@@ -172,13 +170,7 @@ mod tests {
             ],
         );
         // movie_id fan-out: movie 10 has three rows, movie 20 has one, one null.
-        let rows = [
-            (1, Some(10)),
-            (2, Some(10)),
-            (3, Some(20)),
-            (4, Some(10)),
-            (5, None),
-        ];
+        let rows = [(1, Some(10)), (2, Some(10)), (3, Some(20)), (4, Some(10)), (5, None)];
         for (id, mid) in rows {
             b.push_row(vec![
                 Value::Int(id),

@@ -36,7 +36,7 @@ pub use error::StorageError;
 pub use index::{HashIndex, OrderedIndex};
 pub use predicate::{CmpOp, Predicate};
 pub use table::{ColumnId, ColumnMeta, RowId, Table, TableBuilder};
-pub use value::{DataType, Value};
+pub use value::{sql_string_literal, DataType, Value};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, StorageError>;

@@ -122,12 +122,10 @@ impl Predicate {
                 Some(v) => op.apply(v, *value),
                 None => false,
             },
-            Predicate::IntBetween { column, low, high } => {
-                match table.column(*column).int_at(r) {
-                    Some(v) => v >= *low && v <= *high,
-                    None => false,
-                }
-            }
+            Predicate::IntBetween { column, low, high } => match table.column(*column).int_at(r) {
+                Some(v) => v >= *low && v <= *high,
+                None => false,
+            },
             Predicate::StrEq { column, value } => match table.column(*column).str_at(r) {
                 Some(s) => s == value,
                 None => false,
@@ -168,10 +166,7 @@ impl Predicate {
             }
             Predicate::Like { column, pattern } => {
                 return filter_str_codes(table.column(*column), |dict| {
-                    dict.iter()
-                        .filter(|(_, s)| like_match(pattern, s))
-                        .map(|(c, _)| c)
-                        .collect()
+                    dict.iter().filter(|(_, s)| like_match(pattern, s)).map(|(c, _)| c).collect()
                 });
             }
             _ => {}
@@ -214,10 +209,7 @@ impl Predicate {
     /// True if the predicate is a plain equality (integer or string) — the
     /// kind of predicate histograms and most-common-value lists handle well.
     pub fn is_simple_equality(&self) -> bool {
-        matches!(
-            self,
-            Predicate::StrEq { .. } | Predicate::IntCmp { op: CmpOp::Eq, .. }
-        )
+        matches!(self, Predicate::StrEq { .. } | Predicate::IntCmp { op: CmpOp::Eq, .. })
     }
 }
 
@@ -367,10 +359,8 @@ mod tests {
         let kind = t.column_id("kind").unwrap();
         let p = Predicate::StrEq { column: kind, value: "movie".into() };
         assert_eq!(p.filter(&t), vec![0, 1, 4, 5]);
-        let p = Predicate::StrIn {
-            column: kind,
-            values: vec!["short".into(), "documentary".into()],
-        };
+        let p =
+            Predicate::StrIn { column: kind, values: vec!["short".into(), "documentary".into()] };
         assert_eq!(p.filter(&t), vec![2, 3]);
         let p = Predicate::StrEq { column: kind, value: "does not exist".into() };
         assert!(p.filter(&t).is_empty());
@@ -446,7 +436,9 @@ mod tests {
         let year = t.column_id("production_year").unwrap();
         assert!(Predicate::StrEq { column: kind, value: "movie".into() }.is_simple_equality());
         assert!(Predicate::IntCmp { column: year, op: CmpOp::Eq, value: 1999 }.is_simple_equality());
-        assert!(!Predicate::IntCmp { column: year, op: CmpOp::Gt, value: 1999 }.is_simple_equality());
+        assert!(
+            !Predicate::IntCmp { column: year, op: CmpOp::Gt, value: 1999 }.is_simple_equality()
+        );
         assert!(!Predicate::Like { column: kind, pattern: "%m%".into() }.is_simple_equality());
     }
 }

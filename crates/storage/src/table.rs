@@ -68,10 +68,7 @@ impl Table {
 
     /// Looks up a column id by name.
     pub fn column_id(&self, name: &str) -> Option<ColumnId> {
-        self.columns_meta
-            .iter()
-            .position(|c| c.name == name)
-            .map(|i| ColumnId(i as u32))
+        self.columns_meta.iter().position(|c| c.name == name).map(|i| ColumnId(i as u32))
     }
 
     /// Looks up a column id by name, producing a catalog error if absent.
@@ -143,12 +140,7 @@ impl TableBuilder {
     /// Creates a builder for a table with the given schema.
     pub fn new(name: impl Into<String>, columns: Vec<ColumnMeta>) -> Self {
         let data = columns.iter().map(|c| ColumnData::new(c.dtype)).collect();
-        TableBuilder {
-            name: name.into(),
-            columns_meta: columns,
-            columns: data,
-            row_count: 0,
-        }
+        TableBuilder { name: name.into(), columns_meta: columns, columns: data, row_count: 0 }
     }
 
     /// Number of rows appended so far.

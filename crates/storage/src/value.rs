@@ -120,6 +120,22 @@ impl fmt::Display for Value {
     }
 }
 
+/// Quotes `s` as a SQL string literal: wraps it in single quotes and doubles
+/// embedded quotes (`it's` → `'it''s'`), so emitted SQL re-lexes to the same
+/// string.
+pub fn sql_string_literal(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('\'');
+    for ch in s.chars() {
+        if ch == '\'' {
+            out.push('\'');
+        }
+        out.push(ch);
+    }
+    out.push('\'');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,5 +173,13 @@ mod tests {
         assert_eq!(Value::Str("movie".into()).to_string(), "'movie'");
         assert_eq!(DataType::Int.to_string(), "Int");
         assert_eq!(DataType::Str.to_string(), "Str");
+    }
+
+    #[test]
+    fn sql_literals_quote_and_escape() {
+        assert_eq!(sql_string_literal("movie"), "'movie'");
+        assert_eq!(sql_string_literal("it's"), "'it''s'");
+        assert_eq!(sql_string_literal(""), "''");
+        assert_eq!(sql_string_literal("o'brien"), "'o''brien'");
     }
 }

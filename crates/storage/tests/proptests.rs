@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 use qob_storage::predicate::like_match;
-use qob_storage::{Bitmap, CmpOp, ColumnData, ColumnMeta, DataType, Predicate, TableBuilder, Value};
+use qob_storage::{
+    Bitmap, CmpOp, ColumnData, ColumnMeta, DataType, Predicate, TableBuilder, Value,
+};
 
 proptest! {
     /// A bitmap built from a boolean vector reproduces it exactly.

@@ -45,19 +45,15 @@ impl<'a> QueryBuilder<'a> {
     fn column(&self, rel: usize, column: &str) -> ColumnId {
         let table = self.db.table(self.relations[rel].table);
         table.column_id(column).unwrap_or_else(|| {
-            panic!(
-                "query {}: table `{}` has no column `{column}`",
-                self.name,
-                table.name()
-            )
+            panic!("query {}: table `{}` has no column `{column}`", self.name, table.name())
         })
     }
 
     /// Resolves `"alias.column"` into `(relation index, column id)`.
     fn resolve_ref(&self, reference: &str) -> (usize, ColumnId) {
-        let (alias, column) = reference
-            .split_once('.')
-            .unwrap_or_else(|| panic!("query {}: malformed column reference `{reference}`", self.name));
+        let (alias, column) = reference.split_once('.').unwrap_or_else(|| {
+            panic!("query {}: malformed column reference `{reference}`", self.name)
+        });
         let rel = self.rel_index(alias);
         (rel, self.column(rel, column))
     }
@@ -73,7 +69,11 @@ impl<'a> QueryBuilder<'a> {
 
     /// Adds an arbitrary predicate to `"alias.column"`'s relation, where the
     /// predicate is produced by a closure receiving the resolved column.
-    pub fn filter_with(mut self, column_ref: &str, make: impl FnOnce(ColumnId) -> Predicate) -> Self {
+    pub fn filter_with(
+        mut self,
+        column_ref: &str,
+        make: impl FnOnce(ColumnId) -> Predicate,
+    ) -> Self {
         let (rel, col) = self.resolve_ref(column_ref);
         self.relations[rel].predicates.push(make(col));
         self
@@ -102,10 +102,7 @@ impl<'a> QueryBuilder<'a> {
         let patterns: Vec<String> = patterns.iter().map(|p| (*p).to_owned()).collect();
         self.filter_with(column_ref, |column| {
             Predicate::Or(
-                patterns
-                    .into_iter()
-                    .map(|pattern| Predicate::Like { column, pattern })
-                    .collect(),
+                patterns.into_iter().map(|pattern| Predicate::Like { column, pattern }).collect(),
             )
         })
     }
@@ -200,27 +197,20 @@ mod tests {
     #[should_panic(expected = "no column")]
     fn unknown_column_panics() {
         let db = db();
-        let _ = QueryBuilder::new(&db, "bad")
-            .table("title", "t")
-            .filter_eq("t.nonexistent", "x");
+        let _ = QueryBuilder::new(&db, "bad").table("title", "t").filter_eq("t.nonexistent", "x");
     }
 
     #[test]
     #[should_panic(expected = "unknown alias")]
     fn unknown_alias_panics() {
         let db = db();
-        let _ = QueryBuilder::new(&db, "bad")
-            .table("title", "t")
-            .join("zz.movie_id", "t.id");
+        let _ = QueryBuilder::new(&db, "bad").table("title", "t").join("zz.movie_id", "t.id");
     }
 
     #[test]
     #[should_panic(expected = "failed validation")]
     fn disconnected_query_panics_on_build() {
         let db = db();
-        let _ = QueryBuilder::new(&db, "bad")
-            .table("title", "t")
-            .table("keyword", "k")
-            .build();
+        let _ = QueryBuilder::new(&db, "bad").table("title", "t").table("keyword", "k").build();
     }
 }

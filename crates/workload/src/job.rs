@@ -140,9 +140,11 @@ fn family_1(db: &Database) -> Vec<QuerySpec> {
             match v {
                 0 => b.filter_like("mc.note", "%(co-production)%"),
                 1 => b.filter_like("mc.note", "%(presents)%"),
-                2 => b
-                    .filter_like("mc.note", "%(co-production)%")
-                    .filter_int("t.production_year", CmpOp::Gt, 2005),
+                2 => b.filter_like("mc.note", "%(co-production)%").filter_int(
+                    "t.production_year",
+                    CmpOp::Gt,
+                    2005,
+                ),
                 _ => b.filter_int("t.production_year", CmpOp::Gt, 2000),
             }
             .build()
@@ -177,12 +179,16 @@ fn family_3(db: &Database) -> Vec<QuerySpec> {
                 .join("mi.movie_id", "t.id")
                 .filter_like("k.keyword", "%sequel%");
             match v {
-                0 => b
-                    .filter_in("mi.info", &["Germany", "German"])
-                    .filter_int("t.production_year", CmpOp::Gt, 2005),
-                1 => b
-                    .filter_in("mi.info", &["USA", "English"])
-                    .filter_int("t.production_year", CmpOp::Gt, 2008),
+                0 => b.filter_in("mi.info", &["Germany", "German"]).filter_int(
+                    "t.production_year",
+                    CmpOp::Gt,
+                    2005,
+                ),
+                1 => b.filter_in("mi.info", &["USA", "English"]).filter_int(
+                    "t.production_year",
+                    CmpOp::Gt,
+                    2008,
+                ),
                 _ => b.filter_int("t.production_year", CmpOp::Gt, 1990),
             }
             .build()
@@ -224,9 +230,11 @@ fn family_5(db: &Database) -> Vec<QuerySpec> {
                     .filter_like("mc.note", "%(co-production)%")
                     .filter_in("mi.info", &["Drama", "Horror"])
                     .filter_int("t.production_year", CmpOp::Gt, 2005),
-                1 => b
-                    .filter_in("mi.info", &["Drama", "Comedy", "Action"])
-                    .filter_int("t.production_year", CmpOp::Gt, 2000),
+                1 => b.filter_in("mi.info", &["Drama", "Comedy", "Action"]).filter_int(
+                    "t.production_year",
+                    CmpOp::Gt,
+                    2000,
+                ),
                 _ => b.filter_in("mi.info", &["German", "French", "Italian"]),
             }
             .build()
@@ -253,14 +261,17 @@ fn family_6(db: &Database) -> Vec<QuerySpec> {
                     .filter_in("k.keyword", &["superhero", "marvel-comics", "based-on-comic"])
                     .filter_like("n.name", "%An%")
                     .filter_int("t.production_year", CmpOp::Gt, 2008),
-                3 => b
-                    .filter_eq("k.keyword", "fight")
-                    .filter_like("n.name", "%Kumar%")
-                    .filter_int("t.production_year", CmpOp::Gt, 2005),
+                3 => b.filter_eq("k.keyword", "fight").filter_like("n.name", "%Kumar%").filter_int(
+                    "t.production_year",
+                    CmpOp::Gt,
+                    2005,
+                ),
                 4 => b.filter_eq("k.keyword", "sequel").filter_like("n.name", "%a%"),
-                _ => b
-                    .filter_in("k.keyword", &["hero", "martial-arts", "revenge"])
-                    .filter_int("t.production_year", CmpOp::Gt, 1995),
+                _ => b.filter_in("k.keyword", &["hero", "martial-arts", "revenge"]).filter_int(
+                    "t.production_year",
+                    CmpOp::Gt,
+                    1995,
+                ),
             }
             .build()
         })
@@ -272,21 +283,21 @@ fn family_6(db: &Database) -> Vec<QuerySpec> {
 fn family_7(db: &Database) -> Vec<QuerySpec> {
     (0..3)
         .map(|v| {
-            let b = with_links(with_person_info(with_aka_name(with_cast(base_title(
-                db,
-                &name(7, v),
-            )))))
-            .filter_eq("it3.info", "biography")
-            .filter_eq("lt.link", "features");
+            let b =
+                with_links(with_person_info(with_aka_name(with_cast(base_title(db, &name(7, v))))))
+                    .filter_eq("it3.info", "biography")
+                    .filter_eq("lt.link", "features");
             match v {
-                0 => b
-                    .filter_like("n.name", "%a%")
-                    .filter_eq("n.gender", "m")
-                    .filter_between("t.production_year", 1980, 1995),
-                1 => b
-                    .filter_like("n.name", "%An%")
-                    .filter_eq("n.gender", "f")
-                    .filter_between("t.production_year", 1995, 2010),
+                0 => b.filter_like("n.name", "%a%").filter_eq("n.gender", "m").filter_between(
+                    "t.production_year",
+                    1980,
+                    1995,
+                ),
+                1 => b.filter_like("n.name", "%An%").filter_eq("n.gender", "f").filter_between(
+                    "t.production_year",
+                    1995,
+                    2010,
+                ),
                 _ => b.filter_between("t.production_year", 1980, 2010),
             }
             .build()
@@ -353,9 +364,9 @@ fn family_9(db: &Database) -> Vec<QuerySpec> {
             match v {
                 0 => b.filter_like("ci.note", "%(voice)%").filter_like("n.name", "%An%"),
                 1 => b.filter_eq("n.gender", "f").filter_like("n.name", "%a%"),
-                2 => b
-                    .filter_like("n.name", "%An%")
-                    .filter_int("t.production_year", CmpOp::Gt, 2005),
+                2 => {
+                    b.filter_like("n.name", "%An%").filter_int("t.production_year", CmpOp::Gt, 2005)
+                }
                 _ => b.filter_between("t.production_year", 2000, 2010),
             }
             .build()
@@ -414,10 +425,11 @@ fn family_11(db: &Database) -> Vec<QuerySpec> {
                     .filter_like("lt.link", "%follow%")
                     .filter_eq("ct.kind", "production companies")
                     .filter_between("t.production_year", 1990, 2000),
-                1 => b
-                    .filter_like("lt.link", "%follow%")
-                    .filter_null("mc.note")
-                    .filter_int("t.production_year", CmpOp::Gt, 2000),
+                1 => b.filter_like("lt.link", "%follow%").filter_null("mc.note").filter_int(
+                    "t.production_year",
+                    CmpOp::Gt,
+                    2000,
+                ),
                 2 => b.filter_in("lt.link", &["references", "referenced in"]),
                 _ => b.filter_in("lt.link", &["remake of", "remade as"]),
             }
@@ -441,9 +453,11 @@ fn family_12(db: &Database) -> Vec<QuerySpec> {
                     .filter_in("mi.info", &["Drama", "Horror"])
                     .filter_int("t.production_year", CmpOp::Ge, 2005),
                 1 => b.filter_in("mi.info", &["Drama", "Horror", "Western", "Family"]),
-                _ => b
-                    .filter_eq("ct.kind", "distributors")
-                    .filter_between("t.production_year", 2000, 2010),
+                _ => b.filter_eq("ct.kind", "distributors").filter_between(
+                    "t.production_year",
+                    2000,
+                    2010,
+                ),
             }
             .build()
         })
@@ -456,14 +470,12 @@ fn family_12(db: &Database) -> Vec<QuerySpec> {
 fn family_13(db: &Database) -> Vec<QuerySpec> {
     (0..4)
         .map(|v| {
-            let b = with_info_idx(with_info(with_companies(with_kind(base_title(
-                db,
-                &name(13, v),
-            )))))
-            .filter_eq("ct.kind", "production companies")
-            .filter_eq("it.info", "release dates")
-            .filter_eq("it2.info", "rating")
-            .filter_eq("kt.kind", "movie");
+            let b =
+                with_info_idx(with_info(with_companies(with_kind(base_title(db, &name(13, v))))))
+                    .filter_eq("ct.kind", "production companies")
+                    .filter_eq("it.info", "release dates")
+                    .filter_eq("it2.info", "rating")
+                    .filter_eq("kt.kind", "movie");
             match v {
                 0 => b.filter_eq("cn.country_code", "[de]"),
                 1 => b.filter_eq("cn.country_code", "[us]"),
@@ -480,23 +492,24 @@ fn family_13(db: &Database) -> Vec<QuerySpec> {
 fn family_14(db: &Database) -> Vec<QuerySpec> {
     (0..3)
         .map(|v| {
-            let b = with_keyword(with_info_idx(with_info(with_kind(base_title(
-                db,
-                &name(14, v),
-            )))))
-            .filter_eq("kt.kind", "movie")
-            .filter_eq("it.info", "countries")
-            .filter_eq("it2.info", "rating");
+            let b = with_keyword(with_info_idx(with_info(with_kind(base_title(db, &name(14, v))))))
+                .filter_eq("kt.kind", "movie")
+                .filter_eq("it.info", "countries")
+                .filter_eq("it2.info", "rating");
             match v {
-                0 => b
-                    .filter_in("k.keyword", &["murder", "blood", "gore"])
-                    .filter_int("t.production_year", CmpOp::Gt, 2005),
+                0 => b.filter_in("k.keyword", &["murder", "blood", "gore"]).filter_int(
+                    "t.production_year",
+                    CmpOp::Gt,
+                    2005,
+                ),
                 1 => b
                     .filter_in("k.keyword", &["murder", "blood", "gore", "violence"])
                     .filter_in("mi.info", &["USA", "UK"]),
-                _ => b
-                    .filter_eq("k.keyword", "murder")
-                    .filter_int("t.production_year", CmpOp::Gt, 1990),
+                _ => b.filter_eq("k.keyword", "murder").filter_int(
+                    "t.production_year",
+                    CmpOp::Gt,
+                    1990,
+                ),
             }
             .build()
         })
@@ -515,16 +528,22 @@ fn family_15(db: &Database) -> Vec<QuerySpec> {
             .filter_eq("it.info", "release dates")
             .filter_eq("cn.country_code", "[us]");
             match v {
-                0 => b
-                    .filter_like("mi.info", "USA:%")
-                    .filter_int("t.production_year", CmpOp::Gt, 2000),
+                0 => b.filter_like("mi.info", "USA:%").filter_int(
+                    "t.production_year",
+                    CmpOp::Gt,
+                    2000,
+                ),
                 1 => b.filter_like("mi.info", "USA:% 2005").filter_like("mc.note", "%(presents)%"),
-                2 => b
-                    .filter_eq("k.keyword", "character-name-in-title")
-                    .filter_int("t.production_year", CmpOp::Gt, 1990),
-                _ => b
-                    .filter_eq("k.keyword", "second-part")
-                    .filter_between("t.production_year", 1950, 2000),
+                2 => b.filter_eq("k.keyword", "character-name-in-title").filter_int(
+                    "t.production_year",
+                    CmpOp::Gt,
+                    1990,
+                ),
+                _ => b.filter_eq("k.keyword", "second-part").filter_between(
+                    "t.production_year",
+                    1950,
+                    2000,
+                ),
             }
             .build()
         })
@@ -553,7 +572,11 @@ fn family_16(db: &Database) -> Vec<QuerySpec> {
                 .join("mc.company_id", "cn.id")
                 .filter_eq("k.keyword", "character-name-in-title");
             match v {
-                0 => b.filter_eq("cn.country_code", "[us]").filter_between("t.production_year", 2005, 2010),
+                0 => b.filter_eq("cn.country_code", "[us]").filter_between(
+                    "t.production_year",
+                    2005,
+                    2010,
+                ),
                 1 => b.filter_eq("cn.country_code", "[us]"),
                 2 => b.filter_between("t.production_year", 1990, 2000),
                 _ => b.filter_int("t.production_year", CmpOp::Gt, 1950),
@@ -642,8 +665,16 @@ fn family_19(db: &Database) -> Vec<QuerySpec> {
                 .filter_eq("n.gender", "f")
                 .filter_eq("cn.country_code", "[us]");
             match v {
-                0 => b.filter_like("ci.note", "%(voice)%").filter_between("t.production_year", 2000, 2010),
-                1 => b.filter_like("ci.note", "%(voice%").filter_int("t.production_year", CmpOp::Gt, 2005),
+                0 => b.filter_like("ci.note", "%(voice)%").filter_between(
+                    "t.production_year",
+                    2000,
+                    2010,
+                ),
+                1 => b.filter_like("ci.note", "%(voice%").filter_int(
+                    "t.production_year",
+                    CmpOp::Gt,
+                    2005,
+                ),
                 2 => b.filter_like("n.name", "%An%"),
                 _ => b.filter_int("t.production_year", CmpOp::Gt, 1990),
             }
@@ -657,9 +688,10 @@ fn family_19(db: &Database) -> Vec<QuerySpec> {
 fn family_20(db: &Database) -> Vec<QuerySpec> {
     (0..3)
         .map(|v| {
-            let b = with_keyword(with_complete_cast(with_char(with_cast(with_kind(
-                base_title(db, &name(20, v)),
-            )))))
+            let b = with_keyword(with_complete_cast(with_char(with_cast(with_kind(base_title(
+                db,
+                &name(20, v),
+            ))))))
             .filter_eq("kt.kind", "movie")
             .filter_eq("cct1.kind", "cast")
             .filter_like("cct2.kind", "complete%");
@@ -668,7 +700,11 @@ fn family_20(db: &Database) -> Vec<QuerySpec> {
                     .filter_in("k.keyword", &["superhero", "marvel-comics", "based-on-comic"])
                     .filter_int("t.production_year", CmpOp::Gt, 2000),
                 1 => b.filter_eq("k.keyword", "superhero").filter_like("chn.name", "%man%"),
-                _ => b.filter_in("k.keyword", &["hero", "fight"]).filter_int("t.production_year", CmpOp::Gt, 1990),
+                _ => b.filter_in("k.keyword", &["hero", "fight"]).filter_int(
+                    "t.production_year",
+                    CmpOp::Gt,
+                    1990,
+                ),
             }
             .build()
         })
@@ -700,9 +736,10 @@ fn family_21(db: &Database) -> Vec<QuerySpec> {
 fn family_22(db: &Database) -> Vec<QuerySpec> {
     (0..4)
         .map(|v| {
-            let b = with_keyword(with_info_idx(with_info(with_companies(with_kind(
-                base_title(db, &name(22, v)),
-            )))))
+            let b = with_keyword(with_info_idx(with_info(with_companies(with_kind(base_title(
+                db,
+                &name(22, v),
+            ))))))
             .filter_eq("it.info", "countries")
             .filter_eq("it2.info", "rating")
             .filter_in("k.keyword", &["murder", "blood", "violence"]);
@@ -711,10 +748,16 @@ fn family_22(db: &Database) -> Vec<QuerySpec> {
                     .filter_eq("cn.country_code", "[de]")
                     .filter_eq("kt.kind", "movie")
                     .filter_int("t.production_year", CmpOp::Gt, 2008),
-                1 => b
-                    .filter_eq("cn.country_code", "[us]")
-                    .filter_int("t.production_year", CmpOp::Gt, 2005),
-                2 => b.filter_in("kt.kind", &["movie", "episode"]).filter_int("t.production_year", CmpOp::Gt, 2000),
+                1 => b.filter_eq("cn.country_code", "[us]").filter_int(
+                    "t.production_year",
+                    CmpOp::Gt,
+                    2005,
+                ),
+                2 => b.filter_in("kt.kind", &["movie", "episode"]).filter_int(
+                    "t.production_year",
+                    CmpOp::Gt,
+                    2000,
+                ),
                 _ => b.filter_int("t.production_year", CmpOp::Gt, 1990),
             }
             .build()
@@ -735,7 +778,11 @@ fn family_23(db: &Database) -> Vec<QuerySpec> {
             .filter_like("cct2.kind", "complete%")
             .filter_eq("cn.country_code", "[us]");
             match v {
-                0 => b.filter_like("mi.info", "USA:%").filter_int("t.production_year", CmpOp::Gt, 2000),
+                0 => b.filter_like("mi.info", "USA:%").filter_int(
+                    "t.production_year",
+                    CmpOp::Gt,
+                    2000,
+                ),
                 1 => b.filter_eq("k.keyword", "sequel"),
                 _ => b.filter_int("t.production_year", CmpOp::Gt, 1990),
             }
@@ -776,7 +823,11 @@ fn family_24(db: &Database) -> Vec<QuerySpec> {
                 .filter_eq("cn.country_code", "[us]")
                 .filter_eq("k.keyword", "character-name-in-title");
             match v {
-                0 => b.filter_like("ci.note", "%(voice)%").filter_int("t.production_year", CmpOp::Gt, 2005),
+                0 => b.filter_like("ci.note", "%(voice)%").filter_int(
+                    "t.production_year",
+                    CmpOp::Gt,
+                    2005,
+                ),
                 _ => b.filter_int("t.production_year", CmpOp::Gt, 1990),
             }
             .build()
@@ -850,8 +901,16 @@ fn family_27(db: &Database) -> Vec<QuerySpec> {
             .filter_like("lt.link", "%follow%")
             .filter_null("mc.note");
             match v {
-                0 => b.filter_in("mi.info", &["Germany", "Sweden"]).filter_int("t.production_year", CmpOp::Gt, 1950),
-                1 => b.filter_in("mi.info", &["USA", "UK"]).filter_int("t.production_year", CmpOp::Gt, 2000),
+                0 => b.filter_in("mi.info", &["Germany", "Sweden"]).filter_int(
+                    "t.production_year",
+                    CmpOp::Gt,
+                    1950,
+                ),
+                1 => b.filter_in("mi.info", &["USA", "UK"]).filter_int(
+                    "t.production_year",
+                    CmpOp::Gt,
+                    2000,
+                ),
                 _ => b.filter_int("t.production_year", CmpOp::Gt, 1980),
             }
             .build()
@@ -877,7 +936,11 @@ fn family_28(db: &Database) -> Vec<QuerySpec> {
                     .filter_eq("kt.kind", "movie")
                     .filter_eq("cn.country_code", "[us]")
                     .filter_int("t.production_year", CmpOp::Gt, 2005),
-                1 => b.filter_in("kt.kind", &["movie", "episode"]).filter_int("t.production_year", CmpOp::Gt, 2000),
+                1 => b.filter_in("kt.kind", &["movie", "episode"]).filter_int(
+                    "t.production_year",
+                    CmpOp::Gt,
+                    2000,
+                ),
                 _ => b.filter_int("t.production_year", CmpOp::Gt, 1990),
             }
             .build()
@@ -891,12 +954,9 @@ fn family_28(db: &Database) -> Vec<QuerySpec> {
 fn family_29(db: &Database) -> Vec<QuerySpec> {
     (0..3)
         .map(|v| {
-            let b = with_person_info(with_aka_name(with_char(with_role(with_cast(
-                with_keyword(with_info_idx(with_info(with_companies(with_kind(base_title(
-                    db,
-                    &name(29, v),
-                )))))),
-            )))))
+            let b = with_person_info(with_aka_name(with_char(with_role(with_cast(with_keyword(
+                with_info_idx(with_info(with_companies(with_kind(base_title(db, &name(29, v)))))),
+            ))))))
             .filter_eq("kt.kind", "movie")
             .filter_eq("it.info", "release dates")
             .filter_eq("it2.info", "rating")
@@ -906,8 +966,14 @@ fn family_29(db: &Database) -> Vec<QuerySpec> {
             .filter_eq("cn.country_code", "[us]")
             .filter_eq("k.keyword", "character-name-in-title");
             match v {
-                0 => b.filter_like("ci.note", "%(voice)%").filter_between("t.production_year", 2000, 2010),
-                1 => b.filter_like("n.name", "%An%").filter_int("t.production_year", CmpOp::Gt, 2005),
+                0 => b.filter_like("ci.note", "%(voice)%").filter_between(
+                    "t.production_year",
+                    2000,
+                    2010,
+                ),
+                1 => {
+                    b.filter_like("n.name", "%An%").filter_int("t.production_year", CmpOp::Gt, 2005)
+                }
                 _ => b.filter_int("t.production_year", CmpOp::Gt, 1990),
             }
             .build()
@@ -932,7 +998,11 @@ fn family_30(db: &Database) -> Vec<QuerySpec> {
             .filter_like("cct2.kind", "complete%")
             .filter_in("k.keyword", &["murder", "violence", "blood"]);
             match v {
-                0 => b.filter_in("mi.info", &["Horror", "Thriller"]).filter_int("t.production_year", CmpOp::Gt, 2000),
+                0 => b.filter_in("mi.info", &["Horror", "Thriller"]).filter_int(
+                    "t.production_year",
+                    CmpOp::Gt,
+                    2000,
+                ),
                 1 => b.filter_eq("mi.info", "Horror"),
                 _ => b.filter_int("t.production_year", CmpOp::Gt, 1990),
             }
@@ -973,7 +1043,9 @@ fn family_31(db: &Database) -> Vec<QuerySpec> {
                 .filter_eq("n.gender", "m");
             match v {
                 0 => b.filter_eq("mi.info", "Horror").filter_like("cn.name", "%Lionsgate%"),
-                1 => b.filter_in("mi.info", &["Horror", "Thriller"]).filter_like("cn.name", "%Warner%"),
+                1 => b
+                    .filter_in("mi.info", &["Horror", "Thriller"])
+                    .filter_like("cn.name", "%Warner%"),
                 _ => b.filter_in("mi.info", &["Horror", "Action", "Thriller"]),
             }
             .build()
@@ -1086,7 +1158,8 @@ mod tests {
             .collect();
         assert_eq!(families.len(), JOB_FAMILY_COUNT);
         // Names are unique.
-        let names: std::collections::HashSet<&str> = queries.iter().map(|q| q.name.as_str()).collect();
+        let names: std::collections::HashSet<&str> =
+            queries.iter().map(|q| q.name.as_str()).collect();
         assert_eq!(names.len(), queries.len());
     }
 
@@ -1129,8 +1202,10 @@ mod tests {
             assert_eq!(q.join_predicate_count(), f13[0].join_predicate_count());
         }
         // Predicates differ between variants (different country codes).
-        let preds: std::collections::HashSet<String> =
-            f13.iter().map(|q| format!("{:?}", q.relations.iter().map(|r| &r.predicates).collect::<Vec<_>>())).collect();
+        let preds: std::collections::HashSet<String> = f13
+            .iter()
+            .map(|q| format!("{:?}", q.relations.iter().map(|r| &r.predicates).collect::<Vec<_>>()))
+            .collect();
         assert_eq!(preds.len(), 4);
     }
 
@@ -1160,8 +1235,16 @@ mod tests {
         let db = db();
         let queries = job_queries(&db);
         for table in [
-            "cast_info", "movie_companies", "movie_info", "movie_info_idx", "movie_keyword",
-            "movie_link", "complete_cast", "person_info", "aka_name", "aka_title",
+            "cast_info",
+            "movie_companies",
+            "movie_info",
+            "movie_info_idx",
+            "movie_keyword",
+            "movie_link",
+            "complete_cast",
+            "person_info",
+            "aka_name",
+            "aka_title",
         ] {
             let tid = db.table_id(table).unwrap();
             assert!(

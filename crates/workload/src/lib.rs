@@ -10,7 +10,10 @@
 //! * [`tpch`] — three TPC-H-shaped join queries (Q5/Q8/Q10 analogues) over
 //!   the uniform synthetic TPC-H database, used for the Figure 4 contrast,
 //! * [`builder`] — a small fluent builder for select-project-join queries
-//!   that resolves table/column names against a catalog.
+//!   that resolves table/column names against a catalog,
+//! * [`sql`] — `.sql` workload loading through the `qob-sql` frontend (with
+//!   a `-- name:` annotation convention) and script emission, so external
+//!   text workloads reach the same pipeline as the built-in ones.
 //!
 //! The original JOB text is published as SQL against the real IMDB snapshot;
 //! since this reproduction generates its own IMDB-like data, the queries are
@@ -20,8 +23,10 @@
 
 pub mod builder;
 pub mod job;
+pub mod sql;
 pub mod tpch;
 
 pub use builder::QueryBuilder;
 pub use job::{job_queries, job_query, JOB_FAMILY_COUNT, JOB_QUERY_COUNT};
+pub use sql::{emit_script, load_sql_file, load_sql_str, SqlLoadError};
 pub use tpch::tpch_queries;

@@ -1,0 +1,214 @@
+//! SQL workload loading and emission.
+//!
+//! The built-in workloads are constructed programmatically, but external
+//! workloads arrive as `.sql` files.  This module loads such scripts through
+//! the `qob-sql` frontend — splitting statements safely (string literals may
+//! contain `;`), honouring a `-- name: <query>` comment convention — and
+//! emits any list of bound queries back out as a script, which makes a
+//! workload a plain text artefact.
+
+use std::path::Path;
+
+use qob_plan::QuerySpec;
+use qob_sql::{emit_query, parse_statement, SqlError};
+use qob_storage::Database;
+
+/// An error from loading a SQL workload: either I/O or a frontend
+/// diagnostic, tagged with the statement it came from.
+#[derive(Debug)]
+pub enum SqlLoadError {
+    /// Reading the file failed.
+    Io(std::io::Error),
+    /// A statement failed to parse or bind.
+    Sql {
+        /// Name of the failing statement (`-- name:` or `q<N>`).
+        name: String,
+        /// The frontend diagnostic.
+        error: SqlError,
+        /// The statement's text (for rendering the diagnostic).
+        text: String,
+    },
+}
+
+impl std::fmt::Display for SqlLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SqlLoadError::Io(e) => write!(f, "cannot read workload: {e}"),
+            SqlLoadError::Sql { name, error, text } => {
+                write!(f, "query `{name}`: {}", error.render(text))
+            }
+        }
+    }
+}
+
+impl std::error::Error for SqlLoadError {}
+
+/// One raw statement of a script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawStatement {
+    /// Name from the nearest preceding `-- name:` comment, or `q<N>`.
+    pub name: String,
+    /// The statement text (without the terminating `;`).
+    pub text: String,
+}
+
+/// Splits a script into statements on top-level `;`, tracking string
+/// literals and `--` comments, and extracts `-- name:` annotations.
+pub fn split_statements(script: &str) -> Vec<RawStatement> {
+    let mut statements = Vec::new();
+    let mut pending_name: Option<String> = None;
+    let mut current = String::new();
+    let mut chars = script.chars().peekable();
+    let mut in_string = false;
+    while let Some(ch) = chars.next() {
+        if in_string {
+            current.push(ch);
+            if ch == '\'' {
+                // `''` stays inside the literal.
+                if chars.peek() == Some(&'\'') {
+                    current.push(chars.next().expect("peeked"));
+                } else {
+                    in_string = false;
+                }
+            }
+            continue;
+        }
+        match ch {
+            '\'' => {
+                in_string = true;
+                current.push(ch);
+            }
+            '-' if chars.peek() == Some(&'-') => {
+                // Comment to end of line; capture `-- name: x` annotations.
+                let mut comment = String::new();
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        break;
+                    }
+                    comment.push(c);
+                }
+                let comment = comment.trim_start_matches('-').trim();
+                if let Some(name) = comment.strip_prefix("name:") {
+                    pending_name = Some(name.trim().to_owned());
+                }
+                current.push('\n');
+            }
+            ';' => {
+                flush(&mut current, &mut pending_name, &mut statements);
+            }
+            _ => current.push(ch),
+        }
+    }
+    flush(&mut current, &mut pending_name, &mut statements);
+    statements
+}
+
+fn flush(current: &mut String, pending_name: &mut Option<String>, out: &mut Vec<RawStatement>) {
+    let text = std::mem::take(current);
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        return;
+    }
+    let name = pending_name.take().unwrap_or_else(|| format!("q{}", out.len() + 1));
+    out.push(RawStatement { name, text: trimmed.to_owned() });
+}
+
+/// Loads a workload from SQL text: every statement is parsed and bound
+/// against `db`.
+pub fn load_sql_str(db: &Database, script: &str) -> Result<Vec<QuerySpec>, Box<SqlLoadError>> {
+    split_statements(script)
+        .into_iter()
+        .map(|raw| {
+            parse_statement(&raw.text)
+                .and_then(|stmt| qob_sql::bind(db, &stmt, raw.name.clone()))
+                .map_err(|error| {
+                    Box::new(SqlLoadError::Sql { name: raw.name, error, text: raw.text })
+                })
+        })
+        .collect()
+}
+
+/// Loads a workload from a `.sql` file.
+pub fn load_sql_file(
+    db: &Database,
+    path: impl AsRef<Path>,
+) -> Result<Vec<QuerySpec>, Box<SqlLoadError>> {
+    let script = std::fs::read_to_string(path).map_err(|e| Box::new(SqlLoadError::Io(e)))?;
+    load_sql_str(db, &script)
+}
+
+/// Emits bound queries as a `.sql` script with `-- name:` annotations —
+/// the inverse of [`load_sql_str`].
+pub fn emit_script(db: &Database, queries: &[QuerySpec]) -> String {
+    let mut out = String::new();
+    for query in queries {
+        out.push_str("-- name: ");
+        out.push_str(&query.name);
+        out.push('\n');
+        out.push_str(&emit_query(db, query));
+        out.push_str("\n\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qob_datagen::{generate_imdb, Scale};
+
+    #[test]
+    fn split_handles_names_comments_and_quoted_semicolons() {
+        let script = "-- name: first\nSELECT * FROM a;\n\
+                      -- a plain comment\n\
+                      SELECT * FROM b WHERE b.x = 'semi;colon';\n\
+                      -- name: third\nSELECT * FROM c\n";
+        let raw = split_statements(script);
+        assert_eq!(raw.len(), 3);
+        assert_eq!(raw[0].name, "first");
+        assert_eq!(raw[1].name, "q2", "unnamed statements are numbered");
+        assert!(raw[1].text.contains("'semi;colon'"));
+        assert_eq!(raw[2].name, "third");
+        assert!(split_statements(" -- name: orphan\n ;;; ").is_empty());
+    }
+
+    #[test]
+    fn load_sql_str_binds_against_the_catalog() {
+        let db = generate_imdb(&Scale::tiny()).unwrap();
+        let queries = load_sql_str(
+            &db,
+            "-- name: us_movies\n\
+             SELECT COUNT(*) FROM title t, movie_companies mc, company_name cn\n\
+             WHERE mc.movie_id = t.id AND mc.company_id = cn.id\n\
+               AND cn.country_code = '[us]';",
+        )
+        .unwrap();
+        assert_eq!(queries.len(), 1);
+        assert_eq!(queries[0].name, "us_movies");
+        assert_eq!(queries[0].rel_count(), 3);
+    }
+
+    #[test]
+    fn load_errors_carry_the_query_name_and_render() {
+        let db = generate_imdb(&Scale::tiny()).unwrap();
+        let err = load_sql_str(&db, "-- name: broken\nSELECT * FROM no_such_table;").unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("broken"), "{message}");
+        assert!(message.contains("no_such_table"), "{message}");
+    }
+
+    #[test]
+    fn emit_script_round_trips_through_load() {
+        let db = generate_imdb(&Scale::tiny()).unwrap();
+        let original = load_sql_str(
+            &db,
+            "-- name: a\nSELECT COUNT(*) FROM title t, movie_keyword mk \
+             WHERE mk.movie_id = t.id AND t.production_year > 2000;\n\
+             -- name: b\nSELECT COUNT(*) FROM keyword k, movie_keyword mk \
+             WHERE mk.keyword_id = k.id AND k.keyword LIKE '%love%';",
+        )
+        .unwrap();
+        let script = emit_script(&db, &original);
+        let reloaded = load_sql_str(&db, &script).unwrap();
+        assert_eq!(original, reloaded);
+    }
+}

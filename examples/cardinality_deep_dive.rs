@@ -30,8 +30,7 @@ fn main() {
     subexpressions.sort_by_key(|s| (s.len(), s.bits()));
     for set in subexpressions {
         let Some(true_card) = truth.get(set) else { continue };
-        let aliases: Vec<&str> =
-            set.iter().map(|r| query.relations[r].alias.as_str()).collect();
+        let aliases: Vec<&str> = set.iter().map(|r| query.relations[r].alias.as_str()).collect();
         print!("{:<28} {:>12.0}", aliases.join(","), true_card);
         for (_, est) in &estimators {
             let estimate = est.estimate(&query, set);

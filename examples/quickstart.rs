@@ -1,5 +1,7 @@
-//! Quickstart: generate the synthetic IMDB-like database, pick a JOB query,
-//! optimize it with different cardinality sources and execute the plans.
+//! Quickstart: generate the synthetic IMDB-like database, write a query as
+//! plain SQL, and run it through the whole pipeline — parse → bind →
+//! estimate → plan → execute — comparing the estimate-driven plan against
+//! the true-cardinality plan (the paper's central experiment, on one query).
 //!
 //! Run with `cargo run --release --example quickstart`.
 
@@ -8,6 +10,7 @@ use qob_core::{BenchmarkContext, EstimatorKind};
 use qob_datagen::Scale;
 use qob_enumerate::PlannerConfig;
 use qob_exec::ExecutionOptions;
+use qob_sql::{compile, emit_query};
 use qob_storage::IndexConfig;
 
 fn main() {
@@ -21,14 +24,35 @@ fn main() {
         ctx.queries().len()
     );
 
-    // 2. Pick the paper's example query (13d) and look at its structure.
-    let query = ctx.query("13d").expect("query 13d");
+    // 2. Express a query as plain SQL and push it through the text frontend.
+    //    (This is the JOB-13-style shape: companies × kind × info ratings.)
+    let sql = "\
+        SELECT MIN(miidx.info) AS rating, MIN(t.title) AS movie\n\
+        FROM title t, kind_type kt, movie_info_idx miidx, info_type it2,\n\
+             movie_companies mc, company_name cn, company_type ct\n\
+        WHERE t.kind_id = kt.id\n\
+          AND miidx.movie_id = t.id AND miidx.info_type_id = it2.id\n\
+          AND mc.movie_id = t.id AND mc.company_id = cn.id\n\
+          AND mc.company_type_id = ct.id\n\
+          AND kt.kind = 'movie'\n\
+          AND cn.country_code = '[de]'\n\
+          AND it2.info = 'rating'";
+    let query = match compile(ctx.db(), sql, "quickstart") {
+        Ok(query) => query,
+        Err(e) => {
+            // Diagnostics render against the source with a caret.
+            eprintln!("{}", e.render(sql));
+            std::process::exit(1);
+        }
+    };
     println!(
-        "\nquery 13d: {} relations, {} join predicates, {} selections",
+        "\nbound `{}`: {} relations, {} join predicates, {} selections",
+        query.name,
         query.rel_count(),
         query.join_predicate_count(),
         query.base_predicate_count()
     );
+    println!("\nround-tripped back to SQL:\n{}", emit_query(ctx.db(), &query));
 
     // 3. Optimize with PostgreSQL-style estimates and with true cardinalities.
     let pg = ctx.estimator(EstimatorKind::Postgres);

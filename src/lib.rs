@@ -1,0 +1,28 @@
+//! # qob
+//!
+//! Umbrella crate of the reproduction of *"How Good Are Query Optimizers,
+//! Really?"* (Leis et al., VLDB 2015).  It re-exports every sub-crate under
+//! one roof and owns the repository-level integration tests and examples.
+//!
+//! The interesting entry points:
+//!
+//! * [`qob_core::BenchmarkContext`] — database + statistics + workload +
+//!   estimators + ground truth,
+//! * [`qob_sql`] — the SQL frontend (`parse` → `bind` → [`qob_plan::QuerySpec`],
+//!   plus round-trip emission),
+//! * the `qob` binary (crate `qob-cli`) — ad-hoc SQL in, plans and q-errors
+//!   out.
+
+pub use qob_bench as bench;
+pub use qob_cardest as cardest;
+pub use qob_cost as cost;
+pub use qob_datagen as datagen;
+pub use qob_enumerate as enumerate;
+pub use qob_exec as exec;
+pub use qob_plan as plan;
+pub use qob_sql as sql;
+pub use qob_stats as stats;
+pub use qob_storage as storage;
+pub use qob_workload as workload;
+
+pub use qob_core::{BenchmarkContext, EstimatorKind};

@@ -82,8 +82,13 @@ fn heuristic_plans_match_dp_plan_results() {
     let query = ctx.query("6c").unwrap();
     let expected = reference_rows(&ctx, "6c");
     let model = qob_cost::SimpleCostModel::new();
-    let planner =
-        qob_enumerate::Planner::new(ctx.db(), &query, &model, pg.as_ref(), PlannerConfig::default());
+    let planner = qob_enumerate::Planner::new(
+        ctx.db(),
+        &query,
+        &model,
+        pg.as_ref(),
+        PlannerConfig::default(),
+    );
 
     let dp = qob_enumerate::dpccp::optimize_bushy(&planner).unwrap();
     let goo = qob_enumerate::goo::optimize_goo(&planner).unwrap();

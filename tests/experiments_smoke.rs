@@ -19,11 +19,8 @@ fn risk_experiment_produces_distributions_for_each_system() {
         timeout: Duration::from_secs(5),
         ..Default::default()
     };
-    let results = risk_of_estimates(
-        &ctx,
-        &[EstimatorKind::Postgres, EstimatorKind::DbmsB],
-        &options,
-    );
+    let results =
+        risk_of_estimates(&ctx, &[EstimatorKind::Postgres, EstimatorKind::DbmsB], &options);
     assert_eq!(results.len(), 2);
     for r in &results {
         assert!(r.distribution.len() >= 8, "{}: {} queries", r.system, r.distribution.len());

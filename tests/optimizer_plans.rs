@@ -3,9 +3,7 @@
 //! enumeration.
 
 use qob_cardest::InjectedCardinalities;
-use qob_core::experiments::{
-    enumeration_experiment, tree_shape_experiment, EnumerationAlgorithm,
-};
+use qob_core::experiments::{enumeration_experiment, tree_shape_experiment, EnumerationAlgorithm};
 use qob_core::{BenchmarkContext, EstimatorKind};
 use qob_datagen::Scale;
 use qob_enumerate::{PlannerConfig, ShapeRestriction};
@@ -23,7 +21,9 @@ fn estimate_plans_cost_at_least_as_much_as_true_cardinality_plans() {
     for query in ctx.query_subset(Some(15)) {
         let truth = ctx.true_cardinalities(query);
         let injected = InjectedCardinalities::new(&truth, pg.as_ref());
-        let Ok(optimal) = ctx.optimize(query, &injected, PlannerConfig::default()) else { continue };
+        let Ok(optimal) = ctx.optimize(query, &injected, PlannerConfig::default()) else {
+            continue;
+        };
         let Ok(estimated) = ctx.optimize(query, pg.as_ref(), PlannerConfig::default()) else {
             continue;
         };
@@ -71,10 +71,7 @@ fn table3_dp_beats_heuristics_and_true_cards_beat_estimates() {
     let results = enumeration_experiment(&ctx, Some(12), 200, 7);
     assert_eq!(results.len(), 6);
     let get = |a: EnumerationAlgorithm, truth: bool| {
-        results
-            .iter()
-            .find(|r| r.algorithm == a && r.true_cardinalities == truth)
-            .unwrap()
+        results.iter().find(|r| r.algorithm == a && r.true_cardinalities == truth).unwrap()
     };
     // With true cardinalities, exhaustive DP is exactly optimal.
     let dp_truth = get(EnumerationAlgorithm::DynamicProgramming, true);

@@ -1,0 +1,71 @@
+//! The SQL frontend's oracle: every built-in query must survive
+//! `emit → parse → bind` with a structurally identical [`qob_plan::QuerySpec`].
+//!
+//! The 113 JOB queries cover every predicate kind the workload uses
+//! (equality, IN, LIKE, ranges, null tests) and join graphs from 3 to 17
+//! relations, so this pins the lexer, parser, binder and emitter against
+//! each other in both directions.
+
+use qob_datagen::{generate_imdb, generate_tpch, Scale};
+use qob_sql::{compile, emit_query};
+use qob_storage::Database;
+use qob_workload::{emit_script, job_queries, load_sql_str, tpch_queries, JOB_QUERY_COUNT};
+
+fn assert_roundtrip(db: &Database, queries: &[qob_plan::QuerySpec]) {
+    for query in queries {
+        let sql = emit_query(db, query);
+        let rebound = compile(db, &sql, query.name.clone()).unwrap_or_else(|e| {
+            panic!(
+                "query {}: emitted SQL failed to recompile: {}\n{sql}",
+                query.name,
+                e.render(&sql)
+            )
+        });
+        assert_eq!(
+            query, &rebound,
+            "query {}: emit → parse → bind changed the spec\nemitted SQL:\n{sql}",
+            query.name
+        );
+    }
+}
+
+#[test]
+fn all_113_job_queries_roundtrip_through_sql() {
+    let db = generate_imdb(&Scale::tiny()).unwrap();
+    let queries = job_queries(&db);
+    assert_eq!(queries.len(), JOB_QUERY_COUNT);
+    assert_roundtrip(&db, &queries);
+}
+
+#[test]
+fn tpch_queries_roundtrip_through_sql() {
+    let db = generate_tpch(&Scale::tiny()).unwrap();
+    let queries = tpch_queries(&db);
+    assert_eq!(queries.len(), 3);
+    assert_roundtrip(&db, &queries);
+}
+
+#[test]
+fn whole_job_workload_roundtrips_as_one_script() {
+    let db = generate_imdb(&Scale::tiny()).unwrap();
+    let queries = job_queries(&db);
+    let script = emit_script(&db, &queries);
+    let reloaded = load_sql_str(&db, &script).unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(queries.len(), reloaded.len());
+    for (a, b) in queries.iter().zip(&reloaded) {
+        assert_eq!(a.name, b.name, "names survive the -- name: convention");
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn emitted_sql_is_stable_under_a_second_roundtrip() {
+    // emit(bind(parse(emit(q)))) == emit(q): the emitter is a fixed point.
+    let db = generate_imdb(&Scale::tiny()).unwrap();
+    for query in job_queries(&db).iter().take(20) {
+        let sql1 = emit_query(&db, query);
+        let rebound = compile(&db, &sql1, query.name.clone()).unwrap();
+        let sql2 = emit_query(&db, &rebound);
+        assert_eq!(sql1, sql2, "query {}", query.name);
+    }
+}

@@ -1,0 +1,167 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the benchmark-harness surface this workspace's benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`],
+//! [`BenchmarkId::from_parameter`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.  Instead of criterion's statistical engine it
+//! runs a fixed number of timed iterations per benchmark and prints the mean
+//! wall-clock time — enough to compare orders of magnitude offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: format!("{name}/{parameter}") }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Drives the timed closure of one benchmark.
+pub struct Bencher {
+    iterations: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warm-up call, then timed iterations.
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(routine());
+        }
+        self.total = start.elapsed();
+    }
+
+    fn mean(&self) -> Duration {
+        self.total / self.iterations.max(1) as u32
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    iterations: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark iteration count (criterion's sample size).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iterations = n.max(1) as u64;
+        self
+    }
+
+    /// Ignored; accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn run(&mut self, label: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher { iterations: self.iterations, total: Duration::ZERO };
+        f(&mut bencher);
+        println!("bench {}/{label}: mean {:?}", self.name, bencher.mean());
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function(&mut self, id: impl fmt::Display, f: impl FnOnce(&mut Bencher)) {
+        self.run(&id.to_string(), f);
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        let label = id.label;
+        self.run(&label, |b| f(b, input));
+    }
+
+    /// Ends the group (no-op; reporting happens per benchmark).
+    pub fn finish(self) {}
+}
+
+/// The harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), iterations: 10, _criterion: self }
+    }
+
+    /// Benchmarks a single function outside a group.
+    pub fn bench_function(&mut self, id: impl fmt::Display, f: impl FnOnce(&mut Bencher)) {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// Collects benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_api_round_trip() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        let mut runs = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &x| b.iter(|| x * 2));
+        group.finish();
+        // warm-up + 3 timed iterations
+        assert_eq!(runs, 4);
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+}

@@ -1,0 +1,27 @@
+//! Collection strategies (`vec`).
+
+use std::ops::Range;
+
+use crate::{Strategy, TestRng};
+
+/// Strategy producing `Vec<S::Value>` with a length drawn from a range.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let span = self.len.end.saturating_sub(self.len.start).max(1);
+        let len = self.len.start + rng.below(span);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `vec(element, min..max)`: vectors of `element` values with length in the
+/// half-open range.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}

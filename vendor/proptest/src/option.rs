@@ -1,0 +1,25 @@
+//! Option strategies (`of`).
+
+use crate::{Strategy, TestRng};
+
+/// Strategy producing `Option<S::Value>` (`None` in ~25% of cases).
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+/// `of(strategy)`: sometimes `None`, otherwise `Some` of the inner strategy.
+pub fn of<S: Strategy>(strategy: S) -> OptionStrategy<S> {
+    OptionStrategy { inner: strategy }
+}

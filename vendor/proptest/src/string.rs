@@ -1,0 +1,160 @@
+//! Regex-lite string generation.
+//!
+//! Supports the pattern subset proptest-style string strategies use in this
+//! workspace: literal characters, character classes (`[a-z0-9_]`), the `.`
+//! wildcard (printable ASCII), and `{m,n}` / `{n}` / `*` / `+` / `?`
+//! quantifiers on the preceding atom.
+
+use crate::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    /// Inclusive character ranges; single characters are degenerate ranges.
+    Class(Vec<(char, char)>),
+    AnyPrintable,
+}
+
+impl Atom {
+    fn generate(&self, rng: &mut TestRng) -> char {
+        match self {
+            Atom::Literal(c) => *c,
+            Atom::AnyPrintable => (0x20u8 + rng.below(0x5f) as u8) as char,
+            Atom::Class(ranges) => {
+                let total: u32 = ranges.iter().map(|(lo, hi)| *hi as u32 - *lo as u32 + 1).sum();
+                let mut pick = rng.below(total.max(1) as usize) as u32;
+                for (lo, hi) in ranges {
+                    let span = *hi as u32 - *lo as u32 + 1;
+                    if pick < span {
+                        return char::from_u32(*lo as u32 + pick).unwrap_or(*lo);
+                    }
+                    pick -= span;
+                }
+                ranges.first().map(|(lo, _)| *lo).unwrap_or('a')
+            }
+        }
+    }
+}
+
+/// Generates a string matching `pattern`.
+///
+/// # Panics
+/// Panics on malformed patterns — strategies are static test fixtures, so a
+/// typo should fail loudly.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unterminated character class in `{pattern}`"));
+                let mut ranges = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        ranges.push((chars[j], chars[j + 2]));
+                        j += 3;
+                    } else {
+                        ranges.push((chars[j], chars[j]));
+                        j += 1;
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty character class in `{pattern}`");
+                i = close + 1;
+                Atom::Class(ranges)
+            }
+            '.' => {
+                i += 1;
+                Atom::AnyPrintable
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars.get(i).unwrap_or_else(|| panic!("dangling escape in `{pattern}`"));
+                i += 1;
+                Atom::Literal(c)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unterminated quantifier in `{pattern}`"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse::<usize>().expect("quantifier lower bound"),
+                        hi.trim().parse::<usize>().expect("quantifier upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse::<usize>().expect("quantifier count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        let count = min + rng.below(max.saturating_sub(min) + 1);
+        for _ in 0..count {
+            out.push(atom.generate(rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("string-tests")
+    }
+
+    #[test]
+    fn classes_and_quantifiers() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-z]{0,6}", &mut r);
+            assert!(s.len() <= 6);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = generate_from_pattern("x[0-9]+", &mut r);
+            assert!(t.starts_with('x') && t.len() >= 2);
+            assert!(t[1..].chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn literals_and_wildcards() {
+        let mut r = rng();
+        let s = generate_from_pattern("abc", &mut r);
+        assert_eq!(s, "abc");
+        for _ in 0..50 {
+            let s = generate_from_pattern(".{3}", &mut r);
+            assert_eq!(s.chars().count(), 3);
+        }
+    }
+}

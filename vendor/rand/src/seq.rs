@@ -1,0 +1,61 @@
+//! Sequence helpers (`shuffle`, `choose`).
+
+use crate::Rng;
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: Rng>(&mut self, rng: &mut R);
+
+    /// Picks one element uniformly, or `None` if the slice is empty.
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 100-element shuffle is virtually never identity");
+    }
+
+    #[test]
+    fn choose_empty_and_nonempty() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let empty: [u8; 0] = [];
+        assert_eq!(empty.choose(&mut rng), None);
+        let v = [1, 2, 3];
+        assert!(v.contains(v.choose(&mut rng).unwrap()));
+    }
+}

@@ -1,6 +1,8 @@
 //! Criterion micro-benchmarks for the execution engine: the hash-join sizing
 //! ablation (accurate estimate vs 1-row estimate, with and without runtime
-//! rehashing) and index-nested-loop vs hash join.
+//! rehashing), index-nested-loop vs hash join, and the morsel-parallel
+//! thread-scaling sweep (threads = 1 / 2 / 4) that tracks the pipeline
+//! engine's speedup over the sequential interpreter.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qob_core::{BenchmarkContext, EstimatorKind};
@@ -24,7 +26,11 @@ fn bench_hash_sizing(c: &mut Criterion) {
         ("one_row_estimate_fixed", false, false),
     ];
     for (label, accurate, rehash) in cases {
-        let options = ExecutionOptions { enable_rehash: rehash, ..Default::default() };
+        // threads: 1 pins the sequential build path: this ablation measures
+        // estimate-driven sizing and *incremental* runtime rehashing, which
+        // the parallel build intentionally sidesteps (it sizes rehashing
+        // builds from the true count up front).
+        let options = ExecutionOptions { enable_rehash: rehash, threads: 1, ..Default::default() };
         group.bench_with_input(BenchmarkId::from_parameter(label), &accurate, |b, &accurate| {
             b.iter(|| {
                 let hint = |set: RelSet| {
@@ -86,5 +92,40 @@ fn bench_join_algorithms(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_hash_sizing, bench_join_algorithms);
+fn bench_thread_scaling(c: &mut Criterion) {
+    // Small scale gives each query enough tuples for morsel parallelism to
+    // matter; `QOB_SCALE=benchmark` raises the stakes further.
+    let scale = match std::env::var("QOB_SCALE").as_deref() {
+        Ok("benchmark") => Scale::benchmark(),
+        Ok("tiny") => Scale::tiny(),
+        _ => Scale::small(),
+    };
+    let ctx = BenchmarkContext::new(scale, IndexConfig::PrimaryKeyOnly).unwrap();
+    let pg = ctx.estimator(EstimatorKind::Postgres);
+    let mut group = c.benchmark_group("thread_scaling");
+    group.sample_size(10);
+    for name in ["4a", "13b"] {
+        let query = ctx.query(name).expect("query");
+        let plan = ctx.optimize(&query, pg.as_ref(), PlannerConfig::default()).unwrap().plan;
+        for threads in [1usize, 2, 4] {
+            let options = ExecutionOptions { threads, ..Default::default() };
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{threads}t")),
+                &options,
+                |b, options| {
+                    b.iter(|| {
+                        let hint = |set: RelSet| pg.estimate(&query, set);
+                        std::hint::black_box(
+                            qob_exec::execute_plan(ctx.db(), &query, &plan, &hint, options)
+                                .unwrap(),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hash_sizing, bench_join_algorithms, bench_thread_scaling);
 criterion_main!(benches);

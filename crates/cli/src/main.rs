@@ -35,6 +35,8 @@ OPTIONS:
         --indexes <i>        physical design: none | pk | pkfk     [default: pk]
         --estimator <n>      postgres | hyper | dbms-a | dbms-b | dbms-c |
                              true-distinct                          [default: postgres]
+        --threads <n>        execution worker threads; 1 = sequential engine,
+                             0 = all cores                          [default: 0]
         --no-exec            stop after planning (skip execution and q-errors)
     -h, --help               print this help
 
@@ -49,6 +51,7 @@ struct Options {
     indexes: IndexConfig,
     estimator: EstimatorKind,
     execute: bool,
+    threads: usize,
 }
 
 enum Source {
@@ -64,6 +67,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         indexes: IndexConfig::PrimaryKeyOnly,
         estimator: EstimatorKind::Postgres,
         execute: true,
+        threads: qob_exec::default_threads(),
     };
     let mut i = 0;
     let value = |i: &mut usize, flag: &str| -> Result<String, String> {
@@ -91,6 +95,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
             }
             "--estimator" => options.estimator = parse_estimator(&value(&mut i, "--estimator")?)?,
+            "--threads" => {
+                let raw = value(&mut i, "--threads")?;
+                let n: usize =
+                    raw.parse().map_err(|_| format!("--threads needs a number, got `{raw}`"))?;
+                options.threads = if n == 0 { qob_exec::default_threads() } else { n };
+            }
             "--no-exec" => options.execute = false,
             "-" => options.source = Source::Stdin,
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
@@ -201,15 +211,22 @@ fn run_query(ctx: &BenchmarkContext, query: &QuerySpec, options: &Options) -> Re
         .optimize(query, estimator.as_ref(), PlannerConfig::default())
         .map_err(|e| format!("optimization failed: {e}"))?;
 
-    println!("plan chosen with {} estimates (cost {:.1}):", estimator.name(), optimized.cost);
+    println!(
+        "plan chosen with {} estimates (cost {:.1}, {} thread{}):",
+        estimator.name(),
+        optimized.cost,
+        options.threads,
+        if options.threads == 1 { "" } else { "s" }
+    );
     print!("{}", optimized.plan.render(query));
 
     if !options.execute {
         return Ok(());
     }
 
+    let exec_options = ExecutionOptions::with_threads(options.threads);
     let result = ctx
-        .execute(query, &optimized.plan, estimator.as_ref(), &ExecutionOptions::default())
+        .execute(query, &optimized.plan, estimator.as_ref(), &exec_options)
         .map_err(|e| format!("execution failed: {e}"))?;
 
     // Per-operator estimated vs. true cardinalities, in execution order.
@@ -279,7 +296,19 @@ mod tests {
         assert!(parse_args(&args(&["--scale", "huge"])).is_err());
         assert!(parse_args(&args(&["--estimator"])).is_err());
         assert!(parse_args(&args(&["--bogus"])).is_err());
+        assert!(parse_args(&args(&["--threads", "four"])).is_err());
         assert_eq!(parse_args(&args(&["--help"])).err().unwrap(), "");
+    }
+
+    #[test]
+    fn threads_flag_parses_with_zero_meaning_all_cores() {
+        assert_eq!(parse_args(&args(&["--threads", "4"])).unwrap().threads, 4);
+        assert_eq!(parse_args(&args(&["--threads", "1"])).unwrap().threads, 1);
+        assert_eq!(
+            parse_args(&args(&["--threads", "0"])).unwrap().threads,
+            qob_exec::default_threads()
+        );
+        assert_eq!(parse_args(&[]).unwrap().threads, qob_exec::default_threads());
     }
 
     #[test]

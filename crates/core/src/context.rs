@@ -13,7 +13,7 @@ use qob_cardest::{
 use qob_cost::{CostContext, CostModel, SimpleCostModel};
 use qob_datagen::{generate_imdb, Scale};
 use qob_enumerate::{OptimizedPlan, Planner, PlannerConfig};
-use qob_exec::{ExecutionOptions, ExecutionResult, TrueCardinalityOptions};
+use qob_exec::{ExecutionError, ExecutionOptions, ExecutionResult, TrueCardinalityOptions};
 use qob_plan::{PhysicalPlan, QuerySpec, RelSet};
 use qob_stats::{analyze_database, AnalyzeOptions, DatabaseStats};
 use qob_storage::{Database, IndexConfig, StorageError};
@@ -70,7 +70,9 @@ pub struct BenchmarkContext {
     stats: DatabaseStats,
     scale: Scale,
     queries: Vec<QuerySpec>,
-    truth_cache: Mutex<HashMap<String, Arc<TrueCardinalities>>>,
+    /// Per-query ground truth — or the recorded extraction failure (timeout
+    /// vs. memory), so a failed harvest is never mistaken for an empty one.
+    truth_cache: Mutex<HashMap<String, Result<Arc<TrueCardinalities>, ExecutionError>>>,
     truth_options: TrueCardinalityOptions,
 }
 
@@ -91,6 +93,7 @@ impl BenchmarkContext {
             truth_options: TrueCardinalityOptions {
                 max_intermediate_slots: 50_000_000,
                 timeout: Some(std::time::Duration::from_secs(60)),
+                ..TrueCardinalityOptions::default()
             },
         })
     }
@@ -155,21 +158,71 @@ impl BenchmarkContext {
         }
     }
 
-    /// The exact cardinalities of every connected subexpression of `query`
-    /// (computed once per query and cached).
-    pub fn true_cardinalities(&self, query: &QuerySpec) -> Arc<TrueCardinalities> {
+    /// The exact cardinalities of every connected subexpression of `query`,
+    /// or the extraction failure (computed once per query and cached either
+    /// way — a timeout is recorded as a timeout, never cached as an empty
+    /// truth).
+    pub fn try_true_cardinalities(
+        &self,
+        query: &QuerySpec,
+    ) -> Result<Arc<TrueCardinalities>, ExecutionError> {
         if let Some(cached) = self.truth_cache.lock().get(&query.name) {
-            return Arc::clone(cached);
+            return cached.clone();
         }
-        let computed =
-            qob_exec::true_cardinalities(&self.db, query, &self.truth_options).unwrap_or_default();
-        let mut truth = TrueCardinalities::new();
-        for (set, card) in computed {
-            truth.insert(set, card as f64);
+        let result = qob_exec::true_cardinalities(&self.db, query, &self.truth_options)
+            .map(|computed| Arc::new(to_truth(computed)));
+        self.truth_cache.lock().insert(query.name.clone(), result.clone());
+        result
+    }
+
+    /// The exact cardinalities of every connected subexpression of `query`.
+    ///
+    /// On extraction failure this returns an *uncached* empty truth — callers
+    /// that need to distinguish "no truth" from "truth is empty" use
+    /// [`BenchmarkContext::try_true_cardinalities`] or inspect
+    /// [`BenchmarkContext::truth_failures`].
+    pub fn true_cardinalities(&self, query: &QuerySpec) -> Arc<TrueCardinalities> {
+        self.try_true_cardinalities(query).unwrap_or_else(|_| Arc::new(TrueCardinalities::new()))
+    }
+
+    /// Every recorded ground-truth extraction failure, by query name.
+    pub fn truth_failures(&self) -> Vec<(String, ExecutionError)> {
+        let mut failures: Vec<(String, ExecutionError)> = self
+            .truth_cache
+            .lock()
+            .iter()
+            .filter_map(|(name, r)| r.as_ref().err().map(|e| (name.clone(), e.clone())))
+            .collect();
+        failures.sort_by(|a, b| a.0.cmp(&b.0));
+        failures
+    }
+
+    /// Sets the worker-thread count used inside ground-truth extraction.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.truth_options.threads = threads.max(1);
+    }
+
+    /// Pre-computes (and caches) ground truth for a query subset, spreading
+    /// whole queries across `workers` threads.  Returns how many queries were
+    /// freshly extracted.
+    pub fn precompute_true_cardinalities(&self, limit: Option<usize>, workers: usize) -> usize {
+        let cached: std::collections::HashSet<String> =
+            self.truth_cache.lock().keys().cloned().collect();
+        let todo: Vec<&QuerySpec> =
+            self.query_subset(limit).into_iter().filter(|q| !cached.contains(&q.name)).collect();
+        if todo.is_empty() {
+            return 0;
         }
-        let truth = Arc::new(truth);
-        self.truth_cache.lock().insert(query.name.clone(), Arc::clone(&truth));
-        truth
+        // Whole queries parallelise across workers; within-query threads
+        // would oversubscribe the batch, so they stay at 1 here.
+        let options = TrueCardinalityOptions { threads: 1, ..self.truth_options.clone() };
+        let results = qob_exec::true_cardinalities_batch(&self.db, &todo, &options, workers);
+        let fresh = todo.len();
+        let mut cache = self.truth_cache.lock();
+        for (query, result) in todo.into_iter().zip(results) {
+            cache.insert(query.name.clone(), result.map(|computed| Arc::new(to_truth(computed))));
+        }
+        fresh
     }
 
     /// Optimizes `query` with exhaustive bushy DP under the default
@@ -224,6 +277,15 @@ impl BenchmarkContext {
         let hint = |set: RelSet| sizing_cards.estimate(query, set);
         qob_exec::execute_plan(&self.db, query, plan, &hint, options)
     }
+}
+
+/// Converts a raw extraction result into the estimator-facing truth table.
+fn to_truth(computed: HashMap<RelSet, u64>) -> TrueCardinalities {
+    let mut truth = TrueCardinalities::new();
+    for (set, card) in computed {
+        truth.insert(set, card as f64);
+    }
+    truth
 }
 
 #[cfg(test)]
@@ -283,6 +345,34 @@ mod tests {
                 assert!(card <= rows);
             }
         }
+    }
+
+    #[test]
+    fn truth_failures_are_recorded_not_cached_as_empty_truth() {
+        let mut ctx = ctx();
+        ctx.truth_options.timeout = Some(std::time::Duration::from_nanos(1));
+        let q = ctx.query("2a").unwrap();
+        let err = ctx.try_true_cardinalities(&q).unwrap_err();
+        assert!(matches!(err, ExecutionError::Timeout { .. }), "got {err:?}");
+        // The compatibility accessor degrades to an empty truth...
+        assert!(ctx.true_cardinalities(&q).is_empty());
+        // ...but the failure is recorded as a failure, not as a cached truth.
+        let failures = ctx.truth_failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].0, "2a");
+        assert!(matches!(failures[0].1, ExecutionError::Timeout { .. }));
+    }
+
+    #[test]
+    fn precompute_fills_the_truth_cache_once() {
+        let ctx = ctx();
+        let fresh = ctx.precompute_true_cardinalities(Some(5), 3);
+        assert!(fresh >= 5, "got {fresh}");
+        assert_eq!(ctx.precompute_true_cardinalities(Some(5), 3), 0, "second pass hits cache");
+        assert!(ctx.truth_failures().is_empty());
+        // Precomputed truths match the per-query path.
+        let q = ctx.query_subset(Some(5))[0].clone();
+        assert!(!ctx.true_cardinalities(&q).is_empty());
     }
 
     #[test]

@@ -270,6 +270,9 @@ pub struct RiskOptions {
     pub timeout: std::time::Duration,
     /// Slowdown assigned to a query that timed out or exhausted memory.
     pub failure_slowdown: f64,
+    /// Worker threads: drives parallel execution of each plan and the warm-up
+    /// of the ground-truth cache across queries.
+    pub threads: usize,
 }
 
 impl Default for RiskOptions {
@@ -280,6 +283,7 @@ impl Default for RiskOptions {
             query_limit: None,
             timeout: std::time::Duration::from_secs(10),
             failure_slowdown: 1000.0,
+            threads: qob_exec::default_threads(),
         }
     }
 }
@@ -307,8 +311,12 @@ pub fn risk_of_estimates(
     let exec_options = ExecutionOptions {
         enable_rehash: options.enable_rehash,
         timeout: Some(options.timeout),
+        threads: options.threads.max(1),
         ..ExecutionOptions::default()
     };
+    // Harvest the ground truth for the whole subset up front, whole queries
+    // in parallel — the cost floor of every runtime experiment.
+    ctx.precompute_true_cardinalities(options.query_limit, options.threads.max(1));
     let pg_fallback = ctx.estimator(EstimatorKind::Postgres);
 
     // Reference runtimes with true cardinalities.

@@ -1,15 +1,21 @@
-//! The plan executor: options, errors, results and the recursive driver.
+//! The plan executor: options, errors, results and the pipeline driver.
 
 use std::fmt;
 use std::time::Duration;
 
-use qob_plan::{JoinAlgorithm, PhysicalPlan, QuerySpec, RelSet};
+use qob_plan::{PhysicalPlan, QuerySpec, RelSet};
 use qob_storage::{ColumnId, Database};
 
-use crate::intermediate::Intermediate;
-use crate::operators::{
-    hash_join, index_nested_loop_join, nested_loop_join, scan, sort_merge_join, ExecGuard,
-};
+use crate::operators::ExecGuard;
+
+/// The number of worker threads the engine uses by default: everything the
+/// machine offers.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// The default number of tuples per morsel.
+pub const DEFAULT_MORSEL_SIZE: usize = 16_384;
 
 /// Runtime options of the execution engine.
 #[derive(Debug, Clone)]
@@ -21,9 +27,17 @@ pub struct ExecutionOptions {
     /// Abort execution after this wall-clock budget (the paper's query
     /// timeout for disastrous plans).
     pub timeout: Option<Duration>,
-    /// Abort when any intermediate exceeds this many row-id slots, a memory
-    /// guard against exploding plans.
+    /// Abort when any operator's output exceeds this many row-id slots, a
+    /// memory guard against exploding plans.
     pub max_intermediate_slots: usize,
+    /// Worker threads driving each pipeline.  `1` reproduces the historical
+    /// sequential interpreter exactly (same hash-table sizing, insert order
+    /// and output order); the default saturates all cores.
+    pub threads: usize,
+    /// Tuples per morsel — the unit of work pipeline workers pull from a
+    /// source.  Smaller morsels spread uneven work better, larger ones
+    /// amortise scheduling; the default suits cache-resident row-id tuples.
+    pub morsel_size: usize,
 }
 
 impl Default for ExecutionOptions {
@@ -32,7 +46,16 @@ impl Default for ExecutionOptions {
             enable_rehash: true,
             timeout: Some(Duration::from_secs(30)),
             max_intermediate_slots: 200_000_000,
+            threads: default_threads(),
+            morsel_size: DEFAULT_MORSEL_SIZE,
         }
+    }
+}
+
+impl ExecutionOptions {
+    /// The options with `threads` workers and everything else default.
+    pub fn with_threads(threads: usize) -> Self {
+        ExecutionOptions { threads: threads.max(1), ..Default::default() }
     }
 }
 
@@ -100,7 +123,8 @@ pub struct ExecutionResult {
     pub operator_cardinalities: Vec<(RelSet, u64)>,
 }
 
-/// Executes `plan` for `query` against `db`.
+/// Executes `plan` for `query` against `db` on the morsel-driven pipeline
+/// engine (see [`crate::pipeline`]).
 ///
 /// `build_size_hint` supplies the optimizer's cardinality estimate for any
 /// subexpression — the executor uses it only to size hash-join tables,
@@ -114,75 +138,15 @@ pub fn execute_plan(
 ) -> Result<ExecutionResult, ExecutionError> {
     plan.validate(query).map_err(ExecutionError::InvalidPlan)?;
     let guard = ExecGuard::new(options);
-    let mut operator_cardinalities = Vec::new();
-    let result =
-        run(db, query, plan, build_size_hint, options, &guard, &mut operator_cardinalities)?;
-    Ok(ExecutionResult {
-        rows: result.len() as u64,
-        elapsed: guard.elapsed(),
-        operator_cardinalities,
-    })
-}
-
-fn run(
-    db: &Database,
-    query: &QuerySpec,
-    plan: &PhysicalPlan,
-    hint: &dyn Fn(RelSet) -> f64,
-    options: &ExecutionOptions,
-    guard: &ExecGuard,
-    cards: &mut Vec<(RelSet, u64)>,
-) -> Result<Intermediate, ExecutionError> {
-    guard.check_deadline()?;
-    match plan {
-        PhysicalPlan::Scan { rel } => Ok(scan(db, query, *rel)),
-        PhysicalPlan::Join { algorithm, left, right, keys } => {
-            let left_result = run(db, query, left, hint, options, guard, cards)?;
-            let out = match algorithm {
-                JoinAlgorithm::IndexNestedLoop => {
-                    let inner_rel = match right.as_ref() {
-                        PhysicalPlan::Scan { rel } => *rel,
-                        _ => {
-                            return Err(ExecutionError::InvalidPlan(
-                                "index-nested-loop join needs a base relation inner".to_owned(),
-                            ))
-                        }
-                    };
-                    index_nested_loop_join(db, query, &left_result, inner_rel, keys, guard)?
-                }
-                JoinAlgorithm::Hash => {
-                    let right_result = run(db, query, right, hint, options, guard, cards)?;
-                    let estimate = hint(left_result.rel_set());
-                    hash_join(
-                        db,
-                        query,
-                        &left_result,
-                        &right_result,
-                        keys,
-                        estimate,
-                        options,
-                        guard,
-                    )?
-                }
-                JoinAlgorithm::NestedLoop => {
-                    let right_result = run(db, query, right, hint, options, guard, cards)?;
-                    nested_loop_join(db, query, &left_result, &right_result, keys, guard)?
-                }
-                JoinAlgorithm::SortMerge => {
-                    let right_result = run(db, query, right, hint, options, guard, cards)?;
-                    sort_merge_join(db, query, &left_result, &right_result, keys, guard)?
-                }
-            };
-            cards.push((out.rel_set(), out.len() as u64));
-            Ok(out)
-        }
-    }
+    let (rows, operator_cardinalities) =
+        crate::pipeline::run_plan(db, query, plan, build_size_hint, options, &guard)?;
+    Ok(ExecutionResult { rows, elapsed: guard.elapsed(), operator_cardinalities })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qob_plan::{BaseRelation, JoinEdge, JoinKey};
+    use qob_plan::{BaseRelation, JoinAlgorithm, JoinEdge, JoinKey};
     use qob_storage::{CmpOp, ColumnMeta, DataType, IndexConfig, Predicate, TableBuilder, Value};
 
     /// Two tables: `movies(id, year)` with 100 rows and `info(id, movie_id)`
@@ -342,6 +306,97 @@ mod tests {
         );
         let r = execute_plan(&db, &q2, &plan, &|_| 10.0, &ExecutionOptions::default()).unwrap();
         assert_eq!(r.rows, EXPECTED_ROWS, "inner predicate must be applied after the index lookup");
+    }
+
+    #[test]
+    fn parallel_engine_matches_sequential_tuple_for_tuple() {
+        let (db, q) = setup(IndexConfig::PrimaryAndForeignKey);
+        let algorithms = [
+            JoinAlgorithm::Hash,
+            JoinAlgorithm::NestedLoop,
+            JoinAlgorithm::SortMerge,
+            JoinAlgorithm::IndexNestedLoop,
+        ];
+        for alg in algorithms {
+            let plan = PhysicalPlan::join(
+                alg,
+                PhysicalPlan::scan(0),
+                PhysicalPlan::scan(1),
+                vec![key01()],
+            );
+            // A tiny morsel forces genuine multi-morsel scheduling even on
+            // this small input.
+            let seq = ExecutionOptions { threads: 1, morsel_size: 16, ..Default::default() };
+            let par = ExecutionOptions { threads: 4, morsel_size: 16, ..Default::default() };
+            let a = execute_plan(&db, &q, &plan, &|_| 10.0, &seq).unwrap();
+            let b = execute_plan(&db, &q, &plan, &|_| 10.0, &par).unwrap();
+            assert_eq!(a.rows, EXPECTED_ROWS, "{alg:?}");
+            assert_eq!(a.rows, b.rows, "{alg:?}");
+            assert_eq!(a.operator_cardinalities, b.operator_cardinalities, "{alg:?}");
+        }
+
+        // The Figure 6 pathology path: a severely undersized, never-rehashed
+        // table must stay correct under the partitioned parallel build too.
+        let plan = PhysicalPlan::join(
+            JoinAlgorithm::Hash,
+            PhysicalPlan::scan(1),
+            PhysicalPlan::scan(0),
+            vec![JoinKey {
+                left_rel: 1,
+                left_column: ColumnId(1),
+                right_rel: 0,
+                right_column: ColumnId(0),
+            }],
+        );
+        for threads in [1usize, 4] {
+            let opts = ExecutionOptions {
+                enable_rehash: false,
+                threads,
+                morsel_size: 16,
+                ..Default::default()
+            };
+            let r = execute_plan(&db, &q, &plan, &|_| 1.0, &opts).unwrap();
+            assert_eq!(r.rows, EXPECTED_ROWS, "undersized fixed table, threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_guards_still_abort() {
+        let (db, q) = setup(IndexConfig::PrimaryKeyOnly);
+        let nl = PhysicalPlan::join(
+            JoinAlgorithm::NestedLoop,
+            PhysicalPlan::scan(1),
+            PhysicalPlan::scan(0),
+            vec![JoinKey {
+                left_rel: 1,
+                left_column: ColumnId(1),
+                right_rel: 0,
+                right_column: ColumnId(0),
+            }],
+        );
+        let opts = ExecutionOptions {
+            timeout: Some(Duration::from_nanos(1)),
+            threads: 4,
+            morsel_size: 16,
+            ..Default::default()
+        };
+        let err = execute_plan(&db, &q, &nl, &|_| 10.0, &opts).unwrap_err();
+        assert!(matches!(err, ExecutionError::Timeout { .. }), "got {err:?}");
+
+        let hj = PhysicalPlan::join(
+            JoinAlgorithm::Hash,
+            PhysicalPlan::scan(0),
+            PhysicalPlan::scan(1),
+            vec![key01()],
+        );
+        let opts = ExecutionOptions {
+            max_intermediate_slots: 10,
+            threads: 4,
+            morsel_size: 16,
+            ..Default::default()
+        };
+        let err = execute_plan(&db, &q, &hj, &|_| 10.0, &opts).unwrap_err();
+        assert!(matches!(err, ExecutionError::IntermediateTooLarge { .. }), "got {err:?}");
     }
 
     #[test]

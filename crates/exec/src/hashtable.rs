@@ -29,11 +29,45 @@ pub struct ChainedHashTable {
     resize_count: usize,
 }
 
-fn bucket_count_for(estimate: f64) -> usize {
+pub(crate) fn bucket_count_for(estimate: f64) -> usize {
     // One bucket per estimated row, rounded up to a power of two, with a
     // small floor so even a 1-row estimate gets a usable table.
     let target = estimate.max(1.0).min((1u64 << 30) as f64) as usize;
     target.next_power_of_two().max(16)
+}
+
+/// The bucket a key hashes to in a table of `bucket_count` (power of two)
+/// buckets — shared by the table itself and the partition-wise parallel
+/// builder, which must agree on the mapping.
+#[inline]
+pub(crate) fn bucket_for(key: i64, bucket_count: usize) -> usize {
+    // Multiplicative hashing (Fibonacci constant); bucket count is a power of two.
+    let h = (key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (h >> (64 - bucket_count.trailing_zeros())) as usize & (bucket_count - 1)
+}
+
+/// One partition's disjoint slices of the shared table, handed to a worker.
+struct PartitionInsert<'a> {
+    /// This partition's contiguous bucket range.
+    buckets: &'a mut [u32],
+    /// First global bucket index of the range.
+    bucket_base: usize,
+    /// This partition's contiguous entry range.
+    entries: &'a mut [Entry],
+    /// Global entry index of `entries[0]` (chain links are global).
+    entry_base: u32,
+    /// The `(key, build tuple)` pairs of this partition, in insertion order.
+    pairs: Vec<(i64, u32)>,
+}
+
+impl PartitionInsert<'_> {
+    fn run(self, bucket_count: usize) {
+        for (i, &(key, tuple)) in self.pairs.iter().enumerate() {
+            let bucket = bucket_for(key, bucket_count) - self.bucket_base;
+            self.entries[i] = Entry { key, tuple, next: self.buckets[bucket] };
+            self.buckets[bucket] = self.entry_base + i as u32;
+        }
+    }
 }
 
 impl ChainedHashTable {
@@ -52,9 +86,76 @@ impl ChainedHashTable {
 
     #[inline]
     fn bucket_of(&self, key: i64) -> usize {
-        // Multiplicative hashing (Fibonacci constant); bucket count is a power of two.
-        let h = (key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        (h >> (64 - self.buckets.len().trailing_zeros())) as usize & (self.buckets.len() - 1)
+        bucket_for(key, self.buckets.len())
+    }
+
+    /// Builds the table from pre-partitioned `(key, build tuple)` pairs with
+    /// up to `threads` concurrent partition-wise inserts.
+    ///
+    /// `bucket_count` and `partitions.len()` must be powers of two with
+    /// `partitions.len() <= bucket_count`; partition `p` must hold exactly the
+    /// keys whose [`bucket_for`] falls in `p`'s contiguous bucket range.  Each
+    /// partition owns disjoint bucket and entry ranges, so inserts need no
+    /// synchronisation.  Inserting each partition's pairs in ascending tuple
+    /// order makes every bucket chain identical to a sequential build's, so
+    /// probes yield matches in the same order whichever path built the table.
+    pub fn from_partitions(
+        bucket_count: usize,
+        rehash: bool,
+        partitions: Vec<Vec<(i64, u32)>>,
+        threads: usize,
+    ) -> Self {
+        debug_assert!(bucket_count.is_power_of_two());
+        debug_assert!(partitions.len().is_power_of_two());
+        debug_assert!(partitions.len() <= bucket_count);
+        let total: usize = partitions.iter().map(Vec::len).sum();
+        let mut buckets = vec![NO_ENTRY; bucket_count];
+        let mut entries = vec![Entry { key: 0, tuple: 0, next: NO_ENTRY }; total];
+        let stride = bucket_count / partitions.len();
+
+        // Carve the shared arrays into per-partition disjoint slices.
+        let mut work: Vec<PartitionInsert<'_>> = Vec::with_capacity(partitions.len());
+        let mut bucket_rest: &mut [u32] = &mut buckets;
+        let mut entry_rest: &mut [Entry] = &mut entries;
+        let mut entry_base = 0u32;
+        for (p, pairs) in partitions.into_iter().enumerate() {
+            let (bucket_slice, rest) = bucket_rest.split_at_mut(stride);
+            bucket_rest = rest;
+            let (entry_slice, rest) = entry_rest.split_at_mut(pairs.len());
+            entry_rest = rest;
+            let base = entry_base;
+            entry_base += pairs.len() as u32;
+            work.push(PartitionInsert {
+                buckets: bucket_slice,
+                bucket_base: p * stride,
+                entries: entry_slice,
+                entry_base: base,
+                pairs,
+            });
+        }
+
+        let workers = threads.min(work.len()).max(1);
+        if workers == 1 {
+            for w in work {
+                w.run(bucket_count);
+            }
+        } else {
+            let queue: Vec<parking_lot::Mutex<Option<PartitionInsert<'_>>>> =
+                work.into_iter().map(|w| parking_lot::Mutex::new(Some(w))).collect();
+            let cursor = std::sync::atomic::AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| loop {
+                        let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(slot) = queue.get(i) else { break };
+                        if let Some(w) = slot.lock().take() {
+                            w.run(bucket_count);
+                        }
+                    });
+                }
+            });
+        }
+        ChainedHashTable { buckets, entries, rehash, resize_count: 0 }
     }
 
     /// Inserts a `(key, build tuple index)` pair.
@@ -221,6 +322,32 @@ mod tests {
         assert_eq!(t.probe(i64::MIN).collect::<Vec<_>>(), vec![1]);
         assert_eq!(t.probe(i64::MAX).collect::<Vec<_>>(), vec![2]);
         assert_eq!(t.probe(-1).collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn partitioned_build_matches_sequential_probe_order() {
+        // Skewed keys (many duplicates) plus unique keys.
+        let pairs: Vec<(i64, u32)> = (0..5_000u32).map(|t| ((t as i64) % 613 - 300, t)).collect();
+        let mut seq = ChainedHashTable::with_estimate(5_000.0, false);
+        for &(k, t) in &pairs {
+            seq.insert(k, t);
+        }
+        let bucket_count = seq.bucket_count();
+        for partition_count in [1usize, 4, 16] {
+            let stride = bucket_count / partition_count;
+            let mut partitions: Vec<Vec<(i64, u32)>> = vec![Vec::new(); partition_count];
+            for &(k, t) in &pairs {
+                partitions[bucket_for(k, bucket_count) / stride].push((k, t));
+            }
+            let par = ChainedHashTable::from_partitions(bucket_count, false, partitions, 4);
+            assert_eq!(par.len(), seq.len());
+            assert_eq!(par.bucket_count(), seq.bucket_count());
+            for key in -310..320 {
+                let s: Vec<RowId> = seq.probe(key).collect();
+                let p: Vec<RowId> = par.probe(key).collect();
+                assert_eq!(s, p, "probe order differs for key {key} at P={partition_count}");
+            }
+        }
     }
 
     #[test]

@@ -4,6 +4,12 @@
 //! each tuple holding one [`RowId`] per base relation joined so far.  Keeping
 //! row ids instead of copied values keeps intermediates small and lets any
 //! downstream operator fetch whatever column it needs from the base tables.
+//!
+//! The tuple store is *chunked*: a sequential producer appends into a single
+//! chunk, while the morsel-driven pipeline engine materialises one chunk per
+//! source morsel and concatenates them in morsel order, so the tuple order is
+//! identical whichever worker produced which chunk.  [`Intermediate::morsels`]
+//! hands out the fixed-size tuple ranges that pipeline workers pull.
 
 use qob_plan::RelSet;
 use qob_storage::{Database, RowId};
@@ -13,20 +19,48 @@ use qob_storage::{Database, RowId};
 pub struct Intermediate {
     /// The relation indices covered, in slot order.
     rels: Vec<usize>,
-    /// Flattened tuples: `data[t * width + s]` is the row of relation
-    /// `rels[s]` in tuple `t`.
-    data: Vec<RowId>,
+    /// Tuple storage: each chunk holds `chunk.len() / width` complete tuples,
+    /// flattened as `chunk[t * width + s]`.
+    chunks: Vec<Vec<RowId>>,
+    /// Cumulative tuple counts: `offsets[i]` is the global index of the first
+    /// tuple of chunk `i`; `offsets.last()` is the total tuple count.
+    offsets: Vec<usize>,
 }
 
 impl Intermediate {
     /// Creates an intermediate over the given relations with no tuples.
     pub fn empty(rels: Vec<usize>) -> Self {
-        Intermediate { rels, data: Vec::new() }
+        Intermediate { rels, chunks: vec![Vec::new()], offsets: vec![0, 0] }
     }
 
     /// Creates a single-relation intermediate from a selection vector.
     pub fn from_scan(rel: usize, rows: Vec<RowId>) -> Self {
-        Intermediate { rels: vec![rel], data: rows }
+        let len = rows.len();
+        Intermediate { rels: vec![rel], chunks: vec![rows], offsets: vec![0, len] }
+    }
+
+    /// Assembles an intermediate from per-morsel output chunks, in the order
+    /// given (the deterministic concatenation of a parallel pipeline).  Empty
+    /// chunks are dropped.
+    pub fn from_chunks(rels: Vec<usize>, chunks: Vec<Vec<RowId>>) -> Self {
+        let width = rels.len().max(1);
+        let mut kept = Vec::with_capacity(chunks.len());
+        let mut offsets = Vec::with_capacity(chunks.len() + 1);
+        offsets.push(0);
+        let mut total = 0usize;
+        for chunk in chunks {
+            if chunk.is_empty() {
+                continue;
+            }
+            debug_assert_eq!(chunk.len() % width, 0, "chunk holds whole tuples");
+            total += chunk.len() / width;
+            offsets.push(total);
+            kept.push(chunk);
+        }
+        if kept.is_empty() {
+            return Intermediate::empty(rels);
+        }
+        Intermediate { rels, chunks: kept, offsets }
     }
 
     /// The relation indices covered, in slot order.
@@ -49,13 +83,23 @@ impl Intermediate {
         if self.rels.is_empty() {
             0
         } else {
-            self.data.len() / self.rels.len()
+            *self.offsets.last().expect("offsets never empty")
         }
     }
 
     /// True if there are no tuples.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len() == 0
+    }
+
+    /// Number of storage chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// The raw tuple data of chunk `i`.
+    pub fn chunk(&self, i: usize) -> &[RowId] {
+        &self.chunks[i]
     }
 
     /// The slot position of relation `rel`, if covered.
@@ -63,30 +107,71 @@ impl Intermediate {
         self.rels.iter().position(|r| *r == rel)
     }
 
-    /// The tuple at index `t` as a slice of row ids (one per slot).
+    /// The chunk index holding global tuple `t`.
+    #[inline]
+    fn chunk_of(&self, t: usize) -> usize {
+        // partition_point returns the first offset > t, i.e. 1 + chunk index.
+        self.offsets.partition_point(|&o| o <= t) - 1
+    }
+
+    /// The tuple at global index `t` as a slice of row ids (one per slot).
     #[inline]
     pub fn tuple(&self, t: usize) -> &[RowId] {
         let w = self.width();
-        &self.data[t * w..(t + 1) * w]
+        if self.chunks.len() == 1 {
+            // Fast path: sequentially-built intermediates are single-chunk.
+            return &self.chunks[0][t * w..(t + 1) * w];
+        }
+        let c = self.chunk_of(t);
+        let local = t - self.offsets[c];
+        &self.chunks[c][local * w..(local + 1) * w]
+    }
+
+    /// Iterates over the tuples with global indices in `range`, walking chunk
+    /// boundaries without per-tuple search.
+    pub fn tuples_in(&self, range: std::ops::Range<usize>) -> impl Iterator<Item = &[RowId]> + '_ {
+        let w = self.width().max(1);
+        let start_chunk = if range.start < range.end { self.chunk_of(range.start) } else { 0 };
+        let mut remaining = range.end.saturating_sub(range.start);
+        let mut local = range.start - self.offsets.get(start_chunk).copied().unwrap_or(0);
+        self.chunks[start_chunk..].iter().flat_map(move |chunk| {
+            let tuples = chunk.len() / w;
+            let begin = local.min(tuples);
+            let take = (tuples - begin).min(remaining);
+            local = 0;
+            remaining -= take;
+            chunk[begin * w..(begin + take) * w].chunks_exact(w)
+        })
+    }
+
+    /// Fixed-size morsel ranges covering all tuples, in tuple order.
+    pub fn morsels(&self, morsel_tuples: usize) -> impl Iterator<Item = std::ops::Range<usize>> {
+        let len = self.len();
+        let size = morsel_tuples.max(1);
+        (0..len.div_ceil(size)).map(move |m| m * size..((m + 1) * size).min(len))
     }
 
     /// Appends a tuple assembled from two parent tuples.
     #[inline]
     pub fn push_joined(&mut self, left: &[RowId], right: &[RowId]) {
-        self.data.extend_from_slice(left);
-        self.data.extend_from_slice(right);
+        let last = self.chunks.last_mut().expect("at least one chunk");
+        last.extend_from_slice(left);
+        last.extend_from_slice(right);
+        *self.offsets.last_mut().expect("offsets never empty") += 1;
     }
 
     /// Appends a tuple.
     #[inline]
     pub fn push_tuple(&mut self, tuple: &[RowId]) {
         debug_assert_eq!(tuple.len(), self.width());
-        self.data.extend_from_slice(tuple);
+        self.chunks.last_mut().expect("at least one chunk").extend_from_slice(tuple);
+        *self.offsets.last_mut().expect("offsets never empty") += 1;
     }
 
     /// Reserves space for `tuples` additional tuples.
     pub fn reserve(&mut self, tuples: usize) {
-        self.data.reserve(tuples.saturating_mul(self.width()));
+        let slots = tuples.saturating_mul(self.width());
+        self.chunks.last_mut().expect("at least one chunk").reserve(slots);
     }
 
     /// Fetches the integer value of `column` of relation `rel` for tuple `t`,
@@ -109,7 +194,7 @@ impl Intermediate {
     /// Total number of row-id slots stored (a memory proxy used by abort
     /// guards).
     pub fn slot_count(&self) -> usize {
-        self.data.len()
+        self.len() * self.width()
     }
 }
 
@@ -155,5 +240,50 @@ mod tests {
         assert_eq!(i.len(), 0);
         assert!(i.is_empty());
         assert_eq!(i.width(), 0);
+    }
+
+    #[test]
+    fn chunked_assembly_matches_flat_layout() {
+        // Three chunks of width 2, with an empty chunk dropped in between.
+        let i = Intermediate::from_chunks(
+            vec![4, 7],
+            vec![vec![1, 2, 3, 4], vec![], vec![5, 6], vec![7, 8, 9, 10]],
+        );
+        assert_eq!(i.chunk_count(), 3);
+        assert_eq!(i.len(), 5);
+        assert_eq!(i.slot_count(), 10);
+        let expected: Vec<&[RowId]> = vec![&[1, 2], &[3, 4], &[5, 6], &[7, 8], &[9, 10]];
+        for (t, want) in expected.iter().enumerate() {
+            assert_eq!(i.tuple(t), *want, "tuple {t}");
+        }
+        // Range iteration across a chunk boundary.
+        let mid: Vec<&[RowId]> = i.tuples_in(1..4).collect();
+        assert_eq!(mid, vec![&[3u32, 4u32][..], &[5, 6], &[7, 8]]);
+        assert_eq!(i.tuples_in(0..5).count(), 5);
+        assert_eq!(i.tuples_in(5..5).count(), 0);
+        // Appends after assembly still work (go to the last chunk).
+        let mut i = i;
+        i.push_tuple(&[11, 12]);
+        assert_eq!(i.len(), 6);
+        assert_eq!(i.tuple(5), &[11, 12]);
+    }
+
+    #[test]
+    fn all_empty_chunks_collapse_to_empty() {
+        let i = Intermediate::from_chunks(vec![0, 1], vec![vec![], vec![]]);
+        assert_eq!(i.len(), 0);
+        assert!(i.is_empty());
+        assert_eq!(i.chunk_count(), 1);
+    }
+
+    #[test]
+    fn morsel_ranges_cover_everything_in_order() {
+        let i = Intermediate::from_scan(0, (0..10).collect());
+        let ranges: Vec<_> = i.morsels(4).collect();
+        assert_eq!(ranges, vec![0..4, 4..8, 8..10]);
+        let one: Vec<_> = i.morsels(100).collect();
+        assert_eq!(one, vec![0..10]);
+        let empty = Intermediate::empty(vec![0]);
+        assert_eq!(empty.morsels(4).count(), 0);
     }
 }

@@ -17,17 +17,28 @@
 //!   paper disables in Section 4.1,
 //! * **sort-merge joins**.
 //!
+//! The engine is **morsel-driven** (see [`pipeline`]): plans decompose into
+//! pipelines at breakers (hash-join builds, sort-merge sorts), hash tables
+//! are built with parallel partition-wise inserts, and worker threads pull
+//! fixed-size morsels of tuples through each probe pipeline.  `threads: 1`
+//! reproduces the historical sequential interpreter exactly.
+//!
 //! The crate also computes exact cardinalities of every connected
 //! subexpression of a query ([`true_cardinalities`]), the equivalent of the
-//! paper's `SELECT COUNT(*)` ground-truth extraction.
+//! paper's `SELECT COUNT(*)` ground-truth extraction — parallelisable both
+//! across queries ([`true_cardinalities_batch`]) and within one.
 
 pub mod executor;
 pub mod hashtable;
 pub mod intermediate;
 pub mod operators;
+pub mod pipeline;
 pub mod truecard;
 
-pub use executor::{execute_plan, ExecutionError, ExecutionOptions, ExecutionResult};
+pub use executor::{
+    default_threads, execute_plan, ExecutionError, ExecutionOptions, ExecutionResult,
+    DEFAULT_MORSEL_SIZE,
+};
 pub use hashtable::ChainedHashTable;
 pub use intermediate::Intermediate;
-pub use truecard::{true_cardinalities, TrueCardinalityOptions};
+pub use truecard::{true_cardinalities, true_cardinalities_batch, TrueCardinalityOptions};

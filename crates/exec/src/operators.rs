@@ -1,53 +1,71 @@
-//! Physical operator implementations.
+//! Physical operator implementations, split into **build** and **probe**
+//! phases for the morsel-driven pipeline engine.
 //!
-//! All operators are materialising: they consume whole [`Intermediate`]
-//! inputs and produce a new [`Intermediate`].  This keeps the engine simple
-//! and is faithful enough for the paper's experiments, which compare *plan*
-//! quality on one engine rather than engine micro-architecture.
+//! Pipeline breakers (hash-join builds, sort-merge sorts, nested-loop inner
+//! materialisation) run on the coordinator, producing shared read-only state;
+//! the probe phases are evaluated by worker threads one morsel at a time via
+//! [`crate::pipeline`].  All shared state is immutable during probing, so
+//! workers need no synchronisation beyond the [`ExecGuard`]'s atomics and the
+//! per-operator cardinality counters.
 
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
-use qob_plan::{JoinKey, QuerySpec};
-use qob_storage::{Database, RowId};
+use parking_lot::Mutex;
+
+use qob_storage::{ColumnData, Database, HashIndex, Predicate, RowId, Table};
 
 use crate::executor::{ExecutionError, ExecutionOptions};
-use crate::hashtable::ChainedHashTable;
+use crate::hashtable::{bucket_count_for, bucket_for, ChainedHashTable};
 use crate::intermediate::Intermediate;
 
-/// Runtime guard shared by all operators of one execution: wall-clock
-/// timeout and intermediate-size limit.
+/// Runtime guard shared by all operators — and all worker threads — of one
+/// execution: wall-clock timeout, intermediate-size limit and a one-shot
+/// abort latch that fans a failure out to every worker.
 pub struct ExecGuard {
     start: Instant,
-    timeout: Option<std::time::Duration>,
+    timeout: Option<Duration>,
     max_slots: usize,
-    check_counter: std::cell::Cell<u32>,
+    check_counter: AtomicU32,
+    aborted: AtomicBool,
+    failure: Mutex<Option<ExecutionError>>,
 }
 
 const CHECK_INTERVAL: u32 = 16 * 1024;
 
+/// How often a worker-local [`Ticker`] consults the shared guard.
+const LOCAL_CHECK_INTERVAL: u32 = 4 * 1024;
+
 impl ExecGuard {
     /// Creates a guard from the execution options.
     pub fn new(options: &ExecutionOptions) -> Self {
+        ExecGuard::with_limits(options.timeout, options.max_intermediate_slots)
+    }
+
+    /// Creates a guard from explicit limits.
+    pub fn with_limits(timeout: Option<Duration>, max_slots: usize) -> Self {
         ExecGuard {
             start: Instant::now(),
-            timeout: options.timeout,
-            max_slots: options.max_intermediate_slots,
-            check_counter: std::cell::Cell::new(0),
+            timeout,
+            max_slots,
+            check_counter: AtomicU32::new(0),
+            aborted: AtomicBool::new(false),
+            failure: Mutex::new(None),
         }
     }
 
     /// Time elapsed since execution started.
-    pub fn elapsed(&self) -> std::time::Duration {
+    pub fn elapsed(&self) -> Duration {
         self.start.elapsed()
     }
 
-    /// Cheap periodic check: returns an error once the timeout has passed.
+    /// Cheap periodic check: returns an error once the timeout has passed or
+    /// another worker aborted.
     #[inline]
     pub fn tick(&self) -> Result<(), ExecutionError> {
-        let c = self.check_counter.get().wrapping_add(1);
-        self.check_counter.set(c);
+        let c = self.check_counter.fetch_add(1, Ordering::Relaxed).wrapping_add(1);
         if c.is_multiple_of(CHECK_INTERVAL) {
-            self.check_deadline()?;
+            self.poll()?;
         }
         Ok(())
     }
@@ -62,20 +80,87 @@ impl ExecGuard {
         Ok(())
     }
 
-    /// Checks that an intermediate stays within the memory budget.
+    /// Unconditional check of both the abort latch and the deadline.
+    pub fn poll(&self) -> Result<(), ExecutionError> {
+        if self.aborted.load(Ordering::Relaxed) {
+            if let Some(e) = self.failure.lock().clone() {
+                return Err(e);
+            }
+        }
+        self.check_deadline()
+    }
+
+    /// True once any worker has aborted the execution.
+    pub fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::Relaxed)
+    }
+
+    /// Records a failure; the first error wins, later ones are dropped.
+    pub fn abort(&self, error: ExecutionError) {
+        let mut failure = self.failure.lock();
+        if failure.is_none() {
+            *failure = Some(error);
+        }
+        self.aborted.store(true, Ordering::Release);
+    }
+
+    /// The recorded failure, if any worker aborted.
+    pub fn failure(&self) -> Option<ExecutionError> {
+        if self.is_aborted() {
+            self.failure.lock().clone()
+        } else {
+            None
+        }
+    }
+
+    /// Checks that an operator's produced output stays within the memory
+    /// budget (`slots` is the operator's total row-id slot count so far).
+    #[inline]
+    pub fn check_slots(&self, slots: usize) -> Result<(), ExecutionError> {
+        if slots > self.max_slots {
+            return Err(ExecutionError::IntermediateTooLarge { slots, limit: self.max_slots });
+        }
+        Ok(())
+    }
+
+    /// Checks that a materialised intermediate stays within the memory budget.
     pub fn check_size(&self, produced: &Intermediate) -> Result<(), ExecutionError> {
-        if produced.slot_count() > self.max_slots {
-            return Err(ExecutionError::IntermediateTooLarge {
-                slots: produced.slot_count(),
-                limit: self.max_slots,
-            });
+        self.check_slots(produced.slot_count())
+    }
+}
+
+/// A worker-local tick counter: consults the shared [`ExecGuard`] every
+/// [`LOCAL_CHECK_INTERVAL`] events without touching shared cache lines in
+/// between.
+pub struct Ticker<'a> {
+    guard: &'a ExecGuard,
+    count: u32,
+}
+
+impl<'a> Ticker<'a> {
+    /// Creates a ticker against `guard`.
+    pub fn new(guard: &'a ExecGuard) -> Self {
+        Ticker { guard, count: 0 }
+    }
+
+    /// Cheap periodic guard consultation.
+    #[inline]
+    pub fn tick(&mut self) -> Result<(), ExecutionError> {
+        self.count = self.count.wrapping_add(1);
+        if self.count.is_multiple_of(LOCAL_CHECK_INTERVAL) {
+            self.guard.poll()?;
         }
         Ok(())
     }
 }
 
-/// Scans a base relation, applying its selection predicates.
-pub fn scan(db: &Database, query: &QuerySpec, rel: usize) -> Intermediate {
+// ---------------------------------------------------------------------------
+// Scans.
+// ---------------------------------------------------------------------------
+
+/// Scans a base relation, applying its selection predicates (the sequential
+/// one-shot path, used by ground-truth extraction).
+pub fn scan(db: &Database, query: &qob_plan::QuerySpec, rel: usize) -> Intermediate {
     let relation = &query.relations[rel];
     let table = db.table(relation.table);
     let rows: Vec<RowId> = if relation.predicates.is_empty() {
@@ -94,193 +179,658 @@ pub fn scan(db: &Database, query: &QuerySpec, rel: usize) -> Intermediate {
     Intermediate::from_scan(rel, rows)
 }
 
-fn key_value(
-    db: &Database,
-    query: &QuerySpec,
-    input: &Intermediate,
-    tuple: usize,
-    rel: usize,
-    column: qob_storage::ColumnId,
-) -> Option<i64> {
-    input.int_value(db, query, tuple, rel, column)
+/// One selection predicate compiled for per-row evaluation inside a scan
+/// morsel.  String predicates are resolved against the column dictionary once
+/// at compile time and evaluated as integer code comparisons, mirroring the
+/// fast paths of [`Predicate::filter`].
+enum CompiledPred<'a> {
+    /// String equality against a dictionary code.
+    CodeEq { col: &'a ColumnData, code: u32 },
+    /// String set membership against dictionary codes.
+    CodeIn { col: &'a ColumnData, codes: std::collections::HashSet<u32> },
+    /// The literal(s) are absent from the dictionary: nothing matches.
+    Never,
+    /// Everything else falls back to the general evaluator.
+    General { pred: &'a Predicate },
 }
 
-/// Checks the remaining (non-primary) join keys for a candidate pair.
-fn verify_keys(
-    db: &Database,
-    query: &QuerySpec,
-    left: &Intermediate,
-    lt: usize,
-    right: &Intermediate,
-    rt: usize,
-    keys: &[JoinKey],
-) -> bool {
-    keys.iter().all(|k| {
-        let lv = key_value(db, query, left, lt, k.left_rel, k.left_column);
-        let rv = key_value(db, query, right, rt, k.right_rel, k.right_column);
-        match (lv, rv) {
-            (Some(a), Some(b)) => a == b,
-            _ => false,
+/// A relation's conjunction of predicates, compiled for morsel evaluation.
+pub struct CompiledFilter<'a> {
+    table: &'a Table,
+    preds: Vec<CompiledPred<'a>>,
+}
+
+impl<'a> CompiledFilter<'a> {
+    /// Compiles `preds` against `table`.
+    pub fn compile(table: &'a Table, preds: &'a [Predicate]) -> Self {
+        let compiled = preds
+            .iter()
+            .map(|pred| {
+                let dict_codes: Option<Vec<u32>> = match pred {
+                    Predicate::StrEq { column, value } => {
+                        table.column(*column).dict().map(|d| d.code_of(value).into_iter().collect())
+                    }
+                    Predicate::StrIn { column, values } => table
+                        .column(*column)
+                        .dict()
+                        .map(|d| values.iter().filter_map(|v| d.code_of(v)).collect()),
+                    Predicate::Like { column, pattern } => table.column(*column).dict().map(|d| {
+                        d.iter()
+                            .filter(|(_, s)| qob_storage::like_match(pattern, s))
+                            .map(|(c, _)| c)
+                            .collect()
+                    }),
+                    _ => None,
+                };
+                match (pred, dict_codes) {
+                    (_, Some(codes)) if codes.is_empty() => CompiledPred::Never,
+                    (
+                        Predicate::StrEq { column, .. }
+                        | Predicate::StrIn { column, .. }
+                        | Predicate::Like { column, .. },
+                        Some(codes),
+                    ) => {
+                        let col = table.column(*column);
+                        if codes.len() == 1 {
+                            CompiledPred::CodeEq { col, code: codes[0] }
+                        } else {
+                            CompiledPred::CodeIn { col, codes: codes.into_iter().collect() }
+                        }
+                    }
+                    _ => CompiledPred::General { pred },
+                }
+            })
+            .collect();
+        CompiledFilter { table, preds: compiled }
+    }
+
+    /// Evaluates the conjunction for one row.
+    #[inline]
+    pub fn matches(&self, row: RowId) -> bool {
+        self.preds.iter().all(|p| match p {
+            CompiledPred::CodeEq { col, code } => col.code_at(row as usize) == Some(*code),
+            CompiledPred::CodeIn { col, codes } => {
+                col.code_at(row as usize).is_some_and(|c| codes.contains(&c))
+            }
+            CompiledPred::Never => false,
+            CompiledPred::General { pred } => pred.matches(self.table, row),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuple readers.
+// ---------------------------------------------------------------------------
+
+/// O(1) reader of one relation's join column out of a tuple whose slot layout
+/// was resolved at compile time.
+#[derive(Clone, Copy)]
+pub struct ColReader<'a> {
+    slot: usize,
+    col: &'a ColumnData,
+}
+
+impl<'a> ColReader<'a> {
+    /// Creates a reader for slot `slot` against `col`.
+    pub fn new(slot: usize, col: &'a ColumnData) -> Self {
+        ColReader { slot, col }
+    }
+
+    /// The integer value for `tuple`, or `None` if NULL.
+    #[inline]
+    pub fn get(&self, tuple: &[RowId]) -> Option<i64> {
+        self.col.int_at(tuple[self.slot] as usize)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hash join: build phase.
+// ---------------------------------------------------------------------------
+
+/// How many partitions a parallel hash build uses.
+fn partition_count(threads: usize, bucket_count: usize) -> usize {
+    threads.next_power_of_two().min(bucket_count).min(256)
+}
+
+/// Builds the join hash table over `build`, keyed by `key`.
+///
+/// Sequentially (or for small inputs) this is exactly the historical insert
+/// loop: the table is sized from the optimizer's `estimate` and optionally
+/// rehashes at runtime, reproducing the PostgreSQL ≤ 9.4 / 9.5 behaviours.
+/// With `options.threads > 1` the pairs are extracted morsel-parallel,
+/// partitioned by bucket range and inserted partition-wise in parallel; when
+/// rehashing is enabled the table is sized directly from the true build count
+/// (the steady state a rehashing build converges to), while `enable_rehash:
+/// false` keeps the estimate-derived size so the undersized-table pathology
+/// of Figure 6 survives parallel execution.
+pub fn build_hash_table(
+    build: &Intermediate,
+    key: ColReader<'_>,
+    estimate: f64,
+    options: &ExecutionOptions,
+    guard: &ExecGuard,
+) -> Result<ChainedHashTable, ExecutionError> {
+    let n = build.len();
+    let threads = options.threads.max(1);
+    let morsel = options.morsel_size.max(1);
+    if threads == 1 || n <= morsel {
+        let mut table = ChainedHashTable::with_estimate(estimate, options.enable_rehash);
+        for (t, tuple) in build.tuples_in(0..n).enumerate() {
+            guard.tick()?;
+            if let Some(v) = key.get(tuple) {
+                table.insert(v, t as u32);
+            }
         }
-    })
+        return Ok(table);
+    }
+
+    let bucket_count =
+        if options.enable_rehash { bucket_count_for(n as f64) } else { bucket_count_for(estimate) };
+    let parts = partition_count(threads, bucket_count);
+    let stride = bucket_count / parts;
+
+    // Phase 1: extract (key, tuple) pairs morsel-parallel, partitioned by
+    // bucket range.
+    let morsel_count = n.div_ceil(morsel);
+    let workers = threads.min(morsel_count).max(1);
+    let cursor = AtomicUsize::new(0);
+    let mut per_worker: Vec<Vec<Vec<(i64, u32)>>> = Vec::with_capacity(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut locals: Vec<Vec<(i64, u32)>> = vec![Vec::new(); parts];
+                    let mut ticker = Ticker::new(guard);
+                    loop {
+                        if guard.is_aborted() {
+                            break;
+                        }
+                        let m = cursor.fetch_add(1, Ordering::Relaxed);
+                        if m >= morsel_count {
+                            break;
+                        }
+                        let range = m * morsel..((m + 1) * morsel).min(n);
+                        let base = range.start;
+                        for (i, tuple) in build.tuples_in(range).enumerate() {
+                            if let Err(e) = ticker.tick() {
+                                guard.abort(e);
+                                return locals;
+                            }
+                            if let Some(v) = key.get(tuple) {
+                                locals[bucket_for(v, bucket_count) / stride]
+                                    .push((v, (base + i) as u32));
+                            }
+                        }
+                    }
+                    locals
+                })
+            })
+            .collect();
+        for h in handles {
+            per_worker.push(h.join().expect("hash-build worker panicked"));
+        }
+    });
+    if let Some(e) = guard.failure() {
+        return Err(e);
+    }
+
+    // Phase 2: merge the per-worker runs and restore ascending tuple order so
+    // bucket chains come out identical to a sequential build's.
+    let mut partitions: Vec<Vec<(i64, u32)>> = vec![Vec::new(); parts];
+    for locals in per_worker {
+        for (p, run) in locals.into_iter().enumerate() {
+            partitions[p].extend(run);
+        }
+    }
+    let sort_cursor = AtomicUsize::new(0);
+    let part_slots: Vec<Mutex<&mut Vec<(i64, u32)>>> =
+        partitions.iter_mut().map(Mutex::new).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(parts) {
+            s.spawn(|| loop {
+                let p = sort_cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(slot) = part_slots.get(p) else { break };
+                slot.lock().sort_unstable_by_key(|&(_, t)| t);
+            });
+        }
+    });
+
+    Ok(ChainedHashTable::from_partitions(bucket_count, options.enable_rehash, partitions, threads))
 }
 
-fn output_rels(left: &Intermediate, right: &Intermediate) -> Vec<usize> {
-    let mut rels = left.rels().to_vec();
-    rels.extend_from_slice(right.rels());
-    rels
+// ---------------------------------------------------------------------------
+// Probe-phase operators.
+// ---------------------------------------------------------------------------
+
+/// A materialised build side: owned by the operator (pipeline engine) or
+/// borrowed (ground-truth extraction joins memoised intermediates in place).
+pub enum BuildSide<'a> {
+    /// The operator owns its build side.
+    Owned(Intermediate),
+    /// The build side is borrowed from a caller-managed store.
+    Borrowed(&'a Intermediate),
 }
 
-/// Hash join: builds a chained hash table on the *left* input (sized from
-/// `build_estimate`), probes with the right input.
-#[allow(clippy::too_many_arguments)] // mirrors the executor's operator ABI
-pub fn hash_join(
-    db: &Database,
-    query: &QuerySpec,
+impl BuildSide<'_> {
+    /// The underlying intermediate.
+    #[inline]
+    pub fn get(&self) -> &Intermediate {
+        match self {
+            BuildSide::Owned(i) => i,
+            BuildSide::Borrowed(i) => i,
+        }
+    }
+}
+
+/// Hash-join probe: the flowing (right/probe) tuples are matched against the
+/// materialised build side, output tuples are `build ++ flowing`.
+pub struct HashProbeOp<'a> {
+    /// Materialised build-side intermediate.
+    pub build: BuildSide<'a>,
+    /// The shared hash table over the build side's first join key.
+    pub table: ChainedHashTable,
+    /// First-key reader on the flowing tuple.
+    pub probe: ColReader<'a>,
+    /// Remaining keys: (build-side reader, flowing-side reader).
+    pub rest: Vec<(ColReader<'a>, ColReader<'a>)>,
+    /// Output tuple width.
+    pub out_width: usize,
+    /// Index of this operator's cardinality counter.
+    pub card: usize,
+}
+
+/// Index-nested-loop probe: each flowing (outer) tuple is looked up in the
+/// catalog hash index of the inner base relation, output is `flowing ++
+/// [inner row]`.
+pub struct IndexProbeOp<'a> {
+    /// The inner relation's catalog hash index on the first join key.
+    pub index: &'a HashIndex,
+    /// The inner base table.
+    pub inner_table: &'a Table,
+    /// The inner relation's selection predicates, applied per index hit.
+    pub inner_preds: &'a [Predicate],
+    /// First-key reader on the flowing tuple.
+    pub outer: ColReader<'a>,
+    /// Remaining keys: (flowing-side reader, inner-table column).
+    pub rest: Vec<(ColReader<'a>, &'a ColumnData)>,
+    /// Output tuple width.
+    pub out_width: usize,
+    /// Index of this operator's cardinality counter.
+    pub card: usize,
+}
+
+/// Plain nested-loop probe: each flowing (outer) tuple is compared against
+/// every tuple of the materialised inner side, output is `flowing ++ inner`.
+pub struct NlProbeOp<'a> {
+    /// Materialised inner-side intermediate.
+    pub inner: Intermediate,
+    /// All keys: (flowing-side reader, inner-side reader).
+    pub keys: Vec<(ColReader<'a>, ColReader<'a>)>,
+    /// Output tuple width.
+    pub out_width: usize,
+    /// Index of this operator's cardinality counter.
+    pub card: usize,
+}
+
+/// A probe-phase operator of a pipeline.
+pub enum PipelineOp<'a> {
+    /// Hash-join probe.
+    Hash(HashProbeOp<'a>),
+    /// Index-nested-loop probe.
+    Index(IndexProbeOp<'a>),
+    /// Nested-loop probe.
+    Nl(NlProbeOp<'a>),
+}
+
+impl PipelineOp<'_> {
+    /// Output tuple width.
+    pub fn out_width(&self) -> usize {
+        match self {
+            PipelineOp::Hash(op) => op.out_width,
+            PipelineOp::Index(op) => op.out_width,
+            PipelineOp::Nl(op) => op.out_width,
+        }
+    }
+
+    /// Index of this operator's cardinality counter.
+    pub fn card(&self) -> usize {
+        match self {
+            PipelineOp::Hash(op) => op.card,
+            PipelineOp::Index(op) => op.card,
+            PipelineOp::Nl(op) => op.card,
+        }
+    }
+
+    /// Processes one morsel's worth of flowing tuples, appending output
+    /// tuples to `out`.
+    ///
+    /// Every produced row is published to `produced` — the operator's shared
+    /// output-row counter, which doubles as its cardinality counter —
+    /// incrementally (at least every [`PUBLISH_BATCH`] rows), so concurrent
+    /// workers see each other's in-flight output and the memory guard bounds
+    /// the *total* live output, not just each worker's share.  The guard is
+    /// evaluated after every flowing tuple, matching the historical per-tuple
+    /// cadence.
+    pub fn process(
+        &self,
+        input: &[RowId],
+        in_width: usize,
+        out: &mut Vec<RowId>,
+        ticker: &mut Ticker<'_>,
+        guard: &ExecGuard,
+        produced: &AtomicU64,
+    ) -> Result<(), ExecutionError> {
+        let mut tally = Tally::new(produced, self.out_width());
+        match self {
+            PipelineOp::Hash(op) => {
+                let build = op.build.get();
+                for tuple in input.chunks_exact(in_width.max(1)) {
+                    ticker.tick()?;
+                    if let Some(key) = op.probe.get(tuple) {
+                        for lt in op.table.probe(key) {
+                            ticker.tick()?;
+                            let build_tuple = build.tuple(lt as usize);
+                            let rest_ok = op.rest.iter().all(|(b, f)| {
+                                matches!((b.get(build_tuple), f.get(tuple)), (Some(a), Some(c)) if a == c)
+                            });
+                            if rest_ok {
+                                out.extend_from_slice(build_tuple);
+                                out.extend_from_slice(tuple);
+                                tally.add_row();
+                            }
+                        }
+                    }
+                    tally.check(guard)?;
+                }
+            }
+            PipelineOp::Index(op) => {
+                for tuple in input.chunks_exact(in_width.max(1)) {
+                    ticker.tick()?;
+                    if let Some(key) = op.outer.get(tuple) {
+                        'hits: for &inner_row in op.index.lookup(key) {
+                            ticker.tick()?;
+                            if !op.inner_preds.iter().all(|p| p.matches(op.inner_table, inner_row))
+                            {
+                                continue;
+                            }
+                            for (outer, inner_col) in &op.rest {
+                                let ok = matches!(
+                                    (outer.get(tuple), inner_col.int_at(inner_row as usize)),
+                                    (Some(a), Some(b)) if a == b
+                                );
+                                if !ok {
+                                    continue 'hits;
+                                }
+                            }
+                            out.extend_from_slice(tuple);
+                            out.push(inner_row);
+                            tally.add_row();
+                        }
+                    }
+                    tally.check(guard)?;
+                }
+            }
+            PipelineOp::Nl(op) => {
+                let inner_width = op.inner.width();
+                for tuple in input.chunks_exact(in_width.max(1)) {
+                    guard.poll()?;
+                    for c in 0..op.inner.chunk_count() {
+                        for inner_tuple in op.inner.chunk(c).chunks_exact(inner_width.max(1)) {
+                            ticker.tick()?;
+                            let all_eq = op.keys.iter().all(|(f, i)| {
+                                matches!((f.get(tuple), i.get(inner_tuple)), (Some(a), Some(b)) if a == b)
+                            });
+                            if all_eq {
+                                out.extend_from_slice(tuple);
+                                out.extend_from_slice(inner_tuple);
+                                tally.add_row();
+                            }
+                        }
+                    }
+                    tally.check(guard)?;
+                }
+            }
+        }
+        tally.publish();
+        Ok(())
+    }
+}
+
+/// How many produced rows a worker may hold back before publishing them to
+/// the operator's shared counter — the bound on how far the parallel memory
+/// guard can lag behind the true total (`threads × PUBLISH_BATCH` rows).
+const PUBLISH_BATCH: u64 = 1024;
+
+/// A worker's running tally of produced rows, published incrementally to the
+/// operator's shared output counter.
+struct Tally<'a> {
+    produced: &'a AtomicU64,
+    out_width: usize,
+    local: u64,
+}
+
+impl<'a> Tally<'a> {
+    fn new(produced: &'a AtomicU64, out_width: usize) -> Self {
+        Tally { produced, out_width, local: 0 }
+    }
+
+    #[inline]
+    fn add_row(&mut self) {
+        self.local += 1;
+        if self.local >= PUBLISH_BATCH {
+            self.publish();
+        }
+    }
+
+    /// Checks the global total (everyone's published rows plus this worker's
+    /// unpublished remainder) against the memory budget.
+    #[inline]
+    fn check(&self, guard: &ExecGuard) -> Result<(), ExecutionError> {
+        let total = self.produced.load(Ordering::Relaxed) + self.local;
+        guard.check_slots(total as usize * self.out_width)
+    }
+
+    fn publish(&mut self) {
+        if self.local > 0 {
+            self.produced.fetch_add(self.local, Ordering::Relaxed);
+            self.local = 0;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sort-merge join (a full pipeline breaker: sort both sides, merge in
+// parallel over run-aligned key ranges).
+// ---------------------------------------------------------------------------
+
+/// Sort-merge join on the first key (remaining keys verified per match).
+///
+/// Both inputs are pipeline breakers: their `(key, tuple)` arrays are
+/// extracted morsel-parallel, sorted, and merged by worker threads over
+/// run-aligned partitions of the left key range, so the concatenated output
+/// is identical to the historical sequential merge.
+#[allow(clippy::too_many_arguments)] // mirrors the shape of the join it implements
+pub fn merge_join(
     left: &Intermediate,
     right: &Intermediate,
-    keys: &[JoinKey],
-    build_estimate: f64,
+    lkey: ColReader<'_>,
+    rkey: ColReader<'_>,
+    rest: &[(ColReader<'_>, ColReader<'_>)],
+    out_rels: Vec<usize>,
     options: &ExecutionOptions,
     guard: &ExecGuard,
 ) -> Result<Intermediate, ExecutionError> {
-    let first = keys.first().ok_or(ExecutionError::CrossProduct)?;
-    let rest = &keys[1..];
-    let mut table = ChainedHashTable::with_estimate(build_estimate, options.enable_rehash);
-    for t in 0..left.len() {
-        guard.tick()?;
-        if let Some(v) = key_value(db, query, left, t, first.left_rel, first.left_column) {
-            table.insert(v, t as u32);
-        }
-    }
-    let mut out = Intermediate::empty(output_rels(left, right));
-    for rt in 0..right.len() {
-        guard.tick()?;
-        let probe = match key_value(db, query, right, rt, first.right_rel, first.right_column) {
-            Some(v) => v,
-            None => continue,
-        };
-        for lt in table.probe(probe) {
-            guard.tick()?;
-            let lt = lt as usize;
-            if rest.is_empty() || verify_keys(db, query, left, lt, right, rt, rest) {
-                out.push_joined(left.tuple(lt), right.tuple(rt));
-            }
-        }
-        guard.check_size(&out)?;
-    }
-    Ok(out)
-}
-
-/// Index-nested-loop join: for every tuple of `outer`, looks up matches of
-/// the first join key in the catalog hash index of the inner base relation
-/// and applies the inner relation's selection predicates on the fly.
-pub fn index_nested_loop_join(
-    db: &Database,
-    query: &QuerySpec,
-    outer: &Intermediate,
-    inner_rel: usize,
-    keys: &[JoinKey],
-    guard: &ExecGuard,
-) -> Result<Intermediate, ExecutionError> {
-    let first = keys.first().ok_or(ExecutionError::CrossProduct)?;
-    // In plan terms the inner relation is always the right child, so the
-    // first key's right side addresses the inner relation.
-    let inner_table_id = query.relations[inner_rel].table;
-    let inner_table = db.table(inner_table_id);
-    let index =
-        db.hash_index(inner_table_id, first.right_column).ok_or(ExecutionError::MissingIndex {
-            table: inner_table.name().to_owned(),
-            column: first.right_column,
-        })?;
-    let inner_predicates = &query.relations[inner_rel].predicates;
-    let rest = &keys[1..];
-    let mut out_rels = outer.rels().to_vec();
-    out_rels.push(inner_rel);
-    let mut out = Intermediate::empty(out_rels);
-    for ot in 0..outer.len() {
-        guard.tick()?;
-        let key = match key_value(db, query, outer, ot, first.left_rel, first.left_column) {
-            Some(v) => v,
-            None => continue,
-        };
-        for &inner_row in index.lookup(key) {
-            guard.tick()?;
-            if !inner_predicates.iter().all(|p| p.matches(inner_table, inner_row)) {
-                continue;
-            }
-            if !rest.is_empty() {
-                let ok = rest.iter().all(|k| {
-                    let lv = key_value(db, query, outer, ot, k.left_rel, k.left_column);
-                    let rv = inner_table.column(k.right_column).int_at(inner_row as usize);
-                    matches!((lv, rv), (Some(a), Some(b)) if a == b)
-                });
-                if !ok {
-                    continue;
-                }
-            }
-            out.push_joined(outer.tuple(ot), &[inner_row]);
-        }
-        guard.check_size(&out)?;
-    }
-    Ok(out)
-}
-
-/// Plain nested-loop join (no index): compares every pair of tuples.  This is
-/// the algorithm whose O(n·m) risk the paper analyses in Section 4.1.
-pub fn nested_loop_join(
-    db: &Database,
-    query: &QuerySpec,
-    left: &Intermediate,
-    right: &Intermediate,
-    keys: &[JoinKey],
-    guard: &ExecGuard,
-) -> Result<Intermediate, ExecutionError> {
-    if keys.is_empty() {
-        return Err(ExecutionError::CrossProduct);
-    }
-    let mut out = Intermediate::empty(output_rels(left, right));
-    for lt in 0..left.len() {
-        guard.check_deadline()?;
-        for rt in 0..right.len() {
-            guard.tick()?;
-            if verify_keys(db, query, left, lt, right, rt, keys) {
-                out.push_joined(left.tuple(lt), right.tuple(rt));
-            }
-        }
-        guard.check_size(&out)?;
-    }
-    Ok(out)
-}
-
-/// Sort-merge join on the first key (remaining keys are verified per match).
-pub fn sort_merge_join(
-    db: &Database,
-    query: &QuerySpec,
-    left: &Intermediate,
-    right: &Intermediate,
-    keys: &[JoinKey],
-    guard: &ExecGuard,
-) -> Result<Intermediate, ExecutionError> {
-    let first = keys.first().ok_or(ExecutionError::CrossProduct)?;
-    let rest = &keys[1..];
-    let mut lkeys: Vec<(i64, u32)> = (0..left.len())
-        .filter_map(|t| {
-            key_value(db, query, left, t, first.left_rel, first.left_column).map(|v| (v, t as u32))
-        })
-        .collect();
-    let mut rkeys: Vec<(i64, u32)> = (0..right.len())
-        .filter_map(|t| {
-            key_value(db, query, right, t, first.right_rel, first.right_column)
-                .map(|v| (v, t as u32))
-        })
-        .collect();
+    let lkeys = extract_keys(left, lkey, options, guard)?;
+    let rkeys = extract_keys(right, rkey, options, guard)?;
+    let mut lkeys = lkeys;
+    let mut rkeys = rkeys;
     lkeys.sort_unstable();
     rkeys.sort_unstable();
-    let mut out = Intermediate::empty(output_rels(left, right));
+
+    let out_width = out_rels.len();
+    let threads = options.threads.max(1);
+
+    // Partition the left key array into run-aligned contiguous ranges.
+    let mut bounds = vec![0usize];
+    for i in 1..threads {
+        let mut b = (i * lkeys.len()) / threads;
+        while b < lkeys.len() && b > 0 && lkeys[b].0 == lkeys[b - 1].0 {
+            b += 1;
+        }
+        if b > *bounds.last().expect("non-empty") {
+            bounds.push(b);
+        }
+    }
+    bounds.push(lkeys.len());
+
+    let produced = AtomicU64::new(0);
+    let ranges: Vec<(usize, usize)> = bounds.windows(2).map(|w| (w[0], w[1])).collect();
+    let mut chunks: Vec<Vec<RowId>> = Vec::with_capacity(ranges.len());
+    if threads == 1 || ranges.len() == 1 {
+        let mut out = Vec::new();
+        merge_range(&lkeys, &rkeys, left, right, rest, &mut out, out_width, guard, &produced)?;
+        chunks.push(out);
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let mut results: Vec<(usize, Vec<RowId>)> = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads.min(ranges.len()))
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut outs = Vec::new();
+                        loop {
+                            if guard.is_aborted() {
+                                break;
+                            }
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(&(a, b)) = ranges.get(i) else { break };
+                            let lslice = &lkeys[a..b];
+                            // The matching right range for this key interval.
+                            let rslice = right_window(&rkeys, lslice);
+                            let mut out = Vec::new();
+                            if let Err(e) = merge_range(
+                                lslice, rslice, left, right, rest, &mut out, out_width, guard,
+                                &produced,
+                            ) {
+                                guard.abort(e);
+                                break;
+                            }
+                            outs.push((i, out));
+                        }
+                        outs
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.extend(h.join().expect("merge-join worker panicked"));
+            }
+        });
+        if let Some(e) = guard.failure() {
+            return Err(e);
+        }
+        results.sort_unstable_by_key(|(i, _)| *i);
+        chunks = results.into_iter().map(|(_, c)| c).collect();
+    }
+    Ok(Intermediate::from_chunks(out_rels, chunks))
+}
+
+/// The sub-slice of `rkeys` whose keys fall inside `lslice`'s key interval.
+fn right_window<'k>(rkeys: &'k [(i64, u32)], lslice: &[(i64, u32)]) -> &'k [(i64, u32)] {
+    let (Some(&(lo, _)), Some(&(hi, _))) = (lslice.first(), lslice.last()) else {
+        return &rkeys[0..0];
+    };
+    let start = rkeys.partition_point(|&(k, _)| k < lo);
+    let end = rkeys.partition_point(|&(k, _)| k <= hi);
+    &rkeys[start..end]
+}
+
+/// Extracts the `(key, tuple index)` array of one merge-join input,
+/// morsel-parallel, skipping NULL keys.
+fn extract_keys(
+    input: &Intermediate,
+    key: ColReader<'_>,
+    options: &ExecutionOptions,
+    guard: &ExecGuard,
+) -> Result<Vec<(i64, u32)>, ExecutionError> {
+    let n = input.len();
+    let threads = options.threads.max(1);
+    let morsel = options.morsel_size.max(1);
+    if threads == 1 || n <= morsel {
+        let mut keys = Vec::new();
+        for (t, tuple) in input.tuples_in(0..n).enumerate() {
+            guard.tick()?;
+            if let Some(v) = key.get(tuple) {
+                keys.push((v, t as u32));
+            }
+        }
+        return Ok(keys);
+    }
+    let morsel_count = n.div_ceil(morsel);
+    let workers = threads.min(morsel_count).max(1);
+    let cursor = AtomicUsize::new(0);
+    let mut results: Vec<(usize, Vec<(i64, u32)>)> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut outs = Vec::new();
+                    let mut ticker = Ticker::new(guard);
+                    loop {
+                        if guard.is_aborted() {
+                            break;
+                        }
+                        let m = cursor.fetch_add(1, Ordering::Relaxed);
+                        if m >= morsel_count {
+                            break;
+                        }
+                        let range = m * morsel..((m + 1) * morsel).min(n);
+                        let base = range.start;
+                        let mut keys = Vec::new();
+                        for (i, tuple) in input.tuples_in(range).enumerate() {
+                            if let Err(e) = ticker.tick() {
+                                guard.abort(e);
+                                return outs;
+                            }
+                            if let Some(v) = key.get(tuple) {
+                                keys.push((v, (base + i) as u32));
+                            }
+                        }
+                        outs.push((m, keys));
+                    }
+                    outs
+                })
+            })
+            .collect();
+        for h in handles {
+            results.extend(h.join().expect("key-extraction worker panicked"));
+        }
+    });
+    if let Some(e) = guard.failure() {
+        return Err(e);
+    }
+    results.sort_unstable_by_key(|(m, _)| *m);
+    Ok(results.into_iter().flat_map(|(_, k)| k).collect())
+}
+
+/// Merges one run-aligned range of sorted key arrays, appending joined
+/// tuples to `out` (the core of the historical sequential merge loop).
+#[allow(clippy::too_many_arguments)] // internal worker body
+fn merge_range(
+    lkeys: &[(i64, u32)],
+    rkeys: &[(i64, u32)],
+    left: &Intermediate,
+    right: &Intermediate,
+    rest: &[(ColReader<'_>, ColReader<'_>)],
+    out: &mut Vec<RowId>,
+    out_width: usize,
+    guard: &ExecGuard,
+    produced: &AtomicU64,
+) -> Result<(), ExecutionError> {
+    let mut ticker = Ticker::new(guard);
+    let mut tally = Tally::new(produced, out_width);
     let (mut i, mut j) = (0usize, 0usize);
     while i < lkeys.len() && j < rkeys.len() {
-        guard.tick()?;
+        ticker.tick()?;
         let (lk, _) = lkeys[i];
         let (rk, _) = rkeys[j];
         if lk < rk {
@@ -288,22 +838,28 @@ pub fn sort_merge_join(
         } else if lk > rk {
             j += 1;
         } else {
-            // Find the runs of equal keys on both sides.
             let i_end = lkeys[i..].iter().take_while(|(k, _)| *k == lk).count() + i;
             let j_end = rkeys[j..].iter().take_while(|(k, _)| *k == rk).count() + j;
             for &(_, lt) in &lkeys[i..i_end] {
+                let ltuple = left.tuple(lt as usize);
                 for &(_, rt) in &rkeys[j..j_end] {
-                    guard.tick()?;
-                    let (lt, rt) = (lt as usize, rt as usize);
-                    if rest.is_empty() || verify_keys(db, query, left, lt, right, rt, rest) {
-                        out.push_joined(left.tuple(lt), right.tuple(rt));
+                    ticker.tick()?;
+                    let rtuple = right.tuple(rt as usize);
+                    let rest_ok = rest.iter().all(|(l, r)| {
+                        matches!((l.get(ltuple), r.get(rtuple)), (Some(a), Some(b)) if a == b)
+                    });
+                    if rest_ok {
+                        out.extend_from_slice(ltuple);
+                        out.extend_from_slice(rtuple);
+                        tally.add_row();
                     }
                 }
             }
-            guard.check_size(&out)?;
+            tally.check(guard)?;
             i = i_end;
             j = j_end;
         }
     }
-    Ok(out)
+    tally.publish();
+    Ok(())
 }

@@ -1,0 +1,638 @@
+//! The morsel-driven pipeline engine.
+//!
+//! A [`qob_plan::PhysicalPlan`] is decomposed into **pipelines** at pipeline
+//! breakers: a hash join's build side, a sort-merge join's sorts and a
+//! nested-loop join's inner side all materialise before the data-dependent
+//! side streams.  Everything between two breakers is **fused** into one
+//! pipeline: a source (base-table scan or materialised intermediate) followed
+//! by a chain of probe operators, so a right-deep chain of hash joins probes
+//! every table in a single pass without materialising between joins.
+//!
+//! Each pipeline is driven by worker threads that pull fixed-size *morsels*
+//! of tuples from the source (an atomic cursor), push them through the probe
+//! chain, and buffer output per morsel.  The per-morsel buffers concatenate
+//! in morsel order, so the result is identical — tuple for tuple — to a
+//! sequential run, and `threads: 1` reproduces the historical recursive
+//! interpreter's behaviour exactly (same hash-table sizing, same insert and
+//! probe order, same guard cadence).
+//!
+//! Operator output cardinalities are collected through per-operator atomic
+//! counters and reported in the same post-order the recursive interpreter
+//! used.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use qob_plan::{JoinAlgorithm, JoinKey, PhysicalPlan, QuerySpec, RelSet};
+use qob_storage::{ColumnId, Database, RowId, Table};
+
+use crate::executor::{ExecutionError, ExecutionOptions};
+use crate::intermediate::Intermediate;
+use crate::operators::{
+    build_hash_table, merge_join, BuildSide, ColReader, CompiledFilter, ExecGuard, HashProbeOp,
+    IndexProbeOp, NlProbeOp, PipelineOp, Ticker,
+};
+
+/// Where a pipeline's tuples come from.
+enum Source<'a> {
+    /// A base-table scan with compiled selection predicates; morsels range
+    /// over the table's row ids and filter on the fly.
+    Scan { table: &'a Table, filter: CompiledFilter<'a> },
+    /// A materialised intermediate (the output of a breaker).
+    Mat(Intermediate),
+    /// A borrowed materialised intermediate (pair-join entry point).
+    MatRef(&'a Intermediate),
+}
+
+impl Source<'_> {
+    fn tuple_count(&self) -> usize {
+        match self {
+            Source::Scan { table, .. } => table.row_count(),
+            Source::Mat(i) => i.len(),
+            Source::MatRef(i) => i.len(),
+        }
+    }
+
+    fn width(&self) -> usize {
+        match self {
+            Source::Scan { .. } => 1,
+            Source::Mat(i) => i.width(),
+            Source::MatRef(i) => i.width(),
+        }
+    }
+}
+
+/// One pipeline: a source and the fused probe chain above it.
+struct Pipeline<'a> {
+    source: Source<'a>,
+    ops: Vec<PipelineOp<'a>>,
+    /// Slot layout of the pipeline's output tuples.
+    out_rels: Vec<usize>,
+}
+
+/// Executes a physical plan and reports (result rows, operator
+/// cardinalities in the interpreter's historical post-order).
+pub(crate) fn run_plan(
+    db: &Database,
+    query: &QuerySpec,
+    plan: &PhysicalPlan,
+    hint: &dyn Fn(RelSet) -> f64,
+    options: &ExecutionOptions,
+    guard: &ExecGuard,
+) -> Result<(u64, Vec<(RelSet, u64)>), ExecutionError> {
+    let mut card_order = Vec::new();
+    collect_card_order(plan, &mut card_order);
+    let card_index: HashMap<RelSet, usize> =
+        card_order.iter().enumerate().map(|(i, set)| (*set, i)).collect();
+    let counters: Vec<AtomicU64> = card_order.iter().map(|_| AtomicU64::new(0)).collect();
+    let engine = Engine { db, query, options, guard, hint, card_index, counters };
+    let out = engine.exec_node(plan)?;
+    let cards = card_order
+        .into_iter()
+        .zip(&engine.counters)
+        .map(|(set, c)| (set, c.load(Ordering::Relaxed)))
+        .collect();
+    Ok((out.len() as u64, cards))
+}
+
+/// The historical cardinality reporting order: joins in post-order,
+/// left subtree before right subtree before the join itself.
+fn collect_card_order(plan: &PhysicalPlan, out: &mut Vec<RelSet>) {
+    if let PhysicalPlan::Join { left, right, .. } = plan {
+        collect_card_order(left, out);
+        collect_card_order(right, out);
+        out.push(plan.rels());
+    }
+}
+
+struct Engine<'a> {
+    db: &'a Database,
+    query: &'a QuerySpec,
+    options: &'a ExecutionOptions,
+    guard: &'a ExecGuard,
+    hint: &'a dyn Fn(RelSet) -> f64,
+    card_index: HashMap<RelSet, usize>,
+    counters: Vec<AtomicU64>,
+}
+
+impl<'a> Engine<'a> {
+    /// Materialises the full result of `plan` (compiling its top pipeline,
+    /// recursively materialising breakers, then driving the pipeline).
+    fn exec_node(&self, plan: &'a PhysicalPlan) -> Result<Intermediate, ExecutionError> {
+        self.guard.poll()?;
+        let pipeline = self.compile(plan)?;
+        drive(pipeline, self.options, self.guard, &self.counters)
+    }
+
+    /// A reader for `rel.column` against tuples with slot layout `layout`.
+    fn reader(
+        &self,
+        layout: &[usize],
+        rel: usize,
+        column: ColumnId,
+    ) -> Result<ColReader<'a>, ExecutionError> {
+        let slot = layout.iter().position(|r| *r == rel).ok_or_else(|| {
+            ExecutionError::InvalidPlan(format!("relation {rel} not in pipeline layout"))
+        })?;
+        Ok(ColReader::new(slot, self.db.table(self.query.relations[rel].table).column(column)))
+    }
+
+    fn card_of(&self, set: RelSet) -> usize {
+        *self.card_index.get(&set).expect("join relset registered at plan walk")
+    }
+
+    /// Decomposes `plan` into its top pipeline, materialising every breaker
+    /// it depends on.
+    fn compile(&self, plan: &'a PhysicalPlan) -> Result<Pipeline<'a>, ExecutionError> {
+        match plan {
+            PhysicalPlan::Scan { rel } => {
+                let relation = &self.query.relations[*rel];
+                let table = self.db.table(relation.table);
+                Ok(Pipeline {
+                    source: Source::Scan {
+                        table,
+                        filter: CompiledFilter::compile(table, &relation.predicates),
+                    },
+                    ops: Vec::new(),
+                    out_rels: vec![*rel],
+                })
+            }
+            PhysicalPlan::Join { algorithm, left, right, keys } => match algorithm {
+                JoinAlgorithm::Hash => {
+                    let first = *keys.first().ok_or(ExecutionError::CrossProduct)?;
+                    // The probe (right) side continues the pipeline; the
+                    // build (left) side is a breaker.
+                    let mut p = self.compile(right)?;
+                    let build = self.exec_node(left)?;
+                    let estimate = (self.hint)(build.rel_set());
+                    let build_key = self.reader(build.rels(), first.left_rel, first.left_column)?;
+                    let table =
+                        build_hash_table(&build, build_key, estimate, self.options, self.guard)?;
+                    let probe = self.reader(&p.out_rels, first.right_rel, first.right_column)?;
+                    let rest = keys[1..]
+                        .iter()
+                        .map(|k| {
+                            Ok((
+                                self.reader(build.rels(), k.left_rel, k.left_column)?,
+                                self.reader(&p.out_rels, k.right_rel, k.right_column)?,
+                            ))
+                        })
+                        .collect::<Result<Vec<_>, ExecutionError>>()?;
+                    let mut out_rels = build.rels().to_vec();
+                    out_rels.extend_from_slice(&p.out_rels);
+                    p.ops.push(PipelineOp::Hash(HashProbeOp {
+                        build: BuildSide::Owned(build),
+                        table,
+                        probe,
+                        rest,
+                        out_width: out_rels.len(),
+                        card: self.card_of(plan.rels()),
+                    }));
+                    p.out_rels = out_rels;
+                    Ok(p)
+                }
+                JoinAlgorithm::IndexNestedLoop => {
+                    let inner_rel = match right.as_ref() {
+                        PhysicalPlan::Scan { rel } => *rel,
+                        _ => {
+                            return Err(ExecutionError::InvalidPlan(
+                                "index-nested-loop join needs a base relation inner".to_owned(),
+                            ))
+                        }
+                    };
+                    let first = *keys.first().ok_or(ExecutionError::CrossProduct)?;
+                    let mut p = self.compile(left)?;
+                    let inner_table_id = self.query.relations[inner_rel].table;
+                    let inner_table = self.db.table(inner_table_id);
+                    let index = self.db.hash_index(inner_table_id, first.right_column).ok_or(
+                        ExecutionError::MissingIndex {
+                            table: inner_table.name().to_owned(),
+                            column: first.right_column,
+                        },
+                    )?;
+                    let outer = self.reader(&p.out_rels, first.left_rel, first.left_column)?;
+                    let rest = keys[1..]
+                        .iter()
+                        .map(|k| {
+                            Ok((
+                                self.reader(&p.out_rels, k.left_rel, k.left_column)?,
+                                inner_table.column(k.right_column),
+                            ))
+                        })
+                        .collect::<Result<Vec<_>, ExecutionError>>()?;
+                    let mut out_rels = p.out_rels.clone();
+                    out_rels.push(inner_rel);
+                    p.ops.push(PipelineOp::Index(IndexProbeOp {
+                        index,
+                        inner_table,
+                        inner_preds: &self.query.relations[inner_rel].predicates,
+                        outer,
+                        rest,
+                        out_width: out_rels.len(),
+                        card: self.card_of(plan.rels()),
+                    }));
+                    p.out_rels = out_rels;
+                    Ok(p)
+                }
+                JoinAlgorithm::NestedLoop => {
+                    if keys.is_empty() {
+                        return Err(ExecutionError::CrossProduct);
+                    }
+                    // The outer (left) side continues the pipeline; the inner
+                    // side materialises.
+                    let mut p = self.compile(left)?;
+                    let inner = self.exec_node(right)?;
+                    let key_readers = keys
+                        .iter()
+                        .map(|k| {
+                            Ok((
+                                self.reader(&p.out_rels, k.left_rel, k.left_column)?,
+                                self.reader(inner.rels(), k.right_rel, k.right_column)?,
+                            ))
+                        })
+                        .collect::<Result<Vec<_>, ExecutionError>>()?;
+                    let mut out_rels = p.out_rels.clone();
+                    out_rels.extend_from_slice(inner.rels());
+                    p.ops.push(PipelineOp::Nl(NlProbeOp {
+                        inner,
+                        keys: key_readers,
+                        out_width: out_rels.len(),
+                        card: self.card_of(plan.rels()),
+                    }));
+                    p.out_rels = out_rels;
+                    Ok(p)
+                }
+                JoinAlgorithm::SortMerge => {
+                    let first = *keys.first().ok_or(ExecutionError::CrossProduct)?;
+                    // Both sides are breakers; the merge output becomes a new
+                    // pipeline source.
+                    let l = self.exec_node(left)?;
+                    let r = self.exec_node(right)?;
+                    let lkey = self.reader(l.rels(), first.left_rel, first.left_column)?;
+                    let rkey = self.reader(r.rels(), first.right_rel, first.right_column)?;
+                    let rest = keys[1..]
+                        .iter()
+                        .map(|k| {
+                            Ok((
+                                self.reader(l.rels(), k.left_rel, k.left_column)?,
+                                self.reader(r.rels(), k.right_rel, k.right_column)?,
+                            ))
+                        })
+                        .collect::<Result<Vec<_>, ExecutionError>>()?;
+                    let mut out_rels = l.rels().to_vec();
+                    out_rels.extend_from_slice(r.rels());
+                    let out = merge_join(
+                        &l,
+                        &r,
+                        lkey,
+                        rkey,
+                        &rest,
+                        out_rels.clone(),
+                        self.options,
+                        self.guard,
+                    )?;
+                    self.counters[self.card_of(plan.rels())]
+                        .fetch_add(out.len() as u64, Ordering::Relaxed);
+                    Ok(Pipeline { source: Source::Mat(out), ops: Vec::new(), out_rels })
+                }
+            },
+        }
+    }
+}
+
+/// Drives one pipeline to completion: workers pull fixed-size morsels from
+/// the source, push them through the probe chain, and the per-morsel outputs
+/// concatenate in morsel order.
+fn drive(
+    pipeline: Pipeline<'_>,
+    options: &ExecutionOptions,
+    guard: &ExecGuard,
+    counters: &[AtomicU64],
+) -> Result<Intermediate, ExecutionError> {
+    // A breaker output with no probe chain needs no pass at all.
+    if pipeline.ops.is_empty() {
+        if let Source::Mat(i) = pipeline.source {
+            return Ok(i);
+        }
+        if let Source::MatRef(i) = pipeline.source {
+            return Ok(i.clone());
+        }
+    }
+    let n = pipeline.source.tuple_count();
+    let morsel = options.morsel_size.max(1);
+    let morsel_count = n.div_ceil(morsel);
+    let workers = options.threads.min(morsel_count).max(1);
+    let cursor = AtomicUsize::new(0);
+
+    let mut chunks: Vec<(usize, Vec<RowId>)> = Vec::new();
+    if workers == 1 {
+        // Run on the caller's thread: no spawn cost, and the exact sequential
+        // behaviour for `threads: 1`.
+        worker(&pipeline, options, guard, counters, &cursor, morsel_count, &mut chunks);
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut local = Vec::new();
+                        worker(
+                            &pipeline,
+                            options,
+                            guard,
+                            counters,
+                            &cursor,
+                            morsel_count,
+                            &mut local,
+                        );
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                chunks.extend(h.join().expect("pipeline worker panicked"));
+            }
+        });
+    }
+    if let Some(e) = guard.failure() {
+        return Err(e);
+    }
+    chunks.sort_unstable_by_key(|(m, _)| *m);
+    Ok(Intermediate::from_chunks(pipeline.out_rels, chunks.into_iter().map(|(_, c)| c).collect()))
+}
+
+/// One worker's drive loop: pull a morsel, fill the source buffer, run the
+/// probe chain, keep the output keyed by morsel index.  Failures land in the
+/// guard's abort latch (first error wins) and stop every other worker.
+fn worker(
+    pipeline: &Pipeline<'_>,
+    options: &ExecutionOptions,
+    guard: &ExecGuard,
+    counters: &[AtomicU64],
+    cursor: &AtomicUsize,
+    morsel_count: usize,
+    out_chunks: &mut Vec<(usize, Vec<RowId>)>,
+) {
+    let n = pipeline.source.tuple_count();
+    let morsel = options.morsel_size.max(1);
+    let mut ticker = Ticker::new(guard);
+    let mut scratch: Vec<RowId> = Vec::new();
+    let mut next: Vec<RowId> = Vec::new();
+    loop {
+        if guard.is_aborted() {
+            return;
+        }
+        let m = cursor.fetch_add(1, Ordering::Relaxed);
+        if m >= morsel_count {
+            return;
+        }
+        let range = m * morsel..((m + 1) * morsel).min(n);
+        scratch.clear();
+        let fill = fill_source(&pipeline.source, range, &mut scratch, &mut ticker);
+        if let Err(e) = fill {
+            guard.abort(e);
+            return;
+        }
+        let mut width = pipeline.source.width();
+        let mut failed = None;
+        for op in &pipeline.ops {
+            if scratch.is_empty() {
+                break;
+            }
+            next.clear();
+            if let Err(e) =
+                op.process(&scratch, width, &mut next, &mut ticker, guard, &counters[op.card()])
+            {
+                failed = Some(e);
+                break;
+            }
+            std::mem::swap(&mut scratch, &mut next);
+            width = op.out_width();
+        }
+        if let Some(e) = failed {
+            guard.abort(e);
+            return;
+        }
+        if !scratch.is_empty() {
+            out_chunks.push((m, std::mem::take(&mut scratch)));
+        }
+    }
+}
+
+/// Materialises one source morsel into `out`.
+fn fill_source(
+    source: &Source<'_>,
+    range: std::ops::Range<usize>,
+    out: &mut Vec<RowId>,
+    ticker: &mut Ticker<'_>,
+) -> Result<(), ExecutionError> {
+    match source {
+        Source::Scan { filter, .. } => {
+            for row in range {
+                ticker.tick()?;
+                let row = row as RowId;
+                if filter.matches(row) {
+                    out.push(row);
+                }
+            }
+        }
+        Source::Mat(i) => {
+            for tuple in i.tuples_in(range) {
+                ticker.tick()?;
+                out.extend_from_slice(tuple);
+            }
+        }
+        Source::MatRef(i) => {
+            for tuple in i.tuples_in(range) {
+                ticker.tick()?;
+                out.extend_from_slice(tuple);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A standalone parallel hash join of two materialised intermediates — the
+/// building block ground-truth extraction uses to join each new base relation
+/// into a memoised subexpression.
+///
+/// Builds on `left` (sized from `build_estimate`), probes with `right`,
+/// producing `left ++ right` tuples exactly like the historical sequential
+/// operator.
+#[allow(clippy::too_many_arguments)] // mirrors the historical operator ABI
+pub fn hash_join(
+    db: &Database,
+    query: &QuerySpec,
+    left: &Intermediate,
+    right: &Intermediate,
+    keys: &[JoinKey],
+    build_estimate: f64,
+    options: &ExecutionOptions,
+    guard: &ExecGuard,
+) -> Result<Intermediate, ExecutionError> {
+    let first = *keys.first().ok_or(ExecutionError::CrossProduct)?;
+    let reader = |layout: &[usize], rel: usize, column: ColumnId| {
+        let slot = layout.iter().position(|r| *r == rel).ok_or_else(|| {
+            ExecutionError::InvalidPlan(format!("relation {rel} not in join input"))
+        })?;
+        Ok::<_, ExecutionError>(ColReader::new(
+            slot,
+            db.table(query.relations[rel].table).column(column),
+        ))
+    };
+    let build_key = reader(left.rels(), first.left_rel, first.left_column)?;
+    let table = build_hash_table(left, build_key, build_estimate, options, guard)?;
+    let probe = reader(right.rels(), first.right_rel, first.right_column)?;
+    let rest = keys[1..]
+        .iter()
+        .map(|k| {
+            Ok((
+                reader(left.rels(), k.left_rel, k.left_column)?,
+                reader(right.rels(), k.right_rel, k.right_column)?,
+            ))
+        })
+        .collect::<Result<Vec<_>, ExecutionError>>()?;
+    let mut out_rels = left.rels().to_vec();
+    out_rels.extend_from_slice(right.rels());
+    let op = PipelineOp::Hash(HashProbeOp {
+        build: BuildSide::Borrowed(left),
+        table,
+        probe,
+        rest,
+        out_width: out_rels.len(),
+        card: 0,
+    });
+    let counters = [AtomicU64::new(0)];
+    let pipeline = Pipeline { source: Source::MatRef(right), ops: vec![op], out_rels };
+    drive(pipeline, options, guard, &counters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::{merge_join, scan};
+    use qob_plan::{BaseRelation, JoinEdge};
+    use qob_storage::{ColumnMeta, DataType, TableBuilder, Value};
+
+    /// `movies(id)` with 100 rows and `info(id, movie_id)` with 3 rows per
+    /// movie — enough tuples that a 16-tuple morsel forces real multi-morsel
+    /// scheduling and the partitioned parallel hash build.
+    fn setup() -> (Database, QuerySpec) {
+        let mut movies = TableBuilder::new("movies", vec![ColumnMeta::new("id", DataType::Int)]);
+        for i in 0..100i64 {
+            movies.push_row(vec![Value::Int(i + 1)]).unwrap();
+        }
+        let mut info = TableBuilder::new(
+            "info",
+            vec![ColumnMeta::new("id", DataType::Int), ColumnMeta::new("movie_id", DataType::Int)],
+        );
+        let mut id = 1;
+        for i in 0..100i64 {
+            for _ in 0..3 {
+                info.push_row(vec![Value::Int(id), Value::Int(i + 1)]).unwrap();
+                id += 1;
+            }
+        }
+        let mut db = Database::new();
+        let m = db.add_table(movies.finish()).unwrap();
+        let inf = db.add_table(info.finish()).unwrap();
+        let q = QuerySpec::new(
+            "q",
+            vec![BaseRelation::unfiltered(m, "m"), BaseRelation::unfiltered(inf, "i")],
+            vec![JoinEdge {
+                left: 0,
+                left_column: qob_storage::ColumnId(0),
+                right: 1,
+                right_column: qob_storage::ColumnId(1),
+            }],
+        );
+        (db, q)
+    }
+
+    fn opts(threads: usize, rehash: bool) -> ExecutionOptions {
+        ExecutionOptions { threads, morsel_size: 16, enable_rehash: rehash, ..Default::default() }
+    }
+
+    fn all_tuples(i: &Intermediate) -> Vec<Vec<RowId>> {
+        i.tuples_in(0..i.len()).map(|t| t.to_vec()).collect()
+    }
+
+    fn key01() -> JoinKey {
+        JoinKey {
+            left_rel: 0,
+            left_column: qob_storage::ColumnId(0),
+            right_rel: 1,
+            right_column: qob_storage::ColumnId(1),
+        }
+    }
+
+    /// The README's central determinism claim, pinned at the tuple level: the
+    /// parallel engine's output must be *tuple for tuple* identical to the
+    /// sequential engine's, not merely equal in cardinality — for both hash
+    /// sizing modes (right-sized parallel build and the Figure 6
+    /// estimate-sized, never-rehashed build).
+    #[test]
+    fn parallel_hash_join_output_is_tuple_for_tuple_identical() {
+        let (db, q) = setup();
+        let left = scan(&db, &q, 0);
+        let right = scan(&db, &q, 1);
+        let keys = vec![key01()];
+        for rehash in [true, false] {
+            let seq_opts = opts(1, rehash);
+            let par_opts = opts(4, rehash);
+            let a = hash_join(
+                &db,
+                &q,
+                &left,
+                &right,
+                &keys,
+                1.0,
+                &seq_opts,
+                &ExecGuard::new(&seq_opts),
+            )
+            .unwrap();
+            let b = hash_join(
+                &db,
+                &q,
+                &left,
+                &right,
+                &keys,
+                1.0,
+                &par_opts,
+                &ExecGuard::new(&par_opts),
+            )
+            .unwrap();
+            assert_eq!(a.len(), 300, "rehash={rehash}");
+            assert_eq!(a.rels(), b.rels(), "rehash={rehash}");
+            assert_eq!(all_tuples(&a), all_tuples(&b), "rehash={rehash}");
+            assert!(b.chunk_count() > 1, "parallel output really is chunked");
+        }
+    }
+
+    #[test]
+    fn parallel_merge_join_output_is_tuple_for_tuple_identical() {
+        let (db, q) = setup();
+        let left = scan(&db, &q, 0);
+        let right = scan(&db, &q, 1);
+        let lcol = db.table(q.relations[0].table).column(qob_storage::ColumnId(0));
+        let rcol = db.table(q.relations[1].table).column(qob_storage::ColumnId(1));
+        let run = |threads: usize| {
+            let options = opts(threads, true);
+            let guard = ExecGuard::new(&options);
+            merge_join(
+                &left,
+                &right,
+                crate::operators::ColReader::new(0, lcol),
+                crate::operators::ColReader::new(0, rcol),
+                &[],
+                vec![0, 1],
+                &options,
+                &guard,
+            )
+            .unwrap()
+        };
+        let a = run(1);
+        let b = run(4);
+        assert_eq!(a.len(), 300);
+        assert_eq!(all_tuples(&a), all_tuples(&b));
+    }
+}

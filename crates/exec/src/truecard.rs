@@ -10,9 +10,10 @@ use std::collections::HashMap;
 use qob_plan::{QuerySpec, RelSet};
 use qob_storage::Database;
 
-use crate::executor::{ExecutionError, ExecutionOptions};
+use crate::executor::{default_threads, ExecutionError, ExecutionOptions};
 use crate::intermediate::Intermediate;
-use crate::operators::{hash_join, scan, ExecGuard};
+use crate::operators::{scan, ExecGuard};
+use crate::pipeline::hash_join;
 
 /// Options for ground-truth extraction.
 #[derive(Debug, Clone)]
@@ -23,6 +24,9 @@ pub struct TrueCardinalityOptions {
     pub max_intermediate_slots: usize,
     /// Wall-clock budget for the whole extraction.
     pub timeout: Option<std::time::Duration>,
+    /// Worker threads used *within* one query's extraction (parallel hash
+    /// builds and probes over each subexpression join).
+    pub threads: usize,
 }
 
 impl Default for TrueCardinalityOptions {
@@ -30,6 +34,7 @@ impl Default for TrueCardinalityOptions {
         TrueCardinalityOptions {
             max_intermediate_slots: 400_000_000,
             timeout: Some(std::time::Duration::from_secs(120)),
+            threads: default_threads(),
         }
     }
 }
@@ -49,6 +54,8 @@ pub fn true_cardinalities(
         enable_rehash: true,
         timeout: options.timeout,
         max_intermediate_slots: options.max_intermediate_slots,
+        threads: options.threads.max(1),
+        ..ExecutionOptions::default()
     };
     let guard = ExecGuard::new(&exec_options);
     let subexpressions = query.connected_subexpressions();
@@ -134,6 +141,40 @@ pub fn true_cardinalities(
         let _ = built;
     }
     Ok(cardinalities)
+}
+
+/// Computes ground truth for many queries at once, spreading whole queries
+/// across `workers` threads — the natural parallelisation of the paper's
+/// `SELECT COUNT(*)` harvest, where per-query extraction cost dominates.
+///
+/// Results come back in input order; each query carries its own
+/// success-or-failure so one timed-out query cannot poison the batch.
+/// `options.threads` additionally parallelises *within* a query; with many
+/// queries per worker it is usually best left at 1 here.
+pub fn true_cardinalities_batch(
+    db: &Database,
+    queries: &[&QuerySpec],
+    options: &TrueCardinalityOptions,
+    workers: usize,
+) -> Vec<Result<HashMap<RelSet, u64>, ExecutionError>> {
+    type QueryTruth = Result<HashMap<RelSet, u64>, ExecutionError>;
+    let workers = workers.min(queries.len()).max(1);
+    if workers == 1 {
+        return queries.iter().map(|q| true_cardinalities(db, q, options)).collect();
+    }
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<parking_lot::Mutex<Option<QueryTruth>>> =
+        queries.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(query) = queries.get(i) else { break };
+                *results[i].lock() = Some(true_cardinalities(db, query, options));
+            });
+        }
+    });
+    results.into_iter().map(|slot| slot.into_inner().expect("every query processed")).collect()
 }
 
 #[cfg(test)]
@@ -231,6 +272,28 @@ mod tests {
         // but the largest joins are missing.
         assert!(cards.contains_key(&RelSet::single(0)));
         assert!(!cards.contains_key(&RelSet::from_iter([0, 1, 2])));
+    }
+
+    #[test]
+    fn parallel_and_batch_extraction_agree_with_sequential() {
+        let (db, q) = chain_db();
+        let seq = TrueCardinalityOptions { threads: 1, ..Default::default() };
+        let par = TrueCardinalityOptions { threads: 4, ..Default::default() };
+        let a = true_cardinalities(&db, &q, &seq).unwrap();
+        let b = true_cardinalities(&db, &q, &par).unwrap();
+        assert_eq!(a, b);
+        let refs: Vec<&QuerySpec> = vec![&q; 5];
+        for result in true_cardinalities_batch(&db, &refs, &seq, 3) {
+            assert_eq!(result.unwrap(), a);
+        }
+        // Per-query failures stay per-query in a batch.
+        let strict = TrueCardinalityOptions {
+            timeout: Some(std::time::Duration::from_nanos(1)),
+            ..Default::default()
+        };
+        for result in true_cardinalities_batch(&db, &refs, &strict, 2) {
+            assert!(matches!(result, Err(ExecutionError::Timeout { .. })));
+        }
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub use catalog::{Database, IndexConfig, TableId};
 pub use column::{ColumnData, StringDict};
 pub use error::StorageError;
 pub use index::{HashIndex, OrderedIndex};
-pub use predicate::{CmpOp, Predicate};
+pub use predicate::{like_match, CmpOp, Predicate};
 pub use table::{ColumnId, ColumnMeta, RowId, Table, TableBuilder};
 pub use value::{sql_string_literal, DataType, Value};
 

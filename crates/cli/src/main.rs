@@ -1,9 +1,14 @@
 //! `qob` — the end-to-end text path of the reproduction.
 //!
-//! Takes ad-hoc SQL (a file, stdin, or `-e "..."`), runs it through the full
-//! pipeline — parse → bind → estimate → plan → execute — and prints the
-//! chosen plan, the estimated vs. true cardinality of every operator, the
-//! per-operator q-errors and the result.
+//! Three modes share one pipeline (parse → bind → estimate → plan →
+//! execute):
+//!
+//! * **one-shot** (default): read SQL, build or snapshot-load the database,
+//!   answer, exit;
+//! * **`qob serve`**: keep one warm context resident and answer queries
+//!   from many TCP clients over the JSON-lines protocol;
+//! * **`qob connect`**: the matching client — send SQL to a running server
+//!   and render the answers exactly like a one-shot run.
 //!
 //! ```text
 //! echo "SELECT COUNT(*) FROM title t, movie_companies mc, company_name cn
@@ -12,15 +17,13 @@
 //! ```
 
 use std::process::ExitCode;
+use std::time::Instant;
 
-use qob_cardest::q_error;
-use qob_core::{BenchmarkContext, EstimatorKind};
+use qob_core::{BenchmarkContext, EstimatorKind, QueryReport, ServerContext, SessionOptions};
 use qob_datagen::Scale;
-use qob_enumerate::PlannerConfig;
-use qob_exec::ExecutionOptions;
-use qob_plan::{QuerySpec, RelSet};
+use qob_server::{Client, Json, Request, ServerConfig};
 use qob_storage::IndexConfig;
-use qob_workload::load_sql_str;
+use qob_workload::{bind_parsed, parse_script};
 
 const USAGE: &str = "\
 qob — run ad-hoc SQL through the optimizer pipeline of the JOB reproduction
@@ -28,6 +31,8 @@ qob — run ad-hoc SQL through the optimizer pipeline of the JOB reproduction
 USAGE:
     qob [OPTIONS] [FILE]    read a ;-separated SQL script from FILE (or stdin)
     qob [OPTIONS] -e SQL    run an inline statement
+    qob serve [OPTIONS]     start the long-lived query server
+    qob connect [OPTIONS]   talk to a running server (SQL from -e/FILE/stdin)
 
 OPTIONS:
     -e, --execute <SQL>      inline SQL statement
@@ -37,21 +42,39 @@ OPTIONS:
                              true-distinct                          [default: postgres]
         --threads <n>        execution worker threads; 1 = sequential engine,
                              0 = all cores                          [default: 0]
+        --snapshot <PATH>    load the database from PATH if it exists, else
+                             generate it once and save it there
         --no-exec            stop after planning (skip execution and q-errors)
     -h, --help               print this help
 
+SERVE OPTIONS:
+        --addr <HOST:PORT>   listen address             [default: 127.0.0.1:4547]
+        plus --snapshot / --scale / --indexes / --threads as above
+
+CONNECT OPTIONS:
+        --addr <HOST:PORT>   server address             [default: 127.0.0.1:4547]
+        --explain            plan only, never execute
+        --stats              print the server's stats response (JSON) and exit
+        --ping               liveness check and exit
+        --shutdown           ask the server to shut down and exit
+        --json               print raw JSON response lines instead of tables
+
 The database is the synthetic IMDB-like catalog (21 tables); queries are
 written in the JOB dialect: SELECT MIN(..)/COUNT(*) FROM t1 a1, t2 a2
-WHERE <equality joins AND base predicates>.";
+WHERE <equality joins AND base predicates>.  The wire protocol is
+documented in docs/PROTOCOL.md.";
 
-/// Everything the command line selects.
+/// Everything the one-shot command line selects.  `scale`/`indexes` are
+/// `None` unless set explicitly (defaulting to tiny/PK, or to whatever a
+/// loaded snapshot was built with).
 struct Options {
     source: Source,
-    scale: Scale,
-    indexes: IndexConfig,
+    scale: Option<Scale>,
+    indexes: Option<IndexConfig>,
     estimator: EstimatorKind,
     execute: bool,
     threads: usize,
+    snapshot: Option<String>,
 }
 
 enum Source {
@@ -60,47 +83,58 @@ enum Source {
     Inline(String),
 }
 
+fn value_of(args: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
+    *i += 1;
+    args.get(*i).cloned().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn parse_scale(raw: &str) -> Result<Scale, String> {
+    match raw {
+        "tiny" => Ok(Scale::tiny()),
+        "small" => Ok(Scale::small()),
+        "benchmark" => Ok(Scale::benchmark()),
+        other => Err(format!("unknown scale `{other}`")),
+    }
+}
+
+fn parse_indexes(raw: &str) -> Result<IndexConfig, String> {
+    match raw {
+        "none" => Ok(IndexConfig::NoIndexes),
+        "pk" => Ok(IndexConfig::PrimaryKeyOnly),
+        "pkfk" => Ok(IndexConfig::PrimaryAndForeignKey),
+        other => Err(format!("unknown index config `{other}`")),
+    }
+}
+
+fn parse_threads(raw: &str) -> Result<usize, String> {
+    let n: usize = raw.parse().map_err(|_| format!("--threads needs a number, got `{raw}`"))?;
+    Ok(if n == 0 { qob_exec::default_threads() } else { n })
+}
+
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut options = Options {
         source: Source::Stdin,
-        scale: Scale::tiny(),
-        indexes: IndexConfig::PrimaryKeyOnly,
+        scale: None,
+        indexes: None,
         estimator: EstimatorKind::Postgres,
         execute: true,
         threads: qob_exec::default_threads(),
+        snapshot: None,
     };
     let mut i = 0;
-    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
-        *i += 1;
-        args.get(*i).cloned().ok_or_else(|| format!("{flag} needs a value"))
-    };
     while i < args.len() {
         match args[i].as_str() {
             "-h" | "--help" => return Err(String::new()),
-            "-e" | "--execute" => options.source = Source::Inline(value(&mut i, "-e")?),
-            "--scale" => {
-                options.scale = match value(&mut i, "--scale")?.as_str() {
-                    "tiny" => Scale::tiny(),
-                    "small" => Scale::small(),
-                    "benchmark" => Scale::benchmark(),
-                    other => return Err(format!("unknown scale `{other}`")),
-                }
-            }
+            "-e" | "--execute" => options.source = Source::Inline(value_of(args, &mut i, "-e")?),
+            "--scale" => options.scale = Some(parse_scale(&value_of(args, &mut i, "--scale")?)?),
             "--indexes" => {
-                options.indexes = match value(&mut i, "--indexes")?.as_str() {
-                    "none" => IndexConfig::NoIndexes,
-                    "pk" => IndexConfig::PrimaryKeyOnly,
-                    "pkfk" => IndexConfig::PrimaryAndForeignKey,
-                    other => return Err(format!("unknown index config `{other}`")),
-                }
+                options.indexes = Some(parse_indexes(&value_of(args, &mut i, "--indexes")?)?)
             }
-            "--estimator" => options.estimator = parse_estimator(&value(&mut i, "--estimator")?)?,
-            "--threads" => {
-                let raw = value(&mut i, "--threads")?;
-                let n: usize =
-                    raw.parse().map_err(|_| format!("--threads needs a number, got `{raw}`"))?;
-                options.threads = if n == 0 { qob_exec::default_threads() } else { n };
+            "--estimator" => {
+                options.estimator = parse_estimator(&value_of(args, &mut i, "--estimator")?)?
             }
+            "--threads" => options.threads = parse_threads(&value_of(args, &mut i, "--threads")?)?,
+            "--snapshot" => options.snapshot = Some(value_of(args, &mut i, "--snapshot")?),
             "--no-exec" => options.execute = false,
             "-" => options.source = Source::Stdin,
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
@@ -112,26 +146,93 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 }
 
 fn parse_estimator(name: &str) -> Result<EstimatorKind, String> {
-    Ok(match name {
-        "postgres" => EstimatorKind::Postgres,
-        "true-distinct" => EstimatorKind::PostgresTrueDistinct,
-        "hyper" => EstimatorKind::HyPer,
-        "dbms-a" => EstimatorKind::DbmsA,
-        "dbms-b" => EstimatorKind::DbmsB,
-        "dbms-c" => EstimatorKind::DbmsC,
-        other => return Err(format!("unknown estimator `{other}`")),
-    })
-}
-
-/// Human label for a relation set: the aliases it covers, e.g. `{t,mc,cn}`.
-fn relset_label(query: &QuerySpec, set: RelSet) -> String {
-    let aliases: Vec<&str> = set.iter().map(|rel| query.relations[rel].alias.as_str()).collect();
-    format!("{{{}}}", aliases.join(","))
+    EstimatorKind::parse(name).ok_or_else(|| format!("unknown estimator `{name}`"))
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let options = match parse_args(&args) {
+    match args.first().map(String::as_str) {
+        Some("serve") => serve_main(&args[1..]),
+        Some("connect") => connect_main(&args[1..]),
+        _ => oneshot_main(&args),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// One-shot mode
+// ---------------------------------------------------------------------------
+
+fn read_source(source: &Source) -> Result<String, String> {
+    match source {
+        Source::Inline(sql) => Ok(sql.clone()),
+        Source::File(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+        }
+        Source::Stdin => {
+            let mut text = String::new();
+            std::io::Read::read_to_string(&mut std::io::stdin(), &mut text)
+                .map(|_| text)
+                .map_err(|e| format!("cannot read stdin: {e}"))
+        }
+    }
+}
+
+/// Builds or snapshot-loads the context.  Returns the context and whether it
+/// came from a snapshot.  `scale`/`indexes` are `Some` only when set
+/// explicitly on the command line; a loaded snapshot supplies its own
+/// defaults, and an explicit mismatch is surfaced rather than silently
+/// ignored (indexes rebuild cheaply; a scale mismatch is an error because
+/// honouring it would mean regenerating — delete the snapshot to rescale).
+fn obtain_context(
+    scale: Option<Scale>,
+    indexes: Option<IndexConfig>,
+    snapshot: Option<&str>,
+) -> Result<(BenchmarkContext, bool), String> {
+    if let Some(path) = snapshot {
+        if std::path::Path::new(path).exists() {
+            let started = Instant::now();
+            let mut ctx = BenchmarkContext::load_snapshot(path)
+                .map_err(|e| format!("cannot load snapshot `{path}`: {e}"))?;
+            eprintln!(
+                "loaded snapshot `{path}` in {:.3?} ({} tables, {} rows, {})",
+                started.elapsed(),
+                ctx.db().table_count(),
+                ctx.db().total_rows(),
+                ctx.db().index_config().label()
+            );
+            if let Some(wanted) = scale {
+                if wanted != ctx.scale() {
+                    return Err(format!(
+                        "snapshot `{path}` was generated at {} movies, but --scale asks for {}; \
+                         delete the snapshot (or drop --scale) to proceed",
+                        ctx.scale().movies,
+                        wanted.movies
+                    ));
+                }
+            }
+            if let Some(wanted) = indexes {
+                if wanted != ctx.db().index_config() {
+                    ctx.set_index_config(wanted)
+                        .map_err(|e| format!("cannot rebuild indexes: {e}"))?;
+                    eprintln!("rebuilt indexes for the requested design ({})", wanted.label());
+                }
+            }
+            return Ok((ctx, true));
+        }
+    }
+    let indexes = indexes.unwrap_or_default();
+    eprintln!("building the synthetic IMDB-like database ({})...", indexes.label());
+    let ctx = BenchmarkContext::new(scale.unwrap_or_else(Scale::tiny), indexes)
+        .map_err(|e| format!("database generation failed: {e}"))?;
+    if let Some(path) = snapshot {
+        ctx.save_snapshot(path).map_err(|e| format!("cannot save snapshot `{path}`: {e}"))?;
+        eprintln!("saved snapshot to `{path}`");
+    }
+    Ok((ctx, false))
+}
+
+fn oneshot_main(args: &[String]) -> ExitCode {
+    let options = match parse_args(args) {
         Ok(options) => options,
         Err(message) if message.is_empty() => {
             println!("{USAGE}");
@@ -143,51 +244,66 @@ fn main() -> ExitCode {
         }
     };
 
-    let script = match &options.source {
-        Source::Inline(sql) => sql.clone(),
-        Source::File(path) => match std::fs::read_to_string(path) {
-            Ok(text) => text,
-            Err(e) => {
-                eprintln!("error: cannot read `{path}`: {e}");
-                return ExitCode::FAILURE;
-            }
-        },
-        Source::Stdin => {
-            let mut text = String::new();
-            if let Err(e) = std::io::Read::read_to_string(&mut std::io::stdin(), &mut text) {
-                eprintln!("error: cannot read stdin: {e}");
-                return ExitCode::FAILURE;
-            }
-            text
-        }
-    };
-
-    eprintln!("building the synthetic IMDB-like database ({})...", options.indexes.label());
-    let ctx = match BenchmarkContext::new(options.scale, options.indexes) {
-        Ok(ctx) => ctx,
-        Err(e) => {
-            eprintln!("error: database generation failed: {e}");
+    let script = match read_source(&options.source) {
+        Ok(script) => script,
+        Err(message) => {
+            eprintln!("error: {message}");
             return ExitCode::FAILURE;
         }
     };
 
-    let queries = match load_sql_str(ctx.db(), &script) {
+    // Parse (syntax only) *before* paying for the database, so `--help`,
+    // empty input and parse errors never trigger datagen.
+    let parsed = match parse_script(&script) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if parsed.is_empty() {
+        eprintln!("error: the input contains no statements");
+        return ExitCode::FAILURE;
+    }
+
+    let (ctx, _) = match obtain_context(options.scale, options.indexes, options.snapshot.as_deref())
+    {
+        Ok(pair) => pair,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let queries = match bind_parsed(ctx.db(), &parsed) {
         Ok(queries) => queries,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
-    if queries.is_empty() {
-        eprintln!("error: the input contains no statements");
-        return ExitCode::FAILURE;
-    }
+
+    let server = ServerContext::new(ctx);
+    let mut session = server.session();
+    session.options.estimator = options.estimator;
+    session.options.threads = options.threads;
+    session.options.execute = options.execute;
 
     let mut failures = 0usize;
     for query in &queries {
-        if let Err(e) = run_query(&ctx, query, &options) {
-            eprintln!("query `{}` failed: {e}", query.name);
-            failures += 1;
+        println!(
+            "\n=== {} — {} relations, {} join predicates, {} selections ===",
+            query.name,
+            query.rel_count(),
+            query.join_predicate_count(),
+            query.base_predicate_count()
+        );
+        match session.run_query(query) {
+            Ok(report) => print_report(&report),
+            Err(e) => {
+                eprintln!("query `{}` failed: {e}", query.name);
+                failures += 1;
+            }
         }
     }
     if failures > 0 {
@@ -197,58 +313,294 @@ fn main() -> ExitCode {
     }
 }
 
-fn run_query(ctx: &BenchmarkContext, query: &QuerySpec, options: &Options) -> Result<(), String> {
-    println!(
-        "\n=== {} — {} relations, {} join predicates, {} selections ===",
-        query.name,
-        query.rel_count(),
-        query.join_predicate_count(),
-        query.base_predicate_count()
-    );
-
-    let estimator = ctx.estimator(options.estimator);
-    let optimized = ctx
-        .optimize(query, estimator.as_ref(), PlannerConfig::default())
-        .map_err(|e| format!("optimization failed: {e}"))?;
-
+/// Renders one report in the one-shot output format (also used, via the
+/// JSON fields, by `qob connect` — the two must stay in sync so server
+/// answers diff clean against one-shot answers).
+fn print_report(report: &QueryReport) {
     println!(
         "plan chosen with {} estimates (cost {:.1}, {} thread{}):",
-        estimator.name(),
-        optimized.cost,
-        options.threads,
-        if options.threads == 1 { "" } else { "s" }
+        report.estimator,
+        report.cost,
+        report.threads,
+        if report.threads == 1 { "" } else { "s" }
     );
-    print!("{}", optimized.plan.render(query));
+    print!("{}", report.plan);
 
-    if !options.execute {
-        return Ok(());
-    }
-
-    let exec_options = ExecutionOptions::with_threads(options.threads);
-    let result = ctx
-        .execute(query, &optimized.plan, estimator.as_ref(), &exec_options)
-        .map_err(|e| format!("execution failed: {e}"))?;
-
-    // Per-operator estimated vs. true cardinalities, in execution order.
+    let Some(exec) = &report.execution else { return };
     println!("\n{:<28} {:>14} {:>14} {:>10}", "operator output", "estimated", "true", "q-error");
-    let mut worst: f64 = 1.0;
-    for (set, true_rows) in &result.operator_cardinalities {
-        let estimate = estimator.estimate(query, *set);
-        let qerr = q_error(estimate, *true_rows as f64);
-        worst = worst.max(qerr);
+    for op in &exec.operators {
         println!(
             "{:<28} {:>14.0} {:>14} {:>9.1}x",
-            relset_label(query, *set),
-            estimate,
-            true_rows,
-            qerr
+            op.relations, op.estimated, op.true_rows, op.q_error
         );
     }
     println!(
         "\n{} rows in {:.3?} — worst operator q-error {:.1}x",
-        result.rows, result.elapsed, worst
+        exec.rows, exec.elapsed, exec.worst_q_error
     );
-    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// `qob serve`
+// ---------------------------------------------------------------------------
+
+struct ServeOptions {
+    addr: String,
+    scale: Option<Scale>,
+    indexes: Option<IndexConfig>,
+    threads: usize,
+    snapshot: Option<String>,
+}
+
+fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
+    let mut options = ServeOptions {
+        addr: qob_server::DEFAULT_ADDR.to_owned(),
+        scale: None,
+        indexes: None,
+        threads: qob_exec::default_threads(),
+        snapshot: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-h" | "--help" => return Err(String::new()),
+            "--addr" => options.addr = value_of(args, &mut i, "--addr")?,
+            "--scale" => options.scale = Some(parse_scale(&value_of(args, &mut i, "--scale")?)?),
+            "--indexes" => {
+                options.indexes = Some(parse_indexes(&value_of(args, &mut i, "--indexes")?)?)
+            }
+            "--threads" => options.threads = parse_threads(&value_of(args, &mut i, "--threads")?)?,
+            "--snapshot" => options.snapshot = Some(value_of(args, &mut i, "--snapshot")?),
+            flag => return Err(format!("unknown serve flag `{flag}`")),
+        }
+        i += 1;
+    }
+    Ok(options)
+}
+
+fn serve_main(args: &[String]) -> ExitCode {
+    let options = match parse_serve_args(args) {
+        Ok(options) => options,
+        Err(message) if message.is_empty() => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("error: {message}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (ctx, snapshot_loaded) =
+        match obtain_context(options.scale, options.indexes, options.snapshot.as_deref()) {
+            Ok(pair) => pair,
+            Err(message) => {
+                eprintln!("error: {message}");
+                return ExitCode::FAILURE;
+            }
+        };
+
+    let defaults = SessionOptions { threads: options.threads, ..SessionOptions::default() };
+    let context = ServerContext::with_defaults(ctx, defaults);
+    let config = ServerConfig { addr: options.addr, snapshot_loaded };
+    let handle = match qob_server::serve(context, config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("error: cannot bind server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("qob server listening on {} (JSON lines; see docs/PROTOCOL.md)", handle.local_addr());
+    handle.join();
+    eprintln!("qob server stopped");
+    ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------------
+// `qob connect`
+// ---------------------------------------------------------------------------
+
+enum ConnectAction {
+    Script { explain: bool },
+    Stats,
+    Ping,
+    Shutdown,
+}
+
+struct ConnectOptions {
+    addr: String,
+    source: Source,
+    action: ConnectAction,
+    raw_json: bool,
+}
+
+fn parse_connect_args(args: &[String]) -> Result<ConnectOptions, String> {
+    let mut options = ConnectOptions {
+        addr: qob_server::DEFAULT_ADDR.to_owned(),
+        source: Source::Stdin,
+        action: ConnectAction::Script { explain: false },
+        raw_json: false,
+    };
+    let mut explain = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-h" | "--help" => return Err(String::new()),
+            "--addr" => options.addr = value_of(args, &mut i, "--addr")?,
+            "-e" | "--execute" => options.source = Source::Inline(value_of(args, &mut i, "-e")?),
+            "--explain" => explain = true,
+            "--stats" => options.action = ConnectAction::Stats,
+            "--ping" => options.action = ConnectAction::Ping,
+            "--shutdown" => options.action = ConnectAction::Shutdown,
+            "--json" => options.raw_json = true,
+            "-" => options.source = Source::Stdin,
+            flag if flag.starts_with('-') => return Err(format!("unknown connect flag `{flag}`")),
+            file => options.source = Source::File(file.to_owned()),
+        }
+        i += 1;
+    }
+    if let ConnectAction::Script { explain: e } = &mut options.action {
+        *e = explain;
+    }
+    Ok(options)
+}
+
+fn connect_main(args: &[String]) -> ExitCode {
+    let options = match parse_connect_args(args) {
+        Ok(options) => options,
+        Err(message) if message.is_empty() => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("error: {message}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut client = match Client::connect(&options.addr) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("error: cannot connect to {}: {e}", options.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let request = match &options.action {
+        ConnectAction::Stats => Request::Stats,
+        ConnectAction::Ping => Request::Ping,
+        ConnectAction::Shutdown => Request::Shutdown,
+        ConnectAction::Script { explain } => {
+            let sql = match read_source(&options.source) {
+                Ok(sql) => sql,
+                Err(message) => {
+                    eprintln!("error: {message}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if *explain {
+                Request::Explain { sql }
+            } else {
+                Request::Query { sql }
+            }
+        }
+    };
+
+    let response = match client.request(&request) {
+        Ok(response) => response,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if options.raw_json || matches!(options.action, ConnectAction::Stats) {
+        println!("{response}");
+        return exit_for(&response);
+    }
+    render_response(&response)
+}
+
+fn exit_for(response: &Json) -> ExitCode {
+    if response.get("ok").and_then(Json::as_bool) == Some(true) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Renders a server response in the one-shot output format.
+fn render_response(response: &Json) -> ExitCode {
+    if response.get("ok").and_then(Json::as_bool) != Some(true) {
+        let message = response
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .unwrap_or("malformed error response");
+        eprintln!("error: {message}");
+        return ExitCode::FAILURE;
+    }
+    match response.get("type").and_then(Json::as_str) {
+        Some("result") => {
+            for result in response.get("results").and_then(Json::as_array).unwrap_or(&[]) {
+                render_result(result);
+            }
+            ExitCode::SUCCESS
+        }
+        Some("pong") => {
+            println!("pong");
+            ExitCode::SUCCESS
+        }
+        Some("shutdown") => {
+            println!("server is shutting down");
+            ExitCode::SUCCESS
+        }
+        _ => {
+            println!("{response}");
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+/// Renders one per-statement result object exactly like [`print_report`].
+fn render_result(result: &Json) {
+    let str_of = |key: &str| result.get(key).and_then(Json::as_str).unwrap_or("?");
+    let num_of = |key: &str| result.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+    println!(
+        "\n=== {} — {} relations, {} join predicates, {} selections ===",
+        str_of("query"),
+        num_of("relations"),
+        num_of("join_predicates"),
+        num_of("selections")
+    );
+    let threads = num_of("threads") as usize;
+    println!(
+        "plan chosen with {} estimates (cost {:.1}, {} thread{}):",
+        str_of("estimator"),
+        num_of("cost"),
+        threads,
+        if threads == 1 { "" } else { "s" }
+    );
+    print!("{}", str_of("plan"));
+
+    let Some(rows) = result.get("rows").and_then(Json::as_u64) else { return };
+    println!("\n{:<28} {:>14} {:>14} {:>10}", "operator output", "estimated", "true", "q-error");
+    for op in result.get("operators").and_then(Json::as_array).unwrap_or(&[]) {
+        println!(
+            "{:<28} {:>14.0} {:>14} {:>9.1}x",
+            op.get("relations").and_then(Json::as_str).unwrap_or("?"),
+            op.get("estimated").and_then(Json::as_f64).unwrap_or(0.0),
+            op.get("true").and_then(Json::as_u64).unwrap_or(0),
+            op.get("q_error").and_then(Json::as_f64).unwrap_or(0.0)
+        );
+    }
+    let elapsed = std::time::Duration::from_micros(num_of("elapsed_us") as u64);
+    println!(
+        "\n{} rows in {:.3?} — worst operator q-error {:.1}x",
+        rows,
+        elapsed,
+        num_of("worst_q_error")
+    );
 }
 
 #[cfg(test)]
@@ -264,8 +616,9 @@ mod tests {
         let options = parse_args(&[]).unwrap();
         assert!(matches!(options.source, Source::Stdin));
         assert_eq!(options.estimator, EstimatorKind::Postgres);
-        assert_eq!(options.indexes, IndexConfig::PrimaryKeyOnly);
+        assert_eq!(options.indexes, None, "indexes default resolves at build time");
         assert!(options.execute);
+        assert!(options.snapshot.is_none());
     }
 
     #[test]
@@ -278,13 +631,16 @@ mod tests {
             "--estimator",
             "hyper",
             "--no-exec",
+            "--snapshot",
+            "db.qob",
             "-e",
             "SELECT * FROM t",
         ]))
         .unwrap();
         assert!(matches!(options.source, Source::Inline(ref s) if s == "SELECT * FROM t"));
         assert_eq!(options.estimator, EstimatorKind::HyPer);
-        assert_eq!(options.indexes, IndexConfig::PrimaryAndForeignKey);
+        assert_eq!(options.indexes, Some(IndexConfig::PrimaryAndForeignKey));
+        assert_eq!(options.snapshot.as_deref(), Some("db.qob"));
         assert!(!options.execute);
 
         let options = parse_args(&args(&["queries.sql"])).unwrap();
@@ -297,6 +653,7 @@ mod tests {
         assert!(parse_args(&args(&["--estimator"])).is_err());
         assert!(parse_args(&args(&["--bogus"])).is_err());
         assert!(parse_args(&args(&["--threads", "four"])).is_err());
+        assert!(parse_args(&args(&["--snapshot"])).is_err());
         assert_eq!(parse_args(&args(&["--help"])).err().unwrap(), "");
     }
 
@@ -327,16 +684,51 @@ mod tests {
     }
 
     #[test]
-    fn relset_labels_use_aliases() {
-        let query = QuerySpec::new(
-            "x",
-            vec![
-                qob_plan::BaseRelation::unfiltered(qob_storage::TableId(0), "t"),
-                qob_plan::BaseRelation::unfiltered(qob_storage::TableId(1), "mc"),
-            ],
-            vec![],
-        );
-        assert_eq!(relset_label(&query, RelSet::from_iter([0, 1])), "{t,mc}");
-        assert_eq!(relset_label(&query, RelSet::single(1)), "{mc}");
+    fn serve_args_parse() {
+        let options = parse_serve_args(&args(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--snapshot",
+            "db.qob",
+            "--threads",
+            "2",
+            "--scale",
+            "small",
+        ]))
+        .unwrap();
+        assert_eq!(options.addr, "127.0.0.1:0");
+        assert_eq!(options.snapshot.as_deref(), Some("db.qob"));
+        assert_eq!(options.threads, 2);
+        assert!(parse_serve_args(&args(&["--bogus"])).is_err());
+        assert!(parse_serve_args(&args(&["positional"])).is_err());
+        assert_eq!(parse_serve_args(&args(&["--help"])).err().unwrap(), "");
+        assert_eq!(parse_serve_args(&[]).unwrap().addr, qob_server::DEFAULT_ADDR);
+    }
+
+    #[test]
+    fn connect_args_parse() {
+        let options =
+            parse_connect_args(&args(&["--addr", "127.0.0.1:9", "-e", "SELECT 1"])).unwrap();
+        assert_eq!(options.addr, "127.0.0.1:9");
+        assert!(matches!(options.action, ConnectAction::Script { explain: false }));
+        assert!(matches!(options.source, Source::Inline(_)));
+
+        let options = parse_connect_args(&args(&["--explain", "-e", "SELECT 1"])).unwrap();
+        assert!(matches!(options.action, ConnectAction::Script { explain: true }));
+
+        assert!(matches!(
+            parse_connect_args(&args(&["--stats"])).unwrap().action,
+            ConnectAction::Stats
+        ));
+        assert!(matches!(
+            parse_connect_args(&args(&["--ping"])).unwrap().action,
+            ConnectAction::Ping
+        ));
+        assert!(matches!(
+            parse_connect_args(&args(&["--shutdown"])).unwrap().action,
+            ConnectAction::Shutdown
+        ));
+        assert!(parse_connect_args(&args(&["--json"])).unwrap().raw_json);
+        assert!(parse_connect_args(&args(&["--bogus"])).is_err());
     }
 }

@@ -49,6 +49,20 @@ impl EstimatorKind {
         ]
     }
 
+    /// Parses the CLI / wire-protocol name of a profile (`postgres`,
+    /// `true-distinct`, `hyper`, `dbms-a`, `dbms-b`, `dbms-c`).
+    pub fn parse(name: &str) -> Option<EstimatorKind> {
+        Some(match name {
+            "postgres" => EstimatorKind::Postgres,
+            "true-distinct" => EstimatorKind::PostgresTrueDistinct,
+            "hyper" => EstimatorKind::HyPer,
+            "dbms-a" => EstimatorKind::DbmsA,
+            "dbms-b" => EstimatorKind::DbmsB,
+            "dbms-c" => EstimatorKind::DbmsC,
+            _ => return None,
+        })
+    }
+
     /// Display label.
     pub fn label(&self) -> &'static str {
         match self {
@@ -76,15 +90,27 @@ pub struct BenchmarkContext {
     truth_options: TrueCardinalityOptions,
 }
 
+/// Snapshot metadata key recording [`Scale::movies`].
+const META_SCALE_MOVIES: &str = "scale.movies";
+/// Snapshot metadata key recording [`Scale::seed`].
+const META_SCALE_SEED: &str = "scale.seed";
+
 impl BenchmarkContext {
     /// Generates the IMDB-like database at `scale`, builds the indexes of
     /// `index_config`, runs ANALYZE and instantiates the workload.
     pub fn new(scale: Scale, index_config: IndexConfig) -> Result<Self, StorageError> {
         let mut db = generate_imdb(&scale)?;
         db.build_indexes(index_config)?;
+        Ok(Self::from_database(db, scale))
+    }
+
+    /// Wraps an already-built database (generated or snapshot-loaded) with
+    /// fresh ANALYZE statistics and the JOB workload.  The database keeps
+    /// whatever physical design its indexes currently implement.
+    pub fn from_database(db: Database, scale: Scale) -> Self {
         let stats = analyze_database(&db, &AnalyzeOptions::default());
         let queries = job_queries(&db);
-        Ok(BenchmarkContext {
+        BenchmarkContext {
             db,
             stats,
             scale,
@@ -95,7 +121,49 @@ impl BenchmarkContext {
                 timeout: Some(std::time::Duration::from_secs(60)),
                 ..TrueCardinalityOptions::default()
             },
-        })
+        }
+    }
+
+    /// Persists the generated database (tables, keys, index design, scale)
+    /// to `path` in the `qob-storage` snapshot format, so later runs can
+    /// [`BenchmarkContext::load_snapshot`] instead of regenerating.
+    ///
+    /// Statistics and the ground-truth cache are *not* stored: statistics
+    /// re-derive deterministically from the data on load, and truths refill
+    /// lazily.
+    pub fn save_snapshot(&self, path: impl AsRef<std::path::Path>) -> Result<(), StorageError> {
+        let meta = vec![
+            (META_SCALE_MOVIES.to_owned(), self.scale.movies as i64),
+            (META_SCALE_SEED.to_owned(), self.scale.seed as i64),
+        ];
+        qob_storage::snapshot::save(&self.db, &meta, path)
+    }
+
+    /// Loads a context from a snapshot file written by
+    /// [`BenchmarkContext::save_snapshot`]: the database (indexes rebuilt at
+    /// its recorded physical design) plus the original generation scale.
+    /// Statistics are re-analysed from the loaded data — deterministic, so
+    /// estimates and q-errors match the generating run exactly.
+    ///
+    /// # Examples
+    ///
+    /// ```no_run
+    /// use qob_core::BenchmarkContext;
+    ///
+    /// let ctx = BenchmarkContext::load_snapshot("db.qob").unwrap();
+    /// assert_eq!(ctx.queries().len(), 113);
+    /// ```
+    pub fn load_snapshot(path: impl AsRef<std::path::Path>) -> Result<Self, StorageError> {
+        let (db, meta) = qob_storage::snapshot::load(path)?;
+        let get = |key: &str| meta.iter().find(|(k, _)| k == key).map(|(_, v)| *v);
+        let movies = get(META_SCALE_MOVIES).ok_or_else(|| {
+            StorageError::SnapshotCorrupt(format!("snapshot lacks `{META_SCALE_MOVIES}` metadata"))
+        })?;
+        let seed = get(META_SCALE_SEED).ok_or_else(|| {
+            StorageError::SnapshotCorrupt(format!("snapshot lacks `{META_SCALE_SEED}` metadata"))
+        })?;
+        let scale = Scale::with_movies(movies as usize).with_seed(seed as u64);
+        Ok(Self::from_database(db, scale))
     }
 
     /// Rebuilds the indexes for a different physical design (statistics and
@@ -183,6 +251,12 @@ impl BenchmarkContext {
     /// [`BenchmarkContext::truth_failures`].
     pub fn true_cardinalities(&self, query: &QuerySpec) -> Arc<TrueCardinalities> {
         self.try_true_cardinalities(query).unwrap_or_else(|_| Arc::new(TrueCardinalities::new()))
+    }
+
+    /// Number of queries whose ground truth (or extraction failure) is
+    /// cached — the server's measure of how warm the context is.
+    pub fn truth_cache_len(&self) -> usize {
+        self.truth_cache.lock().len()
     }
 
     /// Every recorded ground-truth extraction failure, by query name.
@@ -389,6 +463,59 @@ mod tests {
         if let Some(expected) = truth.get(q.all_rels()) {
             assert_eq!(result.rows as f64, expected);
         }
+    }
+
+    #[test]
+    fn estimator_kind_parses_wire_names() {
+        assert_eq!(EstimatorKind::parse("postgres"), Some(EstimatorKind::Postgres));
+        assert_eq!(
+            EstimatorKind::parse("true-distinct"),
+            Some(EstimatorKind::PostgresTrueDistinct)
+        );
+        assert_eq!(EstimatorKind::parse("hyper"), Some(EstimatorKind::HyPer));
+        assert_eq!(EstimatorKind::parse("dbms-b"), Some(EstimatorKind::DbmsB));
+        assert_eq!(EstimatorKind::parse("oracle"), None);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_reconstructs_the_context() {
+        let original = ctx();
+        let path =
+            std::env::temp_dir().join(format!("qob-ctx-snapshot-{}.qob", std::process::id()));
+        original.save_snapshot(&path).unwrap();
+        let loaded = BenchmarkContext::load_snapshot(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(loaded.scale(), original.scale());
+        assert_eq!(loaded.db().table_count(), original.db().table_count());
+        assert_eq!(loaded.db().index_config(), original.db().index_config());
+        assert_eq!(loaded.db().index_count(), original.db().index_count());
+        for (tid, table) in original.db().tables() {
+            assert_eq!(loaded.db().table(tid).row_count(), table.row_count());
+        }
+        assert_eq!(loaded.queries().len(), original.queries().len());
+
+        // Estimates (statistics-derived) and truths are identical, so the
+        // loaded context reproduces q-errors exactly.
+        let q = original.query("2a").unwrap();
+        let est_a = original.estimator(EstimatorKind::Postgres);
+        let est_b = loaded.estimator(EstimatorKind::Postgres);
+        let truth_a = original.true_cardinalities(&q);
+        let truth_b = loaded.true_cardinalities(&q);
+        assert_eq!(est_a.estimate(&q, q.all_rels()), est_b.estimate(&q, q.all_rels()));
+        assert_eq!(truth_a.get(q.all_rels()), truth_b.get(q.all_rels()));
+    }
+
+    #[test]
+    fn missing_scale_metadata_is_rejected() {
+        let db = generate_imdb(&Scale::tiny()).unwrap();
+        let path = std::env::temp_dir().join(format!("qob-nometa-{}.qob", std::process::id()));
+        qob_storage::snapshot::save(&db, &[], &path).unwrap();
+        let Err(err) = BenchmarkContext::load_snapshot(&path) else {
+            panic!("a snapshot without scale metadata must not load");
+        };
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, StorageError::SnapshotCorrupt(_)), "got {err:?}");
     }
 
     #[test]

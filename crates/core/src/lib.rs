@@ -8,8 +8,15 @@
 //! * [`BenchmarkContext`] — owns a synthetic IMDB-like database, its
 //!   statistics, the 113-query JOB workload, the estimator profiles and the
 //!   ground-truth cardinality cache, and exposes optimize/execute primitives.
+//!   Contexts persist to disk ([`BenchmarkContext::save_snapshot`]) and
+//!   reload in milliseconds ([`BenchmarkContext::load_snapshot`]).
 //! * [`experiments`] — one driver per table/figure of the paper, returning
 //!   plain data structures that the `qob-bench` binaries print.
+//!
+//! For long-lived use (the `qob serve` server, or any host that answers many
+//! queries against one warm database) the [`session`] module wraps a context
+//! in a shareable [`ServerContext`] and hands each connection a [`Session`]
+//! with private options — see its module docs for the locking model.
 //!
 //! ## Quick start
 //!
@@ -26,9 +33,16 @@
 //! println!("query 13d returned {} rows in {:?}", result.rows, result.elapsed);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod context;
 pub mod experiments;
 pub mod metrics;
+pub mod session;
 
 pub use context::{BenchmarkContext, EstimatorKind};
 pub use metrics::{geometric_mean, SlowdownBucket, SlowdownDistribution};
+pub use session::{
+    ExecutionReport, OperatorReport, QueryReport, ServerContext, Session, SessionError,
+    SessionOptions,
+};

@@ -1,0 +1,438 @@
+//! The serve path: a shared warm context plus per-session state.
+//!
+//! One [`BenchmarkContext`] is expensive to build (datagen + ANALYZE) but
+//! cheap to share: everything it exposes is either immutable after
+//! construction (database, statistics, workload) or internally synchronised
+//! (the ground-truth cache behind a `parking_lot` mutex).  [`ServerContext`]
+//! wraps the context in an [`Arc`] so any number of connections can hold it,
+//! and [`Session`] layers the *per-connection* state on top: which estimator
+//! to plan with, how many worker threads to execute on, the statement
+//! timeout, and whether to execute at all.
+//!
+//! The `qob` CLI and the `qob-server` wire protocol both run queries through
+//! [`Session::run_script`], so a query answered over a socket is
+//! tuple-identical to the same query answered by a one-shot CLI run.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use qob_core::{BenchmarkContext, ServerContext};
+//!
+//! let ctx = BenchmarkContext::load_snapshot("db.qob").unwrap();
+//! let server = ServerContext::new(ctx);
+//! let session = server.session(); // one per connection
+//! let reports = session
+//!     .run_script("SELECT COUNT(*) FROM title t, movie_companies mc WHERE mc.movie_id = t.id")
+//!     .unwrap();
+//! println!("{} rows", reports[0].execution.as_ref().unwrap().rows);
+//! ```
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use qob_cardest::q_error;
+use qob_enumerate::PlannerConfig;
+use qob_exec::ExecutionOptions;
+use qob_plan::QuerySpec;
+use qob_workload::load_sql_str;
+
+use crate::context::{BenchmarkContext, EstimatorKind};
+
+/// Per-session (per-connection) execution state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionOptions {
+    /// The estimator profile plans are optimized with.
+    pub estimator: EstimatorKind,
+    /// Worker threads driving execution (`0` is normalised to all cores by
+    /// [`SessionOptions::set`]).
+    pub threads: usize,
+    /// Per-statement wall-clock timeout (`None` disables the guard).
+    pub timeout: Option<Duration>,
+    /// When `false`, statements stop after planning (the `explain` path).
+    pub execute: bool,
+}
+
+impl Default for SessionOptions {
+    fn default() -> Self {
+        SessionOptions {
+            estimator: EstimatorKind::Postgres,
+            threads: qob_exec::default_threads(),
+            timeout: Some(Duration::from_secs(30)),
+            execute: true,
+        }
+    }
+}
+
+impl SessionOptions {
+    /// Sets one option by its wire-protocol name: `threads` (integer, `0` =
+    /// all cores), `timeout_ms` (integer, `0` = no timeout), `estimator`
+    /// (profile name) or `execute` (`true`/`false`).  Returns a description
+    /// of the rejection otherwise.
+    pub fn set(&mut self, name: &str, value: &str) -> Result<(), String> {
+        match name {
+            "threads" => {
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| format!("threads needs an integer, got `{value}`"))?;
+                self.threads = if n == 0 { qob_exec::default_threads() } else { n };
+            }
+            "timeout_ms" => {
+                let ms: u64 = value
+                    .parse()
+                    .map_err(|_| format!("timeout_ms needs an integer, got `{value}`"))?;
+                self.timeout = if ms == 0 { None } else { Some(Duration::from_millis(ms)) };
+            }
+            "estimator" => {
+                self.estimator = EstimatorKind::parse(value)
+                    .ok_or_else(|| format!("unknown estimator `{value}`"))?;
+            }
+            "execute" => {
+                self.execute = match value {
+                    "true" => true,
+                    "false" => false,
+                    other => return Err(format!("execute needs true or false, got `{other}`")),
+                };
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+        Ok(())
+    }
+
+    /// The execution options this session state implies.
+    pub fn execution_options(&self) -> ExecutionOptions {
+        ExecutionOptions::with_threads(self.threads).with_timeout(self.timeout)
+    }
+}
+
+/// What went wrong while answering a statement, tagged by pipeline stage so
+/// protocol errors can carry a machine-readable code.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    /// The statement failed to parse or bind (rendered diagnostic).
+    Sql(String),
+    /// Join-order enumeration failed.
+    Optimize(String),
+    /// Execution aborted (timeout, memory guard, malformed plan).
+    Execute(String),
+}
+
+impl SessionError {
+    /// A short machine-readable code (`sql_error`, `optimize_error`,
+    /// `execute_error`) used by the wire protocol.
+    pub fn code(&self) -> &'static str {
+        match self {
+            SessionError::Sql(_) => "sql_error",
+            SessionError::Optimize(_) => "optimize_error",
+            SessionError::Execute(_) => "execute_error",
+        }
+    }
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Sql(msg) => write!(f, "{msg}"),
+            SessionError::Optimize(msg) => write!(f, "optimization failed: {msg}"),
+            SessionError::Execute(msg) => write!(f, "execution failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// One operator of an executed plan: its estimated vs. true output
+/// cardinality and the q-error between them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatorReport {
+    /// The relation set the operator produced, rendered as `{t,mc,cn}`.
+    pub relations: String,
+    /// The estimator's cardinality estimate for that set.
+    pub estimated: f64,
+    /// The true cardinality observed during execution.
+    pub true_rows: u64,
+    /// `q_error(estimated, true_rows)`.
+    pub q_error: f64,
+}
+
+/// The runtime half of a [`QueryReport`], present when the session executed
+/// the plan (not just planned it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionReport {
+    /// Result tuples produced.
+    pub rows: u64,
+    /// Wall-clock execution time.
+    pub elapsed: Duration,
+    /// Per-operator cardinalities in execution order.
+    pub operators: Vec<OperatorReport>,
+    /// The largest per-operator q-error.
+    pub worst_q_error: f64,
+}
+
+/// Everything one answered statement reports: the chosen plan and, when the
+/// session executes, the runtime cardinality comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryReport {
+    /// Statement name (`-- name:` annotation or `q<N>`).
+    pub name: String,
+    /// Number of relations joined.
+    pub relations: usize,
+    /// Number of equality join predicates.
+    pub join_predicates: usize,
+    /// Number of base-table selection predicates.
+    pub selections: usize,
+    /// Display label of the estimator that planned it.
+    pub estimator: String,
+    /// The optimizer's cost for the chosen plan.
+    pub cost: f64,
+    /// Worker threads the session would execute with.
+    pub threads: usize,
+    /// The chosen plan rendered as an indented tree.
+    pub plan: String,
+    /// Runtime results, or `None` for explain-only sessions.
+    pub execution: Option<ExecutionReport>,
+}
+
+struct ServerShared {
+    ctx: BenchmarkContext,
+    defaults: SessionOptions,
+    queries_served: AtomicU64,
+}
+
+/// The long-lived, shareable wrapper around one warm [`BenchmarkContext`]:
+/// every connection gets a [`Session`] cloned from the same underlying
+/// context, so plan caches and ground truths are computed once and reused by
+/// everyone.
+#[derive(Clone)]
+pub struct ServerContext {
+    shared: Arc<ServerShared>,
+}
+
+impl ServerContext {
+    /// Wraps a context with default per-session options.
+    pub fn new(ctx: BenchmarkContext) -> Self {
+        Self::with_defaults(ctx, SessionOptions::default())
+    }
+
+    /// Wraps a context with explicit default options for new sessions.
+    pub fn with_defaults(ctx: BenchmarkContext, defaults: SessionOptions) -> Self {
+        ServerContext {
+            shared: Arc::new(ServerShared { ctx, defaults, queries_served: AtomicU64::new(0) }),
+        }
+    }
+
+    /// The shared warm context.
+    pub fn context(&self) -> &BenchmarkContext {
+        &self.shared.ctx
+    }
+
+    /// Opens a new session with the server's default options.
+    pub fn session(&self) -> Session {
+        Session { server: self.clone(), options: self.shared.defaults.clone() }
+    }
+
+    /// Total statements answered across all sessions since start.
+    pub fn queries_served(&self) -> u64 {
+        self.shared.queries_served.load(Ordering::Relaxed)
+    }
+}
+
+/// One connection's view of the server: the shared context plus private
+/// [`SessionOptions`].
+#[derive(Clone)]
+pub struct Session {
+    server: ServerContext,
+    /// This session's private option state, mutated by `SET` requests.
+    pub options: SessionOptions,
+}
+
+impl Session {
+    /// The shared warm context behind this session.
+    pub fn context(&self) -> &BenchmarkContext {
+        self.server.context()
+    }
+
+    /// Parses, binds, plans and (unless the session is explain-only)
+    /// executes a `;`-separated script, returning one report per statement.
+    ///
+    /// The first error aborts the script: statements before it have already
+    /// been answered, so callers that want partial results run statements
+    /// one at a time.
+    pub fn run_script(&self, sql: &str) -> Result<Vec<QueryReport>, SessionError> {
+        let queries =
+            load_sql_str(self.context().db(), sql).map_err(|e| SessionError::Sql(e.to_string()))?;
+        if queries.is_empty() {
+            return Err(SessionError::Sql("the input contains no statements".into()));
+        }
+        queries.iter().map(|q| self.run_query(q)).collect()
+    }
+
+    /// Plans (and, per [`SessionOptions::execute`], executes) one bound
+    /// query against the shared context.
+    pub fn run_query(&self, query: &QuerySpec) -> Result<QueryReport, SessionError> {
+        let ctx = self.context();
+        let estimator = ctx.estimator(self.options.estimator);
+        let optimized = ctx
+            .optimize(query, estimator.as_ref(), PlannerConfig::default())
+            .map_err(|e| SessionError::Optimize(e.to_string()))?;
+
+        let mut report = QueryReport {
+            name: query.name.clone(),
+            relations: query.rel_count(),
+            join_predicates: query.join_predicate_count(),
+            selections: query.base_predicate_count(),
+            estimator: estimator.name().to_owned(),
+            cost: optimized.cost,
+            threads: self.options.threads.max(1),
+            plan: optimized.plan.render(query),
+            execution: None,
+        };
+
+        if self.options.execute {
+            let result = ctx
+                .execute(
+                    query,
+                    &optimized.plan,
+                    estimator.as_ref(),
+                    &self.options.execution_options(),
+                )
+                .map_err(|e| SessionError::Execute(e.to_string()))?;
+            let mut worst: f64 = 1.0;
+            let operators = result
+                .operator_cardinalities
+                .iter()
+                .map(|(set, true_rows)| {
+                    let estimated = estimator.estimate(query, *set);
+                    let qerr = q_error(estimated, *true_rows as f64);
+                    worst = worst.max(qerr);
+                    OperatorReport {
+                        relations: relset_label(query, *set),
+                        estimated,
+                        true_rows: *true_rows,
+                        q_error: qerr,
+                    }
+                })
+                .collect();
+            report.execution = Some(ExecutionReport {
+                rows: result.rows,
+                elapsed: result.elapsed,
+                operators,
+                worst_q_error: worst,
+            });
+        }
+
+        self.server.shared.queries_served.fetch_add(1, Ordering::Relaxed);
+        Ok(report)
+    }
+}
+
+/// Human label for a relation set: the aliases it covers, e.g. `{t,mc,cn}`.
+pub fn relset_label(query: &QuerySpec, set: qob_plan::RelSet) -> String {
+    let aliases: Vec<&str> = set.iter().map(|rel| query.relations[rel].alias.as_str()).collect();
+    format!("{{{}}}", aliases.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qob_datagen::Scale;
+    use qob_storage::IndexConfig;
+
+    fn server() -> ServerContext {
+        ServerContext::new(
+            BenchmarkContext::new(Scale::tiny(), IndexConfig::PrimaryKeyOnly).unwrap(),
+        )
+    }
+
+    const THREE_WAY: &str = "SELECT COUNT(*) FROM title t, movie_companies mc, company_name cn \
+                             WHERE mc.movie_id = t.id AND mc.company_id = cn.id \
+                               AND cn.country_code = '[us]'";
+
+    #[test]
+    fn sessions_share_one_context_and_count_queries() {
+        let server = server();
+        let a = server.session();
+        let b = server.session();
+        assert!(std::ptr::eq(a.context(), b.context()), "both sessions see one context");
+
+        let ra: Vec<QueryReport> =
+            a.run_script(THREE_WAY).unwrap().into_iter().map(strip_elapsed).collect();
+        let rb: Vec<QueryReport> =
+            b.run_script(THREE_WAY).unwrap().into_iter().map(strip_elapsed).collect();
+        assert_eq!(ra, rb, "reports differ only in timing");
+        assert_eq!(server.queries_served(), 2);
+        // The shared truth cache is visible (and fillable) from any session.
+        let q = server.context().queries()[0].clone();
+        server.context().true_cardinalities(&q);
+        assert_eq!(server.context().truth_cache_len(), 1);
+    }
+
+    fn strip_elapsed(mut r: QueryReport) -> QueryReport {
+        if let Some(exec) = &mut r.execution {
+            exec.elapsed = Duration::ZERO;
+        }
+        r
+    }
+
+    #[test]
+    fn per_session_options_are_private() {
+        let server = server();
+        let mut a = server.session();
+        let b = server.session();
+        a.options.set("threads", "2").unwrap();
+        a.options.set("estimator", "hyper").unwrap();
+        assert_eq!(a.options.threads, 2);
+        assert_eq!(a.options.estimator, EstimatorKind::HyPer);
+        assert_eq!(b.options, SessionOptions::default(), "b is untouched");
+    }
+
+    #[test]
+    fn option_parsing_accepts_and_rejects() {
+        let mut o = SessionOptions::default();
+        o.set("timeout_ms", "1500").unwrap();
+        assert_eq!(o.timeout, Some(Duration::from_millis(1500)));
+        o.set("timeout_ms", "0").unwrap();
+        assert_eq!(o.timeout, None);
+        o.set("threads", "0").unwrap();
+        assert_eq!(o.threads, qob_exec::default_threads());
+        o.set("execute", "false").unwrap();
+        assert!(!o.execute);
+        assert!(o.set("threads", "four").is_err());
+        assert!(o.set("estimator", "oracle").is_err());
+        assert!(o.set("execute", "maybe").is_err());
+        assert!(o.set("bogus", "1").is_err());
+        let exec = o.execution_options();
+        assert_eq!(exec.threads, qob_exec::default_threads());
+        assert_eq!(exec.timeout, None);
+    }
+
+    #[test]
+    fn explain_only_sessions_skip_execution() {
+        let server = server();
+        let mut session = server.session();
+        session.options.execute = false;
+        let reports = session.run_script(THREE_WAY).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].execution.is_none());
+        assert!(reports[0].plan.contains("Scan"));
+        assert!(reports[0].cost > 0.0);
+    }
+
+    #[test]
+    fn session_errors_carry_stage_codes() {
+        let server = server();
+        let session = server.session();
+        let err = session.run_script("SELECT * FROM no_such_table").unwrap_err();
+        assert_eq!(err.code(), "sql_error");
+        assert!(err.to_string().contains("no_such_table"));
+        let err = session.run_script("   ").unwrap_err();
+        assert_eq!(err.code(), "sql_error");
+
+        let mut strict = server.session();
+        strict.options.timeout = Some(Duration::from_nanos(1));
+        let queries = load_sql_str(server.context().db(), THREE_WAY).unwrap();
+        let err = strict.run_query(&queries[0]).unwrap_err();
+        assert_eq!(err.code(), "execute_error");
+    }
+}

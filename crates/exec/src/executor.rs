@@ -57,6 +57,13 @@ impl ExecutionOptions {
     pub fn with_threads(threads: usize) -> Self {
         ExecutionOptions { threads: threads.max(1), ..Default::default() }
     }
+
+    /// Returns a copy with a different wall-clock budget (`None` disables
+    /// the guard) — the per-session override of the serve path.
+    pub fn with_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.timeout = timeout;
+        self
+    }
 }
 
 /// Errors and aborts produced by the executor.
@@ -148,6 +155,17 @@ mod tests {
     use super::*;
     use qob_plan::{BaseRelation, JoinAlgorithm, JoinEdge, JoinKey};
     use qob_storage::{CmpOp, ColumnMeta, DataType, IndexConfig, Predicate, TableBuilder, Value};
+
+    #[test]
+    fn option_builders_compose() {
+        let options = ExecutionOptions::with_threads(3).with_timeout(None);
+        assert_eq!(options.threads, 3);
+        assert_eq!(options.timeout, None);
+        let options =
+            ExecutionOptions::with_threads(0).with_timeout(Some(Duration::from_millis(250)));
+        assert_eq!(options.threads, 1, "zero threads clamps to the sequential engine");
+        assert_eq!(options.timeout, Some(Duration::from_millis(250)));
+    }
 
     /// Two tables: `movies(id, year)` with 100 rows and `info(id, movie_id)`
     /// with 3 rows per movie.

@@ -1,0 +1,54 @@
+//! # qob-server
+//!
+//! The serve path of the JOB reproduction: a long-lived TCP server that
+//! keeps one warm [`qob_core::BenchmarkContext`] — database, statistics,
+//! workload, plan and ground-truth caches — shared across any number of
+//! client connections, so every query after the first skips data generation
+//! entirely.
+//!
+//! The wire protocol is **newline-delimited JSON** over plain TCP
+//! (specified in `docs/PROTOCOL.md`, implemented in [`protocol`] with the
+//! hand-rolled [`json`] module — the build is offline, so there is no serde
+//! and no async runtime; concurrency is one OS thread per connection, which
+//! is exactly right for a benchmarking server with tens of clients).
+//!
+//! * [`serve`] binds a listener and answers `query` / `explain` / `set` /
+//!   `stats` / `ping` / `shutdown` requests — see [`server`] for the
+//!   threading and locking model.
+//! * [`Client`] is the matching blocking client used by `qob connect`, the
+//!   integration tests and the CI smoke job.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use qob_core::{BenchmarkContext, ServerContext};
+//! use qob_server::{serve, Client, ServerConfig};
+//!
+//! // Stand the server up on a warm, snapshot-loaded context...
+//! let ctx = BenchmarkContext::load_snapshot("db.qob").unwrap();
+//! let handle = serve(
+//!     ServerContext::new(ctx),
+//!     ServerConfig { addr: "127.0.0.1:0".into(), snapshot_loaded: true },
+//! )
+//! .unwrap();
+//!
+//! // ...and query it from any number of clients.
+//! let mut client = Client::connect(&handle.local_addr().to_string()).unwrap();
+//! let response = client
+//!     .query("SELECT COUNT(*) FROM title t, movie_companies mc WHERE mc.movie_id = t.id")
+//!     .unwrap();
+//! assert_eq!(response.get("ok").and_then(|v| v.as_bool()), Some(true));
+//! handle.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use json::{Json, JsonError};
+pub use protocol::Request;
+pub use server::{serve, ServerConfig, ServerHandle, DEFAULT_ADDR};

@@ -1,0 +1,257 @@
+//! The wire protocol: typed requests and response builders.
+//!
+//! Transport is **JSON lines**: one request object per line from the
+//! client, one response object per line from the server, UTF-8, `\n`
+//! terminated.  The full message catalogue with examples lives in
+//! `docs/PROTOCOL.md`; this module is its executable form — every request
+//! the server accepts parses into a [`Request`], and every response the
+//! server emits is built here.
+
+use std::time::Duration;
+
+use qob_core::{QueryReport, ServerContext, SessionError};
+
+use crate::json::Json;
+
+/// A parsed client request (the `"type"` field selects the variant).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `{"type":"query","sql":"..."}` — plan and execute a `;`-separated
+    /// script, one result per statement.
+    Query {
+        /// The SQL text (may hold several `;`-separated statements).
+        sql: String,
+    },
+    /// `{"type":"explain","sql":"..."}` — plan only, never execute.
+    Explain {
+        /// The SQL text.
+        sql: String,
+    },
+    /// `{"type":"set","option":"threads","value":"4"}` — update one
+    /// per-session option.
+    Set {
+        /// Option name (`threads`, `timeout_ms`, `estimator`, `execute`).
+        option: String,
+        /// New value, as a string (numbers are accepted and stringified).
+        value: String,
+    },
+    /// `{"type":"stats"}` — server-wide counters and warm-state info.
+    Stats,
+    /// `{"type":"ping"}` — liveness probe.
+    Ping,
+    /// `{"type":"shutdown"}` — stop accepting connections and exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one request line.  Errors are human-readable and become
+    /// `invalid_request` protocol errors.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let value = Json::parse(line).map_err(|e| e.to_string())?;
+        let kind = value
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "request needs a string `type` field".to_owned())?;
+        let sql_field = |value: &Json| -> Result<String, String> {
+            value
+                .get("sql")
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("`{kind}` needs a string `sql` field"))
+        };
+        match kind {
+            "query" => Ok(Request::Query { sql: sql_field(&value)? }),
+            "explain" => Ok(Request::Explain { sql: sql_field(&value)? }),
+            "set" => {
+                let option = value
+                    .get("option")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| "`set` needs a string `option` field".to_owned())?
+                    .to_owned();
+                let value = match value.get("value") {
+                    Some(Json::Str(s)) => s.clone(),
+                    Some(Json::Num(n)) => Json::Num(*n).to_string(),
+                    Some(Json::Bool(b)) => b.to_string(),
+                    _ => return Err("`set` needs a string, number or bool `value`".to_owned()),
+                };
+                Ok(Request::Set { option, value })
+            }
+            "stats" => Ok(Request::Stats),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown request type `{other}`")),
+        }
+    }
+
+    /// Serialises the request as one protocol line (without the newline).
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Query { sql } => {
+                Json::obj(vec![("type", Json::str("query")), ("sql", Json::str(sql.clone()))])
+            }
+            Request::Explain { sql } => {
+                Json::obj(vec![("type", Json::str("explain")), ("sql", Json::str(sql.clone()))])
+            }
+            Request::Set { option, value } => Json::obj(vec![
+                ("type", Json::str("set")),
+                ("option", Json::str(option.clone())),
+                ("value", Json::str(value.clone())),
+            ]),
+            Request::Stats => Json::obj(vec![("type", Json::str("stats"))]),
+            Request::Ping => Json::obj(vec![("type", Json::str("ping"))]),
+            Request::Shutdown => Json::obj(vec![("type", Json::str("shutdown"))]),
+        }
+    }
+}
+
+/// Builds the error response shape shared by every failure:
+/// `{"ok":false,"error":{"code":...,"message":...}}`.
+pub fn error_response(code: &str, message: &str) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::obj(vec![("code", Json::str(code)), ("message", Json::str(message))])),
+    ])
+}
+
+/// Maps a [`SessionError`] to its protocol error response.
+pub fn session_error_response(error: &SessionError) -> Json {
+    error_response(error.code(), &error.to_string())
+}
+
+fn duration_us(d: Duration) -> Json {
+    Json::Num(d.as_micros() as f64)
+}
+
+/// Renders one per-statement result object inside a `result` response.
+pub fn report_to_json(report: &QueryReport) -> Json {
+    let mut pairs = vec![
+        ("query", Json::str(report.name.clone())),
+        ("relations", Json::Num(report.relations as f64)),
+        ("join_predicates", Json::Num(report.join_predicates as f64)),
+        ("selections", Json::Num(report.selections as f64)),
+        ("estimator", Json::str(report.estimator.clone())),
+        ("cost", Json::Num(report.cost)),
+        ("threads", Json::Num(report.threads as f64)),
+        ("plan", Json::str(report.plan.clone())),
+    ];
+    if let Some(exec) = &report.execution {
+        pairs.push(("rows", Json::Num(exec.rows as f64)));
+        pairs.push(("elapsed_us", duration_us(exec.elapsed)));
+        pairs.push(("worst_q_error", Json::Num(exec.worst_q_error)));
+        let operators = exec
+            .operators
+            .iter()
+            .map(|op| {
+                Json::obj(vec![
+                    ("relations", Json::str(op.relations.clone())),
+                    ("estimated", Json::Num(op.estimated)),
+                    ("true", Json::Num(op.true_rows as f64)),
+                    ("q_error", Json::Num(op.q_error)),
+                ])
+            })
+            .collect();
+        pairs.push(("operators", Json::Arr(operators)));
+    }
+    Json::obj(pairs)
+}
+
+/// Builds the `result` response for a list of per-statement reports.
+pub fn result_response(reports: &[QueryReport]) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("type", Json::str("result")),
+        ("results", Json::Arr(reports.iter().map(report_to_json).collect())),
+    ])
+}
+
+/// Builds the acknowledgement for a successful `set`.
+pub fn set_response(option: &str, value: &str) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("type", Json::str("set")),
+        ("option", Json::str(option)),
+        ("value", Json::str(value)),
+    ])
+}
+
+/// Builds the `pong` liveness response.
+pub fn pong_response() -> Json {
+    Json::obj(vec![("ok", Json::Bool(true)), ("type", Json::str("pong"))])
+}
+
+/// Builds the `shutdown` acknowledgement.
+pub fn shutdown_response() -> Json {
+    Json::obj(vec![("ok", Json::Bool(true)), ("type", Json::str("shutdown"))])
+}
+
+/// Builds the `stats` response from the shared context plus server-level
+/// gauges the connection layer tracks.
+pub fn stats_response(
+    server: &ServerContext,
+    active_connections: usize,
+    uptime: Duration,
+    snapshot_loaded: bool,
+) -> Json {
+    let ctx = server.context();
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("type", Json::str("stats")),
+        ("tables", Json::Num(ctx.db().table_count() as f64)),
+        ("total_rows", Json::Num(ctx.db().total_rows() as f64)),
+        ("indexes", Json::Num(ctx.db().index_count() as f64)),
+        ("workload_queries", Json::Num(ctx.queries().len() as f64)),
+        ("queries_served", Json::Num(server.queries_served() as f64)),
+        ("truth_cached", Json::Num(ctx.truth_cache_len() as f64)),
+        ("active_connections", Json::Num(active_connections as f64)),
+        ("uptime_ms", Json::Num(uptime.as_millis() as f64)),
+        ("snapshot_loaded", Json::Bool(snapshot_loaded)),
+        ("datagen_runs", Json::Num(qob_datagen::generation_count() as f64)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip_through_json() {
+        let requests = vec![
+            Request::Query { sql: "SELECT COUNT(*) FROM title t".into() },
+            Request::Explain { sql: "SELECT 1".into() },
+            Request::Set { option: "threads".into(), value: "4".into() },
+            Request::Stats,
+            Request::Ping,
+            Request::Shutdown,
+        ];
+        for request in requests {
+            let line = request.to_json().to_string();
+            assert_eq!(Request::parse(&line).unwrap(), request, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn set_accepts_number_and_bool_values() {
+        let r = Request::parse(r#"{"type":"set","option":"threads","value":4}"#).unwrap();
+        assert_eq!(r, Request::Set { option: "threads".into(), value: "4".into() });
+        let r = Request::parse(r#"{"type":"set","option":"execute","value":false}"#).unwrap();
+        assert_eq!(r, Request::Set { option: "execute".into(), value: "false".into() });
+    }
+
+    #[test]
+    fn malformed_requests_are_descriptive() {
+        assert!(Request::parse("not json").unwrap_err().contains("invalid JSON"));
+        assert!(Request::parse("{}").unwrap_err().contains("`type`"));
+        assert!(Request::parse(r#"{"type":"fly"}"#).unwrap_err().contains("fly"));
+        assert!(Request::parse(r#"{"type":"query"}"#).unwrap_err().contains("sql"));
+        assert!(Request::parse(r#"{"type":"set","option":"x"}"#).unwrap_err().contains("value"));
+    }
+
+    #[test]
+    fn error_responses_have_the_documented_shape() {
+        let e = error_response("sql_error", "boom");
+        assert_eq!(e.get("ok").unwrap().as_bool(), Some(false));
+        let inner = e.get("error").unwrap();
+        assert_eq!(inner.get("code").unwrap().as_str(), Some("sql_error"));
+        assert_eq!(inner.get("message").unwrap().as_str(), Some("boom"));
+    }
+}

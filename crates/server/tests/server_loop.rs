@@ -1,0 +1,140 @@
+//! End-to-end tests of the TCP server loop: one warm context, real
+//! sockets, the full request catalogue, and cooperative shutdown.
+
+use std::time::Duration;
+
+use qob_core::{BenchmarkContext, ServerContext};
+use qob_datagen::Scale;
+use qob_server::{serve, Client, Request, ServerConfig};
+use qob_storage::IndexConfig;
+
+const THREE_WAY: &str = "SELECT COUNT(*) FROM title t, movie_companies mc, company_name cn \
+                         WHERE mc.movie_id = t.id AND mc.company_id = cn.id \
+                           AND cn.country_code = '[us]'";
+
+fn start_server() -> (qob_server::ServerHandle, String) {
+    let ctx = BenchmarkContext::new(Scale::tiny(), IndexConfig::PrimaryKeyOnly).unwrap();
+    let handle = serve(
+        ServerContext::new(ctx),
+        ServerConfig { addr: "127.0.0.1:0".into(), snapshot_loaded: false },
+    )
+    .unwrap();
+    let addr = handle.local_addr().to_string();
+    (handle, addr)
+}
+
+#[test]
+fn full_request_catalogue_over_one_connection() {
+    let (handle, addr) = start_server();
+    let mut client = Client::connect_with_retry(&addr, Duration::from_secs(5)).unwrap();
+
+    // ping
+    let pong = client.request(&Request::Ping).unwrap();
+    assert_eq!(pong.get("type").unwrap().as_str(), Some("pong"));
+
+    // query
+    let result = client.query(THREE_WAY).unwrap();
+    assert_eq!(result.get("ok").unwrap().as_bool(), Some(true), "{result}");
+    let results = result.get("results").unwrap().as_array().unwrap();
+    assert_eq!(results.len(), 1);
+    let first = &results[0];
+    assert!(first.get("rows").unwrap().as_u64().is_some());
+    assert!(first.get("plan").unwrap().as_str().unwrap().contains("Scan"));
+    assert!(!first.get("operators").unwrap().as_array().unwrap().is_empty());
+
+    // explain: plans but never executes
+    let explain = client.request(&Request::Explain { sql: THREE_WAY.into() }).unwrap();
+    let explained = &explain.get("results").unwrap().as_array().unwrap()[0];
+    assert!(explained.get("rows").is_none(), "explain must not execute");
+    assert!(explained.get("cost").unwrap().as_f64().unwrap() > 0.0);
+
+    // set: accepted and rejected options
+    let ack = client
+        .request(&Request::Set { option: "estimator".into(), value: "hyper".into() })
+        .unwrap();
+    assert_eq!(ack.get("ok").unwrap().as_bool(), Some(true));
+    let after = client.query(THREE_WAY).unwrap();
+    let estimator = after.get("results").unwrap().as_array().unwrap()[0]
+        .get("estimator")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_owned();
+    assert_eq!(estimator, "HyPer", "session option must stick");
+    let rejected =
+        client.request(&Request::Set { option: "threads".into(), value: "lots".into() }).unwrap();
+    assert_eq!(rejected.get("ok").unwrap().as_bool(), Some(false));
+    assert_eq!(
+        rejected.get("error").unwrap().get("code").unwrap().as_str(),
+        Some("invalid_option")
+    );
+
+    // errors: SQL and protocol
+    let sql_err = client.query("SELECT * FROM nowhere").unwrap();
+    assert_eq!(sql_err.get("error").unwrap().get("code").unwrap().as_str(), Some("sql_error"));
+    let proto_err = client.request_raw("{\"no\":\"type\"}").unwrap();
+    assert_eq!(
+        proto_err.get("error").unwrap().get("code").unwrap().as_str(),
+        Some("invalid_request")
+    );
+    let not_json = client.request_raw("hello").unwrap();
+    assert_eq!(not_json.get("ok").unwrap().as_bool(), Some(false));
+
+    // stats
+    let stats = client.request(&Request::Stats).unwrap();
+    assert_eq!(stats.get("tables").unwrap().as_u64(), Some(21));
+    assert_eq!(stats.get("workload_queries").unwrap().as_u64(), Some(113));
+    assert!(stats.get("queries_served").unwrap().as_u64().unwrap() >= 3);
+    assert_eq!(stats.get("snapshot_loaded").unwrap().as_bool(), Some(false));
+    assert_eq!(stats.get("active_connections").unwrap().as_u64(), Some(1));
+
+    // shutdown: acknowledged, then the server exits
+    let bye = client.request(&Request::Shutdown).unwrap();
+    assert_eq!(bye.get("type").unwrap().as_str(), Some("shutdown"));
+    handle.join();
+}
+
+#[test]
+fn sessions_are_isolated_across_connections() {
+    let (handle, addr) = start_server();
+    let mut a = Client::connect(&addr).unwrap();
+    let mut b = Client::connect(&addr).unwrap();
+    a.request(&Request::Set { option: "estimator".into(), value: "dbms-c".into() }).unwrap();
+
+    let report_b = b.query(THREE_WAY).unwrap();
+    let estimator_b = report_b.get("results").unwrap().as_array().unwrap()[0]
+        .get("estimator")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_owned();
+    assert_eq!(estimator_b, "PostgreSQL", "b must not see a's session options");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn concurrent_clients_get_identical_answers() {
+    let (handle, addr) = start_server();
+    let workers: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                let response = client.query(THREE_WAY).unwrap();
+                let results = response.get("results").unwrap().as_array().unwrap();
+                (
+                    results[0].get("rows").unwrap().as_u64().unwrap(),
+                    results[0].get("worst_q_error").unwrap().as_f64().unwrap(),
+                )
+            })
+        })
+        .collect();
+    let answers: Vec<(u64, f64)> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+    for pair in &answers[1..] {
+        assert_eq!(pair, &answers[0], "all clients must agree");
+    }
+    handle.shutdown();
+    handle.join();
+}

@@ -125,6 +125,25 @@ impl Bitmap {
         self.clear_trailing();
     }
 
+    /// The backing `u64` words (least-significant bit first within a word).
+    ///
+    /// Exposed for bulk serialisation; bits past `len()` are always zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Reconstructs a bitmap of `len` bits from backing words, the inverse of
+    /// [`Bitmap::words`].  Returns `None` if the word count does not match
+    /// `len.div_ceil(64)` — the shape check snapshot loading relies on.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Option<Self> {
+        if words.len() != len.div_ceil(64) {
+            return None;
+        }
+        let mut bm = Bitmap { words, len };
+        bm.clear_trailing();
+        Some(bm)
+    }
+
     fn clear_trailing(&mut self) {
         let rem = self.len % 64;
         if rem != 0 {
@@ -231,6 +250,19 @@ mod tests {
     fn get_out_of_bounds_panics() {
         let bm = Bitmap::with_value(10, true);
         let _ = bm.get(10);
+    }
+
+    #[test]
+    fn words_roundtrip_through_from_words() {
+        let bm: Bitmap = (0..130).map(|i| i % 7 == 0).collect();
+        let rebuilt = Bitmap::from_words(bm.words().to_vec(), bm.len()).unwrap();
+        assert_eq!(rebuilt, bm);
+        // Mismatched word counts are rejected rather than misinterpreted.
+        assert!(Bitmap::from_words(vec![0; 2], 130).is_none());
+        assert!(Bitmap::from_words(vec![0; 4], 130).is_none());
+        // Trailing garbage past `len` is cleared on reconstruction.
+        let dirty = Bitmap::from_words(vec![u64::MAX], 3).unwrap();
+        assert_eq!(dirty.count_ones(), 3);
     }
 
     #[test]

@@ -23,6 +23,21 @@ impl StringDict {
         Self::default()
     }
 
+    /// Rebuilds a dictionary from its strings in code order (string `i` gets
+    /// code `i`), the inverse of collecting [`StringDict::iter`].  Codes must
+    /// be preserved exactly when a column is deserialised, because row data
+    /// stores codes, not strings.  Returns `None` if the strings are not
+    /// distinct (duplicate strings cannot round-trip to unique codes).
+    pub fn from_strings(strings: Vec<String>) -> Option<Self> {
+        let mut lookup = HashMap::with_capacity(strings.len());
+        for (code, s) in strings.iter().enumerate() {
+            if lookup.insert(s.clone(), code as u32).is_some() {
+                return None;
+            }
+        }
+        Some(StringDict { strings, lookup })
+    }
+
     /// Interns `s`, returning its code.
     pub fn intern(&mut self, s: &str) -> u32 {
         if let Some(&code) = self.lookup.get(s) {
@@ -283,6 +298,22 @@ impl ColumnData {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn string_dict_rebuilds_from_code_ordered_strings() {
+        let mut original = StringDict::new();
+        original.intern("us");
+        original.intern("de");
+        original.intern("fr");
+        let strings: Vec<String> = original.iter().map(|(_, s)| s.to_owned()).collect();
+        let rebuilt = StringDict::from_strings(strings).unwrap();
+        assert_eq!(rebuilt.len(), 3);
+        for (code, s) in original.iter() {
+            assert_eq!(rebuilt.code_of(s), Some(code));
+            assert_eq!(rebuilt.string(code), s);
+        }
+        assert!(StringDict::from_strings(vec!["a".into(), "a".into()]).is_none());
+    }
 
     #[test]
     fn string_dict_interning_is_idempotent() {

@@ -8,17 +8,50 @@ pub enum StorageError {
     /// A referenced table does not exist in the catalog.
     UnknownTable(String),
     /// A referenced column does not exist in a table.
-    UnknownColumn { table: String, column: String },
+    UnknownColumn {
+        /// The table that was searched.
+        table: String,
+        /// The column name that was not found.
+        column: String,
+    },
     /// A value of the wrong type was supplied for a column.
-    TypeMismatch { column: String, expected: &'static str, got: &'static str },
+    TypeMismatch {
+        /// The column the value was destined for.
+        column: String,
+        /// The declared column type.
+        expected: &'static str,
+        /// The type of the offending value.
+        got: &'static str,
+    },
     /// A row with a different arity than the schema was appended.
-    ArityMismatch { expected: usize, got: usize },
+    ArityMismatch {
+        /// Number of columns in the schema.
+        expected: usize,
+        /// Number of values supplied.
+        got: usize,
+    },
     /// An index was requested on a column type that does not support it.
-    UnsupportedIndexColumn { column: String },
+    UnsupportedIndexColumn {
+        /// The column the index was requested on.
+        column: String,
+    },
     /// A duplicate table name was registered in the catalog.
     DuplicateTable(String),
     /// Generic invariant violation with a description.
     Invariant(String),
+    /// An I/O failure while reading or writing a snapshot (the underlying
+    /// `std::io::Error` rendered to text, keeping this enum `Eq`).
+    Io(String),
+    /// A snapshot file is malformed: bad magic, checksum mismatch,
+    /// truncation, or an inconsistent payload.
+    SnapshotCorrupt(String),
+    /// A snapshot was written by an unsupported format version.
+    SnapshotVersion {
+        /// The version recorded in the file.
+        found: u32,
+        /// The newest version this build can read.
+        supported: u32,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -39,6 +72,11 @@ impl fmt::Display for StorageError {
             }
             StorageError::DuplicateTable(name) => write!(f, "table `{name}` already exists"),
             StorageError::Invariant(msg) => write!(f, "storage invariant violated: {msg}"),
+            StorageError::Io(msg) => write!(f, "snapshot I/O error: {msg}"),
+            StorageError::SnapshotCorrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+            StorageError::SnapshotVersion { found, supported } => {
+                write!(f, "unsupported snapshot version {found} (this build reads <= {supported})")
+            }
         }
     }
 }
@@ -66,6 +104,13 @@ mod tests {
         assert!(e.to_string().contains('x'));
         let e = StorageError::Invariant("boom".into());
         assert!(e.to_string().contains("boom"));
+        let e = StorageError::Io("disk full".into());
+        assert!(e.to_string().contains("disk full"));
+        let e = StorageError::SnapshotCorrupt("bad checksum".into());
+        assert!(e.to_string().contains("bad checksum"));
+        let e = StorageError::SnapshotVersion { found: 9, supported: 1 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('1'));
     }
 
     #[test]

@@ -19,6 +19,31 @@
 //! exactly the access paths the paper's experiments depend on: full table
 //! scans, index lookups on key/foreign-key columns, and per-row predicate
 //! evaluation.
+//!
+//! Databases persist to disk as versioned, checksummed binary **snapshots**
+//! ([`snapshot`]): [`Database::save_snapshot`] / [`Database::load_snapshot`]
+//! let repeated runs (and the `qob serve` server) skip data generation
+//! entirely.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use qob_storage::{ColumnMeta, Database, DataType, IndexConfig, TableBuilder, Value};
+//!
+//! let mut builder = TableBuilder::new("title", vec![ColumnMeta::new("id", DataType::Int)]);
+//! builder.push_row(vec![Value::Int(1)]).unwrap();
+//! let mut db = Database::new();
+//! let title = db.add_table(builder.finish()).unwrap();
+//! db.declare_primary_key(title, "id").unwrap();
+//! db.build_indexes(IndexConfig::PrimaryKeyOnly).unwrap();
+//!
+//! // Persist and reload without regenerating.
+//! db.save_snapshot("db.qob").unwrap();
+//! let reloaded = Database::load_snapshot("db.qob").unwrap();
+//! assert_eq!(reloaded.total_rows(), db.total_rows());
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod bitmap;
 pub mod catalog;
@@ -26,6 +51,7 @@ pub mod column;
 pub mod error;
 pub mod index;
 pub mod predicate;
+pub mod snapshot;
 pub mod table;
 pub mod value;
 
@@ -35,6 +61,7 @@ pub use column::{ColumnData, StringDict};
 pub use error::StorageError;
 pub use index::{HashIndex, OrderedIndex};
 pub use predicate::{like_match, CmpOp, Predicate};
+pub use snapshot::{SnapshotMeta, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use table::{ColumnId, ColumnMeta, RowId, Table, TableBuilder};
 pub use value::{sql_string_literal, DataType, Value};
 

@@ -1,0 +1,583 @@
+//! Snapshot persistence: a versioned, checksummed binary image of a
+//! [`Database`].
+//!
+//! Generating the synthetic IMDB-scale database dominates the start-up cost
+//! of every one-shot run, so the serve path (and `qob --snapshot`) persists
+//! the generated database once and reloads it in milliseconds.  The format
+//! is deliberately simple and fully self-describing:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"QOBSNAP1"
+//! 8       4     format version (u32 LE, currently 1)
+//! 12      n     payload (tables, keys, index config, caller metadata)
+//! 12+n    8     FNV-1a 64 checksum of the payload (u64 LE)
+//! ```
+//!
+//! The payload serialises, in order: the caller metadata pairs, the index
+//! configuration, every table (schema + raw column data, preserving
+//! dictionary codes and validity bitmaps bit-for-bit), and the key
+//! declarations.  Indexes are *not* stored — they are rebuilt from the
+//! recorded [`IndexConfig`] on load, which is cheap relative to datagen and
+//! keeps the file format independent of the index implementation.
+//!
+//! Integers are fixed-width little-endian; strings are a `u64` byte length
+//! followed by UTF-8 bytes.  Every read validates lengths against the
+//! remaining payload, so a truncated or bit-flipped file fails with
+//! [`StorageError::SnapshotCorrupt`] (or a checksum mismatch) instead of
+//! producing a silently wrong database.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use qob_storage::Database;
+//!
+//! let db = Database::new();
+//! db.save_snapshot("db.qob").unwrap();
+//! let reloaded = Database::load_snapshot("db.qob").unwrap();
+//! assert_eq!(reloaded.table_count(), db.table_count());
+//! ```
+
+use std::path::Path;
+
+use crate::catalog::{Database, IndexConfig};
+use crate::column::ColumnData;
+use crate::error::StorageError;
+use crate::table::{ColumnMeta, Table};
+use crate::value::DataType;
+use crate::{Bitmap, Result, StringDict};
+
+/// The 8-byte magic at offset 0 of every snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"QOBSNAP1";
+
+/// The newest snapshot format version this build writes and reads.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Caller-defined metadata persisted alongside the database — small
+/// key/value pairs such as the generation scale, so higher layers can
+/// reconstruct their context without re-deriving it from the data.
+pub type SnapshotMeta = Vec<(String, i64)>;
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Serialises `db` (plus caller metadata) into the snapshot byte format.
+pub fn encode(db: &Database, meta: &[(String, i64)]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(64 * 1024);
+    put_u32(&mut payload, meta.len() as u32);
+    for (key, value) in meta {
+        put_str(&mut payload, key);
+        put_i64(&mut payload, *value);
+    }
+    payload.push(index_config_tag(db.index_config()));
+    put_u32(&mut payload, db.table_count() as u32);
+    for (_, table) in db.tables() {
+        encode_table(&mut payload, table);
+    }
+    for (tid, table) in db.tables() {
+        let keys = db.keys(tid);
+        match keys.primary_key {
+            Some(col) => {
+                payload.push(1);
+                put_str(&mut payload, &table.column_meta(col).name);
+            }
+            None => payload.push(0),
+        }
+        put_u32(&mut payload, keys.foreign_keys.len() as u32);
+        for fk in &keys.foreign_keys {
+            put_str(&mut payload, &table.column_meta(fk.column).name);
+            put_u32(&mut payload, fk.references.0);
+        }
+    }
+
+    let mut out = Vec::with_capacity(payload.len() + 20);
+    out.extend_from_slice(&SNAPSHOT_MAGIC);
+    out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+    out
+}
+
+fn encode_table(out: &mut Vec<u8>, table: &Table) {
+    put_str(out, table.name());
+    put_u32(out, table.column_count() as u32);
+    for meta in table.schema() {
+        put_str(out, &meta.name);
+        out.push(match meta.dtype {
+            DataType::Int => 0,
+            DataType::Str => 1,
+        });
+    }
+    put_u64(out, table.row_count() as u64);
+    for idx in 0..table.column_count() {
+        match table.column(crate::ColumnId(idx as u32)) {
+            ColumnData::Int { values, validity } => {
+                for v in values {
+                    put_i64(out, *v);
+                }
+                put_bitmap(out, validity);
+            }
+            ColumnData::Str { codes, dict, validity } => {
+                for c in codes {
+                    put_u32(out, *c);
+                }
+                put_u32(out, dict.len() as u32);
+                for (_, s) in dict.iter() {
+                    put_str(out, s);
+                }
+                put_bitmap(out, validity);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Parses snapshot bytes back into a database (indexes rebuilt) and the
+/// caller metadata stored with it.
+pub fn decode(bytes: &[u8]) -> Result<(Database, SnapshotMeta)> {
+    if bytes.len() < SNAPSHOT_MAGIC.len() + 4 + 8 {
+        return Err(StorageError::SnapshotCorrupt(format!(
+            "file too short ({} bytes) to hold a snapshot header",
+            bytes.len()
+        )));
+    }
+    if bytes[..8] != SNAPSHOT_MAGIC {
+        return Err(StorageError::SnapshotCorrupt("bad magic (not a qob snapshot)".into()));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != SNAPSHOT_VERSION {
+        return Err(StorageError::SnapshotVersion { found: version, supported: SNAPSHOT_VERSION });
+    }
+    let payload = &bytes[12..bytes.len() - 8];
+    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8 bytes"));
+    let actual = fnv1a64(payload);
+    if stored != actual {
+        return Err(StorageError::SnapshotCorrupt(format!(
+            "checksum mismatch (stored {stored:#018x}, computed {actual:#018x})"
+        )));
+    }
+
+    let mut cur = Cursor { bytes: payload, pos: 0 };
+    let meta_len = cur.u32()? as usize;
+    let mut meta = Vec::with_capacity(meta_len.min(1024));
+    for _ in 0..meta_len {
+        let key = cur.str()?;
+        let value = cur.i64()?;
+        meta.push((key, value));
+    }
+    let index_config = index_config_from_tag(cur.u8()?)?;
+    let table_count = cur.u32()? as usize;
+    let mut db = Database::new();
+    for _ in 0..table_count {
+        db.add_table(decode_table(&mut cur)?)?;
+    }
+    for tid in 0..table_count {
+        let tid = crate::TableId(tid as u32);
+        if cur.u8()? == 1 {
+            let pk = cur.str()?;
+            db.declare_primary_key(tid, &pk)?;
+        }
+        let fk_count = cur.u32()? as usize;
+        for _ in 0..fk_count {
+            let column = cur.str()?;
+            let references = crate::TableId(cur.u32()?);
+            if references.index() >= table_count {
+                return Err(StorageError::SnapshotCorrupt(format!(
+                    "foreign key references table {} of {table_count}",
+                    references.0
+                )));
+            }
+            db.declare_foreign_key(tid, &column, references)?;
+        }
+    }
+    if cur.pos != payload.len() {
+        return Err(StorageError::SnapshotCorrupt(format!(
+            "{} trailing payload bytes after the last table",
+            payload.len() - cur.pos
+        )));
+    }
+    db.build_indexes(index_config)?;
+    Ok((db, meta))
+}
+
+fn decode_table(cur: &mut Cursor<'_>) -> Result<Table> {
+    let name = cur.str()?;
+    let column_count = cur.u32()? as usize;
+    let mut metas = Vec::with_capacity(column_count.min(4096));
+    for _ in 0..column_count {
+        let col_name = cur.str()?;
+        let dtype = match cur.u8()? {
+            0 => DataType::Int,
+            1 => DataType::Str,
+            tag => {
+                return Err(StorageError::SnapshotCorrupt(format!(
+                    "unknown column type tag {tag} in table `{name}`"
+                )))
+            }
+        };
+        metas.push(ColumnMeta::new(col_name, dtype));
+    }
+    let claimed_rows = cur.u64()?;
+    let row_count = cur.checked_len(claimed_rows, "row count")?;
+    let mut columns = Vec::with_capacity(column_count);
+    for meta in &metas {
+        let column = match meta.dtype {
+            DataType::Int => {
+                let mut values = Vec::with_capacity(row_count);
+                for _ in 0..row_count {
+                    values.push(cur.i64()?);
+                }
+                ColumnData::Int { values, validity: cur.bitmap(row_count)? }
+            }
+            DataType::Str => {
+                let mut codes = Vec::with_capacity(row_count);
+                for _ in 0..row_count {
+                    codes.push(cur.u32()?);
+                }
+                let dict_len = cur.u32()? as usize;
+                let mut strings = Vec::with_capacity(dict_len.min(row_count.max(16)));
+                for _ in 0..dict_len {
+                    strings.push(cur.str()?);
+                }
+                let dict = StringDict::from_strings(strings).ok_or_else(|| {
+                    StorageError::SnapshotCorrupt(format!(
+                        "duplicate dictionary string in column `{}` of `{name}`",
+                        meta.name
+                    ))
+                })?;
+                let validity = cur.bitmap(row_count)?;
+                // Only non-null rows dereference their code (null slots hold
+                // the placeholder 0), so validate exactly those.
+                for (row, &code) in codes.iter().enumerate() {
+                    if validity.get(row) && code as usize >= dict_len {
+                        return Err(StorageError::SnapshotCorrupt(format!(
+                            "dictionary code {code} out of range (dict has {dict_len} strings) \
+                             in column `{}` of `{name}`",
+                            meta.name
+                        )));
+                    }
+                }
+                ColumnData::Str { codes, dict, validity }
+            }
+        };
+        columns.push(column);
+    }
+    Table::from_parts(name, metas, columns)
+}
+
+// ---------------------------------------------------------------------------
+// File convenience API
+// ---------------------------------------------------------------------------
+
+/// Writes `db` and `meta` to `path` in the snapshot format.
+///
+/// The write goes to a sibling temporary file first and is renamed into
+/// place, so a crash mid-save can never leave a half-written snapshot at
+/// `path` (which would hard-fail every later `--snapshot` run).
+pub fn save(db: &Database, meta: &[(String, i64)], path: impl AsRef<Path>) -> Result<()> {
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, encode(db, meta))
+        .map_err(|e| StorageError::Io(format!("writing `{}`: {e}", tmp.display())))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        std::fs::remove_file(&tmp).ok();
+        StorageError::Io(format!("renaming `{}` into place: {e}", path.display()))
+    })
+}
+
+/// Loads a database (and its caller metadata) from a snapshot file.
+pub fn load(path: impl AsRef<Path>) -> Result<(Database, SnapshotMeta)> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path)
+        .map_err(|e| StorageError::Io(format!("reading `{}`: {e}", path.display())))?;
+    decode(&bytes)
+}
+
+impl Database {
+    /// Persists this database to `path` in the snapshot format (no caller
+    /// metadata; use [`save`] to attach metadata).
+    pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<()> {
+        save(self, &[], path)
+    }
+
+    /// Loads a database from a snapshot file, rebuilding its indexes.
+    pub fn load_snapshot(path: impl AsRef<Path>) -> Result<Database> {
+        load(path).map(|(db, _)| db)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------------
+
+fn index_config_tag(config: IndexConfig) -> u8 {
+    match config {
+        IndexConfig::NoIndexes => 0,
+        IndexConfig::PrimaryKeyOnly => 1,
+        IndexConfig::PrimaryAndForeignKey => 2,
+    }
+}
+
+fn index_config_from_tag(tag: u8) -> Result<IndexConfig> {
+    match tag {
+        0 => Ok(IndexConfig::NoIndexes),
+        1 => Ok(IndexConfig::PrimaryKeyOnly),
+        2 => Ok(IndexConfig::PrimaryAndForeignKey),
+        other => Err(StorageError::SnapshotCorrupt(format!("unknown index config tag {other}"))),
+    }
+}
+
+/// FNV-1a 64-bit: tiny, dependency-free, and plenty to catch truncation and
+/// bit flips (this is an integrity check, not a cryptographic one).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_bitmap(out: &mut Vec<u8>, bm: &Bitmap) {
+    for w in bm.words() {
+        put_u64(out, *w);
+    }
+}
+
+/// A bounds-checked reader over the payload: every primitive read fails with
+/// a descriptive [`StorageError::SnapshotCorrupt`] instead of panicking when
+/// the payload is shorter than its own length fields claim.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8]> {
+        if self.bytes.len() - self.pos < n {
+            return Err(StorageError::SnapshotCorrupt(format!(
+                "payload truncated: need {n} bytes at offset {}, {} remain",
+                self.pos,
+                self.bytes.len() - self.pos
+            )));
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Validates a length field against the bytes actually remaining, so a
+    /// corrupt "4 billion rows" claim fails fast instead of allocating.
+    fn checked_len(&self, claimed: u64, what: &str) -> Result<usize> {
+        let remaining = (self.bytes.len() - self.pos) as u64;
+        if claimed > remaining {
+            return Err(StorageError::SnapshotCorrupt(format!(
+                "{what} {claimed} exceeds the {remaining} payload bytes remaining"
+            )));
+        }
+        Ok(claimed as usize)
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let claimed = self.u64()?;
+        let len = self.checked_len(claimed, "string length")?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| StorageError::SnapshotCorrupt("non-UTF-8 string in payload".into()))
+    }
+
+    fn bitmap(&mut self, len: usize) -> Result<Bitmap> {
+        let word_count = len.div_ceil(64);
+        let mut words = Vec::with_capacity(word_count);
+        for _ in 0..word_count {
+            words.push(self.u64()?);
+        }
+        Bitmap::from_words(words, len)
+            .ok_or_else(|| StorageError::SnapshotCorrupt("bitmap word count mismatch".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+    use crate::value::Value;
+    use crate::ColumnId;
+
+    fn sample_db(config: IndexConfig) -> Database {
+        let mut db = Database::new();
+        let mut title = TableBuilder::new(
+            "title",
+            vec![
+                ColumnMeta::new("id", DataType::Int),
+                ColumnMeta::new("title", DataType::Str),
+                ColumnMeta::new("production_year", DataType::Int),
+            ],
+        );
+        for i in 0..100 {
+            let year = if i % 7 == 0 { Value::Null } else { Value::Int(1990 + i % 30) };
+            title
+                .push_row(vec![Value::Int(i), Value::Str(format!("movie {}", i % 40)), year])
+                .unwrap();
+        }
+        let title_id = db.add_table(title.finish()).unwrap();
+
+        let mut mc = TableBuilder::new(
+            "movie_companies",
+            vec![ColumnMeta::new("id", DataType::Int), ColumnMeta::new("movie_id", DataType::Int)],
+        );
+        for i in 0..250 {
+            mc.push_row(vec![Value::Int(i), Value::Int(i % 100)]).unwrap();
+        }
+        let mc_id = db.add_table(mc.finish()).unwrap();
+
+        db.declare_primary_key(title_id, "id").unwrap();
+        db.declare_primary_key(mc_id, "id").unwrap();
+        db.declare_foreign_key(mc_id, "movie_id", title_id).unwrap();
+        db.build_indexes(config).unwrap();
+        db
+    }
+
+    fn assert_databases_identical(a: &Database, b: &Database) {
+        assert_eq!(a.table_count(), b.table_count());
+        assert_eq!(a.index_config(), b.index_config());
+        assert_eq!(a.index_count(), b.index_count());
+        for (tid, ta) in a.tables() {
+            let tb = b.table(tid);
+            assert_eq!(ta.name(), tb.name());
+            assert_eq!(ta.schema(), tb.schema());
+            assert_eq!(ta.row_count(), tb.row_count());
+            for col in 0..ta.column_count() as u32 {
+                let (ca, cb) = (ta.column(ColumnId(col)), tb.column(ColumnId(col)));
+                assert_eq!(ca.int_values(), cb.int_values());
+                // Dictionary codes must survive exactly, not just the strings.
+                assert_eq!(ca.str_codes(), cb.str_codes());
+                assert_eq!(ca.validity(), cb.validity());
+                if let (Some(da), Some(db_)) = (ca.dict(), cb.dict()) {
+                    assert!(da.iter().eq(db_.iter()));
+                }
+            }
+            assert_eq!(a.keys(tid).primary_key, b.keys(tid).primary_key);
+            assert_eq!(a.keys(tid).foreign_keys, b.keys(tid).foreign_keys);
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_tables_keys_indexes_and_meta() {
+        for config in IndexConfig::all() {
+            let db = sample_db(config);
+            let meta = vec![("scale.movies".to_owned(), 200i64), ("scale.seed".to_owned(), 42)];
+            let bytes = encode(&db, &meta);
+            let (reloaded, meta2) = decode(&bytes).unwrap();
+            assert_eq!(meta, meta2);
+            assert_databases_identical(&db, &reloaded);
+        }
+    }
+
+    #[test]
+    fn save_and_load_through_a_file() {
+        let db = sample_db(IndexConfig::PrimaryAndForeignKey);
+        let path =
+            std::env::temp_dir().join(format!("qob-snapshot-test-{}.qob", std::process::id()));
+        db.save_snapshot(&path).unwrap();
+        // The atomic-rename dance leaves no temporary file behind.
+        let dir = path.parent().unwrap();
+        let stem = path.file_name().unwrap().to_string_lossy().into_owned();
+        let leftovers = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                let name = e.file_name().to_string_lossy().into_owned();
+                name.starts_with(&stem) && name != stem
+            })
+            .count();
+        assert_eq!(leftovers, 0, "temporary save files must not survive");
+        let reloaded = Database::load_snapshot(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_databases_identical(&db, &reloaded);
+    }
+
+    #[test]
+    fn io_errors_are_reported_not_panicked() {
+        let err = Database::load_snapshot("/nonexistent/dir/db.qob").unwrap_err();
+        assert!(matches!(err, StorageError::Io(_)), "got {err:?}");
+        let db = sample_db(IndexConfig::NoIndexes);
+        let err = db.save_snapshot("/nonexistent/dir/db.qob").unwrap_err();
+        assert!(matches!(err, StorageError::Io(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let db = sample_db(IndexConfig::PrimaryKeyOnly);
+        let mut bytes = encode(&db, &[]);
+
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] = b'X';
+        assert!(matches!(decode(&wrong_magic), Err(StorageError::SnapshotCorrupt(_))));
+
+        // A future version is rejected with a version error, not a parse error.
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            decode(&bytes),
+            Err(StorageError::SnapshotVersion { found: 99, supported: SNAPSHOT_VERSION })
+        ));
+
+        assert!(matches!(decode(b"short"), Err(StorageError::SnapshotCorrupt(_))));
+    }
+
+    #[test]
+    fn every_flipped_byte_is_caught() {
+        let db = sample_db(IndexConfig::PrimaryKeyOnly);
+        let bytes = encode(&db, &[("k".to_owned(), 7)]);
+        // Flip one byte at a sample of payload offsets: the checksum (or a
+        // structural validation) must reject every corruption.
+        for pos in (12..bytes.len()).step_by(97) {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0xff;
+            assert!(decode(&corrupt).is_err(), "flip at {pos} went undetected");
+        }
+        // Truncation anywhere is also rejected.
+        for cut in [bytes.len() - 1, bytes.len() / 2, 13] {
+            assert!(decode(&bytes[..cut]).is_err(), "truncation to {cut} went undetected");
+        }
+    }
+}

@@ -46,6 +46,43 @@ pub struct Table {
 }
 
 impl Table {
+    /// Assembles a table directly from schema metadata and column data, the
+    /// constructor used when deserialising a snapshot (bypassing the row-wise
+    /// [`TableBuilder`] so dictionary codes survive exactly).
+    ///
+    /// Fails if the metadata and data disagree in arity, type, or length.
+    pub fn from_parts(
+        name: impl Into<String>,
+        columns_meta: Vec<ColumnMeta>,
+        columns: Vec<ColumnData>,
+    ) -> Result<Self> {
+        if columns_meta.len() != columns.len() {
+            return Err(StorageError::ArityMismatch {
+                expected: columns_meta.len(),
+                got: columns.len(),
+            });
+        }
+        let row_count = columns.first().map(ColumnData::len).unwrap_or(0);
+        for (meta, col) in columns_meta.iter().zip(&columns) {
+            if meta.dtype != col.data_type() {
+                return Err(StorageError::TypeMismatch {
+                    column: meta.name.clone(),
+                    expected: meta.dtype.name(),
+                    got: col.data_type().name(),
+                });
+            }
+            if col.len() != row_count || col.validity().len() != row_count {
+                return Err(StorageError::Invariant(format!(
+                    "column `{}` has {} rows ({} validity bits), expected {row_count}",
+                    meta.name,
+                    col.len(),
+                    col.validity().len()
+                )));
+            }
+        }
+        Ok(Table { name: name.into(), columns_meta, columns, row_count })
+    }
+
     /// The table name.
     pub fn name(&self) -> &str {
         &self.name
@@ -219,6 +256,37 @@ mod tests {
         assert_eq!(t.column_meta(ColumnId(1)).name, "title");
         assert!(t.column_by_name("title").is_some());
         assert!(t.column_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn from_parts_reassembles_a_table_and_validates_shape() {
+        let t = sample_table();
+        let rebuilt = Table::from_parts(
+            t.name().to_owned(),
+            t.schema().to_vec(),
+            (0..t.column_count()).map(|i| t.column(ColumnId(i as u32)).clone()).collect(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.row_count(), t.row_count());
+        for col in 0..t.column_count() as u32 {
+            for row in t.row_ids() {
+                assert_eq!(rebuilt.value(row, ColumnId(col)), t.value(row, ColumnId(col)));
+            }
+        }
+        // Arity, type and length mismatches are rejected.
+        assert!(Table::from_parts("x", t.schema().to_vec(), vec![]).is_err());
+        assert!(Table::from_parts(
+            "x",
+            vec![ColumnMeta::new("id", DataType::Str)],
+            vec![t.column(ColumnId(0)).clone()],
+        )
+        .is_err());
+        assert!(Table::from_parts(
+            "x",
+            vec![ColumnMeta::new("id", DataType::Int), ColumnMeta::new("y", DataType::Int)],
+            vec![t.column(ColumnId(0)).clone(), ColumnData::new(DataType::Int)],
+        )
+        .is_err());
     }
 
     #[test]

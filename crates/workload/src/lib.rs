@@ -28,5 +28,8 @@ pub mod tpch;
 
 pub use builder::QueryBuilder;
 pub use job::{job_queries, job_query, JOB_FAMILY_COUNT, JOB_QUERY_COUNT};
-pub use sql::{emit_script, load_sql_file, load_sql_str, SqlLoadError};
+pub use sql::{
+    bind_parsed, emit_script, load_sql_file, load_sql_str, parse_script, ParsedStatement,
+    SqlLoadError,
+};
 pub use tpch::tpch_queries;

@@ -113,19 +113,57 @@ fn flush(current: &mut String, pending_name: &mut Option<String>, out: &mut Vec<
     out.push(RawStatement { name, text: trimmed.to_owned() });
 }
 
+/// A statement that has passed the syntactic stages (split + parse) but has
+/// not yet been bound against a catalog.
+///
+/// Splitting parsing from binding lets hosts surface syntax errors *before*
+/// paying for catalog construction — the `qob` CLI parses the whole script
+/// first and only then generates (or snapshot-loads) the database.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedStatement {
+    /// Name from the nearest preceding `-- name:` comment, or `q<N>`.
+    pub name: String,
+    /// The statement text (for rendering later bind diagnostics).
+    pub text: String,
+    /// The parsed AST, ready for binding.
+    pub statement: qob_sql::SelectStatement,
+}
+
+/// Splits and parses a script without touching any catalog: every statement
+/// is syntax checked, none is bound.
+pub fn parse_script(script: &str) -> Result<Vec<ParsedStatement>, Box<SqlLoadError>> {
+    split_statements(script)
+        .into_iter()
+        .map(|raw| match parse_statement(&raw.text) {
+            Ok(statement) => Ok(ParsedStatement { name: raw.name, text: raw.text, statement }),
+            Err(error) => {
+                Err(Box::new(SqlLoadError::Sql { name: raw.name, error, text: raw.text }))
+            }
+        })
+        .collect()
+}
+
+/// Binds already-parsed statements against `db` — the second half of
+/// [`load_sql_str`].
+pub fn bind_parsed(
+    db: &Database,
+    parsed: &[ParsedStatement],
+) -> Result<Vec<QuerySpec>, Box<SqlLoadError>> {
+    parsed
+        .iter()
+        .map(|p| {
+            qob_sql::bind(db, &p.statement, p.name.clone()).map_err(|error| {
+                Box::new(SqlLoadError::Sql { name: p.name.clone(), error, text: p.text.clone() })
+            })
+        })
+        .collect()
+}
+
 /// Loads a workload from SQL text: every statement is parsed and bound
 /// against `db`.
 pub fn load_sql_str(db: &Database, script: &str) -> Result<Vec<QuerySpec>, Box<SqlLoadError>> {
-    split_statements(script)
-        .into_iter()
-        .map(|raw| {
-            parse_statement(&raw.text)
-                .and_then(|stmt| qob_sql::bind(db, &stmt, raw.name.clone()))
-                .map_err(|error| {
-                    Box::new(SqlLoadError::Sql { name: raw.name, error, text: raw.text })
-                })
-        })
-        .collect()
+    let parsed = parse_script(script)?;
+    bind_parsed(db, &parsed)
 }
 
 /// Loads a workload from a `.sql` file.
@@ -185,6 +223,24 @@ mod tests {
         assert_eq!(queries.len(), 1);
         assert_eq!(queries[0].name, "us_movies");
         assert_eq!(queries[0].rel_count(), 3);
+    }
+
+    #[test]
+    fn parse_script_needs_no_catalog_and_bind_finishes_the_job() {
+        // Syntax errors surface with no database in sight...
+        let err = parse_script("-- name: broken\nSELECT COUNT(* FROM title t").unwrap_err();
+        assert!(err.to_string().contains("broken"), "{err}");
+        // ...while well-formed statements parse and bind later.
+        let script = "-- name: ok\nSELECT COUNT(*) FROM title t WHERE t.production_year > 2000;";
+        let parsed = parse_script(script).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].name, "ok");
+        let db = generate_imdb(&Scale::tiny()).unwrap();
+        let bound = bind_parsed(&db, &parsed).unwrap();
+        assert_eq!(bound, load_sql_str(&db, script).unwrap());
+        // Bind errors still render with the statement name.
+        let unknown = parse_script("SELECT COUNT(*) FROM nope n").unwrap();
+        assert!(bind_parsed(&db, &unknown).unwrap_err().to_string().contains("nope"));
     }
 
     #[test]

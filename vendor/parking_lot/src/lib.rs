@@ -1,10 +1,11 @@
 //! Offline stand-in for the `parking_lot` crate.
 //!
-//! Provides the one type this workspace uses — [`Mutex`] with an infallible
-//! `lock()` — implemented on top of `std::sync::Mutex`.  Poisoning is
-//! recovered from rather than propagated, matching `parking_lot` semantics.
+//! Provides the two types this workspace uses — [`Mutex`] and [`RwLock`]
+//! with infallible `lock()`/`read()`/`write()` — implemented on top of
+//! `std::sync`.  Poisoning is recovered from rather than propagated,
+//! matching `parking_lot` semantics.
 
-use std::sync::{self, MutexGuard};
+use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual-exclusion lock whose `lock()` never returns an error.
 #[derive(Debug, Default)]
@@ -29,9 +30,50 @@ impl<T> Mutex<T> {
     }
 }
 
+/// A reader-writer lock whose `read()`/`write()` never return errors.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new lock holding `value`.
+    pub fn new(value: T) -> Self {
+        RwLock { inner: sync::RwLock::new(value) }
+    }
+
+    /// Acquires a shared read guard, recovering from poisoning.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Acquires an exclusive write guard, recovering from poisoning.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Consumes the lock and returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(1);
+        {
+            let r1 = l.read();
+            let r2 = l.read();
+            assert_eq!((*r1, *r2), (1, 1));
+        }
+        *l.write() += 41;
+        assert_eq!(*l.read(), 42);
+        assert_eq!(l.into_inner(), 42);
+    }
 
     #[test]
     fn lock_and_mutate() {

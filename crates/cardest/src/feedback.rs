@@ -1,0 +1,169 @@
+//! Runtime truth feedback: the estimator overlay of adaptive re-optimization.
+//!
+//! During adaptive execution the engine learns the *true* cardinality of
+//! every intermediate it materialises.  [`FeedbackEstimator`] feeds those
+//! observations back into estimation:
+//!
+//! * a subexpression that was observed answers with its exact count;
+//! * a subexpression *containing* observed sets answers with the fallback
+//!   estimate corrected by the observed/estimated ratio of a greedy disjoint
+//!   cover of its observed subsets — the independence-preserving way to
+//!   propagate "the build side was 40× bigger than we thought" upwards into
+//!   the not-yet-executed remainder of the plan.
+//!
+//! This differs from [`crate::InjectedCardinalities`], which only overlays
+//! exact matches: re-planning mid-query must also steer the estimates of
+//! supersets that join an observed intermediate with fresh relations.
+
+use qob_plan::{QuerySpec, RelSet};
+
+use crate::model::CardinalityEstimator;
+use crate::truth::TrueCardinalities;
+
+/// An estimator overlay that answers observed subexpressions exactly and
+/// corrects fallback estimates of their supersets by the observed divergence.
+pub struct FeedbackEstimator<'a> {
+    observed: &'a TrueCardinalities,
+    /// The observations sorted for the greedy cover — largest sets first
+    /// (they carry the most joins' worth of signal), bit order breaking
+    /// ties deterministically.  Re-planning calls `estimate` once per
+    /// enumerated csg-cmp candidate, so this is sorted once at
+    /// construction instead of per call.
+    cover_order: Vec<(RelSet, f64)>,
+    fallback: &'a dyn CardinalityEstimator,
+    name: String,
+}
+
+impl<'a> FeedbackEstimator<'a> {
+    /// Creates the overlay of `observed` runtime truths over `fallback`.
+    pub fn new(observed: &'a TrueCardinalities, fallback: &'a dyn CardinalityEstimator) -> Self {
+        let name = format!("runtime feedback over {}", fallback.name());
+        let mut cover_order: Vec<(RelSet, f64)> =
+            observed.iter().filter(|(s, _)| !s.is_empty()).collect();
+        cover_order.sort_by_key(|(s, _)| (std::cmp::Reverse(s.len()), s.bits()));
+        FeedbackEstimator { observed, cover_order, fallback, name }
+    }
+
+    /// The greedy disjoint cover of `set` by observed sets, largest first.
+    /// Returns `(covered relations, product of truth/estimate corrections)`.
+    fn correction(&self, query: &QuerySpec, set: RelSet) -> (RelSet, f64) {
+        let mut covered = RelSet::empty();
+        let mut factor = 1.0;
+        for &(sub, truth) in &self.cover_order {
+            if !sub.is_subset_of(set) || !sub.is_disjoint(covered) {
+                continue;
+            }
+            covered = covered.union(sub);
+            let believed = self.fallback.estimate(query, sub).max(1.0);
+            factor *= truth.max(1.0) / believed;
+        }
+        (covered, factor)
+    }
+}
+
+impl CardinalityEstimator for FeedbackEstimator<'_> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn estimate(&self, query: &QuerySpec, set: RelSet) -> f64 {
+        if let Some(truth) = self.observed.get(set) {
+            return truth.max(1.0);
+        }
+        let base = self.fallback.estimate(query, set);
+        let (covered, factor) = self.correction(query, set);
+        if covered.is_empty() {
+            return base.max(1.0);
+        }
+        (base * factor).max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qob_plan::BaseRelation;
+    use qob_storage::TableId;
+
+    struct ConstEstimator(f64);
+
+    impl CardinalityEstimator for ConstEstimator {
+        fn name(&self) -> &str {
+            "const"
+        }
+        fn estimate(&self, _q: &QuerySpec, _s: RelSet) -> f64 {
+            self.0
+        }
+    }
+
+    fn query3() -> QuerySpec {
+        QuerySpec::new(
+            "q",
+            (0..3).map(|i| BaseRelation::unfiltered(TableId(i as u32), format!("r{i}"))).collect(),
+            vec![],
+        )
+    }
+
+    #[test]
+    fn observed_sets_answer_exactly() {
+        let mut observed = TrueCardinalities::with_name("observed");
+        observed.insert(RelSet::from_iter([0, 1]), 400.0);
+        let fallback = ConstEstimator(10.0);
+        let fb = FeedbackEstimator::new(&observed, &fallback);
+        let q = query3();
+        assert_eq!(fb.estimate(&q, RelSet::from_iter([0, 1])), 400.0);
+        assert!(fb.name().contains("const"));
+    }
+
+    #[test]
+    fn supersets_are_corrected_by_the_observed_ratio() {
+        let mut observed = TrueCardinalities::with_name("observed");
+        // The fallback believes every set has 10 rows; {0,1} was observed at
+        // 400 — a 40× underestimate that must propagate into {0,1,2}.
+        observed.insert(RelSet::from_iter([0, 1]), 400.0);
+        let fallback = ConstEstimator(10.0);
+        let fb = FeedbackEstimator::new(&observed, &fallback);
+        let q = query3();
+        let sup = fb.estimate(&q, RelSet::from_iter([0, 1, 2]));
+        assert!((sup - 400.0).abs() < 1e-9, "10 × (400/10) = 400, got {sup}");
+        // Unrelated sets stay at the fallback.
+        assert_eq!(fb.estimate(&q, RelSet::single(2)), 10.0);
+    }
+
+    #[test]
+    fn greedy_cover_prefers_larger_observed_sets() {
+        let mut observed = TrueCardinalities::with_name("observed");
+        observed.insert(RelSet::single(0), 20.0); // 2× off
+        observed.insert(RelSet::from_iter([0, 1]), 1000.0); // 100× off
+        let fallback = ConstEstimator(10.0);
+        let fb = FeedbackEstimator::new(&observed, &fallback);
+        let q = query3();
+        // {0,1} subsumes {0}: only the larger set's ratio applies.
+        let sup = fb.estimate(&q, RelSet::from_iter([0, 1, 2]));
+        assert!((sup - 1000.0).abs() < 1e-9, "10 × (1000/10), got {sup}");
+    }
+
+    #[test]
+    fn disjoint_observations_compose_multiplicatively() {
+        let mut observed = TrueCardinalities::with_name("observed");
+        observed.insert(RelSet::single(0), 30.0); // 3×
+        observed.insert(RelSet::single(1), 50.0); // 5×
+        let fallback = ConstEstimator(10.0);
+        let fb = FeedbackEstimator::new(&observed, &fallback);
+        let q = query3();
+        let sup = fb.estimate(&q, RelSet::from_iter([0, 1]));
+        // Not directly observed: corrected by both singleton ratios.
+        assert!((sup - 150.0).abs() < 1e-9, "10 × 3 × 5, got {sup}");
+    }
+
+    #[test]
+    fn estimates_never_drop_below_one_row() {
+        let mut observed = TrueCardinalities::with_name("observed");
+        observed.insert(RelSet::single(0), 0.0);
+        let fallback = ConstEstimator(0.5);
+        let fb = FeedbackEstimator::new(&observed, &fallback);
+        let q = query3();
+        assert_eq!(fb.estimate(&q, RelSet::single(0)), 1.0);
+        assert_eq!(fb.estimate(&q, RelSet::from_iter([0, 1])), 1.0);
+    }
+}

@@ -24,6 +24,7 @@
 //! Estimation quality is measured with the q-error ([`qerror`]).
 
 pub mod estimators;
+pub mod feedback;
 pub mod model;
 pub mod qerror;
 pub mod selectivity;
@@ -33,6 +34,7 @@ pub use estimators::{
     DampedSamplingEstimator, MagicConstantEstimator, PessimisticEstimator, PostgresEstimator,
     SamplingEstimator,
 };
+pub use feedback::FeedbackEstimator;
 pub use model::{CardinalityEstimator, EstimatorContext};
 pub use qerror::{percentile, q_error, signed_ratio, QErrorSummary};
 pub use truth::{InjectedCardinalities, TrueCardinalities};

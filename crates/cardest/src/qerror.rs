@@ -20,13 +20,15 @@ pub fn signed_ratio(estimate: f64, truth: f64) -> f64 {
 }
 
 /// The `p`-th percentile (0–100) of a sample, using linear interpolation
-/// between closest ranks.  Returns `None` for an empty sample.
+/// between closest ranks.  NaN values are ignored (one corrupt estimate must
+/// not abort a whole figure run); returns `None` if no finite-or-infinite
+/// value remains.
 pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
-    if values.is_empty() {
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+    if sorted.is_empty() {
         return None;
     }
-    let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in percentile input"));
+    sorted.sort_by(f64::total_cmp);
     let p = p.clamp(0.0, 100.0) / 100.0;
     let rank = p * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
@@ -51,22 +53,30 @@ pub struct QErrorSummary {
     pub p95: f64,
     /// Maximum.
     pub max: f64,
-    /// Number of samples.
+    /// Number of samples the percentiles were computed over (NaN excluded).
     pub count: usize,
+    /// Number of NaN samples that were dropped before summarising — surfaced
+    /// so a run with corrupt estimates is visible rather than silently
+    /// cleaned up.
+    pub nan_count: usize,
 }
 
 impl QErrorSummary {
-    /// Summarises a set of q-errors.  Returns `None` for an empty input.
+    /// Summarises a set of q-errors.  NaN values are dropped (and counted in
+    /// [`QErrorSummary::nan_count`]); returns `None` if no valid sample
+    /// remains.
     pub fn from_errors(errors: &[f64]) -> Option<Self> {
-        if errors.is_empty() {
+        let valid: Vec<f64> = errors.iter().copied().filter(|v| !v.is_nan()).collect();
+        if valid.is_empty() {
             return None;
         }
         Some(QErrorSummary {
-            median: percentile(errors, 50.0)?,
-            p90: percentile(errors, 90.0)?,
-            p95: percentile(errors, 95.0)?,
-            max: errors.iter().copied().fold(f64::MIN, f64::max),
-            count: errors.len(),
+            median: percentile(&valid, 50.0)?,
+            p90: percentile(&valid, 90.0)?,
+            p95: percentile(&valid, 95.0)?,
+            max: valid.iter().copied().fold(f64::MIN, f64::max),
+            count: valid.len(),
+            nan_count: errors.len() - valid.len(),
         })
     }
 }
@@ -112,14 +122,35 @@ mod tests {
     }
 
     #[test]
+    fn percentile_ignores_nans_instead_of_panicking() {
+        let values = vec![5.0, f64::NAN, 1.0, 3.0, f64::NAN, 2.0, 4.0];
+        assert_eq!(percentile(&values, 50.0), Some(3.0));
+        assert_eq!(percentile(&values, 100.0), Some(5.0));
+        assert_eq!(percentile(&[f64::NAN, f64::NAN], 50.0), None);
+    }
+
+    #[test]
     fn summary_matches_percentiles() {
         let errors: Vec<f64> = (1..=100).map(|i| i as f64).collect();
         let s = QErrorSummary::from_errors(&errors).unwrap();
         assert_eq!(s.count, 100);
+        assert_eq!(s.nan_count, 0);
         assert_eq!(s.max, 100.0);
         assert!((s.median - 50.5).abs() < 0.01);
         assert!((s.p90 - 90.1).abs() < 0.01);
         assert!((s.p95 - 95.05).abs() < 0.01);
         assert!(QErrorSummary::from_errors(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_surfaces_dropped_nans() {
+        let mut errors: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        errors.push(f64::NAN);
+        errors.push(f64::NAN);
+        let s = QErrorSummary::from_errors(&errors).unwrap();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.nan_count, 2);
+        assert_eq!(s.max, 10.0);
+        assert!(QErrorSummary::from_errors(&[f64::NAN]).is_none());
     }
 }

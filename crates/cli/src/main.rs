@@ -42,8 +42,15 @@ OPTIONS:
                              true-distinct                          [default: postgres]
         --threads <n>        execution worker threads; 1 = sequential engine,
                              0 = all cores                          [default: 0]
+        --morsel-size <n>    tuples per execution morsel; 0 = engine default
         --snapshot <PATH>    load the database from PATH if it exists, else
                              generate it once and save it there
+        --adaptive           re-optimize mid-execution when an operator's true
+                             cardinality diverges from the estimate (re-plan
+                             events are printed in the report)
+        --adaptive-threshold <x>
+                             divergence factor (q-error) that triggers a
+                             re-plan                                [default: 10]
         --no-exec            stop after planning (skip execution and q-errors)
     -h, --help               print this help
 
@@ -74,6 +81,8 @@ struct Options {
     estimator: EstimatorKind,
     execute: bool,
     threads: usize,
+    morsel_size: usize,
+    adaptive: qob_exec::AdaptiveOptions,
     snapshot: Option<String>,
 }
 
@@ -111,6 +120,23 @@ fn parse_threads(raw: &str) -> Result<usize, String> {
     Ok(if n == 0 { qob_exec::default_threads() } else { n })
 }
 
+/// Validates and normalises `--morsel-size` through the same
+/// [`SessionOptions::set`] rule the wire protocol enforces, so the CLI can
+/// never drift from `set morsel_size`.
+fn parse_morsel_size(raw: &str) -> Result<usize, String> {
+    let mut scratch = SessionOptions::default();
+    scratch.set("morsel_size", raw)?;
+    Ok(scratch.morsel_size)
+}
+
+/// Validates `--adaptive-threshold` through [`SessionOptions::set`] (same
+/// rule as `set adaptive_threshold` on the wire).
+fn parse_adaptive_threshold(raw: &str) -> Result<f64, String> {
+    let mut scratch = SessionOptions::default();
+    scratch.set("adaptive_threshold", raw)?;
+    Ok(scratch.adaptive.divergence_threshold)
+}
+
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut options = Options {
         source: Source::Stdin,
@@ -119,6 +145,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         estimator: EstimatorKind::Postgres,
         execute: true,
         threads: qob_exec::default_threads(),
+        morsel_size: qob_exec::DEFAULT_MORSEL_SIZE,
+        adaptive: qob_exec::AdaptiveOptions::default(),
         snapshot: None,
     };
     let mut i = 0;
@@ -134,6 +162,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 options.estimator = parse_estimator(&value_of(args, &mut i, "--estimator")?)?
             }
             "--threads" => options.threads = parse_threads(&value_of(args, &mut i, "--threads")?)?,
+            "--morsel-size" => {
+                options.morsel_size = parse_morsel_size(&value_of(args, &mut i, "--morsel-size")?)?
+            }
+            "--adaptive" => options.adaptive.enabled = true,
+            "--adaptive-threshold" => {
+                options.adaptive.divergence_threshold =
+                    parse_adaptive_threshold(&value_of(args, &mut i, "--adaptive-threshold")?)?
+            }
             "--snapshot" => options.snapshot = Some(value_of(args, &mut i, "--snapshot")?),
             "--no-exec" => options.execute = false,
             "-" => options.source = Source::Stdin,
@@ -288,6 +324,8 @@ fn oneshot_main(args: &[String]) -> ExitCode {
     session.options.estimator = options.estimator;
     session.options.threads = options.threads;
     session.options.execute = options.execute;
+    session.options.morsel_size = options.morsel_size;
+    session.options.adaptive = options.adaptive;
 
     let mut failures = 0usize;
     for query in &queries {
@@ -327,6 +365,20 @@ fn print_report(report: &QueryReport) {
     print!("{}", report.plan);
 
     let Some(exec) = &report.execution else { return };
+    for (i, replan) in exec.replans.iter().enumerate() {
+        println!(
+            "re-plan {}: after {} estimated {:.0} observed {} (diverged {:.1}x) — {}",
+            i + 1,
+            replan.after,
+            replan.estimated,
+            replan.observed,
+            replan.factor,
+            if replan.changed { "resumed on spliced plan:" } else { "plan confirmed" }
+        );
+        if replan.changed {
+            print!("{}", replan.resumed_plan);
+        }
+    }
     println!("\n{:<28} {:>14} {:>14} {:>10}", "operator output", "estimated", "true", "q-error");
     for op in &exec.operators {
         println!(
@@ -584,6 +636,23 @@ fn render_result(result: &Json) {
     print!("{}", str_of("plan"));
 
     let Some(rows) = result.get("rows").and_then(Json::as_u64) else { return };
+    for (i, replan) in
+        result.get("replans").and_then(Json::as_array).unwrap_or(&[]).iter().enumerate()
+    {
+        let changed = replan.get("changed").and_then(Json::as_bool).unwrap_or(false);
+        println!(
+            "re-plan {}: after {} estimated {:.0} observed {} (diverged {:.1}x) — {}",
+            i + 1,
+            replan.get("after").and_then(Json::as_str).unwrap_or("?"),
+            replan.get("estimated").and_then(Json::as_f64).unwrap_or(0.0),
+            replan.get("observed").and_then(Json::as_u64).unwrap_or(0),
+            replan.get("factor").and_then(Json::as_f64).unwrap_or(0.0),
+            if changed { "resumed on spliced plan:" } else { "plan confirmed" }
+        );
+        if changed {
+            print!("{}", replan.get("resumed_plan").and_then(Json::as_str).unwrap_or(""));
+        }
+    }
     println!("\n{:<28} {:>14} {:>14} {:>10}", "operator output", "estimated", "true", "q-error");
     for op in result.get("operators").and_then(Json::as_array).unwrap_or(&[]) {
         println!(
@@ -666,6 +735,38 @@ mod tests {
             qob_exec::default_threads()
         );
         assert_eq!(parse_args(&[]).unwrap().threads, qob_exec::default_threads());
+    }
+
+    #[test]
+    fn adaptive_and_morsel_flags_parse() {
+        let options = parse_args(&[]).unwrap();
+        assert!(!options.adaptive.enabled, "adaptivity defaults off");
+        assert_eq!(options.morsel_size, qob_exec::DEFAULT_MORSEL_SIZE);
+
+        let options = parse_args(&args(&[
+            "--adaptive",
+            "--adaptive-threshold",
+            "2.5",
+            "--morsel-size",
+            "64",
+        ]))
+        .unwrap();
+        assert!(options.adaptive.enabled);
+        assert_eq!(options.adaptive.divergence_threshold, 2.5);
+        assert_eq!(options.morsel_size, 64);
+
+        // `--adaptive-threshold` alone tunes without enabling.
+        let options = parse_args(&args(&["--adaptive-threshold", "3"])).unwrap();
+        assert!(!options.adaptive.enabled);
+        assert_eq!(options.adaptive.divergence_threshold, 3.0);
+
+        assert_eq!(
+            parse_args(&args(&["--morsel-size", "0"])).unwrap().morsel_size,
+            qob_exec::DEFAULT_MORSEL_SIZE
+        );
+        assert!(parse_args(&args(&["--adaptive-threshold", "0.5"])).is_err());
+        assert!(parse_args(&args(&["--adaptive-threshold", "nope"])).is_err());
+        assert!(parse_args(&args(&["--morsel-size", "many"])).is_err());
     }
 
     #[test]

@@ -210,15 +210,35 @@ pub fn distinct_count_experiment(
 /// Per-query estimate ratios: `(query name, ratios by join count)`.
 pub type QueryRatioSeries = Vec<(String, Vec<Vec<f64>>)>;
 
+/// The Figure 4 data: JOB and TPC-H ratio series, plus every TPC-H query
+/// whose ground-truth extraction *failed* — recorded by name and error
+/// instead of silently contributing an empty ratio series (the same
+/// truth-loss discipline [`BenchmarkContext::try_true_cardinalities`]
+/// applies on the JOB side).
+#[derive(Debug, Clone)]
+pub struct TpchContrast {
+    /// PostgreSQL estimate ratios for the selected JOB queries.
+    pub job: QueryRatioSeries,
+    /// PostgreSQL estimate ratios for the TPC-H-shaped queries whose truth
+    /// extraction succeeded.
+    pub tpch: QueryRatioSeries,
+    /// TPC-H queries skipped because truth extraction failed (timeout or
+    /// memory guard), with the recorded failure.
+    pub tpch_truth_failures: Vec<(String, qob_exec::ExecutionError)>,
+}
+
 /// Reproduces Figure 4: PostgreSQL estimate ratios for a handful of JOB
-/// queries and the TPC-H-shaped queries.  Each entry is
-/// `(query name, ratios by join count)`.
+/// queries and the TPC-H-shaped queries.  A TPC-H query whose ground truth
+/// cannot be extracted is skipped and surfaced in
+/// [`TpchContrast::tpch_truth_failures`] — never folded in as an empty
+/// truth map, which would fabricate an empty (and misleadingly clean)
+/// ratio series.
 pub fn tpch_contrast(
     ctx: &BenchmarkContext,
     job_query_names: &[&str],
     tpch_scale: qob_datagen::Scale,
     max_joins: usize,
-) -> (QueryRatioSeries, QueryRatioSeries) {
+) -> TpchContrast {
     let pg = ctx.estimator(EstimatorKind::Postgres);
     let mut job_series = Vec::new();
     for name in job_query_names {
@@ -237,9 +257,15 @@ pub fn tpch_contrast(
     let tpch_pg = qob_cardest::PostgresEstimator::new(est_ctx);
     let truth_options = qob_exec::TrueCardinalityOptions::default();
     let mut tpch_series = Vec::new();
+    let mut tpch_truth_failures = Vec::new();
     for query in qob_workload::tpch_queries(&tpch_db) {
-        let truth_map =
-            qob_exec::true_cardinalities(&tpch_db, &query, &truth_options).unwrap_or_default();
+        let truth_map = match qob_exec::true_cardinalities(&tpch_db, &query, &truth_options) {
+            Ok(map) => map,
+            Err(error) => {
+                tpch_truth_failures.push((query.name.clone(), error));
+                continue;
+            }
+        };
         let ratios = collect_ratios(
             query.connected_subexpressions().into_iter().filter_map(|set| {
                 let t = truth_map.get(&set).copied()? as f64;
@@ -249,7 +275,7 @@ pub fn tpch_contrast(
         );
         tpch_series.push((query.name.clone(), ratios));
     }
-    (job_series, tpch_series)
+    TpchContrast { job: job_series, tpch: tpch_series, tpch_truth_failures }
 }
 
 // ---------------------------------------------------------------------------

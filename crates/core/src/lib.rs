@@ -35,14 +35,16 @@
 
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod context;
 pub mod experiments;
 pub mod metrics;
 pub mod session;
 
+pub use adaptive::{execute_adaptive, AdaptiveOutcome, ReplanEvent};
 pub use context::{BenchmarkContext, EstimatorKind};
 pub use metrics::{geometric_mean, SlowdownBucket, SlowdownDistribution};
 pub use session::{
-    ExecutionReport, OperatorReport, QueryReport, ServerContext, Session, SessionError,
-    SessionOptions,
+    ExecutionReport, OperatorReport, QueryReport, ReplanReport, ServerContext, Session,
+    SessionError, SessionOptions,
 };

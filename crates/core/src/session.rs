@@ -34,7 +34,7 @@ use std::time::Duration;
 
 use qob_cardest::q_error;
 use qob_enumerate::PlannerConfig;
-use qob_exec::ExecutionOptions;
+use qob_exec::{AdaptiveOptions, ExecutionOptions};
 use qob_plan::QuerySpec;
 use qob_workload::load_sql_str;
 
@@ -52,6 +52,12 @@ pub struct SessionOptions {
     pub timeout: Option<Duration>,
     /// When `false`, statements stop after planning (the `explain` path).
     pub execute: bool,
+    /// Tuples per morsel pulled by pipeline workers (the CLI's
+    /// `--morsel-size`; `0` is normalised to the engine default by
+    /// [`SessionOptions::set`]).
+    pub morsel_size: usize,
+    /// Adaptive mid-execution re-optimization knobs.
+    pub adaptive: AdaptiveOptions,
 }
 
 impl Default for SessionOptions {
@@ -61,6 +67,8 @@ impl Default for SessionOptions {
             threads: qob_exec::default_threads(),
             timeout: Some(Duration::from_secs(30)),
             execute: true,
+            morsel_size: qob_exec::DEFAULT_MORSEL_SIZE,
+            adaptive: AdaptiveOptions::default(),
         }
     }
 }
@@ -68,9 +76,16 @@ impl Default for SessionOptions {
 impl SessionOptions {
     /// Sets one option by its wire-protocol name: `threads` (integer, `0` =
     /// all cores), `timeout_ms` (integer, `0` = no timeout), `estimator`
-    /// (profile name) or `execute` (`true`/`false`).  Returns a description
-    /// of the rejection otherwise.
+    /// (profile name), `execute` (`true`/`false`), `morsel_size` (integer,
+    /// `0` = engine default), `adaptive` (`true`/`false`),
+    /// `adaptive_threshold` (q-error factor > 1) or `max_replans`
+    /// (integer).  Returns a description of the rejection otherwise.
     pub fn set(&mut self, name: &str, value: &str) -> Result<(), String> {
+        let flag = |value: &str| match value {
+            "true" => Ok(true),
+            "false" => Ok(false),
+            other => Err(format!("{name} needs true or false, got `{other}`")),
+        };
         match name {
             "threads" => {
                 let n: usize = value
@@ -88,12 +103,29 @@ impl SessionOptions {
                 self.estimator = EstimatorKind::parse(value)
                     .ok_or_else(|| format!("unknown estimator `{value}`"))?;
             }
-            "execute" => {
-                self.execute = match value {
-                    "true" => true,
-                    "false" => false,
-                    other => return Err(format!("execute needs true or false, got `{other}`")),
-                };
+            "execute" => self.execute = flag(value)?,
+            "morsel_size" => {
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| format!("morsel_size needs an integer, got `{value}`"))?;
+                self.morsel_size = if n == 0 { qob_exec::DEFAULT_MORSEL_SIZE } else { n };
+            }
+            "adaptive" => self.adaptive.enabled = flag(value)?,
+            "adaptive_threshold" => {
+                let t: f64 = value
+                    .parse()
+                    .map_err(|_| format!("adaptive_threshold needs a number, got `{value}`"))?;
+                if t.is_nan() || t <= 1.0 {
+                    return Err(format!(
+                        "adaptive_threshold is a q-error factor and must exceed 1, got `{value}`"
+                    ));
+                }
+                self.adaptive.divergence_threshold = t;
+            }
+            "max_replans" => {
+                self.adaptive.max_replans = value
+                    .parse()
+                    .map_err(|_| format!("max_replans needs an integer, got `{value}`"))?;
             }
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -102,7 +134,10 @@ impl SessionOptions {
 
     /// The execution options this session state implies.
     pub fn execution_options(&self) -> ExecutionOptions {
-        ExecutionOptions::with_threads(self.threads).with_timeout(self.timeout)
+        let mut options = ExecutionOptions::with_threads(self.threads).with_timeout(self.timeout);
+        options.morsel_size = self.morsel_size.max(1);
+        options.adaptive = self.adaptive;
+        options
     }
 }
 
@@ -156,6 +191,23 @@ pub struct OperatorReport {
     pub q_error: f64,
 }
 
+/// One adaptive re-planning round, as reported to clients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplanReport {
+    /// The materialised subexpression that diverged, rendered as `{t,mc}`.
+    pub after: String,
+    /// The cardinality the running plan was optimized with.
+    pub estimated: f64,
+    /// The true cardinality observed at the pipeline breaker.
+    pub observed: u64,
+    /// The divergence factor (`q_error(estimated, observed)`).
+    pub factor: f64,
+    /// True if the round produced a different remainder plan.
+    pub changed: bool,
+    /// The plan execution resumed on.
+    pub resumed_plan: String,
+}
+
 /// The runtime half of a [`QueryReport`], present when the session executed
 /// the plan (not just planned it).
 #[derive(Debug, Clone, PartialEq)]
@@ -168,6 +220,9 @@ pub struct ExecutionReport {
     pub operators: Vec<OperatorReport>,
     /// The largest per-operator q-error.
     pub worst_q_error: f64,
+    /// Adaptive re-planning rounds, in order (empty when adaptivity is off
+    /// or nothing diverged).
+    pub replans: Vec<ReplanReport>,
 }
 
 /// Everything one answered statement reports: the chosen plan and, when the
@@ -198,6 +253,7 @@ struct ServerShared {
     ctx: BenchmarkContext,
     defaults: SessionOptions,
     queries_served: AtomicU64,
+    replans_total: AtomicU64,
 }
 
 /// The long-lived, shareable wrapper around one warm [`BenchmarkContext`]:
@@ -218,7 +274,12 @@ impl ServerContext {
     /// Wraps a context with explicit default options for new sessions.
     pub fn with_defaults(ctx: BenchmarkContext, defaults: SessionOptions) -> Self {
         ServerContext {
-            shared: Arc::new(ServerShared { ctx, defaults, queries_served: AtomicU64::new(0) }),
+            shared: Arc::new(ServerShared {
+                ctx,
+                defaults,
+                queries_served: AtomicU64::new(0),
+                replans_total: AtomicU64::new(0),
+            }),
         }
     }
 
@@ -235,6 +296,11 @@ impl ServerContext {
     /// Total statements answered across all sessions since start.
     pub fn queries_served(&self) -> u64 {
         self.shared.queries_served.load(Ordering::Relaxed)
+    }
+
+    /// Total adaptive re-planning rounds fired across all sessions.
+    pub fn replans_total(&self) -> u64 {
+        self.shared.replans_total.load(Ordering::Relaxed)
     }
 }
 
@@ -290,14 +356,37 @@ impl Session {
         };
 
         if self.options.execute {
-            let result = ctx
-                .execute(
+            let exec_options = self.options.execution_options();
+            let (result, replans) = if self.options.adaptive.enabled {
+                let outcome = crate::adaptive::execute_adaptive(
+                    ctx,
                     query,
                     &optimized.plan,
                     estimator.as_ref(),
-                    &self.options.execution_options(),
+                    &exec_options,
+                    PlannerConfig::default(),
                 )
                 .map_err(|e| SessionError::Execute(e.to_string()))?;
+                let replans = outcome
+                    .replans
+                    .iter()
+                    .map(|e| ReplanReport {
+                        after: relset_label(query, e.trigger),
+                        estimated: e.estimated,
+                        observed: e.observed,
+                        factor: e.factor,
+                        changed: e.changed,
+                        resumed_plan: e.resumed_plan.clone(),
+                    })
+                    .collect::<Vec<_>>();
+                self.server.shared.replans_total.fetch_add(replans.len() as u64, Ordering::Relaxed);
+                (outcome.result, replans)
+            } else {
+                let result = ctx
+                    .execute(query, &optimized.plan, estimator.as_ref(), &exec_options)
+                    .map_err(|e| SessionError::Execute(e.to_string()))?;
+                (result, Vec::new())
+            };
             let mut worst: f64 = 1.0;
             let operators = result
                 .operator_cardinalities
@@ -319,6 +408,7 @@ impl Session {
                 elapsed: result.elapsed,
                 operators,
                 worst_q_error: worst,
+                replans,
             });
         }
 
@@ -405,6 +495,61 @@ mod tests {
         let exec = o.execution_options();
         assert_eq!(exec.threads, qob_exec::default_threads());
         assert_eq!(exec.timeout, None);
+    }
+
+    #[test]
+    fn morsel_and_adaptive_options_parse_and_flow_into_execution() {
+        let mut o = SessionOptions::default();
+        assert!(!o.adaptive.enabled, "adaptivity defaults off");
+        o.set("morsel_size", "128").unwrap();
+        o.set("adaptive", "true").unwrap();
+        o.set("adaptive_threshold", "2.5").unwrap();
+        o.set("max_replans", "7").unwrap();
+        assert_eq!(o.morsel_size, 128);
+        assert!(o.adaptive.enabled);
+        assert_eq!(o.adaptive.divergence_threshold, 2.5);
+        assert_eq!(o.adaptive.max_replans, 7);
+        let exec = o.execution_options();
+        assert_eq!(exec.morsel_size, 128);
+        assert!(exec.adaptive.enabled);
+        assert_eq!(exec.adaptive.divergence_threshold, 2.5);
+
+        o.set("morsel_size", "0").unwrap();
+        assert_eq!(o.morsel_size, qob_exec::DEFAULT_MORSEL_SIZE);
+        o.set("adaptive", "false").unwrap();
+        assert!(!o.adaptive.enabled);
+        assert!(o.set("morsel_size", "lots").is_err());
+        assert!(o.set("adaptive", "maybe").is_err());
+        assert!(o.set("adaptive_threshold", "0.5").is_err());
+        assert!(o.set("adaptive_threshold", "NaN").is_err());
+        assert!(o.set("max_replans", "-1").is_err());
+    }
+
+    #[test]
+    fn adaptive_session_reports_replans_and_matches_plain_rows() {
+        let server = server();
+        let mut plain = server.session();
+        plain.options.threads = 1;
+        let mut adaptive = server.session();
+        adaptive.options.threads = 1;
+        adaptive.options.set("adaptive", "true").unwrap();
+        adaptive.options.set("adaptive_threshold", "1.5").unwrap();
+        // DBMS C's magic constants misestimate almost everything, so the
+        // runtime divergence check reliably fires.
+        adaptive.options.set("estimator", "dbms-c").unwrap();
+        plain.options.set("estimator", "dbms-c").unwrap();
+
+        let a = plain.run_script(THREE_WAY).unwrap();
+        let b = adaptive.run_script(THREE_WAY).unwrap();
+        let (pa, pb) = (a[0].execution.as_ref().unwrap(), b[0].execution.as_ref().unwrap());
+        assert_eq!(pa.rows, pb.rows, "adaptivity must not change results");
+        assert!(pa.replans.is_empty());
+        assert_eq!(server.replans_total(), pb.replans.len() as u64);
+        for replan in &pb.replans {
+            assert!(replan.factor > 1.5);
+            assert!(replan.after.starts_with('{'));
+            assert!(!replan.resumed_plan.is_empty());
+        }
     }
 
     #[test]

@@ -5,9 +5,25 @@
 
 use std::collections::HashMap;
 
-use qob_plan::{QuerySpec, RelSet};
+use qob_plan::{PhysicalPlan, QuerySpec, RelSet};
 
 use crate::planner::{EnumerationError, OptimizedPlan, Planner, Sub};
+
+/// An already-executed plan prefix that re-planning must keep atomic: the
+/// relation set it covers, the subplan that produced it (grafted unchanged
+/// into any plan the enumerator returns) and its *observed* output rows.
+///
+/// Adaptive re-optimization builds one group per materialised intermediate
+/// and treats each as a zero-cost virtual base relation — its work is sunk.
+#[derive(Debug, Clone)]
+pub struct PrefixGroup {
+    /// The relations the prefix covers (must be a connected subgraph).
+    pub set: RelSet,
+    /// The executed subplan producing the prefix.
+    pub plan: PhysicalPlan,
+    /// The observed (true) output cardinality of the prefix.
+    pub rows: f64,
+}
 
 /// Enumerates every connected subgraph reachable by extending `s` with
 /// subsets of its neighbourhood, excluding `x` (the standard
@@ -81,16 +97,51 @@ pub fn ccp_pairs(query: &QuerySpec) -> Vec<(RelSet, RelSet)> {
 /// Pairs are processed in increasing size of their union, which guarantees
 /// that both sides of every pair already carry their optimal subplan.
 pub fn optimize_bushy(planner: &Planner<'_>) -> Result<OptimizedPlan, EnumerationError> {
+    optimize_bushy_with_prefixes(planner, &[])
+}
+
+/// [`optimize_bushy`] with fixed plan prefixes: each [`PrefixGroup`] enters
+/// the dynamic-programming table as an atomic unit — its subplan appears
+/// unchanged in the result, its cost is sunk to zero (the work is done), and
+/// its observed rows replace the estimate.  Relations inside a group are
+/// *not* seeded as individual leaves, so no enumerated pair can tear a
+/// group apart: every table entry is, by induction, a union of whole groups
+/// and free relations.
+///
+/// This is the re-planning half of adaptive execution: materialised
+/// intermediates become virtual base relations and the enumerator picks the
+/// best join order for everything that has not run yet.
+pub fn optimize_bushy_with_prefixes(
+    planner: &Planner<'_>,
+    groups: &[PrefixGroup],
+) -> Result<OptimizedPlan, EnumerationError> {
     planner.check_query()?;
     let query = planner.query;
-    let mut best: HashMap<RelSet, Sub> = HashMap::new();
-    for rel in 0..query.rel_count() {
-        let leaf = planner.leaf(rel);
-        best.insert(leaf.set, leaf);
+    let mut grouped = RelSet::empty();
+    for group in groups {
+        if !group.set.is_disjoint(grouped) {
+            return Err(EnumerationError::OverlappingPrefixes);
+        }
+        grouped = grouped.union(group.set);
     }
-    if query.rel_count() == 1 {
-        let only = best.remove(&RelSet::single(0)).expect("single relation");
-        return Ok(OptimizedPlan { plan: only.plan, cost: only.cost });
+    let mut best: HashMap<RelSet, Sub> = HashMap::new();
+    for group in groups {
+        best.insert(
+            group.set,
+            Sub { set: group.set, plan: group.plan.clone(), cost: 0.0, rows: group.rows.max(1.0) },
+        );
+    }
+    for rel in 0..query.rel_count() {
+        if !grouped.contains(rel) {
+            let leaf = planner.leaf(rel);
+            best.insert(leaf.set, leaf);
+        }
+    }
+    let all = query.all_rels();
+    if let Some(done) = best.get(&all) {
+        // A single group (or a single-relation query) already covers
+        // everything: nothing is left to enumerate.
+        return Ok(OptimizedPlan { plan: done.plan.clone(), cost: done.cost });
     }
     let mut pairs = ccp_pairs(query);
     pairs.sort_by_key(|(a, b)| {
@@ -110,7 +161,6 @@ pub fn optimize_bushy(planner: &Planner<'_>) -> Result<OptimizedPlan, Enumeratio
             }
         }
     }
-    let all = query.all_rels();
     let result = best.remove(&all).ok_or(EnumerationError::DisconnectedQuery)?;
     Ok(OptimizedPlan { plan: result.plan, cost: result.cost })
 }
@@ -248,6 +298,63 @@ mod tests {
         let model = SimpleCostModel::new();
         let planner = Planner::new(&db, &disconnected, &model, &cards, PlannerConfig::default());
         assert_eq!(optimize_bushy(&planner).unwrap_err(), EnumerationError::DisconnectedQuery);
+    }
+
+    #[test]
+    fn prefix_groups_stay_atomic_and_carry_zero_cost() {
+        let (db, q, cards) = star_fixture(IndexConfig::PrimaryKeyOnly);
+        let model = SimpleCostModel::new();
+        let planner = Planner::new(&db, &q, &model, &cards, PlannerConfig::default());
+        // Pretend f ⋈ d2 already executed as a hash join with 9000 observed
+        // rows (the true-cardinality table says 9000 for {0,2}).
+        let executed = PhysicalPlan::join(
+            qob_plan::JoinAlgorithm::Hash,
+            PhysicalPlan::scan(0),
+            PhysicalPlan::scan(2),
+            vec![qob_plan::JoinKey {
+                left_rel: 0,
+                left_column: ColumnId(2),
+                right_rel: 2,
+                right_column: ColumnId(0),
+            }],
+        );
+        let group =
+            PrefixGroup { set: RelSet::from_iter([0, 2]), plan: executed.clone(), rows: 9000.0 };
+        let result = optimize_bushy_with_prefixes(&planner, &[group]).unwrap();
+        assert!(result.plan.validate(&q).is_ok());
+        // The executed prefix appears unchanged as a subtree.
+        assert_eq!(result.plan.subplan(RelSet::from_iter([0, 2])), Some(&executed));
+        // Its cost is sunk: the total must not exceed a from-scratch plan
+        // that still pays for scanning f and d2.
+        let scratch = optimize_bushy(&planner).unwrap();
+        assert!(result.cost <= scratch.cost + 1e-9, "{} vs {}", result.cost, scratch.cost);
+    }
+
+    #[test]
+    fn a_prefix_covering_everything_is_returned_as_is() {
+        let (db, q, cards) = star_fixture(IndexConfig::PrimaryKeyOnly);
+        let model = SimpleCostModel::new();
+        let planner = Planner::new(&db, &q, &model, &cards, PlannerConfig::default());
+        let whole = optimize_bushy(&planner).unwrap();
+        let group = PrefixGroup { set: q.all_rels(), plan: whole.plan.clone(), rows: 123.0 };
+        let result = optimize_bushy_with_prefixes(&planner, &[group]).unwrap();
+        assert_eq!(result.plan, whole.plan);
+        assert_eq!(result.cost, 0.0, "everything already ran");
+    }
+
+    #[test]
+    fn overlapping_prefixes_are_rejected() {
+        let (db, q, cards) = star_fixture(IndexConfig::PrimaryKeyOnly);
+        let model = SimpleCostModel::new();
+        let planner = Planner::new(&db, &q, &model, &cards, PlannerConfig::default());
+        let a =
+            PrefixGroup { set: RelSet::from_iter([0, 1]), plan: PhysicalPlan::scan(0), rows: 1.0 };
+        let b =
+            PrefixGroup { set: RelSet::from_iter([0, 2]), plan: PhysicalPlan::scan(0), rows: 1.0 };
+        assert_eq!(
+            optimize_bushy_with_prefixes(&planner, &[a, b]).unwrap_err(),
+            EnumerationError::OverlappingPrefixes
+        );
     }
 
     #[test]

@@ -24,5 +24,5 @@ pub mod planner;
 pub mod quickpick;
 pub mod restricted;
 
-pub use dpccp::ccp_pairs;
+pub use dpccp::{ccp_pairs, optimize_bushy_with_prefixes, PrefixGroup};
 pub use planner::{EnumerationError, OptimizedPlan, Planner, PlannerConfig, ShapeRestriction};

@@ -67,6 +67,8 @@ pub enum EnumerationError {
     DisconnectedQuery,
     /// The query has no relations.
     EmptyQuery,
+    /// Fixed plan prefixes passed to re-planning overlap each other.
+    OverlappingPrefixes,
 }
 
 impl fmt::Display for EnumerationError {
@@ -76,6 +78,9 @@ impl fmt::Display for EnumerationError {
                 write!(f, "join graph is disconnected; cross products are not enumerated")
             }
             EnumerationError::EmptyQuery => write!(f, "query has no relations"),
+            EnumerationError::OverlappingPrefixes => {
+                write!(f, "fixed plan prefixes overlap; each relation may appear in one prefix")
+            }
         }
     }
 }

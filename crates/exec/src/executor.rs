@@ -6,6 +6,7 @@ use std::time::Duration;
 use qob_plan::{PhysicalPlan, QuerySpec, RelSet};
 use qob_storage::{ColumnId, Database};
 
+use crate::intermediate::{Intermediate, Materialized};
 use crate::operators::ExecGuard;
 
 /// The number of worker threads the engine uses by default: everything the
@@ -16,6 +17,39 @@ pub fn default_threads() -> usize {
 
 /// The default number of tuples per morsel.
 pub const DEFAULT_MORSEL_SIZE: usize = 16_384;
+
+/// Adaptive mid-execution re-optimization knobs.
+///
+/// The executor observes the true cardinality of every intermediate it
+/// materialises at a pipeline breaker.  When adaptivity is enabled and the
+/// observed count diverges from the estimate by more than
+/// `divergence_threshold` (as a q-error factor, in either direction), the
+/// adaptive driver (`qob-core`) feeds the truth back into the estimator,
+/// re-plans the not-yet-executed remainder and resumes on the spliced plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveOptions {
+    /// Whether mid-execution re-optimization runs at all.
+    pub enabled: bool,
+    /// Re-plan when `q_error(estimate, observed)` exceeds this factor.
+    pub divergence_threshold: f64,
+    /// Upper bound on re-planning rounds per statement (re-planning is
+    /// cheap next to a disastrous join order, but unbounded rounds would
+    /// let a pathological estimator thrash).
+    pub max_replans: usize,
+}
+
+impl Default for AdaptiveOptions {
+    fn default() -> Self {
+        AdaptiveOptions { enabled: false, divergence_threshold: 10.0, max_replans: 3 }
+    }
+}
+
+impl AdaptiveOptions {
+    /// Adaptivity enabled with the default threshold and re-plan budget.
+    pub fn on() -> Self {
+        AdaptiveOptions { enabled: true, ..Default::default() }
+    }
+}
 
 /// Runtime options of the execution engine.
 #[derive(Debug, Clone)]
@@ -38,6 +72,10 @@ pub struct ExecutionOptions {
     /// source.  Smaller morsels spread uneven work better, larger ones
     /// amortise scheduling; the default suits cache-resident row-id tuples.
     pub morsel_size: usize,
+    /// Adaptive mid-execution re-optimization knobs, consumed by the
+    /// adaptive driver in `qob-core` (this crate only carries them so one
+    /// options struct travels the CLI → session → executor path).
+    pub adaptive: AdaptiveOptions,
 }
 
 impl Default for ExecutionOptions {
@@ -48,6 +86,7 @@ impl Default for ExecutionOptions {
             max_intermediate_slots: 200_000_000,
             threads: default_threads(),
             morsel_size: DEFAULT_MORSEL_SIZE,
+            adaptive: AdaptiveOptions::default(),
         }
     }
 }
@@ -143,11 +182,49 @@ pub fn execute_plan(
     build_size_hint: &dyn Fn(RelSet) -> f64,
     options: &ExecutionOptions,
 ) -> Result<ExecutionResult, ExecutionError> {
+    execute_plan_with(db, query, plan, build_size_hint, options, &Materialized::new())
+}
+
+/// [`execute_plan`] with a store of already-materialised intermediates: any
+/// subtree whose relation set is in `premat` is served from the store
+/// instead of being re-executed.  This is how adaptive execution resumes a
+/// re-planned remainder on top of the work already done — the counters of
+/// joins inside pre-materialised subtrees report 0 (they did not run here);
+/// the adaptive driver overlays the counts recorded when they actually ran.
+pub fn execute_plan_with(
+    db: &Database,
+    query: &QuerySpec,
+    plan: &PhysicalPlan,
+    build_size_hint: &dyn Fn(RelSet) -> f64,
+    options: &ExecutionOptions,
+    premat: &Materialized,
+) -> Result<ExecutionResult, ExecutionError> {
     plan.validate(query).map_err(ExecutionError::InvalidPlan)?;
     let guard = ExecGuard::new(options);
-    let (rows, operator_cardinalities) =
-        crate::pipeline::run_plan(db, query, plan, build_size_hint, options, &guard)?;
-    Ok(ExecutionResult { rows, elapsed: guard.elapsed(), operator_cardinalities })
+    let (out, operator_cardinalities) =
+        crate::pipeline::run_plan(db, query, plan, build_size_hint, options, &guard, premat)?;
+    Ok(ExecutionResult { rows: out.len() as u64, elapsed: guard.elapsed(), operator_cardinalities })
+}
+
+/// Materialises the full output of a *subplan* (a prefix of a larger plan),
+/// returning the intermediate plus the output cardinality of every join it
+/// executed.  Subtrees found in `premat` are served from the store, exactly
+/// as in [`execute_plan_with`].
+///
+/// This is the adaptive driver's workhorse: it executes one pipeline
+/// breaker at a time, observes the true cardinality of the result, and
+/// decides whether the rest of the plan is still worth running as planned.
+pub fn materialize_plan(
+    db: &Database,
+    query: &QuerySpec,
+    plan: &PhysicalPlan,
+    build_size_hint: &dyn Fn(RelSet) -> f64,
+    options: &ExecutionOptions,
+    premat: &Materialized,
+) -> Result<(Intermediate, Vec<(RelSet, u64)>), ExecutionError> {
+    plan.validate_partial(query).map_err(ExecutionError::InvalidPlan)?;
+    let guard = ExecGuard::new(options);
+    crate::pipeline::run_plan(db, query, plan, build_size_hint, options, &guard, premat)
 }
 
 #[cfg(test)]

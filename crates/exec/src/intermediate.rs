@@ -198,6 +198,60 @@ impl Intermediate {
     }
 }
 
+/// A store of materialised intermediates keyed by the relation set they
+/// cover — the "virtual base relations" of adaptive execution.  The pipeline
+/// engine consults it while compiling: a subtree whose relation set is
+/// stored is served from the store instead of being re-executed, so a
+/// re-planned remainder resumes on already-done work.
+#[derive(Debug, Default)]
+pub struct Materialized {
+    map: std::collections::HashMap<RelSet, Intermediate>,
+}
+
+impl Materialized {
+    /// An empty store.
+    pub fn new() -> Self {
+        Materialized::default()
+    }
+
+    /// Stores `intermediate` under its relation set, dropping any stored
+    /// strict subset (a superset subsumes its parts: once `{a,b}` is
+    /// materialised, `{a}` can never be consulted again because compilation
+    /// stops at the outermost stored set).
+    pub fn insert(&mut self, intermediate: Intermediate) {
+        let set = intermediate.rel_set();
+        self.map.retain(|s, _| !s.is_subset_of(set) || *s == set);
+        self.map.insert(set, intermediate);
+    }
+
+    /// The stored intermediate covering exactly `set`, if any.
+    pub fn get(&self, set: RelSet) -> Option<&Intermediate> {
+        self.map.get(&set)
+    }
+
+    /// True if an intermediate covering exactly `set` is stored.
+    pub fn contains(&self, set: RelSet) -> bool {
+        self.map.contains_key(&set)
+    }
+
+    /// The stored relation sets, sorted for deterministic iteration.
+    pub fn sets(&self) -> Vec<RelSet> {
+        let mut sets: Vec<RelSet> = self.map.keys().copied().collect();
+        sets.sort_unstable();
+        sets
+    }
+
+    /// Number of stored intermediates.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,5 +339,34 @@ mod tests {
         assert_eq!(one, vec![0..10]);
         let empty = Intermediate::empty(vec![0]);
         assert_eq!(empty.morsels(4).count(), 0);
+    }
+
+    #[test]
+    fn materialized_store_prunes_subsumed_sets() {
+        let mut mat = Materialized::new();
+        assert!(mat.is_empty());
+        mat.insert(Intermediate::from_scan(0, vec![1, 2]));
+        mat.insert(Intermediate::from_scan(2, vec![3]));
+        assert_eq!(mat.len(), 2);
+        assert!(mat.contains(RelSet::single(0)));
+        assert_eq!(mat.get(RelSet::single(0)).unwrap().len(), 2);
+        assert!(mat.get(RelSet::single(1)).is_none());
+
+        // Inserting {0,1} subsumes {0} but leaves {2} alone.
+        let mut joined = Intermediate::empty(vec![0, 1]);
+        joined.push_tuple(&[1, 9]);
+        mat.insert(joined);
+        assert_eq!(mat.len(), 2);
+        assert!(!mat.contains(RelSet::single(0)));
+        assert!(mat.contains(RelSet::from_iter([0, 1])));
+        assert!(mat.contains(RelSet::single(2)));
+        assert_eq!(mat.sets(), vec![RelSet::from_iter([0, 1]), RelSet::single(2)]);
+
+        // Re-inserting the same set replaces it without self-pruning.
+        let mut replacement = Intermediate::empty(vec![0, 1]);
+        replacement.push_tuple(&[4, 5]);
+        replacement.push_tuple(&[6, 7]);
+        mat.insert(replacement);
+        assert_eq!(mat.get(RelSet::from_iter([0, 1])).unwrap().len(), 2);
     }
 }

@@ -36,9 +36,9 @@ pub mod pipeline;
 pub mod truecard;
 
 pub use executor::{
-    default_threads, execute_plan, ExecutionError, ExecutionOptions, ExecutionResult,
-    DEFAULT_MORSEL_SIZE,
+    default_threads, execute_plan, execute_plan_with, materialize_plan, AdaptiveOptions,
+    ExecutionError, ExecutionOptions, ExecutionResult, DEFAULT_MORSEL_SIZE,
 };
 pub use hashtable::ChainedHashTable;
-pub use intermediate::Intermediate;
+pub use intermediate::{Intermediate, Materialized};
 pub use truecard::{true_cardinalities, true_cardinalities_batch, TrueCardinalityOptions};

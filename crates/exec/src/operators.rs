@@ -462,8 +462,9 @@ pub struct IndexProbeOp<'a> {
 /// Plain nested-loop probe: each flowing (outer) tuple is compared against
 /// every tuple of the materialised inner side, output is `flowing ++ inner`.
 pub struct NlProbeOp<'a> {
-    /// Materialised inner-side intermediate.
-    pub inner: Intermediate,
+    /// Materialised inner-side intermediate (borrowed when it was already
+    /// materialised by an earlier adaptive round).
+    pub inner: BuildSide<'a>,
     /// All keys: (flowing-side reader, inner-side reader).
     pub keys: Vec<(ColReader<'a>, ColReader<'a>)>,
     /// Output tuple width.
@@ -571,11 +572,12 @@ impl PipelineOp<'_> {
                 }
             }
             PipelineOp::Nl(op) => {
-                let inner_width = op.inner.width();
+                let inner = op.inner.get();
+                let inner_width = inner.width();
                 for tuple in input.chunks_exact(in_width.max(1)) {
                     guard.poll()?;
-                    for c in 0..op.inner.chunk_count() {
-                        for inner_tuple in op.inner.chunk(c).chunks_exact(inner_width.max(1)) {
+                    for c in 0..inner.chunk_count() {
+                        for inner_tuple in inner.chunk(c).chunks_exact(inner_width.max(1)) {
                             ticker.tick()?;
                             let all_eq = op.keys.iter().all(|(f, i)| {
                                 matches!((f.get(tuple), i.get(inner_tuple)), (Some(a), Some(b)) if a == b)

@@ -27,7 +27,7 @@ use qob_plan::{JoinAlgorithm, JoinKey, PhysicalPlan, QuerySpec, RelSet};
 use qob_storage::{ColumnId, Database, RowId, Table};
 
 use crate::executor::{ExecutionError, ExecutionOptions};
-use crate::intermediate::Intermediate;
+use crate::intermediate::{Intermediate, Materialized};
 use crate::operators::{
     build_hash_table, merge_join, BuildSide, ColReader, CompiledFilter, ExecGuard, HashProbeOp,
     IndexProbeOp, NlProbeOp, PipelineOp, Ticker,
@@ -70,8 +70,11 @@ struct Pipeline<'a> {
     out_rels: Vec<usize>,
 }
 
-/// Executes a physical plan and reports (result rows, operator
-/// cardinalities in the interpreter's historical post-order).
+/// Executes a physical plan and reports (materialised output, operator
+/// cardinalities in the interpreter's historical post-order).  Subtrees
+/// whose relation set is stored in `premat` are served from the store
+/// instead of re-executing (their internal joins report 0 — they did not
+/// run here).
 pub(crate) fn run_plan(
     db: &Database,
     query: &QuerySpec,
@@ -79,20 +82,21 @@ pub(crate) fn run_plan(
     hint: &dyn Fn(RelSet) -> f64,
     options: &ExecutionOptions,
     guard: &ExecGuard,
-) -> Result<(u64, Vec<(RelSet, u64)>), ExecutionError> {
+    premat: &Materialized,
+) -> Result<(Intermediate, Vec<(RelSet, u64)>), ExecutionError> {
     let mut card_order = Vec::new();
     collect_card_order(plan, &mut card_order);
     let card_index: HashMap<RelSet, usize> =
         card_order.iter().enumerate().map(|(i, set)| (*set, i)).collect();
     let counters: Vec<AtomicU64> = card_order.iter().map(|_| AtomicU64::new(0)).collect();
-    let engine = Engine { db, query, options, guard, hint, card_index, counters };
+    let engine = Engine { db, query, options, guard, hint, card_index, counters, premat };
     let out = engine.exec_node(plan)?;
     let cards = card_order
         .into_iter()
         .zip(&engine.counters)
         .map(|(set, c)| (set, c.load(Ordering::Relaxed)))
         .collect();
-    Ok((out.len() as u64, cards))
+    Ok((out, cards))
 }
 
 /// The historical cardinality reporting order: joins in post-order,
@@ -113,6 +117,8 @@ struct Engine<'a> {
     hint: &'a dyn Fn(RelSet) -> f64,
     card_index: HashMap<RelSet, usize>,
     counters: Vec<AtomicU64>,
+    /// Already-materialised subtree outputs (adaptive resume).
+    premat: &'a Materialized,
 }
 
 impl<'a> Engine<'a> {
@@ -141,9 +147,28 @@ impl<'a> Engine<'a> {
         *self.card_index.get(&set).expect("join relset registered at plan walk")
     }
 
+    /// The materialised output of a breaker child: borrowed straight from
+    /// the pre-materialised store when an earlier adaptive round already
+    /// produced it, executed (and owned) otherwise.
+    fn node_input(&self, plan: &'a PhysicalPlan) -> Result<BuildSide<'a>, ExecutionError> {
+        match self.premat.get(plan.rels()) {
+            Some(done) => Ok(BuildSide::Borrowed(done)),
+            None => Ok(BuildSide::Owned(self.exec_node(plan)?)),
+        }
+    }
+
     /// Decomposes `plan` into its top pipeline, materialising every breaker
-    /// it depends on.
+    /// it depends on.  A subtree whose output is already in the
+    /// pre-materialised store becomes a borrowed source directly — the
+    /// engine never descends into it.
     fn compile(&self, plan: &'a PhysicalPlan) -> Result<Pipeline<'a>, ExecutionError> {
+        if let Some(done) = self.premat.get(plan.rels()) {
+            return Ok(Pipeline {
+                source: Source::MatRef(done),
+                ops: Vec::new(),
+                out_rels: done.rels().to_vec(),
+            });
+        }
         match plan {
             PhysicalPlan::Scan { rel } => {
                 let relation = &self.query.relations[*rel];
@@ -161,27 +186,34 @@ impl<'a> Engine<'a> {
                 JoinAlgorithm::Hash => {
                     let first = *keys.first().ok_or(ExecutionError::CrossProduct)?;
                     // The probe (right) side continues the pipeline; the
-                    // build (left) side is a breaker.
+                    // build (left) side is a breaker — borrowed straight
+                    // from the store when it was already materialised.
                     let mut p = self.compile(right)?;
-                    let build = self.exec_node(left)?;
-                    let estimate = (self.hint)(build.rel_set());
-                    let build_key = self.reader(build.rels(), first.left_rel, first.left_column)?;
-                    let table =
-                        build_hash_table(&build, build_key, estimate, self.options, self.guard)?;
+                    let build = self.node_input(left)?;
+                    let estimate = (self.hint)(build.get().rel_set());
+                    let build_rels = build.get().rels().to_vec();
+                    let build_key = self.reader(&build_rels, first.left_rel, first.left_column)?;
+                    let table = build_hash_table(
+                        build.get(),
+                        build_key,
+                        estimate,
+                        self.options,
+                        self.guard,
+                    )?;
                     let probe = self.reader(&p.out_rels, first.right_rel, first.right_column)?;
                     let rest = keys[1..]
                         .iter()
                         .map(|k| {
                             Ok((
-                                self.reader(build.rels(), k.left_rel, k.left_column)?,
+                                self.reader(&build_rels, k.left_rel, k.left_column)?,
                                 self.reader(&p.out_rels, k.right_rel, k.right_column)?,
                             ))
                         })
                         .collect::<Result<Vec<_>, ExecutionError>>()?;
-                    let mut out_rels = build.rels().to_vec();
+                    let mut out_rels = build_rels;
                     out_rels.extend_from_slice(&p.out_rels);
                     p.ops.push(PipelineOp::Hash(HashProbeOp {
-                        build: BuildSide::Owned(build),
+                        build,
                         table,
                         probe,
                         rest,
@@ -241,18 +273,19 @@ impl<'a> Engine<'a> {
                     // The outer (left) side continues the pipeline; the inner
                     // side materialises.
                     let mut p = self.compile(left)?;
-                    let inner = self.exec_node(right)?;
+                    let inner = self.node_input(right)?;
+                    let inner_rels = inner.get().rels().to_vec();
                     let key_readers = keys
                         .iter()
                         .map(|k| {
                             Ok((
                                 self.reader(&p.out_rels, k.left_rel, k.left_column)?,
-                                self.reader(inner.rels(), k.right_rel, k.right_column)?,
+                                self.reader(&inner_rels, k.right_rel, k.right_column)?,
                             ))
                         })
                         .collect::<Result<Vec<_>, ExecutionError>>()?;
                     let mut out_rels = p.out_rels.clone();
-                    out_rels.extend_from_slice(inner.rels());
+                    out_rels.extend_from_slice(&inner_rels);
                     p.ops.push(PipelineOp::Nl(NlProbeOp {
                         inner,
                         keys: key_readers,
@@ -264,26 +297,28 @@ impl<'a> Engine<'a> {
                 }
                 JoinAlgorithm::SortMerge => {
                     let first = *keys.first().ok_or(ExecutionError::CrossProduct)?;
-                    // Both sides are breakers; the merge output becomes a new
+                    // Both sides are breakers (borrowed from the store when
+                    // already materialised); the merge output becomes a new
                     // pipeline source.
-                    let l = self.exec_node(left)?;
-                    let r = self.exec_node(right)?;
-                    let lkey = self.reader(l.rels(), first.left_rel, first.left_column)?;
-                    let rkey = self.reader(r.rels(), first.right_rel, first.right_column)?;
+                    let l = self.node_input(left)?;
+                    let r = self.node_input(right)?;
+                    let (li, ri) = (l.get(), r.get());
+                    let lkey = self.reader(li.rels(), first.left_rel, first.left_column)?;
+                    let rkey = self.reader(ri.rels(), first.right_rel, first.right_column)?;
                     let rest = keys[1..]
                         .iter()
                         .map(|k| {
                             Ok((
-                                self.reader(l.rels(), k.left_rel, k.left_column)?,
-                                self.reader(r.rels(), k.right_rel, k.right_column)?,
+                                self.reader(li.rels(), k.left_rel, k.left_column)?,
+                                self.reader(ri.rels(), k.right_rel, k.right_column)?,
                             ))
                         })
                         .collect::<Result<Vec<_>, ExecutionError>>()?;
-                    let mut out_rels = l.rels().to_vec();
-                    out_rels.extend_from_slice(r.rels());
+                    let mut out_rels = li.rels().to_vec();
+                    out_rels.extend_from_slice(ri.rels());
                     let out = merge_join(
-                        &l,
-                        &r,
+                        li,
+                        ri,
                         lkey,
                         rkey,
                         &rest,
@@ -606,6 +641,73 @@ mod tests {
             assert_eq!(all_tuples(&a), all_tuples(&b), "rehash={rehash}");
             assert!(b.chunk_count() > 1, "parallel output really is chunked");
         }
+    }
+
+    #[test]
+    fn prematerialized_subtrees_resume_identically() {
+        use crate::executor::{execute_plan, execute_plan_with, materialize_plan};
+        use qob_plan::{JoinAlgorithm, PhysicalPlan};
+        let (db, q) = setup();
+        let plan = PhysicalPlan::join(
+            JoinAlgorithm::Hash,
+            PhysicalPlan::scan(0),
+            PhysicalPlan::scan(1),
+            vec![key01()],
+        );
+        let options = opts(1, true);
+        let hint = |_: RelSet| 100.0;
+        let plain = execute_plan(&db, &q, &plan, &hint, &options).unwrap();
+
+        // Materialise the build side as its own step, then resume.
+        let mut mat = Materialized::new();
+        let (build, cards) =
+            materialize_plan(&db, &q, &PhysicalPlan::scan(0), &hint, &options, &mat).unwrap();
+        assert!(cards.is_empty(), "a scan has no join operators");
+        assert_eq!(build.len(), 100);
+        mat.insert(build);
+        let resumed = execute_plan_with(&db, &q, &plan, &hint, &options, &mat).unwrap();
+        assert_eq!(plain.rows, resumed.rows);
+        assert_eq!(plain.operator_cardinalities, resumed.operator_cardinalities);
+
+        // A fully pre-materialised probe side works too (both children from
+        // the store), in parallel as well as sequentially.
+        let (probe, _) =
+            materialize_plan(&db, &q, &PhysicalPlan::scan(1), &hint, &options, &mat).unwrap();
+        mat.insert(probe);
+        for threads in [1usize, 4] {
+            let options = opts(threads, true);
+            let resumed = execute_plan_with(&db, &q, &plan, &hint, &options, &mat).unwrap();
+            assert_eq!(plain.rows, resumed.rows, "threads={threads}");
+        }
+
+        // Joins inside a pre-materialised subtree report 0 (they did not
+        // run): materialise the whole join, resume, and the single join
+        // counter must be 0 while the result rows still flow through.
+        let (whole, whole_cards) = materialize_plan(&db, &q, &plan, &hint, &options, &mat).unwrap();
+        assert_eq!(whole_cards.len(), 1);
+        assert_eq!(whole_cards[0].1, plain.rows);
+        let mut mat = Materialized::new();
+        mat.insert(whole);
+        let served = execute_plan_with(&db, &q, &plan, &hint, &options, &mat).unwrap();
+        assert_eq!(served.rows, plain.rows);
+        assert_eq!(served.operator_cardinalities[0].1, 0, "join was served, not re-executed");
+    }
+
+    #[test]
+    fn materialize_plan_rejects_malformed_subplans() {
+        use crate::executor::materialize_plan;
+        use qob_plan::{JoinAlgorithm, PhysicalPlan};
+        let (db, q) = setup();
+        let dup = PhysicalPlan::join(
+            JoinAlgorithm::Hash,
+            PhysicalPlan::scan(0),
+            PhysicalPlan::scan(0),
+            vec![key01()],
+        );
+        let options = opts(1, true);
+        let err =
+            materialize_plan(&db, &q, &dup, &|_| 1.0, &options, &Materialized::new()).unwrap_err();
+        assert!(matches!(err, ExecutionError::InvalidPlan(_)), "got {err:?}");
     }
 
     #[test]

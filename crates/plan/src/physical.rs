@@ -211,6 +211,55 @@ impl PhysicalPlan {
         }
     }
 
+    /// The unique subtree producing exactly the relation set `set`, if one
+    /// exists.  (Relations appear at most once in a valid plan, so at most
+    /// one subtree can cover a given set.)
+    pub fn subplan(&self, set: RelSet) -> Option<&PhysicalPlan> {
+        if self.rels() == set {
+            return Some(self);
+        }
+        match self {
+            PhysicalPlan::Scan { .. } => None,
+            PhysicalPlan::Join { left, right, .. } => {
+                if set.is_subset_of(left.rels()) {
+                    left.subplan(set)
+                } else if set.is_subset_of(right.rels()) {
+                    right.subplan(set)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Replaces the subtree producing exactly `set` with `replacement`
+    /// (which must produce the same relation set), returning the spliced
+    /// plan — the structural primitive of adaptive re-optimization: an
+    /// already-executed prefix is grafted unchanged into a re-planned
+    /// remainder.  Returns `None` if no subtree covers exactly `set` or the
+    /// replacement covers a different set.
+    pub fn splice(&self, set: RelSet, replacement: &PhysicalPlan) -> Option<PhysicalPlan> {
+        if replacement.rels() != set {
+            return None;
+        }
+        if self.rels() == set {
+            return Some(replacement.clone());
+        }
+        match self {
+            PhysicalPlan::Scan { .. } => None,
+            PhysicalPlan::Join { algorithm, left, right, keys } => {
+                let (new_left, new_right) = if set.is_subset_of(left.rels()) {
+                    (left.splice(set, replacement)?, right.as_ref().clone())
+                } else if set.is_subset_of(right.rels()) {
+                    (left.as_ref().clone(), right.splice(set, replacement)?)
+                } else {
+                    return None;
+                };
+                Some(PhysicalPlan::join(*algorithm, new_left, new_right, keys.clone()))
+            }
+        }
+    }
+
     /// Checks structural invariants of the plan against its query:
     ///
     /// * every relation appears exactly once,
@@ -225,8 +274,21 @@ impl PhysicalPlan {
                 query.all_rels()
             ));
         }
-        if self.leaf_count() != query.rel_count() {
+        self.validate_partial(query)
+    }
+
+    /// The invariants of [`PhysicalPlan::validate`] except full coverage of
+    /// the query's relations — the check that applies to a *subplan* (a
+    /// prefix materialised by adaptive execution covers only part of the
+    /// query).
+    pub fn validate_partial(&self, query: &QuerySpec) -> Result<(), String> {
+        if self.leaf_count() != self.rels().len() {
             return Err("a relation appears more than once in the plan".to_owned());
+        }
+        if let Some(max) = self.rels().iter().max() {
+            if max >= query.rel_count() {
+                return Err(format!("plan references relation {max} beyond the query"));
+            }
         }
         let mut err = None;
         self.visit(&mut |node| {
@@ -494,6 +556,76 @@ mod tests {
             vec![key(0, 0)],
         );
         assert!(dup.validate(&q).is_err());
+    }
+
+    #[test]
+    fn subplan_finds_the_unique_covering_subtree() {
+        let p = bushy(); // (0 ⋈ 1) ⋈ (2 ⋈ 3)
+        assert_eq!(p.subplan(p.rels()).unwrap(), &p);
+        let left = p.subplan(RelSet::from_iter([0, 1])).unwrap();
+        assert_eq!(left.rels(), RelSet::from_iter([0, 1]));
+        assert_eq!(p.subplan(RelSet::single(3)).unwrap(), &PhysicalPlan::scan(3));
+        assert!(p.subplan(RelSet::from_iter([1, 2])).is_none(), "no subtree covers {{1,2}}");
+        assert!(PhysicalPlan::scan(0).subplan(RelSet::single(1)).is_none());
+    }
+
+    #[test]
+    fn splice_replaces_a_subtree_in_place() {
+        let q = chain4();
+        let p = bushy(); // (0 ⋈ 1) ⋈ (2 ⋈ 3)
+                         // Replace the right subtree {2,3} with the flipped build order.
+        let flipped = PhysicalPlan::join(
+            JoinAlgorithm::SortMerge,
+            PhysicalPlan::scan(3),
+            PhysicalPlan::scan(2),
+            vec![key(3, 2)],
+        );
+        let spliced = p.splice(RelSet::from_iter([2, 3]), &flipped).unwrap();
+        assert!(spliced.validate(&q).is_ok());
+        assert_eq!(spliced.subplan(RelSet::from_iter([2, 3])).unwrap(), &flipped);
+        // The untouched left prefix survives byte-for-byte.
+        assert_eq!(
+            spliced.subplan(RelSet::from_iter([0, 1])),
+            p.subplan(RelSet::from_iter([0, 1]))
+        );
+        // Splicing the root replaces everything.
+        let whole = p.splice(p.rels(), &p).unwrap();
+        assert_eq!(whole, p);
+        // Mismatched relation sets and absent subtrees are rejected.
+        assert!(p.splice(RelSet::from_iter([2, 3]), &PhysicalPlan::scan(2)).is_none());
+        assert!(p.splice(RelSet::from_iter([1, 2]), &flipped).is_none());
+    }
+
+    #[test]
+    fn partial_validation_accepts_prefixes_and_rejects_malformed_trees() {
+        let q = chain4();
+        // A two-relation prefix of a four-relation query: full validation
+        // rejects it (coverage), partial validation accepts it.
+        let prefix = PhysicalPlan::join(
+            JoinAlgorithm::Hash,
+            PhysicalPlan::scan(0),
+            PhysicalPlan::scan(1),
+            vec![key(0, 1)],
+        );
+        assert!(prefix.validate(&q).is_err());
+        assert!(prefix.validate_partial(&q).is_ok());
+        // Still rejects duplicate relations and cross products.
+        let dup = PhysicalPlan::join(
+            JoinAlgorithm::Hash,
+            PhysicalPlan::scan(0),
+            PhysicalPlan::scan(0),
+            vec![key(0, 0)],
+        );
+        assert!(dup.validate_partial(&q).is_err());
+        let cross = PhysicalPlan::join(
+            JoinAlgorithm::Hash,
+            PhysicalPlan::scan(0),
+            PhysicalPlan::scan(1),
+            vec![],
+        );
+        assert!(cross.validate_partial(&q).is_err());
+        // And relations beyond the query.
+        assert!(PhysicalPlan::scan(9).validate_partial(&q).is_err());
     }
 
     #[test]

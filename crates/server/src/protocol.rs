@@ -151,6 +151,24 @@ pub fn report_to_json(report: &QueryReport) -> Json {
             })
             .collect();
         pairs.push(("operators", Json::Arr(operators)));
+        pairs.push(("replan_count", Json::Num(exec.replans.len() as f64)));
+        if !exec.replans.is_empty() {
+            let replans = exec
+                .replans
+                .iter()
+                .map(|r| {
+                    Json::obj(vec![
+                        ("after", Json::str(r.after.clone())),
+                        ("estimated", Json::Num(r.estimated)),
+                        ("observed", Json::Num(r.observed as f64)),
+                        ("factor", Json::Num(r.factor)),
+                        ("changed", Json::Bool(r.changed)),
+                        ("resumed_plan", Json::str(r.resumed_plan.clone())),
+                    ])
+                })
+                .collect();
+            pairs.push(("replans", Json::Arr(replans)));
+        }
     }
     Json::obj(pairs)
 }
@@ -201,6 +219,7 @@ pub fn stats_response(
         ("indexes", Json::Num(ctx.db().index_count() as f64)),
         ("workload_queries", Json::Num(ctx.queries().len() as f64)),
         ("queries_served", Json::Num(server.queries_served() as f64)),
+        ("replans_total", Json::Num(server.replans_total() as f64)),
         ("truth_cached", Json::Num(ctx.truth_cache_len() as f64)),
         ("active_connections", Json::Num(active_connections as f64)),
         ("uptime_ms", Json::Num(uptime.as_millis() as f64)),

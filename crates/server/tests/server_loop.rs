@@ -95,6 +95,67 @@ fn full_request_catalogue_over_one_connection() {
 }
 
 #[test]
+fn wire_sessions_can_match_every_cli_execution_option() {
+    // The year filter makes DBMS C's magic constants misestimate `t`, so
+    // the adaptive divergence check reliably fires at a 1.5x threshold.
+    const FILTERED: &str = "SELECT COUNT(*) FROM title t, movie_companies mc, company_name cn \
+                            WHERE mc.movie_id = t.id AND mc.company_id = cn.id \
+                              AND cn.country_code = '[us]' AND t.production_year > 2000";
+    let (handle, addr) = start_server();
+    let mut client = Client::connect_with_retry(&addr, Duration::from_secs(5)).unwrap();
+
+    // Every execution option the CLI exposes is settable over the wire,
+    // including morsel_size (historically missing) and adaptivity.
+    for (option, value) in [
+        ("threads", "1"),
+        ("morsel_size", "64"),
+        ("adaptive", "true"),
+        ("adaptive_threshold", "1.5"),
+        ("max_replans", "2"),
+        ("estimator", "dbms-c"),
+    ] {
+        let ack =
+            client.request(&Request::Set { option: option.into(), value: value.into() }).unwrap();
+        assert_eq!(ack.get("ok").unwrap().as_bool(), Some(true), "set {option}={value}");
+    }
+    let rejected = client
+        .request(&Request::Set { option: "morsel_size".into(), value: "tiny".into() })
+        .unwrap();
+    assert_eq!(rejected.get("ok").unwrap().as_bool(), Some(false));
+
+    // An adaptive query reports its re-plan rounds; the stats gauge counts
+    // them server-wide.
+    let response = client.query(FILTERED).unwrap();
+    assert_eq!(response.get("ok").unwrap().as_bool(), Some(true), "{response}");
+    let result = &response.get("results").unwrap().as_array().unwrap()[0];
+    let replan_count = result.get("replan_count").unwrap().as_u64().unwrap();
+    assert!(replan_count >= 1, "dbms-c at a 1.5x threshold must diverge");
+    let replans = result.get("replans").unwrap().as_array().unwrap();
+    assert_eq!(replans.len() as u64, replan_count);
+    assert!(replans[0].get("factor").unwrap().as_f64().unwrap() > 1.5);
+    assert!(replans[0].get("after").unwrap().as_str().unwrap().starts_with('{'));
+
+    let stats = client.request(&Request::Stats).unwrap();
+    assert_eq!(stats.get("replans_total").unwrap().as_u64(), Some(replan_count));
+
+    // A non-adaptive session answers with the same rows and no rounds.
+    let mut plain = Client::connect(&addr).unwrap();
+    plain.request(&Request::Set { option: "threads".into(), value: "1".into() }).unwrap();
+    let plain_response = plain.query(FILTERED).unwrap();
+    let plain_result = &plain_response.get("results").unwrap().as_array().unwrap()[0];
+    assert_eq!(plain_result.get("replan_count").unwrap().as_u64(), Some(0));
+    assert!(plain_result.get("replans").is_none());
+    assert_eq!(
+        plain_result.get("rows").unwrap().as_u64(),
+        result.get("rows").unwrap().as_u64(),
+        "adaptivity must not change wire answers"
+    );
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
 fn sessions_are_isolated_across_connections() {
     let (handle, addr) = start_server();
     let mut a = Client::connect(&addr).unwrap();

@@ -65,7 +65,13 @@ fn figure3_errors_grow_with_join_count_and_skew_to_underestimation() {
 #[test]
 fn figure4_tpch_is_easier_than_job() {
     let ctx = ctx();
-    let (job, tpch) = tpch_contrast(&ctx, &["6a", "16d", "17b", "25c"], Scale::tiny(), 4);
+    let contrast = tpch_contrast(&ctx, &["6a", "16d", "17b", "25c"], Scale::tiny(), 4);
+    let (job, tpch) = (contrast.job, contrast.tpch);
+    assert!(
+        contrast.tpch_truth_failures.is_empty(),
+        "tiny-scale TPC-H truth extraction must succeed: {:?}",
+        contrast.tpch_truth_failures
+    );
     assert!(!job.is_empty());
     assert_eq!(tpch.len(), 3);
     let worst_error = |series: &[(String, Vec<Vec<f64>>)]| {

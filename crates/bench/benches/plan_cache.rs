@@ -1,0 +1,75 @@
+//! Criterion micro-benchmarks for the serving hot path: prepare once,
+//! execute N times — the plan-cache hit path (fingerprint + fence probe +
+//! execute) against the cold path (full parse + optimize + execute), and
+//! the planning-only split showing what the cache actually saves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qob_core::{BenchmarkContext, ServerContext, SessionOptions};
+use qob_datagen::Scale;
+use qob_sql::ParamValue;
+use qob_storage::IndexConfig;
+
+/// A 9-relation join: exhaustive DP dominates a repeat execution at tiny
+/// scale — the regime plan caching exists for.
+const NINE_WAY: &str = "SELECT COUNT(*) FROM title t, movie_info mi, info_type it, \
+                        cast_info ci, name n, movie_companies mc, company_name cn, \
+                        company_type ct, kind_type kt \
+                        WHERE mi.movie_id = t.id AND mi.info_type_id = it.id \
+                          AND ci.movie_id = t.id AND ci.person_id = n.id \
+                          AND mc.movie_id = t.id AND mc.company_id = cn.id \
+                          AND mc.company_type_id = ct.id AND t.kind_id = kt.id \
+                          AND t.production_year > ?";
+
+fn bench_plan_cache(c: &mut Criterion) {
+    let ctx = BenchmarkContext::new(Scale::tiny(), IndexConfig::PrimaryAndForeignKey).unwrap();
+    let server = ServerContext::with_defaults(
+        ctx,
+        SessionOptions { threads: 1, ..SessionOptions::default() },
+    );
+
+    let mut group = c.benchmark_group("plan_cache");
+    group.sample_size(10);
+
+    // Cold path: parse + optimize + execute every time (cache off).
+    let mut cold = server.session();
+    let sql = NINE_WAY.replace('?', "2000");
+    group.bench_function(BenchmarkId::from_parameter("cold_query"), |b| {
+        b.iter(|| std::hint::black_box(cold.run_script(&sql).unwrap()))
+    });
+
+    // Hit path: prepared statement + warm cache — parse and optimize are
+    // both skipped on every iteration after the first.
+    let mut warm = server.session();
+    warm.options.set("plan_cache", "true").unwrap();
+    warm.prepare("q", NINE_WAY).unwrap();
+    warm.execute_prepared("q", &[ParamValue::Int(2000)]).unwrap();
+    group.bench_function(BenchmarkId::from_parameter("prepared_hit"), |b| {
+        b.iter(|| {
+            std::hint::black_box(warm.execute_prepared("q", &[ParamValue::Int(2000)]).unwrap())
+        })
+    });
+
+    // Planning-only split: what a hit actually skips.
+    let mut explain_cold = server.session();
+    explain_cold.options.execute = false;
+    group.bench_function(BenchmarkId::from_parameter("cold_plan_only"), |b| {
+        b.iter(|| std::hint::black_box(explain_cold.run_script(&sql).unwrap()))
+    });
+    let mut explain_warm = server.session();
+    explain_warm.options.execute = false;
+    explain_warm.options.set("plan_cache", "true").unwrap();
+    explain_warm.prepare("q", NINE_WAY).unwrap();
+    explain_warm.execute_prepared("q", &[ParamValue::Int(2000)]).unwrap();
+    group.bench_function(BenchmarkId::from_parameter("hit_plan_only"), |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                explain_warm.execute_prepared("q", &[ParamValue::Int(2000)]).unwrap(),
+            )
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan_cache);
+criterion_main!(benches);

@@ -1,0 +1,395 @@
+//! The cardinality-fenced plan cache.
+//!
+//! The cache maps a structural [`Fingerprint`] to a small **variant set** of
+//! optimized physical plans.  Each [`CachedVariant`] stores, next to the plan
+//! itself, the per-subplan cardinality estimates it was optimized under —
+//! because a cached plan is only a good plan *for the estimates that chose
+//! it* (the paper's central result: plan quality is dominated by cardinality
+//! estimates).
+//!
+//! On lookup the caller supplies the estimates the current parameters imply
+//! (via a closure over the session's estimator), and the cache applies the
+//! **reuse fence**: a variant is reused only if *every* stored estimate is
+//! within a q-error band of the fresh one.  A parameter shift that moves any
+//! subplan's estimate past the fence forces a re-optimization, whose result
+//! is installed as a new variant of the same fingerprint — so a statement
+//! whose best join order genuinely depends on its parameters ends up with one
+//! plan per parameter regime instead of one stale plan for all of them.
+//!
+//! Entries are evicted LRU by fingerprint; variants within an entry are
+//! kept most-recently-used-first and capped at
+//! [`PlanCache::MAX_VARIANTS`].
+
+use std::collections::HashMap;
+
+use qob_cardest::q_error;
+use qob_plan::{PhysicalPlan, RelSet};
+
+use crate::fingerprint::Fingerprint;
+
+/// One cached plan plus the estimates that justified it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedVariant {
+    /// The optimized physical plan.
+    pub plan: PhysicalPlan,
+    /// The optimizer's cost for the plan at optimize time.
+    pub cost: f64,
+    /// The cardinality estimate of every subplan (each operator's output
+    /// set, scans included) at optimize time — the fence's baseline.
+    pub estimates: Vec<(RelSet, f64)>,
+}
+
+impl CachedVariant {
+    /// Captures a variant from an optimized plan: records `estimate(set)`
+    /// for every subplan set the plan produces.
+    pub fn capture(plan: &PhysicalPlan, cost: f64, estimate: &dyn Fn(RelSet) -> f64) -> Self {
+        let mut estimates = Vec::with_capacity(2 * plan.leaf_count());
+        plan.visit(&mut |node| {
+            let set = node.rels();
+            estimates.push((set, estimate(set)));
+        });
+        CachedVariant { plan: plan.clone(), cost, estimates }
+    }
+
+    /// The worst q-error between the stored estimates and the fresh ones a
+    /// new parameter binding implies — the fence's decision value.
+    pub fn divergence(&self, estimate: &dyn Fn(RelSet) -> f64) -> f64 {
+        let mut worst: f64 = 1.0;
+        for &(set, cached) in &self.estimates {
+            worst = worst.max(q_error(cached, estimate(set)));
+        }
+        worst
+    }
+}
+
+/// What a cache probe concluded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lookup {
+    /// A cached variant passed the fence and can be executed as-is.
+    Hit {
+        /// The reusable variant (cloned out of the cache).
+        variant: CachedVariant,
+        /// Its worst estimate divergence (≤ the fence).
+        divergence: f64,
+    },
+    /// The fingerprint is cached but every variant diverged past the fence:
+    /// the caller must re-optimize and [`PlanCache::install`] the result.
+    FenceRejected {
+        /// The smallest divergence over the rejected variants (how close
+        /// the best one came).
+        divergence: f64,
+    },
+    /// The fingerprint has never been cached (or was evicted).
+    Miss,
+}
+
+/// Monotonic event counters, readable at any time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups that returned a reusable plan.
+    pub hits: u64,
+    /// Lookups for a fingerprint the cache did not hold.
+    pub misses: u64,
+    /// Lookups where every cached variant diverged past the fence.
+    pub fence_rejections: u64,
+    /// Fingerprint entries evicted by the LRU policy.
+    pub evictions: u64,
+    /// Variants installed (fresh optimizations added to the cache).
+    pub installs: u64,
+}
+
+struct Entry {
+    /// Most-recently-used first.
+    variants: Vec<CachedVariant>,
+    /// LRU stamp: the tick of the last lookup hit or install.
+    stamp: u64,
+}
+
+/// An LRU plan cache with a q-error reuse fence.
+///
+/// The cache itself is single-threaded (`&mut self`); hosts that share it
+/// across sessions wrap it in a mutex (see `qob-core`).
+pub struct PlanCache {
+    entries: HashMap<Fingerprint, Entry>,
+    capacity: usize,
+    tick: u64,
+    counters: CacheCounters,
+}
+
+impl PlanCache {
+    /// Variants retained per fingerprint: enough for a parameter-sensitive
+    /// statement's few genuine plan regimes, small enough that probing every
+    /// variant stays trivial.
+    pub const MAX_VARIANTS: usize = 4;
+
+    /// The default entry capacity of a server's shared cache.
+    pub const DEFAULT_CAPACITY: usize = 256;
+
+    /// Creates a cache holding at most `capacity` fingerprints (clamped to
+    /// at least 1).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            entries: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// The configured fingerprint capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Resizes the cache, evicting least-recently-used entries if it
+    /// shrinks below the current population.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+        self.evict_to_capacity();
+    }
+
+    /// Number of cached fingerprints.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The event counters so far.
+    pub fn counters(&self) -> CacheCounters {
+        self.counters
+    }
+
+    /// Drops every entry (counters are preserved — they are lifetime
+    /// totals, not a population gauge).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Probes the cache for `key` under the given `fence` (a q-error
+    /// factor ≥ 1): re-estimates each cached variant's subplan
+    /// cardinalities through `estimate` and returns the first variant
+    /// whose worst divergence stays within the fence.
+    pub fn lookup(
+        &mut self,
+        key: Fingerprint,
+        fence: f64,
+        estimate: &dyn Fn(RelSet) -> f64,
+    ) -> Lookup {
+        self.tick += 1;
+        let tick = self.tick;
+        let Some(entry) = self.entries.get_mut(&key) else {
+            self.counters.misses += 1;
+            return Lookup::Miss;
+        };
+        let mut best = f64::INFINITY;
+        for i in 0..entry.variants.len() {
+            let divergence = entry.variants[i].divergence(estimate);
+            if divergence <= fence {
+                entry.stamp = tick;
+                // Move the winning variant to the front: parameter regimes
+                // cluster in time, so the next lookup probes it first.
+                let variant = entry.variants.remove(i);
+                entry.variants.insert(0, variant);
+                self.counters.hits += 1;
+                return Lookup::Hit { variant: entry.variants[0].clone(), divergence };
+            }
+            best = best.min(divergence);
+        }
+        self.counters.fence_rejections += 1;
+        Lookup::FenceRejected { divergence: best }
+    }
+
+    /// Installs a freshly optimized variant for `key`.
+    ///
+    /// If an identical plan is already cached under the key, its estimates
+    /// and cost are refreshed in place (the new parameters' estimates
+    /// become the fence baseline); otherwise the variant is added at the
+    /// front of the set, dropping the least-recently-used variant past
+    /// [`PlanCache::MAX_VARIANTS`].
+    pub fn install(&mut self, key: Fingerprint, variant: CachedVariant) {
+        self.tick += 1;
+        let tick = self.tick;
+        self.counters.installs += 1;
+        let entry =
+            self.entries.entry(key).or_insert_with(|| Entry { variants: Vec::new(), stamp: tick });
+        entry.stamp = tick;
+        if let Some(i) = entry.variants.iter().position(|v| v.plan == variant.plan) {
+            entry.variants.remove(i);
+        }
+        entry.variants.insert(0, variant);
+        entry.variants.truncate(Self::MAX_VARIANTS);
+        self.evict_to_capacity();
+    }
+
+    fn evict_to_capacity(&mut self) {
+        while self.entries.len() > self.capacity {
+            // O(n) scan for the oldest stamp: capacities are hundreds, and
+            // eviction only runs when the cache is full — simplicity beats
+            // an intrusive list here.
+            let Some((&oldest, _)) = self.entries.iter().min_by_key(|(_, e)| e.stamp) else {
+                return;
+            };
+            self.entries.remove(&oldest);
+            self.counters.evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qob_plan::{JoinAlgorithm, JoinKey};
+    use qob_storage::ColumnId;
+
+    fn key(n: u64) -> Fingerprint {
+        Fingerprint(n, n.wrapping_mul(31))
+    }
+
+    fn plan(order: &[usize]) -> PhysicalPlan {
+        let mut iter = order.iter();
+        let mut p = PhysicalPlan::scan(*iter.next().expect("non-empty"));
+        for &rel in iter {
+            let prev = p.rels().iter().next().expect("non-empty");
+            p = PhysicalPlan::join(
+                JoinAlgorithm::Hash,
+                p,
+                PhysicalPlan::scan(rel),
+                vec![JoinKey {
+                    left_rel: prev,
+                    left_column: ColumnId(0),
+                    right_rel: rel,
+                    right_column: ColumnId(0),
+                }],
+            );
+        }
+        p
+    }
+
+    /// An estimate function assigning `base * 10^|set|` rows.
+    fn flat(base: f64) -> impl Fn(RelSet) -> f64 {
+        move |set: RelSet| base * 10f64.powi(set.len() as i32)
+    }
+
+    #[test]
+    fn capture_records_every_subplan() {
+        let p = plan(&[0, 1, 2]);
+        let v = CachedVariant::capture(&p, 42.0, &flat(1.0));
+        // 3 scans + 2 joins.
+        assert_eq!(v.estimates.len(), 5);
+        assert!(v.estimates.iter().any(|(s, e)| s.len() == 3 && *e == 1000.0));
+        assert_eq!(v.divergence(&flat(1.0)), 1.0, "same estimates → no divergence");
+        assert_eq!(v.divergence(&flat(3.0)), 3.0, "uniform 3x shift → q-error 3");
+    }
+
+    #[test]
+    fn miss_then_install_then_hit() {
+        let mut cache = PlanCache::new(8);
+        let est = flat(1.0);
+        assert_eq!(cache.lookup(key(1), 2.0, &est), Lookup::Miss);
+        let v = CachedVariant::capture(&plan(&[0, 1]), 10.0, &est);
+        cache.install(key(1), v.clone());
+        match cache.lookup(key(1), 2.0, &est) {
+            Lookup::Hit { variant, divergence } => {
+                assert_eq!(variant.plan, v.plan);
+                assert_eq!(divergence, 1.0);
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        let c = cache.counters();
+        assert_eq!((c.hits, c.misses, c.installs), (1, 1, 1));
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn fence_rejects_diverged_estimates_and_new_variant_joins_the_set() {
+        let mut cache = PlanCache::new(8);
+        cache.install(key(1), CachedVariant::capture(&plan(&[0, 1]), 10.0, &flat(1.0)));
+        // Fresh estimates 5x off: fence 2 rejects, fence 5 reuses.
+        match cache.lookup(key(1), 2.0, &flat(5.0)) {
+            Lookup::FenceRejected { divergence } => assert_eq!(divergence, 5.0),
+            other => panic!("expected fence rejection, got {other:?}"),
+        }
+        assert_eq!(cache.counters().fence_rejections, 1);
+        assert!(matches!(cache.lookup(key(1), 5.0, &flat(5.0)), Lookup::Hit { .. }));
+
+        // Install the re-optimized plan for the new regime: both variants
+        // now live under one fingerprint and each serves its own regime.
+        cache.install(key(1), CachedVariant::capture(&plan(&[1, 0]), 12.0, &flat(5.0)));
+        let hit_new = cache.lookup(key(1), 2.0, &flat(5.0));
+        let Lookup::Hit { variant, .. } = hit_new else { panic!("got {hit_new:?}") };
+        assert_eq!(variant.plan, plan(&[1, 0]));
+        let hit_old = cache.lookup(key(1), 2.0, &flat(1.0));
+        let Lookup::Hit { variant, .. } = hit_old else { panic!("got {hit_old:?}") };
+        assert_eq!(variant.plan, plan(&[0, 1]));
+    }
+
+    #[test]
+    fn reinstalling_the_same_plan_refreshes_its_baseline() {
+        let mut cache = PlanCache::new(8);
+        cache.install(key(1), CachedVariant::capture(&plan(&[0, 1]), 10.0, &flat(1.0)));
+        cache.install(key(1), CachedVariant::capture(&plan(&[0, 1]), 11.0, &flat(4.0)));
+        // One variant, with the *new* estimates as its fence baseline.
+        match cache.lookup(key(1), 1.5, &flat(4.0)) {
+            Lookup::Hit { variant, divergence } => {
+                assert_eq!(divergence, 1.0);
+                assert_eq!(variant.cost, 11.0);
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        assert!(matches!(cache.lookup(key(1), 1.5, &flat(1.0)), Lookup::FenceRejected { .. }));
+    }
+
+    #[test]
+    fn variant_sets_are_capped_mru_first() {
+        let mut cache = PlanCache::new(8);
+        for i in 0..PlanCache::MAX_VARIANTS + 2 {
+            let order: Vec<usize> = (0..=i + 1).collect();
+            cache.install(key(1), CachedVariant::capture(&plan(&order), i as f64, &flat(1.0)));
+        }
+        // The oldest variants fell off; the newest survives at the front.
+        let Lookup::Hit { variant, .. } = cache.lookup(key(1), 10.0, &flat(1.0)) else {
+            panic!("expected hit")
+        };
+        assert_eq!(variant.plan.leaf_count(), PlanCache::MAX_VARIANTS + 3);
+    }
+
+    #[test]
+    fn lru_eviction_by_fingerprint() {
+        let mut cache = PlanCache::new(2);
+        let est = flat(1.0);
+        cache.install(key(1), CachedVariant::capture(&plan(&[0, 1]), 1.0, &est));
+        cache.install(key(2), CachedVariant::capture(&plan(&[0, 1]), 2.0, &est));
+        // Touch 1 so 2 becomes the LRU.
+        assert!(matches!(cache.lookup(key(1), 2.0, &est), Lookup::Hit { .. }));
+        cache.install(key(3), CachedVariant::capture(&plan(&[0, 1]), 3.0, &est));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.counters().evictions, 1);
+        assert!(matches!(cache.lookup(key(2), 2.0, &est), Lookup::Miss), "2 was evicted");
+        assert!(matches!(cache.lookup(key(1), 2.0, &est), Lookup::Hit { .. }));
+        assert!(matches!(cache.lookup(key(3), 2.0, &est), Lookup::Hit { .. }));
+    }
+
+    #[test]
+    fn capacity_shrink_evicts_and_clear_preserves_counters() {
+        let mut cache = PlanCache::new(4);
+        let est = flat(1.0);
+        for i in 0..4 {
+            cache.install(key(i), CachedVariant::capture(&plan(&[0, 1]), i as f64, &est));
+        }
+        cache.set_capacity(1);
+        assert_eq!(cache.capacity(), 1);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.counters().evictions, 3);
+        // The survivor is the most recently installed.
+        assert!(matches!(cache.lookup(key(3), 2.0, &est), Lookup::Hit { .. }));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.counters().installs, 4, "counters survive clear");
+        assert_eq!(PlanCache::new(0).capacity(), 1, "capacity clamps to 1");
+    }
+}

@@ -1,0 +1,45 @@
+//! # qob-cache
+//!
+//! Prepared statements' runtime half: a **cardinality-fenced plan cache**
+//! for the serve path.
+//!
+//! The paper's central result is that plan quality is dominated by
+//! cardinality estimates — which makes naive plan reuse across parameter
+//! values dangerous: a cached plan is a bet that the estimates it was built
+//! under still hold.  This crate turns that observation into a reuse policy:
+//!
+//! 1. [`fingerprint_query`] computes a structural [`Fingerprint`] of a bound
+//!    `QuerySpec` that is invariant to literal values (automatic literal
+//!    parameterization) but sensitive to everything else — tables, aliases,
+//!    join edges, predicate forms.
+//! 2. [`PlanCache`] maps fingerprints to small variant sets of optimized
+//!    plans, each [`CachedVariant`] carrying the per-subplan cardinality
+//!    estimates it was optimized under.
+//! 3. On each execution with new parameters the cache re-estimates the
+//!    cached plan's subplan cardinalities with the session's estimator and
+//!    reuses only if every estimate stays within a configurable q-error band
+//!    of the cached ones — otherwise the caller re-optimizes and installs
+//!    the new variant.
+//!
+//! ```text
+//!   bound QuerySpec ──fingerprint──▶ cache probe
+//!                                        │
+//!                              ┌─────────┼──────────┐
+//!                            miss   fence reject   hit (q-error ≤ fence)
+//!                              │         │          │
+//!                          optimize  re-optimize  reuse plan
+//!                              │         │          │
+//!                          install    install      execute
+//! ```
+//!
+//! The cache is consumed by `qob-core`'s `Session` (transparent caching in
+//! `run_query`, `prepare`/`execute_prepared`) and surfaces its
+//! [`CacheCounters`] through the server's `stats` message.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod fingerprint;
+
+pub use cache::{CacheCounters, CachedVariant, Lookup, PlanCache};
+pub use fingerprint::{fingerprint_query, Fingerprint};

@@ -1,0 +1,198 @@
+//! Property tests for the structural fingerprint: fuzzing literal values
+//! never changes a fingerprint (literal invariance), while any structural
+//! difference — join graph, predicate forms, columns, operators — always
+//! does (structure sensitivity).
+
+use proptest::prelude::*;
+use qob_cache::fingerprint_query;
+use qob_plan::{BaseRelation, JoinEdge, QuerySpec};
+use qob_storage::{CmpOp, ColumnId, Predicate, TableId};
+
+/// Pools of literal payloads a generated query draws from.  Two queries
+/// built from the same `shape` but different pools are "the same statement
+/// with different parameters".
+struct Literals {
+    ints: Vec<i64>,
+    strs: Vec<String>,
+}
+
+impl Literals {
+    fn int(&self, i: usize) -> i64 {
+        self.ints[i % self.ints.len()]
+    }
+    fn str(&self, i: usize) -> String {
+        self.strs[i % self.strs.len()].clone()
+    }
+}
+
+/// Deterministically builds a connected query whose *structure* is a pure
+/// function of `shape` and whose literal payloads come from `lits`.
+fn build_query(shape: &[u8], lits: &Literals) -> QuerySpec {
+    let rel_count = (shape[0] as usize % 4) + 1;
+    let mut lit_cursor = 0usize;
+    let mut relations = Vec::with_capacity(rel_count);
+    for rel in 0..rel_count {
+        let table = TableId((shape[rel % shape.len()] % 6) as u32);
+        let pred_count = shape[(rel + 1) % shape.len()] as usize % 3;
+        let mut predicates = Vec::with_capacity(pred_count);
+        for p in 0..pred_count {
+            let form = shape[(rel + p + 2) % shape.len()] % 7;
+            let column = ColumnId(u32::from(shape[(rel + p + 3) % shape.len()] % 4));
+            let predicate = match form {
+                0 => {
+                    let op = match shape[(rel + p + 4) % shape.len()] % 6 {
+                        0 => CmpOp::Eq,
+                        1 => CmpOp::Ne,
+                        2 => CmpOp::Lt,
+                        3 => CmpOp::Le,
+                        4 => CmpOp::Gt,
+                        _ => CmpOp::Ge,
+                    };
+                    Predicate::IntCmp { column, op, value: lits.int(lit_cursor) }
+                }
+                1 => Predicate::IntBetween {
+                    column,
+                    low: lits.int(lit_cursor),
+                    high: lits.int(lit_cursor + 1),
+                },
+                2 => Predicate::StrEq { column, value: lits.str(lit_cursor) },
+                3 => {
+                    let arity = (shape[(rel + p + 4) % shape.len()] as usize % 3) + 1;
+                    Predicate::StrIn {
+                        column,
+                        values: (0..arity).map(|k| lits.str(lit_cursor + k)).collect(),
+                    }
+                }
+                4 => Predicate::Like { column, pattern: lits.str(lit_cursor) },
+                5 => Predicate::Not(Box::new(Predicate::StrEq {
+                    column,
+                    value: lits.str(lit_cursor),
+                })),
+                _ => Predicate::Or(vec![
+                    Predicate::IntCmp { column, op: CmpOp::Eq, value: lits.int(lit_cursor) },
+                    Predicate::IsNull { column },
+                ]),
+            };
+            // Advance by the largest number of literals any form consumes so
+            // the cursor stays a function of structure alone.
+            lit_cursor += 3;
+            predicates.push(predicate);
+        }
+        relations.push(BaseRelation::filtered(table, format!("r{rel}"), predicates));
+    }
+    // A connecting chain keeps the graph connected; extra edges come from
+    // the shape bytes.
+    let mut joins = Vec::new();
+    for rel in 1..rel_count {
+        joins.push(JoinEdge {
+            left: rel - 1,
+            left_column: ColumnId(u32::from(shape[rel % shape.len()] % 3)),
+            right: rel,
+            right_column: ColumnId(u32::from(shape[(rel + 5) % shape.len()] % 3)),
+        });
+    }
+    if rel_count > 2 && shape[shape.len() - 1].is_multiple_of(2) {
+        joins.push(JoinEdge {
+            left: 0,
+            left_column: ColumnId(0),
+            right: rel_count - 1,
+            right_column: ColumnId(1),
+        });
+    }
+    QuerySpec::new("prop", relations, joins)
+}
+
+proptest! {
+    /// Literal invariance: the same structure under two completely
+    /// different sets of literal payloads fingerprints identically.
+    #[test]
+    fn fuzzing_literal_values_never_changes_the_fingerprint(
+        shape in prop::collection::vec(any::<u8>(), 1..24),
+        ints_a in prop::collection::vec(any::<i64>(), 4..8),
+        ints_b in prop::collection::vec(any::<i64>(), 4..8),
+        strs_a in prop::collection::vec("[a-z%_]{0,10}", 4..8),
+        strs_b in prop::collection::vec("[a-z%_]{0,10}", 4..8),
+    ) {
+        let a = build_query(&shape, &Literals { ints: ints_a.clone(), strs: strs_a.clone() });
+        let b = build_query(&shape, &Literals { ints: ints_b.clone(), strs: strs_b.clone() });
+        prop_assert_eq!(fingerprint_query(&a), fingerprint_query(&b));
+    }
+
+    /// Structure sensitivity: two shapes that build *different* specs under
+    /// identical literals must fingerprint differently.  (Spec equality
+    /// under fixed literals is exactly structural equality, because the
+    /// builder consumes literals as a function of structure.)
+    #[test]
+    fn different_structures_always_fingerprint_differently(
+        shape_a in prop::collection::vec(any::<u8>(), 1..24),
+        shape_b in prop::collection::vec(any::<u8>(), 1..24),
+    ) {
+        let fixed = Literals {
+            ints: vec![1, 2, 3, 4],
+            strs: vec!["w".into(), "x".into(), "y".into(), "z".into()],
+        };
+        let a = build_query(&shape_a, &fixed);
+        let b = build_query(&shape_b, &fixed);
+        if a == b {
+            prop_assert_eq!(fingerprint_query(&a), fingerprint_query(&b));
+        } else {
+            prop_assert_ne!(fingerprint_query(&a), fingerprint_query(&b));
+        }
+    }
+
+    /// Targeted mutation sensitivity: flipping one structural detail of a
+    /// generated query (an operator, a column, an edge endpoint column, a
+    /// dropped predicate) changes the fingerprint.
+    #[test]
+    fn structural_mutations_change_the_fingerprint(
+        shape in prop::collection::vec(any::<u8>(), 4..24),
+        which in any::<u8>(),
+    ) {
+        let fixed = Literals {
+            ints: vec![10, 20, 30, 40],
+            strs: vec!["a".into(), "b".into(), "c".into(), "d".into()],
+        };
+        let base = build_query(&shape, &fixed);
+        let mut mutated = base.clone();
+        match which % 4 {
+            0 => {
+                // Append a predicate to some relation.
+                let rel = which as usize % mutated.relations.len();
+                mutated.relations[rel]
+                    .predicates
+                    .push(Predicate::IsNotNull { column: ColumnId(9) });
+            }
+            1 => {
+                // Retarget a relation's table.
+                let rel = which as usize % mutated.relations.len();
+                mutated.relations[rel].table = TableId(99);
+            }
+            2 => {
+                // Add a relation (and an edge keeping the graph connected).
+                let last = mutated.relations.len();
+                mutated.relations.push(BaseRelation::unfiltered(TableId(3), "extra"));
+                mutated.joins.push(JoinEdge {
+                    left: last - 1,
+                    left_column: ColumnId(0),
+                    right: last,
+                    right_column: ColumnId(0),
+                });
+            }
+            _ => {
+                // Move a join edge's column, or add an edge when there is none.
+                if let Some(edge) = mutated.joins.first_mut() {
+                    edge.left_column = ColumnId(7);
+                } else {
+                    mutated.relations.push(BaseRelation::unfiltered(TableId(1), "extra"));
+                    mutated.joins.push(JoinEdge {
+                        left: 0,
+                        left_column: ColumnId(0),
+                        right: 1,
+                        right_column: ColumnId(0),
+                    });
+                }
+            }
+        }
+        prop_assert_ne!(fingerprint_query(&base), fingerprint_query(&mutated));
+    }
+}

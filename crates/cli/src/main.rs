@@ -19,11 +19,13 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use qob_core::{BenchmarkContext, EstimatorKind, QueryReport, ServerContext, SessionOptions};
+use qob_core::{
+    BenchmarkContext, EstimatorKind, QueryReport, ScriptOutcome, ServerContext, SessionOptions,
+};
 use qob_datagen::Scale;
 use qob_server::{Client, Json, Request, ServerConfig};
 use qob_storage::IndexConfig;
-use qob_workload::{bind_parsed, parse_script};
+use qob_workload::parse_script;
 
 const USAGE: &str = "\
 qob — run ad-hoc SQL through the optimizer pipeline of the JOB reproduction
@@ -51,20 +53,33 @@ OPTIONS:
         --adaptive-threshold <x>
                              divergence factor (q-error) that triggers a
                              re-plan                                [default: 10]
+        --plan-cache         reuse optimized plans across statements with the
+                             same structure (literal values parameterize
+                             automatically); reuse is fenced by --cache-fence
+        --cache-fence <x>    reject a cached plan when any subplan estimate
+                             diverges by more than this q-error factor
+                                                                    [default: 10]
         --no-exec            stop after planning (skip execution and q-errors)
     -h, --help               print this help
 
 SERVE OPTIONS:
         --addr <HOST:PORT>   listen address             [default: 127.0.0.1:4547]
+        --plan-cache         enable the plan cache for every session by default
+        --cache-fence <x>    default reuse fence for sessions
         plus --snapshot / --scale / --indexes / --threads as above
 
 CONNECT OPTIONS:
         --addr <HOST:PORT>   server address             [default: 127.0.0.1:4547]
         --explain            plan only, never execute
+        --set <name=value>   set a session option before the query runs (may
+                             repeat; e.g. --set plan_cache=true)
         --stats              print the server's stats response (JSON) and exit
         --ping               liveness check and exit
         --shutdown           ask the server to shut down and exit
         --json               print raw JSON response lines instead of tables
+
+Scripts may PREPARE name AS SELECT ... ? / EXECUTE name(values) /
+DEALLOCATE name — in one-shot mode, over `qob connect`, and on the wire.
 
 The database is the synthetic IMDB-like catalog (21 tables); queries are
 written in the JOB dialect: SELECT MIN(..)/COUNT(*) FROM t1 a1, t2 a2
@@ -83,6 +98,8 @@ struct Options {
     threads: usize,
     morsel_size: usize,
     adaptive: qob_exec::AdaptiveOptions,
+    plan_cache: bool,
+    cache_fence: f64,
     snapshot: Option<String>,
 }
 
@@ -137,6 +154,14 @@ fn parse_adaptive_threshold(raw: &str) -> Result<f64, String> {
     Ok(scratch.adaptive.divergence_threshold)
 }
 
+/// Validates `--cache-fence` through [`SessionOptions::set`] (same rule as
+/// `set cache_fence` on the wire).
+fn parse_cache_fence(raw: &str) -> Result<f64, String> {
+    let mut scratch = SessionOptions::default();
+    scratch.set("cache_fence", raw)?;
+    Ok(scratch.cache_fence)
+}
+
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut options = Options {
         source: Source::Stdin,
@@ -147,6 +172,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         threads: qob_exec::default_threads(),
         morsel_size: qob_exec::DEFAULT_MORSEL_SIZE,
         adaptive: qob_exec::AdaptiveOptions::default(),
+        plan_cache: false,
+        cache_fence: qob_core::DEFAULT_CACHE_FENCE,
         snapshot: None,
     };
     let mut i = 0;
@@ -169,6 +196,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--adaptive-threshold" => {
                 options.adaptive.divergence_threshold =
                     parse_adaptive_threshold(&value_of(args, &mut i, "--adaptive-threshold")?)?
+            }
+            "--plan-cache" => options.plan_cache = true,
+            "--cache-fence" => {
+                options.cache_fence = parse_cache_fence(&value_of(args, &mut i, "--cache-fence")?)?
             }
             "--snapshot" => options.snapshot = Some(value_of(args, &mut i, "--snapshot")?),
             "--no-exec" => options.execute = false,
@@ -311,14 +342,6 @@ fn oneshot_main(args: &[String]) -> ExitCode {
         }
     };
 
-    let queries = match bind_parsed(ctx.db(), &parsed) {
-        Ok(queries) => queries,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-
     let server = ServerContext::new(ctx);
     let mut session = server.session();
     session.options.estimator = options.estimator;
@@ -326,20 +349,30 @@ fn oneshot_main(args: &[String]) -> ExitCode {
     session.options.execute = options.execute;
     session.options.morsel_size = options.morsel_size;
     session.options.adaptive = options.adaptive;
+    session.options.plan_cache = options.plan_cache;
+    session.options.cache_fence = options.cache_fence;
 
     let mut failures = 0usize;
-    for query in &queries {
-        println!(
-            "\n=== {} — {} relations, {} join predicates, {} selections ===",
-            query.name,
-            query.rel_count(),
-            query.join_predicate_count(),
-            query.base_predicate_count()
-        );
-        match session.run_query(query) {
-            Ok(report) => print_report(&report),
+    for statement in &parsed {
+        match session.run_statement(statement) {
+            Ok(ScriptOutcome::Query(report)) => {
+                println!(
+                    "\n=== {} — {} relations, {} join predicates, {} selections ===",
+                    report.name, report.relations, report.join_predicates, report.selections
+                );
+                print_report(&report);
+            }
+            Ok(ScriptOutcome::Prepared { name, params }) => {
+                println!(
+                    "\nprepared `{name}` ({params} parameter{})",
+                    if params == 1 { "" } else { "s" }
+                );
+            }
+            Ok(ScriptOutcome::Deallocated { name }) => {
+                println!("\ndeallocated `{name}`");
+            }
             Err(e) => {
-                eprintln!("query `{}` failed: {e}", query.name);
+                eprintln!("statement `{}` failed: {e}", statement.name);
                 failures += 1;
             }
         }
@@ -362,6 +395,9 @@ fn print_report(report: &QueryReport) {
         report.threads,
         if report.threads == 1 { "" } else { "s" }
     );
+    if let Some(status) = report.plan_cache {
+        println!("plan cache: {}", status.label());
+    }
     print!("{}", report.plan);
 
     let Some(exec) = &report.execution else { return };
@@ -401,6 +437,8 @@ struct ServeOptions {
     scale: Option<Scale>,
     indexes: Option<IndexConfig>,
     threads: usize,
+    plan_cache: bool,
+    cache_fence: f64,
     snapshot: Option<String>,
 }
 
@@ -410,6 +448,8 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
         scale: None,
         indexes: None,
         threads: qob_exec::default_threads(),
+        plan_cache: false,
+        cache_fence: qob_core::DEFAULT_CACHE_FENCE,
         snapshot: None,
     };
     let mut i = 0;
@@ -422,6 +462,10 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
                 options.indexes = Some(parse_indexes(&value_of(args, &mut i, "--indexes")?)?)
             }
             "--threads" => options.threads = parse_threads(&value_of(args, &mut i, "--threads")?)?,
+            "--plan-cache" => options.plan_cache = true,
+            "--cache-fence" => {
+                options.cache_fence = parse_cache_fence(&value_of(args, &mut i, "--cache-fence")?)?
+            }
             "--snapshot" => options.snapshot = Some(value_of(args, &mut i, "--snapshot")?),
             flag => return Err(format!("unknown serve flag `{flag}`")),
         }
@@ -452,7 +496,12 @@ fn serve_main(args: &[String]) -> ExitCode {
             }
         };
 
-    let defaults = SessionOptions { threads: options.threads, ..SessionOptions::default() };
+    let defaults = SessionOptions {
+        threads: options.threads,
+        plan_cache: options.plan_cache,
+        cache_fence: options.cache_fence,
+        ..SessionOptions::default()
+    };
     let context = ServerContext::with_defaults(ctx, defaults);
     let config = ServerConfig { addr: options.addr, snapshot_loaded };
     let handle = match qob_server::serve(context, config) {
@@ -484,6 +533,9 @@ struct ConnectOptions {
     source: Source,
     action: ConnectAction,
     raw_json: bool,
+    /// `--set name=value` session options, applied in order before the
+    /// main request on the same connection.
+    sets: Vec<(String, String)>,
 }
 
 fn parse_connect_args(args: &[String]) -> Result<ConnectOptions, String> {
@@ -492,6 +544,7 @@ fn parse_connect_args(args: &[String]) -> Result<ConnectOptions, String> {
         source: Source::Stdin,
         action: ConnectAction::Script { explain: false },
         raw_json: false,
+        sets: Vec::new(),
     };
     let mut explain = false;
     let mut i = 0;
@@ -500,6 +553,13 @@ fn parse_connect_args(args: &[String]) -> Result<ConnectOptions, String> {
             "-h" | "--help" => return Err(String::new()),
             "--addr" => options.addr = value_of(args, &mut i, "--addr")?,
             "-e" | "--execute" => options.source = Source::Inline(value_of(args, &mut i, "-e")?),
+            "--set" => {
+                let raw = value_of(args, &mut i, "--set")?;
+                let (name, value) = raw
+                    .split_once('=')
+                    .ok_or_else(|| format!("--set needs name=value, got `{raw}`"))?;
+                options.sets.push((name.trim().to_owned(), value.trim().to_owned()));
+            }
             "--explain" => explain = true,
             "--stats" => options.action = ConnectAction::Stats,
             "--ping" => options.action = ConnectAction::Ping,
@@ -537,6 +597,27 @@ fn connect_main(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    // Session options ride the same connection as the query that follows.
+    for (name, value) in &options.sets {
+        let request = Request::Set { option: name.clone(), value: value.clone() };
+        match client.request(&request) {
+            Ok(response) if response.get("ok").and_then(Json::as_bool) == Some(true) => {}
+            Ok(response) => {
+                let message = response
+                    .get("error")
+                    .and_then(|e| e.get("message"))
+                    .and_then(Json::as_str)
+                    .unwrap_or("malformed error response");
+                eprintln!("error: set {name}: {message}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("error: set {name}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     let request = match &options.action {
         ConnectAction::Stats => Request::Stats,
@@ -618,6 +699,16 @@ fn render_response(response: &Json) -> ExitCode {
 fn render_result(result: &Json) {
     let str_of = |key: &str| result.get(key).and_then(Json::as_str).unwrap_or("?");
     let num_of = |key: &str| result.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+    // Prepared-statement acknowledgements are tiny objects, not reports.
+    if let Some(name) = result.get("prepared").and_then(Json::as_str) {
+        let params = result.get("params").and_then(Json::as_u64).unwrap_or(0);
+        println!("\nprepared `{name}` ({params} parameter{})", if params == 1 { "" } else { "s" });
+        return;
+    }
+    if let Some(name) = result.get("deallocated").and_then(Json::as_str) {
+        println!("\ndeallocated `{name}`");
+        return;
+    }
     println!(
         "\n=== {} — {} relations, {} join predicates, {} selections ===",
         str_of("query"),
@@ -633,6 +724,9 @@ fn render_result(result: &Json) {
         threads,
         if threads == 1 { "" } else { "s" }
     );
+    if let Some(status) = result.get("plan_cache").and_then(Json::as_str) {
+        println!("plan cache: {status}");
+    }
     print!("{}", str_of("plan"));
 
     let Some(rows) = result.get("rows").and_then(Json::as_u64) else { return };
@@ -767,6 +861,45 @@ mod tests {
         assert!(parse_args(&args(&["--adaptive-threshold", "0.5"])).is_err());
         assert!(parse_args(&args(&["--adaptive-threshold", "nope"])).is_err());
         assert!(parse_args(&args(&["--morsel-size", "many"])).is_err());
+    }
+
+    #[test]
+    fn plan_cache_flags_parse() {
+        let options = parse_args(&[]).unwrap();
+        assert!(!options.plan_cache, "caching defaults off");
+        assert_eq!(options.cache_fence, qob_core::DEFAULT_CACHE_FENCE);
+
+        let options = parse_args(&args(&["--plan-cache", "--cache-fence", "2.5"])).unwrap();
+        assert!(options.plan_cache);
+        assert_eq!(options.cache_fence, 2.5);
+        assert!(parse_args(&args(&["--cache-fence", "0.5"])).is_err());
+        assert!(parse_args(&args(&["--cache-fence", "nope"])).is_err());
+
+        let serve = parse_serve_args(&args(&["--plan-cache", "--cache-fence", "3"])).unwrap();
+        assert!(serve.plan_cache);
+        assert_eq!(serve.cache_fence, 3.0);
+    }
+
+    #[test]
+    fn connect_set_flags_parse() {
+        let options = parse_connect_args(&args(&[
+            "--set",
+            "plan_cache=true",
+            "--set",
+            "cache_fence=2",
+            "-e",
+            "SELECT 1",
+        ]))
+        .unwrap();
+        assert_eq!(
+            options.sets,
+            vec![
+                ("plan_cache".to_owned(), "true".to_owned()),
+                ("cache_fence".to_owned(), "2".to_owned()),
+            ]
+        );
+        assert!(parse_connect_args(&args(&["--set", "no_equals"])).is_err());
+        assert!(parse_connect_args(&args(&["--set"])).is_err());
     }
 
     #[test]

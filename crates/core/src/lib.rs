@@ -45,6 +45,6 @@ pub use adaptive::{execute_adaptive, AdaptiveOutcome, ReplanEvent};
 pub use context::{BenchmarkContext, EstimatorKind};
 pub use metrics::{geometric_mean, SlowdownBucket, SlowdownDistribution};
 pub use session::{
-    ExecutionReport, OperatorReport, QueryReport, ReplanReport, ServerContext, Session,
-    SessionError, SessionOptions,
+    ExecutionReport, OperatorReport, PlanCacheStatus, QueryReport, ReplanReport, ScriptOutcome,
+    ServerContext, Session, SessionError, SessionOptions, DEFAULT_CACHE_FENCE,
 };

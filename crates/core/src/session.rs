@@ -13,6 +13,19 @@
 //! [`Session::run_script`], so a query answered over a socket is
 //! tuple-identical to the same query answered by a one-shot CLI run.
 //!
+//! ## Prepared statements and the plan cache
+//!
+//! A session can [`Session::prepare`] a (possibly parameterized) statement
+//! once and [`Session::execute_prepared`] it many times, skipping the parse
+//! on every repeat.  Orthogonally, [`SessionOptions::plan_cache`] switches on
+//! the shared cardinality-fenced plan cache (`qob-cache`): `run_query`
+//! fingerprints each bound statement, reuses a cached plan when the
+//! session's fresh estimates stay within the [`SessionOptions::cache_fence`]
+//! q-error band of the estimates the plan was optimized under, and
+//! re-optimizes (installing a new variant) when a parameter shift crosses
+//! the fence.  The cache is server-wide — every session shares it — while
+//! the enable switch and the fence are per-session.
+//!
 //! # Examples
 //!
 //! ```no_run
@@ -20,23 +33,29 @@
 //!
 //! let ctx = BenchmarkContext::load_snapshot("db.qob").unwrap();
 //! let server = ServerContext::new(ctx);
-//! let session = server.session(); // one per connection
-//! let reports = session
+//! let mut session = server.session(); // one per connection
+//! let outcomes = session
 //!     .run_script("SELECT COUNT(*) FROM title t, movie_companies mc WHERE mc.movie_id = t.id")
 //!     .unwrap();
-//! println!("{} rows", reports[0].execution.as_ref().unwrap().rows);
+//! let report = outcomes[0].as_query().unwrap();
+//! println!("{} rows", report.execution.as_ref().unwrap().rows);
 //! ```
 
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use parking_lot::Mutex;
+
+use qob_cache::{fingerprint_query, CacheCounters, CachedVariant, Lookup, PlanCache};
 use qob_cardest::q_error;
 use qob_enumerate::PlannerConfig;
 use qob_exec::{AdaptiveOptions, ExecutionOptions};
 use qob_plan::QuerySpec;
-use qob_workload::load_sql_str;
+use qob_sql::{ParamValue, ScriptStatement, SelectStatement};
+use qob_workload::{parse_script, ParsedStatement};
 
 use crate::context::{BenchmarkContext, EstimatorKind};
 
@@ -58,7 +77,24 @@ pub struct SessionOptions {
     pub morsel_size: usize,
     /// Adaptive mid-execution re-optimization knobs.
     pub adaptive: AdaptiveOptions,
+    /// When `true`, `run_query` consults the server-wide plan cache: the
+    /// optimize step is skipped whenever a cached plan for the statement's
+    /// fingerprint passes the cardinality fence.
+    pub plan_cache: bool,
+    /// Reuse fence: a cached plan is reused only if every per-subplan
+    /// cardinality estimate under the current parameters is within this
+    /// q-error factor of the estimate the plan was optimized under.
+    pub cache_fence: f64,
+    /// Fingerprint capacity of the shared plan cache.  The cache is
+    /// server-wide: the value is applied when the option is *set* (via
+    /// [`Session::set_option`]), so the most recent `set` wins and probes
+    /// never resize; `0` is normalised to the default by
+    /// [`SessionOptions::set`].
+    pub cache_capacity: usize,
 }
+
+/// The default plan-cache reuse fence (q-error factor).
+pub const DEFAULT_CACHE_FENCE: f64 = 10.0;
 
 impl Default for SessionOptions {
     fn default() -> Self {
@@ -69,6 +105,9 @@ impl Default for SessionOptions {
             execute: true,
             morsel_size: qob_exec::DEFAULT_MORSEL_SIZE,
             adaptive: AdaptiveOptions::default(),
+            plan_cache: false,
+            cache_fence: DEFAULT_CACHE_FENCE,
+            cache_capacity: PlanCache::DEFAULT_CAPACITY,
         }
     }
 }
@@ -78,8 +117,10 @@ impl SessionOptions {
     /// all cores), `timeout_ms` (integer, `0` = no timeout), `estimator`
     /// (profile name), `execute` (`true`/`false`), `morsel_size` (integer,
     /// `0` = engine default), `adaptive` (`true`/`false`),
-    /// `adaptive_threshold` (q-error factor > 1) or `max_replans`
-    /// (integer).  Returns a description of the rejection otherwise.
+    /// `adaptive_threshold` (q-error factor > 1), `max_replans` (integer),
+    /// `plan_cache` (`true`/`false`), `cache_fence` (q-error factor > 1) or
+    /// `cache_capacity` (integer, `0` = default).  Returns a description of
+    /// the rejection otherwise.
     pub fn set(&mut self, name: &str, value: &str) -> Result<(), String> {
         let flag = |value: &str| match value {
             "true" => Ok(true),
@@ -126,6 +167,24 @@ impl SessionOptions {
                 self.adaptive.max_replans = value
                     .parse()
                     .map_err(|_| format!("max_replans needs an integer, got `{value}`"))?;
+            }
+            "plan_cache" => self.plan_cache = flag(value)?,
+            "cache_fence" => {
+                let f: f64 = value
+                    .parse()
+                    .map_err(|_| format!("cache_fence needs a number, got `{value}`"))?;
+                if f.is_nan() || f <= 1.0 {
+                    return Err(format!(
+                        "cache_fence is a q-error factor and must exceed 1, got `{value}`"
+                    ));
+                }
+                self.cache_fence = f;
+            }
+            "cache_capacity" => {
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| format!("cache_capacity needs an integer, got `{value}`"))?;
+                self.cache_capacity = if n == 0 { PlanCache::DEFAULT_CAPACITY } else { n };
             }
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -225,6 +284,31 @@ pub struct ExecutionReport {
     pub replans: Vec<ReplanReport>,
 }
 
+/// How the plan cache treated one statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanCacheStatus {
+    /// A cached plan passed the fence and was executed without optimizing.
+    Hit,
+    /// The fingerprint was not cached; the statement optimized cold and the
+    /// plan was installed.
+    Miss,
+    /// The fingerprint was cached but the current parameters' estimates
+    /// crossed the fence on every variant: the statement re-optimized and
+    /// the fresh plan was installed as a new variant.
+    FenceRejected,
+}
+
+impl PlanCacheStatus {
+    /// Wire/display label (`hit`, `miss`, `fence-reject`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlanCacheStatus::Hit => "hit",
+            PlanCacheStatus::Miss => "miss",
+            PlanCacheStatus::FenceRejected => "fence-reject",
+        }
+    }
+}
+
 /// Everything one answered statement reports: the chosen plan and, when the
 /// session executes, the runtime cardinality comparison.
 #[derive(Debug, Clone, PartialEq)]
@@ -245,8 +329,49 @@ pub struct QueryReport {
     pub threads: usize,
     /// The chosen plan rendered as an indented tree.
     pub plan: String,
+    /// What the plan cache concluded for this statement (`None` when the
+    /// session runs with caching disabled).
+    pub plan_cache: Option<PlanCacheStatus>,
     /// Runtime results, or `None` for explain-only sessions.
     pub execution: Option<ExecutionReport>,
+}
+
+/// The result of one script statement: a query report, or the
+/// acknowledgement of a prepared-statement command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScriptOutcome {
+    /// A `SELECT` (or `EXECUTE`) answered with a full report.
+    Query(QueryReport),
+    /// A `PREPARE` registered a statement.
+    Prepared {
+        /// The statement name.
+        name: String,
+        /// Number of parameter slots it declares.
+        params: usize,
+    },
+    /// A `DEALLOCATE` dropped a statement.
+    Deallocated {
+        /// The statement name.
+        name: String,
+    },
+}
+
+impl ScriptOutcome {
+    /// The query report, if this outcome is one.
+    pub fn as_query(&self) -> Option<&QueryReport> {
+        match self {
+            ScriptOutcome::Query(report) => Some(report),
+            _ => None,
+        }
+    }
+
+    /// Consumes the outcome into its query report, if it is one.
+    pub fn into_query(self) -> Option<QueryReport> {
+        match self {
+            ScriptOutcome::Query(report) => Some(report),
+            _ => None,
+        }
+    }
 }
 
 struct ServerShared {
@@ -254,6 +379,9 @@ struct ServerShared {
     defaults: SessionOptions,
     queries_served: AtomicU64,
     replans_total: AtomicU64,
+    /// The server-wide plan cache, shared by every session (the enable
+    /// switch and fence are per-session options).
+    plan_cache: Mutex<PlanCache>,
 }
 
 /// The long-lived, shareable wrapper around one warm [`BenchmarkContext`]:
@@ -273,12 +401,14 @@ impl ServerContext {
 
     /// Wraps a context with explicit default options for new sessions.
     pub fn with_defaults(ctx: BenchmarkContext, defaults: SessionOptions) -> Self {
+        let capacity = defaults.cache_capacity;
         ServerContext {
             shared: Arc::new(ServerShared {
                 ctx,
                 defaults,
                 queries_served: AtomicU64::new(0),
                 replans_total: AtomicU64::new(0),
+                plan_cache: Mutex::new(PlanCache::new(capacity)),
             }),
         }
     }
@@ -290,7 +420,11 @@ impl ServerContext {
 
     /// Opens a new session with the server's default options.
     pub fn session(&self) -> Session {
-        Session { server: self.clone(), options: self.shared.defaults.clone() }
+        Session {
+            server: self.clone(),
+            options: self.shared.defaults.clone(),
+            prepared: HashMap::new(),
+        }
     }
 
     /// Total statements answered across all sessions since start.
@@ -302,15 +436,45 @@ impl ServerContext {
     pub fn replans_total(&self) -> u64 {
         self.shared.replans_total.load(Ordering::Relaxed)
     }
+
+    /// The shared plan cache's lifetime event counters.
+    pub fn plan_cache_counters(&self) -> CacheCounters {
+        self.shared.plan_cache.lock().counters()
+    }
+
+    /// Number of fingerprints currently cached server-wide.
+    pub fn plan_cache_len(&self) -> usize {
+        self.shared.plan_cache.lock().len()
+    }
+
+    /// The shared plan cache's fingerprint capacity.
+    pub fn plan_cache_capacity(&self) -> usize {
+        self.shared.plan_cache.lock().capacity()
+    }
+
+    /// Drops every cached plan (counters are preserved).
+    pub fn clear_plan_cache(&self) {
+        self.shared.plan_cache.lock().clear();
+    }
+}
+
+/// A statement registered by `PREPARE`: the parsed (parse-once) body plus
+/// its parameter slot count.
+#[derive(Debug, Clone, PartialEq)]
+struct PreparedStatement {
+    statement: SelectStatement,
+    params: usize,
 }
 
 /// One connection's view of the server: the shared context plus private
-/// [`SessionOptions`].
+/// [`SessionOptions`] and the session's prepared-statement registry.
 #[derive(Clone)]
 pub struct Session {
     server: ServerContext,
     /// This session's private option state, mutated by `SET` requests.
     pub options: SessionOptions,
+    /// Prepared statements, by name (session-private, like the options).
+    prepared: HashMap<String, PreparedStatement>,
 }
 
 impl Session {
@@ -320,18 +484,176 @@ impl Session {
     }
 
     /// Parses, binds, plans and (unless the session is explain-only)
-    /// executes a `;`-separated script, returning one report per statement.
+    /// executes a `;`-separated script, returning one outcome per statement
+    /// (`PREPARE name AS ...`, `EXECUTE name(...)` and `DEALLOCATE name`
+    /// are handled alongside plain queries).
     ///
     /// The first error aborts the script: statements before it have already
     /// been answered, so callers that want partial results run statements
-    /// one at a time.
-    pub fn run_script(&self, sql: &str) -> Result<Vec<QueryReport>, SessionError> {
-        let queries =
-            load_sql_str(self.context().db(), sql).map_err(|e| SessionError::Sql(e.to_string()))?;
-        if queries.is_empty() {
+    /// one at a time via [`Session::run_statement`].
+    pub fn run_script(&mut self, sql: &str) -> Result<Vec<ScriptOutcome>, SessionError> {
+        let parsed = parse_script(sql).map_err(|e| SessionError::Sql(e.to_string()))?;
+        if parsed.is_empty() {
             return Err(SessionError::Sql("the input contains no statements".into()));
         }
-        queries.iter().map(|q| self.run_query(q)).collect()
+        parsed.iter().map(|statement| self.run_statement(statement)).collect()
+    }
+
+    /// Runs one already-parsed script statement (the unit [`run_script`]
+    /// iterates; the CLI drives it directly for partial-result reporting).
+    ///
+    /// [`run_script`]: Session::run_script
+    pub fn run_statement(
+        &mut self,
+        parsed: &ParsedStatement,
+    ) -> Result<ScriptOutcome, SessionError> {
+        match &parsed.statement {
+            ScriptStatement::Select(statement) => {
+                let query = qob_sql::bind(self.context().db(), statement, parsed.name.clone())
+                    .map_err(|e| SessionError::Sql(parsed.error(e).to_string()))?;
+                Ok(ScriptOutcome::Query(self.run_query(&query)?))
+            }
+            ScriptStatement::Prepare { name, statement, params } => {
+                self.install_prepared(name, statement.clone(), *params)?;
+                Ok(ScriptOutcome::Prepared { name: name.clone(), params: *params })
+            }
+            ScriptStatement::Execute { name, args } => {
+                let values = args
+                    .iter()
+                    .map(ParamValue::from_literal)
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|e| SessionError::Sql(parsed.error(e).to_string()))?;
+                Ok(ScriptOutcome::Query(self.execute_prepared(name, &values)?))
+            }
+            ScriptStatement::Deallocate { name } => {
+                self.deallocate(name)?;
+                Ok(ScriptOutcome::Deallocated { name: name.clone() })
+            }
+        }
+    }
+
+    /// Registers a (possibly parameterized) statement under `name`,
+    /// parsing it once.  Returns the number of parameter slots.
+    pub fn prepare(&mut self, name: &str, sql: &str) -> Result<usize, SessionError> {
+        let statement =
+            qob_sql::parse_statement(sql).map_err(|e| SessionError::Sql(e.render(sql)))?;
+        let params = qob_sql::param_count(&statement);
+        self.install_prepared(name, statement, params)?;
+        Ok(params)
+    }
+
+    fn install_prepared(
+        &mut self,
+        name: &str,
+        statement: SelectStatement,
+        params: usize,
+    ) -> Result<(), SessionError> {
+        if self.prepared.contains_key(name) {
+            return Err(SessionError::Sql(format!(
+                "prepared statement `{name}` already exists; DEALLOCATE it first"
+            )));
+        }
+        self.prepared.insert(name.to_owned(), PreparedStatement { statement, params });
+        Ok(())
+    }
+
+    /// Executes a prepared statement with concrete parameter values: the
+    /// stored AST is substituted and bound (no parse), then runs through
+    /// [`Session::run_query`] — where the plan cache, when enabled, skips
+    /// the optimize step too.
+    pub fn execute_prepared(
+        &mut self,
+        name: &str,
+        values: &[ParamValue],
+    ) -> Result<QueryReport, SessionError> {
+        let prepared = self
+            .prepared
+            .get(name)
+            .ok_or_else(|| SessionError::Sql(format!("no prepared statement named `{name}`")))?;
+        let filled = qob_sql::substitute_params(&prepared.statement, values)
+            .map_err(|e| SessionError::Sql(e.to_string()))?;
+        let query = qob_sql::bind(self.context().db(), &filled, name)
+            .map_err(|e| SessionError::Sql(e.to_string()))?;
+        self.run_query(&query)
+    }
+
+    /// Drops a prepared statement.
+    pub fn deallocate(&mut self, name: &str) -> Result<(), SessionError> {
+        self.prepared
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| SessionError::Sql(format!("no prepared statement named `{name}`")))
+    }
+
+    /// Sets one session option by its wire name (see
+    /// [`SessionOptions::set`]), applying the few options with server-wide
+    /// side effects: `cache_capacity` resizes the shared plan cache at set
+    /// time (the most recent `set` wins; probes never resize, so sessions
+    /// with different defaults cannot thrash each other's entries).
+    pub fn set_option(&mut self, name: &str, value: &str) -> Result<(), String> {
+        self.options.set(name, value)?;
+        if name == "cache_capacity" {
+            self.server.shared.plan_cache.lock().set_capacity(self.options.cache_capacity);
+        }
+        Ok(())
+    }
+
+    /// The names of this session's prepared statements, with their
+    /// parameter counts (sorted by name).
+    pub fn prepared_statements(&self) -> Vec<(String, usize)> {
+        let mut names: Vec<(String, usize)> =
+            self.prepared.iter().map(|(n, p)| (n.clone(), p.params)).collect();
+        names.sort();
+        names
+    }
+
+    /// Picks the plan for `query`: through the shared plan cache when the
+    /// session has it enabled (fingerprint probe → fence → reuse or
+    /// re-optimize-and-install), otherwise a plain cold optimization.
+    fn choose_plan(
+        &self,
+        query: &QuerySpec,
+        estimator: &dyn qob_cardest::CardinalityEstimator,
+    ) -> Result<(qob_plan::PhysicalPlan, f64, Option<PlanCacheStatus>), SessionError> {
+        let ctx = self.context();
+        let optimize = || {
+            ctx.optimize(query, estimator, PlannerConfig::default())
+                .map_err(|e| SessionError::Optimize(e.to_string()))
+        };
+        if !self.options.plan_cache {
+            let optimized = optimize()?;
+            return Ok((optimized.plan, optimized.cost, None));
+        }
+        // The estimator profile is part of the key: plans optimized under
+        // different estimate sources are not interchangeable.
+        let key = fingerprint_query(query).mix(self.options.estimator as u64);
+        // Memoize fresh estimates per subplan set: variants of one
+        // fingerprint overlap heavily in their subplans, and the probe
+        // below runs under the shared cache lock — each set is estimated
+        // at most once, keeping the critical section to a handful of
+        // histogram lookups.  (The optimize step itself always runs
+        // outside the lock.)
+        let memo = std::cell::RefCell::new(HashMap::<qob_plan::RelSet, f64>::new());
+        let estimate = |set: qob_plan::RelSet| {
+            *memo.borrow_mut().entry(set).or_insert_with(|| estimator.estimate(query, set))
+        };
+        let probe = {
+            let mut cache = self.server.shared.plan_cache.lock();
+            cache.lookup(key, self.options.cache_fence, &estimate)
+        };
+        let status = match probe {
+            Lookup::Hit { variant, .. } => {
+                return Ok((variant.plan, variant.cost, Some(PlanCacheStatus::Hit)));
+            }
+            Lookup::Miss => PlanCacheStatus::Miss,
+            Lookup::FenceRejected { .. } => PlanCacheStatus::FenceRejected,
+        };
+        // Optimize outside the cache lock — enumeration is the expensive
+        // step, and other sessions' probes must not serialise behind it.
+        let optimized = optimize()?;
+        let variant = CachedVariant::capture(&optimized.plan, optimized.cost, &estimate);
+        self.server.shared.plan_cache.lock().install(key, variant);
+        Ok((optimized.plan, optimized.cost, Some(status)))
     }
 
     /// Plans (and, per [`SessionOptions::execute`], executes) one bound
@@ -339,9 +661,7 @@ impl Session {
     pub fn run_query(&self, query: &QuerySpec) -> Result<QueryReport, SessionError> {
         let ctx = self.context();
         let estimator = ctx.estimator(self.options.estimator);
-        let optimized = ctx
-            .optimize(query, estimator.as_ref(), PlannerConfig::default())
-            .map_err(|e| SessionError::Optimize(e.to_string()))?;
+        let (plan, cost, cache_status) = self.choose_plan(query, estimator.as_ref())?;
 
         let mut report = QueryReport {
             name: query.name.clone(),
@@ -349,9 +669,10 @@ impl Session {
             join_predicates: query.join_predicate_count(),
             selections: query.base_predicate_count(),
             estimator: estimator.name().to_owned(),
-            cost: optimized.cost,
+            cost,
             threads: self.options.threads.max(1),
-            plan: optimized.plan.render(query),
+            plan: plan.render(query),
+            plan_cache: cache_status,
             execution: None,
         };
 
@@ -361,7 +682,7 @@ impl Session {
                 let outcome = crate::adaptive::execute_adaptive(
                     ctx,
                     query,
-                    &optimized.plan,
+                    &plan,
                     estimator.as_ref(),
                     &exec_options,
                     PlannerConfig::default(),
@@ -383,7 +704,7 @@ impl Session {
                 (outcome.result, replans)
             } else {
                 let result = ctx
-                    .execute(query, &optimized.plan, estimator.as_ref(), &exec_options)
+                    .execute(query, &plan, estimator.as_ref(), &exec_options)
                     .map_err(|e| SessionError::Execute(e.to_string()))?;
                 (result, Vec::new())
             };
@@ -439,17 +760,25 @@ mod tests {
                              WHERE mc.movie_id = t.id AND mc.company_id = cn.id \
                                AND cn.country_code = '[us]'";
 
+    fn query_reports(outcomes: Vec<ScriptOutcome>) -> Vec<QueryReport> {
+        outcomes.into_iter().filter_map(ScriptOutcome::into_query).collect()
+    }
+
     #[test]
     fn sessions_share_one_context_and_count_queries() {
         let server = server();
-        let a = server.session();
-        let b = server.session();
+        let mut a = server.session();
+        let mut b = server.session();
         assert!(std::ptr::eq(a.context(), b.context()), "both sessions see one context");
 
-        let ra: Vec<QueryReport> =
-            a.run_script(THREE_WAY).unwrap().into_iter().map(strip_elapsed).collect();
-        let rb: Vec<QueryReport> =
-            b.run_script(THREE_WAY).unwrap().into_iter().map(strip_elapsed).collect();
+        let ra: Vec<QueryReport> = query_reports(a.run_script(THREE_WAY).unwrap())
+            .into_iter()
+            .map(strip_elapsed)
+            .collect();
+        let rb: Vec<QueryReport> = query_reports(b.run_script(THREE_WAY).unwrap())
+            .into_iter()
+            .map(strip_elapsed)
+            .collect();
         assert_eq!(ra, rb, "reports differ only in timing");
         assert_eq!(server.queries_served(), 2);
         // The shared truth cache is visible (and fillable) from any session.
@@ -539,8 +868,8 @@ mod tests {
         adaptive.options.set("estimator", "dbms-c").unwrap();
         plain.options.set("estimator", "dbms-c").unwrap();
 
-        let a = plain.run_script(THREE_WAY).unwrap();
-        let b = adaptive.run_script(THREE_WAY).unwrap();
+        let a = query_reports(plain.run_script(THREE_WAY).unwrap());
+        let b = query_reports(adaptive.run_script(THREE_WAY).unwrap());
         let (pa, pb) = (a[0].execution.as_ref().unwrap(), b[0].execution.as_ref().unwrap());
         assert_eq!(pa.rows, pb.rows, "adaptivity must not change results");
         assert!(pa.replans.is_empty());
@@ -557,17 +886,18 @@ mod tests {
         let server = server();
         let mut session = server.session();
         session.options.execute = false;
-        let reports = session.run_script(THREE_WAY).unwrap();
+        let reports = query_reports(session.run_script(THREE_WAY).unwrap());
         assert_eq!(reports.len(), 1);
         assert!(reports[0].execution.is_none());
         assert!(reports[0].plan.contains("Scan"));
         assert!(reports[0].cost > 0.0);
+        assert!(reports[0].plan_cache.is_none(), "caching defaults off");
     }
 
     #[test]
     fn session_errors_carry_stage_codes() {
         let server = server();
-        let session = server.session();
+        let mut session = server.session();
         let err = session.run_script("SELECT * FROM no_such_table").unwrap_err();
         assert_eq!(err.code(), "sql_error");
         assert!(err.to_string().contains("no_such_table"));
@@ -576,8 +906,161 @@ mod tests {
 
         let mut strict = server.session();
         strict.options.timeout = Some(Duration::from_nanos(1));
-        let queries = load_sql_str(server.context().db(), THREE_WAY).unwrap();
+        let queries = qob_workload::load_sql_str(server.context().db(), THREE_WAY).unwrap();
         let err = strict.run_query(&queries[0]).unwrap_err();
         assert_eq!(err.code(), "execute_error");
+    }
+
+    #[test]
+    fn cache_options_parse_and_reject() {
+        let mut o = SessionOptions::default();
+        assert!(!o.plan_cache, "plan caching defaults off");
+        assert_eq!(o.cache_fence, DEFAULT_CACHE_FENCE);
+        assert_eq!(o.cache_capacity, PlanCache::DEFAULT_CAPACITY);
+        o.set("plan_cache", "true").unwrap();
+        o.set("cache_fence", "2.5").unwrap();
+        o.set("cache_capacity", "32").unwrap();
+        assert!(o.plan_cache);
+        assert_eq!(o.cache_fence, 2.5);
+        assert_eq!(o.cache_capacity, 32);
+        o.set("cache_capacity", "0").unwrap();
+        assert_eq!(o.cache_capacity, PlanCache::DEFAULT_CAPACITY);
+        assert!(o.set("plan_cache", "maybe").is_err());
+        assert!(o.set("cache_fence", "1.0").is_err());
+        assert!(o.set("cache_fence", "NaN").is_err());
+        assert!(o.set("cache_fence", "wide").is_err());
+        assert!(o.set("cache_capacity", "lots").is_err());
+    }
+
+    #[test]
+    fn cache_capacity_applies_at_set_time_and_probes_never_resize() {
+        let server = server();
+        assert_eq!(server.plan_cache_capacity(), PlanCache::DEFAULT_CAPACITY);
+        let mut a = server.session();
+        a.set_option("cache_capacity", "8").unwrap();
+        assert_eq!(server.plan_cache_capacity(), 8, "set resizes the shared cache");
+
+        // A second session with default options probing the cache must NOT
+        // drag the capacity back to its own default.
+        let mut b = server.session();
+        b.set_option("plan_cache", "true").unwrap();
+        b.run_script(THREE_WAY).unwrap();
+        assert_eq!(server.plan_cache_capacity(), 8, "probes never resize");
+        assert!(b.set_option("cache_capacity", "no").is_err());
+    }
+
+    #[test]
+    fn plan_cache_hits_repeat_queries_and_reports_match() {
+        let server = server();
+        let mut cold = server.session();
+        cold.options.threads = 1;
+        let mut cached = server.session();
+        cached.options.threads = 1;
+        cached.options.set("plan_cache", "true").unwrap();
+
+        let baseline = strip_elapsed(query_reports(cold.run_script(THREE_WAY).unwrap()).remove(0));
+        let first = strip_elapsed(query_reports(cached.run_script(THREE_WAY).unwrap()).remove(0));
+        let second = strip_elapsed(query_reports(cached.run_script(THREE_WAY).unwrap()).remove(0));
+        assert_eq!(first.plan_cache, Some(PlanCacheStatus::Miss));
+        assert_eq!(second.plan_cache, Some(PlanCacheStatus::Hit));
+        // Everything but the cache annotation is identical to a cold run.
+        let strip = |mut r: QueryReport| {
+            r.plan_cache = None;
+            r
+        };
+        assert_eq!(strip(first), strip(baseline.clone()));
+        assert_eq!(strip(second), strip(baseline));
+
+        let counters = server.plan_cache_counters();
+        assert_eq!(counters.hits, 1);
+        assert_eq!(counters.misses, 1);
+        assert_eq!(counters.installs, 1);
+        assert_eq!(server.plan_cache_len(), 1);
+
+        // A different literal under the same structure reuses the same
+        // fingerprint (automatic parameterization) — whether it hits or
+        // fences depends on how far the estimates move, but it never
+        // misses.
+        let shifted = THREE_WAY.replace("'[us]'", "'[gb]'");
+        let report = query_reports(cached.run_script(&shifted).unwrap()).remove(0);
+        assert_ne!(report.plan_cache, Some(PlanCacheStatus::Miss));
+        // A different estimator profile keys separately.
+        cached.options.set("estimator", "hyper").unwrap();
+        let other = query_reports(cached.run_script(THREE_WAY).unwrap()).remove(0);
+        assert_eq!(other.plan_cache, Some(PlanCacheStatus::Miss));
+    }
+
+    #[test]
+    fn prepared_statements_roundtrip_through_the_session() {
+        let server = server();
+        let mut session = server.session();
+        session.options.threads = 1;
+        let params = session
+            .prepare(
+                "by_country",
+                "SELECT COUNT(*) FROM title t, movie_companies mc, company_name cn \
+                 WHERE mc.movie_id = t.id AND mc.company_id = cn.id \
+                   AND cn.country_code = ?",
+            )
+            .unwrap();
+        assert_eq!(params, 1);
+        assert_eq!(session.prepared_statements(), vec![("by_country".to_owned(), 1)]);
+
+        let report =
+            session.execute_prepared("by_country", &[ParamValue::Str("[us]".into())]).unwrap();
+        let direct = query_reports(session.run_script(THREE_WAY).unwrap()).remove(0);
+        assert_eq!(
+            report.execution.as_ref().unwrap().rows,
+            direct.execution.as_ref().unwrap().rows,
+            "prepared execution answers exactly like the inline statement"
+        );
+        assert_eq!(report.name, "by_country");
+
+        // Wrong arity and unknown names are session errors.
+        assert!(session.execute_prepared("by_country", &[]).is_err());
+        assert!(session.execute_prepared("nope", &[]).is_err());
+        // Duplicate names are rejected until deallocated.
+        assert!(session.prepare("by_country", THREE_WAY).is_err());
+        session.deallocate("by_country").unwrap();
+        assert!(session.deallocate("by_country").is_err());
+        assert!(session.prepared_statements().is_empty());
+    }
+
+    #[test]
+    fn scripts_drive_prepare_execute_deallocate() {
+        let server = server();
+        let mut session = server.session();
+        session.options.threads = 1;
+        let script = "\
+            PREPARE by_year AS SELECT COUNT(*) FROM title t, movie_companies mc \
+            WHERE mc.movie_id = t.id AND t.production_year > $1;\n\
+            EXECUTE by_year(2000);\n\
+            EXECUTE by_year(1990);\n\
+            DEALLOCATE by_year;";
+        let outcomes = session.run_script(script).unwrap();
+        assert_eq!(outcomes.len(), 4);
+        assert_eq!(outcomes[0], ScriptOutcome::Prepared { name: "by_year".into(), params: 1 });
+        let r1 = outcomes[1].as_query().unwrap();
+        let r2 = outcomes[2].as_query().unwrap();
+        assert_eq!(r1.name, "by_year");
+        assert!(
+            r1.execution.as_ref().unwrap().rows <= r2.execution.as_ref().unwrap().rows,
+            "`> 2000` is at least as selective as `> 1990`"
+        );
+        assert_eq!(outcomes[3], ScriptOutcome::Deallocated { name: "by_year".into() });
+        // The prepared name is gone afterwards.
+        assert!(session.run_script("EXECUTE by_year(1950)").is_err());
+    }
+
+    #[test]
+    fn sessions_prepared_statements_are_private() {
+        let server = server();
+        let mut a = server.session();
+        let b = server.session();
+        a.prepare("mine", "SELECT COUNT(*) FROM title t WHERE t.production_year > ?").unwrap();
+        assert_eq!(a.prepared_statements().len(), 1);
+        assert!(b.prepared_statements().is_empty(), "b never sees a's statements");
+        let mut b = b;
+        assert!(b.execute_prepared("mine", &[ParamValue::Int(2000)]).is_err());
     }
 }

@@ -133,6 +133,11 @@ pub enum ExecutionError {
     },
     /// The plan references relations inconsistently.
     InvalidPlan(String),
+    /// A worker thread panicked mid-execution.  The panic is contained to
+    /// the statement: the coordinator reaps the poisoned worker, aborts the
+    /// execution and reports this error instead of unwinding — one bad
+    /// statement cannot take down a warm `qob serve` process.
+    WorkerPanicked,
 }
 
 impl fmt::Display for ExecutionError {
@@ -149,6 +154,9 @@ impl fmt::Display for ExecutionError {
                 write!(f, "no index on {table} column {}", column.0)
             }
             ExecutionError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+            ExecutionError::WorkerPanicked => {
+                write!(f, "a worker thread panicked; the statement was aborted")
+            }
         }
     }
 }

@@ -367,7 +367,12 @@ pub fn build_hash_table(
             })
             .collect();
         for h in handles {
-            per_worker.push(h.join().expect("hash-build worker panicked"));
+            // A panicked worker must not unwind through the warm server:
+            // record the abort and let the guard surface it as an error.
+            match h.join() {
+                Ok(locals) => per_worker.push(locals),
+                Err(_) => guard.abort(ExecutionError::WorkerPanicked),
+            }
         }
     });
     if let Some(e) = guard.failure() {
@@ -724,7 +729,10 @@ pub fn merge_join(
                 })
                 .collect();
             for h in handles {
-                results.extend(h.join().expect("merge-join worker panicked"));
+                match h.join() {
+                    Ok(outs) => results.extend(outs),
+                    Err(_) => guard.abort(ExecutionError::WorkerPanicked),
+                }
             }
         });
         if let Some(e) = guard.failure() {
@@ -804,7 +812,10 @@ fn extract_keys(
             })
             .collect();
         for h in handles {
-            results.extend(h.join().expect("key-extraction worker panicked"));
+            match h.join() {
+                Ok(outs) => results.extend(outs),
+                Err(_) => guard.abort(ExecutionError::WorkerPanicked),
+            }
         }
     });
     if let Some(e) = guard.failure() {

@@ -369,6 +369,15 @@ fn drive(
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     s.spawn(|| {
+                        // Test-only fault injection: a sentinel morsel size
+                        // panics spawned workers, giving the containment
+                        // path (`ExecutionError::WorkerPanicked` instead of
+                        // unwinding through a warm server) a deterministic
+                        // test.
+                        #[cfg(test)]
+                        if options.morsel_size == TEST_PANIC_MORSEL_SIZE {
+                            panic!("injected worker panic (test sentinel morsel size)");
+                        }
                         let mut local = Vec::new();
                         worker(
                             &pipeline,
@@ -384,7 +393,10 @@ fn drive(
                 })
                 .collect();
             for h in handles {
-                chunks.extend(h.join().expect("pipeline worker panicked"));
+                match h.join() {
+                    Ok(local) => chunks.extend(local),
+                    Err(_) => guard.abort(ExecutionError::WorkerPanicked),
+                }
             }
         });
     }
@@ -541,9 +553,17 @@ pub fn hash_join(
     drive(pipeline, options, guard, &counters)
 }
 
+/// Sentinel `morsel_size` that makes spawned pipeline workers panic under
+/// `cfg(test)` — see the fault injection in [`drive`].  Small, so multi-
+/// morsel scheduling actually spawns workers; distinct from every value the
+/// crate's tests use for real runs.
+#[cfg(test)]
+pub(crate) const TEST_PANIC_MORSEL_SIZE: usize = 7;
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::executor::execute_plan;
     use crate::operators::{merge_join, scan};
     use qob_plan::{BaseRelation, JoinEdge};
     use qob_storage::{ColumnMeta, DataType, TableBuilder, Value};
@@ -736,5 +756,32 @@ mod tests {
         let b = run(4);
         assert_eq!(a.len(), 300);
         assert_eq!(all_tuples(&a), all_tuples(&b));
+    }
+
+    /// A panicking worker must surface as `WorkerPanicked`, not unwind: one
+    /// poisoned statement cannot take down a warm `qob serve` process.
+    #[test]
+    fn worker_panics_are_contained_as_execution_errors() {
+        let (db, q) = setup();
+        let plan = PhysicalPlan::join(
+            JoinAlgorithm::Hash,
+            PhysicalPlan::scan(0),
+            PhysicalPlan::scan(1),
+            vec![key01()],
+        );
+        let options = ExecutionOptions {
+            threads: 4,
+            morsel_size: TEST_PANIC_MORSEL_SIZE,
+            ..Default::default()
+        };
+        let err = execute_plan(&db, &q, &plan, &|_| 100.0, &options).unwrap_err();
+        assert_eq!(err, ExecutionError::WorkerPanicked);
+        assert!(err.to_string().contains("panicked"), "{err}");
+
+        // The same execution without the injection still answers — the
+        // engine (and the process) survives the poisoned statement.
+        let options = ExecutionOptions { threads: 4, morsel_size: 16, ..Default::default() };
+        let result = execute_plan(&db, &q, &plan, &|_| 100.0, &options).unwrap();
+        assert_eq!(result.rows, 300);
     }
 }

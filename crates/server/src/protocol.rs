@@ -9,7 +9,8 @@
 
 use std::time::Duration;
 
-use qob_core::{QueryReport, ServerContext, SessionError};
+use qob_core::{QueryReport, ScriptOutcome, ServerContext, SessionError};
+use qob_sql::ParamValue;
 
 use crate::json::Json;
 
@@ -35,6 +36,27 @@ pub enum Request {
         /// New value, as a string (numbers are accepted and stringified).
         value: String,
     },
+    /// `{"type":"prepare","name":"q","sql":"SELECT ... ?"}` — register a
+    /// parameterized statement under a session-private name.
+    Prepare {
+        /// The statement name.
+        name: String,
+        /// The (possibly parameterized) statement body.
+        sql: String,
+    },
+    /// `{"type":"execute","name":"q","params":[2000,"x",null]}` — run a
+    /// prepared statement with concrete parameter values.
+    Execute {
+        /// The prepared statement's name.
+        name: String,
+        /// Parameter values, in slot order (JSON numbers, strings, null).
+        params: Vec<ParamValue>,
+    },
+    /// `{"type":"deallocate","name":"q"}` — drop a prepared statement.
+    Deallocate {
+        /// The prepared statement's name.
+        name: String,
+    },
     /// `{"type":"stats"}` — server-wide counters and warm-state info.
     Stats,
     /// `{"type":"ping"}` — liveness probe.
@@ -59,9 +81,31 @@ impl Request {
                 .map(str::to_owned)
                 .ok_or_else(|| format!("`{kind}` needs a string `sql` field"))
         };
+        let name_field = |value: &Json| -> Result<String, String> {
+            value
+                .get("name")
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("`{kind}` needs a string `name` field"))
+        };
         match kind {
             "query" => Ok(Request::Query { sql: sql_field(&value)? }),
             "explain" => Ok(Request::Explain { sql: sql_field(&value)? }),
+            "prepare" => {
+                Ok(Request::Prepare { name: name_field(&value)?, sql: sql_field(&value)? })
+            }
+            "execute" => {
+                let name = name_field(&value)?;
+                let params = match value.get("params") {
+                    None => Vec::new(),
+                    Some(Json::Arr(items)) => {
+                        items.iter().map(param_value).collect::<Result<Vec<_>, _>>()?
+                    }
+                    Some(_) => return Err("`execute` needs an array `params` field".to_owned()),
+                };
+                Ok(Request::Execute { name, params })
+            }
+            "deallocate" => Ok(Request::Deallocate { name: name_field(&value)? }),
             "set" => {
                 let option = value
                     .get("option")
@@ -92,6 +136,32 @@ impl Request {
             Request::Explain { sql } => {
                 Json::obj(vec![("type", Json::str("explain")), ("sql", Json::str(sql.clone()))])
             }
+            Request::Prepare { name, sql } => Json::obj(vec![
+                ("type", Json::str("prepare")),
+                ("name", Json::str(name.clone())),
+                ("sql", Json::str(sql.clone())),
+            ]),
+            Request::Execute { name, params } => Json::obj(vec![
+                ("type", Json::str("execute")),
+                ("name", Json::str(name.clone())),
+                (
+                    "params",
+                    Json::Arr(
+                        params
+                            .iter()
+                            .map(|p| match p {
+                                ParamValue::Int(v) => Json::Num(*v as f64),
+                                ParamValue::Str(s) => Json::str(s.clone()),
+                                ParamValue::Null => Json::Null,
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Request::Deallocate { name } => Json::obj(vec![
+                ("type", Json::str("deallocate")),
+                ("name", Json::str(name.clone())),
+            ]),
             Request::Set { option, value } => Json::obj(vec![
                 ("type", Json::str("set")),
                 ("option", Json::str(option.clone())),
@@ -101,6 +171,27 @@ impl Request {
             Request::Ping => Json::obj(vec![("type", Json::str("ping"))]),
             Request::Shutdown => Json::obj(vec![("type", Json::str("shutdown"))]),
         }
+    }
+}
+
+/// The largest integer magnitude a JSON number (an IEEE-754 double)
+/// represents exactly.  Integer parameters beyond it would have been
+/// silently rounded somewhere in transit, so they are rejected rather
+/// than bound as a corrupted literal.
+const MAX_EXACT_JSON_INT: f64 = 9_007_199_254_740_992.0; // 2^53
+
+/// Parses one `execute` parameter value (integer, string or null).
+fn param_value(value: &Json) -> Result<ParamValue, String> {
+    match value {
+        Json::Null => Ok(ParamValue::Null),
+        Json::Str(s) => Ok(ParamValue::Str(s.clone())),
+        Json::Num(n) if n.fract() == 0.0 && n.abs() <= MAX_EXACT_JSON_INT => {
+            Ok(ParamValue::Int(*n as i64))
+        }
+        Json::Num(n) if n.fract() == 0.0 => Err(format!(
+            "integer parameter {n} exceeds ±2^53 and cannot travel exactly as a JSON number"
+        )),
+        other => Err(format!("parameter values must be integers, strings or null, got `{other}`")),
     }
 }
 
@@ -134,6 +225,9 @@ pub fn report_to_json(report: &QueryReport) -> Json {
         ("threads", Json::Num(report.threads as f64)),
         ("plan", Json::str(report.plan.clone())),
     ];
+    if let Some(status) = report.plan_cache {
+        pairs.push(("plan_cache", Json::str(status.label())));
+    }
     if let Some(exec) = &report.execution {
         pairs.push(("rows", Json::Num(exec.rows as f64)));
         pairs.push(("elapsed_us", duration_us(exec.elapsed)));
@@ -182,6 +276,50 @@ pub fn result_response(reports: &[QueryReport]) -> Json {
     ])
 }
 
+/// Renders one script outcome inside a `result` response: a full report
+/// object for queries, a small acknowledgement object for
+/// `PREPARE`/`DEALLOCATE`.
+pub fn outcome_to_json(outcome: &ScriptOutcome) -> Json {
+    match outcome {
+        ScriptOutcome::Query(report) => report_to_json(report),
+        ScriptOutcome::Prepared { name, params } => Json::obj(vec![
+            ("prepared", Json::str(name.clone())),
+            ("params", Json::Num(*params as f64)),
+        ]),
+        ScriptOutcome::Deallocated { name } => {
+            Json::obj(vec![("deallocated", Json::str(name.clone()))])
+        }
+    }
+}
+
+/// Builds the `result` response for a script's outcomes.
+pub fn outcomes_response(outcomes: &[ScriptOutcome]) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("type", Json::str("result")),
+        ("results", Json::Arr(outcomes.iter().map(outcome_to_json).collect())),
+    ])
+}
+
+/// Builds the acknowledgement for a successful `prepare`.
+pub fn prepared_response(name: &str, params: usize) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("type", Json::str("prepared")),
+        ("name", Json::str(name)),
+        ("params", Json::Num(params as f64)),
+    ])
+}
+
+/// Builds the acknowledgement for a successful `deallocate`.
+pub fn deallocated_response(name: &str) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("type", Json::str("deallocated")),
+        ("name", Json::str(name)),
+    ])
+}
+
 /// Builds the acknowledgement for a successful `set`.
 pub fn set_response(option: &str, value: &str) -> Json {
     Json::obj(vec![
@@ -211,6 +349,7 @@ pub fn stats_response(
     snapshot_loaded: bool,
 ) -> Json {
     let ctx = server.context();
+    let cache = server.plan_cache_counters();
     Json::obj(vec![
         ("ok", Json::Bool(true)),
         ("type", Json::str("stats")),
@@ -221,6 +360,13 @@ pub fn stats_response(
         ("queries_served", Json::Num(server.queries_served() as f64)),
         ("replans_total", Json::Num(server.replans_total() as f64)),
         ("truth_cached", Json::Num(ctx.truth_cache_len() as f64)),
+        ("plan_cache_hits", Json::Num(cache.hits as f64)),
+        ("plan_cache_misses", Json::Num(cache.misses as f64)),
+        ("plan_cache_fence_rejections", Json::Num(cache.fence_rejections as f64)),
+        ("plan_cache_evictions", Json::Num(cache.evictions as f64)),
+        ("plan_cache_installs", Json::Num(cache.installs as f64)),
+        ("plan_cache_size", Json::Num(server.plan_cache_len() as f64)),
+        ("plan_cache_capacity", Json::Num(server.plan_cache_capacity() as f64)),
         ("active_connections", Json::Num(active_connections as f64)),
         ("uptime_ms", Json::Num(uptime.as_millis() as f64)),
         ("snapshot_loaded", Json::Bool(snapshot_loaded)),
@@ -238,6 +384,18 @@ mod tests {
             Request::Query { sql: "SELECT COUNT(*) FROM title t".into() },
             Request::Explain { sql: "SELECT 1".into() },
             Request::Set { option: "threads".into(), value: "4".into() },
+            Request::Prepare { name: "q".into(), sql: "SELECT ... ?".into() },
+            Request::Execute {
+                name: "q".into(),
+                params: vec![
+                    ParamValue::Int(2000),
+                    ParamValue::Str("x".into()),
+                    ParamValue::Null,
+                    ParamValue::Int(-7),
+                ],
+            },
+            Request::Execute { name: "noargs".into(), params: vec![] },
+            Request::Deallocate { name: "q".into() },
             Request::Stats,
             Request::Ping,
             Request::Shutdown,
@@ -246,6 +404,45 @@ mod tests {
             let line = request.to_json().to_string();
             assert_eq!(Request::parse(&line).unwrap(), request, "line: {line}");
         }
+        // `params` may be omitted entirely.
+        let r = Request::parse(r#"{"type":"execute","name":"q"}"#).unwrap();
+        assert_eq!(r, Request::Execute { name: "q".into(), params: vec![] });
+    }
+
+    #[test]
+    fn execute_params_reject_bad_values() {
+        for line in [
+            r#"{"type":"execute","name":"q","params":[1.5]}"#,
+            r#"{"type":"execute","name":"q","params":[true]}"#,
+            r#"{"type":"execute","name":"q","params":[[1]]}"#,
+            r#"{"type":"execute","name":"q","params":"x"}"#,
+            // Beyond 2^53 a JSON number has already lost exactness.
+            r#"{"type":"execute","name":"q","params":[9007199254740994]}"#,
+        ] {
+            assert!(Request::parse(line).is_err(), "accepted: {line}");
+        }
+        assert!(Request::parse(r#"{"type":"prepare","sql":"x"}"#).unwrap_err().contains("name"));
+        assert!(Request::parse(r#"{"type":"prepare","name":"x"}"#).unwrap_err().contains("sql"));
+        assert!(Request::parse(r#"{"type":"deallocate"}"#).unwrap_err().contains("name"));
+    }
+
+    #[test]
+    fn ack_responses_have_the_documented_shape() {
+        let p = prepared_response("q", 2);
+        assert_eq!(p.get("type").unwrap().as_str(), Some("prepared"));
+        assert_eq!(p.get("params").unwrap().as_u64(), Some(2));
+        let d = deallocated_response("q");
+        assert_eq!(d.get("type").unwrap().as_str(), Some("deallocated"));
+        assert_eq!(d.get("name").unwrap().as_str(), Some("q"));
+
+        let outcomes = vec![
+            ScriptOutcome::Prepared { name: "q".into(), params: 1 },
+            ScriptOutcome::Deallocated { name: "q".into() },
+        ];
+        let response = outcomes_response(&outcomes);
+        let results = response.get("results").unwrap().as_array().unwrap();
+        assert_eq!(results[0].get("prepared").unwrap().as_str(), Some("q"));
+        assert_eq!(results[1].get("deallocated").unwrap().as_str(), Some("q"));
     }
 
     #[test]

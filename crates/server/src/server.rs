@@ -32,8 +32,9 @@ use parking_lot::{Mutex, RwLock};
 use qob_core::{ServerContext, Session};
 
 use crate::protocol::{
-    error_response, pong_response, result_response, session_error_response, set_response,
-    shutdown_response, stats_response, Request,
+    deallocated_response, error_response, outcomes_response, pong_response, prepared_response,
+    result_response, session_error_response, set_response, shutdown_response, stats_response,
+    Request,
 };
 
 /// How the server is stood up.
@@ -313,7 +314,7 @@ fn handle_request(
 ) -> (crate::json::Json, bool) {
     match request {
         Request::Query { sql } => match session.run_script(&sql) {
-            Ok(reports) => (result_response(&reports), true),
+            Ok(outcomes) => (outcomes_response(&outcomes), true),
             Err(e) => (session_error_response(&e), true),
         },
         Request::Explain { sql } => {
@@ -321,11 +322,23 @@ fn handle_request(
             let mut explain_session = session.clone();
             explain_session.options.execute = false;
             match explain_session.run_script(&sql) {
-                Ok(reports) => (result_response(&reports), true),
+                Ok(outcomes) => (outcomes_response(&outcomes), true),
                 Err(e) => (session_error_response(&e), true),
             }
         }
-        Request::Set { option, value } => match session.options.set(&option, &value) {
+        Request::Prepare { name, sql } => match session.prepare(&name, &sql) {
+            Ok(params) => (prepared_response(&name, params), true),
+            Err(e) => (session_error_response(&e), true),
+        },
+        Request::Execute { name, params } => match session.execute_prepared(&name, &params) {
+            Ok(report) => (result_response(std::slice::from_ref(&report)), true),
+            Err(e) => (session_error_response(&e), true),
+        },
+        Request::Deallocate { name } => match session.deallocate(&name) {
+            Ok(()) => (deallocated_response(&name), true),
+            Err(e) => (session_error_response(&e), true),
+        },
+        Request::Set { option, value } => match session.set_option(&option, &value) {
             Ok(()) => (set_response(&option, &value), true),
             Err(message) => (error_response("invalid_option", &message), true),
         },

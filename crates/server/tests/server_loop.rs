@@ -95,6 +95,97 @@ fn full_request_catalogue_over_one_connection() {
 }
 
 #[test]
+fn prepared_statements_and_plan_cache_over_the_wire() {
+    let (handle, addr) = start_server();
+    let mut client = Client::connect_with_retry(&addr, Duration::from_secs(5)).unwrap();
+
+    // Enable the plan cache for this session.
+    let ack = client
+        .request(&Request::Set { option: "plan_cache".into(), value: "true".into() })
+        .unwrap();
+    assert_eq!(ack.get("ok").unwrap().as_bool(), Some(true));
+
+    // prepare → acknowledged with the parameter count.
+    let prepared = client
+        .request(&Request::Prepare {
+            name: "by_country".into(),
+            sql: THREE_WAY.replace("'[us]'", "?"),
+        })
+        .unwrap();
+    assert_eq!(prepared.get("type").unwrap().as_str(), Some("prepared"), "{prepared}");
+    assert_eq!(prepared.get("params").unwrap().as_u64(), Some(1));
+
+    // execute: a first run misses, an identical repeat hits — and both
+    // answer exactly like the inline statement.
+    let run = |client: &mut Client, country: &str| {
+        let response = client
+            .request(&Request::Execute {
+                name: "by_country".into(),
+                params: vec![qob_sql::ParamValue::Str(country.into())],
+            })
+            .unwrap();
+        assert_eq!(response.get("ok").unwrap().as_bool(), Some(true), "{response}");
+        let result = response.get("results").unwrap().as_array().unwrap()[0].clone();
+        (
+            result.get("rows").unwrap().as_u64().unwrap(),
+            result.get("plan_cache").unwrap().as_str().unwrap().to_owned(),
+        )
+    };
+    let (rows_first, status_first) = run(&mut client, "[us]");
+    let (rows_again, status_again) = run(&mut client, "[us]");
+    assert_eq!(status_first, "miss");
+    assert_eq!(status_again, "hit");
+    assert_eq!(rows_first, rows_again);
+    let inline = client.query(THREE_WAY).unwrap();
+    let inline_rows =
+        inline.get("results").unwrap().as_array().unwrap()[0].get("rows").unwrap().as_u64();
+    assert_eq!(inline_rows, Some(rows_first));
+
+    // stats expose the cache counters this session just produced (the
+    // inline query was the same fingerprint with identical estimates, so
+    // it hit as well).
+    let stats = client.request(&Request::Stats).unwrap();
+    assert_eq!(stats.get("plan_cache_misses").unwrap().as_u64(), Some(1));
+    assert_eq!(stats.get("plan_cache_hits").unwrap().as_u64(), Some(2));
+    assert_eq!(stats.get("plan_cache_installs").unwrap().as_u64(), Some(1));
+    assert_eq!(stats.get("plan_cache_size").unwrap().as_u64(), Some(1));
+    assert!(stats.get("plan_cache_capacity").unwrap().as_u64().unwrap() >= 1);
+
+    // Scripts can drive the same machinery through `query`.
+    let script = "PREPARE by_year AS SELECT COUNT(*) FROM title t, movie_companies mc \
+                  WHERE mc.movie_id = t.id AND t.production_year > $1; \
+                  EXECUTE by_year(2000); DEALLOCATE by_year";
+    let scripted = client.query(script).unwrap();
+    let results = scripted.get("results").unwrap().as_array().unwrap();
+    assert_eq!(results.len(), 3, "{scripted}");
+    assert_eq!(results[0].get("prepared").unwrap().as_str(), Some("by_year"));
+    assert!(results[1].get("rows").unwrap().as_u64().is_some());
+    assert_eq!(results[2].get("deallocated").unwrap().as_str(), Some("by_year"));
+
+    // deallocate; unknown names and re-executes fail with sql_error.
+    let gone = client.request(&Request::Deallocate { name: "by_country".into() }).unwrap();
+    assert_eq!(gone.get("type").unwrap().as_str(), Some("deallocated"));
+    let err =
+        client.request(&Request::Execute { name: "by_country".into(), params: vec![] }).unwrap();
+    assert_eq!(err.get("error").unwrap().get("code").unwrap().as_str(), Some("sql_error"));
+    let err = client.request(&Request::Deallocate { name: "by_country".into() }).unwrap();
+    assert_eq!(err.get("ok").unwrap().as_bool(), Some(false));
+
+    // Prepared statements are per-session: a second connection sees none.
+    let mut other = Client::connect_with_retry(&addr, Duration::from_secs(5)).unwrap();
+    let err = other
+        .request(&Request::Execute {
+            name: "by_country".into(),
+            params: vec![qob_sql::ParamValue::Str("[us]".into())],
+        })
+        .unwrap();
+    assert_eq!(err.get("ok").unwrap().as_bool(), Some(false));
+
+    client.request(&Request::Shutdown).unwrap();
+    handle.join();
+}
+
+#[test]
 fn wire_sessions_can_match_every_cli_execution_option() {
     // The year filter makes DBMS C's magic constants misestimate `t`, so
     // the adaptive divergence check reliably fires at a 1.5x threshold.

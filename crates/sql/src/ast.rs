@@ -40,6 +40,10 @@ pub enum LiteralValue {
     Str(String),
     /// `NULL`.
     Null,
+    /// A parameter placeholder (`?` or `$n`), carrying its resolved
+    /// 0-based slot index.  Placeholders are substituted with concrete
+    /// values before binding — see [`crate::substitute_params`].
+    Param(u32),
 }
 
 impl LiteralValue {
@@ -49,6 +53,7 @@ impl LiteralValue {
             LiteralValue::Int(_) => "integer",
             LiteralValue::Str(_) => "string",
             LiteralValue::Null => "NULL",
+            LiteralValue::Param(_) => "parameter",
         }
     }
 }
@@ -195,6 +200,12 @@ pub struct SelectItem {
 }
 
 /// A full select-project-join statement.
+///
+/// Explicit `INNER JOIN ... ON` / `CROSS JOIN` syntax is normalised at parse
+/// time: the joined tables land in [`SelectStatement::from`] in text order
+/// and the `ON` conditions are conjoined in front of the `WHERE` expression,
+/// so the bound form is identical to the equivalent comma-separated
+/// `FROM` list.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SelectStatement {
     /// The `SELECT` list.
@@ -203,6 +214,37 @@ pub struct SelectStatement {
     pub from: Vec<TableRef>,
     /// The `WHERE` expression, if present.
     pub selection: Option<Expr>,
+}
+
+/// One statement of a script: a query, or one of the prepared-statement
+/// commands layered on top of the query dialect.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScriptStatement {
+    /// A plain `SELECT` statement.
+    Select(SelectStatement),
+    /// `PREPARE name AS SELECT ...` — register a (possibly parameterized)
+    /// statement under a name.
+    Prepare {
+        /// The statement name.
+        name: String,
+        /// The parameterized statement body.
+        statement: SelectStatement,
+        /// Number of parameter slots the body uses.
+        params: usize,
+    },
+    /// `EXECUTE name(arg, ...)` — run a prepared statement with concrete
+    /// argument literals (parentheses optional when there are none).
+    Execute {
+        /// The prepared statement's name.
+        name: String,
+        /// Argument literals, in slot order.
+        args: Vec<Literal>,
+    },
+    /// `DEALLOCATE name` — drop a prepared statement.
+    Deallocate {
+        /// The prepared statement's name.
+        name: String,
+    },
 }
 
 #[cfg(test)]

@@ -50,6 +50,13 @@ struct BoundColumn {
 
 impl<'a> Binder<'a> {
     fn bind(&self, stmt: &SelectStatement, name: String) -> Result<QuerySpec, SqlError> {
+        if let Some(span) = crate::params::first_param_span(stmt) {
+            return Err(SqlError::new(
+                ErrorKind::Parameter,
+                "statement has unbound parameter placeholders; PREPARE it and EXECUTE it with values",
+                span,
+            ));
+        }
         let mut relations = self.bind_from(&stmt.from)?;
         self.check_select_items(stmt, &relations)?;
 
@@ -506,7 +513,10 @@ impl<'a> Binder<'a> {
     ) -> Result<String, SqlError> {
         match &literal.value {
             LiteralValue::Str(s) if bound.dtype == DataType::Str => Ok(s.clone()),
-            LiteralValue::Str(_) | LiteralValue::Int(_) | LiteralValue::Null => Err(SqlError::new(
+            LiteralValue::Str(_)
+            | LiteralValue::Int(_)
+            | LiteralValue::Null
+            | LiteralValue::Param(_) => Err(SqlError::new(
                 ErrorKind::TypeMismatch,
                 format!(
                     "column `{}` has type {} but the literal is {}",

@@ -46,6 +46,64 @@ pub fn emit_query(db: &Database, query: &QuerySpec) -> String {
     out
 }
 
+/// Renders `query` using explicit-join syntax: `FROM a INNER JOIN b ON ...
+/// [CROSS JOIN c ...]` with only base predicates in `WHERE`.
+///
+/// Relations keep their spec order.  Each join edge is attached to the
+/// later of its two endpoints (the first point at which both sides are in
+/// scope); a relation with no edge to an earlier relation enters via
+/// `CROSS JOIN` (a later `ON` connects it — the bound join graph is still
+/// connected).  Re-binding the output therefore yields the original spec
+/// with its join edges stably re-ordered by their later endpoint — the
+/// normalisation the dialect round-trip tests pin.
+pub fn emit_query_join_syntax(db: &Database, query: &QuerySpec) -> String {
+    let mut out = String::from("SELECT COUNT(*)\nFROM ");
+    for (i, rel) in query.relations.iter().enumerate() {
+        let table = db.table(rel.table).name();
+        if i == 0 {
+            out.push_str(&format!("{table} AS {}", rel.alias));
+            continue;
+        }
+        let edges: Vec<_> = query.joins.iter().filter(|e| e.left.max(e.right) == i).collect();
+        if edges.is_empty() {
+            out.push_str(&format!("\n  CROSS JOIN {table} AS {}", rel.alias));
+            continue;
+        }
+        let conditions: Vec<String> = edges
+            .iter()
+            .map(|edge| {
+                let left = &query.relations[edge.left];
+                let right = &query.relations[edge.right];
+                format!(
+                    "{}.{} = {}.{}",
+                    left.alias,
+                    db.table(left.table).column_meta(edge.left_column).name,
+                    right.alias,
+                    db.table(right.table).column_meta(edge.right_column).name,
+                )
+            })
+            .collect();
+        out.push_str(&format!(
+            "\n  INNER JOIN {table} AS {} ON {}",
+            rel.alias,
+            conditions.join(" AND ")
+        ));
+    }
+    let mut clauses: Vec<String> = Vec::new();
+    for rel in &query.relations {
+        let table = db.table(rel.table);
+        for predicate in &rel.predicates {
+            clauses.push(emit_predicate(table, rel, predicate));
+        }
+    }
+    if !clauses.is_empty() {
+        out.push_str("\nWHERE ");
+        out.push_str(&clauses.join("\n  AND "));
+    }
+    out.push(';');
+    out
+}
+
 /// Renders one base-table predicate of `rel` as a SQL boolean expression.
 pub fn emit_predicate(table: &Table, rel: &BaseRelation, predicate: &Predicate) -> String {
     let col = |id: &qob_storage::ColumnId| format!("{}.{}", rel.alias, table.column_meta(*id).name);

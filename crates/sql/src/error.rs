@@ -48,6 +48,10 @@ pub enum ErrorKind {
     /// The bound query failed whole-query validation (e.g. the join graph is
     /// disconnected and would need a cross product).
     Validation,
+    /// Parameter placeholders were misused: a statement executed with the
+    /// wrong number of values, or bound without substituting its
+    /// placeholders first.
+    Parameter,
 }
 
 impl ErrorKind {
@@ -64,6 +68,7 @@ impl ErrorKind {
             ErrorKind::TypeMismatch => "type mismatch",
             ErrorKind::Unsupported => "unsupported",
             ErrorKind::Validation => "invalid query",
+            ErrorKind::Parameter => "parameter error",
         }
     }
 }

@@ -76,6 +76,36 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, SqlError> {
             tokens.push(Token { tok: Tok::Int(value), span: Span::new(start, i) });
             continue;
         }
+        // Parameter placeholders: `?` and `$n`.
+        if b == b'?' {
+            tokens.push(Token { tok: Tok::Param(None), span: Span::new(start, start + 1) });
+            i += 1;
+            continue;
+        }
+        if b == b'$' {
+            i += 1;
+            let digits_start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            let text = &src[digits_start..i];
+            if text.is_empty() {
+                return Err(SqlError::new(
+                    ErrorKind::Lex,
+                    "`$` must be followed by a parameter number (e.g. `$1`)",
+                    Span::new(start, i),
+                ));
+            }
+            let n: u32 = text.parse().map_err(|_| {
+                SqlError::new(
+                    ErrorKind::Lex,
+                    format!("parameter number `${text}` is out of range"),
+                    Span::new(start, i),
+                )
+            })?;
+            tokens.push(Token { tok: Tok::Param(Some(n)), span: Span::new(start, i) });
+            continue;
+        }
         // Identifier or keyword.
         if b.is_ascii_alphabetic() || b == b'_' {
             while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
@@ -199,6 +229,30 @@ mod tests {
 
         let err = tokenize("99999999999999999999999").unwrap_err();
         assert!(err.message.contains("64 bits"));
+    }
+
+    #[test]
+    fn parameter_placeholders_lex() {
+        let toks = kinds("x = ? AND y = $12");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Eq,
+                Tok::Param(None),
+                Tok::And,
+                Tok::Ident("y".into()),
+                Tok::Eq,
+                Tok::Param(Some(12)),
+                Tok::Eof,
+            ]
+        );
+        let err = tokenize("$").unwrap_err();
+        assert!(err.message.contains("parameter number"), "{}", err.message);
+        let err = tokenize("$x").unwrap_err();
+        assert!(err.message.contains("parameter number"), "{}", err.message);
+        let err = tokenize("$99999999999").unwrap_err();
+        assert!(err.message.contains("out of range"), "{}", err.message);
     }
 
     #[test]

@@ -35,15 +35,17 @@ pub mod binder;
 pub mod emit;
 pub mod error;
 pub mod lexer;
+pub mod params;
 pub mod parser;
 pub mod token;
 
-pub use ast::{Expr, SelectExpr, SelectItem, SelectStatement, TableRef};
+pub use ast::{Expr, ScriptStatement, SelectExpr, SelectItem, SelectStatement, TableRef};
 pub use binder::bind;
-pub use emit::{emit_predicate, emit_query};
+pub use emit::{emit_predicate, emit_query, emit_query_join_syntax};
 pub use error::{ErrorKind, Span, SqlError};
 pub use lexer::tokenize;
-pub use parser::{parse_statement, parse_statements};
+pub use params::{param_count, substitute_params, ParamValue};
+pub use parser::{parse_script_statement, parse_statement, parse_statements};
 
 use qob_plan::QuerySpec;
 use qob_storage::Database;
@@ -96,6 +98,88 @@ mod tests {
         assert_eq!(specs.len(), 2);
         assert_eq!(specs[0].name, "q1");
         assert_eq!(specs[1].name, "q2");
+    }
+
+    #[test]
+    fn join_syntax_binds_identically_to_the_comma_form() {
+        let db = generate_imdb(&Scale::tiny()).unwrap();
+        let comma = compile(
+            &db,
+            "SELECT COUNT(*) FROM title t, movie_companies mc, company_name cn \
+             WHERE mc.movie_id = t.id AND mc.company_id = cn.id \
+               AND cn.country_code = '[us]' AND t.production_year > 2000",
+            "q",
+        )
+        .unwrap();
+        let joined = compile(
+            &db,
+            "SELECT COUNT(*) FROM title t \
+             INNER JOIN movie_companies mc ON mc.movie_id = t.id \
+             INNER JOIN company_name cn ON mc.company_id = cn.id \
+             WHERE cn.country_code = '[us]' AND t.production_year > 2000",
+            "q",
+        )
+        .unwrap();
+        assert_eq!(comma, joined, "explicit joins bind to the comma-separated form");
+
+        // CROSS JOIN enters a relation whose edges all point forward: mc
+        // joins both t and cn only after cn is in scope.
+        let crossed = compile(
+            &db,
+            "SELECT COUNT(*) FROM title t CROSS JOIN company_name cn \
+             INNER JOIN movie_companies mc \
+               ON mc.movie_id = t.id AND mc.company_id = cn.id \
+             WHERE cn.country_code = '[us]' AND t.production_year > 2000",
+            "q",
+        )
+        .unwrap();
+        let crossed_comma = compile(
+            &db,
+            "SELECT COUNT(*) FROM title t, company_name cn, movie_companies mc \
+             WHERE mc.movie_id = t.id AND mc.company_id = cn.id \
+               AND cn.country_code = '[us]' AND t.production_year > 2000",
+            "q",
+        )
+        .unwrap();
+        assert_eq!(crossed, crossed_comma);
+    }
+
+    #[test]
+    fn join_syntax_emission_rebinds_to_the_normalised_spec() {
+        let db = generate_imdb(&Scale::tiny()).unwrap();
+        let q = compile(
+            &db,
+            "SELECT COUNT(*) FROM title t, movie_companies mc, company_name cn \
+             WHERE mc.company_id = cn.id AND mc.movie_id = t.id \
+               AND cn.country_code = '[us]'",
+            "q",
+        )
+        .unwrap();
+        let sql = emit_query_join_syntax(&db, &q);
+        assert!(sql.contains("INNER JOIN"), "emitted:\n{sql}");
+        let rebound = compile(&db, &sql, "q").unwrap();
+        // Join edges re-order stably by their later endpoint; everything
+        // else survives exactly.
+        let mut expected = q.clone();
+        expected.joins.sort_by_key(|e| e.left.max(e.right));
+        assert_eq!(rebound, expected, "emitted:\n{sql}");
+    }
+
+    #[test]
+    fn unbound_parameters_are_rejected_at_bind() {
+        let db = generate_imdb(&Scale::tiny()).unwrap();
+        let err = compile(&db, "SELECT COUNT(*) FROM title t WHERE t.production_year > ?", "q")
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Parameter);
+        assert!(err.message.contains("PREPARE"), "{}", err.message);
+        assert!(err.span.is_some());
+
+        // Substituting first makes the same statement bindable.
+        let stmt =
+            parse_statement("SELECT COUNT(*) FROM title t WHERE t.production_year > $1").unwrap();
+        let filled = substitute_params(&stmt, &[ParamValue::Int(2000)]).unwrap();
+        let q = bind(&db, &filled, "q").unwrap();
+        assert_eq!(q.base_predicate_count(), 1);
     }
 
     #[test]

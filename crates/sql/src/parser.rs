@@ -3,11 +3,17 @@
 //! Grammar (keywords case-insensitive):
 //!
 //! ```text
-//! script     := statement (';' statement)* [';']
+//! script     := script_stmt (';' script_stmt)* [';']
+//! script_stmt:= statement
+//!             | PREPARE ident AS statement
+//!             | EXECUTE ident ['(' [const (',' const)*] ')']
+//!             | DEALLOCATE ident
 //! statement  := SELECT items FROM tables [WHERE expr]
 //! items      := item (',' item)*
 //! item       := '*' | ident '(' ('*' | colref) ')' [AS ident] | colref [AS ident]
-//! tables     := table (',' table)*
+//! tables     := factor (',' factor)*
+//! factor     := table (join)*
+//! join       := [INNER] JOIN table ON expr | CROSS JOIN table
 //! table      := ident [AS] [ident]
 //! expr       := and_expr (OR and_expr)*
 //! and_expr   := unary (AND unary)*
@@ -18,15 +24,24 @@
 //!             | colref [NOT] LIKE literal
 //!             | colref IS [NOT] NULL
 //! operand    := colref | literal
-//! colref     := ident ['.' ident]
-//! literal    := ['-'] int | string | NULL
+//! literal    := const | '?' | '$' int
+//! const      := ['-'] int | string | NULL
 //! ```
+//!
+//! `INNER JOIN ... ON` and `CROSS JOIN` are normalised at parse time: the
+//! joined tables are appended to the `FROM` list in text order and the `ON`
+//! conditions are conjoined in front of the `WHERE` clause, so the statement
+//! binds to exactly the spec its comma-separated form would.
+//!
+//! Parameter placeholders are positional `?` (slots assigned left to right)
+//! or numbered `$1`, `$2`, … — the two styles cannot be mixed in one
+//! statement.
 
 use qob_storage::CmpOp;
 
 use crate::ast::{
-    ColumnRef, Expr, Literal, LiteralValue, Operand, SelectExpr, SelectItem, SelectStatement,
-    TableRef,
+    ColumnRef, Expr, Literal, LiteralValue, Operand, ScriptStatement, SelectExpr, SelectItem,
+    SelectStatement, TableRef,
 };
 use crate::error::{ErrorKind, Span, SqlError};
 use crate::lexer::tokenize;
@@ -60,14 +75,30 @@ pub fn parse_statements(sql: &str) -> Result<Vec<SelectStatement>, SqlError> {
     Ok(statements)
 }
 
+/// Parses one script statement: a `SELECT`, or one of the
+/// prepared-statement commands (`PREPARE name AS ...`, `EXECUTE name(...)`,
+/// `DEALLOCATE name`).  A trailing `;` is allowed.
+pub fn parse_script_statement(sql: &str) -> Result<ScriptStatement, SqlError> {
+    let mut parser = Parser::new(sql)?;
+    let stmt = parser.script_statement()?;
+    parser.eat_if(&Tok::Semi);
+    parser.expect_eof()?;
+    Ok(stmt)
+}
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// `?` placeholders seen in the current statement (slots assigned in
+    /// text order).
+    positional_params: u32,
+    /// Highest `$n` seen in the current statement.
+    max_numbered_param: u32,
 }
 
 impl Parser {
     fn new(sql: &str) -> Result<Self, SqlError> {
-        Ok(Parser { tokens: tokenize(sql)?, pos: 0 })
+        Ok(Parser { tokens: tokenize(sql)?, pos: 0, positional_params: 0, max_numbered_param: 0 })
     }
 
     fn peek(&self) -> &Tok {
@@ -136,19 +167,104 @@ impl Parser {
 
     // -- statement ---------------------------------------------------------
 
+    fn script_statement(&mut self) -> Result<ScriptStatement, SqlError> {
+        match self.peek() {
+            Tok::Prepare => {
+                self.advance();
+                let (name, _) = self.ident("a statement name after `PREPARE`")?;
+                self.expect(Tok::As, "`AS` after the statement name")?;
+                let statement = self.statement()?;
+                let params = self.param_slots();
+                Ok(ScriptStatement::Prepare { name, statement, params })
+            }
+            Tok::Execute => {
+                self.advance();
+                let (name, _) = self.ident("a statement name after `EXECUTE`")?;
+                let mut args = Vec::new();
+                if self.eat_if(&Tok::LParen) {
+                    if self.peek() != &Tok::RParen {
+                        args.push(self.const_literal()?);
+                        while self.eat_if(&Tok::Comma) {
+                            args.push(self.const_literal()?);
+                        }
+                    }
+                    self.expect(Tok::RParen, "`)` closing the argument list")?;
+                }
+                Ok(ScriptStatement::Execute { name, args })
+            }
+            Tok::Deallocate => {
+                self.advance();
+                let (name, _) = self.ident("a statement name after `DEALLOCATE`")?;
+                Ok(ScriptStatement::Deallocate { name })
+            }
+            _ => Ok(ScriptStatement::Select(self.statement()?)),
+        }
+    }
+
+    /// Number of parameter slots the just-parsed statement uses.
+    fn param_slots(&self) -> usize {
+        self.positional_params.max(self.max_numbered_param) as usize
+    }
+
     fn statement(&mut self) -> Result<SelectStatement, SqlError> {
+        // Parameter slots are per-statement state.
+        self.positional_params = 0;
+        self.max_numbered_param = 0;
         self.expect(Tok::Select, "`SELECT`")?;
         let mut items = vec![self.select_item()?];
         while self.eat_if(&Tok::Comma) {
             items.push(self.select_item()?);
         }
         self.expect(Tok::From, "`FROM`")?;
-        let mut from = vec![self.table_ref()?];
-        while self.eat_if(&Tok::Comma) {
-            from.push(self.table_ref()?);
+        let mut from = Vec::new();
+        let mut on_conditions: Vec<Expr> = Vec::new();
+        loop {
+            self.table_factor(&mut from, &mut on_conditions)?;
+            if !self.eat_if(&Tok::Comma) {
+                break;
+            }
         }
-        let selection = if self.eat_if(&Tok::Where) { Some(self.expr()?) } else { None };
+        let where_expr = if self.eat_if(&Tok::Where) { Some(self.expr()?) } else { None };
+        // `ON` conditions are WHERE conjuncts in everything but position:
+        // conjoin them (in text order) in front of the WHERE expression so
+        // the bound form matches the comma-separated equivalent.
+        let mut selection: Option<Expr> = None;
+        for condition in on_conditions.into_iter().chain(where_expr) {
+            selection = Some(match selection {
+                None => condition,
+                Some(acc) => Expr::And(Box::new(acc), Box::new(condition)),
+            });
+        }
         Ok(SelectStatement { items, from, selection })
+    }
+
+    /// One `FROM` factor: a table followed by any chain of explicit joins.
+    fn table_factor(
+        &mut self,
+        from: &mut Vec<TableRef>,
+        on_conditions: &mut Vec<Expr>,
+    ) -> Result<(), SqlError> {
+        from.push(self.table_ref()?);
+        loop {
+            match self.peek() {
+                Tok::Cross => {
+                    self.advance();
+                    self.expect(Tok::Join, "`JOIN` after `CROSS`")?;
+                    from.push(self.table_ref()?);
+                }
+                Tok::Inner | Tok::Join => {
+                    if self.eat_if(&Tok::Inner) {
+                        self.expect(Tok::Join, "`JOIN` after `INNER`")?;
+                    } else {
+                        self.advance();
+                    }
+                    from.push(self.table_ref()?);
+                    self.expect(Tok::On, "`ON` after the joined table")?;
+                    on_conditions.push(self.expr()?);
+                }
+                _ => return Ok(()),
+            }
+        }
     }
 
     fn select_item(&mut self) -> Result<SelectItem, SqlError> {
@@ -307,6 +423,50 @@ impl Parser {
     }
 
     fn literal(&mut self) -> Result<Literal, SqlError> {
+        if let Tok::Param(numbered) = self.peek() {
+            let numbered = *numbered;
+            let span = self.span();
+            self.advance();
+            let index = match numbered {
+                None => {
+                    if self.max_numbered_param > 0 {
+                        return Err(SqlError::new(
+                            ErrorKind::Parse,
+                            "cannot mix `?` and `$n` parameters in one statement",
+                            span,
+                        ));
+                    }
+                    let index = self.positional_params;
+                    self.positional_params += 1;
+                    index
+                }
+                Some(n) => {
+                    if self.positional_params > 0 {
+                        return Err(SqlError::new(
+                            ErrorKind::Parse,
+                            "cannot mix `?` and `$n` parameters in one statement",
+                            span,
+                        ));
+                    }
+                    if n == 0 {
+                        return Err(SqlError::new(
+                            ErrorKind::Parse,
+                            "parameters are numbered from `$1`",
+                            span,
+                        ));
+                    }
+                    self.max_numbered_param = self.max_numbered_param.max(n);
+                    n - 1
+                }
+            };
+            return Ok(Literal { value: LiteralValue::Param(index), span });
+        }
+        self.const_literal()
+    }
+
+    /// A literal that must be a concrete value (no parameter placeholders) —
+    /// the only form allowed as an `EXECUTE` argument.
+    fn const_literal(&mut self) -> Result<Literal, SqlError> {
         let start = self.span();
         if self.eat_if(&Tok::Minus) {
             return match self.peek() {
@@ -436,6 +596,249 @@ mod tests {
                 err.message
             );
             assert!(err.span.is_some(), "error for `{sql}` should be spanned");
+        }
+    }
+
+    #[test]
+    fn explicit_join_syntax_normalises_to_the_comma_form() {
+        // ASTs carry source spans, so compare the span-free shape: the FROM
+        // order and the flattened conjunct sequence.  (Bound-spec equality
+        // against the comma form is pinned in the crate-level tests.)
+        let shape = |sql: &str| {
+            let stmt = parse_statement(sql).unwrap();
+            let from: Vec<String> = stmt
+                .from
+                .iter()
+                .map(|t| format!("{} {}", t.table, t.alias.clone().unwrap_or_default()))
+                .collect();
+            let mut conjuncts = Vec::new();
+            fn flatten(e: Expr, out: &mut Vec<String>) {
+                if let Expr::And(l, r) = e {
+                    flatten(*l, out);
+                    flatten(*r, out);
+                } else if let Expr::Cmp { left, right, op } = e {
+                    out.push(format!(
+                        "{:?} {op:?} {:?}",
+                        operand_name(&left),
+                        operand_name(&right)
+                    ));
+                } else {
+                    out.push(format!("{e:?}").split('{').next().unwrap_or_default().to_owned());
+                }
+            }
+            fn operand_name(op: &Operand) -> String {
+                match op {
+                    Operand::Column(c) => c.display_name(),
+                    Operand::Literal(l) => format!("{:?}", l.value),
+                }
+            }
+            let mut conjs = Vec::new();
+            if let Some(selection) = stmt.selection {
+                flatten(selection, &mut conjs);
+            }
+            conjuncts.extend(conjs);
+            (from, conjuncts)
+        };
+        let comma = shape(
+            "SELECT COUNT(*) FROM title t, movie_companies mc, company_name cn \
+             WHERE mc.movie_id = t.id AND mc.company_id = cn.id AND cn.country_code = '[us]'",
+        );
+        for sql in [
+            // INNER JOIN ... ON with the WHERE carrying the base predicate.
+            "SELECT COUNT(*) FROM title t INNER JOIN movie_companies mc ON mc.movie_id = t.id \
+             INNER JOIN company_name cn ON mc.company_id = cn.id \
+             WHERE cn.country_code = '[us]'",
+            // Bare JOIN is INNER JOIN.
+            "SELECT COUNT(*) FROM title t JOIN movie_companies mc ON mc.movie_id = t.id \
+             JOIN company_name cn ON mc.company_id = cn.id WHERE cn.country_code = '[us]'",
+        ] {
+            assert_eq!(shape(sql), comma, "for `{sql}`");
+        }
+    }
+
+    #[test]
+    fn cross_join_and_multi_condition_on_parse() {
+        let stmt = parse_statement(
+            "SELECT * FROM a x CROSS JOIN b y \
+             INNER JOIN c z ON z.id = x.id AND z.b_id = y.id AND z.kind = 'k'",
+        )
+        .unwrap();
+        assert_eq!(stmt.from.len(), 3);
+        assert_eq!(stmt.from[1].alias.as_deref(), Some("y"));
+        // The three ON conjuncts land as a left-associative AND chain.
+        let mut conjuncts = Vec::new();
+        fn flatten(e: Expr, out: &mut Vec<Expr>) {
+            if let Expr::And(l, r) = e {
+                flatten(*l, out);
+                flatten(*r, out);
+            } else {
+                out.push(e);
+            }
+        }
+        flatten(stmt.selection.unwrap(), &mut conjuncts);
+        assert_eq!(conjuncts.len(), 3);
+
+        // Joins chain after a comma factor too.
+        let stmt = parse_statement("SELECT * FROM a, b JOIN c ON c.id = b.id WHERE a.id = b.a_id")
+            .unwrap();
+        assert_eq!(stmt.from.len(), 3);
+        let mut conjuncts = Vec::new();
+        flatten(stmt.selection.unwrap(), &mut conjuncts);
+        assert_eq!(conjuncts.len(), 2, "ON condition precedes the WHERE conjunct");
+        assert!(
+            matches!(&conjuncts[0], Expr::Cmp { left: Operand::Column(c), .. } if c.qualifier.as_deref() == Some("c"))
+        );
+    }
+
+    #[test]
+    fn join_syntax_error_paths() {
+        for (sql, needle) in [
+            ("SELECT * FROM a CROSS b", "`JOIN` after `CROSS`"),
+            ("SELECT * FROM a CROSS JOIN", "table name"),
+            ("SELECT * FROM a JOIN b", "`ON` after the joined table"),
+            ("SELECT * FROM a INNER b ON a.x = b.y", "`JOIN` after `INNER`"),
+            ("SELECT * FROM a JOIN b ON", "a literal"),
+        ] {
+            let err = parse_statement(sql).unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "for `{sql}` expected `{needle}`, got `{}`",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn positional_and_numbered_params_assign_slots() {
+        let stmt = parse_statement(
+            "SELECT COUNT(*) FROM t x WHERE x.a > ? AND x.b = ? AND x.c BETWEEN ? AND ?",
+        )
+        .unwrap();
+        let mut params = Vec::new();
+        fn collect(e: &Expr, out: &mut Vec<u32>) {
+            match e {
+                Expr::And(l, r) | Expr::Or(l, r) => {
+                    collect(l, out);
+                    collect(r, out);
+                }
+                Expr::Not(i) | Expr::Paren(i) => collect(i, out),
+                Expr::Cmp { left, right, .. } => {
+                    for op in [left, right] {
+                        if let Operand::Literal(Literal { value: LiteralValue::Param(i), .. }) = op
+                        {
+                            out.push(*i);
+                        }
+                    }
+                }
+                Expr::Between { low, high, .. } => {
+                    for l in [low, high] {
+                        if let LiteralValue::Param(i) = l.value {
+                            out.push(i);
+                        }
+                    }
+                }
+                Expr::InList { items, .. } => {
+                    for l in items {
+                        if let LiteralValue::Param(i) = l.value {
+                            out.push(i);
+                        }
+                    }
+                }
+                Expr::Like { pattern, .. } => {
+                    if let LiteralValue::Param(i) = pattern.value {
+                        out.push(i);
+                    }
+                }
+                Expr::IsNull { .. } => {}
+            }
+        }
+        collect(stmt.selection.as_ref().unwrap(), &mut params);
+        assert_eq!(params, vec![0, 1, 2, 3], "`?` slots assign left to right");
+
+        let stmt =
+            parse_statement("SELECT * FROM t x WHERE x.a = $2 AND x.b LIKE $1 AND x.c IN ($2)")
+                .unwrap();
+        let mut params = Vec::new();
+        collect(stmt.selection.as_ref().unwrap(), &mut params);
+        assert_eq!(params, vec![1, 0, 1], "`$n` is 1-based and reusable");
+    }
+
+    #[test]
+    fn param_misuse_is_rejected() {
+        for (sql, needle) in [
+            ("SELECT * FROM t x WHERE x.a = ? AND x.b = $1", "cannot mix"),
+            ("SELECT * FROM t x WHERE x.a = $1 AND x.b = ?", "cannot mix"),
+            ("SELECT * FROM t x WHERE x.a = $0", "numbered from `$1`"),
+        ] {
+            let err = parse_statement(sql).unwrap_err();
+            assert!(err.message.contains(needle), "for `{sql}`: {}", err.message);
+        }
+        // Param slots reset between statements of one script.
+        let stmts =
+            parse_statements("SELECT * FROM t x WHERE x.a = ?; SELECT * FROM t x WHERE x.a = $1;")
+                .unwrap();
+        assert_eq!(stmts.len(), 2);
+    }
+
+    #[test]
+    fn prepared_statement_commands_parse() {
+        let stmt =
+            parse_script_statement("PREPARE by_year AS SELECT COUNT(*) FROM t x WHERE x.a > ?;")
+                .unwrap();
+        match stmt {
+            ScriptStatement::Prepare { name, params, .. } => {
+                assert_eq!(name, "by_year");
+                assert_eq!(params, 1);
+            }
+            other => panic!("expected PREPARE, got {other:?}"),
+        }
+        let stmt = parse_script_statement("PREPARE two AS SELECT COUNT(*) FROM t x WHERE x.a = $3")
+            .unwrap();
+        assert!(matches!(stmt, ScriptStatement::Prepare { params: 3, .. }));
+
+        let stmt = parse_script_statement("EXECUTE by_year(2000, 'x', NULL, -5)").unwrap();
+        match stmt {
+            ScriptStatement::Execute { name, args } => {
+                assert_eq!(name, "by_year");
+                let values: Vec<LiteralValue> = args.into_iter().map(|a| a.value).collect();
+                assert_eq!(
+                    values,
+                    vec![
+                        LiteralValue::Int(2000),
+                        LiteralValue::Str("x".into()),
+                        LiteralValue::Null,
+                        LiteralValue::Int(-5),
+                    ]
+                );
+            }
+            other => panic!("expected EXECUTE, got {other:?}"),
+        }
+        assert!(matches!(
+            parse_script_statement("EXECUTE noargs").unwrap(),
+            ScriptStatement::Execute { args, .. } if args.is_empty()
+        ));
+        assert!(matches!(
+            parse_script_statement("EXECUTE noargs()").unwrap(),
+            ScriptStatement::Execute { args, .. } if args.is_empty()
+        ));
+        assert!(matches!(
+            parse_script_statement("DEALLOCATE by_year;").unwrap(),
+            ScriptStatement::Deallocate { name } if name == "by_year"
+        ));
+        assert!(matches!(
+            parse_script_statement("SELECT * FROM t").unwrap(),
+            ScriptStatement::Select(_)
+        ));
+
+        for (sql, needle) in [
+            ("PREPARE AS SELECT * FROM t", "statement name after `PREPARE`"),
+            ("PREPARE q SELECT * FROM t", "`AS` after the statement name"),
+            ("EXECUTE q(?)", "a literal"),
+            ("EXECUTE q(1", "`)` closing the argument list"),
+            ("DEALLOCATE", "statement name after `DEALLOCATE`"),
+        ] {
+            let err = parse_script_statement(sql).unwrap_err();
+            assert!(err.message.contains(needle), "for `{sql}`: {}", err.message);
         }
     }
 

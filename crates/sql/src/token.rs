@@ -17,6 +17,9 @@ pub enum Tok {
     Int(i64),
     /// String literal with quotes removed and `''` unescaped.
     Str(String),
+    /// Parameter placeholder: `?` is positional (`None`), `$n` is numbered
+    /// (`Some(n)`, 1-based as written).
+    Param(Option<u32>),
 
     /// `,`
     Comma,
@@ -69,6 +72,20 @@ pub enum Tok {
     Is,
     /// `NULL`
     Null,
+    /// `JOIN`
+    Join,
+    /// `ON`
+    On,
+    /// `INNER`
+    Inner,
+    /// `CROSS`
+    Cross,
+    /// `PREPARE`
+    Prepare,
+    /// `EXECUTE`
+    Execute,
+    /// `DEALLOCATE`
+    Deallocate,
 
     /// End of input.
     Eof,
@@ -90,6 +107,13 @@ impl Tok {
             "BETWEEN" => Tok::Between,
             "IS" => Tok::Is,
             "NULL" => Tok::Null,
+            "JOIN" => Tok::Join,
+            "ON" => Tok::On,
+            "INNER" => Tok::Inner,
+            "CROSS" => Tok::Cross,
+            "PREPARE" => Tok::Prepare,
+            "EXECUTE" => Tok::Execute,
+            "DEALLOCATE" => Tok::Deallocate,
             _ => return None,
         })
     }
@@ -100,6 +124,8 @@ impl Tok {
             Tok::Ident(name) => format!("identifier `{name}`"),
             Tok::Int(v) => format!("integer `{v}`"),
             Tok::Str(s) => format!("string '{s}'"),
+            Tok::Param(None) => "parameter `?`".to_owned(),
+            Tok::Param(Some(n)) => format!("parameter `${n}`"),
             Tok::Eof => "end of input".to_owned(),
             other => format!("`{}`", other.symbol()),
         }
@@ -132,7 +158,14 @@ impl Tok {
             Tok::Between => "BETWEEN",
             Tok::Is => "IS",
             Tok::Null => "NULL",
-            Tok::Ident(_) | Tok::Int(_) | Tok::Str(_) | Tok::Eof => "",
+            Tok::Join => "JOIN",
+            Tok::On => "ON",
+            Tok::Inner => "INNER",
+            Tok::Cross => "CROSS",
+            Tok::Prepare => "PREPARE",
+            Tok::Execute => "EXECUTE",
+            Tok::Deallocate => "DEALLOCATE",
+            Tok::Ident(_) | Tok::Int(_) | Tok::Str(_) | Tok::Param(_) | Tok::Eof => "",
         }
     }
 }
@@ -161,6 +194,10 @@ mod tests {
         assert_eq!(Tok::keyword("select"), Some(Tok::Select));
         assert_eq!(Tok::keyword("Between"), Some(Tok::Between));
         assert_eq!(Tok::keyword("NULL"), Some(Tok::Null));
+        assert_eq!(Tok::keyword("join"), Some(Tok::Join));
+        assert_eq!(Tok::keyword("Cross"), Some(Tok::Cross));
+        assert_eq!(Tok::keyword("PREPARE"), Some(Tok::Prepare));
+        assert_eq!(Tok::keyword("deallocate"), Some(Tok::Deallocate));
         assert_eq!(Tok::keyword("min"), None, "function names are identifiers");
         assert_eq!(Tok::keyword("title"), None);
     }
@@ -171,6 +208,8 @@ mod tests {
         assert_eq!(Tok::Int(7).describe(), "integer `7`");
         assert_eq!(Tok::Str("x".into()).describe(), "string 'x'");
         assert_eq!(Tok::Le.describe(), "`<=`");
+        assert_eq!(Tok::Param(None).describe(), "parameter `?`");
+        assert_eq!(Tok::Param(Some(2)).describe(), "parameter `$2`");
         assert_eq!(Tok::Eof.describe(), "end of input");
     }
 }

@@ -10,7 +10,7 @@
 use std::path::Path;
 
 use qob_plan::QuerySpec;
-use qob_sql::{emit_query, parse_statement, SqlError};
+use qob_sql::{emit_query, parse_script_statement, ErrorKind, ScriptStatement, SqlError};
 use qob_storage::Database;
 
 /// An error from loading a SQL workload: either I/O or a frontend
@@ -125,8 +125,17 @@ pub struct ParsedStatement {
     pub name: String,
     /// The statement text (for rendering later bind diagnostics).
     pub text: String,
-    /// The parsed AST, ready for binding.
-    pub statement: qob_sql::SelectStatement,
+    /// The parsed statement: a query, or one of the prepared-statement
+    /// commands (`PREPARE` / `EXECUTE` / `DEALLOCATE`).
+    pub statement: ScriptStatement,
+}
+
+impl ParsedStatement {
+    /// Builds the load error for a frontend diagnostic against this
+    /// statement's text.
+    pub fn error(&self, error: SqlError) -> Box<SqlLoadError> {
+        Box::new(SqlLoadError::Sql { name: self.name.clone(), error, text: self.text.clone() })
+    }
 }
 
 /// Splits and parses a script without touching any catalog: every statement
@@ -134,7 +143,7 @@ pub struct ParsedStatement {
 pub fn parse_script(script: &str) -> Result<Vec<ParsedStatement>, Box<SqlLoadError>> {
     split_statements(script)
         .into_iter()
-        .map(|raw| match parse_statement(&raw.text) {
+        .map(|raw| match parse_script_statement(&raw.text) {
             Ok(statement) => Ok(ParsedStatement { name: raw.name, text: raw.text, statement }),
             Err(error) => {
                 Err(Box::new(SqlLoadError::Sql { name: raw.name, error, text: raw.text }))
@@ -145,16 +154,28 @@ pub fn parse_script(script: &str) -> Result<Vec<ParsedStatement>, Box<SqlLoadErr
 
 /// Binds already-parsed statements against `db` — the second half of
 /// [`load_sql_str`].
+///
+/// Only plain queries can be bound standalone: prepared-statement commands
+/// carry session state (the registry of prepared names), so a workload
+/// containing `PREPARE`/`EXECUTE`/`DEALLOCATE` must run through a
+/// `qob-core` session instead.
 pub fn bind_parsed(
     db: &Database,
     parsed: &[ParsedStatement],
 ) -> Result<Vec<QuerySpec>, Box<SqlLoadError>> {
     parsed
         .iter()
-        .map(|p| {
-            qob_sql::bind(db, &p.statement, p.name.clone()).map_err(|error| {
-                Box::new(SqlLoadError::Sql { name: p.name.clone(), error, text: p.text.clone() })
-            })
+        .map(|p| match &p.statement {
+            ScriptStatement::Select(statement) => {
+                qob_sql::bind(db, statement, p.name.clone()).map_err(|error| p.error(error))
+            }
+            ScriptStatement::Prepare { .. }
+            | ScriptStatement::Execute { .. }
+            | ScriptStatement::Deallocate { .. } => Err(p.error(SqlError::spanless(
+                ErrorKind::Unsupported,
+                "PREPARE/EXECUTE/DEALLOCATE need a session; run the script through \
+                 the qob CLI or a server connection",
+            ))),
         })
         .collect()
 }

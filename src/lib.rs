@@ -14,6 +14,7 @@
 //!   out.
 
 pub use qob_bench as bench;
+pub use qob_cache as cache;
 pub use qob_cardest as cardest;
 pub use qob_cost as cost;
 pub use qob_datagen as datagen;

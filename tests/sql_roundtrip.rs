@@ -7,7 +7,7 @@
 //! each other in both directions.
 
 use qob_datagen::{generate_imdb, generate_tpch, Scale};
-use qob_sql::{compile, emit_query};
+use qob_sql::{compile, emit_query, emit_query_join_syntax};
 use qob_storage::Database;
 use qob_workload::{emit_script, job_queries, load_sql_str, tpch_queries, JOB_QUERY_COUNT};
 
@@ -56,6 +56,40 @@ fn whole_job_workload_roundtrips_as_one_script() {
         assert_eq!(a.name, b.name, "names survive the -- name: convention");
         assert_eq!(a, b);
     }
+}
+
+#[test]
+fn all_113_job_queries_rewritten_with_explicit_joins_bind_to_the_same_specs() {
+    // The dialect-growth pin: every JOB query re-emitted in explicit
+    // `INNER JOIN ... ON` / `CROSS JOIN` syntax must parse and bind back to
+    // the comma-separated form's spec — identical relations, aliases and
+    // predicates, with the join edges stably re-ordered by their later
+    // endpoint (the first point at which both sides are in scope).
+    let db = generate_imdb(&Scale::tiny()).unwrap();
+    let queries = job_queries(&db);
+    assert_eq!(queries.len(), JOB_QUERY_COUNT);
+    let mut join_syntax_queries = 0;
+    for query in &queries {
+        let sql = emit_query_join_syntax(&db, query);
+        if sql.contains("INNER JOIN") {
+            join_syntax_queries += 1;
+        }
+        let rebound = compile(&db, &sql, query.name.clone()).unwrap_or_else(|e| {
+            panic!(
+                "query {}: join-syntax SQL failed to recompile: {}\n{sql}",
+                query.name,
+                e.render(&sql)
+            )
+        });
+        let mut expected = query.clone();
+        expected.joins.sort_by_key(|e| e.left.max(e.right));
+        assert_eq!(
+            &expected, &rebound,
+            "query {}: join syntax changed the bound form\nemitted SQL:\n{sql}",
+            query.name
+        );
+    }
+    assert_eq!(join_syntax_queries, JOB_QUERY_COUNT, "every JOB query exercises INNER JOIN");
 }
 
 #[test]

@@ -59,6 +59,9 @@ OPTIONS:
         --cache-fence <x>    reject a cached plan when any subplan estimate
                              diverges by more than this q-error factor
                                                                     [default: 10]
+        --tracing            collect per-phase and per-operator wall time and
+                             render it in reports (EXPLAIN ANALYZE implies
+                             this for its statement)
         --no-exec            stop after planning (skip execution and q-errors)
     -h, --help               print this help
 
@@ -66,14 +69,20 @@ SERVE OPTIONS:
         --addr <HOST:PORT>   listen address             [default: 127.0.0.1:4547]
         --plan-cache         enable the plan cache for every session by default
         --cache-fence <x>    default reuse fence for sessions
+        --slow-query-ms <n>  log queries slower than n ms to the structured
+                             event log on stderr (0 disables)    [default: 0]
         plus --snapshot / --scale / --indexes / --threads as above
 
 CONNECT OPTIONS:
         --addr <HOST:PORT>   server address             [default: 127.0.0.1:4547]
         --explain            plan only, never execute
         --set <name=value>   set a session option before the query runs (may
-                             repeat; e.g. --set plan_cache=true)
+                             repeat; e.g. --set tracing=true)
         --stats              print the server's stats response (JSON) and exit
+        --metrics            scrape the server's metrics (Prometheus text
+                             exposition, validated before printing) and exit
+        --bench-json <PATH>  with --metrics: also write a BENCH_*.json summary
+                             (latency quantiles + counters) to PATH
         --ping               liveness check and exit
         --shutdown           ask the server to shut down and exit
         --json               print raw JSON response lines instead of tables
@@ -101,6 +110,7 @@ struct Options {
     plan_cache: bool,
     cache_fence: f64,
     snapshot: Option<String>,
+    tracing: bool,
 }
 
 enum Source {
@@ -175,6 +185,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         plan_cache: false,
         cache_fence: qob_core::DEFAULT_CACHE_FENCE,
         snapshot: None,
+        tracing: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -202,6 +213,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 options.cache_fence = parse_cache_fence(&value_of(args, &mut i, "--cache-fence")?)?
             }
             "--snapshot" => options.snapshot = Some(value_of(args, &mut i, "--snapshot")?),
+            "--tracing" => options.tracing = true,
             "--no-exec" => options.execute = false,
             "-" => options.source = Source::Stdin,
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
@@ -351,6 +363,7 @@ fn oneshot_main(args: &[String]) -> ExitCode {
     session.options.adaptive = options.adaptive;
     session.options.plan_cache = options.plan_cache;
     session.options.cache_fence = options.cache_fence;
+    session.options.tracing = options.tracing;
 
     let mut failures = 0usize;
     for statement in &parsed {
@@ -415,17 +428,48 @@ fn print_report(report: &QueryReport) {
             print!("{}", replan.resumed_plan);
         }
     }
-    println!("\n{:<28} {:>14} {:>14} {:>10}", "operator output", "estimated", "true", "q-error");
-    for op in &exec.operators {
+    // Tracing appends time/morsel columns; the untraced table is unchanged
+    // so CI smokes can keep diffing cardinality lines across engine modes.
+    let traced = exec.operators.iter().any(|op| op.time_us.is_some());
+    if traced {
         println!(
-            "{:<28} {:>14.0} {:>14} {:>9.1}x",
-            op.relations, op.estimated, op.true_rows, op.q_error
+            "\n{:<28} {:>14} {:>14} {:>10} {:>12} {:>8}",
+            "operator output", "estimated", "true", "q-error", "time", "morsels"
         );
+    } else {
+        println!(
+            "\n{:<28} {:>14} {:>14} {:>10}",
+            "operator output", "estimated", "true", "q-error"
+        );
+    }
+    for op in &exec.operators {
+        if traced {
+            println!(
+                "{:<28} {:>14.0} {:>14} {:>9.1}x {:>10}us {:>8}",
+                op.relations,
+                op.estimated,
+                op.true_rows,
+                op.q_error,
+                op.time_us.unwrap_or(0),
+                op.morsels.unwrap_or(0)
+            );
+        } else {
+            println!(
+                "{:<28} {:>14.0} {:>14} {:>9.1}x",
+                op.relations, op.estimated, op.true_rows, op.q_error
+            );
+        }
     }
     println!(
         "\n{} rows in {:.3?} — worst operator q-error {:.1}x",
         exec.rows, exec.elapsed, exec.worst_q_error
     );
+    if let Some(trace) = &report.trace {
+        println!(
+            "phases: parse {}us, bind {}us, optimize {}us, execute {}us",
+            trace.parse_us, trace.bind_us, trace.optimize_us, trace.execute_us
+        );
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -440,6 +484,15 @@ struct ServeOptions {
     plan_cache: bool,
     cache_fence: f64,
     snapshot: Option<String>,
+    slow_query_ms: u64,
+}
+
+/// Validates `--slow-query-ms` through [`SessionOptions::set`] (same rule
+/// as `set slow_query_ms` on the wire).
+fn parse_slow_query_ms(raw: &str) -> Result<u64, String> {
+    let mut scratch = SessionOptions::default();
+    scratch.set("slow_query_ms", raw)?;
+    Ok(scratch.slow_query_ms)
 }
 
 fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
@@ -451,6 +504,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
         plan_cache: false,
         cache_fence: qob_core::DEFAULT_CACHE_FENCE,
         snapshot: None,
+        slow_query_ms: 0,
     };
     let mut i = 0;
     while i < args.len() {
@@ -467,6 +521,10 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
                 options.cache_fence = parse_cache_fence(&value_of(args, &mut i, "--cache-fence")?)?
             }
             "--snapshot" => options.snapshot = Some(value_of(args, &mut i, "--snapshot")?),
+            "--slow-query-ms" => {
+                options.slow_query_ms =
+                    parse_slow_query_ms(&value_of(args, &mut i, "--slow-query-ms")?)?
+            }
             flag => return Err(format!("unknown serve flag `{flag}`")),
         }
         i += 1;
@@ -500,6 +558,7 @@ fn serve_main(args: &[String]) -> ExitCode {
         threads: options.threads,
         plan_cache: options.plan_cache,
         cache_fence: options.cache_fence,
+        slow_query_ms: options.slow_query_ms,
         ..SessionOptions::default()
     };
     let context = ServerContext::with_defaults(ctx, defaults);
@@ -524,6 +583,7 @@ fn serve_main(args: &[String]) -> ExitCode {
 enum ConnectAction {
     Script { explain: bool },
     Stats,
+    Metrics,
     Ping,
     Shutdown,
 }
@@ -536,6 +596,8 @@ struct ConnectOptions {
     /// `--set name=value` session options, applied in order before the
     /// main request on the same connection.
     sets: Vec<(String, String)>,
+    /// With `--metrics`: also write a `BENCH_*.json` summary here.
+    bench_json: Option<String>,
 }
 
 fn parse_connect_args(args: &[String]) -> Result<ConnectOptions, String> {
@@ -545,6 +607,7 @@ fn parse_connect_args(args: &[String]) -> Result<ConnectOptions, String> {
         action: ConnectAction::Script { explain: false },
         raw_json: false,
         sets: Vec::new(),
+        bench_json: None,
     };
     let mut explain = false;
     let mut i = 0;
@@ -562,6 +625,8 @@ fn parse_connect_args(args: &[String]) -> Result<ConnectOptions, String> {
             }
             "--explain" => explain = true,
             "--stats" => options.action = ConnectAction::Stats,
+            "--metrics" => options.action = ConnectAction::Metrics,
+            "--bench-json" => options.bench_json = Some(value_of(args, &mut i, "--bench-json")?),
             "--ping" => options.action = ConnectAction::Ping,
             "--shutdown" => options.action = ConnectAction::Shutdown,
             "--json" => options.raw_json = true,
@@ -621,6 +686,7 @@ fn connect_main(args: &[String]) -> ExitCode {
 
     let request = match &options.action {
         ConnectAction::Stats => Request::Stats,
+        ConnectAction::Metrics => Request::Metrics,
         ConnectAction::Ping => Request::Ping,
         ConnectAction::Shutdown => Request::Shutdown,
         ConnectAction::Script { explain } => {
@@ -647,11 +713,52 @@ fn connect_main(args: &[String]) -> ExitCode {
         }
     };
 
+    if matches!(options.action, ConnectAction::Metrics) {
+        return render_metrics(&response, options.bench_json.as_deref(), options.raw_json);
+    }
     if options.raw_json || matches!(options.action, ConnectAction::Stats) {
         println!("{response}");
         return exit_for(&response);
     }
     render_response(&response)
+}
+
+/// Renders a `metrics` response: validates the Prometheus exposition before
+/// printing it, and optionally writes the summary as a `BENCH_*.json` file
+/// (the committed infrastructure behind the CI observability smoke).
+fn render_metrics(response: &Json, bench_json: Option<&str>, raw_json: bool) -> ExitCode {
+    let Some(body) = response.get("body").and_then(Json::as_str) else {
+        eprintln!("error: malformed metrics response: {response}");
+        return ExitCode::FAILURE;
+    };
+    if let Err(e) = qob_obs::validate_exposition(body) {
+        eprintln!("error: server sent an invalid exposition: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(path) = bench_json {
+        let Some(summary) = response.get("summary") else {
+            eprintln!("error: metrics response carries no summary");
+            return ExitCode::FAILURE;
+        };
+        let name = std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("bench")
+            .trim_start_matches("BENCH_")
+            .to_owned();
+        let bench = Json::obj(vec![("bench", Json::str(name)), ("summary", summary.clone())]);
+        if let Err(e) = std::fs::write(path, format!("{bench}\n")) {
+            eprintln!("error: cannot write `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote bench summary to `{path}`");
+    }
+    if raw_json {
+        println!("{response}");
+    } else {
+        print!("{body}");
+    }
+    exit_for(response)
 }
 
 fn exit_for(response: &Json) -> ExitCode {
@@ -747,15 +854,39 @@ fn render_result(result: &Json) {
             print!("{}", replan.get("resumed_plan").and_then(Json::as_str).unwrap_or(""));
         }
     }
-    println!("\n{:<28} {:>14} {:>14} {:>10}", "operator output", "estimated", "true", "q-error");
-    for op in result.get("operators").and_then(Json::as_array).unwrap_or(&[]) {
+    let ops = result.get("operators").and_then(Json::as_array).unwrap_or(&[]);
+    let traced = ops.iter().any(|op| op.get("time_us").is_some());
+    if traced {
         println!(
-            "{:<28} {:>14.0} {:>14} {:>9.1}x",
-            op.get("relations").and_then(Json::as_str).unwrap_or("?"),
-            op.get("estimated").and_then(Json::as_f64).unwrap_or(0.0),
-            op.get("true").and_then(Json::as_u64).unwrap_or(0),
-            op.get("q_error").and_then(Json::as_f64).unwrap_or(0.0)
+            "\n{:<28} {:>14} {:>14} {:>10} {:>12} {:>8}",
+            "operator output", "estimated", "true", "q-error", "time", "morsels"
         );
+    } else {
+        println!(
+            "\n{:<28} {:>14} {:>14} {:>10}",
+            "operator output", "estimated", "true", "q-error"
+        );
+    }
+    for op in ops {
+        if traced {
+            println!(
+                "{:<28} {:>14.0} {:>14} {:>9.1}x {:>10}us {:>8}",
+                op.get("relations").and_then(Json::as_str).unwrap_or("?"),
+                op.get("estimated").and_then(Json::as_f64).unwrap_or(0.0),
+                op.get("true").and_then(Json::as_u64).unwrap_or(0),
+                op.get("q_error").and_then(Json::as_f64).unwrap_or(0.0),
+                op.get("time_us").and_then(Json::as_u64).unwrap_or(0),
+                op.get("morsels").and_then(Json::as_u64).unwrap_or(0)
+            );
+        } else {
+            println!(
+                "{:<28} {:>14.0} {:>14} {:>9.1}x",
+                op.get("relations").and_then(Json::as_str).unwrap_or("?"),
+                op.get("estimated").and_then(Json::as_f64).unwrap_or(0.0),
+                op.get("true").and_then(Json::as_u64).unwrap_or(0),
+                op.get("q_error").and_then(Json::as_f64).unwrap_or(0.0)
+            );
+        }
     }
     let elapsed = std::time::Duration::from_micros(num_of("elapsed_us") as u64);
     println!(
@@ -764,6 +895,16 @@ fn render_result(result: &Json) {
         elapsed,
         num_of("worst_q_error")
     );
+    if let Some(trace) = result.get("trace") {
+        let phase = |key: &str| trace.get(key).and_then(Json::as_u64).unwrap_or(0);
+        println!(
+            "phases: parse {}us, bind {}us, optimize {}us, execute {}us",
+            phase("parse_us"),
+            phase("bind_us"),
+            phase("optimize_us"),
+            phase("execute_us")
+        );
+    }
 }
 
 #[cfg(test)]
@@ -878,6 +1019,27 @@ mod tests {
         let serve = parse_serve_args(&args(&["--plan-cache", "--cache-fence", "3"])).unwrap();
         assert!(serve.plan_cache);
         assert_eq!(serve.cache_fence, 3.0);
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        assert!(!parse_args(&[]).unwrap().tracing, "tracing defaults off");
+        assert!(parse_args(&args(&["--tracing"])).unwrap().tracing);
+
+        assert_eq!(parse_serve_args(&[]).unwrap().slow_query_ms, 0);
+        assert_eq!(
+            parse_serve_args(&args(&["--slow-query-ms", "250"])).unwrap().slow_query_ms,
+            250
+        );
+        assert!(parse_serve_args(&args(&["--slow-query-ms", "soon"])).is_err());
+
+        let options = parse_connect_args(&args(&["--metrics"])).unwrap();
+        assert!(matches!(options.action, ConnectAction::Metrics));
+        assert!(options.bench_json.is_none());
+        let options =
+            parse_connect_args(&args(&["--metrics", "--bench-json", "BENCH_smoke.json"])).unwrap();
+        assert_eq!(options.bench_json.as_deref(), Some("BENCH_smoke.json"));
+        assert!(parse_connect_args(&args(&["--bench-json"])).is_err());
     }
 
     #[test]

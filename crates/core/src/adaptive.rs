@@ -144,6 +144,10 @@ pub fn execute_adaptive(
                     rows: res.rows,
                     elapsed: started.elapsed(),
                     operator_cardinalities,
+                    // Per-operator times are not carried across adaptive
+                    // rounds: the splice would mis-attribute earlier
+                    // rounds' work to the final plan's operators.
+                    operator_timings: Vec::new(),
                 },
                 final_plan: current,
                 replans,

@@ -16,7 +16,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::context::{BenchmarkContext, EstimatorKind};
-use crate::metrics::{geometric_mean, SlowdownDistribution};
+use crate::slowdown::{geometric_mean, SlowdownDistribution};
 
 // ---------------------------------------------------------------------------
 // Table 1: q-errors of base table selections.

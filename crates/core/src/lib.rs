@@ -38,13 +38,21 @@
 pub mod adaptive;
 pub mod context;
 pub mod experiments;
-pub mod metrics;
 pub mod session;
+pub mod slowdown;
+
+/// Deprecated alias of [`slowdown`]: the paper's slowdown buckets were
+/// renamed so they cannot be confused with the runtime metrics registry
+/// (`qob-obs`).
+#[deprecated(since = "0.1.0", note = "renamed to `qob_core::slowdown`")]
+pub mod metrics {
+    pub use crate::slowdown::{geometric_mean, SlowdownBucket, SlowdownDistribution};
+}
 
 pub use adaptive::{execute_adaptive, AdaptiveOutcome, ReplanEvent};
 pub use context::{BenchmarkContext, EstimatorKind};
-pub use metrics::{geometric_mean, SlowdownBucket, SlowdownDistribution};
 pub use session::{
     ExecutionReport, OperatorReport, PlanCacheStatus, QueryReport, ReplanReport, ScriptOutcome,
-    ServerContext, Session, SessionError, SessionOptions, DEFAULT_CACHE_FENCE,
+    ServerContext, Session, SessionError, SessionOptions, TraceReport, DEFAULT_CACHE_FENCE,
 };
+pub use slowdown::{geometric_mean, SlowdownBucket, SlowdownDistribution};

@@ -45,15 +45,16 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
 use qob_cache::{fingerprint_query, CacheCounters, CachedVariant, Lookup, PlanCache};
 use qob_cardest::q_error;
 use qob_enumerate::PlannerConfig;
-use qob_exec::{AdaptiveOptions, ExecutionOptions};
-use qob_plan::QuerySpec;
+use qob_exec::{AdaptiveOptions, ExecutionOptions, OperatorTiming};
+use qob_obs::{Event, EventLog, Exposition, MetricsRegistry};
+use qob_plan::{PhysicalPlan, QuerySpec, RelSet};
 use qob_sql::{ParamValue, ScriptStatement, SelectStatement};
 use qob_workload::{parse_script, ParsedStatement};
 
@@ -91,6 +92,16 @@ pub struct SessionOptions {
     /// never resize; `0` is normalised to the default by
     /// [`SessionOptions::set`].
     pub cache_capacity: usize,
+    /// When `true`, query reports expose trace spans: per-phase timings in
+    /// [`QueryReport::trace`] and per-operator wall time / morsel counts on
+    /// each [`OperatorReport`].  Tracing never changes what executes — the
+    /// counters are collected unconditionally; this option only controls
+    /// whether reports carry them.
+    pub tracing: bool,
+    /// Slow-query threshold in milliseconds.  `0` disables the threshold
+    /// and (when set via [`Session::set_option`]) the server's structured
+    /// event log; any positive value enables both.
+    pub slow_query_ms: u64,
 }
 
 /// The default plan-cache reuse fence (q-error factor).
@@ -108,6 +119,8 @@ impl Default for SessionOptions {
             plan_cache: false,
             cache_fence: DEFAULT_CACHE_FENCE,
             cache_capacity: PlanCache::DEFAULT_CAPACITY,
+            tracing: false,
+            slow_query_ms: 0,
         }
     }
 }
@@ -118,9 +131,10 @@ impl SessionOptions {
     /// (profile name), `execute` (`true`/`false`), `morsel_size` (integer,
     /// `0` = engine default), `adaptive` (`true`/`false`),
     /// `adaptive_threshold` (q-error factor > 1), `max_replans` (integer),
-    /// `plan_cache` (`true`/`false`), `cache_fence` (q-error factor > 1) or
-    /// `cache_capacity` (integer, `0` = default).  Returns a description of
-    /// the rejection otherwise.
+    /// `plan_cache` (`true`/`false`), `cache_fence` (q-error factor > 1),
+    /// `cache_capacity` (integer, `0` = default), `tracing`
+    /// (`true`/`false`) or `slow_query_ms` (integer, `0` = off).  Returns a
+    /// description of the rejection otherwise.
     pub fn set(&mut self, name: &str, value: &str) -> Result<(), String> {
         let flag = |value: &str| match value {
             "true" => Ok(true),
@@ -186,6 +200,12 @@ impl SessionOptions {
                     .map_err(|_| format!("cache_capacity needs an integer, got `{value}`"))?;
                 self.cache_capacity = if n == 0 { PlanCache::DEFAULT_CAPACITY } else { n };
             }
+            "tracing" => self.tracing = flag(value)?,
+            "slow_query_ms" => {
+                self.slow_query_ms = value
+                    .parse()
+                    .map_err(|_| format!("slow_query_ms needs an integer, got `{value}`"))?;
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
         Ok(())
@@ -248,6 +268,32 @@ pub struct OperatorReport {
     pub true_rows: u64,
     /// `q_error(estimated, true_rows)`.
     pub q_error: f64,
+    /// Wall-clock busy time charged to the operator across all workers, in
+    /// microseconds.  `None` unless the session traces
+    /// ([`SessionOptions::tracing`]); `Some(0)` when the run carried no
+    /// per-operator timings (adaptive splices).
+    pub time_us: Option<u64>,
+    /// Morsels (work units) the operator processed.  Present under the same
+    /// conditions as [`OperatorReport::time_us`].
+    pub morsels: Option<u64>,
+}
+
+/// Per-phase wall-clock timings for one traced statement, in microseconds.
+///
+/// `parse_us` covers the script parse the statement arrived in (the parse
+/// is per-script, so multi-statement scripts repeat it on every report) and
+/// is `0` when the statement reached the session already parsed — prepared
+/// execution, or hosts driving [`Session::run_statement`] directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceReport {
+    /// Script parse time.
+    pub parse_us: u64,
+    /// Bind (name resolution + predicate compilation) time.
+    pub bind_us: u64,
+    /// Optimize time, including the plan-cache lookup when caching is on.
+    pub optimize_us: u64,
+    /// Execute time (`0` for explain-only statements).
+    pub execute_us: u64,
 }
 
 /// One adaptive re-planning round, as reported to clients.
@@ -334,14 +380,18 @@ pub struct QueryReport {
     pub plan_cache: Option<PlanCacheStatus>,
     /// Runtime results, or `None` for explain-only sessions.
     pub execution: Option<ExecutionReport>,
+    /// Per-phase timings, present when the session traces (or the statement
+    /// was an `EXPLAIN ANALYZE`, which forces tracing for itself).
+    pub trace: Option<TraceReport>,
 }
 
 /// The result of one script statement: a query report, or the
 /// acknowledgement of a prepared-statement command.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ScriptOutcome {
-    /// A `SELECT` (or `EXECUTE`) answered with a full report.
-    Query(QueryReport),
+    /// A `SELECT` (or `EXECUTE`) answered with a full report (boxed:
+    /// a report is an order of magnitude larger than the acknowledgements).
+    Query(Box<QueryReport>),
     /// A `PREPARE` registered a statement.
     Prepared {
         /// The statement name.
@@ -368,7 +418,7 @@ impl ScriptOutcome {
     /// Consumes the outcome into its query report, if it is one.
     pub fn into_query(self) -> Option<QueryReport> {
         match self {
-            ScriptOutcome::Query(report) => Some(report),
+            ScriptOutcome::Query(report) => Some(*report),
             _ => None,
         }
     }
@@ -382,6 +432,11 @@ struct ServerShared {
     /// The server-wide plan cache, shared by every session (the enable
     /// switch and fence are per-session options).
     plan_cache: Mutex<PlanCache>,
+    /// The server-wide metrics registry every session records into.
+    metrics: MetricsRegistry,
+    /// The server-wide structured event log (off until some session sets a
+    /// positive `slow_query_ms`).
+    events: EventLog,
 }
 
 /// The long-lived, shareable wrapper around one warm [`BenchmarkContext`]:
@@ -402,6 +457,8 @@ impl ServerContext {
     /// Wraps a context with explicit default options for new sessions.
     pub fn with_defaults(ctx: BenchmarkContext, defaults: SessionOptions) -> Self {
         let capacity = defaults.cache_capacity;
+        let events = EventLog::new();
+        events.set_enabled(defaults.slow_query_ms > 0);
         ServerContext {
             shared: Arc::new(ServerShared {
                 ctx,
@@ -409,6 +466,8 @@ impl ServerContext {
                 queries_served: AtomicU64::new(0),
                 replans_total: AtomicU64::new(0),
                 plan_cache: Mutex::new(PlanCache::new(capacity)),
+                metrics: MetricsRegistry::new(),
+                events,
             }),
         }
     }
@@ -456,6 +515,55 @@ impl ServerContext {
     pub fn clear_plan_cache(&self) {
         self.shared.plan_cache.lock().clear();
     }
+
+    /// The server-wide runtime metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.shared.metrics
+    }
+
+    /// The server-wide structured event log.
+    pub fn events(&self) -> &EventLog {
+        &self.shared.events
+    }
+
+    /// Renders the full Prometheus text exposition: the registry's counters
+    /// and latency histograms, plus the plan-cache event counters and a few
+    /// server gauges.  The body round-trips through
+    /// [`qob_obs::validate_exposition`].
+    pub fn metrics_exposition(&self) -> String {
+        let mut ex = Exposition::new();
+        self.shared.metrics.render(&mut ex);
+        let c = self.plan_cache_counters();
+        ex.counter("qob_plan_cache_hits_total", "Cached plans reused past the fence", c.hits);
+        ex.counter("qob_plan_cache_misses_total", "Fingerprints optimized cold", c.misses);
+        ex.counter(
+            "qob_plan_cache_fence_rejections_total",
+            "Cached plans rejected by the cardinality fence",
+            c.fence_rejections,
+        );
+        ex.counter(
+            "qob_plan_cache_evictions_total",
+            "Fingerprints evicted by capacity pressure",
+            c.evictions,
+        );
+        ex.counter("qob_plan_cache_installs_total", "Plans installed into the cache", c.installs);
+        ex.gauge(
+            "qob_plan_cache_entries",
+            "Fingerprints currently cached",
+            self.plan_cache_len() as u64,
+        );
+        ex.gauge(
+            "qob_plan_cache_capacity",
+            "Fingerprint capacity of the shared plan cache",
+            self.plan_cache_capacity() as u64,
+        );
+        ex.gauge(
+            "qob_truth_cache_entries",
+            "Queries with cached ground-truth cardinalities",
+            self.shared.ctx.truth_cache_len() as u64,
+        );
+        ex.finish()
+    }
 }
 
 /// A statement registered by `PREPARE`: the parsed (parse-once) body plus
@@ -492,11 +600,17 @@ impl Session {
     /// been answered, so callers that want partial results run statements
     /// one at a time via [`Session::run_statement`].
     pub fn run_script(&mut self, sql: &str) -> Result<Vec<ScriptOutcome>, SessionError> {
-        let parsed = parse_script(sql).map_err(|e| SessionError::Sql(e.to_string()))?;
+        let parse_started = Instant::now();
+        let parsed = parse_script(sql).map_err(|e| {
+            self.server.shared.metrics.query_errors_total.inc();
+            SessionError::Sql(e.to_string())
+        })?;
+        let parse_elapsed = parse_started.elapsed();
+        self.server.shared.metrics.parse_latency.record(parse_elapsed);
         if parsed.is_empty() {
             return Err(SessionError::Sql("the input contains no statements".into()));
         }
-        parsed.iter().map(|statement| self.run_statement(statement)).collect()
+        parsed.iter().map(|statement| self.run_statement_timed(statement, parse_elapsed)).collect()
     }
 
     /// Runs one already-parsed script statement (the unit [`run_script`]
@@ -507,11 +621,48 @@ impl Session {
         &mut self,
         parsed: &ParsedStatement,
     ) -> Result<ScriptOutcome, SessionError> {
+        self.run_statement_timed(parsed, Duration::ZERO)
+    }
+
+    /// [`run_statement`] with the parse time of the script the statement
+    /// arrived in, so traced reports can attribute it.
+    ///
+    /// [`run_statement`]: Session::run_statement
+    fn run_statement_timed(
+        &mut self,
+        parsed: &ParsedStatement,
+        parse_elapsed: Duration,
+    ) -> Result<ScriptOutcome, SessionError> {
+        let bind = |this: &Self, statement: &SelectStatement| {
+            let bind_started = Instant::now();
+            let bound = qob_sql::bind(this.context().db(), statement, parsed.name.clone())
+                .map_err(|e| {
+                    this.server.shared.metrics.query_errors_total.inc();
+                    SessionError::Sql(parsed.error(e).to_string())
+                })?;
+            let bind_elapsed = bind_started.elapsed();
+            this.server.shared.metrics.bind_latency.record(bind_elapsed);
+            Ok((bound, bind_elapsed))
+        };
         match &parsed.statement {
             ScriptStatement::Select(statement) => {
-                let query = qob_sql::bind(self.context().db(), statement, parsed.name.clone())
-                    .map_err(|e| SessionError::Sql(parsed.error(e).to_string()))?;
-                Ok(ScriptOutcome::Query(self.run_query(&query)?))
+                let (query, bind_elapsed) = bind(self, statement)?;
+                let mode = RunMode::from_options(&self.options);
+                let spans = PhaseSpans { parse: parse_elapsed, bind: bind_elapsed };
+                Ok(ScriptOutcome::Query(Box::new(self.run_query_traced(&query, mode, spans)?)))
+            }
+            ScriptStatement::Explain { analyze, statement } => {
+                let (query, bind_elapsed) = bind(self, statement)?;
+                // Plain EXPLAIN stops after planning; EXPLAIN ANALYZE
+                // executes with tracing forced on and renders the plan
+                // annotated with est vs true cardinality and wall time.
+                let mode = RunMode {
+                    execute: *analyze && self.options.execute,
+                    tracing: self.options.tracing || *analyze,
+                    annotate: *analyze,
+                };
+                let spans = PhaseSpans { parse: parse_elapsed, bind: bind_elapsed };
+                Ok(ScriptOutcome::Query(Box::new(self.run_query_traced(&query, mode, spans)?)))
             }
             ScriptStatement::Prepare { name, statement, params } => {
                 self.install_prepared(name, statement.clone(), *params)?;
@@ -523,7 +674,7 @@ impl Session {
                     .map(ParamValue::from_literal)
                     .collect::<Result<Vec<_>, _>>()
                     .map_err(|e| SessionError::Sql(parsed.error(e).to_string()))?;
-                Ok(ScriptOutcome::Query(self.execute_prepared(name, &values)?))
+                Ok(ScriptOutcome::Query(Box::new(self.execute_prepared(name, &values)?)))
             }
             ScriptStatement::Deallocate { name } => {
                 self.deallocate(name)?;
@@ -572,9 +723,16 @@ impl Session {
             .ok_or_else(|| SessionError::Sql(format!("no prepared statement named `{name}`")))?;
         let filled = qob_sql::substitute_params(&prepared.statement, values)
             .map_err(|e| SessionError::Sql(e.to_string()))?;
+        let bind_started = Instant::now();
         let query = qob_sql::bind(self.context().db(), &filled, name)
             .map_err(|e| SessionError::Sql(e.to_string()))?;
-        self.run_query(&query)
+        let bind_elapsed = bind_started.elapsed();
+        self.server.shared.metrics.bind_latency.record(bind_elapsed);
+        self.run_query_traced(
+            &query,
+            RunMode::from_options(&self.options),
+            PhaseSpans { parse: Duration::ZERO, bind: bind_elapsed },
+        )
     }
 
     /// Drops a prepared statement.
@@ -589,11 +747,18 @@ impl Session {
     /// [`SessionOptions::set`]), applying the few options with server-wide
     /// side effects: `cache_capacity` resizes the shared plan cache at set
     /// time (the most recent `set` wins; probes never resize, so sessions
-    /// with different defaults cannot thrash each other's entries).
+    /// with different defaults cannot thrash each other's entries), and
+    /// `slow_query_ms` switches the server's structured event log on
+    /// (positive) or off (`0`).
     pub fn set_option(&mut self, name: &str, value: &str) -> Result<(), String> {
         self.options.set(name, value)?;
         if name == "cache_capacity" {
             self.server.shared.plan_cache.lock().set_capacity(self.options.cache_capacity);
+        }
+        if name == "slow_query_ms" {
+            // The event log is server-wide, like the cache capacity: the
+            // most recent set wins.
+            self.server.shared.events.set_enabled(self.options.slow_query_ms > 0);
         }
         Ok(())
     }
@@ -646,22 +811,75 @@ impl Session {
                 return Ok((variant.plan, variant.cost, Some(PlanCacheStatus::Hit)));
             }
             Lookup::Miss => PlanCacheStatus::Miss,
-            Lookup::FenceRejected { .. } => PlanCacheStatus::FenceRejected,
+            Lookup::FenceRejected { .. } => {
+                self.server.shared.events.emit(
+                    Event::new("fence_reject")
+                        .str("query", &query.name)
+                        .float("fence", self.options.cache_fence),
+                );
+                PlanCacheStatus::FenceRejected
+            }
         };
         // Optimize outside the cache lock — enumeration is the expensive
         // step, and other sessions' probes must not serialise behind it.
         let optimized = optimize()?;
         let variant = CachedVariant::capture(&optimized.plan, optimized.cost, &estimate);
-        self.server.shared.plan_cache.lock().install(key, variant);
+        let evicted = {
+            let mut cache = self.server.shared.plan_cache.lock();
+            let before = cache.counters().evictions;
+            cache.install(key, variant);
+            cache.counters().evictions - before
+        };
+        if evicted > 0 {
+            self.server
+                .shared
+                .events
+                .emit(Event::new("eviction").str("query", &query.name).num("evicted", evicted));
+        }
         Ok((optimized.plan, optimized.cost, Some(status)))
     }
 
     /// Plans (and, per [`SessionOptions::execute`], executes) one bound
     /// query against the shared context.
     pub fn run_query(&self, query: &QuerySpec) -> Result<QueryReport, SessionError> {
+        self.run_query_traced(query, RunMode::from_options(&self.options), PhaseSpans::ZERO)
+    }
+
+    /// The answer path behind [`Session::run_query`]: wraps
+    /// [`Session::answer_query`] with the registry's end-to-end latency and
+    /// outcome counters.
+    fn run_query_traced(
+        &self,
+        query: &QuerySpec,
+        mode: RunMode,
+        spans: PhaseSpans,
+    ) -> Result<QueryReport, SessionError> {
+        let shared = &self.server.shared;
+        let started = Instant::now();
+        let out = self.answer_query(query, mode, spans);
+        shared.metrics.queries_total.inc();
+        shared.metrics.query_latency.record(started.elapsed());
+        if out.is_err() {
+            shared.metrics.query_errors_total.inc();
+        }
+        out
+    }
+
+    /// Plans, executes per `mode`, feeds the metrics registry and event
+    /// log, and attaches trace spans when the mode asks for them.
+    fn answer_query(
+        &self,
+        query: &QuerySpec,
+        mode: RunMode,
+        spans: PhaseSpans,
+    ) -> Result<QueryReport, SessionError> {
+        let shared = &self.server.shared;
         let ctx = self.context();
         let estimator = ctx.estimator(self.options.estimator);
+        let optimize_started = Instant::now();
         let (plan, cost, cache_status) = self.choose_plan(query, estimator.as_ref())?;
+        let optimize_elapsed = optimize_started.elapsed();
+        shared.metrics.optimize_latency.record(optimize_elapsed);
 
         let mut report = QueryReport {
             name: query.name.clone(),
@@ -674,10 +892,13 @@ impl Session {
             plan: plan.render(query),
             plan_cache: cache_status,
             execution: None,
+            trace: None,
         };
 
-        if self.options.execute {
+        let mut execute_elapsed = Duration::ZERO;
+        if mode.execute {
             let exec_options = self.options.execution_options();
+            let execute_started = Instant::now();
             let (result, replans) = if self.options.adaptive.enabled {
                 let outcome = crate::adaptive::execute_adaptive(
                     ctx,
@@ -687,7 +908,7 @@ impl Session {
                     &exec_options,
                     PlannerConfig::default(),
                 )
-                .map_err(|e| SessionError::Execute(e.to_string()))?;
+                .map_err(|e| self.execution_error(&query.name, e))?;
                 let replans = outcome
                     .replans
                     .iter()
@@ -700,14 +921,29 @@ impl Session {
                         resumed_plan: e.resumed_plan.clone(),
                     })
                     .collect::<Vec<_>>();
-                self.server.shared.replans_total.fetch_add(replans.len() as u64, Ordering::Relaxed);
+                shared.replans_total.fetch_add(replans.len() as u64, Ordering::Relaxed);
+                shared.metrics.replans_total.add(replans.len() as u64);
+                for replan in &replans {
+                    shared.events.emit(
+                        Event::new("replan")
+                            .str("query", &query.name)
+                            .str("after", &replan.after)
+                            .float("factor", replan.factor)
+                            .num("changed", replan.changed as u64),
+                    );
+                }
                 (outcome.result, replans)
             } else {
                 let result = ctx
                     .execute(query, &plan, estimator.as_ref(), &exec_options)
-                    .map_err(|e| SessionError::Execute(e.to_string()))?;
+                    .map_err(|e| self.execution_error(&query.name, e))?;
                 (result, Vec::new())
             };
+            execute_elapsed = execute_started.elapsed();
+            shared.metrics.execute_latency.record(execute_elapsed);
+
+            let timings: HashMap<RelSet, OperatorTiming> =
+                result.operator_timings.iter().copied().collect();
             let mut worst: f64 = 1.0;
             let operators = result
                 .operator_cardinalities
@@ -716,14 +952,33 @@ impl Session {
                     let estimated = estimator.estimate(query, *set);
                     let qerr = q_error(estimated, *true_rows as f64);
                     worst = worst.max(qerr);
+                    let timing = timings.get(set);
                     OperatorReport {
                         relations: relset_label(query, *set),
                         estimated,
                         true_rows: *true_rows,
                         q_error: qerr,
+                        time_us: mode.tracing.then(|| timing.map_or(0, |t| t.busy_nanos / 1_000)),
+                        morsels: mode.tracing.then(|| timing.map_or(0, |t| t.morsels)),
                     }
                 })
                 .collect();
+            if mode.annotate {
+                let cards: HashMap<RelSet, u64> =
+                    result.operator_cardinalities.iter().copied().collect();
+                report.plan = render_analyzed(query, &plan, estimator.as_ref(), &cards, &timings);
+            }
+            let threshold = self.options.slow_query_ms;
+            if threshold > 0 && result.elapsed >= Duration::from_millis(threshold) {
+                shared.metrics.slow_queries_total.inc();
+                shared.events.emit(
+                    Event::new("slow_query")
+                        .str("query", &query.name)
+                        .num("elapsed_ms", result.elapsed.as_millis().min(u64::MAX as u128) as u64)
+                        .num("threshold_ms", threshold)
+                        .num("rows", result.rows),
+                );
+            }
             report.execution = Some(ExecutionReport {
                 rows: result.rows,
                 elapsed: result.elapsed,
@@ -732,9 +987,127 @@ impl Session {
                 replans,
             });
         }
+        if mode.tracing {
+            report.trace = Some(TraceReport {
+                parse_us: micros(spans.parse),
+                bind_us: micros(spans.bind),
+                optimize_us: micros(optimize_elapsed),
+                execute_us: micros(execute_elapsed),
+            });
+        }
 
-        self.server.shared.queries_served.fetch_add(1, Ordering::Relaxed);
+        shared.queries_served.fetch_add(1, Ordering::Relaxed);
         Ok(report)
+    }
+
+    /// Maps an executor error into a [`SessionError`], counting worker
+    /// panics in the registry and event log on the way.
+    fn execution_error(&self, name: &str, e: qob_exec::ExecutionError) -> SessionError {
+        if matches!(e, qob_exec::ExecutionError::WorkerPanicked) {
+            let shared = &self.server.shared;
+            shared.metrics.worker_panics_total.inc();
+            shared.events.emit(Event::new("worker_panic").str("query", name));
+        }
+        SessionError::Execute(e.to_string())
+    }
+}
+
+/// How one statement should be answered: the session's options, possibly
+/// overridden by the statement form (`EXPLAIN` stops after planning,
+/// `EXPLAIN ANALYZE` forces tracing and annotation for itself).
+#[derive(Debug, Clone, Copy)]
+struct RunMode {
+    /// Execute the plan (vs. stop after planning).
+    execute: bool,
+    /// Attach trace spans and per-operator times to the report.
+    tracing: bool,
+    /// Replace the plan rendering with the est/true/time-annotated tree.
+    annotate: bool,
+}
+
+impl RunMode {
+    fn from_options(options: &SessionOptions) -> RunMode {
+        RunMode { execute: options.execute, tracing: options.tracing, annotate: false }
+    }
+}
+
+/// Parse/bind wall time measured before the query runner took over.
+#[derive(Debug, Clone, Copy)]
+struct PhaseSpans {
+    parse: Duration,
+    bind: Duration,
+}
+
+impl PhaseSpans {
+    const ZERO: PhaseSpans = PhaseSpans { parse: Duration::ZERO, bind: Duration::ZERO };
+}
+
+/// Saturating `Duration` → whole microseconds.
+fn micros(d: Duration) -> u64 {
+    d.as_micros().min(u64::MAX as u128) as u64
+}
+
+/// Renders a plan tree with every operator annotated: estimated vs true
+/// cardinality, the q-error between them, and (for operators the executor
+/// timed) busy time and morsel count — the body of an `EXPLAIN ANALYZE`
+/// report.  Scan leaves only carry the estimate; the executor counts join
+/// outputs.
+fn render_analyzed(
+    query: &QuerySpec,
+    plan: &PhysicalPlan,
+    estimator: &dyn qob_cardest::CardinalityEstimator,
+    cards: &HashMap<RelSet, u64>,
+    timings: &HashMap<RelSet, OperatorTiming>,
+) -> String {
+    let mut out = String::new();
+    render_analyzed_rec(query, plan, estimator, cards, timings, 0, &mut out);
+    out
+}
+
+fn render_analyzed_rec(
+    query: &QuerySpec,
+    plan: &PhysicalPlan,
+    estimator: &dyn qob_cardest::CardinalityEstimator,
+    cards: &HashMap<RelSet, u64>,
+    timings: &HashMap<RelSet, OperatorTiming>,
+    depth: usize,
+    out: &mut String,
+) {
+    use std::fmt::Write as _;
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    match plan {
+        PhysicalPlan::Scan { rel } => {
+            let alias = query.relations.get(*rel).map(|r| r.alias.as_str()).unwrap_or("?");
+            let _ = write!(out, "Scan {alias}");
+        }
+        PhysicalPlan::Join { algorithm, keys, .. } => {
+            let _ = write!(out, "{} [{} keys]", algorithm.label(), keys.len());
+        }
+    }
+    let set = plan.rels();
+    let est = estimator.estimate(query, set);
+    match cards.get(&set) {
+        Some(&true_rows) => {
+            let _ = write!(
+                out,
+                "  (est={est:.0} true={true_rows} q={:.2}",
+                q_error(est, true_rows as f64)
+            );
+            if let Some(t) = timings.get(&set) {
+                let _ = write!(out, " time={}us morsels={}", t.busy_nanos / 1_000, t.morsels);
+            }
+            out.push(')');
+        }
+        None => {
+            let _ = write!(out, "  (est={est:.0})");
+        }
+    }
+    out.push('\n');
+    if let PhysicalPlan::Join { left, right, .. } = plan {
+        render_analyzed_rec(query, left, estimator, cards, timings, depth + 1, out);
+        render_analyzed_rec(query, right, estimator, cards, timings, depth + 1, out);
     }
 }
 
@@ -759,6 +1132,14 @@ mod tests {
     const THREE_WAY: &str = "SELECT COUNT(*) FROM title t, movie_companies mc, company_name cn \
                              WHERE mc.movie_id = t.id AND mc.company_id = cn.id \
                                AND cn.country_code = '[us]'";
+
+    /// A 5-way join: 3-way plans have no mid-plan breaker, so adaptive
+    /// divergence (and thus replans) can only fire with more relations.
+    const FIVE_WAY: &str = "SELECT COUNT(*) FROM title t, movie_companies mc, company_name cn, \
+                            movie_keyword mk, keyword k \
+                            WHERE mc.movie_id = t.id AND mc.company_id = cn.id \
+                              AND mk.movie_id = t.id AND mk.keyword_id = k.id \
+                              AND cn.country_code = '[us]'";
 
     fn query_reports(outcomes: Vec<ScriptOutcome>) -> Vec<QueryReport> {
         outcomes.into_iter().filter_map(ScriptOutcome::into_query).collect()
@@ -868,11 +1249,12 @@ mod tests {
         adaptive.options.set("estimator", "dbms-c").unwrap();
         plain.options.set("estimator", "dbms-c").unwrap();
 
-        let a = query_reports(plain.run_script(THREE_WAY).unwrap());
-        let b = query_reports(adaptive.run_script(THREE_WAY).unwrap());
+        let a = query_reports(plain.run_script(FIVE_WAY).unwrap());
+        let b = query_reports(adaptive.run_script(FIVE_WAY).unwrap());
         let (pa, pb) = (a[0].execution.as_ref().unwrap(), b[0].execution.as_ref().unwrap());
         assert_eq!(pa.rows, pb.rows, "adaptivity must not change results");
         assert!(pa.replans.is_empty());
+        assert!(!pb.replans.is_empty(), "dbms-c misestimates enough to replan a 5-way join");
         assert_eq!(server.replans_total(), pb.replans.len() as u64);
         for replan in &pb.replans {
             assert!(replan.factor > 1.5);
@@ -988,6 +1370,134 @@ mod tests {
         cached.options.set("estimator", "hyper").unwrap();
         let other = query_reports(cached.run_script(THREE_WAY).unwrap()).remove(0);
         assert_eq!(other.plan_cache, Some(PlanCacheStatus::Miss));
+    }
+
+    #[test]
+    fn tracing_and_slow_query_options_parse() {
+        let mut o = SessionOptions::default();
+        assert!(!o.tracing, "tracing defaults off");
+        assert_eq!(o.slow_query_ms, 0, "slow-query log defaults off");
+        o.set("tracing", "true").unwrap();
+        o.set("slow_query_ms", "250").unwrap();
+        assert!(o.tracing);
+        assert_eq!(o.slow_query_ms, 250);
+        assert!(o.set("tracing", "maybe").is_err());
+        assert!(o.set("slow_query_ms", "fast").is_err());
+    }
+
+    #[test]
+    fn tracing_exposes_spans_without_changing_results() {
+        let server = server();
+        let mut plain = server.session();
+        plain.options.threads = 1;
+        let mut traced = server.session();
+        traced.options.threads = 1;
+        traced.options.set("tracing", "true").unwrap();
+
+        let p = query_reports(plain.run_script(THREE_WAY).unwrap()).remove(0);
+        let t = query_reports(traced.run_script(THREE_WAY).unwrap()).remove(0);
+        assert!(p.trace.is_none(), "untraced reports look exactly as before");
+        let trace = t.trace.expect("traced reports carry phase spans");
+        assert!(trace.optimize_us > 0, "optimization takes measurable time");
+        let (pe, te) = (p.execution.as_ref().unwrap(), t.execution.as_ref().unwrap());
+        assert_eq!(pe.rows, te.rows, "tracing never changes results");
+        for (a, b) in pe.operators.iter().zip(&te.operators) {
+            assert!(a.time_us.is_none() && a.morsels.is_none());
+            assert!(b.time_us.is_some() && b.morsels.is_some());
+            assert_eq!(a.true_rows, b.true_rows, "cardinalities agree");
+        }
+        // At threads=1 every charge is a disjoint slice of the execute
+        // window, so the per-operator times sum to at most the total.
+        let total_us: u64 = te.operators.iter().map(|o| o.time_us.unwrap()).sum();
+        assert!(
+            total_us <= micros(te.elapsed),
+            "operator times ({total_us}us) fit the execute window ({:?})",
+            te.elapsed
+        );
+    }
+
+    #[test]
+    fn explain_statements_report_plans_and_annotations() {
+        let server = server();
+        let mut session = server.session();
+        session.options.threads = 1;
+        let plain =
+            query_reports(session.run_script(&format!("EXPLAIN {THREE_WAY}")).unwrap()).remove(0);
+        assert!(plain.execution.is_none(), "EXPLAIN stops after planning");
+        assert!(plain.plan.contains("Scan"), "{}", plain.plan);
+
+        let analyzed =
+            query_reports(session.run_script(&format!("EXPLAIN ANALYZE {THREE_WAY}")).unwrap())
+                .remove(0);
+        let exec = analyzed.execution.as_ref().expect("EXPLAIN ANALYZE executes");
+        assert!(analyzed.trace.is_some(), "EXPLAIN ANALYZE forces tracing for itself");
+        for needle in ["est=", "true=", "q=", "time=", "morsels="] {
+            assert!(analyzed.plan.contains(needle), "`{needle}` in:\n{}", analyzed.plan);
+        }
+
+        let direct = query_reports(session.run_script(THREE_WAY).unwrap()).remove(0);
+        assert_eq!(exec.rows, direct.execution.as_ref().unwrap().rows);
+        assert!(direct.trace.is_none(), "forced tracing is statement-scoped");
+    }
+
+    #[test]
+    fn metrics_expose_counters_that_match_reports() {
+        let server = server();
+        let mut session = server.session();
+        session.run_script(THREE_WAY).unwrap();
+        session.run_script(THREE_WAY).unwrap();
+        assert!(session.run_script("SELECT * FROM no_such_table").is_err());
+
+        let m = server.metrics();
+        assert_eq!(m.queries_total.get(), 2, "bind errors never reach the runner");
+        assert_eq!(m.query_errors_total.get(), 1);
+        assert_eq!(m.query_latency.snapshot().count, 2);
+        assert_eq!(m.execute_latency.snapshot().count, 2);
+
+        let body = server.metrics_exposition();
+        qob_obs::validate_exposition(&body).expect("exposition parses");
+        assert!(body.contains("qob_queries_total 2"), "{body}");
+        assert!(body.contains("qob_query_errors_total 1"), "{body}");
+        assert!(body.contains("qob_execute_seconds_count 2"), "{body}");
+        assert!(body.contains("qob_plan_cache_entries 0"), "{body}");
+    }
+
+    #[test]
+    fn event_log_captures_replans_and_evictions_behind_the_switch() {
+        let server = server();
+        server.events().capture();
+        let mut session = server.session();
+        session.options.threads = 1;
+        session.set_option("adaptive", "true").unwrap();
+        session.set_option("adaptive_threshold", "1.5").unwrap();
+        session.set_option("estimator", "dbms-c").unwrap();
+
+        // Log disabled: replans fire, but nothing is written.
+        let r = query_reports(session.run_script(FIVE_WAY).unwrap()).remove(0);
+        assert!(!r.execution.unwrap().replans.is_empty(), "dbms-c reliably replans");
+        assert!(server.events().drain().is_empty(), "disabled log writes nothing");
+
+        // A positive slow_query_ms enables the log server-wide.
+        session.set_option("slow_query_ms", "60000").unwrap();
+        assert!(server.events().is_enabled());
+        session.run_script(FIVE_WAY).unwrap();
+        let lines = server.events().drain();
+        assert!(lines.iter().all(|l| l.starts_with("{\"event\":")), "{lines:?}");
+        assert!(lines.iter().any(|l| l.contains("\"event\":\"replan\"")), "{lines:?}");
+
+        // Capacity-1 cache: the second distinct fingerprint evicts the
+        // first, which the log records.
+        session.set_option("plan_cache", "true").unwrap();
+        session.set_option("cache_capacity", "1").unwrap();
+        session.run_script(THREE_WAY).unwrap();
+        session
+            .run_script("SELECT COUNT(*) FROM title t, movie_companies mc WHERE mc.movie_id = t.id")
+            .unwrap();
+        let lines = server.events().drain();
+        assert!(lines.iter().any(|l| l.contains("\"event\":\"eviction\"")), "{lines:?}");
+
+        session.set_option("slow_query_ms", "0").unwrap();
+        assert!(!server.events().is_enabled(), "zero switches the log back off");
     }
 
     #[test]

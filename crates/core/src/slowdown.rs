@@ -1,4 +1,8 @@
-//! Experiment metrics: slowdown buckets and geometric means.
+//! Experiment statistics: the paper's slowdown buckets and geometric means.
+//!
+//! This module was previously named `metrics`; it was renamed so the
+//! paper-reproduction statistics cannot be confused with the runtime
+//! metrics registry (`qob-obs`) the server exposes.
 
 /// The slowdown buckets the paper uses in Section 4.1 and Figures 6/7.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

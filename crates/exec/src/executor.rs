@@ -163,6 +163,22 @@ impl fmt::Display for ExecutionError {
 
 impl std::error::Error for ExecutionError {}
 
+/// Runtime telemetry of one join operator, collected through the same
+/// always-on atomic counters as its output cardinality — so instrumented
+/// and uninstrumented reads observe the identical execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OperatorTiming {
+    /// Wall-clock nanoseconds spent inside the operator: probe-chain work
+    /// summed across workers, plus the operator's breaker work (hash build,
+    /// merge) where it has any.  With `threads: 1` the per-operator times
+    /// sum to at most the total elapsed time; with more workers the sum can
+    /// exceed it (busy time is added across threads).
+    pub busy_nanos: u64,
+    /// Operator invocations: one per morsel pushed through the probe chain
+    /// (breaker-only operators such as sort-merge count their merge as one).
+    pub morsels: u64,
+}
+
 /// The outcome of executing a plan.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExecutionResult {
@@ -175,6 +191,11 @@ pub struct ExecutionResult {
     /// Output cardinality of every join operator, keyed by the relation set
     /// it produced (useful for diagnostics and tests).
     pub operator_cardinalities: Vec<(RelSet, u64)>,
+    /// Per-operator wall time and morsel counts, in the same order as
+    /// [`ExecutionResult::operator_cardinalities`].  Empty when execution
+    /// was assembled from adaptive rounds (the splice loses per-round
+    /// attribution).
+    pub operator_timings: Vec<(RelSet, OperatorTiming)>,
 }
 
 /// Executes `plan` for `query` against `db` on the morsel-driven pipeline
@@ -209,9 +230,14 @@ pub fn execute_plan_with(
 ) -> Result<ExecutionResult, ExecutionError> {
     plan.validate(query).map_err(ExecutionError::InvalidPlan)?;
     let guard = ExecGuard::new(options);
-    let (out, operator_cardinalities) =
+    let (out, operator_cardinalities, operator_timings) =
         crate::pipeline::run_plan(db, query, plan, build_size_hint, options, &guard, premat)?;
-    Ok(ExecutionResult { rows: out.len() as u64, elapsed: guard.elapsed(), operator_cardinalities })
+    Ok(ExecutionResult {
+        rows: out.len() as u64,
+        elapsed: guard.elapsed(),
+        operator_cardinalities,
+        operator_timings,
+    })
 }
 
 /// Materialises the full output of a *subplan* (a prefix of a larger plan),
@@ -233,6 +259,7 @@ pub fn materialize_plan(
     plan.validate_partial(query).map_err(ExecutionError::InvalidPlan)?;
     let guard = ExecGuard::new(options);
     crate::pipeline::run_plan(db, query, plan, build_size_hint, options, &guard, premat)
+        .map(|(out, cards, _)| (out, cards))
 }
 
 #[cfg(test)]

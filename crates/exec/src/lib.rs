@@ -37,7 +37,7 @@ pub mod truecard;
 
 pub use executor::{
     default_threads, execute_plan, execute_plan_with, materialize_plan, AdaptiveOptions,
-    ExecutionError, ExecutionOptions, ExecutionResult, DEFAULT_MORSEL_SIZE,
+    ExecutionError, ExecutionOptions, ExecutionResult, OperatorTiming, DEFAULT_MORSEL_SIZE,
 };
 pub use hashtable::ChainedHashTable;
 pub use intermediate::{Intermediate, Materialized};

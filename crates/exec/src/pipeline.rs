@@ -26,7 +26,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use qob_plan::{JoinAlgorithm, JoinKey, PhysicalPlan, QuerySpec, RelSet};
 use qob_storage::{ColumnId, Database, RowId, Table};
 
-use crate::executor::{ExecutionError, ExecutionOptions};
+use crate::executor::{ExecutionError, ExecutionOptions, OperatorTiming};
 use crate::intermediate::{Intermediate, Materialized};
 use crate::operators::{
     build_hash_table, merge_join, BuildSide, ColReader, CompiledFilter, ExecGuard, HashProbeOp,
@@ -70,11 +70,39 @@ struct Pipeline<'a> {
     out_rels: Vec<usize>,
 }
 
+/// Per-operator atomic accumulators, indexed like the cardinality order:
+/// output rows (the historical counters), busy nanoseconds, and morsel
+/// invocations.  All three are fed unconditionally on the same code path,
+/// so timed and untimed observations describe the identical execution.
+pub(crate) struct OpCounters {
+    rows: Vec<AtomicU64>,
+    nanos: Vec<AtomicU64>,
+    morsels: Vec<AtomicU64>,
+}
+
+impl OpCounters {
+    fn new(len: usize) -> OpCounters {
+        OpCounters {
+            rows: (0..len).map(|_| AtomicU64::new(0)).collect(),
+            nanos: (0..len).map(|_| AtomicU64::new(0)).collect(),
+            morsels: (0..len).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Charges `elapsed` and one invocation to operator `idx`.
+    fn charge(&self, idx: usize, elapsed: std::time::Duration) {
+        self.nanos[idx]
+            .fetch_add(elapsed.as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed);
+        self.morsels[idx].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 /// Executes a physical plan and reports (materialised output, operator
-/// cardinalities in the interpreter's historical post-order).  Subtrees
-/// whose relation set is stored in `premat` are served from the store
-/// instead of re-executing (their internal joins report 0 — they did not
-/// run here).
+/// cardinalities in the interpreter's historical post-order, per-operator
+/// timings in the same order).  Subtrees whose relation set is stored in
+/// `premat` are served from the store instead of re-executing (their
+/// internal joins report 0 — they did not run here).
+#[allow(clippy::type_complexity)] // one internal call site; splitting helps nobody
 pub(crate) fn run_plan(
     db: &Database,
     query: &QuerySpec,
@@ -83,20 +111,33 @@ pub(crate) fn run_plan(
     options: &ExecutionOptions,
     guard: &ExecGuard,
     premat: &Materialized,
-) -> Result<(Intermediate, Vec<(RelSet, u64)>), ExecutionError> {
+) -> Result<(Intermediate, Vec<(RelSet, u64)>, Vec<(RelSet, OperatorTiming)>), ExecutionError> {
     let mut card_order = Vec::new();
     collect_card_order(plan, &mut card_order);
     let card_index: HashMap<RelSet, usize> =
         card_order.iter().enumerate().map(|(i, set)| (*set, i)).collect();
-    let counters: Vec<AtomicU64> = card_order.iter().map(|_| AtomicU64::new(0)).collect();
+    let counters = OpCounters::new(card_order.len());
     let engine = Engine { db, query, options, guard, hint, card_index, counters, premat };
     let out = engine.exec_node(plan)?;
     let cards = card_order
-        .into_iter()
-        .zip(&engine.counters)
-        .map(|(set, c)| (set, c.load(Ordering::Relaxed)))
+        .iter()
+        .zip(&engine.counters.rows)
+        .map(|(set, c)| (*set, c.load(Ordering::Relaxed)))
         .collect();
-    Ok((out, cards))
+    let timings = card_order
+        .iter()
+        .enumerate()
+        .map(|(i, set)| {
+            (
+                *set,
+                OperatorTiming {
+                    busy_nanos: engine.counters.nanos[i].load(Ordering::Relaxed),
+                    morsels: engine.counters.morsels[i].load(Ordering::Relaxed),
+                },
+            )
+        })
+        .collect();
+    Ok((out, cards, timings))
 }
 
 /// The historical cardinality reporting order: joins in post-order,
@@ -116,7 +157,7 @@ struct Engine<'a> {
     guard: &'a ExecGuard,
     hint: &'a dyn Fn(RelSet) -> f64,
     card_index: HashMap<RelSet, usize>,
-    counters: Vec<AtomicU64>,
+    counters: OpCounters,
     /// Already-materialised subtree outputs (adaptive resume).
     premat: &'a Materialized,
 }
@@ -193,6 +234,9 @@ impl<'a> Engine<'a> {
                     let estimate = (self.hint)(build.get().rel_set());
                     let build_rels = build.get().rels().to_vec();
                     let build_key = self.reader(&build_rels, first.left_rel, first.left_column)?;
+                    // The build is breaker work charged to the join it
+                    // feeds, on top of its per-morsel probe time.
+                    let build_started = std::time::Instant::now();
                     let table = build_hash_table(
                         build.get(),
                         build_key,
@@ -200,6 +244,10 @@ impl<'a> Engine<'a> {
                         self.options,
                         self.guard,
                     )?;
+                    self.counters.nanos[self.card_of(plan.rels())].fetch_add(
+                        build_started.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                        Ordering::Relaxed,
+                    );
                     let probe = self.reader(&p.out_rels, first.right_rel, first.right_column)?;
                     let rest = keys[1..]
                         .iter()
@@ -316,6 +364,7 @@ impl<'a> Engine<'a> {
                         .collect::<Result<Vec<_>, ExecutionError>>()?;
                     let mut out_rels = li.rels().to_vec();
                     out_rels.extend_from_slice(ri.rels());
+                    let merge_started = std::time::Instant::now();
                     let out = merge_join(
                         li,
                         ri,
@@ -326,8 +375,9 @@ impl<'a> Engine<'a> {
                         self.options,
                         self.guard,
                     )?;
-                    self.counters[self.card_of(plan.rels())]
-                        .fetch_add(out.len() as u64, Ordering::Relaxed);
+                    let idx = self.card_of(plan.rels());
+                    self.counters.rows[idx].fetch_add(out.len() as u64, Ordering::Relaxed);
+                    self.counters.charge(idx, merge_started.elapsed());
                     Ok(Pipeline { source: Source::Mat(out), ops: Vec::new(), out_rels })
                 }
             },
@@ -342,7 +392,7 @@ fn drive(
     pipeline: Pipeline<'_>,
     options: &ExecutionOptions,
     guard: &ExecGuard,
-    counters: &[AtomicU64],
+    counters: &OpCounters,
 ) -> Result<Intermediate, ExecutionError> {
     // A breaker output with no probe chain needs no pass at all.
     if pipeline.ops.is_empty() {
@@ -414,7 +464,7 @@ fn worker(
     pipeline: &Pipeline<'_>,
     options: &ExecutionOptions,
     guard: &ExecGuard,
-    counters: &[AtomicU64],
+    counters: &OpCounters,
     cursor: &AtomicUsize,
     morsel_count: usize,
     out_chunks: &mut Vec<(usize, Vec<RowId>)>,
@@ -446,9 +496,17 @@ fn worker(
                 break;
             }
             next.clear();
-            if let Err(e) =
-                op.process(&scratch, width, &mut next, &mut ticker, guard, &counters[op.card()])
-            {
+            let started = std::time::Instant::now();
+            let step = op.process(
+                &scratch,
+                width,
+                &mut next,
+                &mut ticker,
+                guard,
+                &counters.rows[op.card()],
+            );
+            counters.charge(op.card(), started.elapsed());
+            if let Err(e) = step {
                 failed = Some(e);
                 break;
             }
@@ -548,7 +606,7 @@ pub fn hash_join(
         out_width: out_rels.len(),
         card: 0,
     });
-    let counters = [AtomicU64::new(0)];
+    let counters = OpCounters::new(1);
     let pipeline = Pipeline { source: Source::MatRef(right), ops: vec![op], out_rels };
     drive(pipeline, options, guard, &counters)
 }

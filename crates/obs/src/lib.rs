@@ -1,0 +1,636 @@
+//! # qob-obs
+//!
+//! Runtime observability for the warm server: a lock-free metrics registry
+//! (atomic counters and log-bucketed latency histograms), Prometheus text
+//! exposition, and a structured JSON-lines event log.
+//!
+//! The crate is a leaf — no dependencies on the rest of the workspace — so
+//! every layer (session, cache, adaptive, executor, server) can feed it.
+//! All hot-path instruments are plain atomics: recording a sample is a
+//! handful of `fetch_add`s, never a lock, so instrumented and
+//! uninstrumented runs stay tuple-identical (see `docs/OBSERVABILITY.md`).
+//!
+//! * [`Counter`] / [`Gauge`] — monotonic and set-point `u64` cells.
+//! * [`Histogram`] — power-of-two-bucketed latency histogram over
+//!   microseconds; p50/p95/p99 come from bucket counts alone, no sample
+//!   retention.
+//! * [`MetricsRegistry`] — the fixed set of instruments the server owns.
+//! * [`Exposition`] — renders instruments in the Prometheus text format
+//!   (version 0.0.4); [`validate_exposition`] re-parses a rendered body.
+//! * [`EventLog`] — JSON-lines events (replans, fence rejects, evictions,
+//!   worker panics, slow queries) behind the `slow_query_ms` option.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub const fn new() -> Gauge {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets.  Bucket `k` (for `k ≥ 1`) counts samples
+/// in `[2^(k-1), 2^k)` microseconds; bucket `0` counts zero-microsecond
+/// samples.  `2^(BUCKETS-2)` µs ≈ 6.4 days, so the top bucket is an
+/// effective `+Inf` catch-all.
+pub const BUCKETS: usize = 40;
+
+/// A log-bucketed latency histogram over microseconds.
+///
+/// Recording is three relaxed `fetch_add`s; percentiles are estimated from
+/// the bucket counts by linear interpolation inside the covering bucket, so
+/// no samples are retained.  The relative error is bounded by the bucket
+/// width (a factor of two).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum_micros: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_micros: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    fn index(micros: u64) -> usize {
+        ((u64::BITS - micros.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    /// Records one sample, in microseconds.
+    pub fn record_micros(&self, micros: u64) {
+        self.buckets[Self::index(micros)].fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one sample from a [`Duration`].
+    pub fn record(&self, elapsed: Duration) {
+        self.record_micros(elapsed.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Takes a consistent-enough snapshot of the bucket counts.
+    ///
+    /// Concurrent recording may skew `sum`/`count` against the buckets by a
+    /// few in-flight samples; percentile estimates are unaffected in
+    /// practice.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            sum_micros: self.sum_micros.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`BUCKETS`] for the bucket scheme).
+    pub buckets: [u64; BUCKETS],
+    /// Sum of all recorded samples, in microseconds.
+    pub sum_micros: u64,
+    /// Number of recorded samples.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`0.0 ≤ q ≤ 1.0`) in microseconds, by
+    /// linear interpolation within the covering bucket.  Returns 0.0 when
+    /// the histogram is empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total: u64 = self.buckets.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).max(1.0);
+        let mut seen = 0u64;
+        for (k, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if (seen + n) as f64 >= rank {
+                let (lo, hi) = bucket_bounds(k);
+                let into = (rank - seen as f64) / n as f64;
+                return lo as f64 + into * (hi - lo) as f64;
+            }
+            seen += n;
+        }
+        let (_, hi) = bucket_bounds(BUCKETS - 1);
+        hi as f64
+    }
+}
+
+/// The `[lo, hi)` microsecond range bucket `k` covers.
+fn bucket_bounds(k: usize) -> (u64, u64) {
+    match k {
+        0 => (0, 1),
+        _ => (1u64 << (k - 1), 1u64 << k),
+    }
+}
+
+/// The fixed instrument set the server owns: one registry per
+/// `ServerContext`, shared by every session.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    /// Statements answered (queries and prepared executes), all sessions.
+    pub queries_total: Counter,
+    /// Statements that failed (parse, bind, optimize or execute errors).
+    pub query_errors_total: Counter,
+    /// Adaptive re-optimization rounds fired.
+    pub replans_total: Counter,
+    /// Statements slower than the session's `slow_query_ms` threshold.
+    pub slow_queries_total: Counter,
+    /// Executor worker panics observed.
+    pub worker_panics_total: Counter,
+    /// End-to-end statement latency (parse through execute).
+    pub query_latency: Histogram,
+    /// Parse-phase latency.
+    pub parse_latency: Histogram,
+    /// Bind-phase latency.
+    pub bind_latency: Histogram,
+    /// Optimize-phase latency (includes the plan-cache lookup).
+    pub optimize_latency: Histogram,
+    /// Execute-phase latency.
+    pub execute_latency: Histogram,
+}
+
+impl MetricsRegistry {
+    /// Creates a registry with all instruments at zero.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Renders every instrument into `ex` under the `qob_` prefix.
+    pub fn render(&self, ex: &mut Exposition) {
+        ex.counter(
+            "qob_queries_total",
+            "Statements answered across all sessions",
+            self.queries_total.get(),
+        );
+        ex.counter(
+            "qob_query_errors_total",
+            "Statements that failed",
+            self.query_errors_total.get(),
+        );
+        ex.counter(
+            "qob_replans_total",
+            "Adaptive re-optimization rounds",
+            self.replans_total.get(),
+        );
+        ex.counter(
+            "qob_slow_queries_total",
+            "Statements over the slow_query_ms threshold",
+            self.slow_queries_total.get(),
+        );
+        ex.counter(
+            "qob_worker_panics_total",
+            "Executor worker panics",
+            self.worker_panics_total.get(),
+        );
+        ex.histogram(
+            "qob_query_seconds",
+            "End-to-end statement latency",
+            &self.query_latency.snapshot(),
+        );
+        ex.histogram("qob_parse_seconds", "Parse-phase latency", &self.parse_latency.snapshot());
+        ex.histogram("qob_bind_seconds", "Bind-phase latency", &self.bind_latency.snapshot());
+        ex.histogram(
+            "qob_optimize_seconds",
+            "Optimize-phase latency (incl. plan-cache lookup)",
+            &self.optimize_latency.snapshot(),
+        );
+        ex.histogram(
+            "qob_execute_seconds",
+            "Execute-phase latency",
+            &self.execute_latency.snapshot(),
+        );
+    }
+}
+
+/// A Prometheus text-format (version 0.0.4) builder.
+///
+/// Families are rendered in call order; each family gets `# HELP` and
+/// `# TYPE` comments followed by its samples.
+#[derive(Debug, Default)]
+pub struct Exposition {
+    out: String,
+}
+
+impl Exposition {
+    /// Creates an empty exposition.
+    pub fn new() -> Exposition {
+        Exposition::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// Renders one counter family.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, "counter");
+        let _ = writeln!(self.out, "{name} {value}");
+    }
+
+    /// Renders one gauge family.
+    pub fn gauge(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, "gauge");
+        let _ = writeln!(self.out, "{name} {value}");
+    }
+
+    /// Renders one histogram family: cumulative `_bucket{le="…"}` samples
+    /// (bucket bounds converted from microseconds to seconds), `_sum` and
+    /// `_count`.  Empty trailing buckets collapse into `+Inf`.
+    pub fn histogram(&mut self, name: &str, help: &str, snap: &HistogramSnapshot) {
+        self.header(name, help, "histogram");
+        let last = snap.buckets.iter().rposition(|&n| n > 0).map_or(0, |i| i + 1);
+        let mut cumulative = 0u64;
+        for (k, &n) in snap.buckets.iter().enumerate().take(last) {
+            cumulative += n;
+            let (_, hi) = bucket_bounds(k);
+            let le = hi as f64 / 1e6;
+            let _ = writeln!(self.out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let total: u64 = snap.buckets.iter().sum();
+        let _ = writeln!(self.out, "{name}_bucket{{le=\"+Inf\"}} {total}");
+        let _ = writeln!(self.out, "{name}_sum {}", snap.sum_micros as f64 / 1e6);
+        let _ = writeln!(self.out, "{name}_count {total}");
+    }
+
+    /// Finishes the build and returns the exposition body.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Checks that `body` is well-formed Prometheus text format: every line is
+/// a `# HELP`/`# TYPE` comment or a `name[{labels}] value` sample with a
+/// parsable float value.  Returns the number of sample lines, or a
+/// description of the first malformed line.
+pub fn validate_exposition(body: &str) -> Result<usize, String> {
+    let mut samples = 0usize;
+    for (i, line) in body.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let rest = comment.trim_start();
+            if !(rest.starts_with("HELP ") || rest.starts_with("TYPE ")) {
+                return Err(format!("line {}: unknown comment `{line}`", i + 1));
+            }
+            continue;
+        }
+        let (name_part, value_part) = match line.rsplit_once(' ') {
+            Some(split) => split,
+            None => return Err(format!("line {}: no value in `{line}`", i + 1)),
+        };
+        let name = name_part.split('{').next().unwrap_or("");
+        let name_ok = !name.is_empty()
+            && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+            && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':');
+        if !name_ok {
+            return Err(format!("line {}: bad metric name in `{line}`", i + 1));
+        }
+        if let Some(labels) = name_part.strip_prefix(name) {
+            let ok = labels.is_empty()
+                || (labels.starts_with('{') && labels.ends_with('}') && labels.contains('='));
+            if !ok {
+                return Err(format!("line {}: bad labels in `{line}`", i + 1));
+            }
+        }
+        if value_part != "+Inf" && value_part != "-Inf" && value_part.parse::<f64>().is_err() {
+            return Err(format!("line {}: bad value `{value_part}`", i + 1));
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+/// One structured event, built field-by-field and serialised as a single
+/// JSON line.  Field order is preserved; the `event` kind always leads.
+#[derive(Debug)]
+pub struct Event {
+    line: String,
+}
+
+impl Event {
+    /// Starts an event of the given kind.
+    pub fn new(kind: &str) -> Event {
+        let mut line = String::from("{\"event\":");
+        push_json_str(&mut line, kind);
+        Event { line }
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Event {
+        self.key(key);
+        push_json_str(&mut self.line, value);
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn num(mut self, key: &str, value: u64) -> Event {
+        self.key(key);
+        let _ = write!(self.line, "{value}");
+        self
+    }
+
+    /// Adds a float field (rendered with two decimals; non-finite → null).
+    pub fn float(mut self, key: &str, value: f64) -> Event {
+        self.key(key);
+        if value.is_finite() {
+            let _ = write!(self.line, "{value:.2}");
+        } else {
+            self.line.push_str("null");
+        }
+        self
+    }
+
+    fn key(&mut self, key: &str) {
+        self.line.push(',');
+        push_json_str(&mut self.line, key);
+        self.line.push(':');
+    }
+
+    /// Finishes the event and returns the JSON line (no trailing newline).
+    pub fn finish(mut self) -> String {
+        self.line.push('}');
+        self.line
+    }
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Where an [`EventLog`] writes its lines.
+enum EventSink {
+    /// Process standard error (the default: `qob serve` logs are stderr).
+    Stderr,
+    /// An in-memory buffer, for tests.
+    Buffer(Vec<String>),
+}
+
+impl std::fmt::Debug for EventSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EventSink::Stderr => f.write_str("Stderr"),
+            EventSink::Buffer(lines) => write!(f, "Buffer({} lines)", lines.len()),
+        }
+    }
+}
+
+/// A JSON-lines event log.
+///
+/// Disabled by default; enabling it (the `slow_query_ms` session option /
+/// `--slow-query-ms` flag) turns on *all* event kinds — replans, fence
+/// rejects, evictions, worker panics and slow queries.  The enabled check
+/// is one relaxed atomic load, so a disabled log costs nothing on the hot
+/// path; the sink lock is only taken when a line is actually written.
+#[derive(Debug)]
+pub struct EventLog {
+    enabled: AtomicBool,
+    sink: Mutex<EventSink>,
+}
+
+impl Default for EventLog {
+    fn default() -> EventLog {
+        EventLog::new()
+    }
+}
+
+impl EventLog {
+    /// Creates a disabled log writing to stderr.
+    pub fn new() -> EventLog {
+        EventLog { enabled: AtomicBool::new(false), sink: Mutex::new(EventSink::Stderr) }
+    }
+
+    /// Turns the log on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether events are currently written.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Redirects events into an in-memory buffer (for tests); returns any
+    /// lines already buffered.
+    pub fn capture(&self) -> Vec<String> {
+        let mut sink = self.sink.lock().expect("event sink");
+        match std::mem::replace(&mut *sink, EventSink::Buffer(Vec::new())) {
+            EventSink::Buffer(lines) => lines,
+            EventSink::Stderr => Vec::new(),
+        }
+    }
+
+    /// Drains the buffered lines (empty when the sink is stderr).
+    pub fn drain(&self) -> Vec<String> {
+        let mut sink = self.sink.lock().expect("event sink");
+        match &mut *sink {
+            EventSink::Buffer(lines) => std::mem::take(lines),
+            EventSink::Stderr => Vec::new(),
+        }
+    }
+
+    /// Writes one event if the log is enabled.
+    pub fn emit(&self, event: Event) {
+        if !self.is_enabled() {
+            return;
+        }
+        let line = event.finish();
+        let mut sink = self.sink.lock().expect("event sink");
+        match &mut *sink {
+            EventSink::Stderr => eprintln!("{line}"),
+            EventSink::Buffer(lines) => lines.push(line),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_hold_values() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(17);
+        assert_eq!(g.get(), 17);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        assert_eq!(Histogram::index(0), 0);
+        assert_eq!(Histogram::index(1), 1);
+        assert_eq!(Histogram::index(2), 2);
+        assert_eq!(Histogram::index(3), 2);
+        assert_eq!(Histogram::index(4), 3);
+        assert_eq!(Histogram::index(1023), 10);
+        assert_eq!(Histogram::index(1024), 11);
+        assert_eq!(Histogram::index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().quantile(0.5), 0.0, "empty histogram");
+        for micros in [100u64, 100, 100, 100, 100, 100, 100, 100, 100, 100_000] {
+            h.record_micros(micros);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 10);
+        assert_eq!(snap.sum_micros, 100_900);
+        let p50 = snap.quantile(0.5);
+        assert!((64.0..128.0).contains(&p50), "p50 inside the [64,128) bucket, got {p50}");
+        let p99 = snap.quantile(0.99);
+        assert!((65_536.0..131_072.0).contains(&p99), "p99 inside the top bucket, got {p99}");
+        assert!(snap.quantile(0.0) <= snap.quantile(1.0));
+    }
+
+    #[test]
+    fn quantile_of_uniform_samples_is_monotone() {
+        let h = Histogram::new();
+        for micros in 1..=1000u64 {
+            h.record_micros(micros);
+        }
+        let snap = h.snapshot();
+        let (p50, p95, p99) = (snap.quantile(0.5), snap.quantile(0.95), snap.quantile(0.99));
+        assert!(p50 <= p95 && p95 <= p99, "{p50} ≤ {p95} ≤ {p99}");
+        // Log-bucketed estimates are within a factor of two of the truth.
+        assert!((250.0..1000.0).contains(&p50), "p50 ≈ 500 within 2×, got {p50}");
+    }
+
+    #[test]
+    fn exposition_renders_and_validates() {
+        let registry = MetricsRegistry::new();
+        registry.queries_total.add(3);
+        registry.query_latency.record(Duration::from_micros(250));
+        registry.query_latency.record(Duration::from_millis(8));
+        let mut ex = Exposition::new();
+        registry.render(&mut ex);
+        ex.gauge("qob_up", "Always one", 1);
+        let body = ex.finish();
+        assert!(body.contains("# TYPE qob_queries_total counter"), "{body}");
+        assert!(body.contains("qob_queries_total 3"), "{body}");
+        assert!(body.contains("qob_query_seconds_count 2"), "{body}");
+        assert!(body.contains("qob_query_seconds_bucket{le=\"+Inf\"} 2"), "{body}");
+        let samples = validate_exposition(&body).expect("rendered exposition validates");
+        assert!(samples > 10, "{samples} samples");
+    }
+
+    #[test]
+    fn validate_rejects_malformed_bodies() {
+        assert!(validate_exposition("no_value_here").is_err());
+        assert!(validate_exposition("name not-a-number").is_err());
+        assert!(validate_exposition("# COMMENT nope").is_err());
+        assert!(validate_exposition("9starts_with_digit 1").is_err());
+        assert!(validate_exposition("bad{labels 1").is_err());
+        assert_eq!(validate_exposition("ok 1\nok{a=\"b\"} 2\n# HELP ok fine"), Ok(2));
+    }
+
+    #[test]
+    fn events_serialise_as_json_lines() {
+        let log = EventLog::new();
+        log.capture();
+        log.emit(Event::new("dropped").str("q", "x")); // disabled → dropped
+        log.set_enabled(true);
+        assert!(log.is_enabled());
+        log.emit(
+            Event::new("slow_query")
+                .str("query", "q\"1\"")
+                .num("elapsed_ms", 250)
+                .float("q_error", 12.5)
+                .float("bad", f64::NAN),
+        );
+        let lines = log.drain();
+        assert_eq!(lines.len(), 1);
+        assert_eq!(
+            lines[0],
+            "{\"event\":\"slow_query\",\"query\":\"q\\\"1\\\"\",\"elapsed_ms\":250,\
+             \"q_error\":12.50,\"bad\":null}"
+        );
+        log.set_enabled(false);
+        log.emit(Event::new("again").num("n", 1));
+        assert!(log.drain().is_empty());
+    }
+}

@@ -312,7 +312,11 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice");
+        // The scanned range is ASCII by construction, but a parse error
+        // must stay a protocol error — never an unwind a client can
+        // trigger with crafted bytes.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError { at: start, message: "invalid UTF-8 in number".to_owned() })?;
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| JsonError { at: start, message: format!("bad number `{text}`") })
@@ -367,11 +371,15 @@ impl<'a> Parser<'a> {
                 }
                 Some(b) if b < 0x20 => return Err(self.err("raw control byte in string")),
                 Some(_) => {
-                    // Copy one UTF-8 scalar (the input is a &str, so
-                    // boundaries are valid).
+                    // Copy one UTF-8 scalar.  The input normally arrives as
+                    // a &str, but malformed client bytes must surface as a
+                    // parse error, not a panic.
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = rest.chars().next().expect("non-empty");
+                    let c = match rest.chars().next() {
+                        Some(c) => c,
+                        None => return Err(self.err("unterminated string")),
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -446,6 +454,13 @@ mod tests {
             "\"\\ud800\\u0041\"",
             "[1 2]",
             "nul",
+            // Number scans that consume no digits must come back as parse
+            // errors, never a panic (the decoder faces raw client bytes).
+            "-",
+            "-.",
+            "-e5",
+            "[1,-]",
+            "{\"n\":-}",
         ] {
             let err = Json::parse(bad).unwrap_err();
             assert!(!err.to_string().is_empty(), "{bad} should fail");

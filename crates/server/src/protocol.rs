@@ -59,6 +59,9 @@ pub enum Request {
     },
     /// `{"type":"stats"}` — server-wide counters and warm-state info.
     Stats,
+    /// `{"type":"metrics"}` — the Prometheus text exposition plus a JSON
+    /// summary (latency percentiles, counters).
+    Metrics,
     /// `{"type":"ping"}` — liveness probe.
     Ping,
     /// `{"type":"shutdown"}` — stop accepting connections and exit.
@@ -121,6 +124,7 @@ impl Request {
                 Ok(Request::Set { option, value })
             }
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown request type `{other}`")),
@@ -168,6 +172,7 @@ impl Request {
                 ("value", Json::str(value.clone())),
             ]),
             Request::Stats => Json::obj(vec![("type", Json::str("stats"))]),
+            Request::Metrics => Json::obj(vec![("type", Json::str("metrics"))]),
             Request::Ping => Json::obj(vec![("type", Json::str("ping"))]),
             Request::Shutdown => Json::obj(vec![("type", Json::str("shutdown"))]),
         }
@@ -228,6 +233,17 @@ pub fn report_to_json(report: &QueryReport) -> Json {
     if let Some(status) = report.plan_cache {
         pairs.push(("plan_cache", Json::str(status.label())));
     }
+    if let Some(trace) = &report.trace {
+        pairs.push((
+            "trace",
+            Json::obj(vec![
+                ("parse_us", Json::Num(trace.parse_us as f64)),
+                ("bind_us", Json::Num(trace.bind_us as f64)),
+                ("optimize_us", Json::Num(trace.optimize_us as f64)),
+                ("execute_us", Json::Num(trace.execute_us as f64)),
+            ]),
+        ));
+    }
     if let Some(exec) = &report.execution {
         pairs.push(("rows", Json::Num(exec.rows as f64)));
         pairs.push(("elapsed_us", duration_us(exec.elapsed)));
@@ -236,12 +252,19 @@ pub fn report_to_json(report: &QueryReport) -> Json {
             .operators
             .iter()
             .map(|op| {
-                Json::obj(vec![
+                let mut fields = vec![
                     ("relations", Json::str(op.relations.clone())),
                     ("estimated", Json::Num(op.estimated)),
                     ("true", Json::Num(op.true_rows as f64)),
                     ("q_error", Json::Num(op.q_error)),
-                ])
+                ];
+                if let Some(time_us) = op.time_us {
+                    fields.push(("time_us", Json::Num(time_us as f64)));
+                }
+                if let Some(morsels) = op.morsels {
+                    fields.push(("morsels", Json::Num(morsels as f64)));
+                }
+                Json::obj(fields)
             })
             .collect();
         pairs.push(("operators", Json::Arr(operators)));
@@ -374,6 +397,37 @@ pub fn stats_response(
     ])
 }
 
+/// Builds the `metrics` response: the full Prometheus text exposition in
+/// `body`, plus a JSON `summary` for programmatic consumers (the CLI's
+/// bench-file output) — latency percentiles estimated from the histogram
+/// buckets and the headline counters.
+pub fn metrics_response(server: &ServerContext) -> Json {
+    let m = server.metrics();
+    let q = m.query_latency.snapshot();
+    let cache = server.plan_cache_counters();
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("type", Json::str("metrics")),
+        ("body", Json::str(server.metrics_exposition())),
+        (
+            "summary",
+            Json::obj(vec![
+                ("queries_total", Json::Num(m.queries_total.get() as f64)),
+                ("query_errors_total", Json::Num(m.query_errors_total.get() as f64)),
+                ("replans_total", Json::Num(m.replans_total.get() as f64)),
+                ("slow_queries_total", Json::Num(m.slow_queries_total.get() as f64)),
+                ("worker_panics_total", Json::Num(m.worker_panics_total.get() as f64)),
+                ("query_p50_us", Json::Num(q.quantile(0.5))),
+                ("query_p95_us", Json::Num(q.quantile(0.95))),
+                ("query_p99_us", Json::Num(q.quantile(0.99))),
+                ("plan_cache_hits", Json::Num(cache.hits as f64)),
+                ("plan_cache_misses", Json::Num(cache.misses as f64)),
+                ("plan_cache_fence_rejections", Json::Num(cache.fence_rejections as f64)),
+            ]),
+        ),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -397,6 +451,7 @@ mod tests {
             Request::Execute { name: "noargs".into(), params: vec![] },
             Request::Deallocate { name: "q".into() },
             Request::Stats,
+            Request::Metrics,
             Request::Ping,
             Request::Shutdown,
         ];

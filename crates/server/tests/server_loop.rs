@@ -247,6 +247,63 @@ fn wire_sessions_can_match_every_cli_execution_option() {
 }
 
 #[test]
+fn metrics_scrape_and_traces_over_the_wire() {
+    let (handle, addr) = start_server();
+    let mut client = Client::connect_with_retry(&addr, Duration::from_secs(5)).unwrap();
+
+    // Default sessions carry no trace: the wire format is unchanged.
+    let plain = client.query(THREE_WAY).unwrap();
+    let plain_result = &plain.get("results").unwrap().as_array().unwrap()[0];
+    assert!(plain_result.get("trace").is_none());
+    let ops = plain_result.get("operators").unwrap().as_array().unwrap();
+    assert!(ops.iter().all(|op| op.get("time_us").is_none()));
+
+    // With tracing on, phase spans and per-operator times appear.
+    client.request(&Request::Set { option: "tracing".into(), value: "true".into() }).unwrap();
+    let traced = client.query(THREE_WAY).unwrap();
+    let traced_result = &traced.get("results").unwrap().as_array().unwrap()[0];
+    assert_eq!(
+        traced_result.get("rows").unwrap().as_u64(),
+        plain_result.get("rows").unwrap().as_u64(),
+        "tracing must not change answers"
+    );
+    let trace = traced_result.get("trace").unwrap();
+    for phase in ["parse_us", "bind_us", "optimize_us", "execute_us"] {
+        assert!(trace.get(phase).unwrap().as_u64().is_some(), "missing {phase}");
+    }
+    let ops = traced_result.get("operators").unwrap().as_array().unwrap();
+    assert!(ops.iter().all(|op| op.get("time_us").unwrap().as_u64().is_some()));
+    assert!(ops.iter().all(|op| op.get("morsels").unwrap().as_u64().is_some()));
+
+    // EXPLAIN ANALYZE annotates the plan tree even with tracing off again.
+    client.request(&Request::Set { option: "tracing".into(), value: "false".into() }).unwrap();
+    let analyzed = client.query(&format!("EXPLAIN ANALYZE {THREE_WAY}")).unwrap();
+    let analyzed_result = &analyzed.get("results").unwrap().as_array().unwrap()[0];
+    assert!(analyzed_result.get("rows").unwrap().as_u64().is_some(), "analyze executes");
+    let plan = analyzed_result.get("plan").unwrap().as_str().unwrap();
+    for needle in ["est=", "true=", "q=", "time=", "morsels="] {
+        assert!(plan.contains(needle), "annotated plan missing {needle}: {plan}");
+    }
+
+    // The metrics scrape exposes a valid Prometheus body whose counters
+    // agree with the queries this test just ran.
+    let metrics = client.request(&Request::Metrics).unwrap();
+    assert_eq!(metrics.get("type").unwrap().as_str(), Some("metrics"));
+    let body = metrics.get("body").unwrap().as_str().unwrap();
+    let series = qob_obs::validate_exposition(body).expect("exposition must parse");
+    assert!(series > 10, "expected a full catalogue, got {series} series");
+    assert!(body.contains("qob_queries_total 3"), "three queries ran:\n{body}");
+    assert!(body.contains("qob_query_errors_total 0"));
+    assert!(body.contains("qob_execute_seconds_count 3"));
+    let summary = metrics.get("summary").unwrap();
+    assert_eq!(summary.get("queries_total").unwrap().as_u64(), Some(3));
+    assert!(summary.get("query_p50_us").unwrap().as_u64().unwrap() > 0);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
 fn sessions_are_isolated_across_connections() {
     let (handle, addr) = start_server();
     let mut a = Client::connect(&addr).unwrap();

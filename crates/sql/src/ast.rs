@@ -245,6 +245,15 @@ pub enum ScriptStatement {
         /// The prepared statement's name.
         name: String,
     },
+    /// `EXPLAIN [ANALYZE] SELECT ...` — plan a statement without running it
+    /// (`EXPLAIN`), or run it and annotate every operator with its estimated
+    /// vs true cardinality and wall time (`EXPLAIN ANALYZE`).
+    Explain {
+        /// True for `EXPLAIN ANALYZE`.
+        analyze: bool,
+        /// The statement being explained.
+        statement: SelectStatement,
+    },
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 //!             | PREPARE ident AS statement
 //!             | EXECUTE ident ['(' [const (',' const)*] ')']
 //!             | DEALLOCATE ident
+//!             | EXPLAIN [ANALYZE] statement
 //! statement  := SELECT items FROM tables [WHERE expr]
 //! items      := item (',' item)*
 //! item       := '*' | ident '(' ('*' | colref) ')' [AS ident] | colref [AS ident]
@@ -196,6 +197,12 @@ impl Parser {
                 self.advance();
                 let (name, _) = self.ident("a statement name after `DEALLOCATE`")?;
                 Ok(ScriptStatement::Deallocate { name })
+            }
+            Tok::Explain => {
+                self.advance();
+                let analyze = self.eat_if(&Tok::Analyze);
+                let statement = self.statement()?;
+                Ok(ScriptStatement::Explain { analyze, statement })
             }
             _ => Ok(ScriptStatement::Select(self.statement()?)),
         }
@@ -840,6 +847,25 @@ mod tests {
             let err = parse_script_statement(sql).unwrap_err();
             assert!(err.message.contains(needle), "for `{sql}`: {}", err.message);
         }
+    }
+
+    #[test]
+    fn explain_statements_parse() {
+        let stmt = parse_script_statement("EXPLAIN SELECT COUNT(*) FROM t x;").unwrap();
+        assert!(matches!(stmt, ScriptStatement::Explain { analyze: false, .. }), "{stmt:?}");
+        let stmt = parse_script_statement("explain analyze SELECT COUNT(*) FROM t x WHERE x.a > 3")
+            .unwrap();
+        match stmt {
+            ScriptStatement::Explain { analyze, statement } => {
+                assert!(analyze);
+                assert!(statement.selection.is_some());
+            }
+            other => panic!("expected EXPLAIN ANALYZE, got {other:?}"),
+        }
+        // ANALYZE alone is not a statement; EXPLAIN requires a SELECT body.
+        assert!(parse_script_statement("ANALYZE SELECT * FROM t").is_err());
+        let err = parse_script_statement("EXPLAIN ANALYZE").unwrap_err();
+        assert!(err.message.contains("SELECT"), "{}", err.message);
     }
 
     #[test]

@@ -86,6 +86,10 @@ pub enum Tok {
     Execute,
     /// `DEALLOCATE`
     Deallocate,
+    /// `EXPLAIN`
+    Explain,
+    /// `ANALYZE`
+    Analyze,
 
     /// End of input.
     Eof,
@@ -114,6 +118,8 @@ impl Tok {
             "PREPARE" => Tok::Prepare,
             "EXECUTE" => Tok::Execute,
             "DEALLOCATE" => Tok::Deallocate,
+            "EXPLAIN" => Tok::Explain,
+            "ANALYZE" => Tok::Analyze,
             _ => return None,
         })
     }
@@ -165,6 +171,8 @@ impl Tok {
             Tok::Prepare => "PREPARE",
             Tok::Execute => "EXECUTE",
             Tok::Deallocate => "DEALLOCATE",
+            Tok::Explain => "EXPLAIN",
+            Tok::Analyze => "ANALYZE",
             Tok::Ident(_) | Tok::Int(_) | Tok::Str(_) | Tok::Param(_) | Tok::Eof => "",
         }
     }
@@ -198,6 +206,8 @@ mod tests {
         assert_eq!(Tok::keyword("Cross"), Some(Tok::Cross));
         assert_eq!(Tok::keyword("PREPARE"), Some(Tok::Prepare));
         assert_eq!(Tok::keyword("deallocate"), Some(Tok::Deallocate));
+        assert_eq!(Tok::keyword("explain"), Some(Tok::Explain));
+        assert_eq!(Tok::keyword("Analyze"), Some(Tok::Analyze));
         assert_eq!(Tok::keyword("min"), None, "function names are identifiers");
         assert_eq!(Tok::keyword("title"), None);
     }

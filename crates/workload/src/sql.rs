@@ -176,6 +176,11 @@ pub fn bind_parsed(
                 "PREPARE/EXECUTE/DEALLOCATE need a session; run the script through \
                  the qob CLI or a server connection",
             ))),
+            ScriptStatement::Explain { .. } => Err(p.error(SqlError::spanless(
+                ErrorKind::Unsupported,
+                "EXPLAIN produces a report, not a workload query; run it through \
+                 the qob CLI or a server connection",
+            ))),
         })
         .collect()
 }

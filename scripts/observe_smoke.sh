@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Observability smoke: start a warm server, run a fixed query mix (plain,
+# traced, EXPLAIN ANALYZE, adaptive), scrape the metrics endpoint, assert
+# the exposition parses and the counters match exactly what just ran, and
+# write BENCH_serve_smoke.json (warm latency quantiles + cache/replan
+# counters).  CI runs this on every push; re-run it locally after
+# `cargo build --release` to regenerate the committed bench file.
+#
+# Usage: scripts/observe_smoke.sh [path-to-qob-binary]
+set -euo pipefail
+
+QOB=${1:-./target/release/qob}
+ADDR=${QOB_SMOKE_ADDR:-127.0.0.1:4549}
+OUT=${QOB_SMOKE_OUT:-BENCH_serve_smoke.json}
+
+SQL="SELECT COUNT(*) FROM title t, movie_companies mc, company_name cn
+     WHERE mc.movie_id = t.id AND mc.company_id = cn.id
+       AND cn.country_code = '[us]' AND t.production_year > 2000"
+# The year filter makes the estimates diverge enough to re-plan at a 1.5x
+# threshold (same query as the CI adaptive smoke).
+ADAPT="SELECT MIN(t.title) FROM title t, movie_info mi, info_type it,
+              cast_info ci, name n
+       WHERE mi.movie_id = t.id AND mi.info_type_id = it.id
+         AND ci.movie_id = t.id AND ci.person_id = n.id
+         AND it.info = 'genres' AND t.production_year > 2005"
+
+"$QOB" serve --addr "$ADDR" --threads 1 --plan-cache --slow-query-ms 10000 \
+  > observe-serve.log 2>&1 &
+SERVER_PID=$!
+trap 'kill $SERVER_PID 2>/dev/null || true' EXIT
+for i in $(seq 1 100); do
+  "$QOB" connect --addr "$ADDR" --ping >/dev/null 2>&1 && break
+  sleep 0.1
+done
+
+# Five warm runs populate the latency histograms and the plan cache...
+for i in 1 2 3 4 5; do
+  echo "$SQL" | "$QOB" connect --addr "$ADDR" > observe-run$i.out
+done
+grep -q '^plan cache: miss' observe-run1.out
+grep -q '^plan cache: hit' observe-run5.out
+
+# ...a traced session exposes phase spans and per-operator times...
+echo "$SQL" | "$QOB" connect --addr "$ADDR" --set tracing=true > observe-traced.out
+grep -q '^phases: parse' observe-traced.out
+grep -Eq '^\{[^}]+\} +[0-9]+ +[0-9]+ +[0-9.]+x +[0-9]+us +[0-9]+$' observe-traced.out
+
+# ...EXPLAIN ANALYZE annotates the plan tree with est vs true vs time...
+echo "EXPLAIN ANALYZE $SQL" | "$QOB" connect --addr "$ADDR" > observe-analyze.out
+for needle in 'est=' 'true=' 'q=' 'time=' 'morsels='; do
+  grep -q "$needle" observe-analyze.out
+done
+
+# ...and an adaptive run fires re-plans into the counters and the
+# structured event log on the server's stderr.
+echo "$ADAPT" | "$QOB" connect --addr "$ADDR" \
+  --set adaptive=true --set adaptive_threshold=1.5 > observe-adaptive.out
+grep -Eq '^re-plan [0-9]+: after \{' observe-adaptive.out
+grep -q '"event":"replan"' observe-serve.log
+
+# The scrape validates the exposition client-side (qob connect --metrics
+# refuses an unparseable body); the counters match the eight statements
+# this script just ran, exactly.
+"$QOB" connect --addr "$ADDR" --metrics --bench-json "$OUT" > observe-metrics.txt
+grep -q '^qob_queries_total 8$' observe-metrics.txt
+grep -q '^qob_query_errors_total 0$' observe-metrics.txt
+grep -q '^qob_execute_seconds_count 8$' observe-metrics.txt
+grep -q '^qob_plan_cache_misses_total 2$' observe-metrics.txt
+grep -q '^# TYPE qob_query_seconds histogram$' observe-metrics.txt
+REPLANS=$(grep '^qob_replans_total ' observe-metrics.txt | grep -o '[0-9]*$')
+test "$REPLANS" -ge 1
+
+grep -q '"bench":"serve_smoke"' "$OUT"
+grep -q '"queries_total":8' "$OUT"
+grep -q '"query_p50_us":' "$OUT"
+grep -q '"query_p99_us":' "$OUT"
+grep -q '"plan_cache_hits":' "$OUT"
+grep -q '"replans_total":' "$OUT"
+
+"$QOB" connect --addr "$ADDR" --shutdown
+wait $SERVER_PID
+trap - EXIT
+rm -f observe-serve.log observe-run[1-5].out observe-traced.out \
+  observe-analyze.out observe-adaptive.out observe-metrics.txt
+echo "observe smoke OK — wrote $OUT"

@@ -20,6 +20,7 @@ pub use qob_cost as cost;
 pub use qob_datagen as datagen;
 pub use qob_enumerate as enumerate;
 pub use qob_exec as exec;
+pub use qob_obs as obs;
 pub use qob_plan as plan;
 pub use qob_sql as sql;
 pub use qob_stats as stats;

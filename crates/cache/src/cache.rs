@@ -101,8 +101,11 @@ pub struct CacheCounters {
 struct Entry {
     /// Most-recently-used first.
     variants: Vec<CachedVariant>,
-    /// LRU stamp: the tick of the last lookup hit or install.
-    stamp: u64,
+    /// Intrusive recency links: the neighbouring fingerprints toward the
+    /// MRU head and the LRU tail.  Touch and eviction are O(1) pointer
+    /// surgery instead of an O(n) stamp scan.
+    newer: Option<Fingerprint>,
+    older: Option<Fingerprint>,
 }
 
 /// An LRU plan cache with a q-error reuse fence.
@@ -112,7 +115,10 @@ struct Entry {
 pub struct PlanCache {
     entries: HashMap<Fingerprint, Entry>,
     capacity: usize,
-    tick: u64,
+    /// Most recently used fingerprint (the intrusive list's head).
+    head: Option<Fingerprint>,
+    /// Least recently used fingerprint (the eviction victim).
+    tail: Option<Fingerprint>,
     counters: CacheCounters,
 }
 
@@ -131,7 +137,8 @@ impl PlanCache {
         PlanCache {
             entries: HashMap::new(),
             capacity: capacity.max(1),
-            tick: 0,
+            head: None,
+            tail: None,
             counters: CacheCounters::default(),
         }
     }
@@ -167,6 +174,48 @@ impl PlanCache {
     /// totals, not a population gauge).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.head = None;
+        self.tail = None;
+    }
+
+    /// Detaches `key` from the recency list (its entry must exist).
+    fn unlink(&mut self, key: Fingerprint) {
+        let entry = self.entries.get_mut(&key).expect("unlink of resident entry");
+        let (newer, older) = (entry.newer.take(), entry.older.take());
+        match newer {
+            Some(n) => self.entries.get_mut(&n).expect("linked neighbour").older = older,
+            None => self.head = older,
+        }
+        match older {
+            Some(o) => self.entries.get_mut(&o).expect("linked neighbour").newer = newer,
+            None => self.tail = newer,
+        }
+    }
+
+    /// Makes `key` the MRU head (its entry must exist and be detached).
+    fn push_front(&mut self, key: Fingerprint) {
+        let old_head = self.head;
+        {
+            let entry = self.entries.get_mut(&key).expect("push of resident entry");
+            entry.newer = None;
+            entry.older = old_head;
+        }
+        if let Some(h) = old_head {
+            self.entries.get_mut(&h).expect("linked head").newer = Some(key);
+        }
+        self.head = Some(key);
+        if self.tail.is_none() {
+            self.tail = Some(key);
+        }
+    }
+
+    /// O(1) recency refresh: detach and re-attach at the MRU head.
+    fn touch(&mut self, key: Fingerprint) {
+        if self.head == Some(key) {
+            return;
+        }
+        self.unlink(key);
+        self.push_front(key);
     }
 
     /// Probes the cache for `key` under the given `fence` (a q-error
@@ -179,28 +228,34 @@ impl PlanCache {
         fence: f64,
         estimate: &dyn Fn(RelSet) -> f64,
     ) -> Lookup {
-        self.tick += 1;
-        let tick = self.tick;
         let Some(entry) = self.entries.get_mut(&key) else {
             self.counters.misses += 1;
             return Lookup::Miss;
         };
         let mut best = f64::INFINITY;
+        let mut winner = None;
         for i in 0..entry.variants.len() {
             let divergence = entry.variants[i].divergence(estimate);
             if divergence <= fence {
-                entry.stamp = tick;
-                // Move the winning variant to the front: parameter regimes
-                // cluster in time, so the next lookup probes it first.
-                let variant = entry.variants.remove(i);
-                entry.variants.insert(0, variant);
-                self.counters.hits += 1;
-                return Lookup::Hit { variant: entry.variants[0].clone(), divergence };
+                winner = Some((i, divergence));
+                break;
             }
             best = best.min(divergence);
         }
-        self.counters.fence_rejections += 1;
-        Lookup::FenceRejected { divergence: best }
+        let Some((i, divergence)) = winner else {
+            // A fence rejection deliberately does *not* refresh recency:
+            // the entry was probed but not useful under these parameters.
+            self.counters.fence_rejections += 1;
+            return Lookup::FenceRejected { divergence: best };
+        };
+        // Move the winning variant to the front: parameter regimes cluster
+        // in time, so the next lookup probes it first.
+        let variant = entry.variants.remove(i);
+        entry.variants.insert(0, variant);
+        let variant = entry.variants[0].clone();
+        self.counters.hits += 1;
+        self.touch(key);
+        Lookup::Hit { variant, divergence }
     }
 
     /// Installs a freshly optimized variant for `key`.
@@ -211,29 +266,32 @@ impl PlanCache {
     /// front of the set, dropping the least-recently-used variant past
     /// [`PlanCache::MAX_VARIANTS`].
     pub fn install(&mut self, key: Fingerprint, variant: CachedVariant) {
-        self.tick += 1;
-        let tick = self.tick;
         self.counters.installs += 1;
-        let entry =
-            self.entries.entry(key).or_insert_with(|| Entry { variants: Vec::new(), stamp: tick });
-        entry.stamp = tick;
+        let is_new = !self.entries.contains_key(&key);
+        let entry = self.entries.entry(key).or_insert_with(|| Entry {
+            variants: Vec::new(),
+            newer: None,
+            older: None,
+        });
         if let Some(i) = entry.variants.iter().position(|v| v.plan == variant.plan) {
             entry.variants.remove(i);
         }
         entry.variants.insert(0, variant);
         entry.variants.truncate(Self::MAX_VARIANTS);
+        if is_new {
+            self.push_front(key);
+        } else {
+            self.touch(key);
+        }
         self.evict_to_capacity();
     }
 
     fn evict_to_capacity(&mut self) {
+        // O(1) per eviction: the victim is always the recency list's tail.
         while self.entries.len() > self.capacity {
-            // O(n) scan for the oldest stamp: capacities are hundreds, and
-            // eviction only runs when the cache is full — simplicity beats
-            // an intrusive list here.
-            let Some((&oldest, _)) = self.entries.iter().min_by_key(|(_, e)| e.stamp) else {
-                return;
-            };
-            self.entries.remove(&oldest);
+            let Some(victim) = self.tail else { return };
+            self.unlink(victim);
+            self.entries.remove(&victim);
             self.counters.evictions += 1;
         }
     }
@@ -372,6 +430,62 @@ mod tests {
         assert!(matches!(cache.lookup(key(2), 2.0, &est), Lookup::Miss), "2 was evicted");
         assert!(matches!(cache.lookup(key(1), 2.0, &est), Lookup::Hit { .. }));
         assert!(matches!(cache.lookup(key(3), 2.0, &est), Lookup::Hit { .. }));
+    }
+
+    /// Differential check of the intrusive recency list: a long churn of
+    /// installs, hits and fence rejections must keep the cache's population
+    /// and eviction count identical to a naive recency-vector model with the
+    /// historical touch rules (hit → touch, install → touch, fence
+    /// rejection / miss → no touch).
+    #[test]
+    fn intrusive_lru_matches_naive_recency_model_under_churn() {
+        const CAPACITY: usize = 4;
+        let mut cache = PlanCache::new(CAPACITY);
+        // Naive model: most-recent-first vector of resident fingerprints.
+        let mut model: Vec<u64> = Vec::new();
+        let mut model_evictions = 0u64;
+        let touch_model = |model: &mut Vec<u64>, k: u64| {
+            model.retain(|&x| x != k);
+            model.insert(0, k);
+        };
+        let est = flat(1.0);
+        let mut x: u64 = 12345;
+        for step in 0..2000 {
+            // Deterministic pseudo-random op stream (xorshift).
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let k = (x >> 8) % 9;
+            if x.is_multiple_of(3) {
+                cache.install(key(k), CachedVariant::capture(&plan(&[0, 1]), k as f64, &est));
+                touch_model(&mut model, k);
+                while model.len() > CAPACITY {
+                    model.pop();
+                    model_evictions += 1;
+                }
+            } else {
+                // Fence 2.0 always admits the flat(1.0) baseline, so resident
+                // keys hit (touch) and absent keys miss (no touch).
+                match cache.lookup(key(k), 2.0, &est) {
+                    Lookup::Hit { .. } => {
+                        assert!(model.contains(&k), "step {step}: hit for non-resident {k}");
+                        touch_model(&mut model, k);
+                    }
+                    Lookup::Miss => {
+                        assert!(!model.contains(&k), "step {step}: miss for resident {k}");
+                    }
+                    Lookup::FenceRejected { .. } => unreachable!("flat estimates never diverge"),
+                }
+            }
+            assert_eq!(cache.len(), model.len(), "population diverged at step {step}");
+            assert_eq!(cache.counters().evictions, model_evictions, "evictions at step {step}");
+            // Every resident model key must still hit; eviction order is
+            // checked implicitly by population equality on every step.
+            for &r in &model {
+                assert!(cache.entries.contains_key(&key(r)), "step {step}: {r} missing");
+            }
+        }
+        assert!(model_evictions > 100, "churn actually evicted ({model_evictions})");
     }
 
     #[test]

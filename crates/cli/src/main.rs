@@ -35,6 +35,9 @@ USAGE:
     qob [OPTIONS] -e SQL    run an inline statement
     qob serve [OPTIONS]     start the long-lived query server
     qob connect [OPTIONS]   talk to a running server (SQL from -e/FILE/stdin)
+    qob bench-load [OPTIONS]
+                            drive concurrent connections against a running
+                            server and write a BENCH_load.json summary
 
 OPTIONS:
     -e, --execute <SQL>      inline SQL statement
@@ -71,7 +74,31 @@ SERVE OPTIONS:
         --cache-fence <x>    default reuse fence for sessions
         --slow-query-ms <n>  log queries slower than n ms to the structured
                              event log on stderr (0 disables)    [default: 0]
+        --workers <n>        shared execution pool size — morsels from every
+                             concurrent query interleave on these threads;
+                             0 = all cores                  [default: 0]
+        --per-query-pools    disable the shared pool: each statement spawns
+                             its own scoped worker threads (the historical
+                             behaviour, and the load bench's baseline)
+        --max-concurrent <n> statements allowed to execute at once; the rest
+                             wait in the admission queue (0 = unlimited)
+                                                       [default: 2x workers]
+        --max-queued <n>     waiting statements beyond which new arrivals
+                             are rejected with code `rejected` [default: 256]
+        --mem-budget <n>     default per-statement intermediate-tuple budget
+                             (0 = engine default)
+        --morsel-size <n>    default execution morsel size for every session
+                             (0 = engine default)
         plus --snapshot / --scale / --indexes / --threads as above
+
+BENCH-LOAD OPTIONS:
+        --addr <HOST:PORT>   server address             [default: 127.0.0.1:4547]
+        --connections <n>    concurrent client connections        [default: 64]
+        --requests <n>       requests per connection              [default: 8]
+        --label <name>       run label recorded in the summary [default: shared]
+        --output <PATH>      summary path              [default: BENCH_load.json]
+    -e, --execute <SQL>      override the built-in statement mix (;-separated;
+                             a FILE argument works too)
 
 CONNECT OPTIONS:
         --addr <HOST:PORT>   server address             [default: 127.0.0.1:4547]
@@ -233,6 +260,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("serve") => serve_main(&args[1..]),
         Some("connect") => connect_main(&args[1..]),
+        Some("bench-load") => bench_load_main(&args[1..]),
         _ => oneshot_main(&args),
     }
 }
@@ -466,8 +494,8 @@ fn print_report(report: &QueryReport) {
     );
     if let Some(trace) = &report.trace {
         println!(
-            "phases: parse {}us, bind {}us, optimize {}us, execute {}us",
-            trace.parse_us, trace.bind_us, trace.optimize_us, trace.execute_us
+            "phases: parse {}us, bind {}us, optimize {}us, queue {}us, execute {}us",
+            trace.parse_us, trace.bind_us, trace.optimize_us, trace.queue_us, trace.execute_us
         );
     }
 }
@@ -485,6 +513,19 @@ struct ServeOptions {
     cache_fence: f64,
     snapshot: Option<String>,
     slow_query_ms: u64,
+    /// Shared execution pool size (`0` on the command line = all cores).
+    workers: usize,
+    /// `--per-query-pools`: run without the shared pool (scoped per-query
+    /// workers, the historical behaviour).
+    per_query_pools: bool,
+    /// Admission concurrency limit; `None` = twice the pool size.
+    max_concurrent: Option<usize>,
+    max_queued: usize,
+    mem_budget: usize,
+    /// Default execution morsel size for every session (`0` = engine
+    /// default); small tables need a smaller morsel before a pipeline has
+    /// enough morsels to parallelise at all.
+    morsel_size: usize,
 }
 
 /// Validates `--slow-query-ms` through [`SessionOptions::set`] (same rule
@@ -493,6 +534,18 @@ fn parse_slow_query_ms(raw: &str) -> Result<u64, String> {
     let mut scratch = SessionOptions::default();
     scratch.set("slow_query_ms", raw)?;
     Ok(scratch.slow_query_ms)
+}
+
+/// Validates `--mem-budget` through [`SessionOptions::set`] (same rule as
+/// `set mem_budget` on the wire).
+fn parse_mem_budget(raw: &str) -> Result<usize, String> {
+    let mut scratch = SessionOptions::default();
+    scratch.set("mem_budget", raw)?;
+    Ok(scratch.mem_budget)
+}
+
+fn parse_count(raw: &str, flag: &str) -> Result<usize, String> {
+    raw.parse().map_err(|_| format!("{flag} needs a number, got `{raw}`"))
 }
 
 fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
@@ -505,6 +558,12 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
         cache_fence: qob_core::DEFAULT_CACHE_FENCE,
         snapshot: None,
         slow_query_ms: 0,
+        workers: qob_exec::default_threads(),
+        per_query_pools: false,
+        max_concurrent: None,
+        max_queued: 256,
+        mem_budget: 0,
+        morsel_size: qob_exec::DEFAULT_MORSEL_SIZE,
     };
     let mut i = 0;
     while i < args.len() {
@@ -524,6 +583,27 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
             "--slow-query-ms" => {
                 options.slow_query_ms =
                     parse_slow_query_ms(&value_of(args, &mut i, "--slow-query-ms")?)?
+            }
+            "--workers" => {
+                // Same `0 = all cores` rule as --threads.
+                options.workers = parse_threads(&value_of(args, &mut i, "--workers")?)?
+            }
+            "--per-query-pools" => options.per_query_pools = true,
+            "--max-concurrent" => {
+                options.max_concurrent = Some(parse_count(
+                    &value_of(args, &mut i, "--max-concurrent")?,
+                    "--max-concurrent",
+                )?)
+            }
+            "--max-queued" => {
+                options.max_queued =
+                    parse_count(&value_of(args, &mut i, "--max-queued")?, "--max-queued")?
+            }
+            "--mem-budget" => {
+                options.mem_budget = parse_mem_budget(&value_of(args, &mut i, "--mem-budget")?)?
+            }
+            "--morsel-size" => {
+                options.morsel_size = parse_morsel_size(&value_of(args, &mut i, "--morsel-size")?)?
             }
             flag => return Err(format!("unknown serve flag `{flag}`")),
         }
@@ -559,9 +639,17 @@ fn serve_main(args: &[String]) -> ExitCode {
         plan_cache: options.plan_cache,
         cache_fence: options.cache_fence,
         slow_query_ms: options.slow_query_ms,
+        mem_budget: options.mem_budget,
+        morsel_size: options.morsel_size,
         ..SessionOptions::default()
     };
-    let context = ServerContext::with_defaults(ctx, defaults);
+    let workers = if options.per_query_pools { 0 } else { options.workers };
+    let scheduler = qob_core::SchedulerConfig {
+        workers,
+        max_concurrent: options.max_concurrent.unwrap_or(2 * options.workers),
+        max_queued: options.max_queued,
+    };
+    let context = ServerContext::with_scheduler(ctx, defaults, scheduler);
     let config = ServerConfig { addr: options.addr, snapshot_loaded };
     let handle = match qob_server::serve(context, config) {
         Ok(handle) => handle,
@@ -570,6 +658,14 @@ fn serve_main(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if workers > 0 {
+        eprintln!(
+            "execution: shared pool of {workers} workers, {} concurrent statements, {} queued max",
+            scheduler.max_concurrent, scheduler.max_queued
+        );
+    } else {
+        eprintln!("execution: per-query worker pools ({} threads per statement)", options.threads);
+    }
     eprintln!("qob server listening on {} (JSON lines; see docs/PROTOCOL.md)", handle.local_addr());
     handle.join();
     eprintln!("qob server stopped");
@@ -898,13 +994,263 @@ fn render_result(result: &Json) {
     if let Some(trace) = result.get("trace") {
         let phase = |key: &str| trace.get(key).and_then(Json::as_u64).unwrap_or(0);
         println!(
-            "phases: parse {}us, bind {}us, optimize {}us, execute {}us",
+            "phases: parse {}us, bind {}us, optimize {}us, queue {}us, execute {}us",
             phase("parse_us"),
             phase("bind_us"),
             phase("optimize_us"),
+            phase("queue_us"),
             phase("execute_us")
         );
     }
+}
+
+// ---------------------------------------------------------------------------
+// `qob bench-load`
+// ---------------------------------------------------------------------------
+
+/// The built-in load mix: a cheap 2-way join (the "point query" a loaded
+/// server must keep answering) blended with three execution-heavy joins
+/// over the wide fact tables (`cast_info`, `movie_info`), so the run
+/// measures the scheduler rather than the wire protocol.
+const LOAD_MIX: &str = "\
+SELECT COUNT(*) FROM title t, movie_companies mc \
+ WHERE mc.movie_id = t.id AND t.production_year > 2005;\
+SELECT COUNT(*) FROM title t, cast_info ci, name n \
+ WHERE ci.movie_id = t.id AND ci.person_id = n.id;\
+SELECT COUNT(*) FROM title t, movie_info mi, cast_info ci \
+ WHERE mi.movie_id = t.id AND ci.movie_id = t.id;\
+SELECT MIN(t.title) FROM title t, movie_info mi, info_type it, cast_info ci, name n \
+ WHERE mi.movie_id = t.id AND mi.info_type_id = it.id \
+   AND ci.movie_id = t.id AND ci.person_id = n.id";
+
+struct BenchLoadOptions {
+    addr: String,
+    connections: usize,
+    requests: usize,
+    label: String,
+    output: String,
+    /// `None` = the built-in mix.
+    source: Option<Source>,
+}
+
+fn parse_bench_load_args(args: &[String]) -> Result<BenchLoadOptions, String> {
+    let mut options = BenchLoadOptions {
+        addr: qob_server::DEFAULT_ADDR.to_owned(),
+        connections: 64,
+        requests: 8,
+        label: "shared".to_owned(),
+        output: "BENCH_load.json".to_owned(),
+        source: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-h" | "--help" => return Err(String::new()),
+            "--addr" => options.addr = value_of(args, &mut i, "--addr")?,
+            "--connections" => {
+                options.connections =
+                    parse_count(&value_of(args, &mut i, "--connections")?, "--connections")?.max(1)
+            }
+            "--requests" => {
+                options.requests =
+                    parse_count(&value_of(args, &mut i, "--requests")?, "--requests")?.max(1)
+            }
+            "--label" => options.label = value_of(args, &mut i, "--label")?,
+            "--output" => options.output = value_of(args, &mut i, "--output")?,
+            "-e" | "--execute" => {
+                options.source = Some(Source::Inline(value_of(args, &mut i, "-e")?))
+            }
+            "-" => options.source = Some(Source::Stdin),
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown bench-load flag `{flag}`"))
+            }
+            file => options.source = Some(Source::File(file.to_owned())),
+        }
+        i += 1;
+    }
+    Ok(options)
+}
+
+/// `results[0].rows` of a query response, if the statement succeeded.
+fn first_rows(response: &Json) -> Option<u64> {
+    if response.get("ok").and_then(Json::as_bool) != Some(true) {
+        return None;
+    }
+    response.get("results")?.as_array()?.first()?.get("rows")?.as_u64()
+}
+
+/// Nearest-rank percentile of a sorted latency sample.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// What one bench connection brings home.
+struct ConnectionRun {
+    latencies_us: Vec<u64>,
+    errors: usize,
+    mismatches: usize,
+}
+
+fn bench_load_main(args: &[String]) -> ExitCode {
+    let options = match parse_bench_load_args(args) {
+        Ok(options) => options,
+        Err(message) if message.is_empty() => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("error: {message}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let script = match &options.source {
+        None => LOAD_MIX.to_owned(),
+        Some(source) => match read_source(source) {
+            Ok(script) => script,
+            Err(message) => {
+                eprintln!("error: {message}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let statements: Vec<String> =
+        script.split(';').map(str::trim).filter(|s| !s.is_empty()).map(str::to_owned).collect();
+    if statements.is_empty() {
+        eprintln!("error: the statement mix is empty");
+        return ExitCode::FAILURE;
+    }
+
+    // Sequential pass: one connection answers each statement once — these
+    // answers are the ground truth every concurrent response must match.
+    let mut baseline_client =
+        match Client::connect_with_retry(&options.addr, std::time::Duration::from_secs(10)) {
+            Ok(client) => client,
+            Err(e) => {
+                eprintln!("error: cannot connect to {}: {e}", options.addr);
+                return ExitCode::FAILURE;
+            }
+        };
+    let mut expected = Vec::with_capacity(statements.len());
+    for statement in &statements {
+        match baseline_client.query(statement).ok().as_ref().and_then(first_rows) {
+            Some(rows) => expected.push(rows),
+            None => {
+                eprintln!("error: baseline failed for `{statement}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Concurrent pass: every connection cycles through the mix (offset by
+    // its id so the server sees a blend at any instant), timing each
+    // request client-side and checking the answer against the baseline.
+    let expected = std::sync::Arc::new(expected);
+    let statements = std::sync::Arc::new(statements);
+    let wall_started = Instant::now();
+    let threads: Vec<_> = (0..options.connections)
+        .map(|conn| {
+            let addr = options.addr.clone();
+            let statements = std::sync::Arc::clone(&statements);
+            let expected = std::sync::Arc::clone(&expected);
+            let requests = options.requests;
+            std::thread::spawn(move || {
+                let mut run = ConnectionRun { latencies_us: Vec::new(), errors: 0, mismatches: 0 };
+                let Ok(mut client) =
+                    Client::connect_with_retry(&addr, std::time::Duration::from_secs(10))
+                else {
+                    run.errors = requests;
+                    return run;
+                };
+                for r in 0..requests {
+                    let idx = (conn + r) % statements.len();
+                    let started = Instant::now();
+                    let response = client.query(&statements[idx]);
+                    let elapsed = started.elapsed();
+                    match response.ok().as_ref().and_then(first_rows) {
+                        Some(rows) if rows == expected[idx] => {
+                            run.latencies_us.push(elapsed.as_micros().min(u64::MAX as u128) as u64)
+                        }
+                        Some(_) => run.mismatches += 1,
+                        None => run.errors += 1,
+                    }
+                }
+                run
+            })
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    let mut errors = 0usize;
+    let mut mismatches = 0usize;
+    for thread in threads {
+        match thread.join() {
+            Ok(run) => {
+                latencies.extend(run.latencies_us);
+                errors += run.errors;
+                mismatches += run.mismatches;
+            }
+            Err(_) => errors += options.requests,
+        }
+    }
+    let wall = wall_started.elapsed();
+    latencies.sort_unstable();
+    let total = options.connections * options.requests;
+    let qps = latencies.len() as f64 / wall.as_secs_f64().max(1e-9);
+    let (p50, p95, p99) =
+        (percentile(&latencies, 0.50), percentile(&latencies, 0.95), percentile(&latencies, 0.99));
+
+    // Scrape the server's own view of the run: admission counters, pool
+    // gauges, queue-wait percentiles, cache/replan counters.
+    let stats = baseline_client.request(&Request::Stats).ok();
+    let summary =
+        baseline_client.request(&Request::Metrics).ok().and_then(|m| m.get("summary").cloned());
+
+    let mut pairs = vec![
+        ("bench", Json::str("load")),
+        ("label", Json::str(options.label.clone())),
+        ("connections", Json::Num(options.connections as f64)),
+        ("requests_per_connection", Json::Num(options.requests as f64)),
+        ("total_requests", Json::Num(total as f64)),
+        ("errors", Json::Num(errors as f64)),
+        ("mismatches", Json::Num(mismatches as f64)),
+        ("wall_ms", Json::Num(wall.as_millis() as f64)),
+        ("qps", Json::Num((qps * 100.0).round() / 100.0)),
+        ("p50_us", Json::Num(p50 as f64)),
+        ("p95_us", Json::Num(p95 as f64)),
+        ("p99_us", Json::Num(p99 as f64)),
+    ];
+    if let Some(stats) = stats {
+        pairs.push(("server_stats", stats));
+    }
+    if let Some(summary) = summary {
+        pairs.push(("metrics_summary", summary));
+    }
+    let out = Json::obj(pairs);
+    if let Err(e) = std::fs::write(&options.output, format!("{out}\n")) {
+        eprintln!("error: cannot write `{}`: {e}", options.output);
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "bench-load [{}]: {} connections x {} requests — {:.1} qps, \
+         p50 {}us p95 {}us p99 {}us, {} errors, {} mismatches → {}",
+        options.label,
+        options.connections,
+        options.requests,
+        qps,
+        p50,
+        p95,
+        p99,
+        errors,
+        mismatches,
+        options.output
+    );
+    if errors > 0 || mismatches > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 #[cfg(test)]
@@ -1099,6 +1445,93 @@ mod tests {
         assert!(parse_serve_args(&args(&["positional"])).is_err());
         assert_eq!(parse_serve_args(&args(&["--help"])).err().unwrap(), "");
         assert_eq!(parse_serve_args(&[]).unwrap().addr, qob_server::DEFAULT_ADDR);
+    }
+
+    #[test]
+    fn scheduler_serve_flags_parse() {
+        let defaults = parse_serve_args(&[]).unwrap();
+        assert_eq!(defaults.workers, qob_exec::default_threads(), "shared pool defaults on");
+        assert!(!defaults.per_query_pools);
+        assert_eq!(defaults.max_concurrent, None, "limit defaults to 2x workers at serve time");
+        assert_eq!(defaults.max_queued, 256);
+        assert_eq!(defaults.mem_budget, 0);
+        assert_eq!(defaults.morsel_size, qob_exec::DEFAULT_MORSEL_SIZE);
+
+        let options = parse_serve_args(&args(&[
+            "--workers",
+            "4",
+            "--max-concurrent",
+            "8",
+            "--max-queued",
+            "16",
+            "--mem-budget",
+            "1000000",
+            "--morsel-size",
+            "1024",
+        ]))
+        .unwrap();
+        assert_eq!(options.workers, 4);
+        assert_eq!(options.max_concurrent, Some(8));
+        assert_eq!(options.max_queued, 16);
+        assert_eq!(options.mem_budget, 1_000_000);
+        assert_eq!(options.morsel_size, 1024);
+        assert_eq!(
+            parse_serve_args(&args(&["--workers", "0"])).unwrap().workers,
+            qob_exec::default_threads()
+        );
+        assert!(parse_serve_args(&args(&["--per-query-pools"])).unwrap().per_query_pools);
+        assert!(parse_serve_args(&args(&["--workers", "many"])).is_err());
+        assert!(parse_serve_args(&args(&["--max-concurrent", "-1"])).is_err());
+        assert!(parse_serve_args(&args(&["--mem-budget", "big"])).is_err());
+    }
+
+    #[test]
+    fn bench_load_args_parse() {
+        let defaults = parse_bench_load_args(&[]).unwrap();
+        assert_eq!(defaults.addr, qob_server::DEFAULT_ADDR);
+        assert_eq!(defaults.connections, 64);
+        assert_eq!(defaults.requests, 8);
+        assert_eq!(defaults.label, "shared");
+        assert_eq!(defaults.output, "BENCH_load.json");
+        assert!(defaults.source.is_none(), "the built-in mix is the default");
+
+        let options = parse_bench_load_args(&args(&[
+            "--addr",
+            "127.0.0.1:9",
+            "--connections",
+            "32",
+            "--requests",
+            "5",
+            "--label",
+            "per-query",
+            "--output",
+            "out.json",
+            "-e",
+            "SELECT 1",
+        ]))
+        .unwrap();
+        assert_eq!(options.connections, 32);
+        assert_eq!(options.requests, 5);
+        assert_eq!(options.label, "per-query");
+        assert_eq!(options.output, "out.json");
+        assert!(matches!(options.source, Some(Source::Inline(_))));
+        assert!(parse_bench_load_args(&args(&["--connections", "many"])).is_err());
+        assert!(parse_bench_load_args(&args(&["--bogus"])).is_err());
+        assert_eq!(parse_bench_load_args(&args(&["--help"])).err().unwrap(), "");
+
+        // The built-in mix parses in the JOB dialect.
+        assert_eq!(parse_script(LOAD_MIX).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        assert_eq!(percentile(&[], 0.99), 0);
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 0.50), 50);
+        assert_eq!(percentile(&sorted, 0.95), 95);
+        assert_eq!(percentile(&sorted, 0.99), 99);
+        assert_eq!(percentile(&sorted, 1.0), 100);
+        assert_eq!(percentile(&[7], 0.5), 7);
     }
 
     #[test]

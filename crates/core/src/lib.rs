@@ -52,7 +52,8 @@ pub mod metrics {
 pub use adaptive::{execute_adaptive, AdaptiveOutcome, ReplanEvent};
 pub use context::{BenchmarkContext, EstimatorKind};
 pub use session::{
-    ExecutionReport, OperatorReport, PlanCacheStatus, QueryReport, ReplanReport, ScriptOutcome,
-    ServerContext, Session, SessionError, SessionOptions, TraceReport, DEFAULT_CACHE_FENCE,
+    ExecutionReport, OperatorReport, PlanCacheStatus, QueryReport, ReplanReport, SchedulerConfig,
+    ScriptOutcome, ServerContext, Session, SessionError, SessionOptions, TraceReport,
+    DEFAULT_CACHE_FENCE,
 };
 pub use slowdown::{geometric_mean, SlowdownBucket, SlowdownDistribution};

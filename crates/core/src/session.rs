@@ -102,6 +102,12 @@ pub struct SessionOptions {
     /// and (when set via [`Session::set_option`]) the server's structured
     /// event log; any positive value enables both.
     pub slow_query_ms: u64,
+    /// Per-statement intermediate-tuple budget: the executor aborts a
+    /// statement whose intermediates grow past this many tuple slots.  `0`
+    /// keeps the engine's (very large) default guard.  Under admission
+    /// control this is the per-session memory budget: a runaway join burns
+    /// its own budget instead of the whole server's.
+    pub mem_budget: usize,
 }
 
 /// The default plan-cache reuse fence (q-error factor).
@@ -121,6 +127,7 @@ impl Default for SessionOptions {
             cache_capacity: PlanCache::DEFAULT_CAPACITY,
             tracing: false,
             slow_query_ms: 0,
+            mem_budget: 0,
         }
     }
 }
@@ -133,8 +140,9 @@ impl SessionOptions {
     /// `adaptive_threshold` (q-error factor > 1), `max_replans` (integer),
     /// `plan_cache` (`true`/`false`), `cache_fence` (q-error factor > 1),
     /// `cache_capacity` (integer, `0` = default), `tracing`
-    /// (`true`/`false`) or `slow_query_ms` (integer, `0` = off).  Returns a
-    /// description of the rejection otherwise.
+    /// (`true`/`false`), `slow_query_ms` (integer, `0` = off) or
+    /// `mem_budget` (intermediate tuple slots, `0` = engine default).
+    /// Returns a description of the rejection otherwise.
     pub fn set(&mut self, name: &str, value: &str) -> Result<(), String> {
         let flag = |value: &str| match value {
             "true" => Ok(true),
@@ -206,6 +214,11 @@ impl SessionOptions {
                     .parse()
                     .map_err(|_| format!("slow_query_ms needs an integer, got `{value}`"))?;
             }
+            "mem_budget" => {
+                self.mem_budget = value
+                    .parse()
+                    .map_err(|_| format!("mem_budget needs an integer, got `{value}`"))?;
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
         Ok(())
@@ -216,6 +229,9 @@ impl SessionOptions {
         let mut options = ExecutionOptions::with_threads(self.threads).with_timeout(self.timeout);
         options.morsel_size = self.morsel_size.max(1);
         options.adaptive = self.adaptive;
+        if self.mem_budget > 0 {
+            options.max_intermediate_slots = self.mem_budget;
+        }
         options
     }
 }
@@ -230,16 +246,21 @@ pub enum SessionError {
     Optimize(String),
     /// Execution aborted (timeout, memory guard, malformed plan).
     Execute(String),
+    /// Admission control turned the statement away: the run queue was
+    /// already at capacity.  The statement never started executing, so
+    /// clients can safely retry.
+    Rejected(String),
 }
 
 impl SessionError {
     /// A short machine-readable code (`sql_error`, `optimize_error`,
-    /// `execute_error`) used by the wire protocol.
+    /// `execute_error`, `rejected`) used by the wire protocol.
     pub fn code(&self) -> &'static str {
         match self {
             SessionError::Sql(_) => "sql_error",
             SessionError::Optimize(_) => "optimize_error",
             SessionError::Execute(_) => "execute_error",
+            SessionError::Rejected(_) => "rejected",
         }
     }
 }
@@ -250,6 +271,7 @@ impl fmt::Display for SessionError {
             SessionError::Sql(msg) => write!(f, "{msg}"),
             SessionError::Optimize(msg) => write!(f, "optimization failed: {msg}"),
             SessionError::Execute(msg) => write!(f, "execution failed: {msg}"),
+            SessionError::Rejected(msg) => write!(f, "admission rejected: {msg}"),
         }
     }
 }
@@ -292,6 +314,9 @@ pub struct TraceReport {
     pub bind_us: u64,
     /// Optimize time, including the plan-cache lookup when caching is on.
     pub optimize_us: u64,
+    /// Time spent waiting in the admission queue before execution began
+    /// (`0` when the server runs without a concurrency limit).
+    pub queue_us: u64,
     /// Execute time (`0` for explain-only statements).
     pub execute_us: u64,
 }
@@ -424,9 +449,120 @@ impl ScriptOutcome {
     }
 }
 
+/// Server-wide execution scheduling: the shared worker pool and the
+/// admission limits in front of it.
+///
+/// The default (`workers == 0`, `max_concurrent == 0`) reproduces the
+/// historical behaviour exactly: every statement executes immediately on a
+/// per-query scoped thread pool.  `qob serve` flips both on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// Shared worker-pool size.  `0` disables the shared pool: each
+    /// statement spawns its own scoped workers, sized by the session's
+    /// `threads` option (the historical per-query mode).
+    pub workers: usize,
+    /// Statements allowed to execute concurrently.  `0` means unlimited
+    /// (no admission control at all — statements never queue).
+    pub max_concurrent: usize,
+    /// Statements allowed to *wait* for an execution slot before new
+    /// arrivals are rejected outright.  Only consulted when
+    /// `max_concurrent > 0`.
+    pub max_queued: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig { workers: 0, max_concurrent: 0, max_queued: 256 }
+    }
+}
+
+/// A counting semaphore with a bounded wait queue: at most `max_concurrent`
+/// permits out, at most `max_queued` waiters, arrivals beyond both rejected
+/// immediately.  `std::sync` primitives, not `parking_lot`: waiters block
+/// for whole statement executions, not microseconds, so fairness and OS
+/// parking beat spin speed.
+#[derive(Debug)]
+struct AdmissionController {
+    max_concurrent: usize,
+    max_queued: usize,
+    state: std::sync::Mutex<AdmissionState>,
+    freed: std::sync::Condvar,
+}
+
+#[derive(Debug, Default)]
+struct AdmissionState {
+    running: usize,
+    queued: usize,
+}
+
+impl AdmissionController {
+    fn new(max_concurrent: usize, max_queued: usize) -> AdmissionController {
+        AdmissionController {
+            max_concurrent: max_concurrent.max(1),
+            max_queued,
+            state: std::sync::Mutex::new(AdmissionState::default()),
+            freed: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Blocks until an execution slot frees up, or rejects immediately when
+    /// the wait queue is already full.  The permit releases on drop.
+    fn acquire(&self) -> Result<AdmissionPermit<'_>, String> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.running < self.max_concurrent {
+            state.running += 1;
+            return Ok(AdmissionPermit { controller: self });
+        }
+        if state.queued >= self.max_queued {
+            return Err(format!(
+                "server at capacity: {} executing, {} queued",
+                state.running, state.queued
+            ));
+        }
+        state.queued += 1;
+        while state.running >= self.max_concurrent {
+            state = self.freed.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+        state.queued -= 1;
+        state.running += 1;
+        Ok(AdmissionPermit { controller: self })
+    }
+
+    fn gauges(&self) -> (usize, usize) {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        (state.running, state.queued)
+    }
+}
+
+/// An execution slot held for the duration of one statement's execute
+/// phase; dropping it wakes one queued waiter.
+#[derive(Debug)]
+struct AdmissionPermit<'a> {
+    controller: &'a AdmissionController,
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        let controller = self.controller;
+        let mut state = controller.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.running -= 1;
+        drop(state);
+        controller.freed.notify_one();
+    }
+}
+
 struct ServerShared {
     ctx: BenchmarkContext,
     defaults: SessionOptions,
+    /// The scheduling shape the server was built with (immutable, like the
+    /// pool below: sizing is a start-time decision, not a `SET`).
+    scheduler: SchedulerConfig,
+    /// The shared worker pool every statement's morsels execute on, or
+    /// `None` for per-query scoped pools.
+    exec_pool: Option<Arc<qob_exec::WorkerPool>>,
+    /// Admission control in front of the execute phase, or `None` when the
+    /// concurrency limit is off.
+    admission: Option<AdmissionController>,
     queries_served: AtomicU64,
     replans_total: AtomicU64,
     /// The server-wide plan cache, shared by every session (the enable
@@ -454,21 +590,65 @@ impl ServerContext {
         Self::with_defaults(ctx, SessionOptions::default())
     }
 
-    /// Wraps a context with explicit default options for new sessions.
+    /// Wraps a context with explicit default options for new sessions and
+    /// no shared scheduler (per-query pools, unlimited concurrency — the
+    /// historical behaviour).
     pub fn with_defaults(ctx: BenchmarkContext, defaults: SessionOptions) -> Self {
+        Self::with_scheduler(ctx, defaults, SchedulerConfig::default())
+    }
+
+    /// Wraps a context with explicit session defaults *and* a server-wide
+    /// scheduler: a shared worker pool (`scheduler.workers > 0`) that every
+    /// statement's morsels execute on, and admission control
+    /// (`scheduler.max_concurrent > 0`) in front of the execute phase.
+    pub fn with_scheduler(
+        ctx: BenchmarkContext,
+        defaults: SessionOptions,
+        scheduler: SchedulerConfig,
+    ) -> Self {
         let capacity = defaults.cache_capacity;
         let events = EventLog::new();
         events.set_enabled(defaults.slow_query_ms > 0);
+        let exec_pool =
+            (scheduler.workers > 0).then(|| Arc::new(qob_exec::WorkerPool::new(scheduler.workers)));
+        let admission = (scheduler.max_concurrent > 0)
+            .then(|| AdmissionController::new(scheduler.max_concurrent, scheduler.max_queued));
         ServerContext {
             shared: Arc::new(ServerShared {
                 ctx,
                 defaults,
+                scheduler,
+                exec_pool,
+                admission,
                 queries_served: AtomicU64::new(0),
                 replans_total: AtomicU64::new(0),
                 plan_cache: Mutex::new(PlanCache::new(capacity)),
                 metrics: MetricsRegistry::new(),
                 events,
             }),
+        }
+    }
+
+    /// The scheduling shape the server was built with.
+    pub fn scheduler_config(&self) -> SchedulerConfig {
+        self.shared.scheduler
+    }
+
+    /// Shared-pool gauges `(workers, busy, queued_tasks)`, all zero when
+    /// the server runs per-query pools.
+    pub fn pool_gauges(&self) -> (usize, usize, usize) {
+        match &self.shared.exec_pool {
+            Some(pool) => (pool.workers(), pool.busy(), pool.queued()),
+            None => (0, 0, 0),
+        }
+    }
+
+    /// Admission gauges `(executing, queued)`, both zero when the
+    /// concurrency limit is off.
+    pub fn admission_gauges(&self) -> (usize, usize) {
+        match &self.shared.admission {
+            Some(ctl) => ctl.gauges(),
+            None => (0, 0),
         }
     }
 
@@ -562,6 +742,25 @@ impl ServerContext {
             "Queries with cached ground-truth cardinalities",
             self.shared.ctx.truth_cache_len() as u64,
         );
+        let (workers, busy, queued_tasks) = self.pool_gauges();
+        ex.gauge(
+            "qob_pool_workers",
+            "Shared execution pool size (0 = per-query pools)",
+            workers as u64,
+        );
+        ex.gauge("qob_pool_busy", "Shared-pool workers currently running morsels", busy as u64);
+        ex.gauge(
+            "qob_pool_queue_depth",
+            "Tasks waiting in the shared-pool queue",
+            queued_tasks as u64,
+        );
+        let (executing, queued) = self.admission_gauges();
+        ex.gauge(
+            "qob_admission_executing",
+            "Statements holding an execution slot",
+            executing as u64,
+        );
+        ex.gauge("qob_admission_queued", "Statements waiting for an execution slot", queued as u64);
         ex.finish()
     }
 }
@@ -896,8 +1095,36 @@ impl Session {
         };
 
         let mut execute_elapsed = Duration::ZERO;
+        let mut queue_wait = Duration::ZERO;
         if mode.execute {
-            let exec_options = self.options.execution_options();
+            let exec_options = self.options.execution_options().with_pool(shared.exec_pool.clone());
+            // Admission: hold an execution slot for the whole execute
+            // phase.  Parse/bind/optimize never queue — a point query's
+            // plan is ready the moment a slot frees up.
+            let _permit = match &shared.admission {
+                Some(controller) => {
+                    let wait_started = Instant::now();
+                    match controller.acquire() {
+                        Ok(permit) => {
+                            queue_wait = wait_started.elapsed();
+                            shared.metrics.admitted_total.inc();
+                            shared.metrics.queue_wait_latency.record(queue_wait);
+                            Some(permit)
+                        }
+                        Err(msg) => {
+                            shared.metrics.rejected_total.inc();
+                            shared
+                                .events
+                                .emit(Event::new("admission_reject").str("query", &query.name));
+                            return Err(SessionError::Rejected(msg));
+                        }
+                    }
+                }
+                None => {
+                    shared.metrics.admitted_total.inc();
+                    None
+                }
+            };
             let execute_started = Instant::now();
             let (result, replans) = if self.options.adaptive.enabled {
                 let outcome = crate::adaptive::execute_adaptive(
@@ -992,6 +1219,7 @@ impl Session {
                 parse_us: micros(spans.parse),
                 bind_us: micros(spans.bind),
                 optimize_us: micros(optimize_elapsed),
+                queue_us: micros(queue_wait),
                 execute_us: micros(execute_elapsed),
             });
         }
@@ -1312,6 +1540,95 @@ mod tests {
         assert!(o.set("cache_fence", "NaN").is_err());
         assert!(o.set("cache_fence", "wide").is_err());
         assert!(o.set("cache_capacity", "lots").is_err());
+    }
+
+    #[test]
+    fn mem_budget_option_flows_into_the_executor_guard() {
+        let mut o = SessionOptions::default();
+        assert_eq!(o.mem_budget, 0, "budget defaults to the engine guard");
+        let engine_default = o.execution_options().max_intermediate_slots;
+        o.set("mem_budget", "5000").unwrap();
+        assert_eq!(o.execution_options().max_intermediate_slots, 5000);
+        o.set("mem_budget", "0").unwrap();
+        assert_eq!(o.execution_options().max_intermediate_slots, engine_default);
+        assert!(o.set("mem_budget", "infinite").is_err());
+    }
+
+    #[test]
+    fn mem_budget_aborts_an_oversized_statement() {
+        let server = server();
+        let mut session = server.session();
+        session.set_option("mem_budget", "3").unwrap();
+        let queries = qob_workload::load_sql_str(server.context().db(), THREE_WAY).unwrap();
+        let err = session.run_query(&queries[0]).unwrap_err();
+        assert_eq!(err.code(), "execute_error");
+        assert!(err.to_string().contains("too large"), "{err}");
+    }
+
+    #[test]
+    fn admission_controller_limits_blocks_and_rejects() {
+        let controller = Arc::new(AdmissionController::new(1, 1));
+        let first = controller.acquire().expect("free slot admits immediately");
+        assert_eq!(controller.gauges(), (1, 0));
+
+        // One waiter fits in the queue; it must block until `first` drops.
+        let entered = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let waiter = {
+            let entered = Arc::clone(&entered);
+            let controller = Arc::clone(&controller);
+            std::thread::spawn(move || {
+                let permit = controller.acquire().expect("queued waiter is admitted");
+                entered.store(true, Ordering::SeqCst);
+                drop(permit);
+            })
+        };
+        // Wait for the thread to actually queue up.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while controller.gauges().1 == 0 && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(controller.gauges(), (1, 1), "the waiter queued");
+        assert!(!entered.load(Ordering::SeqCst), "the waiter has not executed");
+
+        // A second arrival finds the queue full and is rejected.
+        let err = controller.acquire().expect_err("queue is full");
+        assert!(err.contains("capacity"), "{err}");
+
+        drop(first);
+        waiter.join().unwrap();
+        assert!(entered.load(Ordering::SeqCst));
+        assert_eq!(controller.gauges(), (0, 0));
+    }
+
+    #[test]
+    fn scheduler_context_executes_identically_and_reports_gauges() {
+        let plain = server();
+        let scheduled = ServerContext::with_scheduler(
+            BenchmarkContext::new(Scale::tiny(), IndexConfig::PrimaryKeyOnly).unwrap(),
+            SessionOptions::default(),
+            SchedulerConfig { workers: 3, max_concurrent: 2, max_queued: 8 },
+        );
+        assert_eq!(plain.pool_gauges(), (0, 0, 0), "defaults run per-query pools");
+        assert_eq!(scheduled.pool_gauges().0, 3);
+        assert_eq!(scheduled.scheduler_config().max_concurrent, 2);
+
+        let a = query_reports(plain.session().run_script(THREE_WAY).unwrap());
+        let b = query_reports(scheduled.session().run_script(THREE_WAY).unwrap());
+        assert_eq!(
+            a[0].execution.as_ref().unwrap().rows,
+            b[0].execution.as_ref().unwrap().rows,
+            "shared-pool execution is answer-identical"
+        );
+        let ops_a: Vec<_> = a[0].execution.as_ref().unwrap().operators.clone();
+        let ops_b: Vec<_> = b[0].execution.as_ref().unwrap().operators.clone();
+        assert_eq!(ops_a.len(), ops_b.len());
+        assert_eq!(scheduled.metrics().admitted_total.get(), 1);
+        assert_eq!(scheduled.metrics().rejected_total.get(), 0);
+        assert_eq!(scheduled.metrics().queue_wait_latency.snapshot().count, 1);
+        let body = scheduled.metrics_exposition();
+        assert!(body.contains("qob_pool_workers 3"), "{body}");
+        assert!(body.contains("qob_admission_executing 0"), "{body}");
+        qob_obs::validate_exposition(&body).expect("exposition still validates");
     }
 
     #[test]

@@ -76,6 +76,11 @@ pub struct ExecutionOptions {
     /// adaptive driver in `qob-core` (this crate only carries them so one
     /// options struct travels the CLI → session → executor path).
     pub adaptive: AdaptiveOptions,
+    /// The shared server-wide worker pool (see [`crate::scheduler`]).  When
+    /// set, parallel pipeline work is submitted to this pool so workers are
+    /// shared *across* concurrent queries; when `None` each pipeline scopes
+    /// its own thread pool (the historical one-shot behaviour).
+    pub pool: Option<std::sync::Arc<crate::scheduler::WorkerPool>>,
 }
 
 impl Default for ExecutionOptions {
@@ -87,6 +92,7 @@ impl Default for ExecutionOptions {
             threads: default_threads(),
             morsel_size: DEFAULT_MORSEL_SIZE,
             adaptive: AdaptiveOptions::default(),
+            pool: None,
         }
     }
 }
@@ -101,6 +107,13 @@ impl ExecutionOptions {
     /// the guard) — the per-session override of the serve path.
     pub fn with_timeout(mut self, timeout: Option<Duration>) -> Self {
         self.timeout = timeout;
+        self
+    }
+
+    /// Returns a copy attached to a shared worker pool (the serve path; see
+    /// [`crate::scheduler::WorkerPool`]).
+    pub fn with_pool(mut self, pool: Option<std::sync::Arc<crate::scheduler::WorkerPool>>) -> Self {
+        self.pool = pool;
         self
     }
 }

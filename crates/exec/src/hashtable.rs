@@ -90,7 +90,8 @@ impl ChainedHashTable {
     }
 
     /// Builds the table from pre-partitioned `(key, build tuple)` pairs with
-    /// up to `threads` concurrent partition-wise inserts.
+    /// up to `threads` concurrent partition-wise inserts — on the shared
+    /// worker `pool` when one is attached, on a scoped pool otherwise.
     ///
     /// `bucket_count` and `partitions.len()` must be powers of two with
     /// `partitions.len() <= bucket_count`; partition `p` must hold exactly the
@@ -104,6 +105,7 @@ impl ChainedHashTable {
         rehash: bool,
         partitions: Vec<Vec<(i64, u32)>>,
         threads: usize,
+        pool: Option<&crate::scheduler::WorkerPool>,
     ) -> Self {
         debug_assert!(bucket_count.is_power_of_two());
         debug_assert!(partitions.len().is_power_of_two());
@@ -143,17 +145,16 @@ impl ChainedHashTable {
             let queue: Vec<parking_lot::Mutex<Option<PartitionInsert<'_>>>> =
                 work.into_iter().map(|w| parking_lot::Mutex::new(Some(w))).collect();
             let cursor = std::sync::atomic::AtomicUsize::new(0);
-            std::thread::scope(|s| {
-                for _ in 0..workers {
-                    s.spawn(|| loop {
-                        let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        let Some(slot) = queue.get(i) else { break };
-                        if let Some(w) = slot.lock().take() {
-                            w.run(bucket_count);
-                        }
-                    });
+            let panicked = crate::scheduler::run_participants(pool, workers, &|_slot| loop {
+                let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(slot) = queue.get(i) else { break };
+                if let Some(w) = slot.lock().take() {
+                    w.run(bucket_count);
                 }
             });
+            // Partition inserts are pure slice writes and cannot fail for
+            // valid inputs; an incomplete table must never be served.
+            assert!(!panicked, "partition insert panicked");
         }
         ChainedHashTable { buckets, entries, rehash, resize_count: 0 }
     }
@@ -339,7 +340,7 @@ mod tests {
             for &(k, t) in &pairs {
                 partitions[bucket_for(k, bucket_count) / stride].push((k, t));
             }
-            let par = ChainedHashTable::from_partitions(bucket_count, false, partitions, 4);
+            let par = ChainedHashTable::from_partitions(bucket_count, false, partitions, 4, None);
             assert_eq!(par.len(), seq.len());
             assert_eq!(par.bucket_count(), seq.bucket_count());
             for key in -310..320 {

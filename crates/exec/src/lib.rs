@@ -33,6 +33,7 @@ pub mod hashtable;
 pub mod intermediate;
 pub mod operators;
 pub mod pipeline;
+pub mod scheduler;
 pub mod truecard;
 
 pub use executor::{
@@ -41,4 +42,5 @@ pub use executor::{
 };
 pub use hashtable::ChainedHashTable;
 pub use intermediate::{Intermediate, Materialized};
+pub use scheduler::WorkerPool;
 pub use truecard::{true_cardinalities, true_cardinalities_batch, TrueCardinalityOptions};

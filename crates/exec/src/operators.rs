@@ -330,77 +330,83 @@ pub fn build_hash_table(
     let stride = bucket_count / parts;
 
     // Phase 1: extract (key, tuple) pairs morsel-parallel, partitioned by
-    // bucket range.
+    // bucket range.  Participants run on the shared server pool when one is
+    // attached (so concurrent queries share the same N build threads), and
+    // on a query-private scoped pool otherwise.
     let morsel_count = n.div_ceil(morsel);
     let workers = threads.min(morsel_count).max(1);
     let cursor = AtomicUsize::new(0);
-    let mut per_worker: Vec<Vec<Vec<(i64, u32)>>> = Vec::with_capacity(workers);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut locals: Vec<Vec<(i64, u32)>> = vec![Vec::new(); parts];
-                    let mut ticker = Ticker::new(guard);
-                    loop {
-                        if guard.is_aborted() {
-                            break;
-                        }
-                        let m = cursor.fetch_add(1, Ordering::Relaxed);
-                        if m >= morsel_count {
-                            break;
-                        }
-                        let range = m * morsel..((m + 1) * morsel).min(n);
-                        let base = range.start;
-                        for (i, tuple) in build.tuples_in(range).enumerate() {
-                            if let Err(e) = ticker.tick() {
-                                guard.abort(e);
-                                return locals;
-                            }
-                            if let Some(v) = key.get(tuple) {
-                                locals[bucket_for(v, bucket_count) / stride]
-                                    .push((v, (base + i) as u32));
-                            }
-                        }
-                    }
-                    locals
-                })
-            })
-            .collect();
-        for h in handles {
-            // A panicked worker must not unwind through the warm server:
-            // record the abort and let the guard surface it as an error.
-            match h.join() {
-                Ok(locals) => per_worker.push(locals),
-                Err(_) => guard.abort(ExecutionError::WorkerPanicked),
+    let sink: Mutex<Vec<Vec<(i64, u32)>>> = Mutex::new(vec![Vec::new(); parts]);
+    let panicked = crate::scheduler::run_participants(options.pool.as_deref(), workers, &|_slot| {
+        let mut locals: Vec<Vec<(i64, u32)>> = vec![Vec::new(); parts];
+        let mut ticker = Ticker::new(guard);
+        loop {
+            if guard.is_aborted() {
+                break;
+            }
+            let m = cursor.fetch_add(1, Ordering::Relaxed);
+            if m >= morsel_count {
+                break;
+            }
+            let range = m * morsel..((m + 1) * morsel).min(n);
+            let base = range.start;
+            for (i, tuple) in build.tuples_in(range).enumerate() {
+                if let Err(e) = ticker.tick() {
+                    guard.abort(e);
+                    return;
+                }
+                if let Some(v) = key.get(tuple) {
+                    locals[bucket_for(v, bucket_count) / stride].push((v, (base + i) as u32));
+                }
             }
         }
+        // Merge this participant's runs.  Merge order varies with
+        // scheduling, but phase 2 sorts each partition by (unique) tuple
+        // index, so the final chains are deterministic regardless.
+        let mut merged = sink.lock();
+        for (p, run) in locals.into_iter().enumerate() {
+            merged[p].extend(run);
+        }
     });
+    if panicked {
+        // A panicked participant must not unwind through the warm server:
+        // record the abort and let the guard surface it as an error.
+        guard.abort(ExecutionError::WorkerPanicked);
+    }
     if let Some(e) = guard.failure() {
         return Err(e);
     }
 
-    // Phase 2: merge the per-worker runs and restore ascending tuple order so
-    // bucket chains come out identical to a sequential build's.
-    let mut partitions: Vec<Vec<(i64, u32)>> = vec![Vec::new(); parts];
-    for locals in per_worker {
-        for (p, run) in locals.into_iter().enumerate() {
-            partitions[p].extend(run);
-        }
-    }
+    // Phase 2: restore ascending tuple order so bucket chains come out
+    // identical to a sequential build's.
+    let mut partitions = sink.into_inner();
     let sort_cursor = AtomicUsize::new(0);
     let part_slots: Vec<Mutex<&mut Vec<(i64, u32)>>> =
         partitions.iter_mut().map(Mutex::new).collect();
-    std::thread::scope(|s| {
-        for _ in 0..workers.min(parts) {
-            s.spawn(|| loop {
-                let p = sort_cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(slot) = part_slots.get(p) else { break };
-                slot.lock().sort_unstable_by_key(|&(_, t)| t);
-            });
-        }
-    });
+    let panicked = crate::scheduler::run_participants(
+        options.pool.as_deref(),
+        workers.min(parts),
+        &|_slot| loop {
+            let p = sort_cursor.fetch_add(1, Ordering::Relaxed);
+            let Some(slot) = part_slots.get(p) else { break };
+            slot.lock().sort_unstable_by_key(|&(_, t)| t);
+        },
+    );
+    drop(part_slots);
+    if panicked {
+        guard.abort(ExecutionError::WorkerPanicked);
+    }
+    if let Some(e) = guard.failure() {
+        return Err(e);
+    }
 
-    Ok(ChainedHashTable::from_partitions(bucket_count, options.enable_rehash, partitions, threads))
+    Ok(ChainedHashTable::from_partitions(
+        bucket_count,
+        options.enable_rehash,
+        partitions,
+        threads,
+        options.pool.as_deref(),
+    ))
 }
 
 // ---------------------------------------------------------------------------
@@ -699,45 +705,42 @@ pub fn merge_join(
         chunks.push(out);
     } else {
         let cursor = AtomicUsize::new(0);
-        let mut results: Vec<(usize, Vec<RowId>)> = Vec::new();
-        std::thread::scope(|s| {
-            let handles: Vec<_> = (0..threads.min(ranges.len()))
-                .map(|_| {
-                    s.spawn(|| {
-                        let mut outs = Vec::new();
-                        loop {
-                            if guard.is_aborted() {
-                                break;
-                            }
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            let Some(&(a, b)) = ranges.get(i) else { break };
-                            let lslice = &lkeys[a..b];
-                            // The matching right range for this key interval.
-                            let rslice = right_window(&rkeys, lslice);
-                            let mut out = Vec::new();
-                            if let Err(e) = merge_range(
-                                lslice, rslice, left, right, rest, &mut out, out_width, guard,
-                                &produced,
-                            ) {
-                                guard.abort(e);
-                                break;
-                            }
-                            outs.push((i, out));
-                        }
-                        outs
-                    })
-                })
-                .collect();
-            for h in handles {
-                match h.join() {
-                    Ok(outs) => results.extend(outs),
-                    Err(_) => guard.abort(ExecutionError::WorkerPanicked),
+        let sink: Mutex<Vec<(usize, Vec<RowId>)>> = Mutex::new(Vec::new());
+        let panicked = crate::scheduler::run_participants(
+            options.pool.as_deref(),
+            threads.min(ranges.len()),
+            &|_slot| {
+                let mut outs = Vec::new();
+                loop {
+                    if guard.is_aborted() {
+                        break;
+                    }
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(a, b)) = ranges.get(i) else { break };
+                    let lslice = &lkeys[a..b];
+                    // The matching right range for this key interval.
+                    let rslice = right_window(&rkeys, lslice);
+                    let mut out = Vec::new();
+                    if let Err(e) = merge_range(
+                        lslice, rslice, left, right, rest, &mut out, out_width, guard, &produced,
+                    ) {
+                        guard.abort(e);
+                        break;
+                    }
+                    outs.push((i, out));
                 }
-            }
-        });
+                if !outs.is_empty() {
+                    sink.lock().extend(outs);
+                }
+            },
+        );
+        if panicked {
+            guard.abort(ExecutionError::WorkerPanicked);
+        }
         if let Some(e) = guard.failure() {
             return Err(e);
         }
+        let mut results = sink.into_inner();
         results.sort_unstable_by_key(|(i, _)| *i);
         chunks = results.into_iter().map(|(_, c)| c).collect();
     }
@@ -775,52 +778,52 @@ fn extract_keys(
         }
         return Ok(keys);
     }
+    // Per-morsel output: (morsel index, its (key, tuple) pairs) — collected
+    // unordered, sorted by morsel index below for determinism.
+    type MorselKeys = Vec<(usize, Vec<(i64, u32)>)>;
     let morsel_count = n.div_ceil(morsel);
     let workers = threads.min(morsel_count).max(1);
     let cursor = AtomicUsize::new(0);
-    let mut results: Vec<(usize, Vec<(i64, u32)>)> = Vec::new();
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut outs = Vec::new();
-                    let mut ticker = Ticker::new(guard);
-                    loop {
-                        if guard.is_aborted() {
-                            break;
-                        }
-                        let m = cursor.fetch_add(1, Ordering::Relaxed);
-                        if m >= morsel_count {
-                            break;
-                        }
-                        let range = m * morsel..((m + 1) * morsel).min(n);
-                        let base = range.start;
-                        let mut keys = Vec::new();
-                        for (i, tuple) in input.tuples_in(range).enumerate() {
-                            if let Err(e) = ticker.tick() {
-                                guard.abort(e);
-                                return outs;
-                            }
-                            if let Some(v) = key.get(tuple) {
-                                keys.push((v, (base + i) as u32));
-                            }
-                        }
-                        outs.push((m, keys));
-                    }
-                    outs
-                })
-            })
-            .collect();
-        for h in handles {
-            match h.join() {
-                Ok(outs) => results.extend(outs),
-                Err(_) => guard.abort(ExecutionError::WorkerPanicked),
+    let sink: Mutex<MorselKeys> = Mutex::new(Vec::new());
+    let panicked = crate::scheduler::run_participants(options.pool.as_deref(), workers, &|_slot| {
+        let mut outs = Vec::new();
+        let mut ticker = Ticker::new(guard);
+        loop {
+            if guard.is_aborted() {
+                break;
             }
+            let m = cursor.fetch_add(1, Ordering::Relaxed);
+            if m >= morsel_count {
+                break;
+            }
+            let range = m * morsel..((m + 1) * morsel).min(n);
+            let base = range.start;
+            let mut keys = Vec::new();
+            for (i, tuple) in input.tuples_in(range).enumerate() {
+                if let Err(e) = ticker.tick() {
+                    guard.abort(e);
+                    break;
+                }
+                if let Some(v) = key.get(tuple) {
+                    keys.push((v, (base + i) as u32));
+                }
+            }
+            if guard.is_aborted() {
+                break;
+            }
+            outs.push((m, keys));
+        }
+        if !outs.is_empty() {
+            sink.lock().extend(outs);
         }
     });
+    if panicked {
+        guard.abort(ExecutionError::WorkerPanicked);
+    }
     if let Some(e) = guard.failure() {
         return Err(e);
     }
+    let mut results = sink.into_inner();
     results.sort_unstable_by_key(|(m, _)| *m);
     Ok(results.into_iter().flat_map(|(_, k)| k).collect())
 }

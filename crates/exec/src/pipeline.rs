@@ -415,40 +415,32 @@ fn drive(
         // behaviour for `threads: 1`.
         worker(&pipeline, options, guard, counters, &cursor, morsel_count, &mut chunks);
     } else {
-        std::thread::scope(|s| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    s.spawn(|| {
-                        // Test-only fault injection: a sentinel morsel size
-                        // panics spawned workers, giving the containment
-                        // path (`ExecutionError::WorkerPanicked` instead of
-                        // unwinding through a warm server) a deterministic
-                        // test.
-                        #[cfg(test)]
-                        if options.morsel_size == TEST_PANIC_MORSEL_SIZE {
-                            panic!("injected worker panic (test sentinel morsel size)");
-                        }
-                        let mut local = Vec::new();
-                        worker(
-                            &pipeline,
-                            options,
-                            guard,
-                            counters,
-                            &cursor,
-                            morsel_count,
-                            &mut local,
-                        );
-                        local
-                    })
-                })
-                .collect();
-            for h in handles {
-                match h.join() {
-                    Ok(local) => chunks.extend(local),
-                    Err(_) => guard.abort(ExecutionError::WorkerPanicked),
+        // Parallel participants — on the shared server pool when one is
+        // attached, on a query-private scoped pool otherwise.  Either way
+        // each participant keeps its output keyed by morsel index and merges
+        // it into the shared sink, so the concatenation below is identical.
+        let sink: parking_lot::Mutex<Vec<(usize, Vec<RowId>)>> = parking_lot::Mutex::new(chunks);
+        let panicked =
+            crate::scheduler::run_participants(options.pool.as_deref(), workers, &|_slot| {
+                // Test-only fault injection: a sentinel morsel size panics
+                // participants, giving the containment path
+                // (`ExecutionError::WorkerPanicked` instead of unwinding
+                // through a warm server) a deterministic test on both the
+                // scoped and the shared-pool schedulers.
+                #[cfg(test)]
+                if options.morsel_size == TEST_PANIC_MORSEL_SIZE {
+                    panic!("injected worker panic (test sentinel morsel size)");
                 }
-            }
-        });
+                let mut local = Vec::new();
+                worker(&pipeline, options, guard, counters, &cursor, morsel_count, &mut local);
+                if !local.is_empty() {
+                    sink.lock().extend(local);
+                }
+            });
+        if panicked {
+            guard.abort(ExecutionError::WorkerPanicked);
+        }
+        chunks = sink.into_inner();
     }
     if let Some(e) = guard.failure() {
         return Err(e);
@@ -814,6 +806,108 @@ mod tests {
         let b = run(4);
         assert_eq!(a.len(), 300);
         assert_eq!(all_tuples(&a), all_tuples(&b));
+    }
+
+    /// The shared-pool scheduler must preserve the determinism contract: a
+    /// query on the server-wide [`crate::scheduler::WorkerPool`] is tuple for
+    /// tuple identical to the sequential engine and to the per-query scoped
+    /// pool, for all join algorithms.
+    #[test]
+    fn shared_pool_execution_is_tuple_for_tuple_identical() {
+        let (db, q) = setup();
+        let pool = std::sync::Arc::new(crate::scheduler::WorkerPool::new(4));
+        let left = scan(&db, &q, 0);
+        let right = scan(&db, &q, 1);
+        let keys = vec![key01()];
+        for rehash in [true, false] {
+            let seq_opts = opts(1, rehash);
+            let pool_opts =
+                ExecutionOptions { pool: Some(std::sync::Arc::clone(&pool)), ..opts(4, rehash) };
+            let a = hash_join(
+                &db,
+                &q,
+                &left,
+                &right,
+                &keys,
+                1.0,
+                &seq_opts,
+                &ExecGuard::new(&seq_opts),
+            )
+            .unwrap();
+            let b = hash_join(
+                &db,
+                &q,
+                &left,
+                &right,
+                &keys,
+                1.0,
+                &pool_opts,
+                &ExecGuard::new(&pool_opts),
+            )
+            .unwrap();
+            assert_eq!(a.len(), 300, "rehash={rehash}");
+            assert_eq!(all_tuples(&a), all_tuples(&b), "rehash={rehash}");
+        }
+
+        // Full plans too: operator cardinalities agree with the sequential
+        // engine for every algorithm.
+        use qob_plan::JoinAlgorithm;
+        for alg in [JoinAlgorithm::Hash, JoinAlgorithm::NestedLoop, JoinAlgorithm::SortMerge] {
+            let plan = PhysicalPlan::join(
+                alg,
+                PhysicalPlan::scan(0),
+                PhysicalPlan::scan(1),
+                vec![key01()],
+            );
+            let seq = opts(1, true);
+            let pooled =
+                ExecutionOptions { pool: Some(std::sync::Arc::clone(&pool)), ..opts(4, true) };
+            let a = execute_plan(&db, &q, &plan, &|_| 10.0, &seq).unwrap();
+            let b = execute_plan(&db, &q, &plan, &|_| 10.0, &pooled).unwrap();
+            assert_eq!(a.rows, b.rows, "{alg:?}");
+            assert_eq!(a.operator_cardinalities, b.operator_cardinalities, "{alg:?}");
+        }
+    }
+
+    /// Satellite of the scheduler PR: a panicking morsel task on the
+    /// **shared** pool fails only its owning query — the worker is returned
+    /// to the pool and the very same pool keeps answering other queries.
+    #[test]
+    fn shared_pool_contains_worker_panics_and_survives() {
+        let (db, q) = setup();
+        let pool = std::sync::Arc::new(crate::scheduler::WorkerPool::new(4));
+        let plan = PhysicalPlan::join(
+            JoinAlgorithm::Hash,
+            PhysicalPlan::scan(0),
+            PhysicalPlan::scan(1),
+            vec![key01()],
+        );
+        let poisoned = ExecutionOptions {
+            threads: 4,
+            morsel_size: TEST_PANIC_MORSEL_SIZE,
+            pool: Some(std::sync::Arc::clone(&pool)),
+            ..Default::default()
+        };
+        let err = execute_plan(&db, &q, &plan, &|_| 100.0, &poisoned).unwrap_err();
+        assert_eq!(err, ExecutionError::WorkerPanicked);
+
+        // The pool survived: every worker is back and a normal query on the
+        // same pool still answers, tuple-identically to sequential.
+        let healthy = ExecutionOptions {
+            threads: 4,
+            morsel_size: 16,
+            pool: Some(std::sync::Arc::clone(&pool)),
+            ..Default::default()
+        };
+        let result = execute_plan(&db, &q, &plan, &|_| 100.0, &healthy).unwrap();
+        assert_eq!(result.rows, 300);
+        // All workers drain back to idle (stale tickets clear in bounded
+        // time once the queries above have completed).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while pool.busy() != 0 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(pool.busy(), 0, "no worker leaked out of the pool");
     }
 
     /// A panicking worker must surface as `WorkerPanicked`, not unwind: one

@@ -1,0 +1,390 @@
+//! The server-wide execution scheduler: one shared worker pool with a global
+//! task queue that every concurrent query feeds.
+//!
+//! Historically each pipeline spun up its own `std::thread::scope` pool, so N
+//! concurrent clients meant N full-width pools oversubscribing the machine.
+//! A [`WorkerPool`] is created **once** (at `qob serve --workers N`) and
+//! attached to [`crate::ExecutionOptions`]; every pipeline then submits its
+//! parallel work as a batch of *participant slots* to the global queue, and
+//! the pool's workers pull slots across queries — a worker that finishes one
+//! query's morsels immediately picks up another query's, so the machine runs
+//! exactly N execution threads no matter how many queries are in flight.
+//!
+//! Scheduling model (the morsel paper's, at pipeline granularity):
+//!
+//! * A query calling [`WorkerPool::run_tasks`]`(slots, job)` offers helper
+//!   tickets to the queue and **always participates itself** on the
+//!   submitting thread.  That participation is the starvation guarantee:
+//!   even with every pool worker busy on someone else's 28-way join, a
+//!   point query still progresses on its own connection thread at
+//!   single-thread speed — it can only ever go *faster* when helpers are
+//!   free.
+//! * The offer is elastic: at most `idle workers` tickets go on the queue
+//!   (never more than `slots - 1`).  A saturated pool hands out none, so
+//!   under heavy concurrency each query degrades to inline sequential
+//!   execution with zero scheduling overhead, while a lone query on an
+//!   idle server fans out to the full pool.  Callers therefore get
+//!   *between 1 and `slots`* participants; every execution-side job just
+//!   drains a shared morsel cursor, so any participant count produces the
+//!   same result.
+//! * Helpers that arrive after the work is gone (the submitter or other
+//!   helpers exhausted the morsel cursor) claim nothing and return to the
+//!   queue immediately; the submitter cancels unclaimed slots on its way
+//!   out rather than waiting for stragglers.
+//! * Panics inside a slot are caught ([`std::panic::catch_unwind`]) and
+//!   reported to the submitter as a flag — the owning query surfaces
+//!   [`crate::ExecutionError::WorkerPanicked`] while the worker thread
+//!   survives and returns to the pool for other queries.
+//!
+//! Determinism is unaffected: the pool changes *which threads* pull morsels,
+//! not how their outputs are keyed — per-morsel chunks still concatenate in
+//! morsel order, so a query on the shared pool stays tuple-identical to
+//! `threads: 1`.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Locks ignoring poisoning: a panicked slot is already contained and
+/// reported through the task's `panicked` flag, so the state it protects
+/// (plain counters) is never left mid-update in a way recovery could see.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn wait<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(g).unwrap_or_else(|e| e.into_inner())
+}
+
+/// Progress of one submitted task batch, all guarded by one mutex so claim,
+/// cancel and completion interleave without memory-ordering subtleties.
+#[derive(Default)]
+struct TaskState {
+    /// Slots handed out (to the submitter or pool workers).
+    started: usize,
+    /// Slots whose job invocation returned (or panicked).
+    finished: usize,
+    /// Set by the submitter on its way out: no further claims.
+    cancelled: bool,
+    /// A slot's job panicked (the panic itself was caught).
+    panicked: bool,
+}
+
+/// One submitted batch of participant slots sharing a borrowed job closure.
+struct TaskShared {
+    /// The job, lifetime-erased.  Safety: [`WorkerPool::run_tasks`] does not
+    /// return until every started slot has finished, and slots are only
+    /// started while the submitter is still inside that call — so the
+    /// closure (and everything it borrows) outlives every dereference.
+    job: &'static (dyn Fn(usize) + Sync),
+    slots: usize,
+    state: Mutex<TaskState>,
+    done: Condvar,
+}
+
+impl TaskShared {
+    /// Claims the next unclaimed slot, or `None` when the batch is exhausted
+    /// or cancelled.
+    fn claim(&self) -> Option<usize> {
+        let mut st = lock(&self.state);
+        if st.cancelled || st.started >= self.slots {
+            return None;
+        }
+        let idx = st.started;
+        st.started += 1;
+        Some(idx)
+    }
+
+    /// Runs the job for a claimed slot, containing panics.
+    fn run_slot(&self, idx: usize) {
+        let outcome = catch_unwind(AssertUnwindSafe(|| (self.job)(idx)));
+        let mut st = lock(&self.state);
+        st.finished += 1;
+        if outcome.is_err() {
+            st.panicked = true;
+        }
+        self.done.notify_all();
+    }
+}
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Arc<TaskShared>>>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    /// Workers currently executing task slots (a gauge for `metrics`).
+    busy: AtomicUsize,
+}
+
+/// A fixed-size, long-lived pool of execution workers shared by every query
+/// of a server process.  See the module docs for the scheduling model.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers())
+            .field("busy", &self.busy())
+            .field("queued", &self.queued())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `workers` execution threads (clamped to at least 1).
+    pub fn new(workers: usize) -> WorkerPool {
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            busy: AtomicUsize::new(0),
+        });
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("qob-worker-{i}"))
+                    .spawn(move || worker_main(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Workers currently executing task slots.
+    pub fn busy(&self) -> usize {
+        self.shared.busy.load(Ordering::Relaxed)
+    }
+
+    /// Helper tickets waiting in the global queue.
+    pub fn queued(&self) -> usize {
+        lock(&self.shared.queue).len()
+    }
+
+    /// Runs `job(idx)` once for every slot `idx` in `0..slots`, spreading
+    /// slots across free pool workers while **always participating on the
+    /// calling thread**.  Blocks until every claimed slot has finished; slots
+    /// nobody claimed by then are cancelled.  Returns `true` if any slot's
+    /// job panicked (each panic is caught; worker threads survive).
+    ///
+    /// The helper offer is *elastic*: at most as many tickets go on the
+    /// queue as the pool has idle workers right now.  A saturated pool gets
+    /// no tickets at all, so a query arriving at a busy server degrades to
+    /// inline sequential execution on its own connection thread — no futile
+    /// wakeups, no queue contention — while the same query on an idle
+    /// server still fans out to every worker.  The read is racy on purpose:
+    /// it sizes an offer, it doesn't promise anything, and whoever does
+    /// claim a ticket still just pulls morsels from the shared cursor.
+    pub fn run_tasks(&self, slots: usize, job: &(dyn Fn(usize) + Sync)) -> bool {
+        if slots == 0 {
+            return false;
+        }
+        // SAFETY: only the lifetime is erased.  The closure is dereferenced
+        // exclusively through started slots, and this function does not
+        // return before `finished == started` with no further claims
+        // possible — so no dereference outlives the borrow.
+        let job: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(job) };
+        let idle = self.workers().saturating_sub(self.shared.busy.load(Ordering::Relaxed));
+        let helpers = (slots - 1).min(idle);
+        let task = Arc::new(TaskShared {
+            job,
+            slots: 1 + helpers,
+            state: Mutex::new(TaskState::default()),
+            done: Condvar::new(),
+        });
+        if helpers > 0 {
+            let mut q = lock(&self.shared.queue);
+            for _ in 0..helpers {
+                q.push_back(Arc::clone(&task));
+            }
+            drop(q);
+            for _ in 0..helpers {
+                self.shared.wake.notify_one();
+            }
+        }
+        // Participate: the submitter claims slots like any worker, so the
+        // batch completes even when every pool worker is busy elsewhere.
+        while let Some(idx) = task.claim() {
+            task.run_slot(idx);
+        }
+        // Cancel unclaimed slots, then wait out the ones still running.
+        let mut st = lock(&task.state);
+        st.cancelled = true;
+        while st.finished < st.started {
+            st = wait(&task.done, st);
+        }
+        st.panicked
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.wake.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_main(shared: &PoolShared) {
+    loop {
+        let task = {
+            let mut q = lock(&shared.queue);
+            loop {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                if let Some(t) = q.pop_front() {
+                    break t;
+                }
+                q = wait(&shared.wake, q);
+            }
+        };
+        shared.busy.fetch_add(1, Ordering::Relaxed);
+        // Drain the ticket: keep claiming slots until the batch is exhausted
+        // (a stale ticket whose batch already finished claims nothing and
+        // costs one lock round-trip).
+        while let Some(idx) = task.claim() {
+            task.run_slot(idx);
+        }
+        shared.busy.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Runs `count` parallel participants over `job`: on the shared pool when
+/// one is attached, otherwise on a query-private `std::thread::scope` pool
+/// (the historical per-query mode, kept for one-shot runs and as the
+/// `--per-query-pools` bench baseline).  Returns `true` if any participant
+/// panicked; panics never unwind past this call.
+pub(crate) fn run_participants(
+    pool: Option<&WorkerPool>,
+    count: usize,
+    job: &(dyn Fn(usize) + Sync),
+) -> bool {
+    match pool {
+        Some(pool) => pool.run_tasks(count, job),
+        None => {
+            let panicked = AtomicBool::new(false);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..count).map(|i| s.spawn(move || job(i))).collect();
+                for h in handles {
+                    if h.join().is_err() {
+                        panicked.store(true, Ordering::Relaxed);
+                    }
+                }
+            });
+            panicked.load(Ordering::Relaxed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn every_claimed_slot_runs_exactly_once() {
+        // The submitter claims until the batch is exhausted, so on an idle
+        // pool exactly `min(slots, workers + 1)` participants run — each
+        // precisely once.
+        let pool = WorkerPool::new(4);
+        for slots in [1usize, 2, 7, 64] {
+            // The elastic offer reads the busy gauge, so make sure every
+            // worker from the previous batch has fully returned to idle.
+            while pool.busy() > 0 || pool.queued() > 0 {
+                std::thread::yield_now();
+            }
+            let hits: Vec<AtomicU64> = (0..slots).map(|_| AtomicU64::new(0)).collect();
+            let panicked = pool.run_tasks(slots, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(!panicked);
+            let expected = slots.min(pool.workers() + 1);
+            for (i, h) in hits.iter().enumerate() {
+                let want = u64::from(i < expected);
+                assert_eq!(h.load(Ordering::Relaxed), want, "slot {i} of {slots}");
+            }
+        }
+    }
+
+    #[test]
+    fn submitter_makes_progress_with_zero_free_workers() {
+        // A pool whose only worker is parked on someone else's long job must
+        // not block a new submitter: the submitter participates itself.
+        let pool = Arc::new(WorkerPool::new(1));
+        let release = Arc::new((Mutex::new(false), Condvar::new()));
+        let (r, blocker) = (Arc::clone(&release), Arc::clone(&pool));
+        let hog = std::thread::spawn(move || {
+            blocker.run_tasks(2, &|_| {
+                // Every participant parks: the hog's own thread on one slot,
+                // the pool's only worker on the other.
+                let mut go = lock(&r.0);
+                while !*go {
+                    go = wait(&r.1, go);
+                }
+            });
+        });
+        // Wait until the pool worker has actually claimed the hog's helper
+        // slot and parked inside it.
+        while pool.busy() < 1 {
+            std::thread::yield_now();
+        }
+        let ran = AtomicU64::new(0);
+        let panicked = pool.run_tasks(3, &|_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(!panicked);
+        // The saturated pool offers no helper tickets (elastic sizing), so
+        // the submitter ran the whole batch alone — and immediately.
+        assert_eq!(ran.load(Ordering::Relaxed), 1, "point query ran while the pool was saturated");
+        assert_eq!(pool.queued(), 0, "no tickets were queued against a saturated pool");
+        *lock(&release.0) = true;
+        release.1.notify_all();
+        hog.join().unwrap();
+    }
+
+    #[test]
+    fn panics_are_contained_and_workers_survive() {
+        let pool = WorkerPool::new(2);
+        let panicked = pool.run_tasks(4, &|i| {
+            if i % 2 == 0 {
+                panic!("injected");
+            }
+        });
+        assert!(panicked);
+        // The pool still works after the panic: the workers returned.
+        while pool.busy() > 0 || pool.queued() > 0 {
+            std::thread::yield_now();
+        }
+        let ran = AtomicU64::new(0);
+        let panicked = pool.run_tasks(4, &|_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(!panicked);
+        assert_eq!(ran.load(Ordering::Relaxed), 3, "submitter plus both surviving workers");
+    }
+
+    #[test]
+    fn scoped_fallback_matches_pool_contract() {
+        let hits: Vec<AtomicU64> = (0..8).map(|_| AtomicU64::new(0)).collect();
+        assert!(!run_participants(None, 8, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        }));
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert!(run_participants(None, 2, &|i| {
+            if i == 0 {
+                panic!("injected");
+            }
+        }));
+    }
+}

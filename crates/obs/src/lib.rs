@@ -199,6 +199,10 @@ pub struct MetricsRegistry {
     pub slow_queries_total: Counter,
     /// Executor worker panics observed.
     pub worker_panics_total: Counter,
+    /// Statements admitted to execution by the admission controller.
+    pub admitted_total: Counter,
+    /// Statements rejected because the admission queue was full.
+    pub rejected_total: Counter,
     /// End-to-end statement latency (parse through execute).
     pub query_latency: Histogram,
     /// Parse-phase latency.
@@ -209,6 +213,8 @@ pub struct MetricsRegistry {
     pub optimize_latency: Histogram,
     /// Execute-phase latency.
     pub execute_latency: Histogram,
+    /// Time statements waited in the admission queue before executing.
+    pub queue_wait_latency: Histogram,
 }
 
 impl MetricsRegistry {
@@ -260,6 +266,21 @@ impl MetricsRegistry {
             "qob_execute_seconds",
             "Execute-phase latency",
             &self.execute_latency.snapshot(),
+        );
+        ex.counter(
+            "qob_admitted_total",
+            "Statements admitted to execution",
+            self.admitted_total.get(),
+        );
+        ex.counter(
+            "qob_rejected_total",
+            "Statements rejected by admission control",
+            self.rejected_total.get(),
+        );
+        ex.histogram(
+            "qob_queue_wait_seconds",
+            "Admission queue wait before execution",
+            &self.queue_wait_latency.snapshot(),
         );
     }
 }

@@ -240,6 +240,7 @@ pub fn report_to_json(report: &QueryReport) -> Json {
                 ("parse_us", Json::Num(trace.parse_us as f64)),
                 ("bind_us", Json::Num(trace.bind_us as f64)),
                 ("optimize_us", Json::Num(trace.optimize_us as f64)),
+                ("queue_us", Json::Num(trace.queue_us as f64)),
                 ("execute_us", Json::Num(trace.execute_us as f64)),
             ]),
         ));
@@ -394,6 +395,13 @@ pub fn stats_response(
         ("uptime_ms", Json::Num(uptime.as_millis() as f64)),
         ("snapshot_loaded", Json::Bool(snapshot_loaded)),
         ("datagen_runs", Json::Num(qob_datagen::generation_count() as f64)),
+        ("admitted", Json::Num(server.metrics().admitted_total.get() as f64)),
+        ("rejected", Json::Num(server.metrics().rejected_total.get() as f64)),
+        ("pool_workers", Json::Num(server.pool_gauges().0 as f64)),
+        ("pool_busy", Json::Num(server.pool_gauges().1 as f64)),
+        ("pool_queue_depth", Json::Num(server.pool_gauges().2 as f64)),
+        ("admission_executing", Json::Num(server.admission_gauges().0 as f64)),
+        ("admission_queued", Json::Num(server.admission_gauges().1 as f64)),
     ])
 }
 
@@ -404,6 +412,7 @@ pub fn stats_response(
 pub fn metrics_response(server: &ServerContext) -> Json {
     let m = server.metrics();
     let q = m.query_latency.snapshot();
+    let w = m.queue_wait_latency.snapshot();
     let cache = server.plan_cache_counters();
     Json::obj(vec![
         ("ok", Json::Bool(true)),
@@ -420,6 +429,10 @@ pub fn metrics_response(server: &ServerContext) -> Json {
                 ("query_p50_us", Json::Num(q.quantile(0.5))),
                 ("query_p95_us", Json::Num(q.quantile(0.95))),
                 ("query_p99_us", Json::Num(q.quantile(0.99))),
+                ("admitted_total", Json::Num(m.admitted_total.get() as f64)),
+                ("rejected_total", Json::Num(m.rejected_total.get() as f64)),
+                ("queue_wait_p50_us", Json::Num(w.quantile(0.5))),
+                ("queue_wait_p99_us", Json::Num(w.quantile(0.99))),
                 ("plan_cache_hits", Json::Num(cache.hits as f64)),
                 ("plan_cache_misses", Json::Num(cache.misses as f64)),
                 ("plan_cache_fence_rejections", Json::Num(cache.fence_rejections as f64)),

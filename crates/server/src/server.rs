@@ -258,8 +258,24 @@ fn run_connection(
         match read_step(&mut reader, &mut buf)? {
             ReadStep::Line => {
                 let line = String::from_utf8_lossy(&buf).into_owned();
-                let keep_open = respond_line(&mut writer, state, &mut session, local_addr, &line)?;
                 buf.clear();
+                let mut out = String::new();
+                let mut keep_open = respond_line(&mut out, state, &mut session, local_addr, &line);
+                // Pipelining: a client may have batched several requests
+                // into one packet.  Answer every complete line already
+                // sitting in the read buffer — in arrival order — before
+                // flushing, so a batch of N requests costs one syscall
+                // round-trip instead of N.
+                while keep_open {
+                    let Some(pos) = reader.buffer().iter().position(|&b| b == b'\n') else {
+                        break;
+                    };
+                    let line = String::from_utf8_lossy(&reader.buffer()[..pos]).into_owned();
+                    reader.consume(pos + 1);
+                    keep_open = respond_line(&mut out, state, &mut session, local_addr, &line);
+                }
+                writer.write_all(out.as_bytes())?;
+                writer.flush()?;
                 if !keep_open {
                     return Ok(());
                 }
@@ -268,7 +284,10 @@ fn run_connection(
                 if !buf.is_empty() {
                     // EOF in the middle of a line: answer it, then close.
                     let line = String::from_utf8_lossy(&buf).into_owned();
-                    respond_line(&mut writer, state, &mut session, local_addr, &line)?;
+                    let mut out = String::new();
+                    respond_line(&mut out, state, &mut session, local_addr, &line);
+                    writer.write_all(out.as_bytes())?;
+                    writer.flush()?;
                 }
                 return Ok(());
             }
@@ -286,24 +305,26 @@ fn run_connection(
     }
 }
 
-/// Handles one request line; returns whether the connection stays open.
+/// Handles one request line, appending its response (if any) to `out`;
+/// returns whether the connection stays open.  The caller owns the write
+/// and flush, so pipelined batches leave in one packet.
 fn respond_line(
-    writer: &mut TcpStream,
+    out: &mut String,
     state: &ServerState,
     session: &mut Session,
     local_addr: SocketAddr,
     line: &str,
-) -> std::io::Result<bool> {
+) -> bool {
+    use std::fmt::Write as _;
     if line.trim().is_empty() {
-        return Ok(true); // blank keep-alive lines are tolerated
+        return true; // blank keep-alive lines are tolerated
     }
     let (response, keep_open) = match Request::parse(line.trim()) {
         Err(message) => (error_response("invalid_request", &message), true),
         Ok(request) => handle_request(state, session, local_addr, request),
     };
-    writeln!(writer, "{response}")?;
-    writer.flush()?;
-    Ok(keep_open)
+    let _ = writeln!(out, "{response}");
+    keep_open
 }
 
 fn handle_request(

@@ -268,7 +268,7 @@ fn metrics_scrape_and_traces_over_the_wire() {
         "tracing must not change answers"
     );
     let trace = traced_result.get("trace").unwrap();
-    for phase in ["parse_us", "bind_us", "optimize_us", "execute_us"] {
+    for phase in ["parse_us", "bind_us", "optimize_us", "queue_us", "execute_us"] {
         assert!(trace.get(phase).unwrap().as_u64().is_some(), "missing {phase}");
     }
     let ops = traced_result.get("operators").unwrap().as_array().unwrap();
@@ -318,6 +318,92 @@ fn sessions_are_isolated_across_connections() {
         .unwrap()
         .to_owned();
     assert_eq!(estimator_b, "PostgreSQL", "b must not see a's session options");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    use std::io::{BufRead, BufReader, Write};
+    let (handle, addr) = start_server();
+    // Wait for the listener, then talk raw TCP: the Client type is
+    // strictly sequential, and this test is about batched writes.
+    drop(qob_server::Client::connect_with_retry(&addr, Duration::from_secs(5)).unwrap());
+    let stream = std::net::TcpStream::connect(&addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    // One write carries four requests; four responses must come back, in
+    // request order, without any further input from us.
+    let query_line = Request::Query { sql: THREE_WAY.into() }.to_json().to_string();
+    let batch =
+        format!("{{\"type\":\"ping\"}}\n{query_line}\n{{\"type\":\"stats\"}}\n{query_line}\n");
+    writer.write_all(batch.as_bytes()).unwrap();
+    writer.flush().unwrap();
+
+    let mut read_response = || {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        qob_server::Json::parse(&line).unwrap()
+    };
+    let first = read_response();
+    assert_eq!(first.get("type").unwrap().as_str(), Some("pong"), "{first}");
+    let second = read_response();
+    assert_eq!(second.get("type").unwrap().as_str(), Some("result"), "{second}");
+    let rows = second.get("results").unwrap().as_array().unwrap()[0].get("rows").unwrap().as_u64();
+    assert!(rows.is_some());
+    let third = read_response();
+    assert_eq!(third.get("type").unwrap().as_str(), Some("stats"), "{third}");
+    let fourth = read_response();
+    assert_eq!(fourth.get("type").unwrap().as_str(), Some("result"), "{fourth}");
+    let rows_again =
+        fourth.get("results").unwrap().as_array().unwrap()[0].get("rows").unwrap().as_u64();
+    assert_eq!(rows_again, rows, "pipelined repeats answer identically");
+
+    // The connection is still healthy for sequential use afterwards.
+    writer.write_all(b"{\"type\":\"ping\"}\n").unwrap();
+    assert_eq!(read_response().get("type").unwrap().as_str(), Some("pong"));
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn scheduled_server_exposes_pool_and_admission_over_the_wire() {
+    let ctx = BenchmarkContext::new(Scale::tiny(), IndexConfig::PrimaryKeyOnly).unwrap();
+    let handle = serve(
+        ServerContext::with_scheduler(
+            ctx,
+            qob_core::SessionOptions::default(),
+            qob_core::SchedulerConfig { workers: 2, max_concurrent: 2, max_queued: 4 },
+        ),
+        ServerConfig { addr: "127.0.0.1:0".into(), snapshot_loaded: false },
+    )
+    .unwrap();
+    let addr = handle.local_addr().to_string();
+    let mut client = Client::connect_with_retry(&addr, Duration::from_secs(5)).unwrap();
+
+    client.request(&Request::Set { option: "tracing".into(), value: "true".into() }).unwrap();
+    let response = client.query(THREE_WAY).unwrap();
+    let result = &response.get("results").unwrap().as_array().unwrap()[0];
+    assert!(result.get("rows").unwrap().as_u64().is_some());
+    assert!(result.get("trace").unwrap().get("queue_us").unwrap().as_u64().is_some());
+
+    let stats = client.request(&Request::Stats).unwrap();
+    assert_eq!(stats.get("pool_workers").unwrap().as_u64(), Some(2));
+    assert_eq!(stats.get("admitted").unwrap().as_u64(), Some(1));
+    assert_eq!(stats.get("rejected").unwrap().as_u64(), Some(0));
+    assert_eq!(stats.get("admission_executing").unwrap().as_u64(), Some(0));
+
+    let metrics = client.request(&Request::Metrics).unwrap();
+    let body = metrics.get("body").unwrap().as_str().unwrap();
+    qob_obs::validate_exposition(body).expect("exposition must parse");
+    assert!(body.contains("qob_pool_workers 2"), "{body}");
+    assert!(body.contains("qob_queue_wait_seconds_count 1"), "{body}");
+    let summary = metrics.get("summary").unwrap();
+    assert_eq!(summary.get("admitted_total").unwrap().as_u64(), Some(1));
+    assert_eq!(summary.get("rejected_total").unwrap().as_u64(), Some(0));
 
     handle.shutdown();
     handle.join();

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Concurrent-load bench: the same statement mix, the same warm snapshot,
+# the same total worker budget — once on the shared server-wide pool and
+# once with the historical per-query pools — then one BENCH_load.json
+# holding both sides so the speedup is a diff, not a claim.
+#
+# `qob bench-load` itself verifies every concurrent answer against a
+# sequential baseline and exits non-zero on any error or mismatch, so a
+# green run *is* the isolation check.
+#
+# Usage: scripts/load_bench.sh [path-to-qob-binary]
+# Env:   QOB_LOAD_CONNECTIONS (64)  concurrent connections per run
+#        QOB_LOAD_REQUESTS    (16)  requests per connection
+#        QOB_LOAD_PASSES      (3)   bench passes per mode (median by QPS
+#                                   is what lands in BENCH_load.json)
+#        QOB_LOAD_SCALE       (small) snapshot scale
+#        QOB_LOAD_WORKERS     (8)   total worker budget for both modes
+#        QOB_LOAD_MORSEL      (512) execution morsel size (the small-scale
+#                                   tables need small morsels before any
+#                                   pipeline has work to parallelise)
+#        QOB_LOAD_STRICT      (1)   assert shared beats per-query on
+#                                   QPS and p99 (set 0 on noisy CI boxes)
+set -euo pipefail
+
+QOB=${1:-./target/release/qob}
+ADDR=${QOB_LOAD_ADDR:-127.0.0.1:4551}
+OUT=${QOB_LOAD_OUT:-BENCH_load.json}
+SCALE=${QOB_LOAD_SCALE:-small}
+CONNECTIONS=${QOB_LOAD_CONNECTIONS:-64}
+REQUESTS=${QOB_LOAD_REQUESTS:-16}
+PASSES=${QOB_LOAD_PASSES:-3}
+WORKERS=${QOB_LOAD_WORKERS:-8}
+MORSEL=${QOB_LOAD_MORSEL:-512}
+STRICT=${QOB_LOAD_STRICT:-1}
+SNAPSHOT=${QOB_LOAD_SNAPSHOT:-load-bench.snap}
+
+# Build the snapshot once up front so both serve runs start warm and
+# neither pays generation time inside its measurement window.
+if [ ! -e "$SNAPSHOT" ]; then
+  "$QOB" --snapshot "$SNAPSHOT" --scale "$SCALE" -e \
+    'SELECT COUNT(*) FROM title' > /dev/null
+fi
+
+# Runs PASSES bench passes against one server and keeps the median pass
+# (by QPS) as `load-<label>.json` — single passes on a busy box swing by
+# ±10%, the median doesn't.
+run_mode() { # run_mode <label> <serve flags...>
+  local label=$1
+  shift
+  "$QOB" serve --addr "$ADDR" --snapshot "$SNAPSHOT" --plan-cache "$@" \
+    > "load-serve-$label.log" 2>&1 &
+  local pid=$!
+  for _ in $(seq 1 100); do
+    "$QOB" connect --addr "$ADDR" --ping > /dev/null 2>&1 && break
+    sleep 0.1
+  done
+  for pass in $(seq 1 "$PASSES"); do
+    "$QOB" bench-load --addr "$ADDR" --connections "$CONNECTIONS" \
+      --requests "$REQUESTS" --label "$label" --output "load-$label-$pass.json"
+  done
+  jq -s 'sort_by(.qps) | .[(length - 1) / 2 | floor]' \
+    "load-$label-"*.json > "load-$label.json"
+  rm -f "load-$label-"*.json
+  "$QOB" connect --addr "$ADDR" --shutdown
+  wait "$pid" || true
+}
+
+# Same total per-statement budget on both sides.  The baseline is the
+# historical server: every statement scopes its own fresh N-thread pool
+# and nothing bounds how many run at once, so 64 connections pay thread
+# churn and oversubscription.  The contender is this PR's scheduler: N
+# persistent shared workers plus admission control (2N concurrent).
+run_mode per-query --per-query-pools --threads "$WORKERS" \
+  --morsel-size "$MORSEL" --max-concurrent 0
+run_mode shared --workers "$WORKERS" --threads "$WORKERS" \
+  --morsel-size "$MORSEL" --max-concurrent $((2 * WORKERS))
+
+jq -n \
+  --slurpfile shared load-shared.json \
+  --slurpfile per_query load-per-query.json \
+  --argjson workers "$WORKERS" \
+  '{bench: "load", workers: $workers, shared: $shared[0], per_query: $per_query[0]}' \
+  > "$OUT"
+
+# Both runs answered correctly (bench-load already enforced it) and the
+# latency tail is a real number.
+jq -e '.shared.errors == 0 and .per_query.errors == 0
+       and .shared.mismatches == 0 and .per_query.mismatches == 0
+       and (.shared.p99_us > 0) and (.per_query.p99_us > 0)' "$OUT" > /dev/null
+
+if [ "$STRICT" = "1" ]; then
+  jq -e '.shared.qps > .per_query.qps' "$OUT" > /dev/null \
+    || { echo "FAIL: shared pool QPS not above per-query pools" >&2; exit 1; }
+  jq -e '.shared.p99_us < .per_query.p99_us' "$OUT" > /dev/null \
+    || { echo "FAIL: shared pool p99 not below per-query pools" >&2; exit 1; }
+fi
+
+rm -f load-serve-shared.log load-serve-per-query.log \
+  load-shared.json load-per-query.json
+echo "load bench OK — wrote $OUT"
+jq -r '"shared: \(.shared.qps) qps, p99 \(.shared.p99_us)us | per-query: \(.per_query.qps) qps, p99 \(.per_query.p99_us)us"' "$OUT"

@@ -36,5 +36,5 @@ pub use estimators::{
 };
 pub use feedback::FeedbackEstimator;
 pub use model::{CardinalityEstimator, EstimatorContext};
-pub use qerror::{percentile, q_error, signed_ratio, QErrorSummary};
+pub use qerror::{nearest_rank_percentile, percentile, q_error, signed_ratio, QErrorSummary};
 pub use truth::{InjectedCardinalities, TrueCardinalities};

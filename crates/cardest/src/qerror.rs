@@ -24,11 +24,7 @@ pub fn signed_ratio(estimate: f64, truth: f64) -> f64 {
 /// not abort a whole figure run); returns `None` if no finite-or-infinite
 /// value remains.
 pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
-    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
-    if sorted.is_empty() {
-        return None;
-    }
-    sorted.sort_by(f64::total_cmp);
+    let sorted = sorted_finite(values)?;
     let p = p.clamp(0.0, 100.0) / 100.0;
     let rank = p * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
@@ -39,6 +35,31 @@ pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
         let frac = rank - lo as f64;
         Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
     }
+}
+
+/// The nearest-rank `q`-quantile (`q` in 0–1) of a sample: the smallest
+/// element with at least `⌈q·n⌉` values at or below it — the convention
+/// latency reports use (`p50`, `p95`, `p99`), where the answer is always an
+/// observed sample point.  NaN values are ignored like in [`percentile`];
+/// returns `None` if nothing remains.
+///
+/// This is the one shared implementation behind both the q-error summaries
+/// here and the latency percentiles of `qob bench-load`.
+pub fn nearest_rank_percentile(values: &[f64], q: f64) -> Option<f64> {
+    let sorted = sorted_finite(values)?;
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+/// The NaN-filtered, totally-ordered sample both percentile flavours share.
+fn sorted_finite(values: &[f64]) -> Option<Vec<f64>> {
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+    if sorted.is_empty() {
+        return None;
+    }
+    sorted.sort_by(f64::total_cmp);
+    Some(sorted)
 }
 
 /// Summary of a q-error distribution in the shape of the paper's Table 1
@@ -127,6 +148,31 @@ mod tests {
         assert_eq!(percentile(&values, 50.0), Some(3.0));
         assert_eq!(percentile(&values, 100.0), Some(5.0));
         assert_eq!(percentile(&[f64::NAN, f64::NAN], 50.0), None);
+    }
+
+    #[test]
+    fn nearest_rank_edge_ranks() {
+        // n = 1: every quantile is the single sample.
+        assert_eq!(nearest_rank_percentile(&[7.0], 0.0), Some(7.0));
+        assert_eq!(nearest_rank_percentile(&[7.0], 0.5), Some(7.0));
+        assert_eq!(nearest_rank_percentile(&[7.0], 1.0), Some(7.0));
+        // Nearest rank picks an observed sample point, never interpolates.
+        let values = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(nearest_rank_percentile(&values, 0.5), Some(2.0));
+        assert_eq!(nearest_rank_percentile(&values, 0.51), Some(3.0));
+        assert_eq!(nearest_rank_percentile(&values, 0.95), Some(4.0));
+        // Ties: the duplicated value owns its whole rank range.
+        let ties = vec![1.0, 2.0, 2.0, 2.0, 5.0];
+        assert_eq!(nearest_rank_percentile(&ties, 0.4), Some(2.0));
+        assert_eq!(nearest_rank_percentile(&ties, 0.8), Some(2.0));
+        assert_eq!(nearest_rank_percentile(&ties, 0.99), Some(5.0));
+        // NaN-safety: all-NaN yields None, partial NaN is filtered.
+        assert_eq!(nearest_rank_percentile(&[f64::NAN, f64::NAN], 0.5), None);
+        assert_eq!(nearest_rank_percentile(&[], 0.5), None);
+        assert_eq!(nearest_rank_percentile(&[f64::NAN, 3.0], 0.5), Some(3.0));
+        // Out-of-range quantiles clamp.
+        assert_eq!(nearest_rank_percentile(&values, -1.0), Some(1.0));
+        assert_eq!(nearest_rank_percentile(&values, 2.0), Some(4.0));
     }
 
     #[test]

@@ -38,6 +38,9 @@ USAGE:
     qob bench-load [OPTIONS]
                             drive concurrent connections against a running
                             server and write a BENCH_load.json summary
+    qob plangrid [OPTIONS]  rank every estimator x cost-model x enumerator
+                            combination against the true plan-space optimum
+                            and write a BENCH_planspace.json summary
 
 OPTIONS:
     -e, --execute <SQL>      inline SQL statement
@@ -99,6 +102,26 @@ BENCH-LOAD OPTIONS:
         --output <PATH>      summary path              [default: BENCH_load.json]
     -e, --execute <SQL>      override the built-in statement mix (;-separated;
                              a FILE argument works too)
+
+PLANGRID OPTIONS:
+        --seed <n>           master seed: plan-space sampling, quickpick and
+                             query generation all derive from it  [default: 0]
+        --job-limit <n>      JOB queries to include (after --max-rels
+                             filtering; 0 = none)                 [default: 4]
+        --random-count <n>   seeded random queries to generate over the FK
+                             graph and include (0 = none)         [default: 4]
+        --max-rels <n>       only queries with at most n relations (keeps the
+                             plan space exhaustively enumerable)  [default: 8]
+        --samples <n>        uniform plan samples when a space is too large
+                             to exhaust                        [default: 1000]
+        --quickpick <n>      random plans per query for the quickpick
+                             enumerator                         [default: 100]
+        --output <PATH>      summary path         [default: BENCH_planspace.json]
+        --require-true-optimal
+                             fail unless the dpccp enumerator under true
+                             cardinalities finds the optimum for every query
+                             and cost model (the CI smoke invariant)
+        plus --snapshot / --scale / --indexes as above
 
 CONNECT OPTIONS:
         --addr <HOST:PORT>   server address             [default: 127.0.0.1:4547]
@@ -261,6 +284,7 @@ fn main() -> ExitCode {
         Some("serve") => serve_main(&args[1..]),
         Some("connect") => connect_main(&args[1..]),
         Some("bench-load") => bench_load_main(&args[1..]),
+        Some("plangrid") => plangrid_main(&args[1..]),
         _ => oneshot_main(&args),
     }
 }
@@ -1079,13 +1103,11 @@ fn first_rows(response: &Json) -> Option<u64> {
     response.get("results")?.as_array()?.first()?.get("rows")?.as_u64()
 }
 
-/// Nearest-rank percentile of a sorted latency sample.
+/// Nearest-rank percentile of a latency sample, delegating to the one
+/// shared NaN-safe helper ([`qob_core::nearest_rank_percentile`]).
 fn percentile(sorted: &[u64], q: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
+    let values: Vec<f64> = sorted.iter().map(|&v| v as f64).collect();
+    qob_core::nearest_rank_percentile(&values, q).unwrap_or(0.0) as u64
 }
 
 /// What one bench connection brings home.
@@ -1253,6 +1275,266 @@ fn bench_load_main(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+// ---------------------------------------------------------------------------
+// `qob plangrid`
+// ---------------------------------------------------------------------------
+
+struct PlangridOptions {
+    scale: Option<Scale>,
+    indexes: Option<IndexConfig>,
+    snapshot: Option<String>,
+    seed: u64,
+    job_limit: usize,
+    random_count: usize,
+    max_rels: usize,
+    samples: usize,
+    quickpick: usize,
+    output: String,
+    require_true_optimal: bool,
+}
+
+fn parse_plangrid_args(args: &[String]) -> Result<PlangridOptions, String> {
+    let mut options = PlangridOptions {
+        scale: None,
+        indexes: None,
+        snapshot: None,
+        seed: 0,
+        job_limit: 4,
+        random_count: 4,
+        max_rels: 8,
+        samples: 1000,
+        quickpick: 100,
+        output: "BENCH_planspace.json".to_owned(),
+        require_true_optimal: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-h" | "--help" => return Err(String::new()),
+            "--scale" => options.scale = Some(parse_scale(&value_of(args, &mut i, "--scale")?)?),
+            "--indexes" => {
+                options.indexes = Some(parse_indexes(&value_of(args, &mut i, "--indexes")?)?)
+            }
+            "--snapshot" => options.snapshot = Some(value_of(args, &mut i, "--snapshot")?),
+            "--seed" => {
+                let raw = value_of(args, &mut i, "--seed")?;
+                options.seed =
+                    raw.parse().map_err(|_| format!("--seed needs a number, got `{raw}`"))?
+            }
+            "--job-limit" => {
+                options.job_limit =
+                    parse_count(&value_of(args, &mut i, "--job-limit")?, "--job-limit")?
+            }
+            "--random-count" => {
+                options.random_count =
+                    parse_count(&value_of(args, &mut i, "--random-count")?, "--random-count")?
+            }
+            "--max-rels" => {
+                options.max_rels =
+                    parse_count(&value_of(args, &mut i, "--max-rels")?, "--max-rels")?.max(2)
+            }
+            "--samples" => {
+                options.samples =
+                    parse_count(&value_of(args, &mut i, "--samples")?, "--samples")?.max(1)
+            }
+            "--quickpick" => {
+                options.quickpick =
+                    parse_count(&value_of(args, &mut i, "--quickpick")?, "--quickpick")?.max(1)
+            }
+            "--output" => options.output = value_of(args, &mut i, "--output")?,
+            "--require-true-optimal" => options.require_true_optimal = true,
+            flag => return Err(format!("unknown plangrid flag `{flag}`")),
+        }
+        i += 1;
+    }
+    Ok(options)
+}
+
+/// Rounds a metric to 6 decimals so the JSON stays compact and stable.
+fn round6(x: f64) -> f64 {
+    (x * 1e6).round() / 1e6
+}
+
+fn plangrid_main(args: &[String]) -> ExitCode {
+    let options = match parse_plangrid_args(args) {
+        Ok(options) => options,
+        Err(message) if message.is_empty() => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("error: {message}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (ctx, _) = match obtain_context(options.scale, options.indexes, options.snapshot.as_deref())
+    {
+        Ok(pair) => pair,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // The workload: small JOB queries plus seeded random queries over the
+    // same FK graph — all bounded by --max-rels so the plan space stays
+    // exhaustively enumerable by default.
+    let mut queries: Vec<qob_plan::QuerySpec> = ctx
+        .queries()
+        .iter()
+        .filter(|q| q.rel_count() <= options.max_rels)
+        .take(options.job_limit)
+        .cloned()
+        .collect();
+    if options.random_count > 0 {
+        let generator_options = qob_plangrid::GeneratorOptions {
+            min_relations: 2,
+            max_relations: options.max_rels.min(6),
+            ..Default::default()
+        };
+        match qob_plangrid::generate_many(
+            ctx.db(),
+            &generator_options,
+            options.random_count,
+            options.seed,
+            "rand",
+        ) {
+            Ok(generated) => {
+                for g in &generated {
+                    eprintln!("generated {}: {}", g.spec.name, g.sql.replace('\n', " "));
+                }
+                queries.extend(generated.into_iter().map(|g| g.spec));
+            }
+            Err(e) => {
+                eprintln!("error: query generation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if queries.is_empty() {
+        eprintln!("error: no queries selected (raise --job-limit or --random-count)");
+        return ExitCode::FAILURE;
+    }
+
+    let grid_options = qob_plangrid::GridOptions {
+        seed: options.seed,
+        space: qob_plangrid::PlanSpaceOptions {
+            max_exhaustive_relations: options.max_rels,
+            samples: options.samples,
+            ..Default::default()
+        },
+        quickpick_runs: options.quickpick,
+    };
+    let started = Instant::now();
+    let report = match qob_plangrid::run_grid(&ctx, &queries, &grid_options) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elapsed = started.elapsed();
+
+    // The CI invariant: with perfect estimates, exhaustive DP provably
+    // finds the optimum — every (true, *, dpccp) cell must be at 1.0.
+    let true_dpccp_optimal = report
+        .cells
+        .iter()
+        .filter(|c| c.estimator == "true" && c.enumerator == "dpccp")
+        .all(|c| c.optimal_plan_ratio == 1.0);
+
+    let spaces: Vec<Json> = report
+        .spaces
+        .iter()
+        .map(|s| {
+            Json::obj(vec![
+                ("query", Json::str(s.query.clone())),
+                ("cost_model", Json::str(s.cost_model)),
+                ("relations", Json::Num(s.relations as f64)),
+                ("exhaustive", Json::Bool(s.exhaustive)),
+                // u128 exceeds f64 precision; emit as a string.
+                ("plan_count", Json::str(s.plan_count.to_string())),
+                ("explored", Json::Num(s.explored as f64)),
+            ])
+        })
+        .collect();
+    let cells: Vec<Json> = report
+        .cells
+        .iter()
+        .map(|c| {
+            Json::obj(vec![
+                ("estimator", Json::str(c.estimator)),
+                ("cost_model", Json::str(c.cost_model)),
+                ("enumerator", Json::str(c.enumerator)),
+                ("queries", Json::Num(c.queries as f64)),
+                ("optimal_queries", Json::Num(c.optimal_queries as f64)),
+                ("optimal_plan_ratio", Json::Num(round6(c.optimal_plan_ratio))),
+                ("geo_mean_cost_ratio", Json::Num(round6(c.geo_mean_cost_ratio))),
+                ("median_rank", Json::Num(round6(c.median_rank))),
+                ("mean_subplan_optimality", Json::Num(round6(c.mean_subplan_optimality))),
+            ])
+        })
+        .collect();
+    let per_query: Vec<Json> = report
+        .per_query
+        .iter()
+        .map(|c| {
+            Json::obj(vec![
+                ("query", Json::str(c.query.clone())),
+                ("estimator", Json::str(c.estimator)),
+                ("cost_model", Json::str(c.cost_model)),
+                ("enumerator", Json::str(c.enumerator)),
+                ("cost_ratio", Json::Num(round6(c.cost_ratio))),
+                ("rank", Json::Num(round6(c.rank))),
+                ("subplan_optimality", Json::Num(round6(c.subplan_optimality))),
+                ("optimal", Json::Bool(c.optimal)),
+            ])
+        })
+        .collect();
+    let out = Json::obj(vec![
+        ("bench", Json::str("planspace")),
+        ("seed", Json::Num(options.seed as f64)),
+        ("scale_movies", Json::Num(ctx.scale().movies as f64)),
+        ("indexes", Json::str(ctx.db().index_config().label())),
+        ("max_rels", Json::Num(options.max_rels as f64)),
+        ("queries", Json::Arr(queries.iter().map(|q| Json::str(q.name.clone())).collect())),
+        ("true_dpccp_optimal", Json::Bool(true_dpccp_optimal)),
+        ("spaces", Json::Arr(spaces)),
+        ("cells", Json::Arr(cells)),
+        ("per_query", Json::Arr(per_query)),
+    ]);
+    if let Err(e) = std::fs::write(&options.output, format!("{out}\n")) {
+        eprintln!("error: cannot write `{}`: {e}", options.output);
+        return ExitCode::FAILURE;
+    }
+
+    eprintln!(
+        "plangrid: {} queries x {} estimators x 3 cost models x 4 enumerators in {:.3?} → {}",
+        queries.len(),
+        qob_plangrid::grid::estimator_names().len(),
+        elapsed,
+        options.output
+    );
+    for cell in report.cells.iter().filter(|c| c.cost_model == "cmm") {
+        eprintln!(
+            "  [{:>13} | {:>9}] optimal {:>5.1}% geo-ratio {:>8.2} median-rank {:.3} subplan {:.3}",
+            cell.estimator,
+            cell.enumerator,
+            cell.optimal_plan_ratio * 100.0,
+            cell.geo_mean_cost_ratio,
+            cell.median_rank,
+            cell.mean_subplan_optimality
+        );
+    }
+    if options.require_true_optimal && !true_dpccp_optimal {
+        eprintln!(
+            "error: --require-true-optimal: dpccp under true cardinalities missed the optimum"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1305,6 +1587,57 @@ mod tests {
         assert!(parse_args(&args(&["--threads", "four"])).is_err());
         assert!(parse_args(&args(&["--snapshot"])).is_err());
         assert_eq!(parse_args(&args(&["--help"])).err().unwrap(), "");
+    }
+
+    #[test]
+    fn plangrid_flags_parse() {
+        let options = parse_plangrid_args(&args(&[
+            "--seed",
+            "7",
+            "--job-limit",
+            "2",
+            "--random-count",
+            "3",
+            "--max-rels",
+            "6",
+            "--samples",
+            "500",
+            "--quickpick",
+            "50",
+            "--require-true-optimal",
+            "--output",
+            "out.json",
+        ]))
+        .unwrap();
+        assert_eq!(options.seed, 7);
+        assert_eq!(options.job_limit, 2);
+        assert_eq!(options.random_count, 3);
+        assert_eq!(options.max_rels, 6);
+        assert_eq!(options.samples, 500);
+        assert_eq!(options.quickpick, 50);
+        assert!(options.require_true_optimal);
+        assert_eq!(options.output, "out.json");
+
+        let defaults = parse_plangrid_args(&[]).unwrap();
+        assert_eq!(defaults.seed, 0);
+        assert_eq!(defaults.job_limit, 4);
+        assert_eq!(defaults.random_count, 4);
+        assert_eq!(defaults.max_rels, 8);
+        assert_eq!(defaults.output, "BENCH_planspace.json");
+        assert!(!defaults.require_true_optimal);
+
+        assert!(parse_plangrid_args(&args(&["--seed", "x"])).is_err());
+        assert!(parse_plangrid_args(&args(&["--bogus"])).is_err());
+        assert_eq!(parse_plangrid_args(&args(&["--help"])).err().unwrap(), "");
+    }
+
+    #[test]
+    fn shared_percentile_helper_matches_nearest_rank() {
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[10], 0.99), 10);
+        let sorted = [1u64, 2, 3, 4];
+        assert_eq!(percentile(&sorted, 0.50), 2);
+        assert_eq!(percentile(&sorted, 0.95), 4);
     }
 
     #[test]

@@ -115,6 +115,30 @@ pub fn optimize_bushy_with_prefixes(
     planner: &Planner<'_>,
     groups: &[PrefixGroup],
 ) -> Result<OptimizedPlan, EnumerationError> {
+    let best = dp_table(planner, groups)?;
+    let all = planner.query.all_rels();
+    let result = best.get(&all).ok_or(EnumerationError::DisconnectedQuery)?;
+    Ok(OptimizedPlan { plan: result.plan.clone(), cost: result.cost })
+}
+
+/// The complete dynamic-programming table of [`optimize_bushy`]: the optimal
+/// subplan for *every* connected relation set of the query, keyed by set.
+///
+/// The full query's entry is exactly what [`optimize_bushy`] returns; the
+/// smaller entries are the per-subexpression optima the plan-space metrics
+/// (subplan optimality, OptMark-style) compare candidate subtrees against.
+pub fn optimize_bushy_table(
+    planner: &Planner<'_>,
+) -> Result<HashMap<RelSet, Sub>, EnumerationError> {
+    dp_table(planner, &[])
+}
+
+/// Shared DP core: seeds prefix groups and free leaves, processes the
+/// csg-cmp pairs in increasing union size, and returns the whole memo table.
+fn dp_table(
+    planner: &Planner<'_>,
+    groups: &[PrefixGroup],
+) -> Result<HashMap<RelSet, Sub>, EnumerationError> {
     planner.check_query()?;
     let query = planner.query;
     let mut grouped = RelSet::empty();
@@ -138,10 +162,10 @@ pub fn optimize_bushy_with_prefixes(
         }
     }
     let all = query.all_rels();
-    if let Some(done) = best.get(&all) {
+    if best.contains_key(&all) {
         // A single group (or a single-relation query) already covers
         // everything: nothing is left to enumerate.
-        return Ok(OptimizedPlan { plan: done.plan.clone(), cost: done.cost });
+        return Ok(best);
     }
     let mut pairs = ccp_pairs(query);
     pairs.sort_by_key(|(a, b)| {
@@ -161,8 +185,10 @@ pub fn optimize_bushy_with_prefixes(
             }
         }
     }
-    let result = best.remove(&all).ok_or(EnumerationError::DisconnectedQuery)?;
-    Ok(OptimizedPlan { plan: result.plan, cost: result.cost })
+    if !best.contains_key(&all) {
+        return Err(EnumerationError::DisconnectedQuery);
+    }
+    Ok(best)
 }
 
 #[cfg(test)]

@@ -10,7 +10,10 @@
 //! * [`quickpick`] — the randomised Quickpick algorithm used both to
 //!   visualise the plan-space cost distribution (Figure 9) and, as
 //!   "Quickpick-1000", as a heuristic competitor (Table 3),
-//! * [`goo`] — Greedy Operator Ordering (Table 3).
+//! * [`goo`] — Greedy Operator Ordering (Table 3),
+//! * [`space`] — exhaustive or uniformly-sampled enumeration of the *whole*
+//!   bushy plan space, for ranking any plan against the true optimum
+//!   (OptMark-style effectiveness metrics).
 //!
 //! All enumerators share one physical-operator selection routine
 //! ([`planner::Planner`]) parameterised by a cost model, a cardinality
@@ -23,6 +26,8 @@ pub mod goo;
 pub mod planner;
 pub mod quickpick;
 pub mod restricted;
+pub mod space;
 
-pub use dpccp::{ccp_pairs, optimize_bushy_with_prefixes, PrefixGroup};
+pub use dpccp::{ccp_pairs, optimize_bushy_table, optimize_bushy_with_prefixes, PrefixGroup};
 pub use planner::{EnumerationError, OptimizedPlan, Planner, PlannerConfig, ShapeRestriction};
+pub use space::{count_plans, explore, PlanSpace, PlanSpaceOptions};

@@ -181,33 +181,25 @@ impl<'a> Planner<'a> {
             .collect()
     }
 
-    /// The best join of `left` (build/outer side) with `right` (probe/inner
-    /// side) in this fixed orientation, considering every allowed algorithm.
-    /// Returns `None` if no join edge connects the two sides.
-    pub fn best_join_oriented(&self, left: &Sub, right: &Sub) -> Option<Sub> {
-        let keys = self.join_keys(left.set, right.set);
+    /// The cheapest allowed algorithm for one oriented join, and its join
+    /// cost (the cost of the join operator alone, excluding both inputs).
+    /// Returns `None` when `keys` is empty (no edge connects the sides).
+    fn cheapest_algorithm(
+        &self,
+        keys: &[JoinKey],
+        left_info: &SubPlanInfo,
+        right_info: &SubPlanInfo,
+        out_rows: f64,
+    ) -> Option<(JoinAlgorithm, f64)> {
         if keys.is_empty() {
             return None;
         }
-        let set = left.set.union(right.set);
-        let out_rows = self.rows(set);
         let ctx = self.cost_context();
-        let left_info = SubPlanInfo {
-            rows: left.rows,
-            rels: left.set,
-            base_rel: if left.plan.is_leaf() { left.set.min_rel() } else { None },
-        };
-        let right_info = SubPlanInfo {
-            rows: right.rows,
-            rels: right.set,
-            base_rel: if right.plan.is_leaf() { right.set.min_rel() } else { None },
-        };
         let mut best: Option<(JoinAlgorithm, f64)> = None;
         let mut consider = |alg: JoinAlgorithm| {
-            let join_cost = self.cost_model.join_cost(&ctx, alg, &left_info, &right_info, out_rows);
-            let total = left.cost + right.cost + join_cost;
-            if best.map(|(_, c)| total < c).unwrap_or(true) {
-                best = Some((alg, total));
+            let join_cost = self.cost_model.join_cost(&ctx, alg, left_info, right_info, out_rows);
+            if best.map(|(_, c)| join_cost < c).unwrap_or(true) {
+                best = Some((alg, join_cost));
             }
         };
         consider(JoinAlgorithm::Hash);
@@ -230,13 +222,64 @@ impl<'a> Planner<'a> {
                 }
             }
         }
-        let (alg, cost) = best?;
+        best
+    }
+
+    /// The best join of `left` (build/outer side) with `right` (probe/inner
+    /// side) in this fixed orientation, considering every allowed algorithm.
+    /// Returns `None` if no join edge connects the two sides.
+    pub fn best_join_oriented(&self, left: &Sub, right: &Sub) -> Option<Sub> {
+        let keys = self.join_keys(left.set, right.set);
+        let set = left.set.union(right.set);
+        let out_rows = self.rows(set);
+        let left_info = SubPlanInfo {
+            rows: left.rows,
+            rels: left.set,
+            base_rel: if left.plan.is_leaf() { left.set.min_rel() } else { None },
+        };
+        let right_info = SubPlanInfo {
+            rows: right.rows,
+            rels: right.set,
+            base_rel: if right.plan.is_leaf() { right.set.min_rel() } else { None },
+        };
+        let (alg, join_cost) = self.cheapest_algorithm(&keys, &left_info, &right_info, out_rows)?;
         Some(Sub {
             set,
             plan: PhysicalPlan::join(alg, left.plan.clone(), right.plan.clone(), keys),
-            cost,
+            cost: left.cost + right.cost + join_cost,
             rows: out_rows,
         })
+    }
+
+    /// The minimum join cost of combining subplans covering `a` and `b` —
+    /// both orientations, every allowed algorithm — *excluding* the costs of
+    /// the inputs themselves.
+    ///
+    /// Every cost model prices a join from the row counts and base-relation
+    /// status of its inputs, never from their internal shape, so this is a
+    /// pure function of the two relation sets.  That property is what lets
+    /// the plan-space enumerator ([`crate::space`]) cost entire families of
+    /// join trees without materialising each one.  Returns `None` if no join
+    /// edge connects the two sides.
+    pub fn pair_join_cost(&self, a: RelSet, b: RelSet) -> Option<f64> {
+        let info = |set: RelSet| SubPlanInfo {
+            rows: self.rows(set),
+            rels: set,
+            base_rel: if set.len() == 1 { set.min_rel() } else { None },
+        };
+        let out_rows = self.rows(a.union(b));
+        let mut best: Option<f64> = None;
+        for (left, right) in [(a, b), (b, a)] {
+            let keys = self.join_keys(left, right);
+            if let Some((_, cost)) =
+                self.cheapest_algorithm(&keys, &info(left), &info(right), out_rows)
+            {
+                if best.map(|c| cost < c).unwrap_or(true) {
+                    best = Some(cost);
+                }
+            }
+        }
+        best
     }
 
     /// The best join of two subplans considering *both* orientations (used by

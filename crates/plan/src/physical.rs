@@ -154,6 +154,18 @@ impl PhysicalPlan {
         matches!(self, PhysicalPlan::Scan { .. })
     }
 
+    /// The relation set of every join node, in pre-order — the subexpressions
+    /// whose optimality subplan-level metrics compare against a DP table.
+    pub fn join_rel_sets(&self) -> Vec<RelSet> {
+        let mut sets = Vec::with_capacity(self.join_count());
+        self.visit(&mut |node| {
+            if let PhysicalPlan::Join { .. } = node {
+                sets.push(node.rels());
+            }
+        });
+        sets
+    }
+
     /// Visits every node in pre-order.
     pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a PhysicalPlan)) {
         f(self);

@@ -1,0 +1,446 @@
+//! Seeded random query generation over any bound schema.
+//!
+//! The generator walks the declared foreign-key graph: it starts from a
+//! random FK edge and repeatedly attaches a *new* relation instance to a
+//! random already-chosen instance along a random incident edge, so the join
+//! graph is always a connected tree (self-joins arise naturally when a walk
+//! revisits a table — each visit gets its own alias).  Filter predicates are
+//! drawn from the **actual column domains**: literals are values sampled
+//! from rows of the table, so generated predicates are never trivially
+//! empty by construction.
+//!
+//! Every generated query is rendered to SQL ([`qob_sql::emit_query`]) and
+//! compiled back ([`qob_sql::compile`]) as a built-in self-test: the
+//! re-bound [`QuerySpec`] must be structurally identical to the one the
+//! generator built, or [`generate`] refuses to return it.  The proptest
+//! suite in `tests/plangrid_generator.rs` hammers this invariant across
+//! arbitrary seeds and schemas.
+
+use std::fmt;
+
+use qob_plan::{BaseRelation, JoinEdge, QuerySpec};
+use qob_storage::{CmpOp, ColumnData, ColumnId, Database, Predicate, TableId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Tuning knobs for [`generate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorOptions {
+    /// Minimum number of relations in the join subgraph (at least 2).
+    pub min_relations: usize,
+    /// Maximum number of relations in the join subgraph.
+    pub max_relations: usize,
+    /// Probability that a relation instance receives any filter at all.
+    pub filter_probability: f64,
+    /// Upper bound on the number of filter predicates per relation.
+    pub max_filters_per_relation: usize,
+}
+
+impl Default for GeneratorOptions {
+    fn default() -> Self {
+        GeneratorOptions {
+            min_relations: 2,
+            max_relations: 6,
+            filter_probability: 0.6,
+            max_filters_per_relation: 2,
+        }
+    }
+}
+
+/// A generated query: the bound spec plus the SQL text it round-tripped
+/// through.
+#[derive(Debug, Clone)]
+pub struct GeneratedQuery {
+    /// The structurally validated query.
+    pub spec: QuerySpec,
+    /// Its SQL rendering (the text that re-binds to `spec`).
+    pub sql: String,
+}
+
+/// Why generation failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeneratorError {
+    /// The catalog declares no foreign key whose referenced table has a
+    /// primary key — there is no join graph to walk.
+    NoForeignKeys,
+    /// The emit → parse → bind self-test did not reproduce the generated
+    /// spec (this indicates a frontend bug, not a caller error).
+    RoundTrip {
+        /// The SQL that failed to round-trip.
+        sql: String,
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for GeneratorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeneratorError::NoForeignKeys => {
+                write!(f, "the schema declares no usable foreign keys to walk")
+            }
+            GeneratorError::RoundTrip { sql, detail } => {
+                write!(f, "generated query failed its SQL round-trip self-test: {detail}\n{sql}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeneratorError {}
+
+/// One joinable FK edge: `from.from_column` references `to`'s primary key.
+#[derive(Debug, Clone, Copy)]
+struct FkEdge {
+    from: TableId,
+    from_column: ColumnId,
+    to: TableId,
+    to_column: ColumnId,
+}
+
+/// Identifiers the parser claims as keywords — never used as aliases.
+const RESERVED: &[&str] = &[
+    "select", "count", "from", "where", "as", "and", "or", "not", "in", "is", "null", "between",
+    "like", "inner", "join", "cross", "on", "prepare", "execute",
+];
+
+/// Generates one random query named `name` over `db`'s FK graph.
+///
+/// Deterministic in `rng`: the same schema, options and generator state
+/// produce the same query.  The result has already passed the
+/// emit → parse → bind round-trip self-test.
+pub fn generate(
+    db: &Database,
+    options: &GeneratorOptions,
+    rng: &mut impl Rng,
+    name: impl Into<String>,
+) -> Result<GeneratedQuery, GeneratorError> {
+    let name = name.into();
+    let edges = fk_edges(db);
+    if edges.is_empty() {
+        return Err(GeneratorError::NoForeignKeys);
+    }
+
+    // -- Walk the FK graph into a connected join tree ----------------------
+    let lo = options.min_relations.max(2);
+    let hi = options.max_relations.max(lo);
+    let target = rng.gen_range(lo..=hi).min(qob_plan::RelSet::MAX_RELS);
+    let first = *edges.choose(rng).expect("non-empty");
+    let mut tables: Vec<TableId> = vec![first.from, first.to];
+    let mut joins = vec![JoinEdge {
+        left: 0,
+        left_column: first.from_column,
+        right: 1,
+        right_column: first.to_column,
+    }];
+    let mut attempts = 0usize;
+    while tables.len() < target && attempts < target * 8 {
+        attempts += 1;
+        let anchor = rng.gen_range(0..tables.len());
+        let anchor_table = tables[anchor];
+        let incident: Vec<FkEdge> = edges
+            .iter()
+            .copied()
+            .filter(|e| e.from == anchor_table || e.to == anchor_table)
+            .collect();
+        let Some(edge) = incident.choose(rng) else { continue };
+        // Attach the far endpoint as a brand-new relation instance.
+        let (new_table, anchor_column, new_column) = if edge.from == anchor_table {
+            (edge.to, edge.from_column, edge.to_column)
+        } else {
+            (edge.from, edge.to_column, edge.from_column)
+        };
+        tables.push(new_table);
+        joins.push(JoinEdge {
+            left: anchor,
+            left_column: anchor_column,
+            right: tables.len() - 1,
+            right_column: new_column,
+        });
+    }
+
+    // -- Aliases, then filters drawn from the column domains ---------------
+    let mut aliases: Vec<String> = Vec::with_capacity(tables.len());
+    for &table in &tables {
+        aliases.push(fresh_alias(db.table(table).name(), &aliases));
+    }
+    let relations: Vec<BaseRelation> = tables
+        .iter()
+        .zip(aliases)
+        .map(|(&table, alias)| {
+            let mut predicates = Vec::new();
+            if rng.gen_bool(options.filter_probability) {
+                let n = rng.gen_range(1..=options.max_filters_per_relation.max(1));
+                for _ in 0..n {
+                    if let Some(p) = random_predicate(db, table, rng) {
+                        predicates.push(p);
+                    }
+                }
+            }
+            BaseRelation::filtered(table, alias, predicates)
+        })
+        .collect();
+    let spec = QuerySpec::new(name.clone(), relations, joins);
+
+    // -- Self-test: emit → parse → bind must reproduce the spec ------------
+    let sql = qob_sql::emit_query(db, &spec);
+    let rebound = qob_sql::compile(db, &sql, name).map_err(|e| GeneratorError::RoundTrip {
+        sql: sql.clone(),
+        detail: format!("re-compile failed: {e}"),
+    })?;
+    if rebound != spec {
+        return Err(GeneratorError::RoundTrip {
+            sql,
+            detail: "re-bound spec differs from the generated spec".into(),
+        });
+    }
+    Ok(GeneratedQuery { spec, sql })
+}
+
+/// Generates `count` queries named `{prefix}{i}` from one seed.
+pub fn generate_many(
+    db: &Database,
+    options: &GeneratorOptions,
+    count: usize,
+    seed: u64,
+    prefix: &str,
+) -> Result<Vec<GeneratedQuery>, GeneratorError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|i| generate(db, options, &mut rng, format!("{prefix}{i}"))).collect()
+}
+
+/// All FK edges whose referenced table declares a primary key.
+fn fk_edges(db: &Database) -> Vec<FkEdge> {
+    let mut edges = Vec::new();
+    for (tid, _) in db.tables() {
+        for fk in &db.keys(tid).foreign_keys {
+            if let Some(pk) = db.keys(fk.references).primary_key {
+                edges.push(FkEdge {
+                    from: tid,
+                    from_column: fk.column,
+                    to: fk.references,
+                    to_column: pk,
+                });
+            }
+        }
+    }
+    edges
+}
+
+/// A short unique alias for a table: the initials of its `_`-separated words
+/// (`movie_companies` → `mc`), falling back to `t`, suffixed with a counter
+/// on collision with earlier aliases or reserved words.
+fn fresh_alias(table_name: &str, taken: &[String]) -> String {
+    let initials: String = table_name
+        .split('_')
+        .filter_map(|w| w.chars().next())
+        .filter(|c| c.is_ascii_alphabetic())
+        .collect::<String>()
+        .to_ascii_lowercase();
+    let base = if initials.is_empty() { "t".to_string() } else { initials };
+    let unusable =
+        |candidate: &str| RESERVED.contains(&candidate) || taken.iter().any(|t| t == candidate);
+    if !unusable(&base) {
+        return base;
+    }
+    let mut n = 2usize;
+    loop {
+        let candidate = format!("{base}{n}");
+        if !unusable(&candidate) {
+            return candidate;
+        }
+        n += 1;
+    }
+}
+
+/// One filter predicate over a random column of `table`, with literals drawn
+/// from the column's actual values.  `None` when the chosen column offers
+/// nothing usable (e.g. all-NULL).
+fn random_predicate(db: &Database, table: TableId, rng: &mut impl Rng) -> Option<Predicate> {
+    let t = db.table(table);
+    if t.column_count() == 0 || t.row_count() == 0 {
+        return None;
+    }
+    let column = ColumnId(rng.gen_range(0..t.column_count()) as u32);
+    match t.column(column) {
+        ColumnData::Int { .. } => {
+            let value = sample_int(t.column(column), t.row_count(), rng)?;
+            Some(match rng.gen_range(0..4u32) {
+                0 => Predicate::IntCmp { column, op: CmpOp::Eq, value },
+                1 => Predicate::IntCmp { column, op: CmpOp::Le, value },
+                2 => Predicate::IntCmp { column, op: CmpOp::Ge, value },
+                _ => {
+                    let other = sample_int(t.column(column), t.row_count(), rng)?;
+                    Predicate::IntBetween { column, low: value.min(other), high: value.max(other) }
+                }
+            })
+        }
+        ColumnData::Str { .. } => {
+            let dict = t.column(column).dict()?;
+            if dict.is_empty() {
+                return Some(Predicate::IsNotNull { column });
+            }
+            Some(match rng.gen_range(0..4u32) {
+                0 => Predicate::StrEq { column, value: sample_str(dict, rng) },
+                1 if dict.len() >= 2 => {
+                    let mut values =
+                        vec![sample_str(dict, rng), sample_str(dict, rng), sample_str(dict, rng)];
+                    values.dedup();
+                    if values.len() < 2 {
+                        Predicate::StrEq { column, value: values.remove(0) }
+                    } else {
+                        Predicate::StrIn { column, values }
+                    }
+                }
+                2 => {
+                    let value = sample_str(dict, rng);
+                    let prefix: String = value.chars().take(rng.gen_range(1..=3)).collect();
+                    Predicate::Like { column, pattern: format!("{prefix}%") }
+                }
+                _ => Predicate::IsNotNull { column },
+            })
+        }
+    }
+}
+
+/// A string drawn uniformly from the column's dictionary.
+fn sample_str(dict: &qob_storage::StringDict, rng: &mut impl Rng) -> String {
+    dict.string(rng.gen_range(0..dict.len()) as u32).to_string()
+}
+
+/// A non-NULL integer drawn uniformly from the column's rows.
+fn sample_int(col: &ColumnData, rows: usize, rng: &mut impl Rng) -> Option<i64> {
+    for _ in 0..16 {
+        if let Some(v) = col.int_at(rng.gen_range(0..rows)) {
+            return Some(v);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qob_storage::{ColumnMeta, DataType, IndexConfig, TableBuilder, Value};
+
+    /// star schema: fact → d1, fact → d2, d1 → d2 (so walks can branch).
+    fn db() -> Database {
+        let mut db = Database::new();
+        let mut fact = TableBuilder::new(
+            "fact_events",
+            vec![
+                ColumnMeta::new("id", DataType::Int),
+                ColumnMeta::new("d1_id", DataType::Int),
+                ColumnMeta::new("d2_id", DataType::Int),
+                ColumnMeta::new("amount", DataType::Int),
+            ],
+        );
+        for i in 0..200i64 {
+            fact.push_row(vec![
+                Value::Int(i),
+                Value::Int(i % 20),
+                Value::Int(i % 10),
+                Value::Int(i * 3 % 17),
+            ])
+            .unwrap();
+        }
+        let mut d1 = TableBuilder::new(
+            "dim_one",
+            vec![
+                ColumnMeta::new("id", DataType::Int),
+                ColumnMeta::new("d2_id", DataType::Int),
+                ColumnMeta::new("label", DataType::Str),
+            ],
+        );
+        for i in 0..20i64 {
+            d1.push_row(vec![
+                Value::Int(i),
+                Value::Int(i % 10),
+                Value::Str(format!("label-{}", i % 5)),
+            ])
+            .unwrap();
+        }
+        let mut d2 = TableBuilder::new(
+            "dim_two",
+            vec![ColumnMeta::new("id", DataType::Int), ColumnMeta::new("kind", DataType::Str)],
+        );
+        for i in 0..10i64 {
+            d2.push_row(vec![Value::Int(i), Value::Str(format!("kind {i}"))]).unwrap();
+        }
+        let f = db.add_table(fact.finish()).unwrap();
+        let a = db.add_table(d1.finish()).unwrap();
+        let b = db.add_table(d2.finish()).unwrap();
+        db.declare_primary_key(f, "id").unwrap();
+        db.declare_primary_key(a, "id").unwrap();
+        db.declare_primary_key(b, "id").unwrap();
+        db.declare_foreign_key(f, "d1_id", a).unwrap();
+        db.declare_foreign_key(f, "d2_id", b).unwrap();
+        db.declare_foreign_key(a, "d2_id", b).unwrap();
+        db.build_indexes(IndexConfig::PrimaryAndForeignKey).unwrap();
+        db
+    }
+
+    #[test]
+    fn same_seed_same_query_different_seed_usually_differs() {
+        let db = db();
+        let options = GeneratorOptions::default();
+        let a = generate_many(&db, &options, 5, 42, "q").unwrap();
+        let b = generate_many(&db, &options, 5, 42, "q").unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.sql, y.sql);
+            assert_eq!(x.spec, y.spec);
+        }
+        let c = generate_many(&db, &options, 5, 43, "q").unwrap();
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| x.sql != y.sql),
+            "five queries from different seeds should not all coincide"
+        );
+    }
+
+    #[test]
+    fn generated_queries_are_connected_and_validated() {
+        let db = db();
+        let options = GeneratorOptions { max_relations: 6, ..Default::default() };
+        for q in generate_many(&db, &options, 20, 7, "conn").unwrap() {
+            assert!(q.spec.rel_count() >= 2);
+            assert!(q.spec.rel_count() <= 6);
+            q.spec.validate(&db).unwrap();
+            let adjacency = q.spec.adjacency();
+            assert!(q.spec.is_connected(q.spec.all_rels(), &adjacency));
+            // A tree join graph: exactly rels − 1 edges.
+            assert_eq!(q.spec.joins.len(), q.spec.rel_count() - 1);
+        }
+    }
+
+    #[test]
+    fn aliases_are_unique_and_never_keywords() {
+        let db = db();
+        let options = GeneratorOptions { max_relations: 6, ..Default::default() };
+        for q in generate_many(&db, &options, 30, 3, "al").unwrap() {
+            let mut seen = std::collections::HashSet::new();
+            for rel in &q.spec.relations {
+                assert!(seen.insert(rel.alias.clone()), "duplicate alias {}", rel.alias);
+                assert!(!RESERVED.contains(&rel.alias.as_str()));
+            }
+        }
+    }
+
+    #[test]
+    fn no_foreign_keys_is_reported() {
+        let mut empty = Database::new();
+        let mut t = TableBuilder::new("lone", vec![ColumnMeta::new("id", DataType::Int)]);
+        t.push_row(vec![Value::Int(1)]).unwrap();
+        empty.add_table(t.finish()).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let err = generate(&empty, &GeneratorOptions::default(), &mut rng, "x").unwrap_err();
+        assert_eq!(err, GeneratorError::NoForeignKeys);
+    }
+
+    #[test]
+    fn alias_abbreviation_scheme() {
+        assert_eq!(fresh_alias("movie_companies", &[]), "mc");
+        assert_eq!(fresh_alias("movie_companies", &["mc".into()]), "mc2");
+        assert_eq!(fresh_alias("a_series", &[]), "as2", "`as` is reserved");
+        assert_eq!(fresh_alias("0numeric", &[]), "t");
+    }
+}

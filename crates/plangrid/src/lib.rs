@@ -1,0 +1,39 @@
+//! # qob-plangrid
+//!
+//! Plan-space ground truth: *how good is our optimizer, really?*
+//!
+//! The paper's method is comparing an optimizer's choices against ground
+//! truth; the q-error machinery (`qob-cardest`) measures how wrong the
+//! *estimates* are, but never asks the paper's actual question of this
+//! repository's own optimizer — where does the plan we picked **rank** in
+//! the space of plans we could have picked?  This crate answers it with
+//! OptMark-style effectiveness metrics (Li et al.) over the grid of
+//! estimator × cost-model × enumerator combinations the workspace already
+//! exposes (the Datta et al. present/absent-estimates methodology):
+//!
+//! * [`generator`] — a seeded, deterministic random query generator over
+//!   any bound schema: walk the FK graph to pick a connected join subgraph,
+//!   attach filter predicates drawn from actual column domains, and emit a
+//!   [`qob_plan::QuerySpec`] that is rendered to SQL and round-tripped
+//!   through `qob-sql` as its own self-test.  This breaks the evaluation
+//!   out of JOB's fixed 113 queries.
+//! * [`grid`] — the grid runner: under *true* cardinalities it explores the
+//!   whole bushy plan space ([`qob_enumerate::space`]) to find the true
+//!   optimum, then ranks the plan each estimator × cost-model × enumerator
+//!   combination actually picks, reporting the optimal-plan ratio, the
+//!   plan-rank percentile, and subplan optimality.
+//!
+//! The `qob plangrid` CLI subcommand drives both and emits
+//! `BENCH_planspace.json`; see `docs/PLANSPACE.md` for the metric
+//! definitions and the output schema.
+
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod grid;
+
+pub use generator::{generate, generate_many, GeneratedQuery, GeneratorError, GeneratorOptions};
+pub use grid::{
+    run_grid, CellMetrics, GridError, GridOptions, GridReport, QueryCell, SpaceSummary,
+};
+pub use qob_enumerate::space::PlanSpaceOptions;

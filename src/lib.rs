@@ -22,6 +22,7 @@ pub use qob_enumerate as enumerate;
 pub use qob_exec as exec;
 pub use qob_obs as obs;
 pub use qob_plan as plan;
+pub use qob_plangrid as plangrid;
 pub use qob_sql as sql;
 pub use qob_stats as stats;
 pub use qob_storage as storage;

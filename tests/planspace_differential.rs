@@ -1,0 +1,56 @@
+//! Differential test pinning the exhaustive plan-space enumerator
+//! ([`qob_enumerate::space`]) to the DPccp optimizer: on every JOB query
+//! small enough to enumerate exhaustively, the minimum of the *complete*
+//! cost vector must equal the cost DPccp reports for its chosen plan —
+//! under the identical estimator and cost model.  This is the strongest
+//! possible check of both sides: DPccp cannot be beaten by any plan the
+//! space contains, and the space cannot contain a cost DPccp missed.
+
+use qob_core::{BenchmarkContext, EstimatorKind};
+use qob_datagen::Scale;
+use qob_enumerate::dpccp::optimize_bushy;
+use qob_enumerate::space::{explore, PlanSpaceOptions};
+use qob_enumerate::{Planner, PlannerConfig};
+use qob_storage::IndexConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn exhaustive_minimum_equals_dpccp_cost_on_small_job_queries() {
+    let ctx = BenchmarkContext::new(Scale::tiny(), IndexConfig::PrimaryAndForeignKey).unwrap();
+    let pg = ctx.estimator(EstimatorKind::Postgres);
+    let model = qob_cost::SimpleCostModel::new();
+    let options = PlanSpaceOptions::default();
+    let mut rng = StdRng::seed_from_u64(0);
+
+    let mut checked = 0usize;
+    for query in ctx.queries() {
+        if query.rel_count() > options.max_exhaustive_relations {
+            continue;
+        }
+        let planner = Planner::new(ctx.db(), query, &model, pg.as_ref(), PlannerConfig::default());
+        let space = explore(&planner, &options, &mut rng)
+            .unwrap_or_else(|e| panic!("{}: exploration failed: {e}", query.name));
+        assert!(space.exhaustive, "{}: expected an exhaustive space", query.name);
+        assert_eq!(
+            space.costs.len() as u128,
+            space.plan_count,
+            "{}: cost vector does not cover the whole space",
+            query.name
+        );
+
+        let best = optimize_bushy(&planner)
+            .unwrap_or_else(|e| panic!("{}: DPccp failed: {e}", query.name));
+        let space_min = space.min_cost().expect("non-empty cost vector");
+        let tolerance = 1e-9 * best.cost.abs().max(1.0);
+        assert!(
+            (space_min - best.cost).abs() <= tolerance,
+            "{}: exhaustive minimum {space_min} != DPccp cost {} over {} plans",
+            query.name,
+            best.cost,
+            space.plan_count
+        );
+        checked += 1;
+    }
+    assert!(checked >= 30, "only {checked} JOB queries were small enough — filter is wrong");
+}

@@ -41,6 +41,10 @@ USAGE:
     qob plangrid [OPTIONS]  rank every estimator x cost-model x enumerator
                             combination against the true plan-space optimum
                             and write a BENCH_planspace.json summary
+    qob ingest <DIR> [OPTIONS]
+                            stream the 21 IMDB-schema CSV/TSV files in DIR
+                            into an encoded database, optionally snapshot it,
+                            and write a BENCH_ingest.json summary
 
 OPTIONS:
     -e, --execute <SQL>      inline SQL statement
@@ -53,6 +57,9 @@ OPTIONS:
         --morsel-size <n>    tuples per execution morsel; 0 = engine default
         --snapshot <PATH>    load the database from PATH if it exists, else
                              generate it once and save it there
+        --data-dir <DIR>     ingest the database from IMDB-schema CSV/TSV
+                             files in DIR instead of generating it (combines
+                             with --snapshot: ingest once, save, reload fast)
         --adaptive           re-optimize mid-execution when an operator's true
                              cardinality diverges from the estimate (re-plan
                              events are printed in the report)
@@ -92,7 +99,19 @@ SERVE OPTIONS:
                              (0 = engine default)
         --morsel-size <n>    default execution morsel size for every session
                              (0 = engine default)
-        plus --snapshot / --scale / --indexes / --threads as above
+        plus --snapshot / --data-dir / --scale / --indexes / --threads as
+        above
+
+INGEST OPTIONS:
+        --indexes <i>        physical design: none | pk | pkfk     [default: pk]
+        --threads <n>        parse worker threads; 0 = all cores   [default: 0]
+        --snapshot <PATH>    also save the ingested database as a snapshot,
+                             then measure eager reload and lazy point-query
+                             cost against it
+        --generate <s>       first export a synthetic database at this scale
+                             (tiny | small | benchmark) as CSV files into
+                             <DIR>, then ingest them back
+        --output <PATH>      summary path            [default: BENCH_ingest.json]
 
 BENCH-LOAD OPTIONS:
         --addr <HOST:PORT>   server address             [default: 127.0.0.1:4547]
@@ -160,6 +179,7 @@ struct Options {
     plan_cache: bool,
     cache_fence: f64,
     snapshot: Option<String>,
+    data_dir: Option<String>,
     tracing: bool,
 }
 
@@ -235,6 +255,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         plan_cache: false,
         cache_fence: qob_core::DEFAULT_CACHE_FENCE,
         snapshot: None,
+        data_dir: None,
         tracing: false,
     };
     let mut i = 0;
@@ -263,6 +284,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 options.cache_fence = parse_cache_fence(&value_of(args, &mut i, "--cache-fence")?)?
             }
             "--snapshot" => options.snapshot = Some(value_of(args, &mut i, "--snapshot")?),
+            "--data-dir" => options.data_dir = Some(value_of(args, &mut i, "--data-dir")?),
             "--tracing" => options.tracing = true,
             "--no-exec" => options.execute = false,
             "-" => options.source = Source::Stdin,
@@ -285,6 +307,7 @@ fn main() -> ExitCode {
         Some("connect") => connect_main(&args[1..]),
         Some("bench-load") => bench_load_main(&args[1..]),
         Some("plangrid") => plangrid_main(&args[1..]),
+        Some("ingest") => ingest_main(&args[1..]),
         _ => oneshot_main(&args),
     }
 }
@@ -308,16 +331,19 @@ fn read_source(source: &Source) -> Result<String, String> {
     }
 }
 
-/// Builds or snapshot-loads the context.  Returns the context and whether it
-/// came from a snapshot.  `scale`/`indexes` are `Some` only when set
-/// explicitly on the command line; a loaded snapshot supplies its own
+/// Builds, ingests or snapshot-loads the context.  Returns the context and
+/// whether it came from a snapshot.  `scale`/`indexes` are `Some` only when
+/// set explicitly on the command line; a loaded snapshot supplies its own
 /// defaults, and an explicit mismatch is surfaced rather than silently
 /// ignored (indexes rebuild cheaply; a scale mismatch is an error because
 /// honouring it would mean regenerating — delete the snapshot to rescale).
+/// `data_dir` replaces generation with CSV ingestion; an existing snapshot
+/// still wins (ingest once, save, reload fast on later runs).
 fn obtain_context(
     scale: Option<Scale>,
     indexes: Option<IndexConfig>,
     snapshot: Option<&str>,
+    data_dir: Option<&str>,
 ) -> Result<(BenchmarkContext, bool), String> {
     if let Some(path) = snapshot {
         if std::path::Path::new(path).exists() {
@@ -350,6 +376,30 @@ fn obtain_context(
             }
             return Ok((ctx, true));
         }
+    }
+    if let Some(dir) = data_dir {
+        if scale.is_some() {
+            return Err(
+                "--scale does not apply with --data-dir (the CSV files set the scale)".to_owned()
+            );
+        }
+        let indexes = indexes.unwrap_or_default();
+        eprintln!("ingesting CSV files from `{dir}` ({})...", indexes.label());
+        let started = Instant::now();
+        let (ctx, report) =
+            BenchmarkContext::ingest_csv_dir(dir, indexes, qob_exec::default_threads())
+                .map_err(|e| format!("ingestion from `{dir}` failed: {e}"))?;
+        eprintln!(
+            "ingested {} rows across {} tables in {:.3?}",
+            report.total_rows(),
+            ctx.db().table_count(),
+            started.elapsed()
+        );
+        if let Some(path) = snapshot {
+            ctx.save_snapshot(path).map_err(|e| format!("cannot save snapshot `{path}`: {e}"))?;
+            eprintln!("saved snapshot to `{path}`");
+        }
+        return Ok((ctx, false));
     }
     let indexes = indexes.unwrap_or_default();
     eprintln!("building the synthetic IMDB-like database ({})...", indexes.label());
@@ -397,8 +447,12 @@ fn oneshot_main(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let (ctx, _) = match obtain_context(options.scale, options.indexes, options.snapshot.as_deref())
-    {
+    let (ctx, _) = match obtain_context(
+        options.scale,
+        options.indexes,
+        options.snapshot.as_deref(),
+        options.data_dir.as_deref(),
+    ) {
         Ok(pair) => pair,
         Err(message) => {
             eprintln!("error: {message}");
@@ -536,6 +590,7 @@ struct ServeOptions {
     plan_cache: bool,
     cache_fence: f64,
     snapshot: Option<String>,
+    data_dir: Option<String>,
     slow_query_ms: u64,
     /// Shared execution pool size (`0` on the command line = all cores).
     workers: usize,
@@ -581,6 +636,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
         plan_cache: false,
         cache_fence: qob_core::DEFAULT_CACHE_FENCE,
         snapshot: None,
+        data_dir: None,
         slow_query_ms: 0,
         workers: qob_exec::default_threads(),
         per_query_pools: false,
@@ -604,6 +660,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
                 options.cache_fence = parse_cache_fence(&value_of(args, &mut i, "--cache-fence")?)?
             }
             "--snapshot" => options.snapshot = Some(value_of(args, &mut i, "--snapshot")?),
+            "--data-dir" => options.data_dir = Some(value_of(args, &mut i, "--data-dir")?),
             "--slow-query-ms" => {
                 options.slow_query_ms =
                     parse_slow_query_ms(&value_of(args, &mut i, "--slow-query-ms")?)?
@@ -649,14 +706,18 @@ fn serve_main(args: &[String]) -> ExitCode {
         }
     };
 
-    let (ctx, snapshot_loaded) =
-        match obtain_context(options.scale, options.indexes, options.snapshot.as_deref()) {
-            Ok(pair) => pair,
-            Err(message) => {
-                eprintln!("error: {message}");
-                return ExitCode::FAILURE;
-            }
-        };
+    let (ctx, snapshot_loaded) = match obtain_context(
+        options.scale,
+        options.indexes,
+        options.snapshot.as_deref(),
+        options.data_dir.as_deref(),
+    ) {
+        Ok(pair) => pair,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     let defaults = SessionOptions {
         threads: options.threads,
@@ -1367,14 +1428,14 @@ fn plangrid_main(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let (ctx, _) = match obtain_context(options.scale, options.indexes, options.snapshot.as_deref())
-    {
-        Ok(pair) => pair,
-        Err(message) => {
-            eprintln!("error: {message}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let (ctx, _) =
+        match obtain_context(options.scale, options.indexes, options.snapshot.as_deref(), None) {
+            Ok(pair) => pair,
+            Err(message) => {
+                eprintln!("error: {message}");
+                return ExitCode::FAILURE;
+            }
+        };
 
     // The workload: small JOB queries plus seeded random queries over the
     // same FK graph — all bounded by --max-rels so the plan space stays
@@ -1535,6 +1596,244 @@ fn plangrid_main(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+// ---------------------------------------------------------------------------
+// `qob ingest`
+// ---------------------------------------------------------------------------
+
+struct IngestOptions {
+    dir: Option<String>,
+    indexes: Option<IndexConfig>,
+    threads: usize,
+    snapshot: Option<String>,
+    generate: Option<Scale>,
+    output: String,
+}
+
+fn parse_ingest_args(args: &[String]) -> Result<IngestOptions, String> {
+    let mut options = IngestOptions {
+        dir: None,
+        indexes: None,
+        threads: qob_exec::default_threads(),
+        snapshot: None,
+        generate: None,
+        output: "BENCH_ingest.json".to_owned(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-h" | "--help" => return Err(String::new()),
+            "--indexes" => {
+                options.indexes = Some(parse_indexes(&value_of(args, &mut i, "--indexes")?)?)
+            }
+            "--threads" => options.threads = parse_threads(&value_of(args, &mut i, "--threads")?)?,
+            "--snapshot" => options.snapshot = Some(value_of(args, &mut i, "--snapshot")?),
+            "--generate" => {
+                options.generate = Some(parse_scale(&value_of(args, &mut i, "--generate")?)?)
+            }
+            "--output" => options.output = value_of(args, &mut i, "--output")?,
+            flag if flag.starts_with('-') => return Err(format!("unknown ingest flag `{flag}`")),
+            dir => options.dir = Some(dir.to_owned()),
+        }
+        i += 1;
+    }
+    if options.dir.is_none() {
+        return Err("ingest needs a data directory argument".to_owned());
+    }
+    Ok(options)
+}
+
+/// Sums the on-disk size of the `.csv`/`.tsv` files in `dir` — the "raw
+/// bytes" side of the compression numbers in `BENCH_ingest.json`.
+fn csv_dir_bytes(dir: &str) -> Result<u64, String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read data dir `{dir}`: {e}"))?;
+    let mut total = 0;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read data dir `{dir}`: {e}"))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.ends_with(".csv") || name.ends_with(".tsv") {
+            total += entry.metadata().map_err(|e| format!("cannot stat `{name}`: {e}"))?.len();
+        }
+    }
+    Ok(total)
+}
+
+fn ingest_main(args: &[String]) -> ExitCode {
+    let options = match parse_ingest_args(args) {
+        Ok(options) => options,
+        Err(message) if message.is_empty() => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("error: {message}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let dir = options.dir.as_deref().expect("parse_ingest_args requires a directory");
+    let indexes = options.indexes.unwrap_or_default();
+
+    if let Some(scale) = options.generate {
+        eprintln!(
+            "generating a synthetic database ({} movies) and exporting it to `{dir}`...",
+            scale.movies
+        );
+        let started = Instant::now();
+        let source = match BenchmarkContext::new(scale, IndexConfig::NoIndexes) {
+            Ok(ctx) => ctx,
+            Err(e) => {
+                eprintln!("error: generation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = source.export_csv_dir(dir) {
+            eprintln!("error: cannot export CSV files to `{dir}`: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "exported {} rows across {} tables in {:.3?}",
+            source.db().total_rows(),
+            source.db().table_count(),
+            started.elapsed()
+        );
+    }
+
+    let csv_bytes = match csv_dir_bytes(dir) {
+        Ok(bytes) => bytes,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!("ingesting CSV files from `{dir}` ({})...", indexes.label());
+    let started = Instant::now();
+    let (ctx, report) = match BenchmarkContext::ingest_csv_dir(dir, indexes, options.threads) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("error: ingestion from `{dir}` failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ingest_elapsed = started.elapsed();
+    let rows = report.total_rows();
+    let rows_per_sec = rows as f64 / ingest_elapsed.as_secs_f64().max(1e-9);
+    let encoded = report.encoded_bytes();
+    let plain = report.plain_bytes();
+    eprintln!(
+        "ingested {rows} rows across {} tables in {:.3?} ({:.0} rows/s); \
+         {encoded} encoded bytes vs {plain} plain ({:.2}x)",
+        ctx.db().table_count(),
+        ingest_elapsed,
+        rows_per_sec,
+        plain as f64 / encoded.max(1) as f64
+    );
+
+    let tables: Vec<Json> = report
+        .tables
+        .iter()
+        .map(|t| {
+            Json::obj(vec![
+                ("table", Json::str(t.table.clone())),
+                ("rows", Json::Num(t.rows as f64)),
+                ("encoded_bytes", Json::Num(t.encoded_bytes as f64)),
+                ("plain_bytes", Json::Num(t.plain_bytes as f64)),
+                ("dict_bytes", Json::Num(t.dict_bytes as f64)),
+            ])
+        })
+        .collect();
+    let mut pairs = vec![
+        ("bench", Json::str("ingest")),
+        ("data_dir", Json::str(dir.to_owned())),
+        ("indexes", Json::str(indexes.label())),
+        ("parse_threads", Json::Num(options.threads as f64)),
+        ("rows", Json::Num(rows as f64)),
+        ("csv_bytes", Json::Num(csv_bytes as f64)),
+        ("ingest_ms", Json::Num(round6(ingest_elapsed.as_secs_f64() * 1e3))),
+        ("rows_per_sec", Json::Num(rows_per_sec.round())),
+        ("encoded_bytes", Json::Num(encoded as f64)),
+        ("plain_bytes", Json::Num(plain as f64)),
+        ("compression_ratio", Json::Num(round6(plain as f64 / encoded.max(1) as f64))),
+        ("tables", Json::Arr(tables)),
+    ];
+
+    if let Some(path) = options.snapshot.as_deref() {
+        match snapshot_bench(&ctx, path) {
+            Ok(summary) => pairs.push(("snapshot", summary)),
+            Err(message) => {
+                eprintln!("error: {message}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let out = Json::obj(pairs);
+    if let Err(e) = std::fs::write(&options.output, format!("{out}\n")) {
+        eprintln!("error: cannot write `{}`: {e}", options.output);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {}", options.output);
+    ExitCode::SUCCESS
+}
+
+/// The `--snapshot` leg of `qob ingest`: save the ingested database, time
+/// an eager reload, then open the file *lazily* and run a single-table
+/// point query, reporting how few bytes it faulted in (the O(touched data)
+/// claim of docs/STORAGE.md, with real numbers).
+fn snapshot_bench(ctx: &BenchmarkContext, path: &str) -> Result<Json, String> {
+    let started = Instant::now();
+    ctx.save_snapshot(path).map_err(|e| format!("cannot save snapshot `{path}`: {e}"))?;
+    let save_ms = started.elapsed().as_secs_f64() * 1e3;
+    let file_bytes =
+        std::fs::metadata(path).map_err(|e| format!("cannot stat `{path}`: {e}"))?.len();
+
+    let started = Instant::now();
+    let reloaded = BenchmarkContext::load_snapshot(path)
+        .map_err(|e| format!("cannot reload snapshot `{path}`: {e}"))?;
+    let load_ms = started.elapsed().as_secs_f64() * 1e3;
+    if reloaded.db().total_rows() != ctx.db().total_rows() {
+        return Err(format!(
+            "snapshot round-trip lost rows: saved {}, reloaded {}",
+            ctx.db().total_rows(),
+            reloaded.db().total_rows()
+        ));
+    }
+
+    // Lazy open + point query: pick a real id from the warm context so the
+    // probe is guaranteed to match exactly one row.
+    let title = ctx.db().table_by_name("title").ok_or("ingested database lacks `title`")?;
+    let id_col = title.column_id("id").ok_or("`title` lacks an `id` column")?;
+    let target = title.column(id_col).int_at(title.row_count() / 2).ok_or("NULL title id")?;
+    let started = Instant::now();
+    let (lazy, _meta, store) = qob_storage::snapshot::open_lazy(path)
+        .map_err(|e| format!("cannot lazily open `{path}`: {e}"))?;
+    let lazy_title = lazy.table_by_name("title").ok_or("lazy snapshot lacks `title`")?;
+    let matched = qob_storage::Predicate::IntCmp {
+        column: id_col,
+        op: qob_storage::CmpOp::Eq,
+        value: target,
+    }
+    .filter(lazy_title)
+    .len();
+    let lazy_ms = started.elapsed().as_secs_f64() * 1e3;
+    let touched = store.bytes_read();
+    eprintln!(
+        "snapshot `{path}`: {file_bytes} bytes, save {save_ms:.1}ms, eager load {load_ms:.1}ms; \
+         lazy point query on title touched {touched} bytes ({:.1}% of the file) in {lazy_ms:.1}ms",
+        touched as f64 / file_bytes.max(1) as f64 * 100.0
+    );
+    Ok(Json::obj(vec![
+        ("path", Json::str(path.to_owned())),
+        ("file_bytes", Json::Num(file_bytes as f64)),
+        ("save_ms", Json::Num(round6(save_ms))),
+        ("load_ms", Json::Num(round6(load_ms))),
+        ("lazy_point_query_ms", Json::Num(round6(lazy_ms))),
+        ("lazy_point_query_rows", Json::Num(matched as f64)),
+        ("lazy_bytes_read", Json::Num(touched as f64)),
+        ("lazy_fraction_of_file", Json::Num(round6(touched as f64 / file_bytes.max(1) as f64))),
+    ]))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1587,6 +1886,58 @@ mod tests {
         assert!(parse_args(&args(&["--threads", "four"])).is_err());
         assert!(parse_args(&args(&["--snapshot"])).is_err());
         assert_eq!(parse_args(&args(&["--help"])).err().unwrap(), "");
+    }
+
+    #[test]
+    fn ingest_flags_parse() {
+        let options = parse_ingest_args(&args(&[
+            "imdb-data",
+            "--indexes",
+            "pkfk",
+            "--threads",
+            "2",
+            "--snapshot",
+            "db.qob",
+            "--output",
+            "out.json",
+        ]))
+        .unwrap();
+        assert_eq!(options.dir.as_deref(), Some("imdb-data"));
+        assert_eq!(options.indexes, Some(IndexConfig::PrimaryAndForeignKey));
+        assert_eq!(options.threads, 2);
+        assert_eq!(options.snapshot.as_deref(), Some("db.qob"));
+        assert_eq!(options.output, "out.json");
+
+        let defaults = parse_ingest_args(&args(&["imdb-data"])).unwrap();
+        assert_eq!(defaults.indexes, None);
+        assert_eq!(defaults.output, "BENCH_ingest.json");
+        assert!(defaults.snapshot.is_none());
+        assert!(defaults.generate.is_none());
+
+        let generated = parse_ingest_args(&args(&["imdb-data", "--generate", "tiny"])).unwrap();
+        assert_eq!(generated.generate, Some(Scale::tiny()));
+        assert!(parse_ingest_args(&args(&["d", "--generate", "galactic"])).is_err());
+
+        assert!(parse_ingest_args(&[]).is_err(), "the data directory is required");
+        assert!(parse_ingest_args(&args(&["imdb-data", "--bogus"])).is_err());
+        assert_eq!(parse_ingest_args(&args(&["--help"])).err().unwrap(), "");
+    }
+
+    #[test]
+    fn data_dir_flag_parses_in_oneshot_and_serve() {
+        let options = parse_args(&args(&["--data-dir", "csv"])).unwrap();
+        assert_eq!(options.data_dir.as_deref(), Some("csv"));
+        let serve = parse_serve_args(&args(&["--data-dir", "csv"])).unwrap();
+        assert_eq!(serve.data_dir.as_deref(), Some("csv"));
+    }
+
+    #[test]
+    fn data_dir_rejects_an_explicit_scale() {
+        let err = match obtain_context(Some(Scale::tiny()), None, None, Some("csv")) {
+            Err(err) => err,
+            Ok(_) => panic!("--scale with --data-dir must be rejected"),
+        };
+        assert!(err.contains("--scale"), "unexpected error: {err}");
     }
 
     #[test]

@@ -761,6 +761,26 @@ impl ServerContext {
             executing as u64,
         );
         ex.gauge("qob_admission_queued", "Statements waiting for an execution slot", queued as u64);
+        let sizes = self.shared.ctx.storage_sizes();
+        let encoded: usize = sizes.iter().map(|t| t.encoded_bytes).sum();
+        let plain: usize = sizes.iter().map(|t| t.plain_bytes).sum();
+        ex.gauge(
+            "qob_storage_encoded_bytes",
+            "Encoded column-page bytes across all tables",
+            encoded as u64,
+        );
+        ex.gauge(
+            "qob_storage_plain_bytes",
+            "Bytes the same columns would occupy un-encoded",
+            plain as u64,
+        );
+        let ratio_x100 =
+            if encoded == 0 { 100 } else { (plain as f64 / encoded as f64 * 100.0) as u64 };
+        ex.gauge(
+            "qob_storage_compression_ratio_x100",
+            "plain_bytes / encoded_bytes, times 100",
+            ratio_x100,
+        );
         ex.finish()
     }
 }

@@ -12,7 +12,7 @@ pub mod vocab;
 
 use rand::Rng;
 
-use qob_storage::{Database, Result};
+use qob_storage::{ColumnMeta, DataType, Database, Result, StorageError, TableSchema};
 
 use crate::rng::{chance, stream_rng, weighted_choice, Zipf};
 use crate::scale::Scale;
@@ -187,88 +187,172 @@ pub fn generate_imdb(scale: &Scale) -> Result<Database> {
     let mut db = Database::new();
 
     // Dimension tables.
-    let kind_type = db.add_table(core_tables::kind_type_table())?;
-    let info_type = db.add_table(core_tables::info_type_table())?;
-    let company_type = db.add_table(core_tables::company_type_table())?;
-    let role_type = db.add_table(core_tables::role_type_table())?;
-    let link_type = db.add_table(core_tables::link_type_table())?;
-    let comp_cast_type = db.add_table(core_tables::comp_cast_type_table())?;
+    db.add_table(core_tables::kind_type_table())?;
+    db.add_table(core_tables::info_type_table())?;
+    db.add_table(core_tables::company_type_table())?;
+    db.add_table(core_tables::role_type_table())?;
+    db.add_table(core_tables::link_type_table())?;
+    db.add_table(core_tables::comp_cast_type_table())?;
 
     // Entity tables.
-    let title = db.add_table(core_tables::title_table(scale, &profiles.movies))?;
-    let name = db.add_table(core_tables::name_table(scale, &profiles.people))?;
-    let char_name = db.add_table(core_tables::char_name_table(scale))?;
-    let company_name = db.add_table(core_tables::company_name_table(scale, &profiles.companies))?;
-    let keyword = db.add_table(core_tables::keyword_table(scale))?;
-    let aka_name = db.add_table(core_tables::aka_name_table(scale, &profiles.people))?;
-    let aka_title = db.add_table(core_tables::aka_title_table(scale, &profiles.movies))?;
+    db.add_table(core_tables::title_table(scale, &profiles.movies))?;
+    db.add_table(core_tables::name_table(scale, &profiles.people))?;
+    db.add_table(core_tables::char_name_table(scale))?;
+    db.add_table(core_tables::company_name_table(scale, &profiles.companies))?;
+    db.add_table(core_tables::keyword_table(scale))?;
+    db.add_table(core_tables::aka_name_table(scale, &profiles.people))?;
+    db.add_table(core_tables::aka_title_table(scale, &profiles.movies))?;
 
     // Fact / bridge tables.
-    let movie_companies = db.add_table(fact_tables::movie_companies_table(scale, &profiles))?;
-    let movie_info = db.add_table(fact_tables::movie_info_table(scale, &profiles.movies))?;
-    let movie_info_idx =
-        db.add_table(fact_tables::movie_info_idx_table(scale, &profiles.movies))?;
-    let movie_keyword = db.add_table(fact_tables::movie_keyword_table(scale, &profiles.movies))?;
-    let cast_info = db.add_table(fact_tables::cast_info_table(scale, &profiles))?;
-    let person_info = db.add_table(fact_tables::person_info_table(scale, &profiles.people))?;
-    let complete_cast = db.add_table(fact_tables::complete_cast_table(scale, &profiles.movies))?;
-    let movie_link = db.add_table(fact_tables::movie_link_table(scale, &profiles.movies))?;
+    db.add_table(fact_tables::movie_companies_table(scale, &profiles))?;
+    db.add_table(fact_tables::movie_info_table(scale, &profiles.movies))?;
+    db.add_table(fact_tables::movie_info_idx_table(scale, &profiles.movies))?;
+    db.add_table(fact_tables::movie_keyword_table(scale, &profiles.movies))?;
+    db.add_table(fact_tables::cast_info_table(scale, &profiles))?;
+    db.add_table(fact_tables::person_info_table(scale, &profiles.people))?;
+    db.add_table(fact_tables::complete_cast_table(scale, &profiles.movies))?;
+    db.add_table(fact_tables::movie_link_table(scale, &profiles.movies))?;
 
-    // Primary keys: every table has a surrogate `id`.
-    for tid in [
-        kind_type,
-        info_type,
-        company_type,
-        role_type,
-        link_type,
-        comp_cast_type,
-        title,
-        name,
-        char_name,
-        company_name,
-        keyword,
-        aka_name,
-        aka_title,
-        movie_companies,
-        movie_info,
-        movie_info_idx,
-        movie_keyword,
-        cast_info,
-        person_info,
-        complete_cast,
-        movie_link,
-    ] {
-        db.declare_primary_key(tid, "id")?;
-    }
-
-    // Foreign keys (the JOB join edges).
-    db.declare_foreign_key(title, "kind_id", kind_type)?;
-    db.declare_foreign_key(aka_name, "person_id", name)?;
-    db.declare_foreign_key(aka_title, "movie_id", title)?;
-    db.declare_foreign_key(aka_title, "kind_id", kind_type)?;
-    db.declare_foreign_key(movie_companies, "movie_id", title)?;
-    db.declare_foreign_key(movie_companies, "company_id", company_name)?;
-    db.declare_foreign_key(movie_companies, "company_type_id", company_type)?;
-    db.declare_foreign_key(movie_info, "movie_id", title)?;
-    db.declare_foreign_key(movie_info, "info_type_id", info_type)?;
-    db.declare_foreign_key(movie_info_idx, "movie_id", title)?;
-    db.declare_foreign_key(movie_info_idx, "info_type_id", info_type)?;
-    db.declare_foreign_key(movie_keyword, "movie_id", title)?;
-    db.declare_foreign_key(movie_keyword, "keyword_id", keyword)?;
-    db.declare_foreign_key(cast_info, "movie_id", title)?;
-    db.declare_foreign_key(cast_info, "person_id", name)?;
-    db.declare_foreign_key(cast_info, "person_role_id", char_name)?;
-    db.declare_foreign_key(cast_info, "role_id", role_type)?;
-    db.declare_foreign_key(person_info, "person_id", name)?;
-    db.declare_foreign_key(person_info, "info_type_id", info_type)?;
-    db.declare_foreign_key(complete_cast, "movie_id", title)?;
-    db.declare_foreign_key(complete_cast, "subject_id", comp_cast_type)?;
-    db.declare_foreign_key(complete_cast, "status_id", comp_cast_type)?;
-    db.declare_foreign_key(movie_link, "movie_id", title)?;
-    db.declare_foreign_key(movie_link, "linked_movie_id", title)?;
-    db.declare_foreign_key(movie_link, "link_type_id", link_type)?;
-
+    declare_imdb_keys(&mut db)?;
     Ok(db)
+}
+
+/// The JOB foreign-key join edges as `(table, column, referenced table)`.
+const IMDB_FOREIGN_KEYS: &[(&str, &str, &str)] = &[
+    ("title", "kind_id", "kind_type"),
+    ("aka_name", "person_id", "name"),
+    ("aka_title", "movie_id", "title"),
+    ("aka_title", "kind_id", "kind_type"),
+    ("movie_companies", "movie_id", "title"),
+    ("movie_companies", "company_id", "company_name"),
+    ("movie_companies", "company_type_id", "company_type"),
+    ("movie_info", "movie_id", "title"),
+    ("movie_info", "info_type_id", "info_type"),
+    ("movie_info_idx", "movie_id", "title"),
+    ("movie_info_idx", "info_type_id", "info_type"),
+    ("movie_keyword", "movie_id", "title"),
+    ("movie_keyword", "keyword_id", "keyword"),
+    ("cast_info", "movie_id", "title"),
+    ("cast_info", "person_id", "name"),
+    ("cast_info", "person_role_id", "char_name"),
+    ("cast_info", "role_id", "role_type"),
+    ("person_info", "person_id", "name"),
+    ("person_info", "info_type_id", "info_type"),
+    ("complete_cast", "movie_id", "title"),
+    ("complete_cast", "subject_id", "comp_cast_type"),
+    ("complete_cast", "status_id", "comp_cast_type"),
+    ("movie_link", "movie_id", "title"),
+    ("movie_link", "linked_movie_id", "title"),
+    ("movie_link", "link_type_id", "link_type"),
+];
+
+/// Declares the IMDB primary keys (surrogate `id` on every table) and the
+/// JOB foreign-key edges on `db`, whose tables may come from the generator
+/// *or* from CSV ingestion — any database whose tables match
+/// [`imdb_schema`].
+pub fn declare_imdb_keys(db: &mut Database) -> Result<()> {
+    let tid = |db: &Database, name: &str| {
+        db.table_id(name).ok_or_else(|| StorageError::UnknownTable(name.to_owned()))
+    };
+    for schema in imdb_schema() {
+        let t = tid(db, &schema.name)?;
+        db.declare_primary_key(t, "id")?;
+    }
+    for &(table, column, referenced) in IMDB_FOREIGN_KEYS {
+        let t = tid(db, table)?;
+        let r = tid(db, referenced)?;
+        db.declare_foreign_key(t, column, r)?;
+    }
+    Ok(())
+}
+
+/// The schemas of all 21 IMDB tables in generation order, for ingesting a
+/// CSV export of the database (`qob ingest`).  Column order matches the
+/// generator exactly; a test pins the two in sync.
+pub fn imdb_schema() -> Vec<TableSchema> {
+    let int = |n: &str| ColumnMeta::new(n, DataType::Int);
+    let str_ = |n: &str| ColumnMeta::new(n, DataType::Str);
+    vec![
+        TableSchema::new("kind_type", vec![int("id"), str_("kind")]),
+        TableSchema::new("info_type", vec![int("id"), str_("info")]),
+        TableSchema::new("company_type", vec![int("id"), str_("kind")]),
+        TableSchema::new("role_type", vec![int("id"), str_("role")]),
+        TableSchema::new("link_type", vec![int("id"), str_("link")]),
+        TableSchema::new("comp_cast_type", vec![int("id"), str_("kind")]),
+        TableSchema::new(
+            "title",
+            vec![
+                int("id"),
+                str_("title"),
+                int("kind_id"),
+                int("production_year"),
+                int("episode_of_id"),
+                int("season_nr"),
+                str_("imdb_index"),
+            ],
+        ),
+        TableSchema::new(
+            "name",
+            vec![
+                int("id"),
+                str_("name"),
+                str_("gender"),
+                str_("imdb_index"),
+                str_("name_pcode_cf"),
+            ],
+        ),
+        TableSchema::new("char_name", vec![int("id"), str_("name")]),
+        TableSchema::new("company_name", vec![int("id"), str_("name"), str_("country_code")]),
+        TableSchema::new("keyword", vec![int("id"), str_("keyword"), str_("phonetic_code")]),
+        TableSchema::new("aka_name", vec![int("id"), int("person_id"), str_("name")]),
+        TableSchema::new(
+            "aka_title",
+            vec![int("id"), int("movie_id"), str_("title"), int("kind_id")],
+        ),
+        TableSchema::new(
+            "movie_companies",
+            vec![
+                int("id"),
+                int("movie_id"),
+                int("company_id"),
+                int("company_type_id"),
+                str_("note"),
+            ],
+        ),
+        TableSchema::new(
+            "movie_info",
+            vec![int("id"), int("movie_id"), int("info_type_id"), str_("info"), str_("note")],
+        ),
+        TableSchema::new(
+            "movie_info_idx",
+            vec![int("id"), int("movie_id"), int("info_type_id"), str_("info")],
+        ),
+        TableSchema::new("movie_keyword", vec![int("id"), int("movie_id"), int("keyword_id")]),
+        TableSchema::new(
+            "cast_info",
+            vec![
+                int("id"),
+                int("person_id"),
+                int("movie_id"),
+                int("person_role_id"),
+                str_("note"),
+                int("nr_order"),
+                int("role_id"),
+            ],
+        ),
+        TableSchema::new(
+            "person_info",
+            vec![int("id"), int("person_id"), int("info_type_id"), str_("info"), str_("note")],
+        ),
+        TableSchema::new(
+            "complete_cast",
+            vec![int("id"), int("movie_id"), int("subject_id"), int("status_id")],
+        ),
+        TableSchema::new(
+            "movie_link",
+            vec![int("id"), int("movie_id"), int("linked_movie_id"), int("link_type_id")],
+        ),
+    ]
 }
 
 #[cfg(test)]
@@ -351,6 +435,43 @@ mod tests {
             pop_rate > unpop_rate,
             "popular movies should be rated more often ({pop_rate:.2} vs {unpop_rate:.2})"
         );
+    }
+
+    #[test]
+    fn imdb_schema_matches_the_generator_exactly() {
+        // `qob ingest` trusts `imdb_schema()` for names, column order and
+        // types; this pins it to what the generator actually emits.
+        let db = generate_imdb(&Scale::tiny()).unwrap();
+        let schemas = imdb_schema();
+        assert_eq!(schemas.len(), db.table_count());
+        for schema in &schemas {
+            let table = db
+                .table_by_name(&schema.name)
+                .unwrap_or_else(|| panic!("generator lacks table {}", schema.name));
+            assert_eq!(
+                table.schema(),
+                schema.columns.as_slice(),
+                "schema drift in `{}`",
+                schema.name
+            );
+        }
+    }
+
+    #[test]
+    fn declared_keys_match_by_name_and_by_id() {
+        // declare_imdb_keys on an ingested-style database (same tables, added
+        // fresh) must reproduce the generator's key declarations.
+        let db = generate_imdb(&Scale::tiny()).unwrap();
+        let mut rebuilt = Database::new();
+        for (_, t) in db.tables() {
+            rebuilt.add_table(t.clone()).unwrap();
+        }
+        declare_imdb_keys(&mut rebuilt).unwrap();
+        for (tid, t) in db.tables() {
+            let rid = rebuilt.table_id(t.name()).unwrap();
+            assert_eq!(db.keys(tid).primary_key, rebuilt.keys(rid).primary_key);
+            assert_eq!(db.keys(tid).foreign_keys.len(), rebuilt.keys(rid).foreign_keys.len());
+        }
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod rng;
 pub mod scale;
 pub mod tpch;
 
-pub use imdb::generate_imdb;
+pub use imdb::{declare_imdb_keys, generate_imdb, imdb_schema};
 pub use scale::Scale;
 pub use tpch::generate_tpch;
 

@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use qob_storage::{ColumnData, Database, HashIndex, Predicate, RowId, Table};
+use qob_storage::{Database, EncodedColumn, HashIndex, Predicate, RowId, Table};
 
 use crate::executor::{ExecutionError, ExecutionOptions};
 use crate::hashtable::{bucket_count_for, bucket_for, ChainedHashTable};
@@ -185,9 +185,9 @@ pub fn scan(db: &Database, query: &qob_plan::QuerySpec, rel: usize) -> Intermedi
 /// fast paths of [`Predicate::filter`].
 enum CompiledPred<'a> {
     /// String equality against a dictionary code.
-    CodeEq { col: &'a ColumnData, code: u32 },
+    CodeEq { col: &'a EncodedColumn, code: u32 },
     /// String set membership against dictionary codes.
-    CodeIn { col: &'a ColumnData, codes: std::collections::HashSet<u32> },
+    CodeIn { col: &'a EncodedColumn, codes: std::collections::HashSet<u32> },
     /// The literal(s) are absent from the dictionary: nothing matches.
     Never,
     /// Everything else falls back to the general evaluator.
@@ -267,12 +267,12 @@ impl<'a> CompiledFilter<'a> {
 #[derive(Clone, Copy)]
 pub struct ColReader<'a> {
     slot: usize,
-    col: &'a ColumnData,
+    col: &'a EncodedColumn,
 }
 
 impl<'a> ColReader<'a> {
     /// Creates a reader for slot `slot` against `col`.
-    pub fn new(slot: usize, col: &'a ColumnData) -> Self {
+    pub fn new(slot: usize, col: &'a EncodedColumn) -> Self {
         ColReader { slot, col }
     }
 
@@ -463,7 +463,7 @@ pub struct IndexProbeOp<'a> {
     /// First-key reader on the flowing tuple.
     pub outer: ColReader<'a>,
     /// Remaining keys: (flowing-side reader, inner-table column).
-    pub rest: Vec<(ColReader<'a>, &'a ColumnData)>,
+    pub rest: Vec<(ColReader<'a>, &'a EncodedColumn)>,
     /// Output tuple width.
     pub out_width: usize,
     /// Index of this operator's cardinality counter.

@@ -19,7 +19,7 @@
 use std::fmt;
 
 use qob_plan::{BaseRelation, JoinEdge, QuerySpec};
-use qob_storage::{CmpOp, ColumnData, ColumnId, Database, Predicate, TableId};
+use qob_storage::{CmpOp, ColumnId, DataType, Database, EncodedColumn, Predicate, TableId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -262,8 +262,8 @@ fn random_predicate(db: &Database, table: TableId, rng: &mut impl Rng) -> Option
         return None;
     }
     let column = ColumnId(rng.gen_range(0..t.column_count()) as u32);
-    match t.column(column) {
-        ColumnData::Int { .. } => {
+    match t.column(column).data_type() {
+        DataType::Int => {
             let value = sample_int(t.column(column), t.row_count(), rng)?;
             Some(match rng.gen_range(0..4u32) {
                 0 => Predicate::IntCmp { column, op: CmpOp::Eq, value },
@@ -275,7 +275,7 @@ fn random_predicate(db: &Database, table: TableId, rng: &mut impl Rng) -> Option
                 }
             })
         }
-        ColumnData::Str { .. } => {
+        DataType::Str => {
             let dict = t.column(column).dict()?;
             if dict.is_empty() {
                 return Some(Predicate::IsNotNull { column });
@@ -309,7 +309,7 @@ fn sample_str(dict: &qob_storage::StringDict, rng: &mut impl Rng) -> String {
 }
 
 /// A non-NULL integer drawn uniformly from the column's rows.
-fn sample_int(col: &ColumnData, rows: usize, rng: &mut impl Rng) -> Option<i64> {
+fn sample_int(col: &EncodedColumn, rows: usize, rng: &mut impl Rng) -> Option<i64> {
     for _ in 0..16 {
         if let Some(v) = col.int_at(rng.gen_range(0..rows)) {
             return Some(v);

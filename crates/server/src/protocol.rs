@@ -374,11 +374,47 @@ pub fn stats_response(
 ) -> Json {
     let ctx = server.context();
     let cache = server.plan_cache_counters();
+    let sizes = ctx.storage_sizes();
+    let encoded: usize = sizes.iter().map(|t| t.encoded_bytes).sum();
+    let plain: usize = sizes.iter().map(|t| t.plain_bytes).sum();
+    let ratio = if encoded == 0 { 1.0 } else { plain as f64 / encoded as f64 };
+    let storage_tables = Json::Arr(
+        sizes
+            .iter()
+            .map(|t| {
+                Json::obj(vec![
+                    ("table", Json::str(&t.table)),
+                    ("encoded_bytes", Json::Num(t.encoded_bytes as f64)),
+                    ("plain_bytes", Json::Num(t.plain_bytes as f64)),
+                    ("compression_ratio", Json::Num(t.compression_ratio())),
+                    (
+                        "columns",
+                        Json::Arr(
+                            t.columns
+                                .iter()
+                                .map(|c| {
+                                    Json::obj(vec![
+                                        ("column", Json::str(&c.column)),
+                                        ("encoded_bytes", Json::Num(c.encoded_bytes as f64)),
+                                        ("plain_bytes", Json::Num(c.plain_bytes as f64)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    );
     Json::obj(vec![
         ("ok", Json::Bool(true)),
         ("type", Json::str("stats")),
         ("tables", Json::Num(ctx.db().table_count() as f64)),
         ("total_rows", Json::Num(ctx.db().total_rows() as f64)),
+        ("storage_encoded_bytes", Json::Num(encoded as f64)),
+        ("storage_plain_bytes", Json::Num(plain as f64)),
+        ("storage_compression_ratio", Json::Num(ratio)),
+        ("storage_tables", storage_tables),
         ("indexes", Json::Num(ctx.db().index_count() as f64)),
         ("workload_queries", Json::Num(ctx.queries().len() as f64)),
         ("queries_served", Json::Num(server.queries_served() as f64)),

@@ -87,6 +87,19 @@ fn full_request_catalogue_over_one_connection() {
     assert!(stats.get("queries_served").unwrap().as_u64().unwrap() >= 3);
     assert_eq!(stats.get("snapshot_loaded").unwrap().as_bool(), Some(false));
     assert_eq!(stats.get("active_connections").unwrap().as_u64(), Some(1));
+    // Compression gauges: auto encoding beats the plain layout.
+    let encoded = stats.get("storage_encoded_bytes").unwrap().as_u64().unwrap();
+    let plain = stats.get("storage_plain_bytes").unwrap().as_u64().unwrap();
+    assert!(encoded > 0 && encoded < plain, "encoded {encoded} vs plain {plain}");
+    assert!(stats.get("storage_compression_ratio").unwrap().as_f64().unwrap() > 1.0);
+    let tables = stats.get("storage_tables").unwrap().as_array().unwrap();
+    assert_eq!(tables.len(), 21);
+    let title = tables
+        .iter()
+        .find(|t| t.get("table").and_then(|n| n.as_str()) == Some("title"))
+        .expect("title table in storage stats");
+    let columns = title.get("columns").unwrap().as_array().unwrap();
+    assert_eq!(columns.len(), 7, "per-column breakdown present");
 
     // shutdown: acknowledged, then the server exits
     let bye = client.request(&Request::Shutdown).unwrap();

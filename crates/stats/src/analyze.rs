@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use qob_storage::{ColumnData, DataType, Database, TableId, Value};
+use qob_storage::{DataType, Database, EncodedColumn, TableId, Value};
 
 use crate::histogram::EquiDepthHistogram;
 use crate::sample::TableSample;
@@ -147,12 +147,12 @@ pub fn duj1_distinct(n: usize, big_n: usize, d: usize, f1: usize) -> f64 {
     estimate.clamp(d, big_n)
 }
 
-fn column_value(col: &ColumnData, row: usize) -> Value {
+fn column_value(col: &EncodedColumn, row: usize) -> Value {
     col.value_at(row)
 }
 
 fn analyze_column(
-    col: &ColumnData,
+    col: &EncodedColumn,
     sample_rows: &[u32],
     total_rows: usize,
     options: &AnalyzeOptions,

@@ -75,7 +75,12 @@ impl fmt::Display for StorageError {
             StorageError::Io(msg) => write!(f, "snapshot I/O error: {msg}"),
             StorageError::SnapshotCorrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
             StorageError::SnapshotVersion { found, supported } => {
-                write!(f, "unsupported snapshot version {found} (this build reads <= {supported})")
+                write!(
+                    f,
+                    "snapshot format version {found} is not supported (this build reads version \
+                     {supported}); delete the stale file and regenerate it with `qob --snapshot \
+                     <path>` or re-ingest your CSV data with `qob ingest`"
+                )
             }
         }
     }

@@ -11,9 +11,9 @@
 
 use std::collections::HashMap;
 
-use crate::column::ColumnData;
 use crate::error::StorageError;
 use crate::table::{ColumnId, RowId, Table};
+use crate::value::DataType;
 use crate::Result;
 
 /// The role an index plays in the physical design.
@@ -38,18 +38,15 @@ impl HashIndex {
     /// Builds an index over the integer column `column` of `table`.
     pub fn build(table: &Table, column: ColumnId, kind: IndexKind) -> Result<Self> {
         let data = table.column(column);
-        let values = match data {
-            ColumnData::Int { .. } => data,
-            ColumnData::Str { .. } => {
-                return Err(StorageError::UnsupportedIndexColumn {
-                    column: table.column_meta(column).name.clone(),
-                })
-            }
-        };
+        if data.data_type() != DataType::Int {
+            return Err(StorageError::UnsupportedIndexColumn {
+                column: table.column_meta(column).name.clone(),
+            });
+        }
         let mut map: HashMap<i64, Vec<RowId>> = HashMap::new();
         let mut entry_count = 0usize;
         for row in table.row_ids() {
-            if let Some(v) = values.int_at(row as usize) {
+            if let Some(v) = data.int_at(row as usize) {
                 map.entry(v).or_default().push(row);
                 entry_count += 1;
             }
@@ -109,7 +106,7 @@ impl OrderedIndex {
     /// Builds an ordered index over the integer column `column` of `table`.
     pub fn build(table: &Table, column: ColumnId) -> Result<Self> {
         let data = table.column(column);
-        if !matches!(data, ColumnData::Int { .. }) {
+        if data.data_type() != DataType::Int {
             return Err(StorageError::UnsupportedIndexColumn {
                 column: table.column_meta(column).name.clone(),
             });

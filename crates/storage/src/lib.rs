@@ -8,7 +8,9 @@
 //! database (the IMDB snapshot loaded into PostgreSQL).  This crate provides
 //! the equivalent substrate for the reproduction:
 //!
-//! * typed, dictionary-encoded columnar tables ([`Table`], [`column::ColumnData`]),
+//! * typed, compressed columnar tables ([`Table`], [`column::EncodedColumn`])
+//!   whose pages pick the cheapest of plain / frame-of-reference+bit-packed /
+//!   RLE encoding at build time ([`encoding`]),
 //! * unclustered hash and ordered indexes ([`index`]),
 //! * a catalog of tables and indexes ([`Database`]),
 //! * a predicate language with vectorised evaluation ([`predicate`]).
@@ -48,8 +50,10 @@
 pub mod bitmap;
 pub mod catalog;
 pub mod column;
+pub mod encoding;
 pub mod error;
 pub mod index;
+pub mod ingest;
 pub mod predicate;
 pub mod snapshot;
 pub mod table;
@@ -57,9 +61,11 @@ pub mod value;
 
 pub use bitmap::Bitmap;
 pub use catalog::{Database, IndexConfig, TableId};
-pub use column::{ColumnData, StringDict};
+pub use column::{ColumnBuilder, EncodedColumn, StringDict};
+pub use encoding::{EncodingPolicy, PageData, PageStore, PAGE_ROWS};
 pub use error::StorageError;
 pub use index::{HashIndex, OrderedIndex};
+pub use ingest::{export_csv_dir, ingest_csv_dir, IngestReport, IngestTableReport, TableSchema};
 pub use predicate::{like_match, CmpOp, Predicate};
 pub use snapshot::{SnapshotMeta, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use table::{ColumnId, ColumnMeta, RowId, Table, TableBuilder};

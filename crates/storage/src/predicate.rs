@@ -5,8 +5,9 @@
 //! and evaluates them against a [`Table`], producing either a selection
 //! vector of matching [`RowId`]s or a per-row boolean.
 
-use crate::column::ColumnData;
+use crate::column::EncodedColumn;
 use crate::table::{ColumnId, RowId, Table};
+use crate::value::DataType;
 
 /// Comparison operators on integer columns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -150,7 +151,11 @@ impl Predicate {
     /// row ids in order.
     ///
     /// String equality / IN / LIKE predicates are evaluated once against the
-    /// column dictionary and then as integer code comparisons.
+    /// column dictionary and then as integer code comparisons; integer
+    /// comparisons and ranges evaluate directly on the encoded pages.  Both
+    /// paths skip whole pages whose non-null min/max is disjoint from the
+    /// wanted values, and evaluate RLE pages once per run rather than once
+    /// per row.
     pub fn filter(&self, table: &Table) -> Vec<RowId> {
         // Fast paths for the common leaf predicates.
         match self {
@@ -168,6 +173,27 @@ impl Predicate {
                 return filter_str_codes(table.column(*column), |dict| {
                     dict.iter().filter(|(_, s)| like_match(pattern, s)).map(|(c, _)| c).collect()
                 });
+            }
+            Predicate::IntCmp { column, op, value } if *op != CmpOp::Ne => {
+                // `Ne` has no contiguous match range, so it stays row-wise.
+                let (low, high) = match op {
+                    CmpOp::Eq => (*value, *value),
+                    CmpOp::Lt => match value.checked_sub(1) {
+                        Some(high) => (i64::MIN, high),
+                        None => return Vec::new(),
+                    },
+                    CmpOp::Le => (i64::MIN, *value),
+                    CmpOp::Gt => match value.checked_add(1) {
+                        Some(low) => (low, i64::MAX),
+                        None => return Vec::new(),
+                    },
+                    CmpOp::Ge => (*value, i64::MAX),
+                    CmpOp::Ne => unreachable!("guarded above"),
+                };
+                return filter_int_range(table.column(*column), low, high);
+            }
+            Predicate::IntBetween { column, low, high } => {
+                return filter_int_range(table.column(*column), *low, *high);
             }
             _ => {}
         }
@@ -213,38 +239,78 @@ impl Predicate {
     }
 }
 
-/// Evaluates the selected dictionary codes against a string column.
-fn filter_str_codes<F>(col: &ColumnData, select_codes: F) -> Vec<RowId>
+/// Evaluates the selected dictionary codes against a string column, page by
+/// page: pages whose code min/max is disjoint from the wanted codes are
+/// skipped without decoding, and RLE pages are tested once per run.
+fn filter_str_codes<F>(col: &EncodedColumn, select_codes: F) -> Vec<RowId>
 where
     F: FnOnce(&crate::column::StringDict) -> Vec<u32>,
 {
-    let (codes, dict, validity) = match col {
-        ColumnData::Str { codes, dict, validity } => (codes, dict, validity),
-        // Fall back to an empty result: a string predicate over an int column
-        // never matches (the schema-level type check happens upstream).
-        ColumnData::Int { .. } => return Vec::new(),
-    };
+    // A string predicate over an int column never matches (the schema-level
+    // type check happens upstream).
+    let Some(dict) = col.dict() else { return Vec::new() };
     let wanted = select_codes(dict);
     if wanted.is_empty() {
         return Vec::new();
     }
-    if wanted.len() == 1 {
-        let target = wanted[0];
-        codes
-            .iter()
-            .enumerate()
-            .filter(|(i, &c)| validity.get(*i) && c == target)
-            .map(|(i, _)| i as RowId)
-            .collect()
-    } else {
-        let set: std::collections::HashSet<u32> = wanted.into_iter().collect();
-        codes
-            .iter()
-            .enumerate()
-            .filter(|(i, c)| validity.get(*i) && set.contains(c))
-            .map(|(i, _)| i as RowId)
-            .collect()
+    let (lo, hi) =
+        (*wanted.iter().min().expect("non-empty"), *wanted.iter().max().expect("non-empty"));
+    let single = (wanted.len() == 1).then(|| wanted[0]);
+    let set: std::collections::HashSet<u32> =
+        if single.is_some() { Default::default() } else { wanted.into_iter().collect() };
+    let validity = col.validity();
+    let mut out = Vec::new();
+    for p in 0..col.page_count() {
+        let page = col.code_page(p);
+        if page.disjoint_with(lo, hi) {
+            continue;
+        }
+        let base = col.page_rows(p).start;
+        page.for_each_run(|start, end, code| {
+            let hit = match single {
+                Some(target) => code == target,
+                None => set.contains(&code),
+            };
+            if hit {
+                for i in start..end {
+                    let row = base + i;
+                    if validity.get(row) {
+                        out.push(row as RowId);
+                    }
+                }
+            }
+        });
     }
+    out
+}
+
+/// Collects rows of an integer column whose value lies in `[low, high]`
+/// (inclusive), skipping pages whose non-null min/max is disjoint from the
+/// range and testing RLE pages once per run.
+fn filter_int_range(col: &EncodedColumn, low: i64, high: i64) -> Vec<RowId> {
+    if col.data_type() != DataType::Int || low > high {
+        return Vec::new();
+    }
+    let validity = col.validity();
+    let mut out = Vec::new();
+    for p in 0..col.page_count() {
+        let page = col.int_page(p);
+        if page.disjoint_with(low, high) {
+            continue;
+        }
+        let base = col.page_rows(p).start;
+        page.for_each_run(|start, end, v| {
+            if v >= low && v <= high {
+                for i in start..end {
+                    let row = base + i;
+                    if validity.get(row) {
+                        out.push(row as RowId);
+                    }
+                }
+            }
+        });
+    }
+    out
 }
 
 /// SQL `LIKE` matching with `%` (any sequence) and `_` (any single char).
@@ -427,6 +493,29 @@ mod tests {
         let mut expected = vec![kind, year];
         expected.sort();
         assert_eq!(p.referenced_columns(), expected);
+    }
+
+    #[test]
+    fn int_fast_paths_agree_with_row_wise_evaluation() {
+        let t = movies();
+        let year = t.column_id("production_year").unwrap();
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            for value in [1950, 1999, 2003, 2004, i64::MIN, i64::MAX] {
+                let p = Predicate::IntCmp { column: year, op, value };
+                let slow: Vec<RowId> = t.row_ids().filter(|&r| p.matches(&t, r)).collect();
+                assert_eq!(p.filter(&t), slow, "op {op:?} value {value}");
+            }
+        }
+        let p = Predicate::IntBetween { column: year, low: 2003, high: 1999 };
+        assert!(p.filter(&t).is_empty(), "inverted range matches nothing");
+    }
+
+    #[test]
+    fn string_predicate_on_int_column_matches_nothing() {
+        let t = movies();
+        let id = t.column_id("id").unwrap();
+        let p = Predicate::StrEq { column: id, value: "movie".into() };
+        assert!(p.filter(&t).is_empty());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Tables, schemas and the table builder.
 
-use crate::column::ColumnData;
+use crate::column::{ColumnBuilder, EncodedColumn};
+use crate::encoding::EncodingPolicy;
 use crate::error::StorageError;
 use crate::value::{DataType, Value};
 use crate::Result;
@@ -36,12 +37,12 @@ impl ColumnMeta {
     }
 }
 
-/// An in-memory columnar table.
+/// An in-memory columnar table over encoded columns.
 #[derive(Debug, Clone)]
 pub struct Table {
     name: String,
     columns_meta: Vec<ColumnMeta>,
-    columns: Vec<ColumnData>,
+    columns: Vec<EncodedColumn>,
     row_count: usize,
 }
 
@@ -54,7 +55,7 @@ impl Table {
     pub fn from_parts(
         name: impl Into<String>,
         columns_meta: Vec<ColumnMeta>,
-        columns: Vec<ColumnData>,
+        columns: Vec<EncodedColumn>,
     ) -> Result<Self> {
         if columns_meta.len() != columns.len() {
             return Err(StorageError::ArityMismatch {
@@ -62,7 +63,7 @@ impl Table {
                 got: columns.len(),
             });
         }
-        let row_count = columns.first().map(ColumnData::len).unwrap_or(0);
+        let row_count = columns.first().map(EncodedColumn::len).unwrap_or(0);
         for (meta, col) in columns_meta.iter().zip(&columns) {
             if meta.dtype != col.data_type() {
                 return Err(StorageError::TypeMismatch {
@@ -122,12 +123,12 @@ impl Table {
     }
 
     /// The data of one column.
-    pub fn column(&self, col: ColumnId) -> &ColumnData {
+    pub fn column(&self, col: ColumnId) -> &EncodedColumn {
         &self.columns[col.index()]
     }
 
     /// The data of one column looked up by name.
-    pub fn column_by_name(&self, name: &str) -> Option<&ColumnData> {
+    pub fn column_by_name(&self, name: &str) -> Option<&EncodedColumn> {
         self.column_id(name).map(|id| self.column(id))
     }
 
@@ -139,6 +140,26 @@ impl Table {
     /// Iterates over all row ids.
     pub fn row_ids(&self) -> impl Iterator<Item = RowId> {
         0..self.row_count as RowId
+    }
+
+    /// Rebuilds the table row-wise under a different encoding policy.  Used
+    /// by the differential suites to produce a plain (uncompressed) twin of
+    /// an auto-encoded table with identical values and dictionary codes.
+    pub fn reencoded(&self, policy: EncodingPolicy) -> Table {
+        let mut columns = Vec::with_capacity(self.columns.len());
+        for (meta, col) in self.columns_meta.iter().zip(&self.columns) {
+            let mut b = ColumnBuilder::with_policy(meta.dtype, policy);
+            for row in 0..self.row_count {
+                assert!(b.push(&col.value_at(row)), "re-encode type mismatch");
+            }
+            columns.push(b.finish());
+        }
+        Table {
+            name: self.name.clone(),
+            columns_meta: self.columns_meta.clone(),
+            columns,
+            row_count: self.row_count,
+        }
     }
 
     /// An estimate of the width of one row in bytes, used by the disk-oriented
@@ -162,21 +183,45 @@ impl Table {
         }
         width.max(8.0)
     }
+
+    /// Sum of encoded page bytes across all columns (never faults lazy
+    /// pages).
+    pub fn encoded_data_bytes(&self) -> usize {
+        self.columns.iter().map(EncodedColumn::encoded_data_bytes).sum()
+    }
+
+    /// Bytes the same rows would occupy in plain (un-encoded) column arrays.
+    pub fn plain_data_bytes(&self) -> usize {
+        self.columns.iter().map(EncodedColumn::plain_data_bytes).sum()
+    }
 }
 
-/// Builds a [`Table`] row by row.
+/// Builds a [`Table`] row by row through one [`ColumnBuilder`] per column.
+///
+/// Memory stays bounded at one encoded-page buffer per column — this is the
+/// write path shared by datagen and CSV ingestion.
 #[derive(Debug)]
 pub struct TableBuilder {
     name: String,
     columns_meta: Vec<ColumnMeta>,
-    columns: Vec<ColumnData>,
+    columns: Vec<ColumnBuilder>,
     row_count: usize,
 }
 
 impl TableBuilder {
-    /// Creates a builder for a table with the given schema.
+    /// Creates a builder for a table with the given schema, using automatic
+    /// per-page encoding selection.
     pub fn new(name: impl Into<String>, columns: Vec<ColumnMeta>) -> Self {
-        let data = columns.iter().map(|c| ColumnData::new(c.dtype)).collect();
+        Self::with_policy(name, columns, EncodingPolicy::Auto)
+    }
+
+    /// Creates a builder with an explicit encoding policy.
+    pub fn with_policy(
+        name: impl Into<String>,
+        columns: Vec<ColumnMeta>,
+        policy: EncodingPolicy,
+    ) -> Self {
+        let data = columns.iter().map(|c| ColumnBuilder::with_policy(c.dtype, policy)).collect();
         TableBuilder { name: name.into(), columns_meta: columns, columns: data, row_count: 0 }
     }
 
@@ -206,12 +251,12 @@ impl TableBuilder {
         Ok(())
     }
 
-    /// Finalises the table.
+    /// Finalises the table, encoding any partial trailing pages.
     pub fn finish(self) -> Table {
         Table {
             name: self.name,
             columns_meta: self.columns_meta,
-            columns: self.columns,
+            columns: self.columns.into_iter().map(ColumnBuilder::finish).collect(),
             row_count: self.row_count,
         }
     }
@@ -284,7 +329,7 @@ mod tests {
         assert!(Table::from_parts(
             "x",
             vec![ColumnMeta::new("id", DataType::Int), ColumnMeta::new("y", DataType::Int)],
-            vec![t.column(ColumnId(0)).clone(), ColumnData::new(DataType::Int)],
+            vec![t.column(ColumnId(0)).clone(), EncodedColumn::empty(DataType::Int)],
         )
         .is_err());
     }
@@ -316,5 +361,28 @@ mod tests {
         let w = t.avg_row_width();
         assert!(w >= 16.0, "two int columns alone are 16 bytes, got {w}");
         assert!(w < 1000.0);
+    }
+
+    #[test]
+    fn reencoded_plain_twin_matches_value_for_value() {
+        let mut b = TableBuilder::new(
+            "t",
+            vec![ColumnMeta::new("id", DataType::Int), ColumnMeta::new("kind", DataType::Str)],
+        );
+        for i in 0..5000i64 {
+            let kind = if i % 7 == 0 { Value::Null } else { Value::Str(format!("k{}", i % 4)) };
+            b.push_row(vec![Value::Int(i), kind]).unwrap();
+        }
+        let auto = b.finish();
+        let plain = auto.reencoded(EncodingPolicy::Plain);
+        assert_eq!(plain.row_count(), auto.row_count());
+        for row in auto.row_ids() {
+            for c in 0..auto.column_count() as u32 {
+                assert_eq!(plain.value(row, ColumnId(c)), auto.value(row, ColumnId(c)));
+            }
+        }
+        // Auto encoding should not be larger than plain on this data.
+        assert!(auto.encoded_data_bytes() <= plain.encoded_data_bytes());
+        assert_eq!(auto.plain_data_bytes(), plain.plain_data_bytes());
     }
 }

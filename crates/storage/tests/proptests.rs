@@ -1,10 +1,34 @@
 //! Property-based tests for the storage primitives.
 
 use proptest::prelude::*;
+use qob_storage::encoding::{CodePage, IntPage};
 use qob_storage::predicate::like_match;
 use qob_storage::{
-    Bitmap, CmpOp, ColumnData, ColumnMeta, DataType, Predicate, TableBuilder, Value,
+    Bitmap, CmpOp, ColumnBuilder, ColumnMeta, DataType, EncodingPolicy, PageData, Predicate,
+    TableBuilder, Value,
 };
+
+/// Values likely to exercise every int encoding: negatives, dense ranges
+/// (frame-of-reference), repeats (RLE), and the extremes.
+fn int_slot() -> impl Strategy<Value = i64> {
+    prop_oneof![
+        5 => -50i64..50,
+        2 => 1_000_000i64..1_000_100,
+        1 => any::<i64>(),
+        1 => Just(i64::MIN),
+        1 => Just(i64::MAX),
+    ]
+}
+
+/// Codes likely to exercise every code encoding, including the widest
+/// possible dictionary code.
+fn code_slot() -> impl Strategy<Value = u32> {
+    prop_oneof![
+        5 => 0u32..8,
+        2 => 0u32..100_000,
+        1 => Just(u32::MAX),
+    ]
+}
 
 proptest! {
     /// A bitmap built from a boolean vector reproduces it exactly.
@@ -85,11 +109,12 @@ proptest! {
     /// Dictionary-encoded string columns return exactly the pushed strings.
     #[test]
     fn string_column_roundtrip(strings in prop::collection::vec(proptest::option::of("[a-c]{0,3}"), 0..100)) {
-        let mut col = ColumnData::new(DataType::Str);
+        let mut builder = ColumnBuilder::new(DataType::Str);
         for s in &strings {
             let v = s.clone().map(Value::Str).unwrap_or(Value::Null);
-            prop_assert!(col.push(&v));
+            prop_assert!(builder.push(&v));
         }
+        let col = builder.finish();
         prop_assert_eq!(col.len(), strings.len());
         for (i, s) in strings.iter().enumerate() {
             prop_assert_eq!(col.str_at(i), s.as_deref());
@@ -97,5 +122,92 @@ proptest! {
         let distinct_expected: std::collections::HashSet<&String> =
             strings.iter().flatten().collect();
         prop_assert_eq!(col.distinct_count_exact(), distinct_expected.len());
+    }
+
+    /// Every int-page encoding is an identity on its stored slot values —
+    /// per-slot `get`, bulk `decode_into`, and the snapshot byte format all
+    /// reproduce the input exactly, under both policies.
+    #[test]
+    fn int_page_roundtrip(
+        slots in prop::collection::vec((int_slot(), any::<bool>()), 0..300),
+        policy in prop_oneof![Just(EncodingPolicy::Auto), Just(EncodingPolicy::Plain)],
+    ) {
+        let values: Vec<i64> = slots.iter().map(|(v, _)| *v).collect();
+        let valid: Vec<bool> = slots.iter().map(|(_, ok)| *ok).collect();
+        let page = IntPage::encode(&values, &valid, policy);
+        prop_assert_eq!(page.len(), values.len());
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(page.get(i), v, "slot {} diverges", i);
+        }
+        let mut decoded = Vec::new();
+        page.decode_into(&mut decoded);
+        prop_assert_eq!(&decoded, &values);
+        let expected = values.iter().zip(&valid).filter(|(_, ok)| **ok).map(|(v, _)| *v);
+        prop_assert_eq!(page.min_max(), expected.clone().map(|v| (v, v)).reduce(
+            |(lo, hi), (v, _)| (lo.min(v), hi.max(v))
+        ));
+        let bytes = PageData::Int(page.clone()).to_bytes();
+        prop_assert_eq!(PageData::from_bytes(&bytes).unwrap(), PageData::Int(page));
+    }
+
+    /// Long runs of one value (the shape NULL backfilling produces) always
+    /// survive the round-trip — the RLE path specifically.
+    #[test]
+    fn int_page_roundtrip_on_null_runs(
+        runs in prop::collection::vec((int_slot(), 1usize..40, any::<bool>()), 0..12),
+    ) {
+        let mut values = Vec::new();
+        let mut valid = Vec::new();
+        for (v, n, ok) in &runs {
+            values.extend(std::iter::repeat_n(*v, *n));
+            valid.extend(std::iter::repeat_n(*ok, *n));
+        }
+        let page = IntPage::encode(&values, &valid, EncodingPolicy::Auto);
+        let mut decoded = Vec::new();
+        page.decode_into(&mut decoded);
+        prop_assert_eq!(&decoded, &values);
+        let bytes = PageData::Int(page.clone()).to_bytes();
+        prop_assert_eq!(PageData::from_bytes(&bytes).unwrap(), PageData::Int(page));
+    }
+
+    /// Every code-page encoding is an identity on its stored codes,
+    /// including `u32::MAX` (the widest packable width).
+    #[test]
+    fn code_page_roundtrip(
+        slots in prop::collection::vec((code_slot(), any::<bool>()), 0..300),
+        policy in prop_oneof![Just(EncodingPolicy::Auto), Just(EncodingPolicy::Plain)],
+    ) {
+        let codes: Vec<u32> = slots.iter().map(|(c, _)| *c).collect();
+        let valid: Vec<bool> = slots.iter().map(|(_, ok)| *ok).collect();
+        let page = CodePage::encode(&codes, &valid, policy);
+        prop_assert_eq!(page.len(), codes.len());
+        for (i, &c) in codes.iter().enumerate() {
+            prop_assert_eq!(page.get(i), c, "slot {} diverges", i);
+        }
+        let mut decoded = Vec::new();
+        page.decode_into(&mut decoded);
+        prop_assert_eq!(&decoded, &codes);
+        let bytes = PageData::Code(page.clone()).to_bytes();
+        prop_assert_eq!(PageData::from_bytes(&bytes).unwrap(), PageData::Code(page));
+    }
+
+    /// An int *column* built from arbitrary optional values (NULL runs,
+    /// negatives, extremes) reads back exactly, under both policies — the
+    /// builder's null-slot fill values never leak into visible rows.
+    #[test]
+    fn int_column_roundtrip(
+        values in prop::collection::vec(proptest::option::of(int_slot()), 0..300),
+        policy in prop_oneof![Just(EncodingPolicy::Auto), Just(EncodingPolicy::Plain)],
+    ) {
+        let mut builder = ColumnBuilder::with_policy(DataType::Int, policy);
+        for v in &values {
+            prop_assert!(builder.push(&v.map(Value::Int).unwrap_or(Value::Null)));
+        }
+        let col = builder.finish();
+        prop_assert_eq!(col.len(), values.len());
+        for (i, v) in values.iter().enumerate() {
+            prop_assert_eq!(col.int_at(i), *v, "row {} diverges", i);
+            prop_assert_eq!(col.is_null(i), v.is_none());
+        }
     }
 }

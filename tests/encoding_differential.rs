@@ -1,0 +1,96 @@
+//! Differential tests for the encoded column layer: every JOB query must
+//! produce exactly the same result on auto-encoded columns (RLE /
+//! frame-of-reference / bit-packed pages, with predicate evaluation pushed
+//! onto the encoded data) as on the plain un-encoded twin of the same
+//! database — at one worker thread and at four.  Encoding is a physical
+//! layout choice; any visible difference is a bug.
+
+use qob_core::BenchmarkContext;
+use qob_datagen::{declare_imdb_keys, Scale};
+use qob_enumerate::PlannerConfig;
+use qob_exec::ExecutionOptions;
+use qob_storage::{Database, EncodingPolicy, IndexConfig};
+
+/// Small morsels so tiny-scale tables still split across workers.
+const TINY_MORSEL: usize = 64;
+
+/// Rebuilds the context's database with every column stored verbatim
+/// (`EncodingPolicy::Plain`) — the pre-refactor representation.
+fn plain_twin(ctx: &BenchmarkContext) -> BenchmarkContext {
+    let mut db = Database::new();
+    for (_, table) in ctx.db().tables() {
+        db.add_table(table.reencoded(EncodingPolicy::Plain)).unwrap();
+    }
+    declare_imdb_keys(&mut db).unwrap();
+    db.build_indexes(ctx.db().index_config()).unwrap();
+    BenchmarkContext::from_database(db, ctx.scale())
+}
+
+#[test]
+fn encoded_matches_plain_on_all_113_job_queries_at_1_and_4_threads() {
+    let encoded = BenchmarkContext::new(Scale::tiny(), IndexConfig::PrimaryKeyOnly).unwrap();
+    let plain = plain_twin(&encoded);
+    assert!(
+        encoded.db().tables().map(|(_, t)| t.encoded_data_bytes()).sum::<usize>()
+            < plain.db().tables().map(|(_, t)| t.encoded_data_bytes()).sum::<usize>(),
+        "the auto-encoded database must actually be smaller than the plain twin"
+    );
+
+    let estimates = encoded.estimator(qob_core::EstimatorKind::Postgres);
+    let model = qob_cost::SimpleCostModel::new();
+    assert_eq!(encoded.queries().len(), 113);
+    for query in encoded.queries() {
+        // One plan, planned once against the encoded database, executed on
+        // both layouts — so the comparison isolates the storage layer.
+        let planner = qob_enumerate::Planner::new(
+            encoded.db(),
+            query,
+            &model,
+            estimates.as_ref(),
+            PlannerConfig::default(),
+        );
+        let plan = qob_enumerate::goo::optimize_goo(&planner)
+            .unwrap_or_else(|e| panic!("{}: planning failed: {e}", query.name));
+        for threads in [1usize, 4] {
+            let options =
+                ExecutionOptions { threads, morsel_size: TINY_MORSEL, ..Default::default() };
+            let a = encoded
+                .execute(query, &plan.plan, estimates.as_ref(), &options)
+                .unwrap_or_else(|e| panic!("{}: encoded execution failed: {e}", query.name));
+            let b = plain
+                .execute(query, &plan.plan, estimates.as_ref(), &options)
+                .unwrap_or_else(|e| panic!("{}: plain execution failed: {e}", query.name));
+            assert_eq!(a.rows, b.rows, "{} (threads={threads}): row counts diverge", query.name);
+            assert_eq!(
+                a.operator_cardinalities, b.operator_cardinalities,
+                "{} (threads={threads}): operator cardinalities diverge",
+                query.name
+            );
+        }
+    }
+}
+
+#[test]
+fn encoded_and_plain_statistics_agree() {
+    // Statistics are built by scanning column values, so the physical
+    // encoding must be invisible to them: same row counts, same per-column
+    // distinct counts.
+    let encoded = BenchmarkContext::new(Scale::tiny(), IndexConfig::NoIndexes).unwrap();
+    let plain = plain_twin(&encoded);
+    for (tid, table) in encoded.db().tables() {
+        let e = encoded.stats().table(tid);
+        let p = plain.stats().table(tid);
+        assert_eq!(e.row_count, p.row_count, "{}: row counts diverge", table.name());
+        for (col, (ec, pc)) in e.columns.iter().zip(&p.columns).enumerate() {
+            let name = &table.column_meta(qob_storage::ColumnId(col as u32)).name;
+            assert_eq!(
+                ec.distinct_exact,
+                pc.distinct_exact,
+                "{}.{name}: exact distinct counts diverge",
+                table.name()
+            );
+            assert_eq!(ec.min, pc.min, "{}.{name}: min diverges", table.name());
+            assert_eq!(ec.max, pc.max, "{}.{name}: max diverges", table.name());
+        }
+    }
+}

@@ -172,6 +172,65 @@ pub fn any<T: Arbitrary>() -> Any<T> {
     Any(std::marker::PhantomData)
 }
 
+/// Strategy that always yields a clone of one value (proptest's `Just`).
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted union of strategies over one value type — what [`prop_oneof!`]
+/// builds.
+pub struct Union<V> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+}
+
+impl<V: Debug> Union<V> {
+    /// Creates a union; every weight must be positive.
+    pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        assert!(arms.iter().all(|(w, _)| *w > 0), "prop_oneof! weights must be positive");
+        Union { arms }
+    }
+}
+
+impl<V: Debug> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let total: u32 = self.arms.iter().map(|(w, _)| w).sum();
+        let mut pick = rng.below(total as usize) as u32;
+        for (weight, strategy) in &self.arms {
+            if pick < *weight {
+                return strategy.generate(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+/// Picks one of several strategies per generated case, optionally weighted
+/// (`weight => strategy`), mirroring proptest's `prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {{
+        let mut arms: ::std::vec::Vec<(u32, ::std::boxed::Box<dyn $crate::Strategy<Value = _>>)> =
+            ::std::vec::Vec::new();
+        $(arms.push(($weight as u32, ::std::boxed::Box::new($strat)));)+
+        $crate::Union::new(arms)
+    }};
+    ($($strat:expr),+ $(,)?) => {{
+        let mut arms: ::std::vec::Vec<(u32, ::std::boxed::Box<dyn $crate::Strategy<Value = _>>)> =
+            ::std::vec::Vec::new();
+        $(arms.push((1u32, ::std::boxed::Box::new($strat)));)+
+        $crate::Union::new(arms)
+    }};
+}
+
 /// Number of cases each `proptest!` test runs.
 pub const CASES: usize = 128;
 
@@ -184,8 +243,8 @@ pub mod prop {
 /// The prelude, mirroring `proptest::prelude::*`.
 pub mod prelude {
     pub use crate::{
-        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Strategy,
-        TestRng,
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        Just, Strategy, TestRng, Union,
     };
 }
 
@@ -227,7 +286,8 @@ macro_rules! prop_assert {
     };
 }
 
-/// Asserts equality inside a `proptest!` body.
+/// Asserts equality inside a `proptest!` body, with an optional context
+/// message appended to the failure report.
 #[macro_export]
 macro_rules! prop_assert_eq {
     ($left:expr, $right:expr) => {{
@@ -238,6 +298,19 @@ macro_rules! prop_assert_eq {
             "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
             stringify!($left),
             stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}` ({})\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            format!($($fmt)+),
             left,
             right
         );

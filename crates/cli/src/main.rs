@@ -35,6 +35,9 @@ USAGE:
     qob [OPTIONS] -e SQL    run an inline statement
     qob serve [OPTIONS]     start the long-lived query server
     qob connect [OPTIONS]   talk to a running server (SQL from -e/FILE/stdin)
+    qob top [OPTIONS]       live dashboard over a running server: QPS, latency
+                            quantiles, pool utilization, hottest fingerprints
+                            and recent regressions, refreshing in place
     qob bench-load [OPTIONS]
                             drive concurrent connections against a running
                             server and write a BENCH_load.json summary
@@ -99,6 +102,10 @@ SERVE OPTIONS:
                              (0 = engine default)
         --morsel-size <n>    default execution morsel size for every session
                              (0 = engine default)
+        --regression-ratio <x>
+                             fire a `regression` event when a fingerprint's
+                             recent median latency exceeds its baseline median
+                             by this factor (0 disables)        [default: 2]
         plus --snapshot / --data-dir / --scale / --indexes / --threads as
         above
 
@@ -152,9 +159,22 @@ CONNECT OPTIONS:
                              exposition, validated before printing) and exit
         --bench-json <PATH>  with --metrics: also write a BENCH_*.json summary
                              (latency quantiles + counters) to PATH
+        --history [n]        print the server's per-fingerprint query history
+                             (JSON: counts, p50/p99, regressions) and exit;
+                             the optional value caps the list to the n
+                             hottest fingerprints
+        --trace-out <PATH>   export the server's scheduler timeline as Chrome
+                             trace-event JSON to PATH (open in about://tracing
+                             or https://ui.perfetto.dev) and exit
         --ping               liveness check and exit
         --shutdown           ask the server to shut down and exit
         --json               print raw JSON response lines instead of tables
+
+TOP OPTIONS:
+        --addr <HOST:PORT>   server address             [default: 127.0.0.1:4547]
+        --interval <ms>      refresh interval in milliseconds  [default: 1000]
+        --count <n>          exit after n frames (0 = run until interrupted)
+        --top <n>            hottest fingerprints to show          [default: 8]
 
 Scripts may PREPARE name AS SELECT ... ? / EXECUTE name(values) /
 DEALLOCATE name — in one-shot mode, over `qob connect`, and on the wire.
@@ -305,6 +325,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("serve") => serve_main(&args[1..]),
         Some("connect") => connect_main(&args[1..]),
+        Some("top") => top_main(&args[1..]),
         Some("bench-load") => bench_load_main(&args[1..]),
         Some("plangrid") => plangrid_main(&args[1..]),
         Some("ingest") => ingest_main(&args[1..]),
@@ -605,6 +626,8 @@ struct ServeOptions {
     /// default); small tables need a smaller morsel before a pipeline has
     /// enough morsels to parallelise at all.
     morsel_size: usize,
+    /// Regression-detector threshold for every session (`0` disables).
+    regression_ratio: f64,
 }
 
 /// Validates `--slow-query-ms` through [`SessionOptions::set`] (same rule
@@ -621,6 +644,14 @@ fn parse_mem_budget(raw: &str) -> Result<usize, String> {
     let mut scratch = SessionOptions::default();
     scratch.set("mem_budget", raw)?;
     Ok(scratch.mem_budget)
+}
+
+/// Validates `--regression-ratio` through [`SessionOptions::set`] (same rule
+/// as `set regression_ratio` on the wire).
+fn parse_regression_ratio(raw: &str) -> Result<f64, String> {
+    let mut scratch = SessionOptions::default();
+    scratch.set("regression_ratio", raw)?;
+    Ok(scratch.regression_ratio)
 }
 
 fn parse_count(raw: &str, flag: &str) -> Result<usize, String> {
@@ -644,6 +675,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
         max_queued: 256,
         mem_budget: 0,
         morsel_size: qob_exec::DEFAULT_MORSEL_SIZE,
+        regression_ratio: qob_core::DEFAULT_REGRESSION_RATIO,
     };
     let mut i = 0;
     while i < args.len() {
@@ -686,6 +718,10 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
             "--morsel-size" => {
                 options.morsel_size = parse_morsel_size(&value_of(args, &mut i, "--morsel-size")?)?
             }
+            "--regression-ratio" => {
+                options.regression_ratio =
+                    parse_regression_ratio(&value_of(args, &mut i, "--regression-ratio")?)?
+            }
             flag => return Err(format!("unknown serve flag `{flag}`")),
         }
         i += 1;
@@ -726,6 +762,7 @@ fn serve_main(args: &[String]) -> ExitCode {
         slow_query_ms: options.slow_query_ms,
         mem_budget: options.mem_budget,
         morsel_size: options.morsel_size,
+        regression_ratio: options.regression_ratio,
         ..SessionOptions::default()
     };
     let workers = if options.per_query_pools { 0 } else { options.workers };
@@ -765,6 +802,8 @@ enum ConnectAction {
     Script { explain: bool },
     Stats,
     Metrics,
+    History { top: Option<u64> },
+    TraceExport { out: String },
     Ping,
     Shutdown,
 }
@@ -807,6 +846,22 @@ fn parse_connect_args(args: &[String]) -> Result<ConnectOptions, String> {
             "--explain" => explain = true,
             "--stats" => options.action = ConnectAction::Stats,
             "--metrics" => options.action = ConnectAction::Metrics,
+            "--history" => {
+                // The cap is optional: `--history 5` limits the list, a bare
+                // `--history` returns every fingerprint.
+                let top = match args.get(i + 1).map(|next| next.parse::<u64>()) {
+                    Some(Ok(n)) => {
+                        i += 1;
+                        Some(n)
+                    }
+                    _ => None,
+                };
+                options.action = ConnectAction::History { top };
+            }
+            "--trace-out" => {
+                options.action =
+                    ConnectAction::TraceExport { out: value_of(args, &mut i, "--trace-out")? }
+            }
             "--bench-json" => options.bench_json = Some(value_of(args, &mut i, "--bench-json")?),
             "--ping" => options.action = ConnectAction::Ping,
             "--shutdown" => options.action = ConnectAction::Shutdown,
@@ -868,6 +923,8 @@ fn connect_main(args: &[String]) -> ExitCode {
     let request = match &options.action {
         ConnectAction::Stats => Request::Stats,
         ConnectAction::Metrics => Request::Metrics,
+        ConnectAction::History { top } => Request::History { top: *top },
+        ConnectAction::TraceExport { .. } => Request::TraceExport,
         ConnectAction::Ping => Request::Ping,
         ConnectAction::Shutdown => Request::Shutdown,
         ConnectAction::Script { explain } => {
@@ -897,11 +954,40 @@ fn connect_main(args: &[String]) -> ExitCode {
     if matches!(options.action, ConnectAction::Metrics) {
         return render_metrics(&response, options.bench_json.as_deref(), options.raw_json);
     }
-    if options.raw_json || matches!(options.action, ConnectAction::Stats) {
+    if let ConnectAction::TraceExport { out } = &options.action {
+        return write_trace(&response, out, options.raw_json);
+    }
+    if options.raw_json
+        || matches!(options.action, ConnectAction::Stats | ConnectAction::History { .. })
+    {
         println!("{response}");
         return exit_for(&response);
     }
     render_response(&response)
+}
+
+/// Writes a `trace` response's event array as a Chrome trace-event JSON
+/// file — a plain array, exactly what `about://tracing` and Perfetto load.
+fn write_trace(response: &Json, path: &str, raw_json: bool) -> ExitCode {
+    let Some(events) = response.get("events").and_then(Json::as_array) else {
+        eprintln!("error: malformed trace response: {response}");
+        return ExitCode::FAILURE;
+    };
+    let spans = response.get("span_count").and_then(Json::as_u64).unwrap_or(0);
+    let body = Json::Arr(events.to_vec());
+    if let Err(e) = std::fs::write(path, format!("{body}\n")) {
+        eprintln!("error: cannot write `{path}`: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "wrote {} trace events ({spans} pipeline spans) to `{path}` — open it in \
+         about://tracing or https://ui.perfetto.dev",
+        events.len()
+    );
+    if raw_json {
+        println!("{response}");
+    }
+    exit_for(response)
 }
 
 /// Renders a `metrics` response: validates the Prometheus exposition before
@@ -1086,6 +1172,200 @@ fn render_result(result: &Json) {
             phase("queue_us"),
             phase("execute_us")
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// `qob top`
+// ---------------------------------------------------------------------------
+
+struct TopOptions {
+    addr: String,
+    interval_ms: u64,
+    /// Frames to render before exiting; `0` = run until interrupted.
+    count: usize,
+    /// Hottest fingerprints to show.
+    top: usize,
+}
+
+fn parse_top_args(args: &[String]) -> Result<TopOptions, String> {
+    let mut options = TopOptions {
+        addr: qob_server::DEFAULT_ADDR.to_owned(),
+        interval_ms: 1000,
+        count: 0,
+        top: 8,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-h" | "--help" => return Err(String::new()),
+            "--addr" => options.addr = value_of(args, &mut i, "--addr")?,
+            "--interval" => {
+                options.interval_ms =
+                    parse_count(&value_of(args, &mut i, "--interval")?, "--interval")?.max(50)
+                        as u64
+            }
+            "--count" => {
+                options.count = parse_count(&value_of(args, &mut i, "--count")?, "--count")?
+            }
+            "--top" => {
+                options.top = parse_count(&value_of(args, &mut i, "--top")?, "--top")?.max(1)
+            }
+            flag => return Err(format!("unknown top flag `{flag}`")),
+        }
+        i += 1;
+    }
+    Ok(options)
+}
+
+/// A 20-cell utilization bar: `[##########----------]  50.0%`.
+fn utilization_bar(fraction: f64) -> String {
+    let cells = (fraction.clamp(0.0, 1.0) * 20.0).round() as usize;
+    format!("[{}{}] {:>5.1}%", "#".repeat(cells), "-".repeat(20 - cells), fraction * 100.0)
+}
+
+/// Renders one dashboard frame from the three wire responses.  Pure
+/// formatting — the polling loop and the tests share it.
+fn format_top_frame(
+    addr: &str,
+    stats: &Json,
+    summary: &Json,
+    history: &Json,
+    qps: Option<f64>,
+) -> String {
+    use std::fmt::Write as _;
+    let stat = |key: &str| stats.get(key).and_then(Json::as_u64).unwrap_or(0);
+    let sum = |key: &str| summary.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "qob top — {addr} · {} queries · {} connections",
+        stat("queries_served"),
+        stat("active_connections")
+    );
+    let qps_text = qps.map_or("  --".to_owned(), |q| format!("{q:.1}"));
+    let _ = writeln!(
+        out,
+        "qps {qps_text} · p50 {:.0}us p95 {:.0}us p99 {:.0}us · errors {} · regressions {}",
+        sum("query_p50_us"),
+        sum("query_p95_us"),
+        sum("query_p99_us"),
+        sum("query_errors_total") as u64,
+        sum("regressions_total") as u64
+    );
+
+    let workers = stats.get("workers").and_then(Json::as_array).unwrap_or(&[]);
+    if !workers.is_empty() {
+        let _ = writeln!(out, "\npool ({} workers):", workers.len());
+        for (i, worker) in workers.iter().enumerate() {
+            let utilization = worker.get("utilization").and_then(Json::as_f64).unwrap_or(0.0);
+            let steals = worker.get("steals").and_then(Json::as_u64).unwrap_or(0);
+            let _ =
+                writeln!(out, "  worker {i:<2} {}  steals {steals}", utilization_bar(utilization));
+        }
+    }
+
+    let fingerprints = history.get("fingerprints").and_then(Json::as_array).unwrap_or(&[]);
+    if !fingerprints.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n{:<16} {:>7} {:>10} {:>10} {:>8} {:>7}  query",
+            "fingerprint", "count", "p50", "p99", "q-err", "replan"
+        );
+        for f in fingerprints {
+            let _ = writeln!(
+                out,
+                "{:<16} {:>7} {:>8}us {:>8}us {:>7.1}x {:>7}  {}",
+                f.get("fingerprint").and_then(Json::as_str).unwrap_or("?"),
+                f.get("count").and_then(Json::as_u64).unwrap_or(0),
+                f.get("p50_us").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+                f.get("p99_us").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+                f.get("max_q_error").and_then(Json::as_f64).unwrap_or(0.0),
+                f.get("replans").and_then(Json::as_u64).unwrap_or(0),
+                f.get("query").and_then(Json::as_str).unwrap_or("?"),
+            );
+        }
+    } else {
+        let _ = writeln!(out, "\nno queries recorded yet");
+    }
+
+    let regressions = history.get("regressions").and_then(Json::as_array).unwrap_or(&[]);
+    if !regressions.is_empty() {
+        let _ = writeln!(out, "\nrecent regressions:");
+        for r in regressions {
+            let _ = writeln!(
+                out,
+                "  {}: {:.0}us → {:.0}us ({:.1}x past the {:.1}x threshold)",
+                r.get("query").and_then(Json::as_str).unwrap_or("?"),
+                r.get("baseline_us").and_then(Json::as_f64).unwrap_or(0.0),
+                r.get("recent_us").and_then(Json::as_f64).unwrap_or(0.0),
+                r.get("factor").and_then(Json::as_f64).unwrap_or(0.0),
+                r.get("ratio").and_then(Json::as_f64).unwrap_or(0.0),
+            );
+        }
+    }
+    out
+}
+
+fn top_main(args: &[String]) -> ExitCode {
+    let options = match parse_top_args(args) {
+        Ok(options) => options,
+        Err(message) if message.is_empty() => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("error: {message}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut client = match Client::connect(&options.addr) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("error: cannot connect to {}: {e}", options.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // QPS is the queries_total delta between consecutive frames; the first
+    // frame has no baseline and shows `--`.
+    let mut previous: Option<(Instant, u64)> = None;
+    let mut frame = 0usize;
+    loop {
+        let polled = (|| -> Result<(Json, Json, Json), String> {
+            let stats = client.request(&Request::Stats).map_err(|e| e.to_string())?;
+            let metrics = client.request(&Request::Metrics).map_err(|e| e.to_string())?;
+            let history = client
+                .request(&Request::History { top: Some(options.top as u64) })
+                .map_err(|e| e.to_string())?;
+            Ok((stats, metrics, history))
+        })();
+        let (stats, metrics, history) = match polled {
+            Ok(tuple) => tuple,
+            Err(message) => {
+                eprintln!("error: lost the server at {}: {message}", options.addr);
+                return ExitCode::FAILURE;
+            }
+        };
+        let summary = metrics.get("summary").cloned().unwrap_or(Json::Null);
+        let now = Instant::now();
+        let total = summary.get("queries_total").and_then(Json::as_u64).unwrap_or(0);
+        let qps = previous.map(|(at, then)| {
+            total.saturating_sub(then) as f64 / now.duration_since(at).as_secs_f64().max(1e-9)
+        });
+        previous = Some((now, total));
+
+        // Clear and repaint in place (ANSI: wipe the screen, home the
+        // cursor), exactly like top(1).
+        print!("\x1b[2J\x1b[H{}", format_top_frame(&options.addr, &stats, &summary, &history, qps));
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+
+        frame += 1;
+        if options.count > 0 && frame >= options.count {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(options.interval_ms));
     }
 }
 
@@ -2070,6 +2350,142 @@ mod tests {
             parse_connect_args(&args(&["--metrics", "--bench-json", "BENCH_smoke.json"])).unwrap();
         assert_eq!(options.bench_json.as_deref(), Some("BENCH_smoke.json"));
         assert!(parse_connect_args(&args(&["--bench-json"])).is_err());
+    }
+
+    #[test]
+    fn history_and_trace_connect_flags_parse() {
+        let options = parse_connect_args(&args(&["--history"])).unwrap();
+        assert!(matches!(options.action, ConnectAction::History { top: None }));
+        let options = parse_connect_args(&args(&["--history", "5"])).unwrap();
+        assert!(matches!(options.action, ConnectAction::History { top: Some(5) }));
+        // A following flag is not a cap.
+        let options = parse_connect_args(&args(&["--history", "--json"])).unwrap();
+        assert!(matches!(options.action, ConnectAction::History { top: None }));
+        assert!(options.raw_json);
+
+        let options = parse_connect_args(&args(&["--trace-out", "trace.json"])).unwrap();
+        assert!(
+            matches!(options.action, ConnectAction::TraceExport { ref out } if out == "trace.json")
+        );
+        assert!(parse_connect_args(&args(&["--trace-out"])).is_err());
+    }
+
+    #[test]
+    fn regression_ratio_serve_flag_parses() {
+        let defaults = parse_serve_args(&[]).unwrap();
+        assert_eq!(defaults.regression_ratio, qob_core::DEFAULT_REGRESSION_RATIO);
+        let options = parse_serve_args(&args(&["--regression-ratio", "1.5"])).unwrap();
+        assert_eq!(options.regression_ratio, 1.5);
+        let disabled = parse_serve_args(&args(&["--regression-ratio", "0"])).unwrap();
+        assert_eq!(disabled.regression_ratio, 0.0);
+        assert!(parse_serve_args(&args(&["--regression-ratio", "-1"])).is_err());
+        assert!(parse_serve_args(&args(&["--regression-ratio", "fast"])).is_err());
+    }
+
+    #[test]
+    fn top_args_parse() {
+        let defaults = parse_top_args(&[]).unwrap();
+        assert_eq!(defaults.addr, qob_server::DEFAULT_ADDR);
+        assert_eq!(defaults.interval_ms, 1000);
+        assert_eq!(defaults.count, 0, "run until interrupted by default");
+        assert_eq!(defaults.top, 8);
+
+        let options = parse_top_args(&args(&[
+            "--addr",
+            "127.0.0.1:9",
+            "--interval",
+            "250",
+            "--count",
+            "3",
+            "--top",
+            "5",
+        ]))
+        .unwrap();
+        assert_eq!(options.addr, "127.0.0.1:9");
+        assert_eq!(options.interval_ms, 250);
+        assert_eq!(options.count, 3);
+        assert_eq!(options.top, 5);
+        assert_eq!(parse_top_args(&args(&["--interval", "1"])).unwrap().interval_ms, 50, "floored");
+        assert!(parse_top_args(&args(&["--interval", "soon"])).is_err());
+        assert!(parse_top_args(&args(&["--bogus"])).is_err());
+        assert_eq!(parse_top_args(&args(&["--help"])).err().unwrap(), "");
+    }
+
+    #[test]
+    fn top_frame_renders_every_section() {
+        let stats = Json::obj(vec![
+            ("queries_served", Json::Num(42.0)),
+            ("active_connections", Json::Num(2.0)),
+            (
+                "workers",
+                Json::Arr(vec![
+                    Json::obj(vec![
+                        ("worker", Json::Num(0.0)),
+                        ("utilization", Json::Num(0.5)),
+                        ("steals", Json::Num(3.0)),
+                    ]),
+                    Json::obj(vec![
+                        ("worker", Json::Num(1.0)),
+                        ("utilization", Json::Num(0.0)),
+                        ("steals", Json::Num(0.0)),
+                    ]),
+                ]),
+            ),
+        ]);
+        let summary = Json::obj(vec![
+            ("query_p50_us", Json::Num(120.0)),
+            ("query_p95_us", Json::Num(400.0)),
+            ("query_p99_us", Json::Num(900.0)),
+            ("query_errors_total", Json::Num(0.0)),
+            ("regressions_total", Json::Num(1.0)),
+        ]);
+        let history = Json::obj(vec![
+            (
+                "fingerprints",
+                Json::Arr(vec![Json::obj(vec![
+                    ("fingerprint", Json::str("00deadbeef001122")),
+                    ("query", Json::str("q1")),
+                    ("count", Json::Num(40.0)),
+                    ("p50_us", Json::Num(110.0)),
+                    ("p99_us", Json::Num(800.0)),
+                    ("max_q_error", Json::Num(2.5)),
+                    ("replans", Json::Num(0.0)),
+                ])]),
+            ),
+            (
+                "regressions",
+                Json::Arr(vec![Json::obj(vec![
+                    ("query", Json::str("q1")),
+                    ("baseline_us", Json::Num(100.0)),
+                    ("recent_us", Json::Num(300.0)),
+                    ("factor", Json::Num(3.0)),
+                    ("ratio", Json::Num(2.0)),
+                ])]),
+            ),
+        ]);
+        let frame = format_top_frame("127.0.0.1:4547", &stats, &summary, &history, Some(12.5));
+        assert!(frame.contains("42 queries"), "{frame}");
+        assert!(frame.contains("qps 12.5"), "{frame}");
+        assert!(frame.contains("p50 120us"), "{frame}");
+        assert!(frame.contains("pool (2 workers)"), "{frame}");
+        assert!(frame.contains("[##########----------]  50.0%"), "{frame}");
+        assert!(frame.contains("00deadbeef001122"), "{frame}");
+        assert!(frame.contains("recent regressions:"), "{frame}");
+        assert!(frame.contains("3.0x past the 2.0x threshold"), "{frame}");
+
+        // The first frame has no QPS baseline; an empty history says so.
+        let empty = Json::obj(vec![("fingerprints", Json::Arr(vec![]))]);
+        let frame = format_top_frame("127.0.0.1:4547", &stats, &summary, &empty, None);
+        assert!(frame.contains("qps   --"), "{frame}");
+        assert!(frame.contains("no queries recorded yet"), "{frame}");
+    }
+
+    #[test]
+    fn utilization_bars_clamp() {
+        assert_eq!(utilization_bar(0.0), "[--------------------]   0.0%");
+        assert_eq!(utilization_bar(1.0), "[####################] 100.0%");
+        assert_eq!(utilization_bar(7.0), "[####################] 700.0%");
+        assert!(utilization_bar(0.5).starts_with("[##########----------]"));
     }
 
     #[test]

@@ -55,6 +55,6 @@ pub use qob_cardest::{nearest_rank_percentile, percentile};
 pub use session::{
     ExecutionReport, OperatorReport, PlanCacheStatus, QueryReport, ReplanReport, SchedulerConfig,
     ScriptOutcome, ServerContext, Session, SessionError, SessionOptions, TraceReport,
-    DEFAULT_CACHE_FENCE,
+    DEFAULT_CACHE_FENCE, DEFAULT_REGRESSION_RATIO,
 };
 pub use slowdown::{geometric_mean, SlowdownBucket, SlowdownDistribution};

@@ -108,10 +108,25 @@ pub struct SessionOptions {
     /// control this is the per-session memory budget: a runaway join burns
     /// its own budget instead of the whole server's.
     pub mem_budget: usize,
+    /// When `true` (the default), every executed statement records one
+    /// sample into the server-wide per-fingerprint query history
+    /// ([`qob_obs::QueryHistory`]).  Recording is a handful of counter
+    /// updates after the result exists — it never changes what executes —
+    /// but the switch lets differential tests pin history-on ≡ history-off.
+    pub history: bool,
+    /// Regression-detector threshold: a `regression` event fires for a
+    /// fingerprint when the median latency of its recent window exceeds
+    /// `regression_ratio ×` the median of the preceding baseline window.
+    /// `0` disables detection; values in `(0, 1]` force it (useful in CI).
+    pub regression_ratio: f64,
 }
 
 /// The default plan-cache reuse fence (q-error factor).
 pub const DEFAULT_CACHE_FENCE: f64 = 10.0;
+
+/// The default regression-detector ratio: a fingerprint's recent-window
+/// median latency must double over its baseline-window median to fire.
+pub const DEFAULT_REGRESSION_RATIO: f64 = 2.0;
 
 impl Default for SessionOptions {
     fn default() -> Self {
@@ -128,6 +143,8 @@ impl Default for SessionOptions {
             tracing: false,
             slow_query_ms: 0,
             mem_budget: 0,
+            history: true,
+            regression_ratio: DEFAULT_REGRESSION_RATIO,
         }
     }
 }
@@ -140,9 +157,10 @@ impl SessionOptions {
     /// `adaptive_threshold` (q-error factor > 1), `max_replans` (integer),
     /// `plan_cache` (`true`/`false`), `cache_fence` (q-error factor > 1),
     /// `cache_capacity` (integer, `0` = default), `tracing`
-    /// (`true`/`false`), `slow_query_ms` (integer, `0` = off) or
-    /// `mem_budget` (intermediate tuple slots, `0` = engine default).
-    /// Returns a description of the rejection otherwise.
+    /// (`true`/`false`), `slow_query_ms` (integer, `0` = off),
+    /// `mem_budget` (intermediate tuple slots, `0` = engine default),
+    /// `history` (`true`/`false`) or `regression_ratio` (number ≥ 0, `0` =
+    /// detector off).  Returns a description of the rejection otherwise.
     pub fn set(&mut self, name: &str, value: &str) -> Result<(), String> {
         let flag = |value: &str| match value {
             "true" => Ok(true),
@@ -218,6 +236,18 @@ impl SessionOptions {
                 self.mem_budget = value
                     .parse()
                     .map_err(|_| format!("mem_budget needs an integer, got `{value}`"))?;
+            }
+            "history" => self.history = flag(value)?,
+            "regression_ratio" => {
+                let r: f64 = value
+                    .parse()
+                    .map_err(|_| format!("regression_ratio needs a number, got `{value}`"))?;
+                if r.is_nan() || r < 0.0 {
+                    return Err(format!(
+                        "regression_ratio needs a number >= 0 (0 disables), got `{value}`"
+                    ));
+                }
+                self.regression_ratio = r;
             }
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -573,6 +603,10 @@ struct ServerShared {
     /// The server-wide structured event log (off until some session sets a
     /// positive `slow_query_ms`).
     events: EventLog,
+    /// The server-wide per-fingerprint query history (see
+    /// [`qob_obs::QueryHistory`]): every session with
+    /// [`SessionOptions::history`] on records executed statements here.
+    history: qob_obs::QueryHistory,
 }
 
 /// The long-lived, shareable wrapper around one warm [`BenchmarkContext`]:
@@ -625,6 +659,7 @@ impl ServerContext {
                 plan_cache: Mutex::new(PlanCache::new(capacity)),
                 metrics: MetricsRegistry::new(),
                 events,
+                history: qob_obs::QueryHistory::new(),
             }),
         }
     }
@@ -706,6 +741,25 @@ impl ServerContext {
         &self.shared.events
     }
 
+    /// The server-wide per-fingerprint query history.
+    pub fn history(&self) -> &qob_obs::QueryHistory {
+        &self.shared.history
+    }
+
+    /// Per-worker busy/idle/steal accumulators of the shared execution
+    /// pool, one entry per worker — empty when the server runs per-query
+    /// pools (there are no long-lived workers to profile).
+    pub fn worker_timelines(&self) -> Vec<qob_exec::WorkerTimelineSnapshot> {
+        self.shared.exec_pool.as_ref().map(|p| p.timelines()).unwrap_or_default()
+    }
+
+    /// The shared pool's retained pipeline spans (most recent
+    /// [`qob_exec::SPAN_RING_CAPACITY`] participant stints), oldest first —
+    /// empty when the server runs per-query pools.
+    pub fn pipeline_spans(&self) -> Vec<qob_exec::PipelineSpan> {
+        self.shared.exec_pool.as_ref().map(|p| p.spans()).unwrap_or_default()
+    }
+
     /// Renders the full Prometheus text exposition: the registry's counters
     /// and latency histograms, plus the plan-cache event counters and a few
     /// server gauges.  The body round-trips through
@@ -764,16 +818,24 @@ impl ServerContext {
         let sizes = self.shared.ctx.storage_sizes();
         let encoded: usize = sizes.iter().map(|t| t.encoded_bytes).sum();
         let plain: usize = sizes.iter().map(|t| t.plain_bytes).sum();
-        ex.gauge(
-            "qob_storage_encoded_bytes",
-            "Encoded column-page bytes across all tables",
-            encoded as u64,
-        );
-        ex.gauge(
-            "qob_storage_plain_bytes",
-            "Bytes the same columns would occupy un-encoded",
-            plain as u64,
-        );
+        // One labelled sample per table; Prometheus sums the series back
+        // into the old unlabelled totals (`sum(qob_storage_encoded_bytes)`).
+        for table in &sizes {
+            ex.gauge_with(
+                "qob_storage_encoded_bytes",
+                "Encoded column-page bytes, per table",
+                &[("table", &table.table)],
+                table.encoded_bytes as u64,
+            );
+        }
+        for table in &sizes {
+            ex.gauge_with(
+                "qob_storage_plain_bytes",
+                "Bytes the same columns would occupy un-encoded, per table",
+                &[("table", &table.table)],
+                table.plain_bytes as u64,
+            );
+        }
         let ratio_x100 =
             if encoded == 0 { 100 } else { (plain as f64 / encoded as f64 * 100.0) as u64 };
         ex.gauge(
@@ -1117,7 +1179,11 @@ impl Session {
         let mut execute_elapsed = Duration::ZERO;
         let mut queue_wait = Duration::ZERO;
         if mode.execute {
-            let exec_options = self.options.execution_options().with_pool(shared.exec_pool.clone());
+            let exec_options = self
+                .options
+                .execution_options()
+                .with_pool(shared.exec_pool.clone())
+                .with_trace_tag(Some(Arc::from(query.name.as_str())));
             // Admission: hold an execution slot for the whole execute
             // phase.  Parse/bind/optimize never queue — a point query's
             // plan is ready the moment a slot frees up.
@@ -1233,6 +1299,9 @@ impl Session {
                 worst_q_error: worst,
                 replans,
             });
+            if self.options.history {
+                self.record_history(query, &report, optimize_elapsed, queue_wait, execute_elapsed);
+            }
         }
         if mode.tracing {
             report.trace = Some(TraceReport {
@@ -1246,6 +1315,61 @@ impl Session {
 
         shared.queries_served.fetch_add(1, Ordering::Relaxed);
         Ok(report)
+    }
+
+    /// Records one executed statement into the server-wide query history
+    /// and, when the detector fires, counts and logs the regression.
+    /// Pure post-processing: the result already exists, so recording (and
+    /// the switch that skips it) can never change what a statement returns.
+    fn record_history(
+        &self,
+        query: &QuerySpec,
+        report: &QueryReport,
+        optimize_elapsed: Duration,
+        queue_wait: Duration,
+        execute_elapsed: Duration,
+    ) {
+        let shared = &self.server.shared;
+        let exec = match &report.execution {
+            Some(exec) => exec,
+            None => return,
+        };
+        // The same key the plan cache uses: structure fingerprint mixed
+        // with the estimator profile, so the same SQL planned by different
+        // estimators tracks as separate latency series.  The history keys
+        // by 64 bits; folding the two independent FNV lanes keeps both
+        // lanes' entropy.
+        let key = fingerprint_query(query).mix(self.options.estimator as u64);
+        let fingerprint = key.0 ^ key.1.rotate_left(32);
+        let sample = qob_obs::HistorySample {
+            seq: 0, // assigned by the history on record
+            total_us: micros(optimize_elapsed + queue_wait + execute_elapsed),
+            optimize_us: micros(optimize_elapsed),
+            queue_us: micros(queue_wait),
+            execute_us: micros(execute_elapsed),
+            rows: exec.rows,
+            max_q_error: exec.worst_q_error,
+            replans: exec.replans.len() as u64,
+            cache: match report.plan_cache {
+                None => qob_obs::CacheOutcome::Off,
+                Some(PlanCacheStatus::Hit) => qob_obs::CacheOutcome::Hit,
+                Some(PlanCacheStatus::Miss) => qob_obs::CacheOutcome::Miss,
+                Some(PlanCacheStatus::FenceRejected) => qob_obs::CacheOutcome::FenceRejected,
+            },
+        };
+        let fired =
+            shared.history.record(fingerprint, &query.name, sample, self.options.regression_ratio);
+        if let Some(regression) = fired {
+            shared.metrics.regressions_total.inc();
+            shared.events.emit(
+                Event::new("regression")
+                    .str("query", &regression.name)
+                    .float("baseline_us", regression.baseline_us)
+                    .float("recent_us", regression.recent_us)
+                    .float("factor", regression.factor)
+                    .float("ratio", regression.ratio),
+            );
+        }
     }
 
     /// Maps an executor error into a [`SessionError`], counting worker
@@ -1835,6 +1959,107 @@ mod tests {
 
         session.set_option("slow_query_ms", "0").unwrap();
         assert!(!server.events().is_enabled(), "zero switches the log back off");
+    }
+
+    #[test]
+    fn history_and_regression_options_parse() {
+        let mut o = SessionOptions::default();
+        assert!(o.history, "history recording defaults on");
+        assert_eq!(o.regression_ratio, DEFAULT_REGRESSION_RATIO);
+        o.set("history", "false").unwrap();
+        o.set("regression_ratio", "1.5").unwrap();
+        assert!(!o.history);
+        assert_eq!(o.regression_ratio, 1.5);
+        o.set("regression_ratio", "0").unwrap();
+        assert_eq!(o.regression_ratio, 0.0, "zero disables the detector");
+        o.set("regression_ratio", "0.01").unwrap();
+        assert_eq!(o.regression_ratio, 0.01, "sub-1 ratios force-fire for CI");
+        assert!(o.set("history", "maybe").is_err());
+        assert!(o.set("regression_ratio", "-1").is_err());
+        assert!(o.set("regression_ratio", "NaN").is_err());
+        assert!(o.set("regression_ratio", "steep").is_err());
+    }
+
+    #[test]
+    fn executed_statements_record_per_fingerprint_history() {
+        let server = server();
+        let mut session = server.session();
+        session.options.threads = 1;
+        session.run_script(THREE_WAY).unwrap();
+        session.run_script(THREE_WAY).unwrap();
+        session.run_script(FIVE_WAY).unwrap();
+        assert_eq!(server.history().recorded(), 3);
+        let snap = server.history().snapshot();
+        assert_eq!(snap.fingerprints.len(), 2, "two distinct statement structures");
+        let hottest = &snap.fingerprints[0];
+        assert_eq!(hottest.count, 2, "the repeated statement is hottest");
+        assert!(hottest.p50_us > 0.0 && hottest.p50_us <= hottest.p99_us);
+        assert!(hottest.last_rows > 0 || hottest.last_seq > 0);
+        assert!(snap.regressions.is_empty(), "nothing regressed at the default ratio");
+
+        // The per-session switch stops recording without changing answers.
+        let mut off = server.session();
+        off.options.threads = 1;
+        off.set_option("history", "false").unwrap();
+        let r = query_reports(off.run_script(THREE_WAY).unwrap()).remove(0);
+        assert!(r.execution.is_some());
+        assert_eq!(server.history().recorded(), 3, "history-off sessions record nothing");
+
+        // Explain-only statements never reach the history either.
+        let mut explain = server.session();
+        explain.options.execute = false;
+        explain.run_script(THREE_WAY).unwrap();
+        assert_eq!(server.history().recorded(), 3);
+    }
+
+    #[test]
+    fn forced_regression_fires_the_event_and_counter_once() {
+        let server = server();
+        server.events().capture();
+        let mut session = server.session();
+        session.options.threads = 1;
+        session.set_option("slow_query_ms", "60000").unwrap();
+        // A sub-1 ratio makes any flat latency series count as a
+        // regression the moment both windows are full — the CI forcing
+        // path.
+        session.set_option("regression_ratio", "0.01").unwrap();
+        let windows = qob_obs::BASELINE_WINDOW + qob_obs::RECENT_WINDOW;
+        for _ in 0..windows + 2 {
+            session.run_script(THREE_WAY).unwrap();
+        }
+        assert_eq!(
+            server.metrics().regressions_total.get(),
+            1,
+            "the detector latches: one crossing, one regression"
+        );
+        let snap = server.history().snapshot();
+        assert_eq!(snap.regressions.len(), 1);
+        assert_eq!(snap.fingerprints[0].regressions, 1);
+        let lines = server.events().drain();
+        let regression: Vec<&String> =
+            lines.iter().filter(|l| l.contains("\"event\":\"regression\"")).collect();
+        assert_eq!(regression.len(), 1, "{lines:?}");
+        for field in ["\"query\":", "\"baseline_us\":", "\"recent_us\":", "\"factor\":", "\"seq\":"]
+        {
+            assert!(regression[0].contains(field), "`{field}` in {}", regression[0]);
+        }
+        let body = server.metrics_exposition();
+        assert!(body.contains("qob_regressions_total 1"), "{body}");
+    }
+
+    #[test]
+    fn storage_gauges_are_labelled_per_table() {
+        let server = server();
+        let body = server.metrics_exposition();
+        qob_obs::validate_exposition(&body).expect("labelled exposition validates");
+        assert!(body.contains("qob_storage_encoded_bytes{table=\"title\"}"), "{body}");
+        assert!(body.contains("qob_storage_plain_bytes{table=\"movie_companies\"}"), "{body}");
+        assert_eq!(
+            body.matches("# TYPE qob_storage_encoded_bytes gauge").count(),
+            1,
+            "one family header however many tables"
+        );
+        assert!(body.contains("qob_storage_compression_ratio_x100"), "{body}");
     }
 
     #[test]

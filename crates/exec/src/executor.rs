@@ -81,6 +81,11 @@ pub struct ExecutionOptions {
     /// shared *across* concurrent queries; when `None` each pipeline scopes
     /// its own thread pool (the historical one-shot behaviour).
     pub pool: Option<std::sync::Arc<crate::scheduler::WorkerPool>>,
+    /// Label stamped on the pipeline spans this execution records on the
+    /// shared pool (typically the query name, e.g. `"17e"`).  `None` falls
+    /// back to `"pipeline"`.  Purely cosmetic: spans are recorded either
+    /// way whenever a pool is attached.
+    pub trace_tag: Option<std::sync::Arc<str>>,
 }
 
 impl Default for ExecutionOptions {
@@ -93,6 +98,7 @@ impl Default for ExecutionOptions {
             morsel_size: DEFAULT_MORSEL_SIZE,
             adaptive: AdaptiveOptions::default(),
             pool: None,
+            trace_tag: None,
         }
     }
 }
@@ -114,6 +120,13 @@ impl ExecutionOptions {
     /// [`crate::scheduler::WorkerPool`]).
     pub fn with_pool(mut self, pool: Option<std::sync::Arc<crate::scheduler::WorkerPool>>) -> Self {
         self.pool = pool;
+        self
+    }
+
+    /// Returns a copy whose shared-pool pipeline spans are stamped with
+    /// `tag` (typically the query name) in Chrome trace exports.
+    pub fn with_trace_tag(mut self, tag: Option<std::sync::Arc<str>>) -> Self {
+        self.trace_tag = tag;
         self
     }
 }

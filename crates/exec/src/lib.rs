@@ -42,5 +42,7 @@ pub use executor::{
 };
 pub use hashtable::ChainedHashTable;
 pub use intermediate::{Intermediate, Materialized};
-pub use scheduler::WorkerPool;
+pub use scheduler::{
+    trace_tid, PipelineSpan, WorkerPool, WorkerTimelineSnapshot, SPAN_RING_CAPACITY,
+};
 pub use truecard::{true_cardinalities, true_cardinalities_batch, TrueCardinalityOptions};

@@ -412,8 +412,14 @@ fn drive(
     let mut chunks: Vec<(usize, Vec<RowId>)> = Vec::new();
     if workers == 1 {
         // Run on the caller's thread: no spawn cost, and the exact sequential
-        // behaviour for `threads: 1`.
+        // behaviour for `threads: 1`.  A single-participant pipeline on a
+        // server with a shared pool still shows up in the trace ring —
+        // otherwise small queries would leave blank traces.
+        let stint_started = options.pool.as_ref().map(|_| std::time::Instant::now());
         worker(&pipeline, options, guard, counters, &cursor, morsel_count, &mut chunks);
+        if let (Some(pool), Some(started)) = (options.pool.as_deref(), stint_started) {
+            pool.record_span(options.trace_tag.as_deref().unwrap_or("pipeline"), started);
+        }
     } else {
         // Parallel participants — on the shared server pool when one is
         // attached, on a query-private scoped pool otherwise.  Either way
@@ -431,10 +437,18 @@ fn drive(
                 if options.morsel_size == TEST_PANIC_MORSEL_SIZE {
                     panic!("injected worker panic (test sentinel morsel size)");
                 }
+                // On the shared pool, each participant's stint becomes one
+                // pipeline span in the trace ring — recording happens after
+                // the work, off the morsel path, so it cannot perturb
+                // tuple-for-tuple determinism.
+                let stint_started = options.pool.as_ref().map(|_| std::time::Instant::now());
                 let mut local = Vec::new();
                 worker(&pipeline, options, guard, counters, &cursor, morsel_count, &mut local);
                 if !local.is_empty() {
                     sink.lock().extend(local);
+                }
+                if let (Some(pool), Some(started)) = (options.pool.as_deref(), stint_started) {
+                    pool.record_span(options.trace_tag.as_deref().unwrap_or("pipeline"), started);
                 }
             });
         if panicked {

@@ -41,10 +41,12 @@
 //! morsel order, so a query on the shared pool stays tuple-identical to
 //! `threads: 1`.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
 
 /// Locks ignoring poisoning: a panicked slot is already contained and
 /// reported through the task's `panicked` flag, so the state it protects
@@ -108,12 +110,99 @@ impl TaskShared {
     }
 }
 
+/// Per-worker nanosecond accumulators, updated by the owning worker with
+/// relaxed stores and read by anyone through [`WorkerPool::timelines`].
+/// `busy` covers time spent running claimed task slots, `idle` covers time
+/// parked on (or checking) the queue, and `steals` counts the helper tickets
+/// this worker drained that actually yielded work — i.e. how often it picked
+/// up *another* query's morsels, the elastic-helper behaviour made visible.
+#[derive(Default)]
+struct WorkerTimeline {
+    busy_nanos: AtomicU64,
+    idle_nanos: AtomicU64,
+    steals: AtomicU64,
+}
+
+/// A point-in-time copy of one worker's timeline accumulators.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerTimelineSnapshot {
+    /// Nanoseconds spent running task slots since the pool started.
+    pub busy_nanos: u64,
+    /// Nanoseconds spent parked on the task queue since the pool started.
+    pub idle_nanos: u64,
+    /// Helper tickets drained that yielded at least one slot of work.
+    pub steals: u64,
+}
+
+impl WorkerTimelineSnapshot {
+    /// Fraction of *observed* time (busy + idle) spent running task slots,
+    /// in `[0, 1]`.  `0.0` before the worker has recorded anything.
+    pub fn utilization(&self) -> f64 {
+        let total = self.busy_nanos.saturating_add(self.idle_nanos);
+        if total == 0 {
+            0.0
+        } else {
+            self.busy_nanos as f64 / total as f64
+        }
+    }
+}
+
+/// Most recent pipeline spans retained for [`WorkerPool::spans`].
+pub const SPAN_RING_CAPACITY: usize = 4096;
+
+/// One participant's stint on one pipeline: which thread ran it, when it
+/// began (µs since the pool's epoch) and for how long.  The fields map
+/// one-to-one onto a Chrome trace-event `"ph": "X"` complete event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PipelineSpan {
+    /// Query or pipeline tag supplied by the executor (`"pipeline"` when
+    /// the query did not tag itself).
+    pub name: String,
+    /// Stable per-thread id: pool workers are `1..=workers`, submitting
+    /// connection threads get unique ids `>= 100`.
+    pub tid: u32,
+    /// Start of the stint, microseconds since the pool was created.
+    pub start_us: u64,
+    /// Duration of the stint in microseconds.
+    pub dur_us: u64,
+}
+
+thread_local! {
+    /// Chrome-trace thread id of the current thread; `0` = not yet assigned.
+    static TRACE_TID: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Submitting (non-pool) threads draw trace ids from here; pool workers use
+/// `1..=workers`, so the ranges never collide.
+static NEXT_SUBMITTER_TID: AtomicU32 = AtomicU32::new(100);
+
+/// Stable Chrome-trace `tid` for the calling thread: pool workers were
+/// assigned `1..=workers` at spawn, any other thread (a query's submitting
+/// connection thread) gets a unique id `>= 100` on first use.
+pub fn trace_tid() -> u32 {
+    TRACE_TID.with(|cell| {
+        let tid = cell.get();
+        if tid != 0 {
+            return tid;
+        }
+        let tid = NEXT_SUBMITTER_TID.fetch_add(1, Ordering::Relaxed);
+        cell.set(tid);
+        tid
+    })
+}
+
 struct PoolShared {
     queue: Mutex<VecDeque<Arc<TaskShared>>>,
     wake: Condvar,
     shutdown: AtomicBool,
     /// Workers currently executing task slots (a gauge for `metrics`).
     busy: AtomicUsize,
+    /// One timeline per worker thread, indexed like `handles`.
+    timelines: Vec<WorkerTimeline>,
+    /// Ring of the most recent pipeline spans (bounded, never drained).
+    spans: Mutex<VecDeque<PipelineSpan>>,
+    /// Zero point for span timestamps: the instant the pool was created.
+    epoch: Instant,
 }
 
 /// A fixed-size, long-lived pool of execution workers shared by every query
@@ -136,18 +225,22 @@ impl std::fmt::Debug for WorkerPool {
 impl WorkerPool {
     /// Spawns a pool of `workers` execution threads (clamped to at least 1).
     pub fn new(workers: usize) -> WorkerPool {
+        let workers = workers.max(1);
         let shared = Arc::new(PoolShared {
             queue: Mutex::new(VecDeque::new()),
             wake: Condvar::new(),
             shutdown: AtomicBool::new(false),
             busy: AtomicUsize::new(0),
+            timelines: (0..workers).map(|_| WorkerTimeline::default()).collect(),
+            spans: Mutex::new(VecDeque::new()),
+            epoch: Instant::now(),
         });
-        let handles = (0..workers.max(1))
+        let handles = (0..workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("qob-worker-{i}"))
-                    .spawn(move || worker_main(&shared))
+                    .spawn(move || worker_main(&shared, i))
                     .expect("spawn pool worker")
             })
             .collect();
@@ -167,6 +260,43 @@ impl WorkerPool {
     /// Helper tickets waiting in the global queue.
     pub fn queued(&self) -> usize {
         lock(&self.shared.queue).len()
+    }
+
+    /// Point-in-time copy of every worker's busy/idle/steal accumulators,
+    /// indexed by worker (thread `qob-worker-{i}` is element `i`).
+    pub fn timelines(&self) -> Vec<WorkerTimelineSnapshot> {
+        self.shared
+            .timelines
+            .iter()
+            .map(|t| WorkerTimelineSnapshot {
+                busy_nanos: t.busy_nanos.load(Ordering::Relaxed),
+                idle_nanos: t.idle_nanos.load(Ordering::Relaxed),
+                steals: t.steals.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Copies the retained pipeline spans, oldest first, without draining
+    /// them — exporting a trace twice yields the same (growing) window.
+    pub fn spans(&self) -> Vec<PipelineSpan> {
+        lock(&self.shared.spans).iter().cloned().collect()
+    }
+
+    /// Records one participant stint that began at `started` (and ends now)
+    /// under the calling thread's trace id.  The ring keeps the most recent
+    /// [`SPAN_RING_CAPACITY`] spans and silently forgets older ones.
+    pub fn record_span(&self, name: &str, started: Instant) {
+        let span = PipelineSpan {
+            name: name.to_owned(),
+            tid: trace_tid(),
+            start_us: started.saturating_duration_since(self.shared.epoch).as_micros() as u64,
+            dur_us: started.elapsed().as_micros() as u64,
+        };
+        let mut ring = lock(&self.shared.spans);
+        if ring.len() >= SPAN_RING_CAPACITY {
+            ring.pop_front();
+        }
+        ring.push_back(span);
     }
 
     /// Runs `job(idx)` once for every slot `idx` in `0..slots`, spreading
@@ -235,8 +365,11 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_main(shared: &PoolShared) {
+fn worker_main(shared: &PoolShared, index: usize) {
+    TRACE_TID.with(|cell| cell.set(index as u32 + 1));
+    let timeline = &shared.timelines[index];
     loop {
+        let idle_from = Instant::now();
         let task = {
             let mut q = lock(&shared.queue);
             loop {
@@ -249,13 +382,23 @@ fn worker_main(shared: &PoolShared) {
                 q = wait(&shared.wake, q);
             }
         };
+        timeline.idle_nanos.fetch_add(idle_from.elapsed().as_nanos() as u64, Ordering::Relaxed);
         shared.busy.fetch_add(1, Ordering::Relaxed);
+        let busy_from = Instant::now();
         // Drain the ticket: keep claiming slots until the batch is exhausted
         // (a stale ticket whose batch already finished claims nothing and
         // costs one lock round-trip).
+        let mut claimed = false;
         while let Some(idx) = task.claim() {
+            claimed = true;
             task.run_slot(idx);
         }
+        // A drained ticket that still had work is one act of cross-query
+        // help: this worker ran morsels some other thread submitted.
+        if claimed {
+            timeline.steals.fetch_add(1, Ordering::Relaxed);
+        }
+        timeline.busy_nanos.fetch_add(busy_from.elapsed().as_nanos() as u64, Ordering::Relaxed);
         shared.busy.fetch_sub(1, Ordering::Relaxed);
     }
 }
@@ -372,6 +515,82 @@ mod tests {
         });
         assert!(!panicked);
         assert_eq!(ran.load(Ordering::Relaxed), 3, "submitter plus both surviving workers");
+    }
+
+    #[test]
+    fn timelines_accumulate_busy_idle_and_steals() {
+        let pool = WorkerPool::new(2);
+        // Give the workers a moment parked on the queue so idle time lands.
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        for _ in 0..4 {
+            while pool.busy() > 0 || pool.queued() > 0 {
+                std::thread::yield_now();
+            }
+            pool.run_tasks(3, &|_| {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            });
+        }
+        while pool.busy() > 0 {
+            std::thread::yield_now();
+        }
+        let timelines = pool.timelines();
+        assert_eq!(timelines.len(), 2);
+        assert!(
+            timelines.iter().any(|t| t.idle_nanos > 0),
+            "workers parked on an empty queue accumulate idle time"
+        );
+        assert!(
+            timelines.iter().any(|t| t.steals > 0 && t.busy_nanos > 0),
+            "a worker that drained a helper ticket accumulates busy time and a steal"
+        );
+        for t in &timelines {
+            let u = t.utilization();
+            assert!((0.0..=1.0).contains(&u), "utilization {u} out of range");
+        }
+        assert_eq!(WorkerTimelineSnapshot::default().utilization(), 0.0);
+    }
+
+    #[test]
+    fn spans_are_recorded_bounded_and_not_drained() {
+        let pool = WorkerPool::new(1);
+        let started = Instant::now();
+        pool.record_span("q1", started);
+        pool.record_span("q2", started);
+        let first = pool.spans();
+        assert_eq!(first.len(), 2);
+        assert_eq!(first[0].name, "q1");
+        assert!(first[0].tid >= 100, "submitter threads get tids >= 100");
+        assert_eq!(first[0].tid, first[1].tid, "trace tids are stable per thread");
+        // Reading spans does not drain them.
+        assert_eq!(pool.spans(), first);
+        // The ring is bounded: overflow forgets the oldest spans.
+        for i in 0..SPAN_RING_CAPACITY + 10 {
+            pool.record_span(&format!("s{i}"), started);
+        }
+        let spans = pool.spans();
+        assert_eq!(spans.len(), SPAN_RING_CAPACITY);
+        assert_eq!(spans.last().unwrap().name, format!("s{}", SPAN_RING_CAPACITY + 9));
+    }
+
+    #[test]
+    fn pool_worker_trace_tids_are_their_index_plus_one() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let tids = Mutex::new(Vec::new());
+        // Force both workers to participate by parking each claimed slot
+        // until everyone has arrived.
+        let arrived = AtomicUsize::new(0);
+        pool.run_tasks(3, &|_| {
+            lock(&tids).push(trace_tid());
+            arrived.fetch_add(1, Ordering::Relaxed);
+            while arrived.load(Ordering::Relaxed) < 3 {
+                std::thread::yield_now();
+            }
+        });
+        let mut tids = lock(&tids).clone();
+        tids.sort_unstable();
+        assert_eq!(tids.len(), 3);
+        assert_eq!(&tids[..2], &[1, 2], "pool workers are tids 1..=workers");
+        assert!(tids[2] >= 100, "the submitter is a tid >= 100");
     }
 
     #[test]

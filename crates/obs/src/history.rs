@@ -1,0 +1,595 @@
+//! Per-fingerprint query history and latency-regression detection.
+//!
+//! [`QueryHistory`] gives the warm server a memory: every executed
+//! statement records one [`HistorySample`] under its plan-cache
+//! fingerprint, into a bounded per-fingerprint ring.  Aggregation
+//! (hit counts, total time, ring-window p50/p99) answers the
+//! `{"type":"history"}` wire message; the **regression detector**
+//! compares the median of the most recent window against the median of
+//! the baseline window behind it and fires when the ratio crosses a
+//! configurable threshold — the trigger signal a background
+//! superoptimizer would consume.
+//!
+//! Recording is lock-cheap by construction: one atomic `fetch_add` for
+//! the sequence number plus one short mutex hold to push the sample and
+//! run the (windowed, allocation-free) detector.  Nothing here touches
+//! the execution path itself, so history-on and history-off runs stay
+//! tuple-identical (pinned in `crates/core/tests/observability.rs`).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Samples kept per fingerprint (the ring capacity).  Old samples fall
+/// off; the lifetime aggregates (`count`, `total_us`, `max_q_error`)
+/// keep counting across the whole history.
+pub const HISTORY_RING_CAPACITY: usize = 64;
+
+/// Baseline window of the regression detector: the samples *before* the
+/// recent window whose median is the "how it used to run" reference.
+pub const BASELINE_WINDOW: usize = 8;
+
+/// Recent window of the regression detector: the latest samples whose
+/// median is compared against the baseline.
+pub const RECENT_WINDOW: usize = 4;
+
+/// Recent regressions retained for the `history` reply and `qob top`.
+const REGRESSION_RING_CAPACITY: usize = 64;
+
+/// How one execution went through the plan cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The session ran with the plan cache disabled.
+    Off,
+    /// A cached plan was reused.
+    Hit,
+    /// The fingerprint was optimized cold and installed.
+    Miss,
+    /// Every cached variant diverged past the fence; re-optimized.
+    FenceRejected,
+}
+
+impl CacheOutcome {
+    /// The label used on the wire and in renderings.
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheOutcome::Off => "off",
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::FenceRejected => "fence-reject",
+        }
+    }
+}
+
+/// One recorded execution of a fingerprint.
+///
+/// `seq` is assigned by [`QueryHistory::record`] from a process-monotonic
+/// counter; the phase latencies mirror the statement's trace spans
+/// (parse/bind are script-level and excluded — `total_us` covers
+/// optimize + queue + execute).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistorySample {
+    /// Process-monotonic sequence number (assigned on record).
+    pub seq: u64,
+    /// End-to-end statement latency in microseconds.
+    pub total_us: u64,
+    /// Optimize-phase latency (includes the plan-cache lookup).
+    pub optimize_us: u64,
+    /// Admission-queue wait before execution.
+    pub queue_us: u64,
+    /// Execute-phase latency.
+    pub execute_us: u64,
+    /// Result tuples produced.
+    pub rows: u64,
+    /// Worst per-operator q-error of the execution.
+    pub max_q_error: f64,
+    /// Adaptive re-plan rounds fired.
+    pub replans: u64,
+    /// Plan-cache outcome of this execution.
+    pub cache: CacheOutcome,
+}
+
+impl HistorySample {
+    /// A sample with every field zero and the plan cache off — the
+    /// starting point callers fill in.
+    pub fn zeroed() -> HistorySample {
+        HistorySample {
+            seq: 0,
+            total_us: 0,
+            optimize_us: 0,
+            queue_us: 0,
+            execute_us: 0,
+            rows: 0,
+            max_q_error: 1.0,
+            replans: 0,
+            cache: CacheOutcome::Off,
+        }
+    }
+}
+
+/// A fired latency regression: the recent-window median exceeded
+/// `ratio` × the baseline-window median for one fingerprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// The regressed fingerprint.
+    pub fingerprint: u64,
+    /// Statement name last seen under the fingerprint.
+    pub name: String,
+    /// Sequence number of the sample that tipped the detector.
+    pub seq: u64,
+    /// Baseline-window median latency, microseconds.
+    pub baseline_us: f64,
+    /// Recent-window median latency, microseconds.
+    pub recent_us: f64,
+    /// `recent_us / baseline_us` — how bad it got.
+    pub factor: f64,
+    /// The configured threshold that was crossed.
+    pub ratio: f64,
+}
+
+/// Aggregated view of one fingerprint's history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FingerprintStats {
+    /// The plan-cache fingerprint.
+    pub fingerprint: u64,
+    /// Statement name last seen under the fingerprint.
+    pub name: String,
+    /// Lifetime execution count.
+    pub count: u64,
+    /// Lifetime total latency, microseconds.
+    pub total_us: u64,
+    /// p50 latency over the retained ring window, microseconds.
+    pub p50_us: f64,
+    /// p99 latency over the retained ring window, microseconds.
+    pub p99_us: f64,
+    /// Worst q-error ever observed for the fingerprint.
+    pub max_q_error: f64,
+    /// Lifetime adaptive re-plan rounds.
+    pub replans: u64,
+    /// Regressions fired for this fingerprint.
+    pub regressions: u64,
+    /// Rows produced by the most recent execution.
+    pub last_rows: u64,
+    /// Sequence number of the most recent execution.
+    pub last_seq: u64,
+}
+
+/// A point-in-time copy of the whole history.
+#[derive(Debug, Clone, Default)]
+pub struct HistorySnapshot {
+    /// Per-fingerprint aggregates, hottest (by count, then total time)
+    /// first.
+    pub fingerprints: Vec<FingerprintStats>,
+    /// Recent fired regressions, oldest first.
+    pub regressions: Vec<Regression>,
+}
+
+struct FingerprintEntry {
+    name: String,
+    count: u64,
+    total_us: u64,
+    max_q_error: f64,
+    replans: u64,
+    regressions: u64,
+    in_regression: bool,
+    samples: VecDeque<HistorySample>,
+}
+
+struct HistoryInner {
+    entries: HashMap<u64, FingerprintEntry>,
+    regressions: VecDeque<Regression>,
+}
+
+/// The server-wide query history: per-fingerprint sample rings plus the
+/// regression detector (see the module docs).
+pub struct QueryHistory {
+    seq: AtomicU64,
+    capacity: usize,
+    inner: Mutex<HistoryInner>,
+}
+
+impl std::fmt::Debug for QueryHistory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("QueryHistory")
+            .field("fingerprints", &inner.entries.len())
+            .field("seq", &self.seq.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for QueryHistory {
+    fn default() -> QueryHistory {
+        QueryHistory::new()
+    }
+}
+
+impl QueryHistory {
+    /// Creates an empty history with the default ring capacity.
+    pub fn new() -> QueryHistory {
+        QueryHistory::with_capacity(HISTORY_RING_CAPACITY)
+    }
+
+    /// Creates an empty history keeping `capacity` samples per
+    /// fingerprint (clamped to at least 1).
+    pub fn with_capacity(capacity: usize) -> QueryHistory {
+        QueryHistory {
+            seq: AtomicU64::new(0),
+            capacity: capacity.max(1),
+            inner: Mutex::new(HistoryInner {
+                entries: HashMap::new(),
+                regressions: VecDeque::new(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HistoryInner> {
+        // The lock only ever guards plain pushes and reads — a poisoned
+        // ring is still a valid ring, so observability never panics the
+        // server.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Records one execution under `fingerprint`, assigning the sample's
+    /// sequence number, and runs the regression detector with the given
+    /// `ratio` threshold.  Returns the fired [`Regression`], if any —
+    /// the caller owns counting and event emission.  A `ratio ≤ 0`
+    /// disables detection.
+    pub fn record(
+        &self,
+        fingerprint: u64,
+        name: &str,
+        mut sample: HistorySample,
+        ratio: f64,
+    ) -> Option<Regression> {
+        sample.seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut inner = self.lock();
+        let entry = inner.entries.entry(fingerprint).or_insert_with(|| FingerprintEntry {
+            name: String::new(),
+            count: 0,
+            total_us: 0,
+            max_q_error: 1.0,
+            replans: 0,
+            regressions: 0,
+            in_regression: false,
+            samples: VecDeque::with_capacity(self.capacity.min(16)),
+        });
+        if entry.name != name {
+            entry.name = name.to_owned();
+        }
+        entry.count += 1;
+        entry.total_us = entry.total_us.saturating_add(sample.total_us);
+        if sample.max_q_error.is_finite() && sample.max_q_error > entry.max_q_error {
+            entry.max_q_error = sample.max_q_error;
+        }
+        entry.replans += sample.replans;
+        if entry.samples.len() == self.capacity {
+            entry.samples.pop_front();
+        }
+        entry.samples.push_back(sample);
+
+        // The windowed detector, latched: it fires on the crossing, not
+        // on every sample while the fingerprint stays slow.
+        let series: Vec<u64> = entry.samples.iter().map(|s| s.total_us).collect();
+        let fired = match regression_medians(&series, BASELINE_WINDOW, RECENT_WINDOW) {
+            Some((baseline_us, recent_us)) if ratio > 0.0 && recent_us > ratio * baseline_us => {
+                if entry.in_regression {
+                    None
+                } else {
+                    entry.in_regression = true;
+                    entry.regressions += 1;
+                    Some(Regression {
+                        fingerprint,
+                        name: entry.name.clone(),
+                        seq: sample.seq,
+                        baseline_us,
+                        recent_us,
+                        factor: if baseline_us > 0.0 { recent_us / baseline_us } else { f64::MAX },
+                        ratio,
+                    })
+                }
+            }
+            Some(_) => {
+                entry.in_regression = false;
+                None
+            }
+            None => None,
+        };
+        if let Some(regression) = &fired {
+            if inner.regressions.len() == REGRESSION_RING_CAPACITY {
+                inner.regressions.pop_front();
+            }
+            inner.regressions.push_back(regression.clone());
+        }
+        fired
+    }
+
+    /// Total samples recorded so far (the latest assigned sequence
+    /// number).
+    pub fn recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Aggregates per fingerprint into a [`HistorySnapshot`], hottest
+    /// (by lifetime count, ties by total time) first.
+    pub fn snapshot(&self) -> HistorySnapshot {
+        let inner = self.lock();
+        let mut fingerprints: Vec<FingerprintStats> = inner
+            .entries
+            .iter()
+            .map(|(&fingerprint, entry)| {
+                let mut window: Vec<u64> = entry.samples.iter().map(|s| s.total_us).collect();
+                window.sort_unstable();
+                let last = entry.samples.back();
+                FingerprintStats {
+                    fingerprint,
+                    name: entry.name.clone(),
+                    count: entry.count,
+                    total_us: entry.total_us,
+                    p50_us: nearest_rank(&window, 0.5),
+                    p99_us: nearest_rank(&window, 0.99),
+                    max_q_error: entry.max_q_error,
+                    replans: entry.replans,
+                    regressions: entry.regressions,
+                    last_rows: last.map_or(0, |s| s.rows),
+                    last_seq: last.map_or(0, |s| s.seq),
+                }
+            })
+            .collect();
+        fingerprints.sort_by(|a, b| {
+            b.count
+                .cmp(&a.count)
+                .then(b.total_us.cmp(&a.total_us))
+                .then(a.fingerprint.cmp(&b.fingerprint))
+        });
+        HistorySnapshot { fingerprints, regressions: inner.regressions.iter().cloned().collect() }
+    }
+
+    /// The `k` hottest fingerprints by lifetime execution count.
+    pub fn hottest_by_count(&self, k: usize) -> Vec<FingerprintStats> {
+        let mut stats = self.snapshot().fingerprints;
+        stats.truncate(k);
+        stats
+    }
+
+    /// The `k` hottest fingerprints by lifetime total latency.
+    pub fn hottest_by_total_time(&self, k: usize) -> Vec<FingerprintStats> {
+        let mut stats = self.snapshot().fingerprints;
+        stats.sort_by(|a, b| {
+            b.total_us
+                .cmp(&a.total_us)
+                .then(b.count.cmp(&a.count))
+                .then(a.fingerprint.cmp(&b.fingerprint))
+        });
+        stats.truncate(k);
+        stats
+    }
+}
+
+/// The regression detector's windows over a latency series, oldest
+/// sample first: the median of the last `recent` samples and the median
+/// of the `baseline` samples immediately before them.  Returns `None`
+/// until the series holds `baseline + recent` samples.
+pub fn regression_medians(series: &[u64], baseline: usize, recent: usize) -> Option<(f64, f64)> {
+    if baseline == 0 || recent == 0 || series.len() < baseline + recent {
+        return None;
+    }
+    let recent_start = series.len() - recent;
+    let baseline_start = recent_start - baseline;
+    Some((median(&series[baseline_start..recent_start]), median(&series[recent_start..])))
+}
+
+fn median(window: &[u64]) -> f64 {
+    let mut sorted = window.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        sorted[n / 2] as f64
+    } else {
+        (sorted[n / 2 - 1] as f64 + sorted[n / 2] as f64) / 2.0
+    }
+}
+
+/// Nearest-rank percentile over an already-sorted window; 0.0 when the
+/// window is empty (mirrors [`crate::HistogramSnapshot::quantile`]).
+fn nearest_rank(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q.clamp(0.0, 1.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1] as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(total_us: u64) -> HistorySample {
+        HistorySample { total_us, execute_us: total_us, ..HistorySample::zeroed() }
+    }
+
+    /// Fill the detector windows with `flat` µs, then step to `stepped`.
+    fn step_series(flat: u64, stepped: u64) -> Vec<u64> {
+        let mut s = vec![flat; BASELINE_WINDOW + RECENT_WINDOW];
+        let at = s.len() - RECENT_WINDOW;
+        for v in &mut s[at..] {
+            *v = stepped;
+        }
+        s
+    }
+
+    #[test]
+    fn detector_fires_on_a_step() {
+        let series = step_series(100, 1000);
+        let (baseline, recent) =
+            regression_medians(&series, BASELINE_WINDOW, RECENT_WINDOW).unwrap();
+        assert_eq!(baseline, 100.0);
+        assert_eq!(recent, 1000.0);
+        assert!(recent > 2.0 * baseline, "a 10x step crosses the default-ish ratio");
+    }
+
+    #[test]
+    fn detector_is_silent_on_noise() {
+        // ±20% jitter around 100µs: the medians stay within a factor well
+        // below any sane ratio.
+        let series: Vec<u64> =
+            (0..32).map(|i| 100 + [0u64, 18, 7, 20, 3, 11, 15, 9][i % 8]).collect();
+        let (baseline, recent) =
+            regression_medians(&series, BASELINE_WINDOW, RECENT_WINDOW).unwrap();
+        assert!(
+            recent <= 1.5 * baseline,
+            "noise must not look like a regression: baseline {baseline} recent {recent}"
+        );
+    }
+
+    #[test]
+    fn detector_catches_a_slow_drift_eventually() {
+        // 5% growth per sample: medians separate once the windows are a
+        // factor apart.
+        let series: Vec<u64> = (0..64).map(|i| (100.0 * 1.05f64.powi(i)) as u64).collect();
+        let (baseline, recent) =
+            regression_medians(&series, BASELINE_WINDOW, RECENT_WINDOW).unwrap();
+        assert!(recent > 1.2 * baseline, "drift separates the windows: {baseline} vs {recent}");
+    }
+
+    #[test]
+    fn detector_needs_full_windows() {
+        let series = vec![100u64; BASELINE_WINDOW + RECENT_WINDOW - 1];
+        assert_eq!(regression_medians(&series, BASELINE_WINDOW, RECENT_WINDOW), None);
+        assert_eq!(regression_medians(&[], BASELINE_WINDOW, RECENT_WINDOW), None);
+        assert_eq!(regression_medians(&[1, 2, 3], 0, 2), None);
+        assert_eq!(regression_medians(&[1, 2, 3], 2, 0), None);
+    }
+
+    #[test]
+    fn record_assigns_monotonic_seqs_and_aggregates() {
+        let history = QueryHistory::new();
+        for i in 0..10u64 {
+            let fired = history.record(7, "q1", sample(100 + i), 2.0);
+            assert!(fired.is_none(), "flat latency never regresses");
+        }
+        history.record(9, "q2", sample(50), 2.0);
+        assert_eq!(history.recorded(), 11);
+        let snap = history.snapshot();
+        assert_eq!(snap.fingerprints.len(), 2);
+        let hot = &snap.fingerprints[0];
+        assert_eq!(hot.fingerprint, 7);
+        assert_eq!(hot.name, "q1");
+        assert_eq!(hot.count, 10);
+        assert_eq!(hot.total_us, (100..110).sum::<u64>());
+        assert_eq!(hot.last_seq, 10);
+        assert!(hot.p50_us >= 100.0 && hot.p99_us <= 109.0, "{hot:?}");
+        assert!(hot.p50_us <= hot.p99_us);
+        assert!(snap.regressions.is_empty());
+    }
+
+    #[test]
+    fn record_fires_once_per_crossing_and_latches() {
+        let history = QueryHistory::new();
+        for v in step_series(100, 10_000) {
+            history.record(1, "q", sample(v), 2.0);
+        }
+        let snap = history.snapshot();
+        assert_eq!(snap.regressions.len(), 1, "one crossing, one event");
+        let r = &snap.regressions[0];
+        assert_eq!(r.fingerprint, 1);
+        assert_eq!(r.baseline_us, 100.0);
+        assert_eq!(r.recent_us, 10_000.0);
+        assert!((r.factor - 100.0).abs() < 1e-9);
+        assert_eq!(r.ratio, 2.0);
+        // Staying slow does not re-fire…
+        assert!(history.record(1, "q", sample(10_000), 2.0).is_none());
+        // …recovering resets the latch, and a second step fires again.
+        for _ in 0..(BASELINE_WINDOW + RECENT_WINDOW) {
+            assert!(history.record(1, "q", sample(100), 2.0).is_none());
+        }
+        let mut refired = false;
+        for _ in 0..RECENT_WINDOW {
+            refired |= history.record(1, "q", sample(10_000), 2.0).is_some();
+        }
+        assert!(refired, "a second crossing fires a second regression");
+        assert_eq!(history.snapshot().fingerprints[0].regressions, 2);
+    }
+
+    #[test]
+    fn ratio_zero_disables_detection() {
+        let history = QueryHistory::new();
+        for v in step_series(100, 100_000) {
+            assert!(history.record(1, "q", sample(v), 0.0).is_none());
+        }
+        // A tiny ratio forces a fire on a flat series — the smoke's
+        // forced-regression path.
+        let forced = QueryHistory::new();
+        let mut fired = false;
+        for _ in 0..(BASELINE_WINDOW + RECENT_WINDOW) {
+            fired |= forced.record(1, "q", sample(100), 0.01).is_some();
+        }
+        assert!(fired, "ratio 0.01 fires on any flat series");
+    }
+
+    #[test]
+    fn ring_capacity_bounds_the_window() {
+        let history = QueryHistory::with_capacity(4);
+        for i in 0..100u64 {
+            history.record(1, "q", sample(i), 0.0);
+        }
+        let snap = history.snapshot();
+        let stats = &snap.fingerprints[0];
+        assert_eq!(stats.count, 100, "lifetime count ignores the ring bound");
+        assert_eq!(stats.total_us, (0..100).sum::<u64>());
+        // The percentile window is the last 4 samples: 96..=99.
+        assert!(stats.p50_us >= 96.0 && stats.p99_us == 99.0, "{stats:?}");
+    }
+
+    #[test]
+    fn top_k_orders_by_count_and_by_total_time() {
+        let history = QueryHistory::new();
+        for _ in 0..5 {
+            history.record(1, "cheap-hot", sample(10), 0.0);
+        }
+        for _ in 0..2 {
+            history.record(2, "dear-cold", sample(10_000), 0.0);
+        }
+        let by_count = history.hottest_by_count(1);
+        assert_eq!(by_count[0].fingerprint, 1);
+        let by_time = history.hottest_by_total_time(1);
+        assert_eq!(by_time[0].fingerprint, 2);
+        assert_eq!(history.hottest_by_count(10).len(), 2, "k past the end is the whole set");
+    }
+
+    #[test]
+    fn cache_outcome_labels() {
+        assert_eq!(CacheOutcome::Off.label(), "off");
+        assert_eq!(CacheOutcome::Hit.label(), "hit");
+        assert_eq!(CacheOutcome::Miss.label(), "miss");
+        assert_eq!(CacheOutcome::FenceRejected.label(), "fence-reject");
+    }
+
+    #[test]
+    fn concurrent_recording_keeps_seqs_unique() {
+        let history = std::sync::Arc::new(QueryHistory::new());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let history = std::sync::Arc::clone(&history);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..250u64 {
+                    history.record(t, "q", sample(i), 0.0);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(history.recorded(), 1000);
+        let snap = history.snapshot();
+        let mut seqs: Vec<u64> = snap.fingerprints.iter().map(|s| s.last_seq).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 4, "every fingerprint saw a distinct latest seq");
+        let total: u64 = snap.fingerprints.iter().map(|s| s.count).sum();
+        assert_eq!(total, 1000);
+    }
+}

@@ -18,14 +18,26 @@
 //! * [`Exposition`] — renders instruments in the Prometheus text format
 //!   (version 0.0.4); [`validate_exposition`] re-parses a rendered body.
 //! * [`EventLog`] — JSON-lines events (replans, fence rejects, evictions,
-//!   worker panics, slow queries) behind the `slow_query_ms` option.
+//!   worker panics, slow queries, regressions) behind the
+//!   `slow_query_ms` option, each line carrying a process-monotonic
+//!   `seq` so concurrent sessions' lines totally order.
+//! * [`QueryHistory`] — per-fingerprint latency history with top-K
+//!   aggregation and windowed regression detection (see [`history`]).
 
 #![warn(missing_docs)]
 
+use std::collections::HashSet;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
+
+pub mod history;
+
+pub use history::{
+    regression_medians, CacheOutcome, FingerprintStats, HistorySample, HistorySnapshot,
+    QueryHistory, Regression, BASELINE_WINDOW, HISTORY_RING_CAPACITY, RECENT_WINDOW,
+};
 
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
@@ -152,8 +164,13 @@ pub struct HistogramSnapshot {
 
 impl HistogramSnapshot {
     /// Estimates the `q`-quantile (`0.0 ≤ q ≤ 1.0`) in microseconds, by
-    /// linear interpolation within the covering bucket.  Returns 0.0 when
-    /// the histogram is empty.
+    /// linear interpolation within the covering bucket.
+    ///
+    /// On an **empty histogram the result is exactly `0.0` — never NaN**,
+    /// for any `q` (including non-finite `q`, which clamps).  Live
+    /// renderers (`qob top`) read quantiles continuously from their first
+    /// refresh, before any query has run, so this edge is pinned by a
+    /// regression test.
     pub fn quantile(&self, q: f64) -> f64 {
         let total: u64 = self.buckets.iter().sum();
         if total == 0 {
@@ -197,6 +214,9 @@ pub struct MetricsRegistry {
     pub replans_total: Counter,
     /// Statements slower than the session's `slow_query_ms` threshold.
     pub slow_queries_total: Counter,
+    /// Per-fingerprint latency regressions detected by the query
+    /// history's windowed detector.
+    pub regressions_total: Counter,
     /// Executor worker panics observed.
     pub worker_panics_total: Counter,
     /// Statements admitted to execution by the admission controller.
@@ -246,6 +266,11 @@ impl MetricsRegistry {
             self.slow_queries_total.get(),
         );
         ex.counter(
+            "qob_regressions_total",
+            "Per-fingerprint latency regressions detected",
+            self.regressions_total.get(),
+        );
+        ex.counter(
             "qob_worker_panics_total",
             "Executor worker panics",
             self.worker_panics_total.get(),
@@ -288,10 +313,14 @@ impl MetricsRegistry {
 /// A Prometheus text-format (version 0.0.4) builder.
 ///
 /// Families are rendered in call order; each family gets `# HELP` and
-/// `# TYPE` comments followed by its samples.
+/// `# TYPE` comments followed by its samples.  Labelled samples of one
+/// family may be added across several [`Exposition::counter_with`] /
+/// [`Exposition::gauge_with`] calls — the family header is emitted only
+/// once (the format forbids repeating it).
 #[derive(Debug, Default)]
 pub struct Exposition {
     out: String,
+    headered: HashSet<String>,
 }
 
 impl Exposition {
@@ -301,20 +330,73 @@ impl Exposition {
     }
 
     fn header(&mut self, name: &str, help: &str, kind: &str) {
+        if !self.headered.insert(name.to_owned()) {
+            return;
+        }
         let _ = writeln!(self.out, "# HELP {name} {help}");
         let _ = writeln!(self.out, "# TYPE {name} {kind}");
     }
 
+    /// Renders `labels` as a `{name="value",…}` fragment (empty for no
+    /// labels), escaping `\`, `"` and newlines in values per the text
+    /// format.
+    fn push_labels(&mut self, labels: &[(&str, &str)]) {
+        if labels.is_empty() {
+            return;
+        }
+        self.out.push('{');
+        for (i, (key, value)) in labels.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            debug_assert!(
+                key.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+                    && key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "bad label name `{key}`"
+            );
+            self.out.push_str(key);
+            self.out.push_str("=\"");
+            for c in value.chars() {
+                match c {
+                    '\\' => self.out.push_str("\\\\"),
+                    '"' => self.out.push_str("\\\""),
+                    '\n' => self.out.push_str("\\n"),
+                    c => self.out.push(c),
+                }
+            }
+            self.out.push('"');
+        }
+        self.out.push('}');
+    }
+
     /// Renders one counter family.
     pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.counter_with(name, help, &[], value);
+    }
+
+    /// Renders one counter sample carrying `labels`.  Repeat calls with
+    /// the same `name` extend the family (one sample per label set);
+    /// the header renders once.
+    pub fn counter_with(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
         self.header(name, help, "counter");
-        let _ = writeln!(self.out, "{name} {value}");
+        self.out.push_str(name);
+        self.push_labels(labels);
+        let _ = writeln!(self.out, " {value}");
     }
 
     /// Renders one gauge family.
     pub fn gauge(&mut self, name: &str, help: &str, value: u64) {
+        self.gauge_with(name, help, &[], value);
+    }
+
+    /// Renders one gauge sample carrying `labels` — the labelled twin of
+    /// [`Exposition::gauge`], same family-extension rule as
+    /// [`Exposition::counter_with`].
+    pub fn gauge_with(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
         self.header(name, help, "gauge");
-        let _ = writeln!(self.out, "{name} {value}");
+        self.out.push_str(name);
+        self.push_labels(labels);
+        let _ = writeln!(self.out, " {value}");
     }
 
     /// Renders one histogram family: cumulative `_bucket{le="…"}` samples
@@ -344,8 +426,11 @@ impl Exposition {
 
 /// Checks that `body` is well-formed Prometheus text format: every line is
 /// a `# HELP`/`# TYPE` comment or a `name[{labels}] value` sample with a
-/// parsable float value.  Returns the number of sample lines, or a
-/// description of the first malformed line.
+/// parsable float value.  The label fragment is parsed for real — label
+/// names must be `[a-zA-Z_][a-zA-Z0-9_]*`, values must be double-quoted
+/// with only `\\`, `\"` and `\n` escapes, pairs separated by commas.
+/// Returns the number of sample lines, or a description of the first
+/// malformed line.
 pub fn validate_exposition(body: &str) -> Result<usize, String> {
     let mut samples = 0usize;
     for (i, line) in body.lines().enumerate() {
@@ -372,10 +457,8 @@ pub fn validate_exposition(body: &str) -> Result<usize, String> {
             return Err(format!("line {}: bad metric name in `{line}`", i + 1));
         }
         if let Some(labels) = name_part.strip_prefix(name) {
-            let ok = labels.is_empty()
-                || (labels.starts_with('{') && labels.ends_with('}') && labels.contains('='));
-            if !ok {
-                return Err(format!("line {}: bad labels in `{line}`", i + 1));
+            if let Err(what) = validate_labels(labels) {
+                return Err(format!("line {}: {what} in `{line}`", i + 1));
             }
         }
         if value_part != "+Inf" && value_part != "-Inf" && value_part.parse::<f64>().is_err() {
@@ -386,8 +469,72 @@ pub fn validate_exposition(body: &str) -> Result<usize, String> {
     Ok(samples)
 }
 
+/// Parses a sample line's label fragment: empty, or
+/// `{name="value",name="value"}` with the text format's escape rules.
+fn validate_labels(labels: &str) -> Result<(), &'static str> {
+    if labels.is_empty() {
+        return Ok(());
+    }
+    let inner = labels
+        .strip_prefix('{')
+        .and_then(|rest| rest.strip_suffix('}'))
+        .ok_or("unbalanced label braces")?;
+    let mut chars = inner.chars().peekable();
+    loop {
+        // Label name.
+        let mut name_len = 0usize;
+        while let Some(&c) = chars.peek() {
+            let ok = if name_len == 0 {
+                c.is_ascii_alphabetic() || c == '_'
+            } else {
+                c.is_ascii_alphanumeric() || c == '_'
+            };
+            if !ok {
+                break;
+            }
+            chars.next();
+            name_len += 1;
+        }
+        if name_len == 0 {
+            return Err("bad label name");
+        }
+        if chars.next() != Some('=') {
+            return Err("label without `=`");
+        }
+        if chars.next() != Some('"') {
+            return Err("unquoted label value");
+        }
+        // Quoted value with escapes.
+        loop {
+            match chars.next() {
+                Some('"') => break,
+                Some('\\') => match chars.next() {
+                    Some('\\') | Some('"') | Some('n') => {}
+                    _ => return Err("bad escape in label value"),
+                },
+                Some(_) => {}
+                None => return Err("unterminated label value"),
+            }
+        }
+        match chars.next() {
+            None => return Ok(()),
+            Some(',') => {
+                // A trailing comma before `}` is tolerated, as Prometheus
+                // itself tolerates it.
+                if chars.peek().is_none() {
+                    return Ok(());
+                }
+            }
+            Some(_) => return Err("junk after label value"),
+        }
+    }
+}
+
 /// One structured event, built field-by-field and serialised as a single
 /// JSON line.  Field order is preserved; the `event` kind always leads.
+/// [`EventLog::emit`] appends a process-monotonic `seq` field as the
+/// last pair, so interleaved stderr lines from concurrent sessions can
+/// be totally ordered after the fact.
 #[derive(Debug)]
 pub struct Event {
     line: String,
@@ -478,12 +625,16 @@ impl std::fmt::Debug for EventSink {
 ///
 /// Disabled by default; enabling it (the `slow_query_ms` session option /
 /// `--slow-query-ms` flag) turns on *all* event kinds — replans, fence
-/// rejects, evictions, worker panics and slow queries.  The enabled check
-/// is one relaxed atomic load, so a disabled log costs nothing on the hot
-/// path; the sink lock is only taken when a line is actually written.
+/// rejects, evictions, worker panics, slow queries and regressions.  The
+/// enabled check is one relaxed atomic load, so a disabled log costs
+/// nothing on the hot path; the sink lock is only taken when a line is
+/// actually written.  Each written line gets a `seq` field assigned
+/// under that lock, so `seq` order **is** write order — strictly
+/// monotonic even under concurrent emitters.
 #[derive(Debug)]
 pub struct EventLog {
     enabled: AtomicBool,
+    seq: AtomicU64,
     sink: Mutex<EventSink>,
 }
 
@@ -496,7 +647,11 @@ impl Default for EventLog {
 impl EventLog {
     /// Creates a disabled log writing to stderr.
     pub fn new() -> EventLog {
-        EventLog { enabled: AtomicBool::new(false), sink: Mutex::new(EventSink::Stderr) }
+        EventLog {
+            enabled: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+            sink: Mutex::new(EventSink::Stderr),
+        }
     }
 
     /// Turns the log on or off.
@@ -528,13 +683,16 @@ impl EventLog {
         }
     }
 
-    /// Writes one event if the log is enabled.
+    /// Writes one event if the log is enabled, appending its `seq`
+    /// field.  The sequence number is taken under the sink lock, so the
+    /// written log is strictly `seq`-ordered.
     pub fn emit(&self, event: Event) {
         if !self.is_enabled() {
             return;
         }
-        let line = event.finish();
         let mut sink = self.sink.lock().expect("event sink");
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let line = event.num("seq", seq).finish();
         match &mut *sink {
             EventSink::Stderr => eprintln!("{line}"),
             EventSink::Buffer(lines) => lines.push(line),
@@ -648,10 +806,96 @@ mod tests {
         assert_eq!(
             lines[0],
             "{\"event\":\"slow_query\",\"query\":\"q\\\"1\\\"\",\"elapsed_ms\":250,\
-             \"q_error\":12.50,\"bad\":null}"
+             \"q_error\":12.50,\"bad\":null,\"seq\":1}"
         );
         log.set_enabled(false);
         log.emit(Event::new("again").num("n", 1));
         assert!(log.drain().is_empty());
+        // Dropped events do not consume sequence numbers: the next
+        // written line continues at 2.
+        log.set_enabled(true);
+        log.emit(Event::new("next"));
+        assert_eq!(log.drain(), vec!["{\"event\":\"next\",\"seq\":2}".to_owned()]);
+    }
+
+    fn seq_of(line: &str) -> u64 {
+        let at = line.rfind("\"seq\":").expect("line carries a seq field");
+        line[at + 6..].trim_end_matches('}').parse().expect("numeric seq")
+    }
+
+    #[test]
+    fn event_seqs_are_strictly_monotonic_under_concurrent_emitters() {
+        let log = std::sync::Arc::new(EventLog::new());
+        log.capture();
+        log.set_enabled(true);
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let log = std::sync::Arc::clone(&log);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    log.emit(Event::new("tick").num("thread", t).num("i", i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let lines = log.drain();
+        assert_eq!(lines.len(), 800);
+        let seqs: Vec<u64> = lines.iter().map(|l| seq_of(l)).collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]), "seq order must equal write order, strictly");
+        assert_eq!(*seqs.first().unwrap(), 1);
+        assert_eq!(*seqs.last().unwrap(), 800);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero_never_nan() {
+        let snap = Histogram::new().snapshot();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0, -3.0, 7.0, f64::NAN, f64::INFINITY] {
+            let v = snap.quantile(q);
+            assert_eq!(v, 0.0, "empty histogram quantile({q}) must be exactly 0.0");
+            assert!(!v.is_nan());
+        }
+    }
+
+    #[test]
+    fn labelled_samples_render_and_validate() {
+        let mut ex = Exposition::new();
+        ex.gauge_with("qob_storage_encoded_bytes", "Encoded bytes", &[("table", "title")], 42);
+        ex.gauge_with("qob_storage_encoded_bytes", "Encoded bytes", &[("table", "movie_info")], 7);
+        ex.counter_with("qob_oddities_total", "Escapes", &[("kind", "a\"b\\c\nd")], 1);
+        let body = ex.finish();
+        assert_eq!(
+            body.matches("# TYPE qob_storage_encoded_bytes gauge").count(),
+            1,
+            "one header per family, however many label sets: {body}"
+        );
+        assert!(body.contains("qob_storage_encoded_bytes{table=\"title\"} 42"), "{body}");
+        assert!(body.contains("qob_storage_encoded_bytes{table=\"movie_info\"} 7"), "{body}");
+        assert!(body.contains("{kind=\"a\\\"b\\\\c\\nd\"} 1"), "{body}");
+        assert_eq!(validate_exposition(&body), Ok(3));
+    }
+
+    #[test]
+    fn validate_checks_label_syntax_strictly() {
+        // Well-formed labelled samples pass.
+        assert_eq!(validate_exposition("m{a=\"b\"} 1"), Ok(1));
+        assert_eq!(validate_exposition("m{a=\"b\",c_9=\"d e f\"} 1"), Ok(1));
+        assert_eq!(validate_exposition("m{a=\"b\",} 1"), Ok(1), "trailing comma tolerated");
+        assert_eq!(validate_exposition("m{le=\"+Inf\"} 1"), Ok(1));
+        assert_eq!(validate_exposition("m{a=\"x\\\\y\\\"z\\n\"} 1"), Ok(1), "escapes");
+        // Malformed fragments are rejected with the reason.
+        for bad in [
+            "m{a=\"b\" 1",         // unbalanced braces
+            "m{=\"b\"} 1",         // missing label name
+            "m{9a=\"b\"} 1",       // label name starts with a digit
+            "m{a=b} 1",            // unquoted value
+            "m{a=\"b} 1",          // unterminated value
+            "m{a=\"b\"c=\"d\"} 1", // missing comma
+            "m{a=\"\\x\"} 1",      // unknown escape
+            "m{a} 1",              // no `=`
+        ] {
+            assert!(validate_exposition(bad).is_err(), "accepted: {bad}");
+        }
     }
 }

@@ -1,0 +1,115 @@
+//! Property tests for the query history: the per-fingerprint ring
+//! buffer, its aggregation and the top-K orderings are checked against a
+//! naive model that simply keeps every sample in a `Vec`.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use qob_obs::{HistorySample, QueryHistory};
+
+/// The naive model: every sample ever recorded, per fingerprint, in
+/// arrival order.
+#[derive(Default)]
+struct NaiveHistory {
+    samples: HashMap<u64, Vec<u64>>,
+    order: Vec<u64>,
+}
+
+impl NaiveHistory {
+    fn record(&mut self, fingerprint: u64, total_us: u64) {
+        if !self.samples.contains_key(&fingerprint) {
+            self.order.push(fingerprint);
+        }
+        self.samples.entry(fingerprint).or_default().push(total_us);
+    }
+
+    /// Nearest-rank percentile over the last `capacity` samples — the
+    /// model's definition of what the ring should retain.
+    fn percentile(&self, fingerprint: u64, capacity: usize, q: f64) -> f64 {
+        let all = &self.samples[&fingerprint];
+        let window_start = all.len().saturating_sub(capacity);
+        let mut window: Vec<u64> = all[window_start..].to_vec();
+        window.sort_unstable();
+        if window.is_empty() {
+            return 0.0;
+        }
+        let rank = (q * window.len() as f64).ceil().max(1.0) as usize;
+        window[rank.min(window.len()) - 1] as f64
+    }
+}
+
+fn sample(total_us: u64) -> HistorySample {
+    HistorySample { total_us, execute_us: total_us, ..HistorySample::zeroed() }
+}
+
+proptest! {
+    /// Lifetime aggregates and ring-window percentiles match the naive
+    /// model for every fingerprint, whatever the interleaving.
+    #[test]
+    fn aggregation_matches_the_naive_model(
+        capacity in 1usize..12,
+        ops in prop::collection::vec((0u64..5, 1u64..10_000), 1..300),
+    ) {
+        let history = QueryHistory::with_capacity(capacity);
+        let mut model = NaiveHistory::default();
+        for &(fingerprint, total_us) in &ops {
+            history.record(fingerprint, "q", sample(total_us), 0.0);
+            model.record(fingerprint, total_us);
+        }
+        prop_assert_eq!(history.recorded(), ops.len() as u64);
+        let snap = history.snapshot();
+        prop_assert_eq!(snap.fingerprints.len(), model.samples.len());
+        for stats in &snap.fingerprints {
+            let all = &model.samples[&stats.fingerprint];
+            prop_assert_eq!(stats.count, all.len() as u64);
+            prop_assert_eq!(stats.total_us, all.iter().sum::<u64>());
+            prop_assert_eq!(stats.last_rows, 0);
+            // The percentile window is exactly the last `capacity`
+            // samples (the capacity bound).
+            let p50 = model.percentile(stats.fingerprint, capacity, 0.5);
+            let p99 = model.percentile(stats.fingerprint, capacity, 0.99);
+            prop_assert_eq!(stats.p50_us, p50);
+            prop_assert_eq!(stats.p99_us, p99);
+            prop_assert!(stats.p50_us <= stats.p99_us);
+        }
+    }
+
+    /// The top-K views are correctly ordered and are prefixes of the
+    /// full ordering by their respective sort keys.
+    #[test]
+    fn top_k_orderings_are_correct(
+        ops in prop::collection::vec((0u64..8, 1u64..10_000), 1..200),
+        k in 1usize..10,
+    ) {
+        let history = QueryHistory::new();
+        for &(fingerprint, total_us) in &ops {
+            history.record(fingerprint, "q", sample(total_us), 0.0);
+        }
+        let snap = history.snapshot();
+        prop_assert!(
+            snap.fingerprints.windows(2).all(|w| (w[0].count, w[0].total_us)
+                >= (w[1].count, w[1].total_us)),
+            "snapshot sorts hottest-by-count first"
+        );
+        let by_count = history.hottest_by_count(k);
+        prop_assert_eq!(by_count.len(), k.min(snap.fingerprints.len()));
+        prop_assert!(by_count.windows(2).all(|w| w[0].count >= w[1].count));
+        if let Some(last) = by_count.last() {
+            // Nothing outside the top-K beats the K-th entry.
+            for other in &snap.fingerprints[by_count.len()..] {
+                prop_assert!(other.count <= last.count);
+            }
+        }
+        let by_time = history.hottest_by_total_time(k);
+        prop_assert!(by_time.windows(2).all(|w| w[0].total_us >= w[1].total_us));
+        if let Some(last) = by_time.last() {
+            let floor = last.total_us;
+            let mut all_by_time: Vec<u64> =
+                snap.fingerprints.iter().map(|s| s.total_us).collect();
+            all_by_time.sort_unstable_by(|a, b| b.cmp(a));
+            for &outside in &all_by_time[by_time.len()..] {
+                prop_assert!(outside <= floor);
+            }
+        }
+    }
+}

@@ -62,6 +62,17 @@ pub enum Request {
     /// `{"type":"metrics"}` — the Prometheus text exposition plus a JSON
     /// summary (latency percentiles, counters).
     Metrics,
+    /// `{"type":"history","top":10}` — the per-fingerprint query history:
+    /// counts, per-phase latency percentiles and recent regressions.  The
+    /// optional `top` caps the fingerprint list to the hottest N by count.
+    History {
+        /// Cap on returned fingerprints (`None` = all, hottest first).
+        top: Option<u64>,
+    },
+    /// `{"type":"trace_export"}` — the shared pool's retained pipeline
+    /// spans as a Chrome trace-event JSON array (loadable in
+    /// `about://tracing`).
+    TraceExport,
     /// `{"type":"ping"}` — liveness probe.
     Ping,
     /// `{"type":"shutdown"}` — stop accepting connections and exit.
@@ -125,6 +136,17 @@ impl Request {
             }
             "stats" => Ok(Request::Stats),
             "metrics" => Ok(Request::Metrics),
+            "history" => {
+                let top = match value.get("top") {
+                    None => None,
+                    Some(Json::Num(n)) if n.fract() == 0.0 && *n >= 0.0 => Some(*n as u64),
+                    Some(_) => {
+                        return Err("`history` needs a non-negative integer `top`".to_owned())
+                    }
+                };
+                Ok(Request::History { top })
+            }
+            "trace_export" => Ok(Request::TraceExport),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown request type `{other}`")),
@@ -173,6 +195,14 @@ impl Request {
             ]),
             Request::Stats => Json::obj(vec![("type", Json::str("stats"))]),
             Request::Metrics => Json::obj(vec![("type", Json::str("metrics"))]),
+            Request::History { top } => {
+                let mut pairs = vec![("type", Json::str("history"))];
+                if let Some(top) = top {
+                    pairs.push(("top", Json::Num(*top as f64)));
+                }
+                Json::obj(pairs)
+            }
+            Request::TraceExport => Json::obj(vec![("type", Json::str("trace_export"))]),
             Request::Ping => Json::obj(vec![("type", Json::str("ping"))]),
             Request::Shutdown => Json::obj(vec![("type", Json::str("shutdown"))]),
         }
@@ -438,6 +468,151 @@ pub fn stats_response(
         ("pool_queue_depth", Json::Num(server.pool_gauges().2 as f64)),
         ("admission_executing", Json::Num(server.admission_gauges().0 as f64)),
         ("admission_queued", Json::Num(server.admission_gauges().1 as f64)),
+        ("workers", worker_timelines_json(server)),
+    ])
+}
+
+/// Renders the shared pool's per-worker busy/idle/steal accumulators (an
+/// empty array when the server runs per-query pools).
+fn worker_timelines_json(server: &ServerContext) -> Json {
+    Json::Arr(
+        server
+            .worker_timelines()
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                Json::obj(vec![
+                    ("worker", Json::Num(i as f64)),
+                    ("busy_nanos", Json::Num(t.busy_nanos as f64)),
+                    ("idle_nanos", Json::Num(t.idle_nanos as f64)),
+                    ("steals", Json::Num(t.steals as f64)),
+                    ("utilization", Json::Num(t.utilization())),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Builds the `history` response: lifetime per-fingerprint aggregates
+/// (hottest by count first, capped at `top` when given) and the most
+/// recent regressions.  Fingerprints travel as hex strings — they are
+/// 64-bit hashes and a JSON number would round them past 2^53.
+pub fn history_response(server: &ServerContext, top: Option<u64>) -> Json {
+    let snapshot = server.history().snapshot();
+    let cap = top.map(|t| t as usize).unwrap_or(usize::MAX);
+    let fingerprints = snapshot
+        .fingerprints
+        .iter()
+        .take(cap)
+        .map(|f| {
+            Json::obj(vec![
+                ("fingerprint", Json::str(format!("{:016x}", f.fingerprint))),
+                ("query", Json::str(f.name.clone())),
+                ("count", Json::Num(f.count as f64)),
+                ("total_us", Json::Num(f.total_us as f64)),
+                ("p50_us", Json::Num(f.p50_us)),
+                ("p99_us", Json::Num(f.p99_us)),
+                ("max_q_error", Json::Num(f.max_q_error)),
+                ("replans", Json::Num(f.replans as f64)),
+                ("regressions", Json::Num(f.regressions as f64)),
+                ("last_rows", Json::Num(f.last_rows as f64)),
+                ("last_seq", Json::Num(f.last_seq as f64)),
+            ])
+        })
+        .collect();
+    let regressions = snapshot
+        .regressions
+        .iter()
+        .map(|r| {
+            Json::obj(vec![
+                ("query", Json::str(r.name.clone())),
+                ("fingerprint", Json::str(format!("{:016x}", r.fingerprint))),
+                ("seq", Json::Num(r.seq as f64)),
+                ("baseline_us", Json::Num(r.baseline_us)),
+                ("recent_us", Json::Num(r.recent_us)),
+                ("factor", Json::Num(r.factor)),
+                ("ratio", Json::Num(r.ratio)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("type", Json::str("history")),
+        ("recorded", Json::Num(server.history().recorded() as f64)),
+        ("fingerprints", Json::Arr(fingerprints)),
+        ("regressions", Json::Arr(regressions)),
+    ])
+}
+
+/// Builds the `trace` response: the shared pool's retained pipeline spans
+/// as a Chrome trace-event array (the `events` field is directly loadable
+/// in `about://tracing` once written to a file).  Every event — including
+/// the `thread_name` metadata — carries `name`/`ph`/`ts`/`pid`/`tid`, the
+/// shape CI validates structurally.
+pub fn trace_export_response(server: &ServerContext) -> Json {
+    let mut events: Vec<Json> = Vec::new();
+    let event = |name: &str, ph: &str, ts: f64, tid: u32, args: Vec<(&str, Json)>| {
+        Json::obj(vec![
+            ("name", Json::str(name)),
+            ("ph", Json::str(ph)),
+            ("ts", Json::Num(ts)),
+            ("pid", Json::Num(1.0)),
+            ("tid", Json::Num(tid as f64)),
+            ("args", Json::obj(args)),
+        ])
+    };
+    let timelines = server.worker_timelines();
+    for (i, t) in timelines.iter().enumerate() {
+        let tid = i as u32 + 1;
+        events.push(event(
+            "thread_name",
+            "M",
+            0.0,
+            tid,
+            vec![("name", Json::str(format!("qob-worker-{i}")))],
+        ));
+        events.push(event(
+            "worker_totals",
+            "C",
+            0.0,
+            tid,
+            vec![
+                ("busy_nanos", Json::Num(t.busy_nanos as f64)),
+                ("idle_nanos", Json::Num(t.idle_nanos as f64)),
+                ("steals", Json::Num(t.steals as f64)),
+            ],
+        ));
+    }
+    let spans = server.pipeline_spans();
+    let mut submitters: Vec<u32> =
+        spans.iter().map(|s| s.tid).filter(|&tid| tid as usize > timelines.len()).collect();
+    submitters.sort_unstable();
+    submitters.dedup();
+    for tid in submitters {
+        events.push(event(
+            "thread_name",
+            "M",
+            0.0,
+            tid,
+            vec![("name", Json::str(format!("submitter-{tid}")))],
+        ));
+    }
+    for span in &spans {
+        events.push(Json::obj(vec![
+            ("name", Json::str(span.name.clone())),
+            ("ph", Json::str("X")),
+            ("ts", Json::Num(span.start_us as f64)),
+            ("dur", Json::Num(span.dur_us as f64)),
+            ("pid", Json::Num(1.0)),
+            ("tid", Json::Num(span.tid as f64)),
+            ("args", Json::obj(vec![])),
+        ]));
+    }
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("type", Json::str("trace")),
+        ("span_count", Json::Num(spans.len() as f64)),
+        ("events", Json::Arr(events)),
     ])
 }
 
@@ -462,6 +637,7 @@ pub fn metrics_response(server: &ServerContext) -> Json {
                 ("replans_total", Json::Num(m.replans_total.get() as f64)),
                 ("slow_queries_total", Json::Num(m.slow_queries_total.get() as f64)),
                 ("worker_panics_total", Json::Num(m.worker_panics_total.get() as f64)),
+                ("regressions_total", Json::Num(m.regressions_total.get() as f64)),
                 ("query_p50_us", Json::Num(q.quantile(0.5))),
                 ("query_p95_us", Json::Num(q.quantile(0.95))),
                 ("query_p99_us", Json::Num(q.quantile(0.99))),
@@ -501,6 +677,9 @@ mod tests {
             Request::Deallocate { name: "q".into() },
             Request::Stats,
             Request::Metrics,
+            Request::History { top: None },
+            Request::History { top: Some(5) },
+            Request::TraceExport,
             Request::Ping,
             Request::Shutdown,
         ];
@@ -564,6 +743,13 @@ mod tests {
         assert!(Request::parse(r#"{"type":"fly"}"#).unwrap_err().contains("fly"));
         assert!(Request::parse(r#"{"type":"query"}"#).unwrap_err().contains("sql"));
         assert!(Request::parse(r#"{"type":"set","option":"x"}"#).unwrap_err().contains("value"));
+        for line in [
+            r#"{"type":"history","top":-1}"#,
+            r#"{"type":"history","top":1.5}"#,
+            r#"{"type":"history","top":"many"}"#,
+        ] {
+            assert!(Request::parse(line).unwrap_err().contains("top"), "accepted: {line}");
+        }
     }
 
     #[test]

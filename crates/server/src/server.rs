@@ -32,9 +32,9 @@ use parking_lot::{Mutex, RwLock};
 use qob_core::{ServerContext, Session};
 
 use crate::protocol::{
-    deallocated_response, error_response, metrics_response, outcomes_response, pong_response,
-    prepared_response, result_response, session_error_response, set_response, shutdown_response,
-    stats_response, Request,
+    deallocated_response, error_response, history_response, metrics_response, outcomes_response,
+    pong_response, prepared_response, result_response, session_error_response, set_response,
+    shutdown_response, stats_response, trace_export_response, Request,
 };
 
 /// How the server is stood up.
@@ -373,6 +373,8 @@ fn handle_request(
             true,
         ),
         Request::Metrics => (metrics_response(&state.context), true),
+        Request::History { top } => (history_response(&state.context, top), true),
+        Request::TraceExport => (trace_export_response(&state.context), true),
         Request::Ping => (pong_response(), true),
         Request::Shutdown => {
             trigger_shutdown(state, local_addr);

@@ -423,6 +423,106 @@ fn scheduled_server_exposes_pool_and_admission_over_the_wire() {
 }
 
 #[test]
+fn history_and_trace_export_over_the_wire() {
+    const TWO_WAY: &str =
+        "SELECT COUNT(*) FROM title t, movie_companies mc WHERE mc.movie_id = t.id";
+    let ctx = BenchmarkContext::new(Scale::tiny(), IndexConfig::PrimaryKeyOnly).unwrap();
+    let handle = serve(
+        ServerContext::with_scheduler(
+            ctx,
+            qob_core::SessionOptions::default(),
+            qob_core::SchedulerConfig { workers: 2, max_concurrent: 2, max_queued: 4 },
+        ),
+        ServerConfig { addr: "127.0.0.1:0".into(), snapshot_loaded: false },
+    )
+    .unwrap();
+    let addr = handle.local_addr().to_string();
+    let mut client = Client::connect_with_retry(&addr, Duration::from_secs(5)).unwrap();
+
+    // Small morsels force multi-participant pipelines on the shared pool so
+    // worker spans (not just submitter spans) land in the trace ring.
+    for (option, value) in [("morsel_size", "32"), ("threads", "2")] {
+        let ack =
+            client.request(&Request::Set { option: option.into(), value: value.into() }).unwrap();
+        assert_eq!(ack.get("ok").unwrap().as_bool(), Some(true));
+    }
+
+    // A statement mix: the three-way join three times, the two-way once.
+    for sql in [THREE_WAY, THREE_WAY, THREE_WAY, TWO_WAY] {
+        let response = client.query(sql).unwrap();
+        assert_eq!(response.get("ok").unwrap().as_bool(), Some(true), "{response}");
+    }
+
+    // history: per-fingerprint counts mirror the statement mix.
+    let history = client.request(&Request::History { top: None }).unwrap();
+    assert_eq!(history.get("type").unwrap().as_str(), Some("history"), "{history}");
+    assert_eq!(history.get("recorded").unwrap().as_u64(), Some(4));
+    let fingerprints = history.get("fingerprints").unwrap().as_array().unwrap();
+    assert_eq!(fingerprints.len(), 2, "two distinct structures ran");
+    let counts: Vec<u64> =
+        fingerprints.iter().map(|f| f.get("count").unwrap().as_u64().unwrap()).collect();
+    assert_eq!(counts, vec![3, 1], "hottest first, counts match the mix");
+    for entry in fingerprints {
+        let hex = entry.get("fingerprint").unwrap().as_str().unwrap();
+        assert_eq!(hex.len(), 16, "fingerprints travel as 16-hex-digit strings: {hex}");
+        assert!(hex.chars().all(|c| c.is_ascii_hexdigit()));
+        assert!(entry.get("p50_us").unwrap().as_u64().unwrap() > 0);
+        assert!(entry.get("p99_us").unwrap().as_u64().is_some());
+        assert!(entry.get("last_rows").unwrap().as_u64().is_some());
+    }
+    assert!(history.get("regressions").unwrap().as_array().unwrap().is_empty());
+
+    // top caps the fingerprint list without touching the totals.
+    let capped = client.request(&Request::History { top: Some(1) }).unwrap();
+    assert_eq!(capped.get("fingerprints").unwrap().as_array().unwrap().len(), 1);
+    assert_eq!(capped.get("recorded").unwrap().as_u64(), Some(4));
+
+    // stats: the per-worker timeline array rides along.
+    let stats = client.request(&Request::Stats).unwrap();
+    let workers = stats.get("workers").unwrap().as_array().unwrap();
+    assert_eq!(workers.len(), 2);
+    for worker in workers {
+        assert!(worker.get("busy_nanos").unwrap().as_u64().is_some());
+        assert!(worker.get("idle_nanos").unwrap().as_u64().is_some());
+        assert!(worker.get("steals").unwrap().as_u64().is_some());
+        let utilization = worker.get("utilization").unwrap().as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&utilization));
+    }
+
+    // trace_export: Chrome trace events, every one structurally complete.
+    let trace = client.request(&Request::TraceExport).unwrap();
+    assert_eq!(trace.get("type").unwrap().as_str(), Some("trace"), "{trace}");
+    let events = trace.get("events").unwrap().as_array().unwrap();
+    assert!(!events.is_empty());
+    for event in events {
+        for field in ["name", "ph", "ts", "pid", "tid"] {
+            assert!(event.get(field).is_some(), "event missing {field}: {event}");
+        }
+    }
+    let names: Vec<&str> =
+        events.iter().map(|e| e.get("name").unwrap().as_str().unwrap()).collect();
+    assert!(names.contains(&"thread_name"), "worker metadata present");
+    let spans: Vec<_> =
+        events.iter().filter(|e| e.get("ph").unwrap().as_str() == Some("X")).collect();
+    assert!(!spans.is_empty(), "pipeline spans exported");
+    assert_eq!(trace.get("span_count").unwrap().as_u64(), Some(spans.len() as u64));
+    for span in &spans {
+        assert!(span.get("dur").unwrap().as_u64().is_some());
+        assert!(span.get("args").is_some());
+    }
+
+    // Exporting drains nothing: a second export answers at least as much.
+    let again = client.request(&Request::TraceExport).unwrap();
+    assert!(
+        again.get("span_count").unwrap().as_u64().unwrap() >= spans.len() as u64,
+        "trace export must be idempotent"
+    );
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
 fn concurrent_clients_get_identical_answers() {
     let (handle, addr) = start_server();
     let workers: Vec<_> = (0..4)
